@@ -1,0 +1,39 @@
+//! Ablation rungs (Fig 11 at bench-kernel scale): wall-clock kernel time of
+//! the baseline configuration, +GS, and +DGS on one simulated device.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_core::prelude::*;
+use pathweaver_datasets::{DatasetProfile, Scale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 16, 10, 3);
+    let base_cfg = {
+        let mut cfg = PathWeaverConfig::test_scale(1);
+        cfg.ghost = None;
+        cfg.build_dir_table = false;
+        cfg
+    };
+    let base_idx = PathWeaverIndex::build(&w.base, &base_cfg).unwrap();
+    let full_idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let params = SearchParams { hash_bits: 13, ..SearchParams::default() };
+    let dgs = SearchParams { dgs: Some(DgsParams::default()), ..params };
+
+    let mut g = c.benchmark_group("ablation_single_gpu");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(base_idx.search_naive(&w.queries, &params)))
+    });
+    g.bench_function("plus_gs", |b| {
+        b.iter(|| black_box(full_idx.search_pipelined(&w.queries, &params)))
+    });
+    g.bench_function("plus_gs_dgs", |b| {
+        b.iter(|| black_box(full_idx.search_pipelined(&w.queries, &dgs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

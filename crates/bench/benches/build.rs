@@ -1,0 +1,51 @@
+//! Graph construction (Fig 17 at bench-kernel scale): NN-descent, the
+//! CAGRA-style optimization, direction-table generation, inter-shard table
+//! build, and the HNSW baseline build.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_datasets::{DatasetProfile, Scale};
+use pathweaver_graph::{
+    cagra_build, nn_descent, CagraBuildParams, DirectionTable, Hnsw, HnswParams, InterShardParams,
+    InterShardTable, NnDescentParams,
+};
+
+fn bench_build(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 4, 5, 29);
+    let mut g = c.benchmark_group("graph_build");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    g.bench_function("nn_descent_k16", |b| {
+        let p = NnDescentParams { k: 16, ..Default::default() };
+        b.iter(|| black_box(nn_descent(&w.base, &p)))
+    });
+    g.bench_function("cagra_build_d16", |b| {
+        b.iter(|| black_box(cagra_build(&w.base, &CagraBuildParams::with_degree(16))))
+    });
+
+    let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(16));
+    g.bench_function("direction_table", |b| {
+        b.iter(|| black_box(DirectionTable::build(&w.base, &graph)))
+    });
+    g.bench_function("intershard_table", |b| {
+        // Self-to-self stands in for adjacent shards: same cost profile.
+        b.iter(|| {
+            black_box(InterShardTable::build(
+                &w.base,
+                &w.base,
+                &graph,
+                &InterShardParams { beam: 16, entries: 8, seed: 1 },
+            ))
+        })
+    });
+    g.bench_function("hnsw_build_m8", |b| {
+        let p = HnswParams { m: 8, ef_construction: 48, seed: 2 };
+        b.iter(|| black_box(Hnsw::build(&w.base, &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Direction-guided selection (Fig 15/16 at bench-kernel scale): kernel
+//! wall time across keep ratios, against the exact (no-filter) kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_core::prelude::*;
+use pathweaver_datasets::{DatasetProfile, Scale};
+
+fn bench_dgs(c: &mut Criterion) {
+    let profile = DatasetProfile::sift_like();
+    let w = profile.workload(Scale::Test, 16, 10, 23);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let base = SearchParams { hash_bits: 13, ..SearchParams::default() };
+
+    let mut g = c.benchmark_group("dgs_keep_ratio");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("exact", |b| {
+        b.iter(|| black_box(idx.search_pipelined(&w.queries, &base)))
+    });
+    for keep in [0.7f64, 0.5, 0.3] {
+        let params = SearchParams {
+            dgs: Some(DgsParams { keep_ratio: keep, cooldown_ratio: 0.3, threshold_mode: false }),
+            ..base
+        };
+        g.bench_function(format!("keep_{keep}"), |b| {
+            b.iter(|| black_box(idx.search_pipelined(&w.queries, &params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dgs);
+criterion_main!(benches);

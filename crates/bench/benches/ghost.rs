@@ -1,0 +1,47 @@
+//! Ghost staging (Fig 14/18 at bench-kernel scale): ghost-shard build cost
+//! and search cost across sampling ratios.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_core::prelude::*;
+use pathweaver_datasets::{DatasetProfile, Scale};
+use pathweaver_graph::{GhostParams, GhostShard};
+
+fn bench_ghost_build(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 4, 5, 17);
+    let mut g = c.benchmark_group("ghost_build");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for ratio in [0.01f64, 0.1] {
+        let params = GhostParams { sampling_ratio: ratio, min_nodes: 8, degree: 8, seed: 1 };
+        g.bench_function(format!("ratio_{ratio}"), |b| {
+            b.iter(|| black_box(GhostShard::build(&w.base, &params)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ghost_search(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 16, 10, 19);
+    let params = SearchParams { hash_bits: 13, ..SearchParams::default() };
+    let mut g = c.benchmark_group("ghost_search");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for ratio in [0.01f64, 0.1] {
+        let mut cfg = PathWeaverConfig::test_scale(1);
+        if let Some(gp) = cfg.ghost.as_mut() {
+            gp.sampling_ratio = ratio;
+        }
+        let idx = PathWeaverIndex::build(&w.base, &cfg).unwrap();
+        g.bench_function(format!("ratio_{ratio}"), |b| {
+            b.iter(|| black_box(idx.search_pipelined(&w.queries, &params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ghost_build, bench_ghost_search);
+criterion_main!(benches);

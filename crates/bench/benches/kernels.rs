@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the primitives the paper's Fig 2 breakdown is made
+//! of: L2 distance at each dataset's dimensionality, sign-bit encoding and
+//! matching (the DGS fast path), priority-buffer insertion, and visited-hash
+//! probing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_search::{PriorityBuffer, VisitedHash};
+use pathweaver_vector::{hamming_matches, l2_squared, sign_code, sign_code_words};
+
+fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = pathweaver_util::small_rng(seed);
+    (0..dim).map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0)).collect()
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2_squared");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for dim in [96usize, 128, 768, 960] {
+        let a = random_vec(dim, 1);
+        let b = random_vec(dim, 2);
+        g.bench_function(format!("dim{dim}"), |bench| {
+            bench.iter(|| black_box(l2_squared(black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signbits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signbit");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for dim in [96usize, 960] {
+        let a = random_vec(dim, 3);
+        let b = random_vec(dim, 4);
+        let words = sign_code_words(dim);
+        let mut code = vec![0u32; words];
+        g.bench_function(format!("encode_dim{dim}"), |bench| {
+            bench.iter(|| sign_code(black_box(&a), black_box(&b), black_box(&mut code)))
+        });
+        let mut other = vec![0u32; words];
+        sign_code(&b, &a, &mut other);
+        g.bench_function(format!("match_dim{dim}"), |bench| {
+            bench.iter(|| black_box(hamming_matches(black_box(&code), black_box(&other), dim)))
+        });
+        // The comparison the paper makes implicitly: one exact distance vs
+        // one code match. The match should be orders of magnitude cheaper.
+    }
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_buffer");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let mut rng = pathweaver_util::small_rng(5);
+    let entries: Vec<(f32, u32)> =
+        (0..1000u32).map(|i| (rand::Rng::gen_range(&mut rng, 0.0f32..100.0), i)).collect();
+    g.bench_function("push_1000_into_64", |bench| {
+        bench.iter(|| {
+            let mut q = PriorityBuffer::new(64);
+            for &(d, id) in &entries {
+                q.push(d, id);
+            }
+            black_box(q.top_k(10))
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("visited_hash");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("insert_1000_into_13bit", |bench| {
+        bench.iter(|| {
+            let mut h = VisitedHash::new(13);
+            for id in 0..1000u32 {
+                black_box(h.insert(id * 17 + 3));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_l2, bench_signbits, bench_queue, bench_hash);
+criterion_main!(benches);

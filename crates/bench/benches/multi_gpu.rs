@@ -1,0 +1,40 @@
+//! Multi-GPU orchestration throughput (Fig 8/9 at bench-kernel scale):
+//! wall-clock cost of the pipelined ring executor vs the sharded baseline,
+//! plus a forward-width ablation (the paper forwards exactly one result per
+//! query; DESIGN.md flags the width as an ablation axis).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_core::prelude::*;
+use pathweaver_datasets::{DatasetProfile, Scale};
+
+fn bench_multi_gpu(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 24, 10, 11);
+    let config = PathWeaverConfig::test_scale(4);
+    let idx = PathWeaverIndex::build(&w.base, &config).unwrap();
+    let params = SearchParams { hash_bits: 13, ..SearchParams::default() };
+
+    let mut g = c.benchmark_group("multi_gpu_search");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("naive_sharding", |bench| {
+        bench.iter(|| black_box(idx.search_naive(&w.queries, &params)))
+    });
+    g.bench_function("pipelined", |bench| {
+        bench.iter(|| black_box(idx.search_pipelined(&w.queries, &params)))
+    });
+
+    for width in [1usize, 4] {
+        let mut cfg = PathWeaverConfig::test_scale(4);
+        cfg.forward_width = width;
+        let idx_w = PathWeaverIndex::build(&w.base, &cfg).unwrap();
+        g.bench_function(format!("pipelined_forward{width}"), |bench| {
+            bench.iter(|| black_box(idx_w.search_pipelined(&w.queries, &params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi_gpu);
+criterion_main!(benches);

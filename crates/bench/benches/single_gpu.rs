@@ -1,0 +1,31 @@
+//! Single-GPU search throughput (Fig 10 at bench-kernel scale): wall-clock
+//! time of the instrumented kernel for PathWeaver vs the CAGRA baseline
+//! configuration on one simulated device.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathweaver_core::prelude::*;
+use pathweaver_datasets::{DatasetProfile, Scale};
+
+fn bench_single_gpu(c: &mut Criterion) {
+    let profile = DatasetProfile::deep10m_like();
+    let w = profile.workload(Scale::Test, 16, 10, 7);
+    let config = PathWeaverConfig::test_scale(1);
+    let idx = PathWeaverIndex::build(&w.base, &config).unwrap();
+    let base = SearchParams { hash_bits: 13, ..SearchParams::default() };
+    let dgs = SearchParams { dgs: Some(DgsParams::default()), ..base };
+
+    let mut g = c.benchmark_group("single_gpu_search");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("cagra_config", |bench| {
+        bench.iter(|| black_box(idx.search_naive(&w.queries, &base)))
+    });
+    g.bench_function("pathweaver_ghost_dgs", |bench| {
+        bench.iter(|| black_box(idx.search_pipelined(&w.queries, &dgs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_gpu);
+criterion_main!(benches);

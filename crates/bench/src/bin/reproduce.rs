@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--scale test|bench] [--out DIR] all
+//! reproduce [--scale test|bench] [--out DIR] fig8 fig9 table1 ...
+//! reproduce list
+//! ```
+//!
+//! Each experiment prints its rows and writes a JSON record under the
+//! output directory (default `results/`). `--scale test` runs second-scale
+//! smoke versions; `--scale bench` (default) runs the laptop-scale datasets
+//! of DESIGN.md.
+
+use pathweaver_bench::experiments;
+use pathweaver_bench::Session;
+use pathweaver_datasets::Scale;
+
+fn usage() -> ! {
+    eprintln!("usage: reproduce [--scale test|bench] [--out DIR] <all|list|ID...>");
+    eprintln!("experiment ids: {}", experiments::ALL.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Bench;
+    let mut out_dir = String::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("test") => scale = Scale::Test,
+                Some("bench") => scale = Scale::Bench,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(d) => out_dir = d,
+                None => usage(),
+            },
+            "list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if experiments::ALL.contains(&other) => ids.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+
+    println!(
+        "PathWeaver reproduction harness — scale: {:?}, output: {out_dir}/",
+        scale
+    );
+    println!("(sim-QPS values come from the simulated-GPU cost model, not wall clock)");
+
+    let session = Session::new(scale);
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let record = experiments::run(id, &session);
+        match record.save(&out_dir) {
+            Ok(path) => println!("[{}] saved {} ({:.1}s)", id, path.display(), started.elapsed().as_secs_f64()),
+            Err(e) => eprintln!("[{}] failed to save record: {e}", id),
+        }
+    }
+    println!("\ndone: {} experiment(s) in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
+}

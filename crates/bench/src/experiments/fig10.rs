@@ -1,0 +1,114 @@
+//! Fig 10: single-GPU QPS–recall comparison.
+//!
+//! PathWeaver (ghost staging + DGS, no pipelining possible) vs CAGRA, GGNN
+//! and the HNSW CPU baseline. Paper: 3.43× over CAGRA.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_datasets::recall_batch;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    framework: &'static str,
+    qps: f64,
+    recall_reached: f64,
+    clock: &'static str,
+}
+
+/// Runs all four frameworks on the single-GPU datasets.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.95;
+    let mut rec = ExperimentRecord::new("fig10", "Single-GPU QPS–recall comparison (Fig 10)");
+    rec.note("HNSW runs on the real CPU (wall clock); GPU frameworks use the simulated clock");
+    rec.note("paper: PathWeaver 3.43x over CAGRA on a single GPU");
+    let mut rows = Vec::new();
+    for profile in DatasetProfile::single_gpu_targets() {
+        let w = s.workload(&profile);
+
+        let pw = s.pathweaver(&profile, 1);
+        let pw_pts = sweep_beam(
+            &pw,
+            &w.queries,
+            &w.ground_truth,
+            &s.pathweaver_params(),
+            &s.beams(),
+            SearchMode::Pipelined,
+        );
+        let cagra = s.cagra(&profile, 1);
+        let ca_pts = sweep_beam(
+            &cagra.index,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+        let ggnn = s.ggnn(&profile, 1);
+        let gg_pts = sweep_beam(
+            &ggnn.index,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+        for (fw, pts) in [("PathWeaver", &pw_pts), ("CAGRA", &ca_pts), ("GGNN", &gg_pts)] {
+            let qps = qps_at_recall(pts, target).unwrap_or(0.0);
+            let reached = pts.iter().map(|p| p.recall).fold(0.0f64, f64::max);
+            let row =
+                Row { dataset: profile.name, framework: fw, qps, recall_reached: reached, clock: "sim" };
+            rec.push_row(&row);
+            rows.push(vec![
+                row.dataset.into(),
+                row.framework.into(),
+                f(row.qps, 0),
+                f(row.recall_reached, 3),
+                row.clock.into(),
+            ]);
+        }
+
+        // HNSW CPU: sweep ef, report measured wall-clock QPS at the target.
+        let hnsw = s.hnsw(&profile);
+        let mut curve: Vec<(f64, f64)> = Vec::new();
+        let mut best_recall = 0.0f64;
+        for ef in [16usize, 32, 64, 128] {
+            let out = hnsw.search_cpu(&w.queries, s.k, ef);
+            let recall = recall_batch(&w.ground_truth, &out.results, s.k);
+            best_recall = best_recall.max(recall);
+            curve.push((recall, out.qps_measured));
+        }
+        curve.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let qps = if curve.iter().any(|p| p.0 >= target) {
+            pathweaver_util::stats::interp_at(&curve, target).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let row = Row {
+            dataset: profile.name,
+            framework: "HNSW (CPU)",
+            qps,
+            recall_reached: best_recall,
+            clock: "wall",
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.dataset.into(),
+            row.framework.into(),
+            f(row.qps, 0),
+            f(row.recall_reached, 3),
+            row.clock.into(),
+        ]);
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["dataset", "framework", "QPS@95", "max recall", "clock"], &rows)
+    );
+    rec
+}

@@ -1,0 +1,112 @@
+//! Fig 11: ablation study.
+//!
+//! Multi-GPU: CAGRA-shard baseline, then +PPE (pipelined search), +GS
+//! (ghost shards), +DGS (direction-guided selection). Single-GPU: baseline,
+//! +GS, +DGS (pipelining does not apply). Each step should add speedup.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    setting: &'static str,
+    dataset: &'static str,
+    variant: &'static str,
+    qps: f64,
+    speedup_vs_baseline: f64,
+}
+
+/// One ablation rung: which structures/modes are on.
+struct Rung {
+    name: &'static str,
+    ghost: bool,
+    dgs: bool,
+    pipelined: bool,
+}
+
+/// Runs the multi- and single-GPU ablation ladders.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.90;
+    let mut rec = ExperimentRecord::new("fig11", "Ablation: +PPE, +GS, +DGS (Fig 11)");
+    rec.note(format!("QPS at recall {target}; each rung adds one mechanism"));
+    let mut rows = Vec::new();
+
+    let multi_rungs = [
+        Rung { name: "baseline (CAGRA-shard)", ghost: false, dgs: false, pipelined: false },
+        Rung { name: "+PPE", ghost: false, dgs: false, pipelined: true },
+        Rung { name: "+GS", ghost: true, dgs: false, pipelined: true },
+        Rung { name: "+DGS", ghost: true, dgs: true, pipelined: true },
+    ];
+    let single_rungs = [
+        Rung { name: "baseline (CAGRA)", ghost: false, dgs: false, pipelined: false },
+        Rung { name: "+GS", ghost: true, dgs: false, pipelined: false },
+        Rung { name: "+DGS", ghost: true, dgs: true, pipelined: false },
+    ];
+
+    let multi_profiles =
+        [DatasetProfile::deep10m_like(), DatasetProfile::deep50m_like(), DatasetProfile::sift_like()];
+    let single_profiles = [DatasetProfile::deep10m_like(), DatasetProfile::sift_like()];
+
+    for (setting, devices, profiles, rungs) in [
+        ("multi-GPU", s.multi_devices(), &multi_profiles[..], &multi_rungs[..]),
+        ("single-GPU", 1usize, &single_profiles[..], &single_rungs[..]),
+    ] {
+        for profile in profiles {
+            let w = s.workload(profile);
+            let mut baseline_qps = None;
+            for rung in rungs {
+                let label = if rung.ghost { "full" } else { "no-ghost" };
+                let idx = s.pathweaver_variant(profile, devices, label, |c| {
+                    if !rung.ghost {
+                        c.ghost = None;
+                    }
+                });
+                let params = if rung.dgs { s.pathweaver_params() } else { s.base_params() };
+                let mode = if rung.pipelined && devices > 1 {
+                    SearchMode::Pipelined
+                } else {
+                    SearchMode::Naive
+                };
+                // Single-GPU +GS/+DGS rungs run through the pipelined path
+                // (one stage) so ghost staging applies.
+                let mode = if devices == 1 && rung.ghost { SearchMode::Pipelined } else { mode };
+                let pts = sweep_beam(
+                    &idx,
+                    &w.queries,
+                    &w.ground_truth,
+                    &params,
+                    &s.beams(),
+                    mode,
+                );
+                let qps = qps_at_recall(&pts, target).unwrap_or(0.0);
+                let base = *baseline_qps.get_or_insert(qps);
+                let row = Row {
+                    setting,
+                    dataset: profile.name,
+                    variant: rung.name,
+                    qps,
+                    speedup_vs_baseline: if base > 0.0 { qps / base } else { 0.0 },
+                };
+                rec.push_row(&row);
+                rows.push(vec![
+                    row.setting.into(),
+                    row.dataset.into(),
+                    row.variant.into(),
+                    f(row.qps, 0),
+                    format!("{}x", f(row.speedup_vs_baseline, 2)),
+                ]);
+            }
+        }
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["setting", "dataset", "variant", "sim-QPS@90", "speedup"], &rows)
+    );
+    rec
+}

@@ -1,0 +1,102 @@
+//! Fig 12: PathWeaver execution-time breakdown.
+//!
+//! Multi-GPU: CAGRA-w/-sharding vs PathWeaver on Deep-10M (L2 still
+//! dominates both; PathWeaver adds a small communication slice and a
+//! slightly larger "rest" slice from the direction-table lookups).
+//! Single-GPU: Sift + Deep-10M, no communication.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_gpusim::trace::BreakdownReport;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    setting: &'static str,
+    dataset: &'static str,
+    framework: &'static str,
+    l2: f64,
+    rest: f64,
+    comm: f64,
+}
+
+/// Measures the three-way breakdown on both settings.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let mut rec = ExperimentRecord::new("fig12", "PathWeaver time breakdown (Fig 12)");
+    rec.note("paper: L2 dominates both frameworks; PathWeaver's comm slice is small");
+    let mut rows = Vec::new();
+    let push = |rec: &mut ExperimentRecord, rows: &mut Vec<Vec<String>>, row: Row| {
+        rec.push_row(&row);
+        rows.push(vec![
+            row.setting.into(),
+            row.dataset.into(),
+            row.framework.into(),
+            f(row.l2, 3),
+            f(row.rest, 3),
+            f(row.comm, 3),
+        ]);
+    };
+
+    // Multi-GPU on Deep-10M-like.
+    let profile = DatasetProfile::deep10m_like();
+    let w = s.workload(&profile);
+    let devices = s.multi_devices();
+    let cagra = s.cagra(&profile, devices);
+    let out = cagra.search(&w.queries, &s.base_params());
+    let br = BreakdownReport::from_timeline(&out.timeline);
+    push(&mut rec, &mut rows, Row {
+        setting: "multi-GPU",
+        dataset: profile.name,
+        framework: "CAGRA w/ Sharding",
+        l2: br.l2_fraction,
+        rest: br.rest_fraction,
+        comm: br.comm_fraction,
+    });
+    let pw = s.pathweaver(&profile, devices);
+    let out = pw.search_pipelined(&w.queries, &s.pathweaver_params());
+    let br = BreakdownReport::from_timeline(&out.timeline);
+    push(&mut rec, &mut rows, Row {
+        setting: "multi-GPU",
+        dataset: profile.name,
+        framework: "PathWeaver",
+        l2: br.l2_fraction,
+        rest: br.rest_fraction,
+        comm: br.comm_fraction,
+    });
+
+    // Single-GPU on Sift + Deep-10M.
+    for profile in [DatasetProfile::sift_like(), DatasetProfile::deep10m_like()] {
+        let w = s.workload(&profile);
+        let cagra = s.cagra(&profile, 1);
+        let out = cagra.search(&w.queries, &s.base_params());
+        let br = BreakdownReport::from_timeline(&out.timeline);
+        push(&mut rec, &mut rows, Row {
+            setting: "single-GPU",
+            dataset: profile.name,
+            framework: "CAGRA",
+            l2: br.l2_fraction,
+            rest: br.rest_fraction,
+            comm: br.comm_fraction,
+        });
+        let pw = s.pathweaver(&profile, 1);
+        let out = pw.search_pipelined(&w.queries, &s.pathweaver_params());
+        let br = BreakdownReport::from_timeline(&out.timeline);
+        push(&mut rec, &mut rows, Row {
+            setting: "single-GPU",
+            dataset: profile.name,
+            framework: "PathWeaver",
+            l2: br.l2_fraction,
+            rest: br.rest_fraction,
+            comm: br.comm_fraction,
+        });
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["setting", "dataset", "framework", "L2", "rest", "comm"], &rows)
+    );
+    rec
+}

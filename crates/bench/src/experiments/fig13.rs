@@ -1,0 +1,72 @@
+//! Fig 13: recall versus iteration budget, baseline vs path extension.
+//!
+//! Pipelining-based path extension reaches each recall level in fewer
+//! iterations because later stages start near the query (paper example:
+//! recall 0.90 at 14 vs 18 iterations on Deep-10M).
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{sweep_iterations, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    max_iterations: usize,
+    baseline_recall: f64,
+    pathweaver_recall: f64,
+}
+
+/// Sweeps iteration budgets and compares recall of the sharded baseline
+/// against the pipelined mode on the same index.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let devices = s.multi_devices();
+    let mut rec = ExperimentRecord::new("fig13", "Recall vs iteration budget (Fig 13)");
+    rec.note("same index, same parameters; only the search mode differs");
+    let mut rows = Vec::new();
+    for profile in DatasetProfile::multi_gpu_targets() {
+        let w = s.workload(&profile);
+        let idx = s.pathweaver_variant(&profile, devices, "ppe-only", |c| {
+            c.ghost = None;
+            c.build_dir_table = false;
+        });
+        // A wide beam keeps the recall ceiling high so the iteration axis
+        // is what differentiates the two modes (the paper's Fig 13 setup).
+        let params = SearchParams { beam: 128, candidates: 128, expand: 8, ..s.base_params() };
+        let budgets = s.budgets();
+        let naive =
+            sweep_iterations(&idx, &w.queries, &w.ground_truth, &params, &budgets, SearchMode::Naive);
+        let piped = sweep_iterations(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &params,
+            &budgets,
+            SearchMode::Pipelined,
+        );
+        for (n, p) in naive.iter().zip(&piped) {
+            let row = Row {
+                dataset: profile.name,
+                max_iterations: n.max_iterations,
+                baseline_recall: n.recall,
+                pathweaver_recall: p.recall,
+            };
+            rec.push_row(&row);
+            rows.push(vec![
+                row.dataset.into(),
+                row.max_iterations.to_string(),
+                f(row.baseline_recall, 3),
+                f(row.pathweaver_recall, 3),
+            ]);
+        }
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["dataset", "max iters", "baseline recall", "PathWeaver recall"], &rows)
+    );
+    rec
+}

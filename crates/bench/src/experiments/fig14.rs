@@ -1,0 +1,59 @@
+//! Fig 14: ghost-node sampling ratio versus QPS.
+//!
+//! Smaller ghost shards win (paper: 1.39× higher QPS at ratio 1e-4 vs 1e-1
+//! on Sift-1M): fewer ghost nodes mean longer "highway" hops and a cheaper
+//! ghost stage.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    sampling_ratio: f64,
+    qps: f64,
+}
+
+/// Sweeps the ghost sampling ratio on the single-GPU setting.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.85;
+    let mut rec = ExperimentRecord::new("fig14", "Ghost sampling ratio vs QPS (Fig 14)");
+    rec.note(format!("single GPU, QPS at recall {target}; paper: lower ratios win"));
+    rec.note("ratio axis maps to the paper's by *absolute ghost count*: 0.01 of a 20k shard ≈ 1e-4 of the paper's 2.5M shards");
+    let mut rows = Vec::new();
+    let ratios: &[f64] = match s.scale {
+        Scale::Test => &[0.01, 0.1],
+        _ => &[0.002, 0.005, 0.01, 0.05, 0.1],
+    };
+    for profile in [DatasetProfile::sift_like(), DatasetProfile::deep10m_like()] {
+        let w = s.workload(&profile);
+        for &ratio in ratios {
+            let label = format!("ghost-ratio-{ratio}");
+            let idx = s.pathweaver_variant(&profile, 1, &label, |c| {
+                if let Some(g) = c.ghost.as_mut() {
+                    g.sampling_ratio = ratio;
+                }
+            });
+            let pts = sweep_beam(
+                &idx,
+                &w.queries,
+                &w.ground_truth,
+                &s.pathweaver_params(),
+                &s.beams(),
+                SearchMode::Pipelined,
+            );
+            let qps = qps_at_recall(&pts, target).unwrap_or(0.0);
+            let row = Row { dataset: profile.name, sampling_ratio: ratio, qps };
+            rec.push_row(&row);
+            rows.push(vec![row.dataset.into(), format!("{ratio}"), f(row.qps, 0)]);
+        }
+    }
+    header(&rec);
+    print!("{}", text_table(&["dataset", "sampling ratio", "sim-QPS@target"], &rows));
+    rec
+}

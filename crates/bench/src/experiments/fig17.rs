@@ -1,0 +1,62 @@
+//! Fig 17: graph build time overhead of PathWeaver's auxiliary structures.
+//!
+//! The inter-shard tables, ghost shards and direction tables together add
+//! <10–15 % over the core graph build (paper).
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::{seconds, text_table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    devices: usize,
+    graph_build_s: f64,
+    intershard_s: f64,
+    ghost_s: f64,
+    dirtable_s: f64,
+    overhead_fraction: f64,
+}
+
+/// Reports the wall-clock build breakdown per profile.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let mut rec = ExperimentRecord::new("fig17", "Graph build overhead (Fig 17)");
+    rec.note("wall-clock CPU build times; paper bound: overhead <10 % single-GPU, 4–15 % multi-GPU");
+    let mut rows = Vec::new();
+    for profile in DatasetProfile::all() {
+        let devices = if profile.multi_gpu_target { s.multi_devices() } else { 1 };
+        let idx = s.pathweaver(&profile, devices);
+        let r = &idx.build_report;
+        let row = Row {
+            dataset: profile.name,
+            devices,
+            graph_build_s: r.graph_build_s,
+            intershard_s: r.intershard_s,
+            ghost_s: r.ghost_s,
+            dirtable_s: r.dirtable_s,
+            overhead_fraction: r.overhead_fraction(),
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.dataset.into(),
+            row.devices.to_string(),
+            seconds(row.graph_build_s),
+            seconds(row.intershard_s),
+            seconds(row.ghost_s),
+            seconds(row.dirtable_s),
+            format!("{}%", f(row.overhead_fraction * 100.0, 1)),
+        ]);
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(
+            &["dataset", "GPUs", "graph build", "inter-shard", "ghost", "dir table", "overhead"],
+            &rows
+        )
+    );
+    rec
+}

@@ -1,0 +1,89 @@
+//! Fig 18: ghost staging versus a GPU-searched HNSW graph.
+//!
+//! Both are hierarchical entry-point strategies; ghost staging builds its
+//! stage on top of an already-optimized flat graph and consistently wins
+//! (paper §6.1). DGS and PPE are disabled for fairness.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    approach: &'static str,
+    qps: f64,
+    max_recall: f64,
+}
+
+/// Compares ghost staging against the GPU kernel running on HNSW's layer-0
+/// graph.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.90;
+    let mut rec =
+        ExperimentRecord::new("fig18", "Ghost staging vs GPU-searched HNSW graph (Fig 18)");
+    rec.note("DGS and PPE disabled on the PathWeaver side for fairness (paper §6.1)");
+    let mut rows = Vec::new();
+    for profile in [DatasetProfile::sift_like(), DatasetProfile::deep10m_like()] {
+        let w = s.workload(&profile);
+
+        // Ghost staging on the CAGRA-style graph (no DGS).
+        let idx = s.pathweaver(&profile, 1);
+        let pts = sweep_beam(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Pipelined,
+        );
+        let row = Row {
+            dataset: profile.name,
+            approach: "ghost staging",
+            qps: qps_at_recall(&pts, target).unwrap_or(0.0),
+            max_recall: pts.iter().map(|p| p.recall).fold(0.0, f64::max),
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.dataset.into(),
+            row.approach.into(),
+            f(row.qps, 0),
+            f(row.max_recall, 3),
+        ]);
+
+        // GPU kernel over HNSW layer 0, random entries.
+        let hnsw = s.hnsw(&profile);
+        let hidx = hnsw.as_gpu_index();
+        let pts = sweep_beam(
+            &hidx,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+        let row = Row {
+            dataset: profile.name,
+            approach: "GPU-searched HNSW",
+            qps: qps_at_recall(&pts, target).unwrap_or(0.0),
+            max_recall: pts.iter().map(|p| p.recall).fold(0.0, f64::max),
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.dataset.into(),
+            row.approach.into(),
+            f(row.qps, 0),
+            f(row.max_recall, 3),
+        ]);
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["dataset", "approach", "sim-QPS@90", "max recall"], &rows)
+    );
+    rec
+}

@@ -1,0 +1,70 @@
+//! Fig 2: execution-time breakdown of the baseline ANNS frameworks.
+//!
+//! The paper measures that L2 distance computation takes >95 % of CAGRA's
+//! search time and >80 % of GGNN's, motivating everything that follows.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_gpusim::trace::BreakdownReport;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    framework: &'static str,
+    dataset: &'static str,
+    l2_fraction: f64,
+    rest_fraction: f64,
+}
+
+/// Runs both baselines on the single-GPU datasets and reports the simulated
+/// L2 / rest-of-kernel split.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let mut rec =
+        ExperimentRecord::new("fig2", "Baseline time breakdown: L2 distance dominates (Fig 2)");
+    rec.note("paper: CAGRA >95 % L2, GGNN >80 % L2");
+    let mut rows = Vec::new();
+    for profile in DatasetProfile::single_gpu_targets() {
+        let w = s.workload(&profile);
+        let params = s.base_params();
+
+        let cagra = s.cagra(&profile, 1);
+        let out = cagra.search(&w.queries, &params);
+        let br = BreakdownReport::from_timeline(&out.timeline);
+        let row = Row {
+            framework: "CAGRA",
+            dataset: profile.name,
+            l2_fraction: br.l2_fraction,
+            rest_fraction: br.rest_fraction,
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.framework.into(),
+            row.dataset.into(),
+            f(row.l2_fraction, 3),
+            f(row.rest_fraction, 3),
+        ]);
+
+        let ggnn = s.ggnn(&profile, 1);
+        let out = ggnn.search(&w.queries, &params);
+        let br = BreakdownReport::from_timeline(&out.timeline);
+        let row = Row {
+            framework: "GGNN",
+            dataset: profile.name,
+            l2_fraction: br.l2_fraction,
+            rest_fraction: br.rest_fraction,
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.framework.into(),
+            row.dataset.into(),
+            f(row.l2_fraction, 3),
+            f(row.rest_fraction, 3),
+        ]);
+    }
+    header(&rec);
+    print!("{}", text_table(&["framework", "dataset", "L2 frac", "rest frac"], &rows));
+    rec
+}

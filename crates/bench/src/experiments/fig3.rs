@@ -1,0 +1,83 @@
+//! Fig 3: scalability of the sharding baseline.
+//!
+//! (a) Speedup of CAGRA-w/-sharding with 1→4 GPUs is far below linear
+//! (paper: 1.39× at 4 GPUs on Sift-1M ≈ 35 % efficiency); (b) the per-query
+//! *total* iterations across shards grow with the shard count.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    devices: usize,
+    qps_at_target: f64,
+    speedup: f64,
+    efficiency: f64,
+    iters_per_query: f64,
+}
+
+/// Sweeps device counts for the sharding baseline.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.90;
+    let mut rec = ExperimentRecord::new(
+        "fig3",
+        "Sharding-baseline scalability: speedup and total iterations (Fig 3)",
+    );
+    rec.note(format!("QPS read at recall {target}"));
+    rec.note("paper: ~35 % (CAGRA) / ~43 % (GGNN) efficiency at 4 GPUs; total iterations grow with shards");
+    let mut rows = Vec::new();
+    for profile in [DatasetProfile::sift_like(), DatasetProfile::deep10m_like()] {
+        let w = s.workload(&profile);
+        let params = s.base_params();
+        let mut base_qps = None;
+        for devices in [1usize, 2, 4] {
+            let cagra = s.cagra(&profile, devices);
+            let points = sweep_beam(
+                &cagra.index,
+                &w.queries,
+                &w.ground_truth,
+                &params,
+                &s.beams(),
+                SearchMode::Naive,
+            );
+            let qps = qps_at_recall(&points, target).unwrap_or(0.0);
+            // Mean per-query iterations summed over all shards, at the
+            // largest budget (≈ converged).
+            let iters = points.last().map(|p| p.mean_iterations * devices as f64).unwrap_or(0.0);
+            let base = *base_qps.get_or_insert(qps);
+            let speedup = if base > 0.0 { qps / base } else { 0.0 };
+            let row = Row {
+                dataset: profile.name,
+                devices,
+                qps_at_target: qps,
+                speedup,
+                efficiency: speedup / devices as f64,
+                iters_per_query: iters,
+            };
+            rec.push_row(&row);
+            rows.push(vec![
+                row.dataset.into(),
+                row.devices.to_string(),
+                f(row.qps_at_target, 0),
+                f(row.speedup, 2),
+                f(row.efficiency, 2),
+                f(row.iters_per_query, 1),
+            ]);
+        }
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(
+            &["dataset", "GPUs", "sim-QPS@90", "speedup", "efficiency", "total iters/query"],
+            &rows
+        )
+    );
+    rec
+}

@@ -1,0 +1,49 @@
+//! Fig 5: per-stage execution-time breakdown after pipelining-based path
+//! extension.
+//!
+//! The unseeded first stage dominates (paper: up to 31 % on Deep-50M vs
+//! ≤22 % for each later stage), which motivates ghost staging.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_gpusim::trace::stage_fractions;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    stage: usize,
+    fraction: f64,
+}
+
+/// Measures stage-time fractions of the pipelined search on the multi-GPU
+/// datasets, with ghost staging disabled so stage 1's raw cost shows.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let devices = s.multi_devices();
+    let mut rec = ExperimentRecord::new(
+        "fig5",
+        "Stage-wise time fractions of pipelining-based path extension (Fig 5)",
+    );
+    rec.note("ghost staging disabled: this is the +PPE-only configuration the paper profiles");
+    rec.note("paper: first stage up to 31 %, later stages ≤22 %");
+    let mut rows = Vec::new();
+    for profile in DatasetProfile::multi_gpu_targets() {
+        let w = s.workload(&profile);
+        let idx = s.pathweaver_variant(&profile, devices, "ppe-only", |c| {
+            c.ghost = None;
+            c.build_dir_table = false;
+        });
+        let out = idx.search_pipelined(&w.queries, &s.base_params());
+        for (stage, frac) in stage_fractions(&out.timeline).into_iter().enumerate() {
+            let row = Row { dataset: profile.name, stage: stage + 1, fraction: frac };
+            rec.push_row(&row);
+            rows.push(vec![row.dataset.into(), row.stage.to_string(), f(row.fraction, 3)]);
+        }
+    }
+    header(&rec);
+    print!("{}", text_table(&["dataset", "stage", "time fraction"], &rows));
+    rec
+}

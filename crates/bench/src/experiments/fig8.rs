@@ -1,0 +1,134 @@
+//! Fig 8: multi-GPU QPS–recall comparison.
+//!
+//! PathWeaver vs CAGRA-w/-sharding vs GGNN on the multi-GPU datasets. The
+//! paper's headline: 3.24× geomean speedup over the best baseline at 95 %
+//! recall, up to 5.30× on Wiki-10M.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode, SweepPoint};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use pathweaver_util::stats::geomean;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CurveRow {
+    dataset: &'static str,
+    framework: &'static str,
+    beam: usize,
+    recall: f64,
+    qps: f64,
+}
+
+#[derive(Serialize)]
+struct SummaryRow {
+    dataset: &'static str,
+    pathweaver_qps: f64,
+    cagra_qps: f64,
+    ggnn_qps: f64,
+    speedup_vs_best: f64,
+}
+
+/// Sweeps all three frameworks on the multi-GPU datasets and summarizes
+/// QPS at the target recall.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let devices = s.multi_devices();
+    let target = 0.95;
+    let mut rec = ExperimentRecord::new("fig8", "Multi-GPU QPS–recall comparison (Fig 8)");
+    rec.note(format!("summary reads QPS at recall {target}; paper headline 3.24× geomean vs CAGRA"));
+    let mut curve_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for profile in DatasetProfile::multi_gpu_targets() {
+        let w = s.workload(&profile);
+
+        let pw = s.pathweaver(&profile, devices);
+        let pw_pts = sweep_beam(
+            &pw,
+            &w.queries,
+            &w.ground_truth,
+            &s.pathweaver_params(),
+            &s.beams(),
+            SearchMode::Pipelined,
+        );
+        let cagra = s.cagra(&profile, devices);
+        let cagra_pts = sweep_beam(
+            &cagra.index,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+        let ggnn = s.ggnn(&profile, devices);
+        let ggnn_pts = sweep_beam(
+            &ggnn.index,
+            &w.queries,
+            &w.ground_truth,
+            &s.base_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+
+        for (fw, pts) in
+            [("PathWeaver", &pw_pts), ("CAGRA w/ Sharding", &cagra_pts), ("GGNN", &ggnn_pts)]
+        {
+            for p in pts {
+                let row = CurveRow {
+                    dataset: profile.name,
+                    framework: fw,
+                    beam: p.beam,
+                    recall: p.recall,
+                    qps: p.qps,
+                };
+                rec.push_row(&row);
+            }
+        }
+
+        let read = |pts: &[SweepPoint]| qps_at_recall(pts, target).unwrap_or(0.0);
+        let (pw_q, ca_q, gg_q) = (read(&pw_pts), read(&cagra_pts), read(&ggnn_pts));
+        let best_baseline = ca_q.max(gg_q);
+        let speedup = if best_baseline > 0.0 { pw_q / best_baseline } else { 0.0 };
+        if speedup > 0.0 {
+            speedups.push(speedup);
+        }
+        let row = SummaryRow {
+            dataset: profile.name,
+            pathweaver_qps: pw_q,
+            cagra_qps: ca_q,
+            ggnn_qps: gg_q,
+            speedup_vs_best: speedup,
+        };
+        rec.push_row(&row);
+        summary_rows.push(vec![
+            row.dataset.into(),
+            f(row.pathweaver_qps, 0),
+            f(row.cagra_qps, 0),
+            f(row.ggnn_qps, 0),
+            format!("{}x", f(row.speedup_vs_best, 2)),
+        ]);
+        for p in &pw_pts {
+            curve_rows.push(vec![
+                profile.name.into(),
+                "PathWeaver".into(),
+                p.beam.to_string(),
+                f(p.recall, 3),
+                f(p.qps, 0),
+            ]);
+        }
+    }
+    let gm = geomean(&speedups);
+    rec.note(format!("geomean speedup vs best baseline: {gm:.2}x"));
+    header(&rec);
+    println!("-- PathWeaver curves --");
+    print!("{}", text_table(&["dataset", "framework", "beam", "recall", "sim-QPS"], &curve_rows));
+    println!("-- summary @ recall {target} --");
+    print!(
+        "{}",
+        text_table(&["dataset", "PathWeaver", "CAGRA-shard", "GGNN", "speedup"], &summary_rows)
+    );
+    println!("geomean speedup vs best baseline: {gm:.2}x  (paper: 3.24x vs CAGRA)");
+    rec
+}

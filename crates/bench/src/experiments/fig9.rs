@@ -1,0 +1,118 @@
+//! Fig 9: (a) PathWeaver scaling from 1 to 4 GPUs; (b) naive (sharded)
+//! PathWeaver vs pipelined PathWeaver.
+//!
+//! Paper: 2.47× at 4 GPUs (62 % efficiency, +17 pp over the baselines), and
+//! pipelining wins across datasets and recall targets.
+
+use crate::experiments::{f, header};
+use crate::Session;
+use pathweaver_core::eval::{qps_at_recall, sweep_beam, SearchMode};
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScaleRow {
+    devices: usize,
+    qps: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
+#[derive(Serialize)]
+struct ModeRow {
+    dataset: &'static str,
+    target_recall: f64,
+    naive_qps: f64,
+    pipelined_qps: f64,
+    gain: f64,
+}
+
+/// Runs both sub-figures.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let target = 0.95;
+    let mut rec = ExperimentRecord::new("fig9", "PathWeaver scaling and naive-vs-pipelined (Fig 9)");
+    rec.note("paper: 2.47x at 4 GPUs (62 % efficiency); pipelining wins across datasets/recalls");
+    let mut scale_rows = Vec::new();
+    let mut mode_rows = Vec::new();
+
+    // (a) scaling on Deep-10M-like.
+    let profile = DatasetProfile::deep10m_like();
+    let w = s.workload(&profile);
+    let mut base = None;
+    for devices in [1usize, 2, 4] {
+        let idx = s.pathweaver(&profile, devices);
+        let pts = sweep_beam(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &s.pathweaver_params(),
+            &s.beams(),
+            SearchMode::Pipelined,
+        );
+        let qps = qps_at_recall(&pts, target).unwrap_or(0.0);
+        let b = *base.get_or_insert(qps);
+        let speedup = if b > 0.0 { qps / b } else { 0.0 };
+        let row =
+            ScaleRow { devices, qps, speedup, efficiency: speedup / devices as f64 };
+        rec.push_row(&row);
+        scale_rows.push(vec![
+            row.devices.to_string(),
+            f(row.qps, 0),
+            f(row.speedup, 2),
+            f(row.efficiency, 2),
+        ]);
+    }
+
+    // (b) naive vs pipelined at two recall targets.
+    for profile in [DatasetProfile::deep10m_like(), DatasetProfile::deep50m_like()] {
+        let w = s.workload(&profile);
+        let idx = s.pathweaver(&profile, s.multi_devices());
+        let piped = sweep_beam(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &s.pathweaver_params(),
+            &s.beams(),
+            SearchMode::Pipelined,
+        );
+        let naive = sweep_beam(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &s.pathweaver_params(),
+            &s.beams(),
+            SearchMode::Naive,
+        );
+        for t in [0.90, 0.95] {
+            let nq = qps_at_recall(&naive, t).unwrap_or(0.0);
+            let pq = qps_at_recall(&piped, t).unwrap_or(0.0);
+            let row = ModeRow {
+                dataset: profile.name,
+                target_recall: t,
+                naive_qps: nq,
+                pipelined_qps: pq,
+                gain: if nq > 0.0 { pq / nq } else { 0.0 },
+            };
+            rec.push_row(&row);
+            mode_rows.push(vec![
+                row.dataset.into(),
+                f(row.target_recall, 2),
+                f(row.naive_qps, 0),
+                f(row.pipelined_qps, 0),
+                format!("{}x", f(row.gain, 2)),
+            ]);
+        }
+    }
+
+    header(&rec);
+    println!("-- (a) PathWeaver scaling on deep10m-like @ recall {target} --");
+    print!("{}", text_table(&["GPUs", "sim-QPS", "speedup", "efficiency"], &scale_rows));
+    println!("-- (b) naive vs pipelined PathWeaver --");
+    print!(
+        "{}",
+        text_table(&["dataset", "recall", "naive QPS", "pipelined QPS", "gain"], &mode_rows)
+    );
+    rec
+}

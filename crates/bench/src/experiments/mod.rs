@@ -1,0 +1,89 @@
+//! One module per reproduced table/figure.
+//!
+//! Module ↔ paper mapping (see DESIGN.md for the full index):
+//!
+//! | module | paper | content |
+//! |---|---|---|
+//! | [`table2`] | Table 2 | dataset inventory |
+//! | [`fig2`] | Fig 2 | baseline time breakdown (L2 dominates) |
+//! | [`fig3`] | Fig 3 | sharding scalability & iteration blow-up |
+//! | [`fig5`] | Fig 5 | per-stage breakdown after path extension |
+//! | [`table1`] | Table 1 | discarded-visit ratios |
+//! | [`fig8`] | Fig 8 | multi-GPU QPS–recall comparison |
+//! | [`fig9`] | Fig 9 | PathWeaver scaling & naive-vs-pipelined |
+//! | [`fig10`] | Fig 10 | single-GPU QPS–recall comparison |
+//! | [`fig11`] | Fig 11 | ablation (+PPE, +GS, +DGS) |
+//! | [`fig12`] | Fig 12 | PathWeaver time breakdown |
+//! | [`fig13`] | Fig 13 | recall vs iteration budget |
+//! | [`fig14`] | Fig 14 | ghost sampling-ratio sensitivity |
+//! | [`fig15`] | Fig 15 | DGS vs random discard (ratio sweep) |
+//! | [`fig16`] | Fig 16 | DGS cool-down sweep |
+//! | [`fig17`] | Fig 17 | graph build overhead |
+//! | [`fig18`] | Fig 18 | ghost staging vs GPU-searched HNSW |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use crate::Session;
+use pathweaver_core::report::ExperimentRecord;
+
+/// All experiment ids in paper order.
+pub const ALL: &[&str] = &[
+    "table2", "fig2", "fig3", "fig5", "table1", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn run(id: &str, session: &Session) -> ExperimentRecord {
+    match id {
+        "table2" => table2::run(session),
+        "fig2" => fig2::run(session),
+        "fig3" => fig3::run(session),
+        "fig5" => fig5::run(session),
+        "table1" => table1::run(session),
+        "fig8" => fig8::run(session),
+        "fig9" => fig9::run(session),
+        "fig10" => fig10::run(session),
+        "fig11" => fig11::run(session),
+        "fig12" => fig12::run(session),
+        "fig13" => fig13::run(session),
+        "fig14" => fig14::run(session),
+        "fig15" => fig15::run(session),
+        "fig16" => fig16::run(session),
+        "fig17" => fig17::run(session),
+        "fig18" => fig18::run(session),
+        other => panic!("unknown experiment id '{other}'"),
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub(crate) fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Prints an experiment header.
+pub(crate) fn header(record: &ExperimentRecord) {
+    println!();
+    println!("=== {} — {} ===", record.id, record.title);
+    for n in &record.notes {
+        println!("  note: {n}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 2: datasets used in the evaluation.
+
+use crate::experiments::header;
+use crate::Session;
+use pathweaver_core::prelude::*;
+use pathweaver_core::report::ExperimentRecord;
+use pathweaver_util::fmt::text_table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    target: &'static str,
+    dataset: &'static str,
+    dim: usize,
+    paper_size: usize,
+    repro_size: usize,
+    kind: &'static str,
+}
+
+/// Prints the dataset inventory with the paper's sizes and this run's sizes.
+pub fn run(s: &Session) -> ExperimentRecord {
+    let mut rec = ExperimentRecord::new("table2", "Datasets used in evaluation (Table 2)");
+    rec.note("repro sizes are the synthetic '-like' profiles at the current scale");
+    let mut rows = Vec::new();
+    for p in DatasetProfile::all() {
+        let row = Row {
+            target: if p.multi_gpu_target { "multi-GPU" } else { "single-GPU" },
+            dataset: p.name,
+            dim: p.dim,
+            paper_size: p.paper_len,
+            repro_size: p.len_at(s.scale),
+            kind: if p.sphere { "float (unit norm)" } else { "float" },
+        };
+        rec.push_row(&row);
+        rows.push(vec![
+            row.target.to_string(),
+            row.dataset.to_string(),
+            row.dim.to_string(),
+            row.paper_size.to_string(),
+            row.repro_size.to_string(),
+            row.kind.to_string(),
+        ]);
+    }
+    header(&rec);
+    print!(
+        "{}",
+        text_table(&["target", "dataset", "dim", "paper n", "repro n", "type"], &rows)
+    );
+    rec
+}

@@ -1,0 +1,23 @@
+//! The PathWeaver reproduction harness.
+//!
+//! Every table and figure of the paper's evaluation (§2, §3, §5, §6) has a
+//! module under [`experiments`] that regenerates it: the module builds (or
+//! reuses, via [`session::Session`]) the needed indices, runs the searches,
+//! prints the rows/series the paper reports, and returns a machine-readable
+//! [`pathweaver_core::report::ExperimentRecord`].
+//!
+//! Two entry points drive the modules:
+//!
+//! - the `reproduce` binary (`cargo run --release -p pathweaver-bench --bin
+//!   reproduce -- all`) runs experiments at `--scale bench` (laptop-sized
+//!   datasets, minutes) or `--scale test` (seconds, for smoke checks);
+//! - the Criterion benches under `benches/` time the underlying kernels and
+//!   scaled-down versions of each experiment.
+//!
+//! All QPS numbers from the simulated devices come from the cost-model
+//! clock ("sim-QPS"); only the HNSW CPU baseline reports real wall time.
+
+pub mod experiments;
+pub mod session;
+
+pub use session::Session;

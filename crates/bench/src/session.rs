@@ -1,0 +1,210 @@
+//! Shared build/workload cache for the experiment modules.
+//!
+//! Graph builds and exact ground truth dominate the harness's runtime, and
+//! many experiments reuse the same (profile, device-count, framework)
+//! combination. A [`Session`] memoizes each by key so `reproduce all`
+//! builds every index exactly once.
+
+use parking_lot::Mutex;
+use pathweaver_core::prelude::*;
+use pathweaver_core::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
+use pathweaver_datasets::Workload;
+use pathweaver_graph::ggnn::GgnnParams;
+use pathweaver_graph::HnswParams;
+use pathweaver_search::SearchParams;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A memoizing context shared by all experiments of one harness run.
+pub struct Session {
+    /// Dataset scale every experiment runs at.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Queries per workload.
+    pub num_queries: usize,
+    /// Recall@k target size.
+    pub k: usize,
+    workloads: Mutex<HashMap<String, Arc<Workload>>>,
+    pathweaver: Mutex<HashMap<String, Arc<PathWeaverIndex>>>,
+    cagra: Mutex<HashMap<String, Arc<CagraBaseline>>>,
+    ggnn: Mutex<HashMap<String, Arc<GgnnBaseline>>>,
+    hnsw: Mutex<HashMap<String, Arc<HnswBaseline>>>,
+}
+
+impl Session {
+    /// Creates a session at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let num_queries = match scale {
+            Scale::Test => 24,
+            _ => 400,
+        };
+        Self {
+            scale,
+            seed: 0xbe9c4,
+            num_queries,
+            k: 10,
+            workloads: Mutex::new(HashMap::new()),
+            pathweaver: Mutex::new(HashMap::new()),
+            cagra: Mutex::new(HashMap::new()),
+            ggnn: Mutex::new(HashMap::new()),
+            hnsw: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Default search parameters at this scale.
+    pub fn base_params(&self) -> SearchParams {
+        SearchParams { k: self.k, hash_bits: 15, ..SearchParams::default() }
+    }
+
+    /// PathWeaver search parameters (DGS enabled).
+    pub fn pathweaver_params(&self) -> SearchParams {
+        SearchParams { dgs: Some(DgsParams::default()), ..self.base_params() }
+    }
+
+    /// Iteration budgets for the Fig 13 sweeps at this scale.
+    pub fn budgets(&self) -> Vec<usize> {
+        match self.scale {
+            Scale::Test => vec![4, 12, 32],
+            _ => vec![4, 6, 8, 12, 16, 24, 32, 48],
+        }
+    }
+
+    /// Beam widths for the QPS–recall sweeps at this scale (the paper's
+    /// primary trade-off knob).
+    pub fn beams(&self) -> Vec<usize> {
+        match self.scale {
+            Scale::Test => vec![32, 128],
+            _ => vec![16, 32, 48, 64, 96, 128, 192, 256, 384],
+        }
+    }
+
+    /// The memoized workload of a profile.
+    pub fn workload(&self, profile: &DatasetProfile) -> Arc<Workload> {
+        let key = profile.name.to_string();
+        if let Some(w) = self.workloads.lock().get(&key) {
+            return w.clone();
+        }
+        let built = Arc::new(profile.workload(self.scale, self.num_queries, self.k, self.seed));
+        self.workloads.lock().insert(key, built.clone());
+        built
+    }
+
+    /// The framework configuration used at this scale.
+    pub fn config(&self, devices: usize) -> PathWeaverConfig {
+        match self.scale {
+            Scale::Test => PathWeaverConfig::test_scale(devices),
+            _ => PathWeaverConfig::full(devices),
+        }
+    }
+
+    /// Memoized full-featured PathWeaver index.
+    pub fn pathweaver(&self, profile: &DatasetProfile, devices: usize) -> Arc<PathWeaverIndex> {
+        self.pathweaver_variant(profile, devices, "full", |_| {})
+    }
+
+    /// Memoized PathWeaver index with a config tweak, keyed by `label`.
+    pub fn pathweaver_variant(
+        &self,
+        profile: &DatasetProfile,
+        devices: usize,
+        label: &str,
+        tweak: impl FnOnce(&mut PathWeaverConfig),
+    ) -> Arc<PathWeaverIndex> {
+        let key = format!("{}/{}/{}", profile.name, devices, label);
+        if let Some(i) = self.pathweaver.lock().get(&key) {
+            return i.clone();
+        }
+        let w = self.workload(profile);
+        let mut config = self.config(devices);
+        tweak(&mut config);
+        let built =
+            Arc::new(PathWeaverIndex::build(&w.base, &config).expect("bench-scale build fits"));
+        self.pathweaver.lock().insert(key, built.clone());
+        built
+    }
+
+    /// Memoized CAGRA(-w/-sharding) baseline.
+    pub fn cagra(&self, profile: &DatasetProfile, devices: usize) -> Arc<CagraBaseline> {
+        let key = format!("{}/{}", profile.name, devices);
+        if let Some(i) = self.cagra.lock().get(&key) {
+            return i.clone();
+        }
+        let w = self.workload(profile);
+        let mut config = self.config(devices);
+        config.ghost = None;
+        config.build_dir_table = false;
+        let built =
+            Arc::new(CagraBaseline::build_with(&w.base, config).expect("bench-scale build fits"));
+        self.cagra.lock().insert(key, built.clone());
+        built
+    }
+
+    /// Memoized GGNN-style baseline.
+    pub fn ggnn(&self, profile: &DatasetProfile, devices: usize) -> Arc<GgnnBaseline> {
+        let key = format!("{}/{}", profile.name, devices);
+        if let Some(i) = self.ggnn.lock().get(&key) {
+            return i.clone();
+        }
+        let w = self.workload(profile);
+        let params = match self.scale {
+            Scale::Test => GgnnParams {
+                degree: 12,
+                selection_ratio: 0.05,
+                selection_degree: 6,
+                ..Default::default()
+            },
+            _ => GgnnParams::default(),
+        };
+        let built =
+            Arc::new(GgnnBaseline::build(&w.base, devices, &params).expect("bench-scale build fits"));
+        self.ggnn.lock().insert(key, built.clone());
+        built
+    }
+
+    /// Memoized HNSW CPU baseline.
+    pub fn hnsw(&self, profile: &DatasetProfile) -> Arc<HnswBaseline> {
+        let key = profile.name.to_string();
+        if let Some(i) = self.hnsw.lock().get(&key) {
+            return i.clone();
+        }
+        let w = self.workload(profile);
+        let params = match self.scale {
+            Scale::Test => HnswParams { m: 8, ef_construction: 48, ..Default::default() },
+            _ => HnswParams { m: 16, ef_construction: 96, ..Default::default() },
+        };
+        let built = Arc::new(HnswBaseline::build(&w.base, &params));
+        self.hnsw.lock().insert(key, built.clone());
+        built
+    }
+
+    /// Multi-GPU device count at this scale (the paper's testbed has 4).
+    pub fn multi_devices(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_return_same_instance() {
+        let s = Session::new(Scale::Test);
+        let p = DatasetProfile::deep10m_like();
+        let a = s.workload(&p);
+        let b = s.workload(&p);
+        assert!(Arc::ptr_eq(&a, &b));
+        let i1 = s.pathweaver(&p, 2);
+        let i2 = s.pathweaver(&p, 2);
+        assert!(Arc::ptr_eq(&i1, &i2));
+        let v = s.pathweaver_variant(&p, 2, "no-ghost", |c| c.ghost = None);
+        assert!(!Arc::ptr_eq(&i1, &v));
+        assert!(v.shards[0].ghost.is_none());
+    }
+
+    #[test]
+    fn budgets_scale_with_session() {
+        assert!(Session::new(Scale::Test).budgets().len() < Session::new(Scale::Bench).budgets().len());
+    }
+}

@@ -1,0 +1,92 @@
+//! CAGRA and CAGRA-with-sharding baselines.
+//!
+//! CAGRA is PathWeaver's substrate, so the baseline is the same kernel and
+//! graph build with every PathWeaver addition turned off: no ghost shards,
+//! no direction tables, no pipelining — multi-device operation uses plain
+//! sharding, exactly how the paper extends the official implementation.
+
+use crate::config::PathWeaverConfig;
+use crate::index::{BuildError, PathWeaverIndex, SearchOutput};
+use pathweaver_search::SearchParams;
+use pathweaver_vector::VectorSet;
+
+/// The CAGRA baseline: a stripped PathWeaver index searched in sharding
+/// mode.
+#[derive(Debug, Clone)]
+pub struct CagraBaseline {
+    /// The underlying stripped index.
+    pub index: PathWeaverIndex,
+}
+
+impl CagraBaseline {
+    /// Builds the baseline over `num_devices` simulated GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the index build.
+    pub fn build(dataset: &VectorSet, num_devices: usize) -> Result<Self, BuildError> {
+        let config = PathWeaverConfig::cagra_sharding(num_devices);
+        Ok(Self { index: PathWeaverIndex::build(dataset, &config)? })
+    }
+
+    /// Builds with a custom configuration (degree sweeps, testbed variants).
+    ///
+    /// Ghost and direction structures are forcibly disabled to keep the
+    /// baseline honest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the index build.
+    pub fn build_with(dataset: &VectorSet, mut config: PathWeaverConfig) -> Result<Self, BuildError> {
+        config.ghost = None;
+        config.build_dir_table = false;
+        Ok(Self { index: PathWeaverIndex::build(dataset, &config)? })
+    }
+
+    /// Sharded search (single device: a plain full search).
+    ///
+    /// DGS is forcibly disabled — the baseline never filters neighbors.
+    pub fn search(&self, queries: &VectorSet, params: &SearchParams) -> SearchOutput {
+        let clean = SearchParams { dgs: None, random_discard: false, ..*params };
+        self.index.search_naive(queries, &clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathweaver_datasets::{recall_batch, DatasetProfile, Scale};
+
+    #[test]
+    fn baseline_has_no_pathweaver_structures() {
+        let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 1);
+        let b = CagraBaseline::build(&w.base, 2).unwrap();
+        for shard in &b.index.shards {
+            assert!(shard.ghost.is_none());
+            assert!(shard.dir_table.is_none());
+        }
+    }
+
+    #[test]
+    fn baseline_recall_is_sane() {
+        let w = DatasetProfile::sift_like().workload(Scale::Test, 8, 10, 2);
+        let b = CagraBaseline::build(&w.base, 2).unwrap();
+        let out = b.search(&w.queries, &SearchParams::default());
+        let recall = recall_batch(&w.ground_truth, &out.results, 10);
+        assert!(recall > 0.75, "recall {recall}");
+    }
+
+    #[test]
+    fn dgs_request_is_ignored() {
+        let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 3);
+        let b = CagraBaseline::build(&w.base, 1).unwrap();
+        let params = SearchParams {
+            dgs: Some(pathweaver_search::DgsParams::default()),
+            ..Default::default()
+        };
+        // Must not panic despite the absent direction table.
+        let out = b.search(&w.queries, &params);
+        assert_eq!(out.results.len(), 4);
+        assert_eq!(out.timeline.aggregate_counters().dir_table_bytes, 0);
+    }
+}

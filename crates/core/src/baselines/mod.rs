@@ -1,0 +1,17 @@
+//! Evaluation baselines (paper §5.1).
+//!
+//! - [`cagra`]: CAGRA on one device and "CAGRA w/ Sharding" on several — the
+//!   strongest GPU baseline, sharing PathWeaver's kernel with the auxiliary
+//!   structures disabled.
+//! - [`ggnn`]: the GGNN-style baseline — denser unpruned per-shard graphs
+//!   with a sampled selection layer for entry points.
+//! - [`hnsw`]: HNSW on the CPU — the paper's CPU reference — plus the
+//!   GPU-searched-HNSW-graph configuration of Fig 18.
+
+pub mod cagra;
+pub mod ggnn;
+pub mod hnsw;
+
+pub use cagra::CagraBaseline;
+pub use ggnn::GgnnBaseline;
+pub use hnsw::HnswBaseline;

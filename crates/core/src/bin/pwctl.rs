@@ -1,0 +1,275 @@
+//! `pwctl` — command-line front end for the PathWeaver library.
+//!
+//! ```text
+//! pwctl synth  --profile deep10m-like --scale bench --out base.fvecs
+//! pwctl gt     --base base.fvecs --queries q.fvecs --k 10 --out gt.ivecs
+//! pwctl build  --base base.fvecs --devices 4 [--degree 32] [--no-ghost]
+//!              [--no-dgs] --out index-dir
+//! pwctl search --index index-dir --queries q.fvecs [--k 10] [--beam 64]
+//!              [--dgs] [--naive] [--out results.ivecs]
+//! pwctl eval   --results results.ivecs --gt gt.ivecs --k 10
+//! pwctl info   --index index-dir
+//! ```
+//!
+//! All vector files use the TexMex `fvecs`/`ivecs` formats, so the real
+//! Sift/Gist/Deep corpora work directly.
+
+use pathweaver_core::prelude::*;
+use pathweaver_core::store::{load_index, save_index};
+use pathweaver_datasets::io::{read_fvecs_file, read_ivecs, write_fvecs, write_ivecs};
+use pathweaver_datasets::recall_at_k;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: pwctl <synth|gt|build|search|eval|info> [--flag value ...]");
+    eprintln!("run with a subcommand and no flags for its specific usage");
+    exit(2)
+}
+
+/// Parses `--key value` pairs (plus bare `--key` switches) after the
+/// subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--").unwrap_or_else(|| usage()).to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key, String::from("true"));
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        exit(2)
+    })
+}
+
+fn opt_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            exit(2)
+        }),
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    exit(1)
+}
+
+fn profile_by_name(name: &str) -> DatasetProfile {
+    DatasetProfile::all()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown profile '{name}'; available:");
+            for p in DatasetProfile::all() {
+                eprintln!("  {}", p.name);
+            }
+            exit(2)
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "synth" => synth(&flags),
+        "gt" => gt(&flags),
+        "build" => build(&flags),
+        "search" => search(&flags),
+        "eval" => eval(&flags),
+        "info" => info(&flags),
+        _ => usage(),
+    }
+}
+
+fn synth(flags: &HashMap<String, String>) {
+    let profile = profile_by_name(req(flags, "profile"));
+    let scale = match flags.get("scale").map(String::as_str) {
+        Some("test") => Scale::Test,
+        None | Some("bench") => Scale::Bench,
+        Some(other) => fail(format!("unknown scale '{other}'")),
+    };
+    let queries = opt_parse(flags, "queries", 0usize);
+    let seed = opt_parse(flags, "seed", 42u64);
+    let spec = profile.base_spec(scale, seed);
+    let spec = pathweaver_datasets::SyntheticSpec { len: spec.len + queries, ..spec };
+    let all = spec.generate();
+    let out = req(flags, "out");
+    if queries > 0 {
+        let (base, qs) = pathweaver_datasets::query::split_queries(&all, queries, seed ^ 1);
+        write_fvecs(std::fs::File::create(out).unwrap_or_else(|e| fail(e)), &base)
+            .unwrap_or_else(|e| fail(e));
+        let qout = format!("{out}.queries");
+        write_fvecs(std::fs::File::create(&qout).unwrap_or_else(|e| fail(e)), &qs)
+            .unwrap_or_else(|e| fail(e));
+        println!("wrote {} base vectors to {out} and {queries} queries to {qout}", base.len());
+    } else {
+        write_fvecs(std::fs::File::create(out).unwrap_or_else(|e| fail(e)), &all)
+            .unwrap_or_else(|e| fail(e));
+        println!("wrote {} vectors (dim {}) to {out}", all.len(), all.dim());
+    }
+}
+
+fn gt(flags: &HashMap<String, String>) {
+    let base = read_fvecs_file(req(flags, "base"), None).unwrap_or_else(|e| fail(e));
+    let queries = read_fvecs_file(req(flags, "queries"), None).unwrap_or_else(|e| fail(e));
+    let k = opt_parse(flags, "k", 10usize);
+    let t0 = std::time::Instant::now();
+    let gt = pathweaver_datasets::brute_force_knn(&base, &queries, k);
+    let records: Vec<Vec<u32>> =
+        (0..gt.num_queries()).map(|q| gt.neighbors(q).to_vec()).collect();
+    let out = req(flags, "out");
+    write_ivecs(std::fs::File::create(out).unwrap_or_else(|e| fail(e)), &records)
+        .unwrap_or_else(|e| fail(e));
+    println!(
+        "wrote exact top-{k} of {} queries over {} vectors to {out} ({:.1}s)",
+        queries.len(),
+        base.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn build(flags: &HashMap<String, String>) {
+    let base = read_fvecs_file(req(flags, "base"), None).unwrap_or_else(|e| fail(e));
+    let devices = opt_parse(flags, "devices", 1usize);
+    let degree = opt_parse(flags, "degree", 32usize);
+    let mut config = PathWeaverConfig::full(devices);
+    config.graph = pathweaver::graph_params(degree);
+    if flags.contains_key("no-ghost") {
+        config.ghost = None;
+    }
+    if flags.contains_key("no-dgs") {
+        config.build_dir_table = false;
+    }
+    let t0 = std::time::Instant::now();
+    let index = PathWeaverIndex::build(&base, &config).unwrap_or_else(|e| fail(e));
+    let out = req(flags, "out");
+    save_index(&index, out).unwrap_or_else(|e| fail(e));
+    println!(
+        "built {} shards over {} vectors in {:.1}s ({:.1}% auxiliary overhead); saved to {out}",
+        devices,
+        base.len(),
+        t0.elapsed().as_secs_f64(),
+        index.build_report.overhead_fraction() * 100.0
+    );
+}
+
+/// Tiny indirection so the binary reads naturally above.
+mod pathweaver {
+    pub fn graph_params(degree: usize) -> pathweaver_graph::CagraBuildParams {
+        pathweaver_graph::CagraBuildParams::with_degree(degree)
+    }
+}
+
+fn search(flags: &HashMap<String, String>) {
+    let index = load_index(req(flags, "index")).unwrap_or_else(|e| fail(e));
+    let queries = read_fvecs_file(req(flags, "queries"), None).unwrap_or_else(|e| fail(e));
+    if queries.dim() != index.dim() {
+        fail(format!(
+            "query dimensionality {} does not match the index ({})",
+            queries.dim(),
+            index.dim()
+        ));
+    }
+    let k = opt_parse(flags, "k", 10usize);
+    let beam = opt_parse(flags, "beam", 64usize);
+    let mut params = SearchParams {
+        k,
+        beam,
+        candidates: beam,
+        expand: (beam / 16).max(4),
+        hash_bits: 15,
+        ..SearchParams::default()
+    };
+    if flags.contains_key("dgs") {
+        params.dgs = Some(DgsParams::default());
+    }
+    let out = if flags.contains_key("naive") {
+        index.search_naive(&queries, &params)
+    } else {
+        index.search_pipelined(&queries, &params)
+    };
+    println!(
+        "searched {} queries: simulated makespan {:.3} ms, sim-QPS {:.0}",
+        queries.len(),
+        out.makespan_s * 1e3,
+        out.qps
+    );
+    println!(
+        "time split: {:.1}% L2 / {:.1}% rest / {:.1}% comm",
+        100.0 * out.breakdown.dist_s / out.breakdown.total_s().max(f64::MIN_POSITIVE),
+        100.0 * out.breakdown.other_s / out.breakdown.total_s().max(f64::MIN_POSITIVE),
+        100.0 * out.breakdown.comm_s / out.breakdown.total_s().max(f64::MIN_POSITIVE),
+    );
+    if let Some(path) = flags.get("out") {
+        write_ivecs(std::fs::File::create(path).unwrap_or_else(|e| fail(e)), &out.results)
+            .unwrap_or_else(|e| fail(e));
+        println!("wrote result ids to {path}");
+    } else {
+        for (q, hits) in out.results.iter().enumerate().take(5) {
+            println!("query {q}: {hits:?}");
+        }
+        if out.results.len() > 5 {
+            println!("... ({} more; use --out to save all)", out.results.len() - 5);
+        }
+    }
+}
+
+fn eval(flags: &HashMap<String, String>) {
+    let results = read_ivecs(
+        std::fs::File::open(req(flags, "results")).unwrap_or_else(|e| fail(e)),
+        None,
+    )
+    .unwrap_or_else(|e| fail(e));
+    let truth = read_ivecs(
+        std::fs::File::open(req(flags, "gt")).unwrap_or_else(|e| fail(e)),
+        None,
+    )
+    .unwrap_or_else(|e| fail(e));
+    if results.len() != truth.len() {
+        fail(format!("result count {} != ground-truth count {}", results.len(), truth.len()));
+    }
+    let k = opt_parse(flags, "k", 10usize);
+    let mean: f64 = results
+        .iter()
+        .zip(&truth)
+        .map(|(r, t)| recall_at_k(t, r, k))
+        .sum::<f64>()
+        / results.len().max(1) as f64;
+    println!("recall@{k} = {mean:.4} over {} queries", results.len());
+}
+
+fn info(flags: &HashMap<String, String>) {
+    let index = load_index(req(flags, "index")).unwrap_or_else(|e| fail(e));
+    println!(
+        "PathWeaver index: {} vectors (dim {}), {} shards",
+        index.num_vectors,
+        index.dim(),
+        index.num_devices()
+    );
+    for (s, shard) in index.shards.iter().enumerate() {
+        let resident: u64 = shard.resident_bytes().iter().map(|(_, b)| b).sum();
+        println!(
+            "  shard {s}: {} vectors, degree {}, ghost {}, dir-table {}, tombstones {}, {} resident",
+            shard.len(),
+            shard.graph.degree(),
+            shard.ghost.as_ref().map(|g| g.len().to_string()).unwrap_or_else(|| "-".into()),
+            if shard.dir_table.is_some() { "yes" } else { "no" },
+            shard.deleted.count(),
+            pathweaver_util::fmt::bytes(resident as f64),
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! Dynamic updates (paper §6.2).
+//!
+//! Insertions go to the smallest shard: the new node's adjacency row is
+//! found by a build-time graph search, the direction table and the shard's
+//! outgoing `I(u)` entry are extended incrementally, and the ghost shard is
+//! left untouched (it is a random sample; one more point does not move it).
+//! Deletions are logical: a tombstone flag hides the node from results while
+//! it keeps serving as a bridge, preserving connectivity exactly as the
+//! paper suggests.
+
+use crate::index::PathWeaverIndex;
+use pathweaver_graph::greedy_search;
+
+impl PathWeaverIndex {
+    /// Inserts a vector, returning its new global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the index dimensionality.
+    pub fn insert(&mut self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim(), "dimensionality mismatch");
+        let s = self.assignment.smallest_shard();
+        // `num_vectors` is a high-water mark for id allocation (maintain()
+        // never rewinds it), so ids stay unique and per-shard `global_ids`
+        // stay ascending — which `delete` relies on for binary search.
+        let global_id = self.num_vectors as u32;
+        self.num_vectors += 1;
+
+        let degree = self.shards[s].graph.degree();
+        let next = (s + 1) % self.shards.len();
+
+        // Locate the new node's neighbors with a build-quality search,
+        // entering through the ghost shard when one exists (random-only
+        // entries can strand the search in a far region of the graph).
+        let mut entries: Vec<u32> = (0..16)
+            .map(|i| {
+                (pathweaver_util::seed_from_parts(self.config.seed, "insert", global_id as u64 + i)
+                    % self.shards[s].len() as u64) as u32
+            })
+            .collect();
+        if let Some(ghost) = &self.shards[s].ghost {
+            let ghost_hits =
+                greedy_search(&ghost.graph, &ghost.vectors, vector, &[0], 8, 2);
+            entries.extend(ghost_hits.iter().map(|&(_, g)| ghost.original_id(g)));
+        }
+        let hits = greedy_search(
+            &self.shards[s].graph,
+            &self.shards[s].vectors,
+            vector,
+            &entries,
+            (degree * 2).max(16),
+            degree,
+        );
+        let mut row: Vec<u32> = hits.iter().map(|&(_, id)| id).collect();
+        // Pad pathological underfull rows by wrapping over the shard.
+        let mut pad = 0u32;
+        while row.len() < degree {
+            if !row.contains(&pad) {
+                row.push(pad);
+            }
+            pad += 1;
+        }
+
+        // Extend every affected structure in dependency order.
+        let shard = &mut self.shards[s];
+        shard.vectors.push(vector);
+        let local = shard.graph.push_node(&row);
+        shard.global_ids.push(global_id);
+        shard.deleted.grow(shard.vectors.len());
+        if shard.dir_table.is_some() {
+            let table = shard.dir_table.as_mut().expect("checked");
+            table.push_node(&shard.vectors, &shard.graph);
+        }
+        debug_assert_eq!(local as usize, shard.vectors.len() - 1);
+
+        // Reverse edges: searches reach the new node only through in-edges,
+        // so each forward neighbor replaces its farthest out-edge with the
+        // newcomer when the newcomer is closer. The nearest neighbor adopts
+        // the newcomer unconditionally — an outlier insert would otherwise
+        // have in-degree zero and be unreachable forever.
+        for (rank, &v) in row.iter().enumerate() {
+            let force = rank == 0;
+            let d_new = pathweaver_vector::l2_squared(
+                shard.vectors.row(v as usize),
+                shard.vectors.row(local as usize),
+            );
+            let mut vrow: Vec<u32> = shard.graph.neighbors(v).to_vec();
+            let (worst_j, worst_d) = vrow
+                .iter()
+                .enumerate()
+                .map(|(j, &w)| {
+                    (j, pathweaver_vector::l2_squared(
+                        shard.vectors.row(v as usize),
+                        shard.vectors.row(w as usize),
+                    ))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("positive degree");
+            if (force || d_new < worst_d) && !vrow.contains(&local) {
+                vrow[worst_j] = local;
+                shard.graph.set_neighbors(v, &vrow);
+                if let Some(table) = shard.dir_table.as_mut() {
+                    table.rebuild_node(&shard.vectors, &shard.graph, v);
+                }
+            }
+        }
+
+        // Outgoing inter-shard edge of the new node (incoming edges from the
+        // previous shard stay stale — the paper argues a small local change
+        // does not affect existing similarities).
+        if self.shards.len() > 1 {
+            let target = {
+                let next_shard = &self.shards[next];
+                let entries: Vec<u32> = (0..4)
+                    .map(|i| {
+                        (pathweaver_util::seed_from_parts(self.config.seed, "isd", global_id as u64 + i)
+                            % next_shard.len() as u64) as u32
+                    })
+                    .collect();
+                greedy_search(
+                    &next_shard.graph,
+                    &next_shard.vectors,
+                    vector,
+                    &entries,
+                    self.config.intershard.beam,
+                    1,
+                )[0]
+                .1
+            };
+            self.shards[s]
+                .intershard
+                .as_mut()
+                .expect("multi-device index has inter-shard tables")
+                .push(target);
+        }
+
+        self.assignment.push(s, global_id);
+        global_id
+    }
+
+    /// Logically deletes a global id; returns `false` when it was not found
+    /// or already deleted.
+    pub fn delete(&mut self, global_id: u32) -> bool {
+        for shard in self.shards.iter_mut() {
+            // `global_ids` is ascending (built sorted; inserts append
+            // monotonically increasing ids), so each shard is one binary
+            // search instead of a linear scan.
+            if let Ok(local) = shard.global_ids.binary_search(&global_id) {
+                return shard.deleted.insert(local);
+            }
+        }
+        false
+    }
+
+    /// Number of live (non-tombstoned, non-compacted) vectors.
+    pub fn live_vectors(&self) -> usize {
+        self.shards.iter().map(|s| s.len() - s.deleted.count()).sum()
+    }
+
+    /// Physically rebuilds every shard whose tombstone fraction reaches
+    /// `rebuild_threshold` (§6.2: "when a substantial portion of a shard is
+    /// deleted, rebuilding the shard and its associated structures becomes
+    /// beneficial"). Rebuilds the shard's graph, ghost shard and direction
+    /// table, plus both inter-shard tables touching the shard (its outgoing
+    /// table and the predecessor's incoming one). Returns the number of
+    /// shards rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rebuild_threshold` is outside `(0, 1]`.
+    pub fn maintain(&mut self, rebuild_threshold: f64) -> usize {
+        assert!(
+            rebuild_threshold > 0.0 && rebuild_threshold <= 1.0,
+            "threshold out of (0, 1]"
+        );
+        let n = self.shards.len();
+        let mut rebuilt = 0;
+        for s in 0..n {
+            let shard = &self.shards[s];
+            let dead = shard.deleted.count();
+            if dead == 0 || (dead as f64) < rebuild_threshold * shard.len() as f64 {
+                continue;
+            }
+            // A shard must keep enough nodes to stay searchable.
+            let survivors: Vec<usize> =
+                (0..shard.len()).filter(|&l| !shard.deleted.contains(l)).collect();
+            if survivors.len() <= self.config.graph.degree + 1 {
+                continue;
+            }
+            rebuilt += 1;
+
+            let vectors = shard.vectors.gather(&survivors);
+            let global_ids: Vec<u32> =
+                survivors.iter().map(|&l| shard.global_ids[l]).collect();
+            let graph = pathweaver_graph::cagra_build(&vectors, &self.config.graph);
+            let dir_table = self
+                .config
+                .build_dir_table
+                .then(|| pathweaver_graph::DirectionTable::build(&vectors, &graph));
+            let ghost = self.config.ghost.map(|mut gp| {
+                gp.seed = pathweaver_util::seed_from_parts(self.config.seed, "ghost-rebuild", s as u64);
+                pathweaver_graph::GhostShard::build(&vectors, &gp)
+            });
+            let deleted = pathweaver_util::FixedBitSet::new(vectors.len());
+            self.assignment.set_members(s, global_ids.clone());
+            self.shards[s] =
+                crate::index::ShardIndex { global_ids, vectors, graph, dir_table, ghost, intershard: None, deleted };
+
+            if n > 1 {
+                // Outgoing I(u) of the rebuilt shard and the predecessor's
+                // table into it both reference changed local ids.
+                let next = (s + 1) % n;
+                let prev = (s + n - 1) % n;
+                let out_table = pathweaver_graph::InterShardTable::build(
+                    &self.shards[s].vectors,
+                    &self.shards[next].vectors,
+                    &self.shards[next].graph,
+                    &self.config.intershard,
+                );
+                self.shards[s].intershard = Some(out_table);
+                let in_table = pathweaver_graph::InterShardTable::build(
+                    &self.shards[prev].vectors,
+                    &self.shards[s].vectors,
+                    &self.shards[s].graph,
+                    &self.config.intershard,
+                );
+                self.shards[prev].intershard = Some(in_table);
+            }
+        }
+        rebuilt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathWeaverConfig;
+    use pathweaver_datasets::{DatasetProfile, Scale};
+    use pathweaver_search::SearchParams;
+
+    fn built() -> (pathweaver_datasets::Workload, PathWeaverIndex) {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, 13);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        (w, idx)
+    }
+
+    #[test]
+    fn inserted_vector_is_findable() {
+        let (w, mut idx) = built();
+        let novel: Vec<f32> = w.base.row(0).iter().map(|x| x + 0.01).collect();
+        let id = idx.insert(&novel);
+        assert_eq!(id as usize, w.base.len());
+        let mut queries = pathweaver_vector::VectorSet::empty(idx.dim());
+        queries.push(&novel);
+        let out = idx.search_pipelined(&queries, &SearchParams::default());
+        assert!(out.results[0].contains(&id), "inserted id missing: {:?}", out.results[0]);
+    }
+
+    #[test]
+    fn insert_updates_all_structures() {
+        let (w, mut idx) = built();
+        let before: Vec<usize> = idx.shards.iter().map(|s| s.len()).collect();
+        let _ = idx.insert(w.base.row(1));
+        let s = idx
+            .shards
+            .iter()
+            .position(|sh| sh.len() != before[idx.shards.iter().position(|x| std::ptr::eq(x, sh)).unwrap()])
+            .unwrap();
+        let shard = &idx.shards[s];
+        assert_eq!(shard.vectors.len(), shard.graph.num_nodes());
+        assert_eq!(shard.vectors.len(), shard.global_ids.len());
+        assert_eq!(shard.intershard.as_ref().unwrap().len(), shard.len());
+        assert!(shard.deleted.capacity() >= shard.len());
+    }
+
+    #[test]
+    fn deleted_vector_leaves_results() {
+        let (w, mut idx) = built();
+        // Query for an exact base vector, then tombstone it.
+        let target_global = 7u32;
+        let mut queries = pathweaver_vector::VectorSet::empty(idx.dim());
+        queries.push(w.base.row(target_global as usize));
+        let before = idx.search_pipelined(&queries, &SearchParams::default());
+        assert!(before.results[0].contains(&target_global));
+        assert!(idx.delete(target_global));
+        assert!(!idx.delete(target_global), "double delete must be false");
+        let after = idx.search_pipelined(&queries, &SearchParams::default());
+        assert!(!after.results[0].contains(&target_global));
+        assert_eq!(idx.live_vectors(), w.base.len() - 1);
+    }
+
+    #[test]
+    fn delete_unknown_id_is_false() {
+        let (_, mut idx) = built();
+        assert!(!idx.delete(999_999));
+    }
+
+    #[test]
+    fn maintain_rebuilds_heavily_deleted_shard() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 5, 19);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        // Tombstone 40 % of shard 0.
+        let victims: Vec<u32> =
+            idx.shards[0].global_ids.iter().step_by(2).copied().take(idx.shards[0].len() * 2 / 5).collect();
+        for &g in &victims {
+            assert!(idx.delete(g));
+        }
+        let len_before = idx.shards[0].len();
+        let rebuilt = idx.maintain(0.3);
+        assert_eq!(rebuilt, 1);
+        let shard = &idx.shards[0];
+        assert_eq!(shard.len(), len_before - victims.len());
+        assert_eq!(shard.deleted.count(), 0);
+        assert_eq!(shard.graph.num_nodes(), shard.len());
+        assert_eq!(shard.intershard.as_ref().unwrap().len(), shard.len());
+        // The predecessor's table into the rebuilt shard must be in range.
+        let prev = &idx.shards[1];
+        let prev_table = prev.intershard.as_ref().unwrap();
+        for u in 0..prev.len() as u32 {
+            assert!((prev_table.target(u) as usize) < shard.len());
+        }
+        // Victims stay gone; search still works end to end.
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        for hits in &out.results {
+            for id in hits {
+                assert!(!victims.contains(id), "tombstoned id {id} resurfaced");
+            }
+        }
+        // A second pass is a no-op.
+        assert_eq!(idx.maintain(0.3), 0);
+    }
+
+    #[test]
+    fn insert_after_maintain_never_reuses_ids() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 29);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let victims: Vec<u32> =
+            idx.shards[0].global_ids.iter().step_by(2).copied().take(idx.shards[0].len() / 2).collect();
+        for &g in &victims {
+            idx.delete(g);
+        }
+        assert_eq!(idx.maintain(0.3), 1);
+        // New ids must stay above every live id even after compaction.
+        let id = idx.insert(w.base.row(0));
+        assert_eq!(id as usize, w.base.len(), "id high-water mark must not rewind");
+        let all: Vec<u32> =
+            idx.shards.iter().flat_map(|s| s.global_ids.iter().copied()).collect();
+        let unique: std::collections::HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate global ids after maintain+insert");
+    }
+
+    #[test]
+    fn heavy_local_deletion_still_returns_k_live_results() {
+        // Tombstone a query's nearest neighbors: the over-fetch must surface
+        // the live nodes ranked just past them.
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 1, 12, 31);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+        let params = SearchParams::default();
+        let before = idx.search_pipelined(&w.queries, &params);
+        for &g in &before.results[0][..6] {
+            assert!(idx.delete(g));
+        }
+        let after = idx.search_pipelined(&w.queries, &params);
+        assert_eq!(after.results[0].len(), params.k, "k live results expected");
+        for id in &after.results[0] {
+            assert!(!before.results[0][..6].contains(id), "tombstoned id returned");
+        }
+    }
+
+    #[test]
+    fn maintain_ignores_lightly_deleted_shards() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 23);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let g = idx.shards[0].global_ids[0];
+        idx.delete(g);
+        assert_eq!(idx.maintain(0.3), 0);
+        assert_eq!(idx.shards[0].deleted.count(), 1);
+    }
+
+    #[test]
+    fn many_inserts_keep_index_consistent() {
+        let (w, mut idx) = built();
+        for i in 0..20 {
+            let novel: Vec<f32> = w.base.row(i).iter().map(|x| x * 1.001).collect();
+            idx.insert(&novel);
+        }
+        assert_eq!(idx.num_vectors, w.base.len() + 20);
+        let total: usize = idx.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, idx.num_vectors);
+        // Search still functions.
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        assert_eq!(out.results.len(), w.queries.len());
+    }
+}

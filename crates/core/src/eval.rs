@@ -1,0 +1,188 @@
+//! QPS–recall sweeps and readouts.
+//!
+//! The paper's headline comparisons fix a target recall (95 %) and read QPS
+//! off each framework's QPS–recall curve (Figs 8–10). The sweep knob is the
+//! iteration budget: more iterations → higher recall, lower QPS.
+
+use crate::index::{PathWeaverIndex, SearchOutput};
+use pathweaver_datasets::{recall_batch, GroundTruth};
+use pathweaver_search::SearchParams;
+use pathweaver_vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// One point of a QPS–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Beam width (CAGRA's `itopk`) used; 0 when only iterations were swept.
+    pub beam: usize,
+    /// Iteration budget used.
+    pub max_iterations: usize,
+    /// Measured Recall@k against exact ground truth.
+    pub recall: f64,
+    /// Simulated queries/second.
+    pub qps: f64,
+    /// Mean iterations actually executed per query per shard search.
+    pub mean_iterations: f64,
+    /// Simulated makespan of the batch in seconds.
+    pub makespan_s: f64,
+}
+
+/// Which search mode a sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// Pipelining-based path extension (the PathWeaver mode).
+    Pipelined,
+    /// Independent sharded search (baseline mode).
+    Naive,
+}
+
+/// Runs one search in the given mode.
+pub fn run_mode(
+    index: &PathWeaverIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+    mode: SearchMode,
+) -> SearchOutput {
+    match mode {
+        SearchMode::Pipelined => index.search_pipelined(queries, params),
+        SearchMode::Naive => index.search_naive(queries, params),
+    }
+}
+
+/// Sweeps the iteration budget at fixed beam and measures (recall, QPS) at
+/// each point (the paper's Fig 13 axis).
+pub fn sweep_iterations(
+    index: &PathWeaverIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    base: &SearchParams,
+    budgets: &[usize],
+    mode: SearchMode,
+) -> Vec<SweepPoint> {
+    budgets
+        .iter()
+        .map(|&it| {
+            let params = SearchParams { max_iterations: it, ..*base };
+            let out = run_mode(index, queries, &params, mode);
+            let recall = recall_batch(ground_truth, &out.results, base.k);
+            SweepPoint {
+                beam: base.beam,
+                max_iterations: it,
+                recall,
+                qps: out.qps,
+                mean_iterations: out.stats.mean_iterations(),
+                makespan_s: out.makespan_s,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the beam width (CAGRA's `itopk`) — the primary QPS–recall
+/// trade-off knob of the paper's Figs 8–10. Candidates scale with the beam
+/// and the expansion width `r` follows `beam/16` as in CAGRA's search-width
+/// heuristics.
+pub fn sweep_beam(
+    index: &PathWeaverIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    base: &SearchParams,
+    beams: &[usize],
+    mode: SearchMode,
+) -> Vec<SweepPoint> {
+    beams
+        .iter()
+        .map(|&beam| {
+            let params = SearchParams {
+                beam,
+                candidates: beam,
+                expand: (beam / 16).max(4),
+                ..*base
+            };
+            let out = run_mode(index, queries, &params, mode);
+            let recall = recall_batch(ground_truth, &out.results, base.k);
+            SweepPoint {
+                beam,
+                max_iterations: base.max_iterations,
+                recall,
+                qps: out.qps,
+                mean_iterations: out.stats.mean_iterations(),
+                makespan_s: out.makespan_s,
+            }
+        })
+        .collect()
+}
+
+/// Reads QPS at a target recall off a sweep, interpolating linearly between
+/// neighboring points; `None` when the curve never reaches the target.
+pub fn qps_at_recall(points: &[SweepPoint], target: f64) -> Option<f64> {
+    let mut sorted: Vec<&SweepPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.recall.partial_cmp(&b.recall).unwrap_or(std::cmp::Ordering::Equal));
+    let reachable = sorted.iter().any(|p| p.recall >= target);
+    if !reachable {
+        return None;
+    }
+    let curve: Vec<(f64, f64)> = sorted.iter().map(|p| (p.recall, p.qps)).collect();
+    pathweaver_util::stats::interp_at(&curve, target)
+}
+
+/// The default iteration grid used by the reproduction harness (Fig 13).
+pub fn default_budgets() -> Vec<usize> {
+    vec![4, 6, 8, 12, 16, 24, 32, 48, 64]
+}
+
+/// The default beam grid used by the QPS–recall sweeps (Figs 8–10).
+pub fn default_beams() -> Vec<usize> {
+    vec![16, 32, 48, 64, 96, 128, 192, 256]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathWeaverConfig;
+    use pathweaver_datasets::{DatasetProfile, Scale};
+
+    #[test]
+    fn sweep_monotone_recall_trend() {
+        let w = DatasetProfile::sift_like().workload(Scale::Test, 10, 10, 5);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let pts = sweep_iterations(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &SearchParams::default(),
+            &[2, 8, 32],
+            SearchMode::Pipelined,
+        );
+        assert_eq!(pts.len(), 3);
+        // Recall must not *decrease* substantially with more iterations.
+        assert!(pts[2].recall >= pts[0].recall - 0.05, "{pts:?}");
+        // More iterations must not be faster.
+        assert!(pts[2].qps <= pts[0].qps * 1.05, "{pts:?}");
+    }
+
+    #[test]
+    fn qps_at_recall_interpolates() {
+        let pts = vec![
+            SweepPoint { beam: 64, max_iterations: 4, recall: 0.80, qps: 1000.0, mean_iterations: 4.0, makespan_s: 0.01 },
+            SweepPoint { beam: 64, max_iterations: 8, recall: 0.90, qps: 500.0, mean_iterations: 8.0, makespan_s: 0.02 },
+            SweepPoint { beam: 64, max_iterations: 16, recall: 1.00, qps: 250.0, mean_iterations: 16.0, makespan_s: 0.04 },
+        ];
+        let q = qps_at_recall(&pts, 0.95).unwrap();
+        assert!((q - 375.0).abs() < 1e-9);
+        assert!(qps_at_recall(&pts, 0.9999).is_some());
+        assert_eq!(qps_at_recall(&pts[..2], 0.95), None);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let pts = vec![SweepPoint {
+            beam: 64,
+            max_iterations: 4,
+            recall: 0.5,
+            qps: 100.0,
+            mean_iterations: 4.0,
+            makespan_s: 0.1,
+        }];
+        assert_eq!(qps_at_recall(&pts, 0.95), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! PathWeaver — the framework API.
+//!
+//! This crate assembles the substrates into the system the paper describes:
+//!
+//! - [`config`]: [`PathWeaverConfig`] — device count, graph/ghost/DGS/
+//!   inter-shard parameters and feature toggles (the ablation axes of
+//!   Fig 11).
+//! - [`shard`]: random dataset partitioning and global↔local id mapping.
+//! - [`index`]: [`PathWeaverIndex::build`] — per-shard CAGRA-style graphs
+//!   plus the three auxiliary structures (inter-shard edge tables, ghost
+//!   shards, direction tables), with simulated-memory accounting and a
+//!   build-time report (Fig 17).
+//! - [`pipeline`]: pipelining-based path extension over the ring executor
+//!   (§3.1) with ghost staging in the first stage (§3.2).
+//! - [`naive`]: the sharding baseline (every device searches every query).
+//! - [`reduce`]: host-side top-k reduction across devices.
+//! - [`eval`]: QPS–recall sweeps, `QPS@recall` readout and ablation runs.
+//! - [`baselines`]: CAGRA (+sharding), GGNN-style, and HNSW-CPU baselines.
+//! - [`dynamic`]: shard-local insertions and logical deletions (§6.2).
+//! - [`report`]: JSON experiment records for the reproduction harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pathweaver_core::prelude::*;
+//!
+//! // A small clustered dataset and queries.
+//! let profile = pathweaver_datasets::DatasetProfile::deep10m_like();
+//! let workload = profile.workload(pathweaver_datasets::Scale::Test, 8, 10, 42);
+//!
+//! // Build a 2-device PathWeaver index with all features on.
+//! let config = PathWeaverConfig::test_scale(2);
+//! let index = PathWeaverIndex::build(&workload.base, &config).unwrap();
+//!
+//! // Pipelined multi-GPU search.
+//! let params = SearchParams::default();
+//! let out = index.search_pipelined(&workload.queries, &params);
+//! assert_eq!(out.results.len(), workload.queries.len());
+//! let recall = pathweaver_datasets::recall_batch(&workload.ground_truth, &out.results, 10);
+//! assert!(recall > 0.5);
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod dynamic;
+pub mod eval;
+pub mod index;
+pub mod naive;
+pub mod pipeline;
+pub mod reduce;
+pub mod report;
+pub mod shard;
+pub mod store;
+
+pub use config::PathWeaverConfig;
+pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
+    pub use crate::config::PathWeaverConfig;
+    pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
+    pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};
+    pub use pathweaver_datasets::{recall_batch, DatasetProfile, Scale, Workload};
+    pub use pathweaver_gpusim::{CostModel, DeviceSpec, RingTopology};
+    pub use pathweaver_search::{DgsParams, SearchParams};
+}

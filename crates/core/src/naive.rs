@@ -1,0 +1,133 @@
+//! The sharding baseline (paper §3.1.1, Fig 4b).
+//!
+//! Every device independently searches the *entire* query batch against its
+//! own shard, then the host reduces the `N × k` candidates per query. No
+//! inter-GPU communication happens, but every query pays a full from-scratch
+//! search on every shard — the source of the poor scale efficiency the paper
+//! diagnoses (Fig 3).
+
+use crate::index::{PathWeaverIndex, SearchOutput};
+use crate::reduce::reduce_hits;
+use pathweaver_gpusim::{CostModel, PipelineTimeline, StageRecord};
+use pathweaver_search::{BatchStats, EntryPolicy, SearchParams};
+use pathweaver_vector::VectorSet;
+
+impl PathWeaverIndex {
+    /// Sharded (non-pipelined) search: the multi-GPU baseline mode.
+    ///
+    /// Ghost staging still applies when the index has ghost shards (this is
+    /// the "Naïve PathWeaver" configuration of Fig 9b); build with
+    /// [`crate::config::PathWeaverConfig::cagra_sharding`] for the plain
+    /// CAGRA-w/-sharding baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or of the wrong dimensionality.
+    pub fn search_naive(&self, queries: &VectorSet, params: &SearchParams) -> SearchOutput {
+        assert!(queries.len() > 0, "empty query batch");
+        assert_eq!(queries.dim(), self.dim(), "query dimensionality mismatch");
+        let cost = CostModel::new(self.config.device);
+
+        // All devices run concurrently on the full batch (stage 0 only);
+        // the lock-step makespan is then the slowest device.
+        let per_device = pathweaver_util::parallel_map(self.num_devices(), |d| {
+            let shard = &self.shards[d];
+            let out = shard.search_local(
+                queries,
+                params,
+                &[EntryPolicy::Random { count: params.candidates }],
+                shard.ghost.is_some(),
+                &self.config,
+            );
+            let breakdown = cost.kernel_time(&out.counters, self.dim());
+            (d, out, breakdown)
+        });
+
+        let mut timeline = PipelineTimeline::new();
+        let mut stats = BatchStats::default();
+        let mut per_query: Vec<Vec<(f32, u32)>> = vec![Vec::new(); queries.len()];
+        for (d, out, breakdown) in per_device {
+            timeline.push(StageRecord {
+                device: d,
+                stage: 0,
+                origin_chunk: d,
+                breakdown,
+                counters: out.counters,
+            });
+            stats.merge(&out.stats);
+            let shard = &self.shards[d];
+            for (q, hits) in out.hits.iter().enumerate() {
+                per_query[q].extend(hits.iter().map(|&(dist, local)| (dist, shard.to_global(local))));
+            }
+        }
+
+        let hits: Vec<Vec<(f32, u32)>> =
+            per_query.into_iter().map(|h| reduce_hits(&[h], params.k)).collect();
+        SearchOutput::from_parts(hits, stats, timeline, queries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathWeaverConfig;
+    use pathweaver_datasets::{recall_batch, DatasetProfile, Scale};
+
+    fn workload() -> pathweaver_datasets::Workload {
+        DatasetProfile::deep10m_like().workload(Scale::Test, 10, 10, 55)
+    }
+
+    #[test]
+    fn naive_search_reaches_high_recall() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::cagra_sharding(3)).unwrap();
+        let out = idx.search_naive(&w.queries, &SearchParams::default());
+        let recall = recall_batch(&w.ground_truth, &out.results, 10);
+        assert!(recall > 0.8, "recall {recall}");
+        assert_eq!(out.breakdown.comm_s, 0.0, "sharding must not communicate");
+    }
+
+    #[test]
+    fn total_iterations_scale_with_shards() {
+        // Fig 3b: per-query total iterations grow with the shard count
+        // because every shard runs a full search.
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 16, 10, 77);
+        let params = SearchParams::default();
+        let idx1 = PathWeaverIndex::build(&w.base, &PathWeaverConfig::cagra_sharding(1)).unwrap();
+        let idx4 = PathWeaverIndex::build(&w.base, &PathWeaverConfig::cagra_sharding(4)).unwrap();
+        let it1 = idx1.search_naive(&w.queries, &params).stats.iterations;
+        let it4 = idx4.search_naive(&w.queries, &params).stats.iterations;
+        assert!(
+            it4 as f64 > 2.0 * it1 as f64,
+            "sharded total iterations should blow up: {it1} vs {it4}"
+        );
+    }
+
+    #[test]
+    fn pipelined_does_less_distance_work_than_naive() {
+        // The headline claim: path extension removes redundant from-scratch
+        // searches, so the total distance work shrinks. (Makespan at this
+        // tiny test scale is launch-overhead-dominated — the bench harness
+        // compares makespans at realistic batch sizes.)
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 20, 10, 99);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+        let params = SearchParams::default();
+        let naive = idx.search_naive(&w.queries, &params);
+        let piped = idx.search_pipelined(&w.queries, &params);
+        let naive_dists = naive.timeline.aggregate_counters().dist_calcs;
+        let piped_dists = piped.timeline.aggregate_counters().dist_calcs;
+        assert!(
+            piped_dists < naive_dists,
+            "pipelined {piped_dists} should beat naive {naive_dists}"
+        );
+    }
+
+    #[test]
+    fn naive_all_devices_record_stage_zero() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::cagra_sharding(3)).unwrap();
+        let out = idx.search_naive(&w.queries, &SearchParams::default());
+        assert_eq!(out.timeline.num_stages(), 1);
+        assert_eq!(out.timeline.records().len(), 3);
+    }
+}

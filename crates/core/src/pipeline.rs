@@ -1,0 +1,239 @@
+//! Pipelining-based path extension (paper §3.1) with ghost staging (§3.2).
+//!
+//! The query batch is split into one chunk per device. Chunk `d` starts on
+//! device `d`: the first stage searches from scratch (or from ghost-stage
+//! seeds), every later stage starts from the forwarded `I(z)` seeds of the
+//! previous shard's best hits. After `N` stages every chunk has visited
+//! every shard and the host reduces the accumulated candidates.
+
+use crate::index::{PathWeaverIndex, SearchOutput};
+use crate::reduce::reduce_hits;
+use pathweaver_gpusim::{run_ring_pipeline, CostModel, StageRecord};
+use pathweaver_search::{BatchStats, EntryPolicy, SearchParams};
+use pathweaver_vector::VectorSet;
+
+/// In-flight state of one query chunk.
+struct ChunkState {
+    /// Global query row indices of this chunk.
+    query_rows: Vec<usize>,
+    /// Per-query entry seeds for the *next* stage (local ids of the device
+    /// that will process the chunk next); empty before stage 0.
+    seeds: Vec<Vec<u32>>,
+    /// Accumulated `(distance, global id)` candidates per query.
+    hits: Vec<Vec<(f32, u32)>>,
+    /// Accumulated statistics of this chunk.
+    stats: BatchStats,
+}
+
+impl PathWeaverIndex {
+    /// Pipelined multi-GPU search (the full PathWeaver mode).
+    ///
+    /// With one device this degenerates to the single-GPU mode: one stage,
+    /// ghost staging still applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or its dimensionality differs from the
+    /// index.
+    pub fn search_pipelined(&self, queries: &VectorSet, params: &SearchParams) -> SearchOutput {
+        assert!(queries.len() > 0, "empty query batch");
+        assert_eq!(queries.dim(), self.dim(), "query dimensionality mismatch");
+        let n = self.num_devices();
+        let cost = CostModel::new(self.config.device);
+
+        // Contiguous chunking: chunk d gets rows [d·Q/N, (d+1)·Q/N).
+        let chunks: Vec<ChunkState> = (0..n)
+            .map(|d| {
+                let lo = d * queries.len() / n;
+                let hi = (d + 1) * queries.len() / n;
+                let rows: Vec<usize> = (lo..hi).collect();
+                let m = rows.len();
+                ChunkState {
+                    query_rows: rows,
+                    seeds: vec![Vec::new(); m],
+                    hits: vec![Vec::new(); m],
+                    stats: BatchStats::default(),
+                }
+            })
+            .collect();
+
+        let (finished, timeline) = run_ring_pipeline(n, n, chunks, |device, stage, msg| {
+            self.run_stage(device, stage, msg, queries, params, &cost)
+        });
+
+        // Host-side reduction back into global query order.
+        let mut hits_by_row: Vec<Vec<(f32, u32)>> = vec![Vec::new(); queries.len()];
+        let mut stats = BatchStats::default();
+        for msg in finished {
+            let chunk = msg.payload;
+            stats.merge(&chunk.stats);
+            for (i, row) in chunk.query_rows.iter().enumerate() {
+                hits_by_row[*row] = reduce_hits(&[chunk.hits[i].clone()], params.k);
+            }
+        }
+        SearchOutput::from_parts(hits_by_row, stats, timeline, queries.len())
+    }
+
+    /// Executes one pipeline stage of one chunk on one device.
+    fn run_stage(
+        &self,
+        device: usize,
+        stage: usize,
+        msg: &mut pathweaver_gpusim::RingMessage<ChunkState>,
+        queries: &VectorSet,
+        params: &SearchParams,
+        cost: &CostModel,
+    ) -> StageRecord {
+        let n = self.num_devices();
+        let shard = &self.shards[device];
+        let chunk = &mut msg.payload;
+        let chunk_queries = {
+            let rows: Vec<usize> = chunk.query_rows.clone();
+            queries.gather(&rows)
+        };
+
+        // Stage 0 starts from scratch (ghost staging if available); later
+        // stages start from the forwarded I(z) seeds. Empty seed lists
+        // (possible when every forwarded hit was tombstoned) fall back to
+        // random entries.
+        let (entries, use_ghost): (Vec<EntryPolicy>, bool) = if stage == 0 {
+            (vec![EntryPolicy::Random { count: params.candidates }], shard.ghost.is_some())
+        } else {
+            let e = chunk
+                .seeds
+                .iter()
+                .map(|s| {
+                    if s.is_empty() {
+                        EntryPolicy::Random { count: params.candidates }
+                    } else {
+                        EntryPolicy::Seeded {
+                            seeds: s.clone(),
+                            // Scale the escape-hatch entries with the search
+                            // width so wider (higher-recall) configurations
+                            // keep their diversity.
+                            extra_random: self
+                                .config
+                                .seed_extra_random
+                                .max(params.candidates / 8),
+                        }
+                    }
+                })
+                .collect();
+            (e, false)
+        };
+
+        // Later stages converge in far fewer iterations (the whole point of
+        // path extension); the kernel's convergence check realizes that
+        // automatically, so parameters stay identical across stages.
+        let out = shard.search_local(&chunk_queries, params, &entries, use_ghost, &self.config);
+        let mut counters = out.counters;
+        chunk.stats.merge(&out.stats);
+
+        // Accumulate global candidates.
+        for (i, hits) in out.hits.iter().enumerate() {
+            chunk
+                .hits[i]
+                .extend(hits.iter().map(|&(d, local)| (d, shard.to_global(local))));
+        }
+
+        // Prepare forwarded seeds through this shard's I(u) table.
+        let mut comm_s = 0.0;
+        if stage + 1 < n {
+            let table = shard
+                .intershard
+                .as_ref()
+                .expect("multi-device index always builds inter-shard tables");
+            for (i, hits) in out.hits.iter().enumerate() {
+                chunk.seeds[i] = hits
+                    .iter()
+                    .take(self.config.forward_width)
+                    .map(|&(_, local)| table.target(local))
+                    .collect();
+            }
+            let bytes =
+                (chunk.query_rows.len() * self.config.forward_width * 4) as u64;
+            counters.comm_bytes += bytes;
+            comm_s = self.config.topology.forward_time(device, bytes);
+        }
+
+        let mut breakdown = cost.kernel_time(&counters, self.dim());
+        breakdown.comm_s = comm_s;
+        StageRecord { device, stage, origin_chunk: msg.origin_chunk, breakdown, counters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathWeaverConfig;
+    use pathweaver_datasets::{recall_batch, DatasetProfile, Scale};
+
+    fn workload() -> pathweaver_datasets::Workload {
+        DatasetProfile::deep10m_like().workload(Scale::Test, 12, 10, 21)
+    }
+
+    #[test]
+    fn pipelined_search_reaches_high_recall() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+        let params = SearchParams::default();
+        let out = idx.search_pipelined(&w.queries, &params);
+        assert_eq!(out.results.len(), w.queries.len());
+        let recall = recall_batch(&w.ground_truth, &out.results, 10);
+        assert!(recall > 0.8, "recall {recall}");
+        assert!(out.qps > 0.0);
+        assert!(out.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn timeline_has_n_by_n_stages() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        assert_eq!(out.timeline.num_stages(), 3);
+        assert_eq!(out.timeline.records().len(), 9);
+    }
+
+    #[test]
+    fn later_stages_are_cheaper_than_first() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 20, 10, 33);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        let times = out.timeline.stage_times_s();
+        assert!(times[0] > times[1], "stage0 {} stage1 {}", times[0], times[1]);
+    }
+
+    #[test]
+    fn communication_recorded_between_stages() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        let agg = out.timeline.aggregate_counters();
+        assert!(agg.comm_bytes > 0);
+        assert!(out.breakdown.comm_s > 0.0);
+        // §6.4: communication must be a small fraction of total time.
+        assert!(out.breakdown.comm_s < 0.25 * out.breakdown.total_s());
+    }
+
+    #[test]
+    fn single_device_pipeline_works() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        let recall = recall_batch(&w.ground_truth, &out.results, 10);
+        assert!(recall > 0.8, "recall {recall}");
+        assert_eq!(out.timeline.num_stages(), 1);
+    }
+
+    #[test]
+    fn results_sorted_and_unique_per_query() {
+        let w = workload();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        for hits in &out.hits {
+            assert!(hits.windows(2).all(|p| p[0].0 <= p[1].0));
+            let ids: std::collections::HashSet<u32> = hits.iter().map(|h| h.1).collect();
+            assert_eq!(ids.len(), hits.len());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Host-side top-k reduction (paper §3.1.2).
+//!
+//! After a sharded or pipelined search, every query holds one candidate list
+//! per shard/stage (`N × k` candidates in global ids); the CPU merges them
+//! into the final top-k.
+
+/// Merges several `(squared distance, global id)` lists into the global
+/// top-k, deduplicating ids (keeping each id's best distance).
+pub fn reduce_hits(lists: &[Vec<(f32, u32)>], k: usize) -> Vec<(f32, u32)> {
+    let as_u64: Vec<Vec<(f32, u64)>> = lists
+        .iter()
+        .map(|l| l.iter().map(|&(d, id)| (d, u64::from(id))).collect())
+        .collect();
+    pathweaver_util::topk::merge_topk(&as_u64, k)
+        .into_iter()
+        .map(|(d, id)| (d, id as u32))
+        .collect()
+}
+
+/// Reduces per-query accumulated hits for a whole batch.
+///
+/// `per_query[q]` is the concatenation of all candidate lists of query `q`.
+pub fn reduce_batch(per_query: Vec<Vec<(f32, u32)>>, k: usize) -> Vec<Vec<(f32, u32)>> {
+    per_query.into_iter().map(|hits| reduce_hits(&[hits], k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_across_shards() {
+        let a = vec![(1.0, 10), (4.0, 11)];
+        let b = vec![(2.0, 20), (3.0, 21)];
+        let out = reduce_hits(&[a, b], 3);
+        assert_eq!(out, vec![(1.0, 10), (2.0, 20), (3.0, 21)]);
+    }
+
+    #[test]
+    fn dedups_keeping_best() {
+        let a = vec![(5.0, 7)];
+        let b = vec![(2.0, 7), (9.0, 8)];
+        let out = reduce_hits(&[a, b], 2);
+        assert_eq!(out, vec![(2.0, 7), (9.0, 8)]);
+    }
+
+    #[test]
+    fn batch_reduces_each_query() {
+        let q0 = vec![(3.0, 1), (1.0, 2), (2.0, 3)];
+        let q1 = vec![(9.0, 4)];
+        let out = reduce_batch(vec![q0, q1], 2);
+        assert_eq!(out[0], vec![(1.0, 2), (2.0, 3)]);
+        assert_eq!(out[1], vec![(9.0, 4)]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(reduce_hits(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Machine-readable experiment records.
+//!
+//! The `reproduce` harness prints human tables and, alongside, persists each
+//! experiment as JSON so EXPERIMENTS.md can be regenerated and results can
+//! be diffed across runs.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One reproduced table/figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `fig8` or `table1`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form caveats (scale substitutions, simulated-clock note, ...).
+    pub notes: Vec<String>,
+    /// Row objects; keys are column names.
+    pub rows: Vec<serde_json::Value>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), notes: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Appends a serializable row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row fails to serialize (programmer error).
+    pub fn push_row<T: Serialize>(&mut self, row: &T) {
+        self.rows.push(serde_json::to_value(row).expect("row serializes"));
+    }
+
+    /// Adds a caveat note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Writes the record as pretty JSON to `dir/<id>.json`.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let body = serde_json::to_string_pretty(self).expect("record serializes");
+        f.write_all(body.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Loads a record back.
+    ///
+    /// # Errors
+    ///
+    /// IO errors or malformed JSON.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        let body = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&body)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        dataset: &'static str,
+        qps: f64,
+    }
+
+    #[test]
+    fn roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("pw-report-test-{}", std::process::id()));
+        let mut rec = ExperimentRecord::new("fig0", "smoke");
+        rec.note("simulated clock");
+        rec.push_row(&Row { dataset: "sift-like", qps: 123.0 });
+        let path = rec.save(&dir).unwrap();
+        let back = ExperimentRecord::load(&path).unwrap();
+        assert_eq!(back.id, "fig0");
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0]["dataset"], "sift-like");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("pw-report-nested-{}/a/b", std::process::id()));
+        let rec = ExperimentRecord::new("t", "t");
+        let path = rec.save(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,361 @@
+//! Index persistence.
+//!
+//! Saves a built [`PathWeaverIndex`] as a directory tree so indices survive
+//! process restarts (the expensive artifacts — per-shard vectors, graphs,
+//! ghost shards, inter-shard tables — are stored in compact binary formats;
+//! the direction table is cheap to recompute and is rebuilt on load):
+//!
+//! ```text
+//! index-dir/
+//!   meta.json                  build parameters + shape
+//!   shard-000/
+//!     vectors.fvecs            shard vectors
+//!     graph.pwgr               proximity graph
+//!     globals.ivecs            local → global id map (one record)
+//!     deleted.ivecs            tombstoned local ids (one record)
+//!     intershard.ivecs         I(u) targets (one record; multi-device only)
+//!     ghost-map.ivecs          ghost → local map (optional)
+//!     ghost-vectors.fvecs      ghost vectors (optional)
+//!     ghost-graph.pwgr         ghost graph (optional)
+//!   shard-001/ ...
+//! ```
+
+use crate::config::PathWeaverConfig;
+use crate::index::{PathWeaverIndex, ShardIndex};
+use crate::shard::ShardAssignment;
+use pathweaver_datasets::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+use pathweaver_graph::serialize::{read_graph, write_graph};
+use pathweaver_graph::{BuildReport, DirectionTable, GhostParams, GhostShard, InterShardTable};
+use pathweaver_gpusim::MemoryLedger;
+use pathweaver_util::FixedBitSet;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Errors raised while saving or loading an index.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structurally invalid index directory.
+    Malformed(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Malformed(m) => write!(f, "malformed index directory: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn malformed(e: impl std::fmt::Display) -> StoreError {
+    StoreError::Malformed(e.to_string())
+}
+
+/// The JSON-serializable subset of the configuration; device and topology
+/// models are reconstructed from presets on load.
+#[derive(Debug, Serialize, Deserialize)]
+struct Meta {
+    version: u32,
+    num_devices: usize,
+    dim: usize,
+    num_vectors: usize,
+    graph: pathweaver_graph::CagraBuildParams,
+    intershard: pathweaver_graph::InterShardParams,
+    build_dir_table: bool,
+    ghost: Option<GhostParams>,
+    forward_width: usize,
+    ghost_iterations: usize,
+    ghost_entries: usize,
+    ghost_beam: usize,
+    ghost_seeds: usize,
+    seed_extra_random: usize,
+    seed: u64,
+}
+
+/// Saves `index` under `dir` (created if missing).
+///
+/// # Errors
+///
+/// IO failures; the directory is left in an undefined state on error.
+pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let meta = Meta {
+        version: 1,
+        num_devices: index.num_devices(),
+        dim: index.dim(),
+        num_vectors: index.num_vectors,
+        graph: index.config.graph,
+        intershard: index.config.intershard,
+        build_dir_table: index.config.build_dir_table,
+        ghost: index.config.ghost,
+        forward_width: index.config.forward_width,
+        ghost_iterations: index.config.ghost_iterations,
+        ghost_entries: index.config.ghost_entries,
+        ghost_beam: index.config.ghost_beam,
+        ghost_seeds: index.config.ghost_seeds,
+        seed_extra_random: index.config.seed_extra_random,
+        seed: index.config.seed,
+    };
+    fs::write(dir.join("meta.json"), serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
+    for (s, shard) in index.shards.iter().enumerate() {
+        let sdir = dir.join(format!("shard-{s:03}"));
+        fs::create_dir_all(&sdir)?;
+        write_fvecs(fs::File::create(sdir.join("vectors.fvecs"))?, &shard.vectors)
+            .map_err(malformed)?;
+        write_graph(fs::File::create(sdir.join("graph.pwgr"))?, &shard.graph)
+            .map_err(malformed)?;
+        write_ivecs(fs::File::create(sdir.join("globals.ivecs"))?, &[shard.global_ids.clone()])
+            .map_err(malformed)?;
+        let deleted: Vec<u32> = shard.deleted.iter().map(|i| i as u32).collect();
+        write_ivecs(fs::File::create(sdir.join("deleted.ivecs"))?, &[deleted])
+            .map_err(malformed)?;
+        if let Some(t) = &shard.intershard {
+            let targets: Vec<u32> = (0..t.len() as u32).map(|u| t.target(u)).collect();
+            write_ivecs(fs::File::create(sdir.join("intershard.ivecs"))?, &[targets])
+                .map_err(malformed)?;
+        }
+        if let Some(g) = &shard.ghost {
+            write_ivecs(fs::File::create(sdir.join("ghost-map.ivecs"))?, &[g.to_original.clone()])
+                .map_err(malformed)?;
+            write_fvecs(fs::File::create(sdir.join("ghost-vectors.fvecs"))?, &g.vectors)
+                .map_err(malformed)?;
+            write_graph(fs::File::create(sdir.join("ghost-graph.pwgr"))?, &g.graph)
+                .map_err(malformed)?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads an index saved by [`save_index`], rebuilding the direction tables
+/// and memory ledgers.
+///
+/// The device/topology models come from the standard presets (the saved
+/// index carries algorithmic state, not simulator calibration).
+///
+/// # Errors
+///
+/// IO failures or structural mismatches (missing files, inconsistent
+/// shapes).
+pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> {
+    let dir = dir.as_ref();
+    let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)
+        .map_err(malformed)?;
+    if meta.version != 1 {
+        return Err(StoreError::Malformed(format!("unsupported version {}", meta.version)));
+    }
+    let mut config = PathWeaverConfig::full(meta.num_devices);
+    config.graph = meta.graph;
+    config.intershard = meta.intershard;
+    config.build_dir_table = meta.build_dir_table;
+    config.ghost = meta.ghost;
+    config.forward_width = meta.forward_width;
+    config.ghost_iterations = meta.ghost_iterations;
+    config.ghost_entries = meta.ghost_entries;
+    config.ghost_beam = meta.ghost_beam;
+    config.ghost_seeds = meta.ghost_seeds;
+    config.seed_extra_random = meta.seed_extra_random;
+    config.seed = meta.seed;
+
+    let mut shards = Vec::with_capacity(meta.num_devices);
+    let mut members = Vec::with_capacity(meta.num_devices);
+    for s in 0..meta.num_devices {
+        let sdir = dir.join(format!("shard-{s:03}"));
+        let vectors = read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None)
+            .map_err(malformed)?;
+        if vectors.dim() != meta.dim {
+            return Err(StoreError::Malformed(format!(
+                "shard {s} dim {} != meta dim {}",
+                vectors.dim(),
+                meta.dim
+            )));
+        }
+        let graph =
+            read_graph(fs::File::open(sdir.join("graph.pwgr"))?).map_err(malformed)?;
+        if graph.num_nodes() != vectors.len() {
+            return Err(StoreError::Malformed(format!("shard {s} graph/vector size mismatch")));
+        }
+        let global_ids = read_ivecs(fs::File::open(sdir.join("globals.ivecs"))?, None)
+            .map_err(malformed)?
+            .into_iter()
+            .next()
+            .ok_or_else(|| StoreError::Malformed(format!("shard {s} missing globals")))?;
+        if global_ids.len() != vectors.len() {
+            return Err(StoreError::Malformed(format!("shard {s} globals length mismatch")));
+        }
+        let mut deleted = FixedBitSet::new(vectors.len());
+        for id in read_ivecs(fs::File::open(sdir.join("deleted.ivecs"))?, None)
+            .map_err(malformed)?
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+        {
+            if (id as usize) < vectors.len() {
+                deleted.insert(id as usize);
+            }
+        }
+        let intershard = if meta.num_devices > 1 {
+            let path = sdir.join("intershard.ivecs");
+            if !path.exists() {
+                return Err(StoreError::Malformed(format!(
+                    "shard {s} is missing its inter-shard table"
+                )));
+            }
+            let targets = read_ivecs(fs::File::open(path)?, None)
+                .map_err(malformed)?
+                .into_iter()
+                .next()
+                .unwrap_or_default();
+            if targets.len() != vectors.len() {
+                return Err(StoreError::Malformed(format!(
+                    "shard {s} inter-shard table covers {} of {} nodes",
+                    targets.len(),
+                    vectors.len()
+                )));
+            }
+            let mut t = InterShardTable::empty();
+            for v in targets {
+                t.push(v);
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let ghost = if sdir.join("ghost-map.ivecs").exists() {
+            let to_original = read_ivecs(fs::File::open(sdir.join("ghost-map.ivecs"))?, None)
+                .map_err(malformed)?
+                .into_iter()
+                .next()
+                .unwrap_or_default();
+            let gvec = read_fvecs(fs::File::open(sdir.join("ghost-vectors.fvecs"))?, None)
+                .map_err(malformed)?;
+            let ggraph = read_graph(fs::File::open(sdir.join("ghost-graph.pwgr"))?)
+                .map_err(malformed)?;
+            Some(GhostShard { to_original, vectors: gvec, graph: ggraph })
+        } else {
+            None
+        };
+        let dir_table =
+            meta.build_dir_table.then(|| DirectionTable::build(&vectors, &graph));
+        members.push(global_ids.clone());
+        shards.push(ShardIndex { global_ids, vectors, graph, dir_table, ghost, intershard, deleted });
+    }
+
+    // Targets must land inside the ring successor's shard.
+    for s in 0..shards.len() {
+        if let Some(t) = &shards[s].intershard {
+            let next_len = shards[(s + 1) % shards.len()].vectors.len() as u32;
+            for u in 0..t.len() as u32 {
+                if t.target(u) >= next_len {
+                    return Err(StoreError::Malformed(format!(
+                        "shard {s} inter-shard target {} out of range for next shard ({next_len} nodes)",
+                        t.target(u)
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut assignment = ShardAssignment::random(
+        meta.num_vectors.max(meta.num_devices),
+        meta.num_devices,
+        0,
+    );
+    for (s, m) in members.into_iter().enumerate() {
+        assignment.set_members(s, m);
+    }
+    let mut ledgers = Vec::with_capacity(meta.num_devices);
+    for shard in &shards {
+        let mut ledger = MemoryLedger::new(config.device.mem_capacity);
+        for (label, bytes) in shard.resident_bytes() {
+            ledger.allocate(label, bytes).map_err(|e| StoreError::Malformed(e.to_string()))?;
+        }
+        ledgers.push(ledger);
+    }
+    Ok(PathWeaverIndex {
+        config,
+        shards,
+        assignment,
+        build_report: BuildReport::new(),
+        ledgers,
+        num_vectors: meta.num_vectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathweaver_datasets::{recall_batch, DatasetProfile, Scale};
+    use pathweaver_search::SearchParams;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pw-store-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 71);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let dir = temp_dir("roundtrip");
+        save_index(&idx, &dir).unwrap();
+        let loaded = load_index(&dir).unwrap();
+        assert_eq!(loaded.num_devices(), 2);
+        assert_eq!(loaded.dim(), idx.dim());
+        assert_eq!(loaded.num_vectors, idx.num_vectors);
+        let params = SearchParams::default();
+        let a = idx.search_pipelined(&w.queries, &params);
+        let b = loaded.search_pipelined(&w.queries, &params);
+        assert_eq!(a.results, b.results, "loaded index must search identically");
+        let recall = recall_batch(&w.ground_truth, &b.results, 10);
+        assert!(recall > 0.8);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstones_survive_roundtrip() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 72);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let victim = idx.shards[0].global_ids[3];
+        assert!(idx.delete(victim));
+        let dir = temp_dir("tombstone");
+        save_index(&idx, &dir).unwrap();
+        let mut loaded = load_index(&dir).unwrap();
+        assert_eq!(loaded.live_vectors(), idx.live_vectors());
+        assert!(!loaded.delete(victim), "already tombstoned");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_meta_is_clean_error() {
+        let dir = temp_dir("missing");
+        assert!(matches!(load_index(&dir), Err(StoreError::Io(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_graph_is_detected() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 73);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let dir = temp_dir("corrupt");
+        save_index(&idx, &dir).unwrap();
+        let victim = dir.join("shard-000/graph.pwgr");
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&victim, bytes).unwrap();
+        assert!(matches!(load_index(&dir), Err(StoreError::Malformed(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,137 @@
+//! Exact brute-force k-NN ground truth.
+
+use pathweaver_util::{parallel_map, TopK};
+use pathweaver_vector::{l2_squared, VectorSet};
+use serde::{Deserialize, Serialize};
+
+/// Exact k-nearest-neighbor results for a batch of queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    k: usize,
+    /// Row-major `num_queries × k` neighbor ids, ascending by distance.
+    ids: Vec<u32>,
+    /// Matching squared-L2 distances.
+    dists: Vec<f32>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from per-query sorted `(distance, id)` lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any list is shorter than `k`.
+    pub fn from_lists(k: usize, lists: Vec<Vec<(f32, u64)>>) -> Self {
+        let mut ids = Vec::with_capacity(lists.len() * k);
+        let mut dists = Vec::with_capacity(lists.len() * k);
+        for list in &lists {
+            assert!(list.len() >= k, "ground-truth list shorter than k");
+            for &(d, id) in list.iter().take(k) {
+                ids.push(id as u32);
+                dists.push(d);
+            }
+        }
+        Self { k, ids, dists }
+    }
+
+    /// Returns `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the number of queries covered.
+    pub fn num_queries(&self) -> usize {
+        self.ids.len() / self.k
+    }
+
+    /// Returns the exact neighbor ids of query `q`, ascending by distance.
+    pub fn neighbors(&self, q: usize) -> &[u32] {
+        &self.ids[q * self.k..(q + 1) * self.k]
+    }
+
+    /// Returns the exact squared distances of query `q`.
+    pub fn distances(&self, q: usize) -> &[f32] {
+        &self.dists[q * self.k..(q + 1) * self.k]
+    }
+}
+
+/// Computes exact k-NN of every query over `base` by parallel brute force.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > base.len()`, or dimensions differ.
+pub fn brute_force_knn(base: &VectorSet, queries: &VectorSet, k: usize) -> GroundTruth {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= base.len(), "k {} exceeds base size {}", k, base.len());
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    let lists = parallel_map(queries.len(), |q| {
+        let query = queries.row(q);
+        let mut top = TopK::new(k);
+        for i in 0..base.len() {
+            let d = l2_squared(base.row(i), query);
+            top.push(d, i as u64);
+        }
+        top.into_sorted()
+    });
+    GroundTruth::from_lists(k, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_neighbors_on_grid() {
+        // Base points on a line; the query at 2.1 has neighbors 2, 3, 1.
+        let base = VectorSet::from_fn(10, 1, |r, _| r as f32);
+        let queries = VectorSet::from_flat(1, vec![2.1]);
+        let gt = brute_force_knn(&base, &queries, 3);
+        assert_eq!(gt.neighbors(0), &[2, 3, 1]);
+        let d = gt.distances(0);
+        assert!((d[0] - 0.01).abs() < 1e-5);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn distances_ascend_for_all_queries() {
+        let base = VectorSet::from_fn(200, 6, |r, c| ((r * 31 + c * 17) % 50) as f32 * 0.1);
+        let queries = VectorSet::from_fn(8, 6, |r, c| ((r * 13 + c * 7) % 50) as f32 * 0.1);
+        let gt = brute_force_knn(&base, &queries, 10);
+        for q in 0..8 {
+            let d = gt.distances(q);
+            assert!(d.windows(2).all(|w| w[0] <= w[1]), "query {q} not sorted");
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let base = VectorSet::from_fn(50, 4, |r, c| (r * 4 + c) as f32);
+        let queries = base.gather(&[17]);
+        let gt = brute_force_knn(&base, &queries, 1);
+        assert_eq!(gt.neighbors(0), &[17]);
+        assert_eq!(gt.distances(0), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds base size")]
+    fn k_larger_than_base_panics() {
+        let base = VectorSet::from_fn(3, 2, |_, _| 0.0);
+        let queries = VectorSet::from_fn(1, 2, |_, _| 0.0);
+        let _ = brute_force_knn(&base, &queries, 4);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let base = VectorSet::from_fn(120, 8, |r, c| ((r * 37 + c * 11) % 23) as f32);
+        let queries = VectorSet::from_fn(5, 8, |r, c| ((r * 5 + c * 3) % 23) as f32);
+        let k = 7;
+        let gt = brute_force_knn(&base, &queries, k);
+        for q in 0..queries.len() {
+            let mut pairs: Vec<(f32, u32)> = (0..base.len())
+                .map(|i| (l2_squared(base.row(i), queries.row(q)), i as u32))
+                .collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let want: Vec<u32> = pairs.iter().take(k).map(|p| p.1).collect();
+            assert_eq!(gt.neighbors(q), want.as_slice(), "query {q}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! `fvecs` / `ivecs` / `bvecs` file IO.
+//!
+//! These are the standard TexMex formats used by Sift-1M, Gist-1M and
+//! Deep-1B: each record is a little-endian `i32` dimension followed by `dim`
+//! values (`f32`, `i32`, or `u8` respectively). With these readers the real
+//! corpora from Table 2 drop into the harness unchanged.
+
+use bytes::{Buf, BufMut};
+use pathweaver_vector::VectorSet;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the TexMex readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structurally invalid file (bad dimension header, truncated record,
+    /// or inconsistent dimensions between records).
+    Malformed(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Malformed(m) => write!(f, "malformed vecs file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads an `fvecs` stream into a [`VectorSet`], keeping at most `limit`
+/// vectors (`None` = all).
+pub fn read_fvecs(mut r: impl Read, limit: Option<usize>) -> Result<VectorSet, IoError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut count = 0usize;
+    while buf.remaining() >= 4 {
+        if let Some(max) = limit {
+            if count >= max {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Malformed(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev != d => {
+                return Err(IoError::Malformed(format!("dimension changed from {prev} to {d}")))
+            }
+            _ => {}
+        }
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Malformed("truncated record".into()));
+        }
+        for _ in 0..d {
+            data.push(buf.get_f32_le());
+        }
+        count += 1;
+    }
+    if buf.remaining() > 0 && limit.is_none() {
+        return Err(IoError::Malformed("trailing bytes".into()));
+    }
+    let dim = dim.ok_or_else(|| IoError::Malformed("empty file".into()))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+/// Writes a [`VectorSet`] in `fvecs` format.
+pub fn write_fvecs(mut w: impl Write, set: &VectorSet) -> Result<(), IoError> {
+    let mut buf = Vec::with_capacity(set.len() * (4 + 4 * set.dim()));
+    for row in set.iter() {
+        buf.put_i32_le(set.dim() as i32);
+        for &v in row {
+            buf.put_f32_le(v);
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads an `ivecs` stream (e.g. ground-truth neighbor ids) into per-record
+/// `u32` lists.
+pub fn read_ivecs(mut r: impl Read, limit: Option<usize>) -> Result<Vec<Vec<u32>>, IoError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut out = Vec::new();
+    while buf.remaining() >= 4 {
+        if let Some(max) = limit {
+            if out.len() >= max {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d < 0 {
+            return Err(IoError::Malformed(format!("negative record length {d}")));
+        }
+        let d = d as usize;
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Malformed("truncated record".into()));
+        }
+        let mut rec = Vec::with_capacity(d);
+        for _ in 0..d {
+            rec.push(buf.get_i32_le() as u32);
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Writes `u32` records in `ivecs` format.
+pub fn write_ivecs(mut w: impl Write, records: &[Vec<u32>]) -> Result<(), IoError> {
+    let mut buf = Vec::new();
+    for rec in records {
+        buf.put_i32_le(rec.len() as i32);
+        for &v in rec {
+            buf.put_i32_le(v as i32);
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a `bvecs` stream (byte vectors, e.g. Sift-1B) into a [`VectorSet`],
+/// widening `u8` to `f32`.
+pub fn read_bvecs(mut r: impl Read, limit: Option<usize>) -> Result<VectorSet, IoError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut count = 0usize;
+    while buf.remaining() >= 4 {
+        if let Some(max) = limit {
+            if count >= max {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Malformed(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev != d => {
+                return Err(IoError::Malformed(format!("dimension changed from {prev} to {d}")))
+            }
+            _ => {}
+        }
+        if buf.remaining() < d {
+            return Err(IoError::Malformed("truncated record".into()));
+        }
+        for _ in 0..d {
+            data.push(f32::from(buf.get_u8()));
+        }
+        count += 1;
+    }
+    let dim = dim.ok_or_else(|| IoError::Malformed("empty file".into()))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+/// Convenience: reads an `fvecs` file from disk.
+pub fn read_fvecs_file(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VectorSet, IoError> {
+    read_fvecs(std::fs::File::open(path)?, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let set = VectorSet::from_fn(7, 5, |r, c| (r as f32) * 1.5 - c as f32);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &set).unwrap();
+        assert_eq!(buf.len(), 7 * (4 + 5 * 4));
+        let back = read_fvecs(&buf[..], None).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn fvecs_limit() {
+        let set = VectorSet::from_fn(10, 3, |r, _| r as f32);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &set).unwrap();
+        let back = read_fvecs(&buf[..], Some(4)).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.row(3), set.row(3));
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let recs = vec![vec![1u32, 2, 3], vec![], vec![7u32]];
+        let mut buf = Vec::new();
+        write_ivecs(&mut buf, &recs).unwrap();
+        let back = read_ivecs(&buf[..], None).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn truncated_fvecs_rejected() {
+        let set = VectorSet::from_fn(2, 4, |_, _| 1.0);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &set).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_fvecs(&buf[..], None), Err(IoError::Malformed(_))));
+    }
+
+    #[test]
+    fn inconsistent_dim_rejected() {
+        let mut buf = Vec::new();
+        buf.put_i32_le(2);
+        buf.put_f32_le(0.0);
+        buf.put_f32_le(1.0);
+        buf.put_i32_le(3);
+        buf.put_f32_le(0.0);
+        buf.put_f32_le(1.0);
+        buf.put_f32_le(2.0);
+        assert!(matches!(read_fvecs(&buf[..], None), Err(IoError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_fvecs_rejected() {
+        assert!(matches!(read_fvecs(&[][..], None), Err(IoError::Malformed(_))));
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        let mut buf = Vec::new();
+        buf.put_i32_le(3);
+        buf.put_u8(0);
+        buf.put_u8(128);
+        buf.put_u8(255);
+        let set = read_bvecs(&buf[..], None).unwrap();
+        assert_eq!(set.dim(), 3);
+        assert_eq!(set.row(0), &[0.0, 128.0, 255.0]);
+    }
+
+    #[test]
+    fn negative_dim_rejected() {
+        let mut buf = Vec::new();
+        buf.put_i32_le(-1);
+        assert!(matches!(read_fvecs(&buf[..], None), Err(IoError::Malformed(_))));
+        let mut buf2 = Vec::new();
+        buf2.put_i32_le(-5);
+        assert!(matches!(read_ivecs(&buf2[..], None), Err(IoError::Malformed(_))));
+    }
+}

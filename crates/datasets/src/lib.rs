@@ -1,0 +1,50 @@
+//! Dataset synthesis, ground truth and evaluation metrics.
+//!
+//! The paper evaluates on Sift-1M, Gist-1M, Deep-10M, Deep-50M and Wiki-10M
+//! (Table 2). Those corpora are multi-gigabyte downloads, so this crate ships
+//! two paths:
+//!
+//! - [`synthetic`] + [`profiles`]: clustered Gaussian-mixture generators with
+//!   per-dataset profiles that keep each corpus's *dimensionality* and
+//!   cluster structure while scaling the point count to laptop size. Graph
+//!   ANNS iteration counts track dimension and local structure rather than
+//!   raw size (the paper itself observes Deep-10M and Deep-50M converge in
+//!   similar iteration counts), so the reproduced curves keep their shape.
+//! - [`io`]: `fvecs`/`ivecs`/`bvecs` readers and writers, so the real corpora
+//!   drop in unchanged when available.
+//!
+//! [`ground_truth`] computes exact brute-force k-NN (the recall denominator)
+//! and [`recall`] implements Recall@k exactly as Eq. 4 of the paper.
+
+pub mod ground_truth;
+pub mod io;
+pub mod profiles;
+pub mod query;
+pub mod recall;
+pub mod synthetic;
+
+pub use ground_truth::{brute_force_knn, GroundTruth};
+pub use profiles::{DatasetProfile, Scale};
+pub use recall::{recall_at_k, recall_batch};
+pub use synthetic::{Distribution, SyntheticSpec};
+
+/// A fully materialized benchmark workload: base vectors, query vectors and
+/// exact ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Profile name, e.g. `sift-like`.
+    pub name: String,
+    /// Base (indexed) vectors.
+    pub base: pathweaver_vector::VectorSet,
+    /// Query vectors.
+    pub queries: pathweaver_vector::VectorSet,
+    /// Exact k-NN of each query over `base`.
+    pub ground_truth: GroundTruth,
+}
+
+impl Workload {
+    /// Dimensionality shared by base and query vectors.
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-dataset profiles mirroring the paper's Table 2.
+//!
+//! Each profile fixes the corpus's dimensionality and an approximate cluster
+//! structure, and defines three size scales:
+//!
+//! - [`Scale::Test`] — hundreds of points, for unit/integration tests.
+//! - [`Scale::Bench`] — tens to hundreds of thousands, for the benchmark
+//!   harness (minutes on a laptop CPU).
+//! - [`Scale::Paper`] — the paper's original point counts, recorded for
+//!   documentation; only reachable with the real corpora via [`crate::io`].
+
+use crate::ground_truth::brute_force_knn;
+use crate::query::split_queries;
+use crate::synthetic::{Distribution, SyntheticSpec};
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Size scale at which a profile is materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny sets for tests (sub-second generation and ground truth).
+    Test,
+    /// Laptop-scale sets for the benchmark harness.
+    Bench,
+    /// The paper's original sizes (documentation only).
+    Paper,
+}
+
+/// A named dataset profile from the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Profile name, e.g. `sift-like`.
+    pub name: &'static str,
+    /// Vector dimensionality (matches the paper exactly).
+    pub dim: usize,
+    /// The paper's corpus size.
+    pub paper_len: usize,
+    /// Bench-scale corpus size.
+    pub bench_len: usize,
+    /// Test-scale corpus size.
+    pub test_len: usize,
+    /// Number of synthetic clusters at bench scale.
+    pub clusters: usize,
+    /// Cluster standard deviation.
+    pub std: f32,
+    /// Whether points are sphere-normalized (text-embedding style).
+    pub sphere: bool,
+    /// Whether the paper uses this dataset in the multi-GPU evaluation.
+    pub multi_gpu_target: bool,
+}
+
+impl DatasetProfile {
+    /// Profile of Sift-1M: 128-d SIFT descriptors (single-GPU target).
+    pub const fn sift_like() -> Self {
+        Self {
+            name: "sift-like",
+            dim: 128,
+            paper_len: 1_000_000,
+            bench_len: 20_000,
+            test_len: 800,
+            clusters: 60,
+            std: 0.18,
+            sphere: false,
+            multi_gpu_target: false,
+        }
+    }
+
+    /// Profile of Gist-1M: 960-d GIST features (single-GPU target).
+    pub const fn gist_like() -> Self {
+        Self {
+            name: "gist-like",
+            dim: 960,
+            paper_len: 1_000_000,
+            bench_len: 4_000,
+            test_len: 300,
+            clusters: 30,
+            std: 0.15,
+            sphere: false,
+            multi_gpu_target: false,
+        }
+    }
+
+    /// Profile of Deep-10M: 96-d deep descriptors (single- and multi-GPU).
+    pub const fn deep10m_like() -> Self {
+        Self {
+            name: "deep10m-like",
+            dim: 96,
+            paper_len: 10_000_000,
+            bench_len: 30_000,
+            test_len: 1_000,
+            clusters: 100,
+            std: 0.16,
+            sphere: false,
+            multi_gpu_target: true,
+        }
+    }
+
+    /// Profile of Deep-50M: the first 50M of Deep-1B (multi-GPU target).
+    pub const fn deep50m_like() -> Self {
+        Self {
+            name: "deep50m-like",
+            dim: 96,
+            paper_len: 50_000_000,
+            bench_len: 60_000,
+            test_len: 1_600,
+            clusters: 150,
+            std: 0.16,
+            sphere: false,
+            multi_gpu_target: true,
+        }
+    }
+
+    /// Profile of Wiki-10M: 768-d text embeddings (multi-GPU target).
+    pub const fn wiki_like() -> Self {
+        Self {
+            name: "wiki-like",
+            dim: 768,
+            paper_len: 10_000_000,
+            bench_len: 6_000,
+            test_len: 300,
+            clusters: 40,
+            std: 0.25,
+            sphere: true,
+            multi_gpu_target: true,
+        }
+    }
+
+    /// All profiles in Table 2 order.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::sift_like(),
+            Self::gist_like(),
+            Self::deep10m_like(),
+            Self::deep50m_like(),
+            Self::wiki_like(),
+        ]
+    }
+
+    /// The single-GPU evaluation set (paper Fig 10): Sift, Gist, Deep-10M.
+    pub fn single_gpu_targets() -> Vec<Self> {
+        vec![Self::sift_like(), Self::gist_like(), Self::deep10m_like()]
+    }
+
+    /// The multi-GPU evaluation set (paper Fig 8): Wiki, Deep-10M, Deep-50M.
+    pub fn multi_gpu_targets() -> Vec<Self> {
+        vec![Self::wiki_like(), Self::deep10m_like(), Self::deep50m_like()]
+    }
+
+    /// Returns the corpus size at `scale`.
+    pub fn len_at(&self, scale: Scale) -> usize {
+        match scale {
+            Scale::Test => self.test_len,
+            Scale::Bench => self.bench_len,
+            Scale::Paper => self.paper_len,
+        }
+    }
+
+    /// Returns the synthetic spec for the base set at `scale`.
+    ///
+    /// `Scale::Paper` is intentionally not generatable (it would synthesize
+    /// tens of gigabytes); use [`crate::io`] with the real corpus instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with [`Scale::Paper`].
+    pub fn base_spec(&self, scale: Scale, seed: u64) -> SyntheticSpec {
+        assert!(scale != Scale::Paper, "paper-scale corpora must be loaded from files, not synthesized");
+        let len = self.len_at(scale);
+        let clusters = match scale {
+            Scale::Test => self.clusters.min(8).max(2),
+            _ => self.clusters,
+        };
+        let distribution = if self.sphere {
+            Distribution::Sphere { clusters, std: self.std }
+        } else {
+            Distribution::Gmm { clusters, std: self.std }
+        };
+        SyntheticSpec { dim: self.dim, len, distribution, seed }
+    }
+
+    /// Materializes the full workload: base set, `n_queries` held-out queries
+    /// and exact ground truth for `k` neighbors.
+    ///
+    /// Queries are drawn from the same distribution and held out of the base
+    /// set (the standard ANNS benchmark protocol).
+    pub fn workload(&self, scale: Scale, n_queries: usize, k: usize, seed: u64) -> Workload {
+        let spec = self.base_spec(scale, pathweaver_util::seed_from_parts(seed, self.name, 0));
+        let all = SyntheticSpec { len: spec.len + n_queries, ..spec }.generate();
+        let (base, queries) = split_queries(&all, n_queries, pathweaver_util::seed_from_parts(seed, "query-split", 1));
+        let ground_truth = brute_force_knn(&base, &queries, k);
+        Workload { name: self.name.to_string(), base, queries, ground_truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_dimensions_match_paper() {
+        assert_eq!(DatasetProfile::sift_like().dim, 128);
+        assert_eq!(DatasetProfile::gist_like().dim, 960);
+        assert_eq!(DatasetProfile::deep10m_like().dim, 96);
+        assert_eq!(DatasetProfile::deep50m_like().dim, 96);
+        assert_eq!(DatasetProfile::wiki_like().dim, 768);
+    }
+
+    #[test]
+    fn table2_paper_sizes_match() {
+        assert_eq!(DatasetProfile::sift_like().paper_len, 1_000_000);
+        assert_eq!(DatasetProfile::deep50m_like().paper_len, 50_000_000);
+        assert_eq!(DatasetProfile::wiki_like().paper_len, 10_000_000);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let w = DatasetProfile::sift_like().workload(Scale::Test, 10, 5, 42);
+        assert_eq!(w.base.len(), DatasetProfile::sift_like().test_len);
+        assert_eq!(w.queries.len(), 10);
+        assert_eq!(w.ground_truth.k(), 5);
+        assert_eq!(w.ground_truth.num_queries(), 10);
+        assert_eq!(w.dim(), 128);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let p = DatasetProfile::deep10m_like();
+        let a = p.workload(Scale::Test, 5, 3, 1);
+        let b = p.workload(Scale::Test, 5, 3, 1);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "paper-scale")]
+    fn paper_scale_not_synthesized() {
+        let _ = DatasetProfile::sift_like().base_spec(Scale::Paper, 0);
+    }
+
+    #[test]
+    fn target_groups() {
+        assert_eq!(DatasetProfile::single_gpu_targets().len(), 3);
+        assert!(DatasetProfile::multi_gpu_targets().iter().all(|p| p.multi_gpu_target));
+    }
+}

@@ -1,0 +1,93 @@
+//! Query sampling.
+
+use pathweaver_vector::VectorSet;
+use rand::seq::SliceRandom;
+
+/// Splits `all` into a base set and `n_queries` held-out queries.
+///
+/// Rows are chosen uniformly without replacement with the given `seed`; the
+/// remaining rows form the base set in their original relative order.
+///
+/// # Panics
+///
+/// Panics if `n_queries >= all.len()`.
+pub fn split_queries(all: &VectorSet, n_queries: usize, seed: u64) -> (VectorSet, VectorSet) {
+    assert!(n_queries < all.len(), "cannot hold out {} of {} rows", n_queries, all.len());
+    let mut idx: Vec<usize> = (0..all.len()).collect();
+    let mut rng = pathweaver_util::small_rng(seed);
+    idx.shuffle(&mut rng);
+    let mut query_rows = idx[..n_queries].to_vec();
+    let mut base_rows = idx[n_queries..].to_vec();
+    query_rows.sort_unstable();
+    base_rows.sort_unstable();
+    (all.gather(&base_rows), all.gather(&query_rows))
+}
+
+/// Generates out-of-distribution queries by perturbing base rows with noise
+/// of the given standard deviation (extension: OOD robustness studies).
+pub fn perturbed_queries(base: &VectorSet, n_queries: usize, noise_std: f32, seed: u64) -> VectorSet {
+    let mut rng = pathweaver_util::small_rng(seed);
+    let mut out = VectorSet::empty(base.dim());
+    let mut buf = vec![0.0f32; base.dim()];
+    for _ in 0..n_queries {
+        let r = rand::Rng::gen_range(&mut rng, 0..base.len());
+        for (d, v) in buf.iter_mut().enumerate() {
+            *v = base.row(r)[d] + noise_std * crate::synthetic::standard_normal(&mut rng);
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> VectorSet {
+        VectorSet::from_fn(100, 4, |r, c| (r * 4 + c) as f32)
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let all = sample_set();
+        let (base, queries) = split_queries(&all, 10, 3);
+        assert_eq!(base.len(), 90);
+        assert_eq!(queries.len(), 10);
+        // Every original row appears exactly once across the two halves
+        // (rows here are unique by construction).
+        let mut seen: Vec<f32> = base.iter().chain(queries.iter()).map(|r| r[0]).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f32> = (0..100).map(|r| (r * 4) as f32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let all = sample_set();
+        let (b1, q1) = split_queries(&all, 7, 42);
+        let (b2, q2) = split_queries(&all, 7, 42);
+        assert_eq!(b1, b2);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold out")]
+    fn split_rejects_oversized_holdout() {
+        let all = sample_set();
+        let _ = split_queries(&all, 100, 0);
+    }
+
+    #[test]
+    fn perturbed_queries_stay_near_base() {
+        let base = VectorSet::from_fn(10, 8, |r, _| r as f32);
+        let q = perturbed_queries(&base, 20, 0.01, 5);
+        assert_eq!(q.len(), 20);
+        for row in q.iter() {
+            // Each query must be within a tight ball of some base row.
+            let best = (0..base.len())
+                .map(|i| pathweaver_vector::l2_squared(base.row(i), row))
+                .fold(f32::INFINITY, f32::min);
+            assert!(best < 0.1, "query strayed: {best}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Recall@k (paper Eq. 4).
+
+use crate::ground_truth::GroundTruth;
+
+/// Recall@k for one query: `|exact ∩ approx| / |exact|`.
+///
+/// Only the first `k` entries of each list are considered. Duplicate ids in
+/// `approx` count once.
+pub fn recall_at_k(exact: &[u32], approx: &[u32], k: usize) -> f64 {
+    let k = k.min(exact.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let truth: std::collections::HashSet<u32> = exact[..k].iter().copied().collect();
+    let mut seen = std::collections::HashSet::with_capacity(k);
+    let mut hits = 0usize;
+    for &id in approx.iter().take(k) {
+        if truth.contains(&id) && seen.insert(id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
+/// Mean Recall@k over a batch: `results[q]` is the approximate id list of
+/// query `q`.
+///
+/// # Panics
+///
+/// Panics if `results.len() != gt.num_queries()`.
+pub fn recall_batch(gt: &GroundTruth, results: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(results.len(), gt.num_queries(), "result batch size mismatch");
+    if results.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 =
+        results.iter().enumerate().map(|(q, r)| recall_at_k(gt.neighbors(q), r, k)).sum();
+    sum / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 1, 2], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[1, 2, 9, 9], 4), 0.5);
+    }
+
+    #[test]
+    fn zero_recall() {
+        assert_eq!(recall_at_k(&[1, 2], &[3, 4], 2), 0.0);
+    }
+
+    #[test]
+    fn duplicates_in_approx_count_once() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[1, 1, 1, 1], 4), 0.25);
+    }
+
+    #[test]
+    fn k_truncates_both_lists() {
+        // Only the top-2 of each side matter at k=2.
+        assert_eq!(recall_at_k(&[1, 2, 3], &[2, 9, 1], 2), 0.5);
+    }
+
+    #[test]
+    fn batch_averages() {
+        let gt = GroundTruth::from_lists(
+            2,
+            vec![vec![(0.0, 0), (1.0, 1)], vec![(0.0, 5), (1.0, 6)]],
+        );
+        let results = vec![vec![0u32, 1], vec![9u32, 9]];
+        assert_eq!(recall_batch(&gt, &results, 2), 0.5);
+    }
+
+    #[test]
+    fn empty_approx_is_zero() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[], 3), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Synthetic vector generation.
+//!
+//! Real ANNS corpora (SIFT descriptors, GIST features, deep-net embeddings)
+//! are strongly clustered: points concentrate around many local modes. A
+//! Gaussian-mixture generator reproduces exactly the property graph-based
+//! search exploits (locality / navigability). A `Uniform` distribution is
+//! also provided as the hard, structure-free case.
+
+use pathweaver_vector::VectorSet;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the synthetic point distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Gaussian mixture with *chained* centers (a Gaussian random walk), so
+    /// adjacent clusters overlap and the corpus stays navigable like real
+    /// embedding manifolds; points are isotropic Gaussians of the given
+    /// standard deviation around a uniformly chosen center.
+    Gmm {
+        /// Number of mixture components.
+        clusters: usize,
+        /// Isotropic standard deviation of each component.
+        std: f32,
+    },
+    /// Uniform over `[-1, 1]^d` (structure-free stress case).
+    Uniform,
+    /// Unit hypersphere surface (normalized Gaussian), modelling normalized
+    /// text embeddings such as the Wiki corpus.
+    Sphere {
+        /// Number of directional clusters (von-Mises-like via normalized GMM).
+        clusters: usize,
+        /// Angular spread of each cluster before normalization.
+        std: f32,
+    },
+}
+
+/// A reproducible specification of a synthetic vector set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Number of vectors.
+    pub len: usize,
+    /// Distribution shape.
+    pub distribution: Distribution,
+    /// RNG seed; equal specs generate identical sets.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Generates the vector set described by this spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or a GMM/Sphere spec has zero clusters.
+    pub fn generate(&self) -> VectorSet {
+        assert!(self.dim > 0, "dim must be positive");
+        let mut rng = pathweaver_util::small_rng(self.seed);
+        match self.distribution {
+            Distribution::Gmm { clusters, std } => {
+                assert!(clusters > 0, "clusters must be positive");
+                let centers = gen_centers(&mut rng, clusters, self.dim, std);
+                gen_gmm(&mut rng, self.len, self.dim, &centers, std, false)
+            }
+            Distribution::Uniform => {
+                let mut data = Vec::with_capacity(self.len * self.dim);
+                for _ in 0..self.len * self.dim {
+                    data.push(rng.gen_range(-1.0f32..1.0));
+                }
+                VectorSet::from_flat(self.dim, data)
+            }
+            Distribution::Sphere { clusters, std } => {
+                assert!(clusters > 0, "clusters must be positive");
+                let mut centers = gen_centers(&mut rng, clusters, self.dim, std);
+                for c in 0..clusters {
+                    pathweaver_vector::norm::normalize(centers.row_mut(c));
+                }
+                gen_gmm(&mut rng, self.len, self.dim, &centers, std, true)
+            }
+        }
+    }
+}
+
+/// Draws `clusters` centers as a Gaussian random walk.
+///
+/// Real embedding corpora are locally clustered but globally *navigable*:
+/// clusters overlap their neighbors rather than forming isolated islands
+/// (independent uniform centers in high dimension would be mutually distant
+/// archipelagos no proximity graph could traverse). Chaining the centers —
+/// each a bounded step from the previous — reproduces that manifold-like
+/// structure, which is precisely the property graph ANNS exploits.
+fn gen_centers(rng: &mut SmallRng, clusters: usize, dim: usize, std: f32) -> VectorSet {
+    let mut data = Vec::with_capacity(clusters * dim);
+    let mut current = vec![0.0f32; dim];
+    for d in current.iter_mut() {
+        *d = rng.gen_range(-1.0f32..1.0);
+    }
+    // Per-coordinate step ≈ 1.2 σ puts adjacent centers ~1.2 σ√d apart —
+    // comparable to the cluster radius σ√d, so neighbors overlap in their
+    // tails without collapsing into one blob.
+    let step = 1.2 * std;
+    for _ in 0..clusters {
+        data.extend_from_slice(&current);
+        for d in current.iter_mut() {
+            *d += step * standard_normal(rng);
+            *d = d.clamp(-3.0, 3.0);
+        }
+    }
+    VectorSet::from_flat(dim, data)
+}
+
+/// Draws `len` points around uniformly-chosen centers; optionally normalizes
+/// each point to the unit sphere.
+fn gen_gmm(
+    rng: &mut SmallRng,
+    len: usize,
+    dim: usize,
+    centers: &VectorSet,
+    std: f32,
+    normalize: bool,
+) -> VectorSet {
+    let mut data = Vec::with_capacity(len * dim);
+    for _ in 0..len {
+        let c = centers.row(rng.gen_range(0..centers.len()));
+        let start = data.len();
+        for d in 0..dim {
+            data.push(c[d] + std * standard_normal(rng));
+        }
+        if normalize {
+            pathweaver_vector::norm::normalize(&mut data[start..]);
+        }
+    }
+    VectorSet::from_flat(dim, data)
+}
+
+/// Samples one standard normal variate via Box–Muller.
+///
+/// `rand_distr` is outside the approved dependency set, so the two-uniform
+/// transform is implemented directly.
+pub fn standard_normal(rng: &mut SmallRng) -> f32 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = SyntheticSpec {
+            dim: 16,
+            len: 100,
+            distribution: Distribution::Gmm { clusters: 4, std: 0.1 },
+            seed: 7,
+        };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticSpec { dim: 8, len: 50, distribution: Distribution::Uniform, seed: 1 };
+        let b = SyntheticSpec { seed: 2, ..a };
+        assert_ne!(a.generate(), b.generate());
+    }
+
+    #[test]
+    fn gmm_is_clustered() {
+        // With tight clusters, the average nearest-point distance must be far
+        // below the average pairwise distance.
+        let spec = SyntheticSpec {
+            dim: 12,
+            len: 300,
+            distribution: Distribution::Gmm { clusters: 5, std: 0.02 },
+            seed: 3,
+        };
+        let set = spec.generate();
+        let mut near = 0.0f64;
+        let mut all = 0.0f64;
+        let mut all_n = 0u64;
+        for i in 0..set.len() {
+            let mut best = f32::INFINITY;
+            for j in 0..set.len() {
+                if i == j {
+                    continue;
+                }
+                let d = pathweaver_vector::l2_squared(set.row(i), set.row(j));
+                best = best.min(d);
+                all += f64::from(d);
+                all_n += 1;
+            }
+            near += f64::from(best);
+        }
+        let near_avg = near / set.len() as f64;
+        let all_avg = all / all_n as f64;
+        // Chained centers keep the global spread moderate, so the contrast
+        // is a few-fold rather than orders of magnitude.
+        assert!(near_avg * 3.0 < all_avg, "near {near_avg} vs all {all_avg}");
+    }
+
+    #[test]
+    fn sphere_points_are_unit() {
+        let spec = SyntheticSpec {
+            dim: 24,
+            len: 64,
+            distribution: Distribution::Sphere { clusters: 3, std: 0.2 },
+            seed: 5,
+        };
+        let set = spec.generate();
+        for row in set.iter() {
+            let n = pathweaver_vector::norm::norm(row);
+            assert!((n - 1.0).abs() < 1e-4, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn uniform_fills_range() {
+        let spec = SyntheticSpec { dim: 4, len: 2000, distribution: Distribution::Uniform, seed: 9 };
+        let set = spec.generate();
+        let flat = set.as_flat();
+        let min = flat.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = flat.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(min < -0.9 && max > 0.9);
+        assert!(min >= -1.0 && max < 1.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = pathweaver_util::small_rng(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

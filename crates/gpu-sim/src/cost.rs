@@ -1,0 +1,159 @@
+//! Roofline conversion from operation counters to simulated time.
+
+use crate::counters::CostCounters;
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Simulated kernel time split into the paper's breakdown categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// L2 distance computation time (vector streaming + FMA), seconds.
+    pub dist_s: f64,
+    /// Rest of the kernel: adjacency fetches, hashing, sorting, RNG,
+    /// direction-table work, launch overhead.
+    pub other_s: f64,
+    /// Inter-GPU communication time, seconds.
+    pub comm_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total simulated seconds.
+    pub fn total_s(&self) -> f64 {
+        self.dist_s + self.other_s + self.comm_s
+    }
+
+    /// Fraction of time spent on L2 distance work (the paper reports >0.8 —
+    /// 0.95 for the baselines in Fig 2).
+    pub fn dist_fraction(&self) -> f64 {
+        let t = self.total_s();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.dist_s / t
+        }
+    }
+
+    /// Adds another breakdown (e.g. across pipeline stages).
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        self.dist_s += other.dist_s;
+        self.other_s += other.other_s;
+        self.comm_s += other.comm_s;
+    }
+}
+
+/// Converts [`CostCounters`] into [`TimeBreakdown`] for a given device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostModel {
+    /// The device this model simulates.
+    pub device: DeviceSpec,
+    /// FLOPs charged per vector dimension per distance (sub + mul + add).
+    pub flops_per_dim: f64,
+}
+
+impl CostModel {
+    /// Builds the model for `device` with the default 3 FLOPs/dimension.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { device, flops_per_dim: 3.0 }
+    }
+
+    /// Simulated kernel time for a tally produced while searching vectors of
+    /// dimensionality `dim`. Communication is *not* included (it depends on
+    /// the link, see [`crate::link::LinkSpec`]); `comm_s` is left 0.
+    pub fn kernel_time(&self, c: &CostCounters, dim: usize) -> TimeBreakdown {
+        let d = &self.device;
+        // Distance term: roofline of streaming the candidate vectors versus
+        // executing the FMAs; graph ANNS sits firmly on the bandwidth side.
+        let stream = d.stream_time(c.vector_bytes as f64);
+        let compute = d.compute_time(c.dist_calcs as f64 * dim as f64 * self.flops_per_dim);
+        let dist_s = stream.max(compute);
+
+        // Rest-of-kernel term: adjacency + direction-table streaming, plus
+        // per-op fixed costs, plus launch overhead.
+        let other_s = d.stream_time((c.graph_bytes + c.dir_table_bytes) as f64)
+            + c.hash_probes as f64 * d.hash_probe_s
+            + c.sort_ops as f64 * d.sort_step_s
+            + c.rng_ops as f64 * d.rng_s
+            + c.sign_encodes as f64 * d.compute_time(dim as f64)
+            + c.dir_compares as f64 * d.sort_step_s
+            + c.kernel_launches as f64 * d.kernel_launch_s;
+
+        TimeBreakdown { dist_s, other_s, comm_s: 0.0 }
+    }
+
+    /// Queries/second implied by a breakdown covering `num_queries` queries.
+    pub fn qps(breakdown: &TimeBreakdown, num_queries: usize) -> f64 {
+        let t = breakdown.total_s();
+        if t <= 0.0 {
+            0.0
+        } else {
+            num_queries as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a6000() -> CostModel {
+        CostModel::new(DeviceSpec::rtx_a6000())
+    }
+
+    #[test]
+    fn distance_dominates_for_typical_search() {
+        // A typical converged batch: 1000 queries × 20 iterations × 32
+        // neighbors of 96-d vectors sharing one kernel launch, with modest
+        // bookkeeping — L2 share must exceed 80 % as in Fig 2.
+        let mut c = CostCounters::new();
+        for _ in 0..1000 {
+            for _ in 0..20 {
+                c.record_adjacency_fetch(32);
+                for _ in 0..32 {
+                    c.record_distance(96);
+                }
+                c.hash_probes += 64;
+                c.sort_ops += 32 * 6;
+            }
+        }
+        c.kernel_launches = 1;
+        let t = a6000().kernel_time(&c, 96);
+        assert!(t.dist_fraction() > 0.8, "dist fraction {}", t.dist_fraction());
+    }
+
+    #[test]
+    fn wider_vectors_cost_proportionally_more() {
+        let mut narrow = CostCounters::new();
+        let mut wide = CostCounters::new();
+        for _ in 0..1000 {
+            narrow.record_distance(96);
+            wide.record_distance(960);
+        }
+        let m = a6000();
+        let tn = m.kernel_time(&narrow, 96).dist_s;
+        let tw = m.kernel_time(&wide, 960).dist_s;
+        assert!((tw / tn - 10.0).abs() < 0.5, "ratio {}", tw / tn);
+    }
+
+    #[test]
+    fn qps_inverse_of_time() {
+        let b = TimeBreakdown { dist_s: 0.5, other_s: 0.25, comm_s: 0.25 };
+        assert_eq!(CostModel::qps(&b, 1000), 1000.0);
+        assert_eq!(CostModel::qps(&TimeBreakdown::default(), 10), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimeBreakdown { dist_s: 1.0, other_s: 0.5, comm_s: 0.1 };
+        a.merge(&TimeBreakdown { dist_s: 1.0, other_s: 0.5, comm_s: 0.2 });
+        assert!((a.total_s() - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_cost_nothing_but_launch() {
+        let mut c = CostCounters::new();
+        c.kernel_launches = 2;
+        let t = a6000().kernel_time(&c, 128);
+        assert_eq!(t.dist_s, 0.0);
+        assert!((t.other_s - 1.0e-5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Operation counters filled in by the search kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// A tally of the operations a simulated kernel performed.
+///
+/// The search kernel in `pathweaver-search` increments these as it runs; the
+/// [`crate::cost::CostModel`] then converts them to simulated seconds. All
+/// counts are exact — they are produced by executing the real algorithm, not
+/// by estimation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostCounters {
+    /// Full-precision distance computations (the paper's dominant term).
+    pub dist_calcs: u64,
+    /// Bytes of vector data streamed for those distances.
+    pub vector_bytes: u64,
+    /// Bytes of adjacency rows fetched.
+    pub graph_bytes: u64,
+    /// Bytes of direction-table codes fetched (direction-guided selection).
+    pub dir_table_bytes: u64,
+    /// Sign-bit code computations (query direction per visited node).
+    pub sign_encodes: u64,
+    /// XOR+popcount similarity evaluations against the direction table.
+    pub dir_compares: u64,
+    /// Visited-hash probes (insert + lookup).
+    pub hash_probes: u64,
+    /// Priority-queue / candidate sort steps (element moves).
+    pub sort_ops: u64,
+    /// Random numbers generated (entry sampling).
+    pub rng_ops: u64,
+    /// Kernel launches (one per search batch per iteration group).
+    pub kernel_launches: u64,
+    /// Search iterations executed (for Fig 3/13 analyses).
+    pub iterations: u64,
+    /// Nodes visited (adjacency rows expanded).
+    pub nodes_visited: u64,
+    /// Bytes sent to the next device (pipelining-based path extension).
+    pub comm_bytes: u64,
+}
+
+impl CostCounters {
+    /// Creates a zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every field of `other` into `self`.
+    pub fn merge(&mut self, other: &CostCounters) {
+        self.dist_calcs += other.dist_calcs;
+        self.vector_bytes += other.vector_bytes;
+        self.graph_bytes += other.graph_bytes;
+        self.dir_table_bytes += other.dir_table_bytes;
+        self.sign_encodes += other.sign_encodes;
+        self.dir_compares += other.dir_compares;
+        self.hash_probes += other.hash_probes;
+        self.sort_ops += other.sort_ops;
+        self.rng_ops += other.rng_ops;
+        self.kernel_launches += other.kernel_launches;
+        self.iterations += other.iterations;
+        self.nodes_visited += other.nodes_visited;
+        self.comm_bytes += other.comm_bytes;
+    }
+
+    /// Records one full-precision distance over a `dim`-dimensional vector
+    /// (one candidate vector streamed).
+    #[inline]
+    pub fn record_distance(&mut self, dim: usize) {
+        self.dist_calcs += 1;
+        self.vector_bytes += (dim * std::mem::size_of::<f32>()) as u64;
+    }
+
+    /// Records fetching one adjacency row of `degree` neighbors.
+    #[inline]
+    pub fn record_adjacency_fetch(&mut self, degree: usize) {
+        self.nodes_visited += 1;
+        self.graph_bytes += (degree * std::mem::size_of::<u32>()) as u64;
+    }
+
+    /// Records one direction-table row fetch plus the per-neighbor compares.
+    #[inline]
+    pub fn record_dir_selection(&mut self, degree: usize, words_per_code: usize) {
+        self.dir_table_bytes += (degree * words_per_code * std::mem::size_of::<u32>()) as u64;
+        self.dir_compares += degree as u64;
+        self.sign_encodes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = CostCounters { dist_calcs: 1, comm_bytes: 10, ..Default::default() };
+        let b = CostCounters { dist_calcs: 2, iterations: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.dist_calcs, 3);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.comm_bytes, 10);
+    }
+
+    #[test]
+    fn record_distance_tracks_bytes() {
+        let mut c = CostCounters::new();
+        c.record_distance(96);
+        c.record_distance(96);
+        assert_eq!(c.dist_calcs, 2);
+        assert_eq!(c.vector_bytes, 2 * 96 * 4);
+    }
+
+    #[test]
+    fn record_adjacency_counts_row_bytes() {
+        let mut c = CostCounters::new();
+        c.record_adjacency_fetch(32);
+        assert_eq!(c.nodes_visited, 1);
+        assert_eq!(c.graph_bytes, 128);
+    }
+
+    #[test]
+    fn record_dir_selection_counts_table_bytes() {
+        let mut c = CostCounters::new();
+        c.record_dir_selection(32, 3);
+        assert_eq!(c.dir_table_bytes, 32 * 3 * 4);
+        assert_eq!(c.dir_compares, 32);
+        assert_eq!(c.sign_encodes, 1);
+    }
+}

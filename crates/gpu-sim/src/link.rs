@@ -1,0 +1,65 @@
+//! Inter-device link specifications.
+
+use serde::Serialize;
+
+/// One directed inter-device channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LinkSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-transfer latency in seconds (launch + hop).
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// NVLink bridge (3rd gen, A6000 pairing): ~56 GB/s per direction.
+    pub const fn nvlink_bridge() -> Self {
+        Self { name: "nvlink-bridge", bandwidth: 56.0e9, latency_s: 5.0e-6 }
+    }
+
+    /// PCIe 4.0 ×16 through a host switch: ~24 GB/s effective.
+    pub const fn pcie4_x16() -> Self {
+        Self { name: "pcie4-x16", bandwidth: 24.0e9, latency_s: 10.0e-6 }
+    }
+
+    /// Transfer time for `bytes` over this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_faster_than_pcie() {
+        let n = LinkSpec::nvlink_bridge();
+        let p = LinkSpec::pcie4_x16();
+        assert!(n.transfer_time(1 << 30) < p.transfer_time(1 << 30));
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_messages() {
+        let n = LinkSpec::nvlink_bridge();
+        let t = n.transfer_time(4);
+        assert!(t >= 5.0e-6 && t < 6.0e-6);
+    }
+
+    #[test]
+    fn comm_is_negligible_versus_memory_term() {
+        // Paper §6.4: per-query comm is Q × b_idx; per-query memory traffic
+        // is I × J × v × b_elem. Even over PCIe the comm term must be tiny.
+        let link = LinkSpec::pcie4_x16();
+        let comm = link.transfer_time(8); // One index + distance per query.
+        let dev = crate::device::DeviceSpec::rtx_a6000();
+        let mem = dev.stream_time((20 * 32 * 96 * 4) as f64); // I×J×v×4 bytes.
+        // Amortized over a 10k batch the comm latency vanishes; compare
+        // steady-state per-byte costs instead.
+        let comm_per_byte = 1.0 / link.bandwidth;
+        let mem_bytes = 20.0 * 32.0 * 96.0 * 4.0;
+        assert!(8.0 * comm_per_byte < mem / 10.0, "comm {comm} mem {mem} bytes {mem_bytes}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-device memory accounting.
+//!
+//! Sharding exists because one GPU cannot hold the whole corpus; the ledger
+//! makes that constraint explicit. Index builders register every resident
+//! structure (shard vectors, graph, inter-shard table, ghost shard, direction
+//! table) and allocation fails when a shard would not fit — the condition
+//! that forces multi-GPU execution in the first place.
+
+use serde::{Deserialize, Serialize};
+
+/// An allocation failure: the device is out of simulated memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutOfMemory {
+    /// Label of the allocation that failed.
+    pub label: String,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated device OOM: '{}' needs {} bytes, {} free",
+            self.label, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks labelled allocations against a device's capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLedger {
+    capacity: u64,
+    allocations: Vec<(String, u64)>,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, allocations: Vec::new() }
+    }
+
+    /// Registers an allocation; fails when it would exceed capacity.
+    pub fn allocate(&mut self, label: impl Into<String>, bytes: u64) -> Result<(), OutOfMemory> {
+        let label = label.into();
+        let available = self.available();
+        if bytes > available {
+            return Err(OutOfMemory { label, requested: bytes, available });
+        }
+        self.allocations.push((label, bytes));
+        Ok(())
+    }
+
+    /// Releases the most recent allocation with `label`; returns its size.
+    pub fn free(&mut self, label: &str) -> Option<u64> {
+        let idx = self.allocations.iter().rposition(|(l, _)| l == label)?;
+        Some(self.allocations.remove(idx).1)
+    }
+
+    /// Total bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Iterates over `(label, bytes)` allocations in registration order.
+    pub fn allocations(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.allocations.iter().map(|(l, b)| (l.as_str(), *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free() {
+        let mut m = MemoryLedger::new(1000);
+        m.allocate("shard", 600).unwrap();
+        m.allocate("graph", 300).unwrap();
+        assert_eq!(m.used(), 900);
+        assert_eq!(m.available(), 100);
+        assert_eq!(m.free("shard"), Some(600));
+        assert_eq!(m.used(), 300);
+        assert_eq!(m.free("shard"), None);
+    }
+
+    #[test]
+    fn over_allocation_fails_with_context() {
+        let mut m = MemoryLedger::new(100);
+        m.allocate("a", 80).unwrap();
+        let err = m.allocate("b", 30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert_eq!(err.label, "b");
+        // Failed allocation must not corrupt the ledger.
+        assert_eq!(m.used(), 80);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = MemoryLedger::new(64);
+        m.allocate("x", 64).unwrap();
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    fn duplicate_labels_freed_lifo() {
+        let mut m = MemoryLedger::new(100);
+        m.allocate("t", 10).unwrap();
+        m.allocate("t", 20).unwrap();
+        assert_eq!(m.free("t"), Some(20));
+        assert_eq!(m.free("t"), Some(10));
+    }
+}

@@ -1,0 +1,179 @@
+//! Pipeline stage records and makespan computation.
+//!
+//! Pipelining-based path extension executes in lock-step stages (paper
+//! §3.1.2): every device searches its current chunk, all devices forward
+//! their results, and the next stage begins. The simulated makespan is
+//! therefore the sum over stages of the slowest device's kernel time plus
+//! the slowest forward, which is exactly how the real system synchronizes at
+//! stage boundaries.
+
+use crate::cost::TimeBreakdown;
+use crate::counters::CostCounters;
+use serde::{Deserialize, Serialize};
+
+/// The simulated record of one device executing one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Device that executed the stage.
+    pub device: usize,
+    /// Pipeline stage index (0 = first search from scratch / ghost stage).
+    pub stage: usize,
+    /// Index of the query chunk being processed (the chunk's origin device).
+    pub origin_chunk: usize,
+    /// Simulated kernel + communication time of this stage on this device.
+    pub breakdown: TimeBreakdown,
+    /// Raw operation counters of this stage.
+    pub counters: CostCounters,
+}
+
+/// All stage records of one pipelined batch execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTimeline {
+    records: Vec<StageRecord>,
+}
+
+impl PipelineTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage record.
+    pub fn push(&mut self, record: StageRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Number of distinct stages recorded.
+    pub fn num_stages(&self) -> usize {
+        self.records.iter().map(|r| r.stage + 1).max().unwrap_or(0)
+    }
+
+    /// Lock-step makespan: `Σ_s max_d (kernel + comm)` over devices `d`
+    /// active in stage `s`.
+    pub fn makespan_s(&self) -> f64 {
+        let mut total = 0.0;
+        for s in 0..self.num_stages() {
+            let worst = self
+                .records
+                .iter()
+                .filter(|r| r.stage == s)
+                .map(|r| r.breakdown.total_s())
+                .fold(0.0f64, f64::max);
+            total += worst;
+        }
+        total
+    }
+
+    /// Sum of all per-record breakdowns (total device-seconds, not wall
+    /// time): the quantity behind the Fig 2/12 category fractions.
+    pub fn aggregate(&self) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for r in &self.records {
+            out.merge(&r.breakdown);
+        }
+        out
+    }
+
+    /// Aggregate counters across all records.
+    pub fn aggregate_counters(&self) -> CostCounters {
+        let mut out = CostCounters::new();
+        for r in &self.records {
+            out.merge(&r.counters);
+        }
+        out
+    }
+
+    /// Per-stage worst-device time — the Fig 5 series ("stage 1 dominates").
+    pub fn stage_times_s(&self) -> Vec<f64> {
+        (0..self.num_stages())
+            .map(|s| {
+                self.records
+                    .iter()
+                    .filter(|r| r.stage == s)
+                    .map(|r| r.breakdown.total_s())
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    }
+
+    /// Aggregate breakdown of one device across stages.
+    pub fn device_breakdown(&self, device: usize) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for r in self.records.iter().filter(|r| r.device == device) {
+            out.merge(&r.breakdown);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(device: usize, stage: usize, dist: f64, comm: f64) -> StageRecord {
+        StageRecord {
+            device,
+            stage,
+            origin_chunk: (device + stage) % 4,
+            breakdown: TimeBreakdown { dist_s: dist, other_s: 0.0, comm_s: comm },
+            counters: CostCounters::new(),
+        }
+    }
+
+    #[test]
+    fn makespan_is_sum_of_stage_maxima() {
+        let mut t = PipelineTimeline::new();
+        t.push(rec(0, 0, 3.0, 0.1));
+        t.push(rec(1, 0, 2.0, 0.1));
+        t.push(rec(0, 1, 1.0, 0.1));
+        t.push(rec(1, 1, 1.5, 0.1));
+        // Stage 0 worst: 3.1; stage 1 worst: 1.6.
+        assert!((t.makespan_s() - 4.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_times_reflect_first_stage_dominance() {
+        let mut t = PipelineTimeline::new();
+        for d in 0..4 {
+            t.push(rec(d, 0, 5.0, 0.0)); // Unseeded first stage: long.
+            for s in 1..4 {
+                t.push(rec(d, s, 1.0, 0.0)); // Seeded stages: short.
+            }
+        }
+        let times = t.stage_times_s();
+        assert_eq!(times.len(), 4);
+        assert!(times[0] > times[1] * 3.0);
+    }
+
+    #[test]
+    fn aggregate_sums_device_seconds() {
+        let mut t = PipelineTimeline::new();
+        t.push(rec(0, 0, 1.0, 0.5));
+        t.push(rec(1, 0, 2.0, 0.5));
+        let agg = t.aggregate();
+        assert_eq!(agg.dist_s, 3.0);
+        assert_eq!(agg.comm_s, 1.0);
+    }
+
+    #[test]
+    fn device_breakdown_filters() {
+        let mut t = PipelineTimeline::new();
+        t.push(rec(0, 0, 1.0, 0.0));
+        t.push(rec(1, 0, 2.0, 0.0));
+        t.push(rec(0, 1, 4.0, 0.0));
+        assert_eq!(t.device_breakdown(0).dist_s, 5.0);
+        assert_eq!(t.device_breakdown(1).dist_s, 2.0);
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let t = PipelineTimeline::new();
+        assert_eq!(t.makespan_s(), 0.0);
+        assert_eq!(t.num_stages(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-device topology.
+//!
+//! Pipelining-based path extension arranges devices in a ring (paper §3.1.2):
+//! device `i` forwards to `(i + 1) % N`. The paper's testbed links each GPU
+//! pair with an NVLink bridge and crosses pairs over the host PCIe switch;
+//! [`RingTopology::paper_testbed`] mirrors that asymmetry.
+
+use crate::link::LinkSpec;
+use serde::Serialize;
+
+/// A unidirectional ring of `N` devices with per-edge link specs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RingTopology {
+    links: Vec<LinkSpec>,
+}
+
+impl RingTopology {
+    /// A homogeneous ring of `n` devices all joined by `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize, link: LinkSpec) -> Self {
+        assert!(n > 0, "ring needs at least one device");
+        Self { links: vec![link; n] }
+    }
+
+    /// The paper's 4-GPU testbed: GPUs (0,1) and (2,3) NVLink-bridged, the
+    /// 1→2 and 3→0 ring edges crossing the host PCIe switch.
+    pub fn paper_testbed() -> Self {
+        Self {
+            links: vec![
+                LinkSpec::nvlink_bridge(),
+                LinkSpec::pcie4_x16(),
+                LinkSpec::nvlink_bridge(),
+                LinkSpec::pcie4_x16(),
+            ],
+        }
+    }
+
+    /// Number of devices in the ring.
+    pub fn num_devices(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The ring successor of device `i`.
+    pub fn next(&self, i: usize) -> usize {
+        (i + 1) % self.links.len()
+    }
+
+    /// The link from device `i` to its ring successor.
+    pub fn link(&self, i: usize) -> &LinkSpec {
+        &self.links[i]
+    }
+
+    /// Time for device `i` to forward `bytes` to its successor.
+    pub fn forward_time(&self, i: usize, bytes: u64) -> f64 {
+        if self.links.len() == 1 {
+            return 0.0; // Single device: no transfer happens.
+        }
+        self.links[i].transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps() {
+        let t = RingTopology::uniform(4, LinkSpec::nvlink_bridge());
+        assert_eq!(t.next(0), 1);
+        assert_eq!(t.next(3), 0);
+        assert_eq!(t.num_devices(), 4);
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = RingTopology::paper_testbed();
+        assert_eq!(t.num_devices(), 4);
+        assert_eq!(t.link(0).name, "nvlink-bridge");
+        assert_eq!(t.link(1).name, "pcie4-x16");
+    }
+
+    #[test]
+    fn single_device_forwards_free() {
+        let t = RingTopology::uniform(1, LinkSpec::pcie4_x16());
+        assert_eq!(t.forward_time(0, 1 << 20), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_ring_rejected() {
+        let _ = RingTopology::uniform(0, LinkSpec::nvlink_bridge());
+    }
+}

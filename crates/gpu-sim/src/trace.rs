@@ -1,0 +1,91 @@
+//! Execution-time breakdown reports (Figs 2, 5 and 12).
+
+use crate::cost::TimeBreakdown;
+use crate::timeline::PipelineTimeline;
+use serde::{Deserialize, Serialize};
+
+/// Normalized execution-time fractions in the paper's three categories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownReport {
+    /// Fraction of time in L2 distance computation.
+    pub l2_fraction: f64,
+    /// Fraction in the rest of the kernel (RNG, fetch, sort, hash, direction
+    /// lookups).
+    pub rest_fraction: f64,
+    /// Fraction in inter-GPU communication.
+    pub comm_fraction: f64,
+    /// Absolute total device-seconds the fractions normalize.
+    pub total_s: f64,
+}
+
+impl BreakdownReport {
+    /// Builds the report from an absolute breakdown.
+    pub fn from_breakdown(b: &TimeBreakdown) -> Self {
+        let total = b.total_s();
+        if total <= 0.0 {
+            return Self { l2_fraction: 0.0, rest_fraction: 0.0, comm_fraction: 0.0, total_s: 0.0 };
+        }
+        Self {
+            l2_fraction: b.dist_s / total,
+            rest_fraction: b.other_s / total,
+            comm_fraction: b.comm_s / total,
+            total_s: total,
+        }
+    }
+
+    /// Builds the report from a whole pipeline timeline.
+    pub fn from_timeline(t: &PipelineTimeline) -> Self {
+        Self::from_breakdown(&t.aggregate())
+    }
+}
+
+/// Per-stage share of total pipeline time (Fig 5): `stage_fractions[s]` is
+/// stage `s`'s share of the lock-step makespan.
+pub fn stage_fractions(t: &PipelineTimeline) -> Vec<f64> {
+    let times = t.stage_times_s();
+    let total: f64 = times.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; times.len()];
+    }
+    times.iter().map(|x| x / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CostCounters;
+    use crate::timeline::StageRecord;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = TimeBreakdown { dist_s: 8.0, other_s: 1.5, comm_s: 0.5 };
+        let r = BreakdownReport::from_breakdown(&b);
+        assert!((r.l2_fraction + r.rest_fraction + r.comm_fraction - 1.0).abs() < 1e-12);
+        assert!((r.l2_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(r.total_s, 10.0);
+    }
+
+    #[test]
+    fn zero_time_is_all_zero() {
+        let r = BreakdownReport::from_breakdown(&TimeBreakdown::default());
+        assert_eq!(r.l2_fraction, 0.0);
+        assert_eq!(r.total_s, 0.0);
+    }
+
+    #[test]
+    fn stage_fractions_normalize() {
+        let mut t = PipelineTimeline::new();
+        for (s, dist) in [(0usize, 3.0f64), (1, 1.0)] {
+            t.push(StageRecord {
+                device: 0,
+                stage: s,
+                origin_chunk: 0,
+                breakdown: TimeBreakdown { dist_s: dist, other_s: 0.0, comm_s: 0.0 },
+                counters: CostCounters::new(),
+            });
+        }
+        let f = stage_fractions(&t);
+        assert!((f[0] - 0.75).abs() < 1e-12);
+        assert!((f[1] - 0.25).abs() < 1e-12);
+    }
+}

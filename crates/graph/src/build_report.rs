@@ -1,0 +1,120 @@
+//! Build-phase timing breakdown (paper §5.7, Fig 17).
+//!
+//! The paper shows PathWeaver's auxiliary structures (inter-shard edges,
+//! ghost connections, direction-bit vectors) add <10–15 % to CAGRA's graph
+//! build time. [`BuildReport`] accumulates wall-clock timings per phase so
+//! the `reproduce fig17` harness can print the same breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-clock build-time breakdown in seconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Core proximity graph build (CAGRA's "graph build" bar).
+    pub graph_build_s: f64,
+    /// Inter-shard edge table construction (§3.1).
+    pub intershard_s: f64,
+    /// Ghost shard sampling + graph (§3.2).
+    pub ghost_s: f64,
+    /// Direction-bit table generation (§3.3).
+    pub dirtable_s: f64,
+}
+
+impl BuildReport {
+    /// Creates an all-zero report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total build time across all phases.
+    pub fn total_s(&self) -> f64 {
+        self.graph_build_s + self.intershard_s + self.ghost_s + self.dirtable_s
+    }
+
+    /// PathWeaver-specific overhead over the core graph build, as a fraction
+    /// of the total (the quantity Fig 17 bounds at 4–15 %).
+    pub fn overhead_fraction(&self) -> f64 {
+        let aux = self.intershard_s + self.ghost_s + self.dirtable_s;
+        let total = self.total_s();
+        if total <= 0.0 {
+            0.0
+        } else {
+            aux / total
+        }
+    }
+
+    /// Runs `f`, adding its wall time to the field selected by `phase`.
+    pub fn time<T>(&mut self, phase: BuildPhase, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        match phase {
+            BuildPhase::GraphBuild => self.graph_build_s += dt,
+            BuildPhase::InterShard => self.intershard_s += dt,
+            BuildPhase::Ghost => self.ghost_s += dt,
+            BuildPhase::DirTable => self.dirtable_s += dt,
+        }
+        out
+    }
+
+    /// Merges another report (e.g. per-shard reports) into this one.
+    pub fn merge(&mut self, other: &BuildReport) {
+        self.graph_build_s += other.graph_build_s;
+        self.intershard_s += other.intershard_s;
+        self.ghost_s += other.ghost_s;
+        self.dirtable_s += other.dirtable_s;
+    }
+}
+
+/// Phases of an index build, matching Fig 17's bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPhase {
+    /// Core proximity graph construction.
+    GraphBuild,
+    /// Inter-shard edge table.
+    InterShard,
+    /// Ghost shard.
+    Ghost,
+    /// Direction-bit table.
+    DirTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates() {
+        let mut r = BuildReport::new();
+        let out = r.time(BuildPhase::GraphBuild, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(r.graph_build_s >= 0.004);
+        assert_eq!(r.intershard_s, 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction_math() {
+        let r = BuildReport { graph_build_s: 9.0, intershard_s: 0.5, ghost_s: 0.2, dirtable_s: 0.3 };
+        assert!((r.total_s() - 10.0).abs() < 1e-12);
+        assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_overhead_zero() {
+        assert_eq!(BuildReport::new().overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = BuildReport { graph_build_s: 1.0, ..Default::default() };
+        let b = BuildReport { ghost_s: 2.0, dirtable_s: 0.5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.graph_build_s, 1.0);
+        assert_eq!(a.ghost_s, 2.0);
+        assert_eq!(a.total_s(), 3.5);
+    }
+}

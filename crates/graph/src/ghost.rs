@@ -1,0 +1,178 @@
+//! Ghost staging structures (paper §3.2).
+//!
+//! A ghost shard is a small random sample of a shard's points with its own
+//! lightweight proximity graph. A query first runs a few iterations on the
+//! ghost graph — whose sparse long-range structure acts as a "highway" — and
+//! the best ghost hits become entry points into the full shard graph. The
+//! ghost-to-original transition is the identity on vectors: every ghost node
+//! *is* an original node, so the "inter-shard edge" of the paper maps ghost
+//! index to original index.
+
+use crate::cagra_opt::{cagra_build, optimize, CagraBuildParams};
+use crate::csr::FixedDegreeGraph;
+use crate::knn_build::exact_knn_lists;
+use pathweaver_vector::VectorSet;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of ghost-shard construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GhostParams {
+    /// Fraction of shard points sampled as ghost nodes (paper Fig 14 sweeps
+    /// 1e-4 … 1e-1; small ratios win).
+    pub sampling_ratio: f64,
+    /// Minimum number of ghost nodes regardless of ratio.
+    pub min_nodes: usize,
+    /// Out-degree of the ghost graph.
+    pub degree: usize,
+    /// Seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for GhostParams {
+    fn default() -> Self {
+        Self { sampling_ratio: 0.01, min_nodes: 16, degree: 16, seed: 0x60057 }
+    }
+}
+
+/// A ghost shard: sampled vectors, their lightweight graph and the mapping
+/// back to original node ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GhostShard {
+    /// `ghost index -> original node id` mapping.
+    pub to_original: Vec<u32>,
+    /// Sampled vectors (row `g` is the vector of original node
+    /// `to_original[g]`).
+    pub vectors: VectorSet,
+    /// Ghost proximity graph over the sampled vectors.
+    pub graph: FixedDegreeGraph,
+}
+
+impl GhostShard {
+    /// Builds a ghost shard over `shard_vectors`.
+    ///
+    /// Uses an exact k-NN graph when the sample is small (≤ 2048 nodes) and
+    /// the NN-descent build otherwise; both are then CAGRA-optimized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty.
+    pub fn build(shard_vectors: &VectorSet, params: &GhostParams) -> Self {
+        let n = shard_vectors.len();
+        assert!(n > 0, "empty shard");
+        let target = ((n as f64 * params.sampling_ratio).ceil() as usize)
+            .max(params.min_nodes)
+            .min(n);
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut rng = pathweaver_util::small_rng(params.seed);
+        ids.shuffle(&mut rng);
+        ids.truncate(target);
+        ids.sort_unstable();
+        let vectors = shard_vectors.gather(&ids);
+        let degree = params.degree.min(target.saturating_sub(1)).max(1);
+        let graph = if target <= 2048 {
+            let knn = exact_knn_lists(&vectors, degree + degree / 2);
+            optimize(&knn, degree, params.seed)
+        } else {
+            cagra_build(&vectors, &CagraBuildParams::with_degree(degree))
+        };
+        Self { to_original: ids.into_iter().map(|i| i as u32).collect(), vectors, graph }
+    }
+
+    /// Number of ghost nodes.
+    pub fn len(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Returns `true` when the ghost shard has no nodes (never happens for
+    /// shards built with [`GhostShard::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.to_original.is_empty()
+    }
+
+    /// Maps a ghost node id to its original node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghost_id` is out of range.
+    pub fn original_id(&self, ghost_id: u32) -> u32 {
+        self.to_original[ghost_id as usize]
+    }
+
+    /// Memory footprint of the auxiliary structures in bytes (used by the
+    /// build-overhead analysis of Fig 17).
+    pub fn nbytes(&self) -> usize {
+        self.to_original.len() * 4 + self.vectors.nbytes() + self.graph.nbytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn shard(n: usize) -> VectorSet {
+        let mut rng = pathweaver_util::small_rng(3);
+        VectorSet::from_fn(n, 6, |r, _| (r % 17) as f32 + rng.gen_range(-0.2f32..0.2))
+    }
+
+    #[test]
+    fn respects_sampling_ratio() {
+        let s = shard(2000);
+        let g = GhostShard::build(
+            &s,
+            &GhostParams { sampling_ratio: 0.05, min_nodes: 8, degree: 8, seed: 1 },
+        );
+        assert_eq!(g.len(), 100);
+        assert_eq!(g.vectors.len(), 100);
+        assert_eq!(g.graph.num_nodes(), 100);
+    }
+
+    #[test]
+    fn min_nodes_floor_applies() {
+        let s = shard(500);
+        let g = GhostShard::build(
+            &s,
+            &GhostParams { sampling_ratio: 0.0001, min_nodes: 16, degree: 8, seed: 2 },
+        );
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn mapping_points_to_matching_vectors() {
+        let s = shard(300);
+        let g = GhostShard::build(&s, &GhostParams::default());
+        for gi in 0..g.len() {
+            let orig = g.original_id(gi as u32) as usize;
+            assert_eq!(g.vectors.row(gi), s.row(orig), "ghost {gi}");
+        }
+    }
+
+    #[test]
+    fn mapping_ids_unique_and_sorted() {
+        let s = shard(400);
+        let g = GhostShard::build(&s, &GhostParams::default());
+        assert!(g.to_original.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tiny_shard_degenerates_gracefully() {
+        let s = shard(5);
+        let g = GhostShard::build(
+            &s,
+            &GhostParams { sampling_ratio: 0.5, min_nodes: 3, degree: 8, seed: 4 },
+        );
+        assert!(g.len() >= 3);
+        assert!(g.graph.degree() >= 1);
+    }
+
+    #[test]
+    fn ratio_one_takes_all() {
+        let s = shard(64);
+        let g = GhostShard::build(
+            &s,
+            &GhostParams { sampling_ratio: 1.0, min_nodes: 1, degree: 6, seed: 5 },
+        );
+        assert_eq!(g.len(), 64);
+    }
+}

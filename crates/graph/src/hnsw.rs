@@ -1,0 +1,389 @@
+//! HNSW (Malkov & Yashunin) — the paper's CPU baseline (§5.1) and the
+//! hierarchical comparison point for ghost staging (§6.1, Fig 18).
+//!
+//! A standard insertion-based build: each node draws a geometric level, is
+//! routed greedily from the entry point through the upper layers, and is
+//! connected on every layer at or below its level with an
+//! `ef_construction`-wide beam and simple closest-M neighbor selection.
+//! Layer 0 uses degree `2M`, upper layers `M`.
+
+use pathweaver_util::FixedBitSet;
+use pathweaver_vector::{l2_squared, VectorSet};
+use serde::{Deserialize, Serialize};
+
+/// HNSW build/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Degree budget `M` of upper layers; layer 0 keeps `2M`.
+    pub m: usize,
+    /// Construction beam width.
+    pub ef_construction: usize,
+    /// Seed for level sampling.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self { m: 12, ef_construction: 64, seed: 0x4a5b }
+    }
+}
+
+/// A built HNSW index over an externally owned [`VectorSet`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hnsw {
+    params: HnswParams,
+    /// `layers[l][u]` is the adjacency of node `u` at layer `l`; nodes whose
+    /// level is below `l` have an empty list there.
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Level of each node.
+    levels: Vec<u8>,
+    /// Entry node (highest level).
+    entry: u32,
+}
+
+impl Hnsw {
+    /// Builds an index over `vectors` by sequential insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or `m == 0`.
+    pub fn build(vectors: &VectorSet, params: &HnswParams) -> Self {
+        assert!(vectors.len() > 0, "empty vector set");
+        assert!(params.m > 0, "m must be positive");
+        let n = vectors.len();
+        let mult = 1.0 / (params.m as f64).ln();
+        let mut rng = pathweaver_util::small_rng(params.seed);
+        let mut hnsw = Self {
+            params: *params,
+            layers: vec![vec![Vec::new(); n]],
+            levels: vec![0; n],
+            entry: 0,
+        };
+        for u in 0..n {
+            let uni: f64 = rand::Rng::gen_range(&mut rng, f64::EPSILON..1.0);
+            let level = ((-uni.ln() * mult).floor() as usize).min(31) as u8;
+            hnsw.insert(vectors, u as u32, level);
+        }
+        hnsw
+    }
+
+    /// Highest layer index currently in use.
+    pub fn max_level(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Returns `true` when the index is empty (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Inserts node `u` (whose vector is `vectors.row(u)`) at `level`.
+    fn insert(&mut self, vectors: &VectorSet, u: u32, level: u8) {
+        let n = vectors.len();
+        while self.layers.len() <= level as usize {
+            self.layers.push(vec![Vec::new(); n]);
+        }
+        if self.levels.len() <= u as usize {
+            // Supports dynamic growth when vectors were appended after build.
+            self.levels.resize(u as usize + 1, 0);
+            for layer in self.layers.iter_mut() {
+                layer.resize(u as usize + 1, Vec::new());
+            }
+        }
+        self.levels[u as usize] = level;
+        if u == 0 {
+            self.entry = 0;
+            return;
+        }
+
+        let q = vectors.row(u as usize);
+        let mut ep = self.entry;
+        let top = self.max_level();
+        // Greedy descent through layers above the node's level.
+        for l in ((level as usize + 1)..=top).rev() {
+            ep = self.greedy_step(vectors, q, ep, l);
+        }
+        // Connect on each layer from min(level, top) down to 0.
+        for l in (0..=(level as usize).min(top)).rev() {
+            let found = self.search_layer(vectors, q, &[ep], self.params.ef_construction, l);
+            let cap = self.layer_cap(l);
+            let selected = select_heuristic(vectors, &found, cap);
+            for &v in &selected {
+                self.layers[l][u as usize].push(v);
+                self.layers[l][v as usize].push(u);
+                // Shrink v's list if it overflowed, keeping a diverse set.
+                if self.layers[l][v as usize].len() > cap {
+                    let vv = vectors.row(v as usize);
+                    let mut scored: Vec<(f32, u32)> = self.layers[l][v as usize]
+                        .iter()
+                        .map(|&w| (l2_squared(vv, vectors.row(w as usize)), w))
+                        .collect();
+                    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                    self.layers[l][v as usize] = select_heuristic(vectors, &scored, cap);
+                }
+            }
+            if let Some(&(_, best)) = found.first() {
+                ep = best;
+            }
+        }
+        if level as usize >= self.max_level() && level >= self.levels[self.entry as usize] {
+            self.entry = u;
+        }
+    }
+
+    /// Maximum degree on layer `l`.
+    fn layer_cap(&self, l: usize) -> usize {
+        if l == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// One greedy hop-to-convergence pass at layer `l`, returning the closest
+    /// node found.
+    fn greedy_step(&self, vectors: &VectorSet, q: &[f32], mut ep: u32, l: usize) -> u32 {
+        let mut best = l2_squared(vectors.row(ep as usize), q);
+        loop {
+            let mut improved = false;
+            for &v in &self.layers[l][ep as usize] {
+                let d = l2_squared(vectors.row(v as usize), q);
+                if d < best {
+                    best = d;
+                    ep = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search at layer `l`; returns ascending `(dist, id)` up to `ef`.
+    fn search_layer(
+        &self,
+        vectors: &VectorSet,
+        q: &[f32],
+        entries: &[u32],
+        ef: usize,
+        l: usize,
+    ) -> Vec<(f32, u32)> {
+        let mut visited = FixedBitSet::new(self.levels.len());
+        let mut beam: Vec<(f32, u32, bool)> = Vec::with_capacity(ef + 1);
+        let push = |beam: &mut Vec<(f32, u32, bool)>, d: f32, id: u32| {
+            if beam.len() == ef && d >= beam[ef - 1].0 {
+                return;
+            }
+            let pos = beam.partition_point(|e| e.0 <= d);
+            beam.insert(pos, (d, id, false));
+            if beam.len() > ef {
+                beam.pop();
+            }
+        };
+        for &e in entries {
+            if visited.insert(e as usize) {
+                push(&mut beam, l2_squared(vectors.row(e as usize), q), e);
+            }
+        }
+        loop {
+            let Some(i) = beam.iter().position(|e| !e.2) else { break };
+            beam[i].2 = true;
+            let u = beam[i].1;
+            for &v in &self.layers[l][u as usize] {
+                if visited.insert(v as usize) {
+                    push(&mut beam, l2_squared(vectors.row(v as usize), q), v);
+                }
+            }
+        }
+        beam.into_iter().map(|(d, id, _)| (d, id)).collect()
+    }
+
+    /// k-NN search: greedy descent through upper layers, `ef`-beam at layer 0.
+    ///
+    /// Returns up to `k` `(squared distance, id)` pairs ascending by distance.
+    pub fn search(&self, vectors: &VectorSet, q: &[f32], k: usize, ef: usize) -> Vec<(f32, u32)> {
+        let mut ep = self.entry;
+        for l in (1..=self.max_level()).rev() {
+            ep = self.greedy_step(vectors, q, ep, l);
+        }
+        let mut out = self.search_layer(vectors, q, &[ep], ef.max(k), 0);
+        out.truncate(k);
+        out
+    }
+
+    /// Converts layer 0 into a fixed-degree graph for the GPU-kernel
+    /// comparison of Fig 18 (underfull rows padded with nearest remaining
+    /// candidates from upper layers, then wrap-around ids).
+    pub fn layer0_as_fixed_degree(&self) -> crate::csr::FixedDegreeGraph {
+        let n = self.levels.len();
+        let degree = self.params.m * 2;
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut row: Vec<u32> = self.layers[0][u].clone();
+            row.dedup();
+            let mut pad = 1u32;
+            while row.len() < degree {
+                // Deterministic wrap-around padding keeps the row full
+                // without allocating randomness; duplicates are avoided.
+                let cand = (u as u32 + pad) % n as u32;
+                if cand != u as u32 && !row.contains(&cand) {
+                    row.push(cand);
+                }
+                pad += 1;
+            }
+            row.truncate(degree);
+            lists.push(row);
+        }
+        crate::csr::FixedDegreeGraph::from_lists(degree, &lists)
+    }
+
+    /// Inserts a new node appended to `vectors` (dynamic updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vectors.len() == self.len() + 1`.
+    pub fn insert_appended(&mut self, vectors: &VectorSet, seed: u64) {
+        assert_eq!(vectors.len(), self.len() + 1, "insert_appended out of sync");
+        let u = (vectors.len() - 1) as u32;
+        let mult = 1.0 / (self.params.m as f64).ln();
+        let mut rng = pathweaver_util::small_rng(seed);
+        let uni: f64 = rand::Rng::gen_range(&mut rng, f64::EPSILON..1.0);
+        let level = ((-uni.ln() * mult).floor() as usize).min(31) as u8;
+        self.insert(vectors, u, level);
+    }
+}
+
+/// HNSW's neighbor-selection heuristic (Malkov & Yashunin, Algorithm 4).
+///
+/// Walks the candidates in ascending distance and keeps a candidate only if
+/// it is closer to the inserted point than to every already-kept neighbor.
+/// This discards redundant same-direction edges in favour of diverse (often
+/// longer-range) ones — the property that keeps HNSW graphs navigable across
+/// cluster boundaries. Skipped candidates backfill remaining slots.
+fn select_heuristic(vectors: &VectorSet, candidates: &[(f32, u32)], cap: usize) -> Vec<u32> {
+    let mut kept: Vec<(f32, u32)> = Vec::with_capacity(cap);
+    let mut skipped: Vec<u32> = Vec::new();
+    for &(d_q, c) in candidates {
+        if kept.len() == cap {
+            break;
+        }
+        let diverse = kept.iter().all(|&(_, r)| {
+            l2_squared(vectors.row(c as usize), vectors.row(r as usize)) > d_q
+        });
+        if diverse {
+            kept.push((d_q, c));
+        } else {
+            skipped.push(c);
+        }
+    }
+    let mut out: Vec<u32> = kept.into_iter().map(|(_, c)| c).collect();
+    for c in skipped {
+        if out.len() == cap {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = pathweaver_util::small_rng(seed);
+        VectorSet::from_fn(n, dim, |r, _| (r % 20) as f32 * 3.0 + rng.gen_range(-0.4f32..0.4))
+    }
+
+    #[test]
+    fn search_recall_is_high() {
+        let set = clustered(800, 8, 21);
+        let hnsw = Hnsw::build(&set, &HnswParams::default());
+        let mut rng = pathweaver_util::small_rng(9);
+        let mut hits = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let target = rng.gen_range(0..set.len());
+            let mut q: Vec<f32> = set.row(target).to_vec();
+            for v in q.iter_mut() {
+                *v += rng.gen_range(-0.05f32..0.05);
+            }
+            // Exact nearest by brute force.
+            let mut exact = (f32::INFINITY, 0usize);
+            for i in 0..set.len() {
+                let d = l2_squared(set.row(i), &q);
+                if d < exact.0 {
+                    exact = (d, i);
+                }
+            }
+            let got = hnsw.search(&set, &q, 1, 64);
+            if got[0].1 as usize == exact.1 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 45, "HNSW top-1 recall too low: {hits}/{trials}");
+    }
+
+    #[test]
+    fn results_sorted_and_unique() {
+        let set = clustered(300, 6, 2);
+        let hnsw = Hnsw::build(&set, &HnswParams::default());
+        let got = hnsw.search(&set, set.row(7), 10, 32);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        let ids: std::collections::HashSet<u32> = got.iter().map(|x| x.1).collect();
+        assert_eq!(ids.len(), got.len());
+        assert_eq!(got[0].1, 7); // Exact hit on an indexed vector.
+    }
+
+    #[test]
+    fn degree_caps_respected() {
+        let set = clustered(500, 4, 3);
+        let p = HnswParams { m: 6, ef_construction: 32, seed: 1 };
+        let hnsw = Hnsw::build(&set, &p);
+        for u in 0..set.len() {
+            assert!(hnsw.layers[0][u].len() <= 12, "layer0 degree blew up at {u}");
+            for l in 1..=hnsw.max_level() {
+                assert!(hnsw.layers[l][u].len() <= 6, "layer{l} degree blew up at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_multiple_levels() {
+        let set = clustered(2000, 4, 4);
+        let hnsw = Hnsw::build(&set, &HnswParams::default());
+        assert!(hnsw.max_level() >= 1, "no hierarchy emerged");
+        assert!(hnsw.levels[hnsw.entry as usize] as usize == hnsw.max_level());
+    }
+
+    #[test]
+    fn layer0_conversion_full_degree() {
+        let set = clustered(100, 4, 5);
+        let p = HnswParams { m: 4, ef_construction: 16, seed: 2 };
+        let hnsw = Hnsw::build(&set, &p);
+        let g = hnsw.layer0_as_fixed_degree();
+        assert_eq!(g.degree(), 8);
+        assert_eq!(g.num_nodes(), 100);
+        for u in 0..100u32 {
+            assert!(!g.neighbors(u).contains(&u), "self loop at {u}");
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_searchable() {
+        let mut set = clustered(200, 4, 6);
+        let mut hnsw = Hnsw::build(&set, &HnswParams::default());
+        let novel = vec![58.5f32; 4];
+        set.push(&novel);
+        hnsw.insert_appended(&set, 77);
+        let got = hnsw.search(&set, &novel, 1, 16);
+        assert_eq!(got[0].1 as usize, set.len() - 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Inter-shard edge tables for pipelining-based path extension (paper §3.1).
+//!
+//! For each node `u` of shard `i`, the table stores
+//! `I(u) = argmin_{w ∈ shard (i+1) mod N} dist(u, w)` — the (approximately)
+//! nearest node in the next shard of the ring. At query time, a converged
+//! local result `z` on shard `i` seeds the search on shard `i+1` at `I(z)`.
+//!
+//! As in the paper (§4, §5.7), the table is built by *searching* the adjacent
+//! shard's already-built proximity graph with every local node as a query and
+//! keeping the top-1, which is dramatically cheaper than exact all-pairs.
+
+use crate::csr::FixedDegreeGraph;
+use crate::greedy::greedy_search;
+use pathweaver_util::parallel_map;
+use pathweaver_vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the inter-shard table build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterShardParams {
+    /// Beam width of the build-time search in the adjacent shard.
+    pub beam: usize,
+    /// Number of random entry points per build-time search.
+    pub entries: usize,
+    /// Seed for entry sampling.
+    pub seed: u64,
+}
+
+impl Default for InterShardParams {
+    fn default() -> Self {
+        Self { beam: 32, entries: 4, seed: 0x15edce }
+    }
+}
+
+/// The `I(u)` mapping from every node of a source shard into the adjacent
+/// (target) shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterShardTable {
+    targets: Vec<u32>,
+}
+
+impl InterShardTable {
+    /// Creates an empty table, to be filled with [`InterShardTable::push`]
+    /// (used when deserializing a persisted index).
+    pub fn empty() -> Self {
+        Self { targets: Vec::new() }
+    }
+
+    /// Builds the table: each vector of `source` searches `target_graph`
+    /// (over `target_vectors`) and keeps its top-1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shard is empty.
+    pub fn build(
+        source: &VectorSet,
+        target_vectors: &VectorSet,
+        target_graph: &FixedDegreeGraph,
+        params: &InterShardParams,
+    ) -> Self {
+        assert!(source.len() > 0, "empty source shard");
+        assert!(target_vectors.len() > 0, "empty target shard");
+        assert_eq!(target_vectors.len(), target_graph.num_nodes(), "target shard inconsistent");
+        let tn = target_vectors.len();
+        let targets = parallel_map(source.len(), |u| {
+            let mut rng = pathweaver_util::small_rng(pathweaver_util::seed_from_parts(
+                params.seed,
+                "entry",
+                u as u64,
+            ));
+            let entries: Vec<u32> = (0..params.entries.max(1))
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..tn) as u32)
+                .collect();
+            greedy_search(target_graph, target_vectors, source.row(u), &entries, params.beam, 1)[0]
+                .1
+        });
+        Self { targets }
+    }
+
+    /// Builds the exact table by brute force — the oracle used in tests and
+    /// for tiny shards.
+    pub fn build_exact(source: &VectorSet, target_vectors: &VectorSet) -> Self {
+        assert!(target_vectors.len() > 0, "empty target shard");
+        let targets = parallel_map(source.len(), |u| {
+            let mut best = (f32::INFINITY, 0u32);
+            for w in 0..target_vectors.len() {
+                let d = pathweaver_vector::l2_squared(source.row(u), target_vectors.row(w));
+                if d < best.0 {
+                    best = (d, w as u32);
+                }
+            }
+            best.1
+        });
+        Self { targets }
+    }
+
+    /// Returns `I(u)`: the target-shard node seeding continuation searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn target(&self, u: u32) -> u32 {
+        self.targets[u as usize]
+    }
+
+    /// Number of source nodes covered.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` for an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Memory footprint in bytes (Fig 17 build-overhead analysis).
+    pub fn nbytes(&self) -> usize {
+        self.targets.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Appends the mapping of a newly inserted source node (dynamic updates,
+    /// paper §6.2).
+    pub fn push(&mut self, target: u32) {
+        self.targets.push(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cagra_opt::{cagra_build, CagraBuildParams};
+    use rand::Rng;
+
+    fn two_shards(n: usize) -> (VectorSet, VectorSet) {
+        let mut rng = pathweaver_util::small_rng(17);
+        let a = VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng.gen_range(-0.3f32..0.3));
+        let mut rng2 = pathweaver_util::small_rng(23);
+        let b = VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng2.gen_range(-0.3f32..0.3));
+        (a, b)
+    }
+
+    #[test]
+    fn searched_table_mostly_matches_exact() {
+        let (src, dst) = two_shards(400);
+        let g = cagra_build(&dst, &CagraBuildParams::with_degree(12));
+        let approx = InterShardTable::build(&src, &dst, &g, &InterShardParams::default());
+        let exact = InterShardTable::build_exact(&src, &dst);
+        // The searched targets must be near-optimal: compare achieved
+        // distances rather than identities (ties are common on grids).
+        let mut regret = 0.0f64;
+        for u in 0..src.len() {
+            let da = pathweaver_vector::l2_squared(src.row(u), dst.row(approx.target(u as u32) as usize));
+            let de = pathweaver_vector::l2_squared(src.row(u), dst.row(exact.target(u as u32) as usize));
+            regret += f64::from(da - de);
+        }
+        assert!(regret / src.len() as f64 <= 0.05, "mean regret too high: {regret}");
+    }
+
+    #[test]
+    fn exact_table_is_argmin() {
+        let src = VectorSet::from_flat(1, vec![0.0, 5.0, 9.0]);
+        let dst = VectorSet::from_flat(1, vec![1.0, 6.0, 8.0]);
+        let t = InterShardTable::build_exact(&src, &dst);
+        assert_eq!(t.target(0), 0);
+        assert_eq!(t.target(1), 1);
+        assert_eq!(t.target(2), 2);
+    }
+
+    #[test]
+    fn table_len_and_bytes() {
+        let (src, dst) = two_shards(50);
+        let t = InterShardTable::build_exact(&src, &dst);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.nbytes(), 200);
+    }
+
+    #[test]
+    fn push_extends_table() {
+        let (src, dst) = two_shards(10);
+        let mut t = InterShardTable::build_exact(&src, &dst);
+        t.push(3);
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.target(10), 3);
+    }
+}

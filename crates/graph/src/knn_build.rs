@@ -1,0 +1,347 @@
+//! NN-descent approximate k-NN graph construction.
+//!
+//! The paper builds its proximity graphs with CAGRA's GPU build algorithm,
+//! whose first phase is an approximate k-NN graph. This module provides that
+//! phase on CPU threads via NN-descent (Dong et al., WWW'11): start from
+//! random neighbor lists and repeatedly join each node's neighborhood —
+//! neighbors of neighbors are likely neighbors — until updates die out.
+//!
+//! The result feeds [`crate::cagra_opt`] for detour pruning and reverse-edge
+//! merging.
+
+use pathweaver_util::{parallel_for, small_rng, TopK};
+use pathweaver_vector::{l2_squared, VectorSet};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parameters of the NN-descent build.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NnDescentParams {
+    /// Neighbors per node in the produced k-NN lists.
+    pub k: usize,
+    /// Maximum local-join rounds.
+    pub max_rounds: usize,
+    /// Per-node sample size of new/old neighbors considered per round.
+    pub sample: usize,
+    /// Stop when a round's accepted updates fall below
+    /// `termination_ratio × n × k`.
+    pub termination_ratio: f64,
+    /// RNG seed for the random initialization and sampling.
+    pub seed: u64,
+}
+
+impl Default for NnDescentParams {
+    fn default() -> Self {
+        Self { k: 32, max_rounds: 12, sample: 12, termination_ratio: 0.002, seed: 0x9a7d }
+    }
+}
+
+/// One entry of a node's bounded neighbor list.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dist: f32,
+    id: u32,
+    is_new: bool,
+}
+
+/// A bounded, ascending-sorted neighbor list with id dedup.
+struct NeighborList {
+    entries: Vec<Entry>,
+    capacity: usize,
+}
+
+impl NeighborList {
+    fn new(capacity: usize) -> Self {
+        Self { entries: Vec::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Attempts to insert `(dist, id)`; returns `true` if the list changed.
+    fn insert(&mut self, dist: f32, id: u32) -> bool {
+        if self.entries.len() == self.capacity
+            && dist >= self.entries[self.capacity - 1].dist
+        {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.id == id) {
+            return false;
+        }
+        let pos = self.entries.partition_point(|e| e.dist <= dist);
+        self.entries.insert(pos, Entry { dist, id, is_new: true });
+        if self.entries.len() > self.capacity {
+            self.entries.pop();
+        }
+        true
+    }
+}
+
+/// Builds approximate k-NN lists `(distance, id)` per node, ascending by
+/// distance.
+///
+/// Lists may hold fewer than `k` entries only when the dataset has fewer
+/// than `k + 1` points.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or `params.k == 0`.
+pub fn nn_descent(vectors: &VectorSet, params: &NnDescentParams) -> Vec<Vec<(f32, u32)>> {
+    let n = vectors.len();
+    assert!(n > 0, "cannot build a graph over an empty set");
+    assert!(params.k > 0, "k must be positive");
+    let k = params.k.min(n - 1).max(1);
+
+    // Random initialization: k distinct random neighbors per node.
+    let lists: Vec<Mutex<NeighborList>> =
+        (0..n).map(|_| Mutex::new(NeighborList::new(k))).collect();
+    parallel_for(n, |u| {
+        let mut rng = small_rng(pathweaver_util::seed_from_parts(params.seed, "init", u as u64));
+        let mut list = lists[u].lock();
+        while list.entries.len() < k {
+            let v = rng.gen_range(0..n);
+            if v == u {
+                continue;
+            }
+            let d = l2_squared(vectors.row(u), vectors.row(v));
+            list.insert(d, v as u32);
+        }
+    });
+
+    for round in 0..params.max_rounds {
+        // Phase 1: snapshot per-node forward samples, clearing `new` flags of
+        // the sampled entries.
+        let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut fwd_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+        {
+            let fwd_new = Mutex::new(&mut fwd_new);
+            let fwd_old = Mutex::new(&mut fwd_old);
+            parallel_for(n, |u| {
+                let mut rng = small_rng(pathweaver_util::seed_from_parts(
+                    params.seed,
+                    "sample",
+                    (round * n + u) as u64,
+                ));
+                let mut list = lists[u].lock();
+                let mut new_ids: Vec<usize> = list
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.is_new)
+                    .map(|(i, _)| i)
+                    .collect();
+                new_ids.shuffle(&mut rng);
+                new_ids.truncate(params.sample);
+                let mut news = Vec::with_capacity(new_ids.len());
+                for &i in &new_ids {
+                    list.entries[i].is_new = false;
+                    news.push(list.entries[i].id);
+                }
+                let mut olds: Vec<u32> = list
+                    .entries
+                    .iter()
+                    .filter(|e| !e.is_new)
+                    .map(|e| e.id)
+                    .collect();
+                olds.retain(|id| !news.contains(id));
+                olds.shuffle(&mut rng);
+                olds.truncate(params.sample);
+                drop(list);
+                fwd_new.lock()[u] = news;
+                fwd_old.lock()[u] = olds;
+            });
+        }
+
+        // Phase 2: reverse samples (who sampled me?), bounded per node.
+        let mut rev_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rev_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for &v in &fwd_new[u] {
+                rev_new[v as usize].push(u as u32);
+            }
+            for &v in &fwd_old[u] {
+                rev_old[v as usize].push(u as u32);
+            }
+        }
+        let mut trim_rng = small_rng(pathweaver_util::seed_from_parts(
+            params.seed,
+            "rev-trim",
+            round as u64,
+        ));
+        for l in rev_new.iter_mut().chain(rev_old.iter_mut()) {
+            if l.len() > params.sample {
+                l.shuffle(&mut trim_rng);
+                l.truncate(params.sample);
+            }
+        }
+
+        // Phase 3: local join. New candidates are tried against both new and
+        // old candidates; every accepted insertion counts as an update.
+        let updates = AtomicU64::new(0);
+        parallel_for(n, |u| {
+            let mut news = fwd_new[u].clone();
+            news.extend_from_slice(&rev_new[u]);
+            news.sort_unstable();
+            news.dedup();
+            let mut olds = fwd_old[u].clone();
+            olds.extend_from_slice(&rev_old[u]);
+            olds.sort_unstable();
+            olds.dedup();
+
+            let mut local = 0u64;
+            for (i, &a) in news.iter().enumerate() {
+                // new × new (unordered pairs).
+                for &b in news.iter().skip(i + 1) {
+                    if a != b {
+                        local += join(vectors, &lists, a, b);
+                    }
+                }
+                // new × old.
+                for &b in &olds {
+                    if a != b {
+                        local += join(vectors, &lists, a, b);
+                    }
+                }
+            }
+            if local > 0 {
+                updates.fetch_add(local, Ordering::Relaxed);
+            }
+        });
+
+        let threshold = (params.termination_ratio * n as f64 * k as f64) as u64;
+        if updates.load(Ordering::Relaxed) <= threshold {
+            break;
+        }
+    }
+
+    lists
+        .into_iter()
+        .map(|m| m.into_inner().entries.into_iter().map(|e| (e.dist, e.id)).collect())
+        .collect()
+}
+
+/// Tries the symmetric insertion of the pair `(a, b)`; returns the number of
+/// list changes (0–2).
+fn join(vectors: &VectorSet, lists: &[Mutex<NeighborList>], a: u32, b: u32) -> u64 {
+    let d = l2_squared(vectors.row(a as usize), vectors.row(b as usize));
+    let mut changed = 0;
+    if lists[a as usize].lock().insert(d, b) {
+        changed += 1;
+    }
+    if lists[b as usize].lock().insert(d, a) {
+        changed += 1;
+    }
+    changed
+}
+
+/// Exact k-NN lists by brute force — the oracle used in tests and for tiny
+/// sets (ghost shards) where exactness is cheap.
+pub fn exact_knn_lists(vectors: &VectorSet, k: usize) -> Vec<Vec<(f32, u32)>> {
+    let n = vectors.len();
+    let k = k.min(n.saturating_sub(1)).max(1);
+    pathweaver_util::parallel_map(n, |u| {
+        let mut top = TopK::new(k);
+        for v in 0..n {
+            if v != u {
+                top.push(l2_squared(vectors.row(u), vectors.row(v)), v as u64);
+            }
+        }
+        top.into_sorted().into_iter().map(|(d, id)| (d, id as u32)).collect()
+    })
+}
+
+/// Fraction of exact k-NN edges recovered by `approx` (graph-build quality
+/// metric).
+pub fn knn_recall(exact: &[Vec<(f32, u32)>], approx: &[Vec<(f32, u32)>]) -> f64 {
+    assert_eq!(exact.len(), approx.len());
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (e, a) in exact.iter().zip(approx) {
+        let truth: std::collections::HashSet<u32> = e.iter().map(|x| x.1).collect();
+        total += e.len();
+        hit += a.iter().filter(|x| truth.contains(&x.1)).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = small_rng(seed);
+        VectorSet::from_fn(n, dim, |r, _| {
+            let center = (r % 10) as f32 * 5.0;
+            center + rng.gen_range(-0.5f32..0.5)
+        })
+    }
+
+    #[test]
+    fn neighbor_list_insert_sorted_dedup() {
+        let mut l = NeighborList::new(3);
+        assert!(l.insert(5.0, 1));
+        assert!(l.insert(2.0, 2));
+        assert!(!l.insert(2.0, 2));
+        assert!(l.insert(9.0, 3));
+        assert!(l.insert(1.0, 4)); // Evicts id 3.
+        assert!(!l.insert(10.0, 5));
+        let ids: Vec<u32> = l.entries.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![4, 2, 1]);
+        let dists: Vec<f32> = l.entries.iter().map(|e| e.dist).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn nn_descent_recovers_most_exact_edges() {
+        let set = clustered_set(600, 12, 42);
+        let params = NnDescentParams { k: 8, max_rounds: 10, sample: 8, termination_ratio: 0.001, seed: 1 };
+        let approx = nn_descent(&set, &params);
+        let exact = exact_knn_lists(&set, 8);
+        let recall = knn_recall(&exact, &approx);
+        assert!(recall > 0.90, "NN-descent recall too low: {recall}");
+    }
+
+    #[test]
+    fn lists_have_k_entries_and_no_self_loops() {
+        let set = clustered_set(200, 8, 7);
+        let params = NnDescentParams { k: 6, ..Default::default() };
+        let lists = nn_descent(&set, &params);
+        for (u, l) in lists.iter().enumerate() {
+            assert_eq!(l.len(), 6, "node {u}");
+            assert!(l.iter().all(|&(_, id)| id as usize != u), "self loop at {u}");
+            assert!(l.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted at {u}");
+            let ids: std::collections::HashSet<u32> = l.iter().map(|x| x.1).collect();
+            assert_eq!(ids.len(), 6, "duplicates at {u}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let set = clustered_set(150, 6, 3);
+        let params = NnDescentParams { k: 4, ..Default::default() };
+        assert_eq!(nn_descent(&set, &params), nn_descent(&set, &params));
+    }
+
+    #[test]
+    fn tiny_set_caps_k() {
+        let set = clustered_set(4, 3, 9);
+        let params = NnDescentParams { k: 10, ..Default::default() };
+        let lists = nn_descent(&set, &params);
+        for l in &lists {
+            assert_eq!(l.len(), 3);
+        }
+    }
+
+    #[test]
+    fn exact_knn_matches_ground_truth_semantics() {
+        let set = VectorSet::from_fn(20, 2, |r, _| r as f32);
+        let lists = exact_knn_lists(&set, 2);
+        // Node 5's nearest are 4 and 6 (distance 2.0 in squared-L2, both dims).
+        let ids: Vec<u32> = lists[5].iter().map(|x| x.1).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&4) && ids.contains(&6));
+    }
+}

@@ -1,0 +1,114 @@
+//! Graph diagnostics: reachability, in-degree distribution, edge symmetry.
+//!
+//! The paper attributes graph-search quality to "reachability" (all vertices
+//! reachable from any vertex) and "convexity" (§2.2). These diagnostics
+//! quantify the former and are used in build tests and reports.
+
+use crate::csr::FixedDegreeGraph;
+use pathweaver_util::FixedBitSet;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of nodes reachable from `start` by directed BFS.
+pub fn reachable_fraction(graph: &FixedDegreeGraph, start: u32) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut seen = FixedBitSet::new(n);
+    let mut queue = std::collections::VecDeque::new();
+    seen.insert(start as usize);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if seen.insert(v as usize) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen.count() as f64 / n as f64
+}
+
+/// Aggregate structural statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Fixed out-degree.
+    pub out_degree: usize,
+    /// Minimum in-degree over all nodes.
+    pub min_in_degree: usize,
+    /// Maximum in-degree over all nodes.
+    pub max_in_degree: usize,
+    /// Mean in-degree (equals out-degree for a fixed-degree graph).
+    pub mean_in_degree: f64,
+    /// Fraction of edges whose reverse edge also exists.
+    pub symmetry: f64,
+    /// Fraction of nodes reachable from node 0.
+    pub reachable_from_zero: f64,
+}
+
+/// Computes [`GraphStats`] for `graph`.
+pub fn graph_stats(graph: &FixedDegreeGraph) -> GraphStats {
+    let n = graph.num_nodes();
+    let mut in_deg = vec![0usize; n];
+    for u in 0..n {
+        for &v in graph.neighbors(u as u32) {
+            in_deg[v as usize] += 1;
+        }
+    }
+    let mut symmetric = 0usize;
+    for u in 0..n {
+        for &v in graph.neighbors(u as u32) {
+            if graph.neighbors(v).contains(&(u as u32)) {
+                symmetric += 1;
+            }
+        }
+    }
+    let edges = graph.num_edges().max(1);
+    GraphStats {
+        num_nodes: n,
+        out_degree: graph.degree(),
+        min_in_degree: in_deg.iter().copied().min().unwrap_or(0),
+        max_in_degree: in_deg.iter().copied().max().unwrap_or(0),
+        mean_in_degree: in_deg.iter().sum::<usize>() as f64 / n.max(1) as f64,
+        symmetry: symmetric as f64 / edges as f64,
+        reachable_from_zero: reachable_fraction(graph, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> FixedDegreeGraph {
+        let lists: Vec<Vec<u32>> = (0..n).map(|u| vec![((u + 1) % n) as u32]).collect();
+        FixedDegreeGraph::from_lists(1, &lists)
+    }
+
+    #[test]
+    fn ring_is_fully_reachable() {
+        assert_eq!(reachable_fraction(&ring(10), 0), 1.0);
+    }
+
+    #[test]
+    fn disconnected_graph_partial_reach() {
+        // Two 2-cycles: 0<->1 and 2<->3.
+        let lists = vec![vec![1u32], vec![0u32], vec![3u32], vec![2u32]];
+        let g = FixedDegreeGraph::from_lists(1, &lists);
+        assert_eq!(reachable_fraction(&g, 0), 0.5);
+        let s = graph_stats(&g);
+        assert_eq!(s.symmetry, 1.0);
+        assert_eq!(s.reachable_from_zero, 0.5);
+    }
+
+    #[test]
+    fn ring_stats() {
+        let s = graph_stats(&ring(8));
+        assert_eq!(s.num_nodes, 8);
+        assert_eq!(s.out_degree, 1);
+        assert_eq!(s.min_in_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.mean_in_degree, 1.0);
+        assert_eq!(s.symmetry, 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Direction-guided selection (paper §3.3) and its random-discard control.
+//!
+//! Given a visited node `u`, its adjacency row, and the query, DGS:
+//!
+//! 1. encodes the sign bits of `q − u` (one code per visited node),
+//! 2. looks up the precomputed edge codes of `u`'s neighbors,
+//! 3. counts matching bits per neighbor (XOR + popcount), and
+//! 4. keeps the `n` neighbors with the most matching bits; only those get a
+//!    full distance computation.
+//!
+//! `Random` keeps a uniformly random subset of the same size — the control
+//! experiment in Fig 15/16 that shows the *direction* information, not the
+//! mere discarding, preserves recall.
+
+use pathweaver_graph::DirectionTable;
+use pathweaver_vector::SignCodeBuf;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+
+/// How the kernel selects which neighbors get an exact distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborFilter {
+    /// All neighbors (exact CAGRA behaviour).
+    All,
+    /// Direction-guided: keep the `keep` most query-aligned neighbors.
+    Direction {
+        /// Neighbors kept per row.
+        keep: usize,
+    },
+    /// Random control: keep `keep` uniformly random neighbors.
+    Random {
+        /// Neighbors kept per row.
+        keep: usize,
+    },
+    /// Similarity-threshold pruning (paper §6.3's suggested variant): keep
+    /// every neighbor whose direction code matches the query direction on at
+    /// least `min_matches` bits, regardless of how many qualify. Preserves
+    /// good candidates at the cost of a variable (warp-imbalancing) keep
+    /// count; at least one neighbor is always kept.
+    Threshold {
+        /// Minimum matching bits required.
+        min_matches: u32,
+    },
+}
+
+/// Selects the positions (indices into the adjacency row) whose distances
+/// will be computed.
+///
+/// `node_vec` is the visited node's vector, `query` the query vector,
+/// `row_codes` the node's direction-table row (`degree × words` packed u32).
+/// `scratch` is the reusable query-code buffer. Returns indices in ranking
+/// order (most aligned first for [`NeighborFilter::Direction`]).
+pub fn select_neighbors(
+    filter: NeighborFilter,
+    degree: usize,
+    node_vec: &[f32],
+    query: &[f32],
+    dir_table: Option<(&DirectionTable, u32)>,
+    scratch: &mut SignCodeBuf,
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    match filter {
+        NeighborFilter::All => (0..degree).collect(),
+        NeighborFilter::Random { keep } => {
+            let mut idx: Vec<usize> = (0..degree).collect();
+            idx.shuffle(rng);
+            idx.truncate(keep.clamp(1, degree));
+            idx
+        }
+        NeighborFilter::Direction { keep } => {
+            let (table, u) =
+                dir_table.expect("direction filter requires a direction table");
+            scratch.encode(node_vec, query);
+            let words = table.words_per_code();
+            let row = table.node_codes(u);
+            let mut scored: Vec<(u32, usize)> = (0..degree)
+                .map(|j| (scratch.matches(&row[j * words..(j + 1) * words]), j))
+                .collect();
+            // Most matching bits first; stable index tie-break for
+            // determinism.
+            scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored.truncate(keep.clamp(1, degree));
+            scored.into_iter().map(|(_, j)| j).collect()
+        }
+        NeighborFilter::Threshold { min_matches } => {
+            let (table, u) =
+                dir_table.expect("threshold filter requires a direction table");
+            scratch.encode(node_vec, query);
+            let words = table.words_per_code();
+            let row = table.node_codes(u);
+            let mut best = (0u32, 0usize);
+            let mut kept: Vec<usize> = Vec::with_capacity(degree);
+            for j in 0..degree {
+                let m = scratch.matches(&row[j * words..(j + 1) * words]);
+                if m >= min_matches {
+                    kept.push(j);
+                }
+                if m > best.0 {
+                    best = (m, j);
+                }
+            }
+            if kept.is_empty() {
+                kept.push(best.1);
+            }
+            kept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathweaver_graph::FixedDegreeGraph;
+    use pathweaver_vector::VectorSet;
+
+    /// A node at the origin with 4 neighbors along ±x / ±y; the query sits
+    /// along +x, so the +x neighbor must rank first.
+    fn axis_world() -> (VectorSet, FixedDegreeGraph, DirectionTable) {
+        let dim = 16;
+        let mut set = VectorSet::empty(dim);
+        set.push(&vec![0.0; dim]); // node 0: origin
+        let mut px = vec![0.0; dim];
+        px[0] = 1.0;
+        let mut nx = vec![0.0; dim];
+        nx[0] = -1.0;
+        let mut py = vec![0.0; dim];
+        py[1] = 1.0;
+        let mut ny = vec![0.0; dim];
+        ny[1] = -1.0;
+        set.push(&px); // 1
+        set.push(&nx); // 2
+        set.push(&py); // 3
+        set.push(&ny); // 4
+        let lists = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 2, 3, 4],
+            vec![0, 1, 3, 4],
+            vec![0, 1, 2, 4],
+            vec![0, 1, 2, 3],
+        ];
+        let g = FixedDegreeGraph::from_lists(4, &lists);
+        let t = DirectionTable::build(&set, &g);
+        (set, g, t)
+    }
+
+    #[test]
+    fn all_keeps_everything() {
+        let mut rng = pathweaver_util::small_rng(1);
+        let mut buf = SignCodeBuf::new(16);
+        let got = select_neighbors(NeighborFilter::All, 4, &[0.0; 16], &[1.0; 16], None, &mut buf, &mut rng);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn direction_ranks_aligned_neighbor_first() {
+        let (set, _g, t) = axis_world();
+        let mut query = vec![0.0f32; 16];
+        query[0] = 2.0; // Along +x: neighbor 1 (row position 0) is aligned.
+        let mut rng = pathweaver_util::small_rng(2);
+        let mut buf = SignCodeBuf::new(16);
+        let got = select_neighbors(
+            NeighborFilter::Direction { keep: 1 },
+            4,
+            set.row(0),
+            &query,
+            Some((&t, 0)),
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got, vec![0], "expected the +x edge (row position 0)");
+    }
+
+    #[test]
+    fn direction_keep_two_excludes_opposite() {
+        let (set, _g, t) = axis_world();
+        // Query increases along every coordinate, so the +x and +y edges
+        // (row positions 0 and 2) must outrank the −x and −y edges, whose
+        // sign codes share no raised bit with the query direction.
+        let query = vec![2.0f32; 16];
+        let mut rng = pathweaver_util::small_rng(3);
+        let mut buf = SignCodeBuf::new(16);
+        let got = select_neighbors(
+            NeighborFilter::Direction { keep: 2 },
+            4,
+            set.row(0),
+            &query,
+            Some((&t, 0)),
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&0), "+x edge must be kept: {got:?}");
+        assert!(got.contains(&2), "+y edge must be kept: {got:?}");
+    }
+
+    #[test]
+    fn random_keeps_requested_count() {
+        let mut rng = pathweaver_util::small_rng(4);
+        let mut buf = SignCodeBuf::new(8);
+        let got = select_neighbors(
+            NeighborFilter::Random { keep: 3 },
+            10,
+            &[0.0; 8],
+            &[1.0; 8],
+            None,
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 3);
+        let uniq: std::collections::HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(uniq.len(), 3);
+        assert!(got.iter().all(|&j| j < 10));
+    }
+
+    #[test]
+    fn threshold_keeps_qualifying_neighbors() {
+        let (set, _g, t) = axis_world();
+        let query = vec![2.0f32; 16]; // All coordinates increase.
+        let mut rng = pathweaver_util::small_rng(6);
+        let mut buf = SignCodeBuf::new(16);
+        // +x and +y edges match on 1 bit; −x/−y on 0 bits.
+        let got = select_neighbors(
+            NeighborFilter::Threshold { min_matches: 1 },
+            4,
+            set.row(0),
+            &query,
+            Some((&t, 0)),
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn threshold_never_empty() {
+        let (set, _g, t) = axis_world();
+        let query = vec![2.0f32; 16];
+        let mut rng = pathweaver_util::small_rng(7);
+        let mut buf = SignCodeBuf::new(16);
+        let got = select_neighbors(
+            NeighborFilter::Threshold { min_matches: 1000 },
+            4,
+            set.row(0),
+            &query,
+            Some((&t, 0)),
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 1, "best neighbor must survive an impossible threshold");
+    }
+
+    #[test]
+    fn keep_clamped_to_degree() {
+        let mut rng = pathweaver_util::small_rng(5);
+        let mut buf = SignCodeBuf::new(8);
+        let got = select_neighbors(
+            NeighborFilter::Random { keep: 100 },
+            4,
+            &[0.0; 8],
+            &[1.0; 8],
+            None,
+            &mut buf,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! The forgettable visited-hash table (CAGRA §4, adopted by the paper).
+//!
+//! A small open-addressing table of node ids that answers "have I already
+//! computed this node's distance?". It is *forgettable*: when a probe window
+//! is full, the oldest-looking slot is overwritten. Forgetting can cause a
+//! node to be re-processed (costing a redundant distance computation, never
+//! a wrong result) — precisely the trade the GPU kernel makes to keep the
+//! table in shared memory.
+
+/// Sentinel for an empty slot (node ids are < 2^32 − 1 in practice).
+const EMPTY: u32 = u32::MAX;
+
+/// A fixed-capacity forgettable visited set of `u32` ids.
+#[derive(Debug, Clone)]
+pub struct VisitedHash {
+    slots: Vec<u32>,
+    mask: usize,
+    probes: u64,
+    /// Linear-probe window before forgetting.
+    window: usize,
+}
+
+impl VisitedHash {
+    /// Creates a table with `2^bits` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `4..=28`.
+    pub fn new(bits: u32) -> Self {
+        assert!((4..=28).contains(&bits), "hash bits out of range");
+        let n = 1usize << bits;
+        Self { slots: vec![EMPTY; n], mask: n - 1, probes: 0, window: 8 }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Simulated probe count charged so far (drained by the kernel).
+    pub fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+
+    /// Multiplicative hash of an id onto the table.
+    #[inline]
+    fn slot_of(&self, id: u32) -> usize {
+        (id.wrapping_mul(0x9E37_79B1) as usize) & self.mask
+    }
+
+    /// Marks `id` visited. Returns `true` when the id was *not* already
+    /// present (i.e. the caller should process it now).
+    pub fn insert(&mut self, id: u32) -> bool {
+        debug_assert_ne!(id, EMPTY, "sentinel id");
+        let start = self.slot_of(id);
+        for i in 0..self.window {
+            self.probes += 1;
+            let s = (start + i) & self.mask;
+            if self.slots[s] == id {
+                return false;
+            }
+            if self.slots[s] == EMPTY {
+                self.slots[s] = id;
+                return true;
+            }
+        }
+        // Window full: forget the slot at the window start.
+        self.slots[start] = id;
+        true
+    }
+
+    /// Returns `true` if `id` is currently remembered as visited.
+    pub fn contains(&mut self, id: u32) -> bool {
+        let start = self.slot_of(id);
+        for i in 0..self.window {
+            self.probes += 1;
+            let s = (start + i) & self.mask;
+            if self.slots[s] == id {
+                return true;
+            }
+            if self.slots[s] == EMPTY {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Clears the table (reused between queries).
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut h = VisitedHash::new(8);
+        assert!(h.insert(42));
+        assert!(!h.insert(42));
+        assert!(h.contains(42));
+        assert!(!h.contains(43));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut h = VisitedHash::new(6);
+        h.insert(1);
+        h.insert(2);
+        h.clear();
+        assert!(!h.contains(1));
+        assert!(h.insert(1));
+    }
+
+    #[test]
+    fn never_false_positive() {
+        // Forgetting may cause false *negatives* (re-processing) but an id
+        // never reported visited unless it was actually inserted.
+        let mut h = VisitedHash::new(4); // 16 slots: heavy pressure.
+        let mut inserted = std::collections::HashSet::new();
+        for id in 0..1000u32 {
+            if h.contains(id * 7 + 1) {
+                assert!(inserted.contains(&(id * 7 + 1)), "false positive for {}", id * 7 + 1);
+            }
+            h.insert(id);
+            inserted.insert(id);
+        }
+    }
+
+    #[test]
+    fn forgetting_under_pressure_still_inserts() {
+        let mut h = VisitedHash::new(4);
+        for id in 0..10_000u32 {
+            h.insert(id);
+        }
+        // The most recent id must still be present.
+        assert!(h.contains(9_999));
+    }
+
+    #[test]
+    fn probes_are_counted() {
+        let mut h = VisitedHash::new(8);
+        h.insert(1);
+        h.contains(1);
+        assert!(h.take_probes() >= 2);
+        assert_eq!(h.take_probes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash bits out of range")]
+    fn tiny_table_rejected() {
+        let _ = VisitedHash::new(2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn agrees_with_exact_set_when_roomy(ids in proptest::collection::vec(0u32..200, 0..100)) {
+            // With a table far larger than the id universe, the forgettable
+            // hash must behave exactly like a set.
+            let mut h = VisitedHash::new(12);
+            let mut set = std::collections::HashSet::new();
+            for &id in &ids {
+                prop_assert_eq!(h.insert(id), set.insert(id), "id {}", id);
+            }
+            for id in 0u32..200 {
+                prop_assert_eq!(h.contains(id), set.contains(&id), "contains {}", id);
+            }
+        }
+    }
+}

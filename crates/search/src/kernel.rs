@@ -1,0 +1,498 @@
+//! The per-query search loop and the batch driver (paper §2.2, §4).
+//!
+//! The loop is CAGRA's: initialize the priority buffer from entry candidates,
+//! then repeatedly expand the best `r` unexpanded nodes, filter their
+//! neighbors (direction-guided selection, §3.3), compute exact distances for
+//! the survivors, and merge them into the buffer. The search converges when
+//! no unexpanded node remains in the buffer — the paper's "priority queue
+//! receives no new entries" condition — or the iteration cap is hit.
+//!
+//! Every operation is tallied into [`CostCounters`]; the simulated GPU clock
+//! is derived from those counters, never from wall time.
+
+use crate::dgs::{select_neighbors, NeighborFilter};
+use crate::hash::VisitedHash;
+use crate::params::SearchParams;
+use crate::queue::PriorityBuffer;
+use crate::stats::{BatchStats, SearchStats};
+use pathweaver_gpusim::CostCounters;
+use pathweaver_graph::{DirectionTable, FixedDegreeGraph};
+use pathweaver_vector::{l2_squared, SignCodeBuf, VectorSet};
+use rand::Rng;
+
+/// Everything resident on one simulated device for one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardContext<'a> {
+    /// Shard vectors.
+    pub vectors: &'a VectorSet,
+    /// Shard proximity graph.
+    pub graph: &'a FixedDegreeGraph,
+    /// Optional direction-bit table (required when DGS is enabled).
+    pub dir_table: Option<&'a DirectionTable>,
+}
+
+impl<'a> ShardContext<'a> {
+    /// Creates a context, checking graph/vector consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph and vectors disagree on node count.
+    pub fn new(
+        vectors: &'a VectorSet,
+        graph: &'a FixedDegreeGraph,
+        dir_table: Option<&'a DirectionTable>,
+    ) -> Self {
+        assert_eq!(vectors.len(), graph.num_nodes(), "graph/vector size mismatch");
+        Self { vectors, graph, dir_table }
+    }
+}
+
+/// How a query's initial candidate buffer is filled (paper §2.2 step 2 or
+/// the seeded variants of §3.1/§3.2).
+#[derive(Debug, Clone)]
+pub enum EntryPolicy {
+    /// `count` uniformly random nodes (baseline CAGRA).
+    Random {
+        /// Number of random entries.
+        count: usize,
+    },
+    /// Explicit seeds (forwarded results `I(z)` or ghost-stage hits), plus
+    /// `extra_random` random nodes as a safety net.
+    Seeded {
+        /// Seed node ids in this shard.
+        seeds: Vec<u32>,
+        /// Additional random entries.
+        extra_random: usize,
+    },
+}
+
+/// Searches one query on one shard, tallying every simulated operation.
+///
+/// Returns `(top-k hits ascending by distance, per-query statistics)`.
+///
+/// # Panics
+///
+/// Panics if `params` are invalid (see [`SearchParams::validate`]), the
+/// shard is empty, or DGS is enabled without a direction table.
+pub fn search_query(
+    ctx: &ShardContext<'_>,
+    query: &[f32],
+    params: &SearchParams,
+    entry: &EntryPolicy,
+    query_seed: u64,
+    counters: &mut CostCounters,
+) -> (Vec<(f32, u32)>, SearchStats) {
+    params.validate();
+    let n = ctx.vectors.len();
+    assert!(n > 0, "empty shard");
+    let dim = ctx.vectors.dim();
+    let degree = ctx.graph.degree();
+    if params.dgs.is_some() && !params.random_discard {
+        assert!(ctx.dir_table.is_some(), "direction-guided selection needs a direction table");
+    }
+
+    let mut queue = PriorityBuffer::new(params.beam);
+    let mut visited = VisitedHash::new(params.hash_bits);
+    let mut scratch = SignCodeBuf::new(dim);
+    let mut rng = pathweaver_util::small_rng(query_seed);
+    let mut stats = SearchStats::default();
+
+    // Step 2–3: fill the candidate buffer and sort it into the queue.
+    let mut init_ids: Vec<u32> = Vec::with_capacity(params.candidates);
+    match entry {
+        EntryPolicy::Random { count } => {
+            for _ in 0..(*count).max(1) {
+                init_ids.push(rng.gen_range(0..n) as u32);
+                counters.rng_ops += 1;
+            }
+        }
+        EntryPolicy::Seeded { seeds, extra_random } => {
+            init_ids.extend(seeds.iter().copied().filter(|&s| (s as usize) < n));
+            for _ in 0..*extra_random {
+                init_ids.push(rng.gen_range(0..n) as u32);
+                counters.rng_ops += 1;
+            }
+            assert!(!init_ids.is_empty(), "seeded entry produced no valid candidates");
+        }
+    }
+    for id in init_ids {
+        if visited.insert(id) {
+            let d = l2_squared(ctx.vectors.row(id as usize), query);
+            counters.record_distance(dim);
+            stats.visits += 1;
+            queue.push(d, id);
+        }
+    }
+
+    // Steps 3–4 iterated: expand, filter, compute, merge.
+    let cooldown_start = params.cooldown_start();
+    let keep = params.kept_neighbors(degree);
+    let mut stalled = 0usize;
+    for iter in 0..params.max_iterations {
+        let targets = queue.pop_expansion_targets(params.expand);
+        if targets.is_empty() {
+            stats.converged = true;
+            break;
+        }
+        stats.iterations += 1;
+        // Paper §2.2: iterate "until the priority queue receives no new
+        // entries". The signal watches the *result window* (the top-k
+        // slots): a seeded search (path extension / ghost staging) starts at
+        // the optimum's doorstep, so its window stabilizes within a couple
+        // of iterations, while a random start keeps improving it during the
+        // whole navigation phase — exactly where the pipelined stages get
+        // their speedup. Beam-tail churn is ignored.
+        let mut inserted_in_window = false;
+
+        let filter = match params.dgs {
+            // `keep < degree` only gates the top-n mode: in threshold mode
+            // `keep_ratio` is a matching-bit fraction, not a neighbor count.
+            Some(d) if iter < cooldown_start && (d.threshold_mode || keep < degree) => {
+                if params.random_discard {
+                    NeighborFilter::Random { keep }
+                } else if d.threshold_mode {
+                    // §6.3 variant: the keep_ratio doubles as the matching-
+                    // bit fraction required of a surviving neighbor.
+                    NeighborFilter::Threshold {
+                        min_matches: (d.keep_ratio * dim as f64).round() as u32,
+                    }
+                } else {
+                    NeighborFilter::Direction { keep }
+                }
+            }
+            _ => NeighborFilter::All,
+        };
+
+        for (_, u) in targets {
+            counters.record_adjacency_fetch(degree);
+            let selected = match filter {
+                NeighborFilter::All => select_neighbors(
+                    NeighborFilter::All,
+                    degree,
+                    ctx.vectors.row(u as usize),
+                    query,
+                    None,
+                    &mut scratch,
+                    &mut rng,
+                ),
+                NeighborFilter::Random { keep } => {
+                    counters.rng_ops += degree as u64;
+                    select_neighbors(
+                        NeighborFilter::Random { keep },
+                        degree,
+                        ctx.vectors.row(u as usize),
+                        query,
+                        None,
+                        &mut scratch,
+                        &mut rng,
+                    )
+                }
+                NeighborFilter::Direction { .. } | NeighborFilter::Threshold { .. } => {
+                    let table = ctx.dir_table.expect("checked above");
+                    counters.record_dir_selection(degree, table.words_per_code());
+                    if matches!(filter, NeighborFilter::Direction { .. }) {
+                        // Only the top-n mode pays a min-sort over the
+                        // `degree` match counts; threshold mode is a linear
+                        // scan already covered by the per-compare cost.
+                        counters.sort_ops +=
+                            (degree as f64).log2().ceil() as u64 * degree as u64;
+                    }
+                    select_neighbors(
+                        filter,
+                        degree,
+                        ctx.vectors.row(u as usize),
+                        query,
+                        Some((table, u)),
+                        &mut scratch,
+                        &mut rng,
+                    )
+                }
+            };
+            stats.filtered_neighbors += (degree - selected.len()) as u64;
+            let row = ctx.graph.neighbors(u);
+            for j in selected {
+                let v = row[j];
+                if visited.insert(v) {
+                    let d = l2_squared(ctx.vectors.row(v as usize), query);
+                    counters.record_distance(dim);
+                    stats.visits += 1;
+                    if let Some(rank) = queue.push_at(d, v) {
+                        if rank < params.k {
+                            inserted_in_window = true;
+                        }
+                    }
+                }
+            }
+        }
+        if inserted_in_window {
+            stalled = 0;
+        } else {
+            stalled += 1;
+            if stalled >= params.patience.max(1) {
+                stats.converged = true;
+                break;
+            }
+        }
+    }
+    if !stats.converged && queue.pop_expansion_targets(1).is_empty() {
+        stats.converged = true;
+    }
+
+    counters.sort_ops += queue.take_sort_steps();
+    counters.hash_probes += visited.take_probes();
+    counters.iterations += stats.iterations;
+
+    // Table 1 semantics: a visit is "kept" only if the node is still in the
+    // priority buffer at the end; everything else was computed and dropped.
+    let kept = queue.len() as u64;
+    stats.discarded = stats.visits.saturating_sub(kept);
+
+    (queue.top_k(params.k), stats)
+}
+
+/// Result of a batch search on one shard.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query top-k hits, ascending by distance.
+    pub hits: Vec<Vec<(f32, u32)>>,
+    /// Aggregated statistics.
+    pub stats: BatchStats,
+    /// Aggregated operation counters (including one kernel launch).
+    pub counters: CostCounters,
+}
+
+/// Searches a batch of queries on one shard in parallel.
+///
+/// `entries[i]` configures query `i`'s entry candidates; pass a single-entry
+/// slice to share one policy across the batch.
+///
+/// # Panics
+///
+/// Panics if `entries` is neither length 1 nor `queries.len()`.
+pub fn search_batch(
+    ctx: &ShardContext<'_>,
+    queries: &VectorSet,
+    params: &SearchParams,
+    entries: &[EntryPolicy],
+) -> BatchResult {
+    assert!(
+        entries.len() == 1 || entries.len() == queries.len(),
+        "entries must be shared (len 1) or per-query (len {})",
+        queries.len()
+    );
+    let per_query = pathweaver_util::parallel_map(queries.len(), |q| {
+        let mut counters = CostCounters::new();
+        let entry = if entries.len() == 1 { &entries[0] } else { &entries[q] };
+        let seed = pathweaver_util::seed_from_parts(params.seed, "query", q as u64);
+        let (hits, stats) =
+            search_query(ctx, queries.row(q), params, entry, seed, &mut counters);
+        (hits, stats, counters)
+    });
+
+    let mut result = BatchResult {
+        hits: Vec::with_capacity(queries.len()),
+        stats: BatchStats::default(),
+        counters: CostCounters::new(),
+    };
+    for (hits, stats, counters) in per_query {
+        result.hits.push(hits);
+        result.stats.absorb(&stats);
+        result.counters.merge(&counters);
+    }
+    result.counters.kernel_launches += 1;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathweaver_graph::{cagra_build, CagraBuildParams};
+
+    fn world(n: usize, dim: usize) -> (VectorSet, FixedDegreeGraph, DirectionTable) {
+        let mut rng = pathweaver_util::small_rng(99);
+        let set = VectorSet::from_fn(n, dim, |r, _| {
+            (r % 25) as f32 * 0.8 + rand::Rng::gen_range(&mut rng, -0.3f32..0.3)
+        });
+        let g = cagra_build(&set, &CagraBuildParams::with_degree(16));
+        let t = DirectionTable::build(&set, &g);
+        (set, g, t)
+    }
+
+    fn exact_top1(set: &VectorSet, q: &[f32]) -> u32 {
+        let mut best = (f32::INFINITY, 0u32);
+        for i in 0..set.len() {
+            let d = l2_squared(set.row(i), q);
+            if d < best.0 {
+                best = (d, i as u32);
+            }
+        }
+        best.1
+    }
+
+    #[test]
+    fn finds_indexed_vector_exactly() {
+        let (set, g, _) = world(600, 12);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams::default();
+        let mut c = CostCounters::new();
+        let (hits, stats) = search_query(
+            &ctx,
+            set.row(321),
+            &params,
+            &EntryPolicy::Random { count: 32 },
+            7,
+            &mut c,
+        );
+        assert_eq!(hits[0].1, 321);
+        assert_eq!(hits[0].0, 0.0);
+        assert!(stats.visits > 0);
+        assert!(c.dist_calcs == stats.visits);
+    }
+
+    #[test]
+    fn seeded_entry_converges_faster_than_random() {
+        let (set, g, _) = world(800, 12);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams::default();
+        let q = set.row(555).to_vec();
+        let near = exact_top1(&set, &q);
+        let mut c1 = CostCounters::new();
+        let (_, s_rand) =
+            search_query(&ctx, &q, &params, &EntryPolicy::Random { count: 64 }, 1, &mut c1);
+        let mut c2 = CostCounters::new();
+        let (_, s_seed) = search_query(
+            &ctx,
+            &q,
+            &params,
+            &EntryPolicy::Seeded { seeds: vec![near], extra_random: 0 },
+            1,
+            &mut c2,
+        );
+        assert!(
+            s_seed.visits < s_rand.visits,
+            "seeded {} should visit fewer than random {}",
+            s_seed.visits,
+            s_rand.visits
+        );
+    }
+
+    #[test]
+    fn dgs_reduces_distance_calcs() {
+        // DGS trades per-iteration distance work for (slightly) more
+        // iterations; its win shows at a matched iteration budget, which is
+        // also how the paper's QPS–recall sweeps operate. A uniform world
+        // keeps adjacency overlap (and hence visited-dedup) low, so the
+        // distance count tracks the keep ratio.
+        let mut rng = pathweaver_util::small_rng(4242);
+        let set = VectorSet::from_fn(2000, 32, |_, _| rand::Rng::gen_range(&mut rng, -1.0f32..1.0));
+        let g = cagra_build(&set, &CagraBuildParams::with_degree(16));
+        let t = DirectionTable::build(&set, &g);
+        let ctx = ShardContext::new(&set, &g, Some(&t));
+        // A budget low enough that neither variant hits the no-new-entries
+        // stop, so both run the same number of iterations.
+        let base = SearchParams { max_iterations: 8, ..Default::default() };
+        let dgs = SearchParams {
+            dgs: Some(crate::params::DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false }),
+            ..base
+        };
+        let q = set.row(100).to_vec();
+        let mut c_base = CostCounters::new();
+        let _ = search_query(&ctx, &q, &base, &EntryPolicy::Random { count: 64 }, 3, &mut c_base);
+        let mut c_dgs = CostCounters::new();
+        let (hits, stats) =
+            search_query(&ctx, &q, &dgs, &EntryPolicy::Random { count: 64 }, 3, &mut c_dgs);
+        assert!(c_dgs.dist_calcs < c_base.dist_calcs, "{} vs {}", c_dgs.dist_calcs, c_base.dist_calcs);
+        assert!(stats.filtered_neighbors > 0);
+        assert!(c_dgs.dir_table_bytes > 0);
+        // Accuracy: DGS should still land on the exact vector.
+        assert_eq!(hits[0].1, 100);
+    }
+
+    #[test]
+    fn discarded_visits_dominate() {
+        // Table 1: the overwhelming majority of visited nodes never survive
+        // to the final buffer.
+        let (set, g, _) = world(1000, 16);
+        let ctx = ShardContext::new(&set, &g, None);
+        // A narrow final buffer relative to the exploration volume, as in
+        // real deployments (Table 1 measures >80 % discarded).
+        let params = SearchParams { beam: 32, candidates: 64, ..Default::default() };
+        let mut c = CostCounters::new();
+        let (_, stats) = search_query(
+            &ctx,
+            set.row(42),
+            &params,
+            &EntryPolicy::Random { count: 64 },
+            11,
+            &mut c,
+        );
+        assert!(stats.discard_ratio() > 0.5, "ratio {}", stats.discard_ratio());
+    }
+
+    #[test]
+    fn batch_driver_matches_single_queries() {
+        let (set, g, _) = world(400, 8);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams { k: 5, ..Default::default() };
+        let queries = set.gather(&[10, 20, 30]);
+        let batch = search_batch(&ctx, &queries, &params, &[EntryPolicy::Random { count: 32 }]);
+        assert_eq!(batch.hits.len(), 3);
+        assert_eq!(batch.stats.queries, 3);
+        assert_eq!(batch.counters.kernel_launches, 1);
+        for (i, &orig) in [10u32, 20, 30].iter().enumerate() {
+            assert_eq!(batch.hits[i][0].1, orig, "query {i}");
+        }
+    }
+
+    #[test]
+    fn max_iterations_caps_work() {
+        let (set, g, _) = world(800, 8);
+        let ctx = ShardContext::new(&set, &g, None);
+        let capped = SearchParams { max_iterations: 2, ..Default::default() };
+        let mut c = CostCounters::new();
+        let (_, stats) = search_query(
+            &ctx,
+            set.row(0),
+            &capped,
+            &EntryPolicy::Random { count: 16 },
+            5,
+            &mut c,
+        );
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn per_query_entries_respected() {
+        let (set, g, _) = world(300, 8);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams { k: 1, ..Default::default() };
+        let queries = set.gather(&[5, 250]);
+        let entries = vec![
+            EntryPolicy::Seeded { seeds: vec![5], extra_random: 0 },
+            EntryPolicy::Seeded { seeds: vec![250], extra_random: 0 },
+        ];
+        let batch = search_batch(&ctx, &queries, &params, &entries);
+        assert_eq!(batch.hits[0][0].1, 5);
+        assert_eq!(batch.hits[1][0].1, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "direction-guided selection needs a direction table")]
+    fn dgs_without_table_panics() {
+        let (set, g, _) = world(100, 8);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams {
+            dgs: Some(crate::params::DgsParams::default()),
+            ..Default::default()
+        };
+        let mut c = CostCounters::new();
+        let _ = search_query(
+            &ctx,
+            set.row(0),
+            &params,
+            &EntryPolicy::Random { count: 8 },
+            1,
+            &mut c,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The PathWeaver search kernel.
+//!
+//! This crate reproduces the CAGRA-style GPU search kernel (paper §2.2, §4)
+//! as instrumented CPU code: the algorithm is identical — a fixed-size sorted
+//! priority queue, a candidate buffer, a forgettable visited-hash, and
+//! iterative top-`r` expansion — and every operation the CUDA kernel would
+//! perform is tallied into [`pathweaver_gpusim::CostCounters`] for the
+//! simulated-time model.
+//!
+//! Modules:
+//!
+//! - [`params`]: search parameters (`k`, beam width `l`, expansion width `r`,
+//!   iteration caps, entry policies) and the neighbor-filter configuration.
+//! - [`queue`]: the bounded sorted priority buffer (the paper's `p`).
+//! - [`hash`]: the forgettable visited-hash table (CAGRA §4).
+//! - [`dgs`]: direction-guided selection — ranking neighbors by sign-bit
+//!   match and keeping the top-n (paper §3.3) — plus the random-discard
+//!   control used in Fig 15/16.
+//! - [`kernel`]: the per-query search loop and the batch driver.
+//! - [`stats`]: per-query and batch statistics (iterations, visits,
+//!   discarded visits — Table 1, Fig 3, Fig 13).
+
+pub mod dgs;
+pub mod hash;
+pub mod kernel;
+pub mod params;
+pub mod queue;
+pub mod stats;
+
+pub use dgs::NeighborFilter;
+pub use hash::VisitedHash;
+pub use kernel::{search_batch, search_query, BatchResult, EntryPolicy, ShardContext};
+pub use params::{DgsParams, SearchParams};
+pub use queue::PriorityBuffer;
+pub use stats::{BatchStats, SearchStats};

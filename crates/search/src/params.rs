@@ -1,0 +1,167 @@
+//! Search parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of direction-guided selection (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DgsParams {
+    /// Fraction of each adjacency row whose exact distance is still
+    /// computed; the paper's "discarded neighbor ratio" is `1 − keep_ratio`.
+    pub keep_ratio: f64,
+    /// Fraction of `max_iterations` at the *end* of the search during which
+    /// filtering is disabled (the cool-down phase; paper default 0.3).
+    pub cooldown_ratio: f64,
+    /// Use similarity-threshold pruning (paper §6.3's discussed variant)
+    /// instead of fixed top-n: keep every neighbor matching at least
+    /// `keep_ratio × dim` direction bits. Variable keep count per node.
+    pub threshold_mode: bool,
+}
+
+impl Default for DgsParams {
+    fn default() -> Self {
+        Self { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false }
+    }
+}
+
+/// Parameters of one graph search (paper §2.2 notation in brackets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Number of results returned [`k`].
+    pub k: usize,
+    /// Priority-queue width [`l`, `k ≤ l`]; CAGRA calls this `itopk`.
+    pub beam: usize,
+    /// Number of initial candidates [`m`]; random entries or forwarded
+    /// seeds fill this buffer.
+    pub candidates: usize,
+    /// Nodes expanded per iteration [`r`, `r ≤ l`].
+    pub expand: usize,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// log2 of the visited-hash capacity.
+    pub hash_bits: u32,
+    /// Optional neighbor filtering (None = exact CAGRA behaviour).
+    pub dgs: Option<DgsParams>,
+    /// Use random instead of direction-guided discarding (the Fig 15/16
+    /// control); only meaningful when `dgs` is set.
+    pub random_discard: bool,
+    /// Consecutive insertion-free iterations tolerated before declaring
+    /// convergence ("the priority queue receives no new entries", §2.2).
+    /// Small values terminate seeded searches quickly; larger values let a
+    /// temporarily stalled frontier recover.
+    pub patience: usize,
+    /// RNG seed for entry sampling.
+    pub seed: u64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            beam: 64,
+            candidates: 64,
+            expand: 4,
+            max_iterations: 48,
+            hash_bits: 13,
+            dgs: None,
+            random_discard: false,
+            patience: 2,
+            seed: 0x5ea7c4,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > beam`, `expand == 0`, `expand > beam`, `beam == 0`,
+    /// or a DGS keep/cool-down ratio is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.beam > 0, "beam must be positive");
+        assert!(self.k > 0 && self.k <= self.beam, "need 0 < k <= beam");
+        assert!(self.expand > 0 && self.expand <= self.beam, "need 0 < expand <= beam");
+        assert!(self.max_iterations > 0, "need at least one iteration");
+        assert!(self.hash_bits >= 4 && self.hash_bits <= 28, "hash_bits out of range");
+        if let Some(d) = self.dgs {
+            assert!(d.keep_ratio > 0.0 && d.keep_ratio <= 1.0, "keep_ratio out of (0,1]");
+            assert!((0.0..=1.0).contains(&d.cooldown_ratio), "cooldown_ratio out of [0,1]");
+        }
+    }
+
+    /// First iteration index (0-based) at which the DGS cool-down starts;
+    /// `max_iterations` when DGS is disabled (never cools down because it
+    /// never filters).
+    pub fn cooldown_start(&self) -> usize {
+        match self.dgs {
+            None => self.max_iterations,
+            Some(d) => {
+                ((self.max_iterations as f64) * (1.0 - d.cooldown_ratio)).round() as usize
+            }
+        }
+    }
+
+    /// Number of neighbors kept per adjacency row of `degree` under DGS; at
+    /// least 1.
+    pub fn kept_neighbors(&self, degree: usize) -> usize {
+        match self.dgs {
+            None => degree,
+            Some(d) => ((degree as f64 * d.keep_ratio).round() as usize).clamp(1, degree),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SearchParams::default().validate();
+    }
+
+    #[test]
+    fn cooldown_boundaries() {
+        let mut p = SearchParams { max_iterations: 20, ..Default::default() };
+        assert_eq!(p.cooldown_start(), 20); // No DGS: never filters.
+        p.dgs = Some(DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false });
+        assert_eq!(p.cooldown_start(), 14);
+        p.dgs = Some(DgsParams { keep_ratio: 0.5, cooldown_ratio: 1.0, threshold_mode: false });
+        assert_eq!(p.cooldown_start(), 0); // Always cool: filter never active.
+        p.dgs = Some(DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.0, threshold_mode: false });
+        assert_eq!(p.cooldown_start(), 20);
+    }
+
+    #[test]
+    fn kept_neighbors_rounding() {
+        let p = SearchParams {
+            dgs: Some(DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false }),
+            ..Default::default()
+        };
+        assert_eq!(p.kept_neighbors(32), 16);
+        assert_eq!(p.kept_neighbors(1), 1);
+        let tiny = SearchParams {
+            dgs: Some(DgsParams { keep_ratio: 0.01, cooldown_ratio: 0.3, threshold_mode: false }),
+            ..Default::default()
+        };
+        assert_eq!(tiny.kept_neighbors(32), 1);
+        let none = SearchParams::default();
+        assert_eq!(none.kept_neighbors(32), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= beam")]
+    fn k_over_beam_rejected() {
+        SearchParams { k: 100, beam: 10, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_ratio")]
+    fn zero_keep_ratio_rejected() {
+        SearchParams {
+            dgs: Some(DgsParams { keep_ratio: 0.0, cooldown_ratio: 0.3, threshold_mode: false }),
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,121 @@
+//! Search statistics (Table 1, Fig 3, Fig 13).
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one query's search on one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Iterations executed before convergence or the cap.
+    pub iterations: u64,
+    /// Nodes whose exact distance was computed ("#Total Visits").
+    pub visits: u64,
+    /// Visited nodes absent from the final priority buffer ("#Discarded
+    /// Visits", Table 1).
+    pub discarded: u64,
+    /// Whether the search converged before hitting the iteration cap.
+    pub converged: bool,
+    /// Neighbors skipped by direction-guided selection.
+    pub filtered_neighbors: u64,
+}
+
+impl SearchStats {
+    /// Fraction of visits that were discarded (Table 1's "Ratio").
+    pub fn discard_ratio(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.discarded as f64 / self.visits as f64
+        }
+    }
+}
+
+/// Aggregated statistics over a query batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Queries aggregated.
+    pub queries: u64,
+    /// Total iterations.
+    pub iterations: u64,
+    /// Total visits.
+    pub visits: u64,
+    /// Total discarded visits.
+    pub discarded: u64,
+    /// Queries that converged before the cap.
+    pub converged: u64,
+    /// Total filtered (skipped) neighbors.
+    pub filtered_neighbors: u64,
+}
+
+impl BatchStats {
+    /// Adds one query's statistics.
+    pub fn absorb(&mut self, s: &SearchStats) {
+        self.queries += 1;
+        self.iterations += s.iterations;
+        self.visits += s.visits;
+        self.discarded += s.discarded;
+        self.converged += u64::from(s.converged);
+        self.filtered_neighbors += s.filtered_neighbors;
+    }
+
+    /// Merges another batch.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.queries += other.queries;
+        self.iterations += other.iterations;
+        self.visits += other.visits;
+        self.discarded += other.discarded;
+        self.converged += other.converged;
+        self.filtered_neighbors += other.filtered_neighbors;
+    }
+
+    /// Mean iterations per query.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.queries as f64
+        }
+    }
+
+    /// Overall discarded-visit ratio (Table 1).
+    pub fn discard_ratio(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.discarded as f64 / self.visits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut b = BatchStats::default();
+        b.absorb(&SearchStats { iterations: 10, visits: 100, discarded: 90, converged: true, filtered_neighbors: 5 });
+        b.absorb(&SearchStats { iterations: 20, visits: 200, discarded: 150, converged: false, filtered_neighbors: 0 });
+        assert_eq!(b.queries, 2);
+        assert_eq!(b.mean_iterations(), 15.0);
+        assert_eq!(b.visits, 300);
+        assert_eq!(b.converged, 1);
+        assert!((b.discard_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        assert_eq!(BatchStats::default().discard_ratio(), 0.0);
+        assert_eq!(BatchStats::default().mean_iterations(), 0.0);
+        assert_eq!(SearchStats::default().discard_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_batches() {
+        let mut a = BatchStats { queries: 1, iterations: 5, visits: 10, discarded: 8, converged: 1, filtered_neighbors: 2 };
+        let b = BatchStats { queries: 2, iterations: 10, visits: 30, discarded: 20, converged: 1, filtered_neighbors: 3 };
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.visits, 40);
+        assert_eq!(a.filtered_neighbors, 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-capacity bitset.
+//!
+//! Used for exact visited-node tracking in reference search paths and for
+//! reachability analysis over proximity graphs. The simulated GPU kernel uses
+//! the forgettable hash table from `pathweaver-search` instead; this bitset is
+//! the oracle the hash is validated against.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty bitset able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Returns the capacity (exclusive upper bound on stored indices).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `index`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        let (w, b) = (index / 64, index % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Returns `true` when `index` is present.
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        let (w, b) = (index / 64, index % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        let (w, b) = (index / 64, index % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Clears all bits, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Grows the capacity to `new_capacity`, preserving set bits.
+    ///
+    /// Shrinking is not supported; smaller values are ignored.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity > self.capacity {
+            self.capacity = new_capacity;
+            self.words.resize(new_capacity.div_ceil(64), 0);
+        }
+    }
+
+    /// Returns the number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = FixedBitSet::new(200);
+        for i in [5usize, 63, 64, 65, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FixedBitSet::new(100);
+        s.insert(42);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(42));
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut s = FixedBitSet::new(10);
+        s.insert(9);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(9));
+        assert!(s.insert(199));
+        s.grow(50); // Shrink attempts are ignored.
+        assert_eq!(s.capacity(), 200);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = FixedBitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut s = FixedBitSet::new(10);
+        s.insert(10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #[test]
+        fn behaves_like_hashset(ops in proptest::collection::vec((0usize..256, proptest::bool::ANY), 0..500)) {
+            let mut bits = FixedBitSet::new(256);
+            let mut set = HashSet::new();
+            for (idx, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(bits.insert(idx), set.insert(idx));
+                } else {
+                    prop_assert_eq!(bits.remove(idx), set.remove(&idx));
+                }
+            }
+            prop_assert_eq!(bits.count(), set.len());
+            let mut expect: Vec<usize> = set.into_iter().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(bits.iter().collect::<Vec<_>>(), expect);
+        }
+    }
+}

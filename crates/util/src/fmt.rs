@@ -1,0 +1,120 @@
+//! Human-readable formatting helpers for experiment reports.
+
+/// Formats a count with SI-style suffixes (`1.2K`, `3.4M`, `5.6G`).
+pub fn si_count(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats a byte count with binary suffixes.
+pub fn bytes(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", v / (1024.0 * 1024.0 * 1024.0))
+    } else if a >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", v / (1024.0 * 1024.0))
+    } else if a >= 1024.0 {
+        format!("{:.2} KiB", v / 1024.0)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit (s / ms / µs / ns).
+pub fn seconds(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1.0 {
+        format!("{v:.3} s")
+    } else if a >= 1e-3 {
+        format!("{:.3} ms", v * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.3} µs", v * 1e6)
+    } else {
+        format!("{:.1} ns", v * 1e9)
+    }
+}
+
+/// Renders a simple fixed-width text table with a header row.
+///
+/// Column widths adapt to content; used by the `reproduce` harness to print
+/// the paper's tables.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_count_suffixes() {
+        assert_eq!(si_count(950.0), "950");
+        assert_eq!(si_count(1_200.0), "1.20K");
+        assert_eq!(si_count(3_400_000.0), "3.40M");
+        assert_eq!(si_count(5.6e9), "5.60G");
+    }
+
+    #[test]
+    fn bytes_suffixes() {
+        assert_eq!(bytes(512.0), "512 B");
+        assert_eq!(bytes(2048.0), "2.00 KiB");
+        assert_eq!(bytes(3.0 * 1024.0 * 1024.0), "3.00 MiB");
+    }
+
+    #[test]
+    fn seconds_units() {
+        assert_eq!(seconds(1.5), "1.500 s");
+        assert_eq!(seconds(0.0025), "2.500 ms");
+        assert_eq!(seconds(3.5e-6), "3.500 µs");
+        assert_eq!(seconds(7e-9), "7.0 ns");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+}

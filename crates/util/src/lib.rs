@@ -1,0 +1,31 @@
+//! Shared utilities for the PathWeaver workspace.
+//!
+//! This crate collects the small, dependency-light building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! - [`parallel`]: scoped-thread data parallelism (`parallel_for`,
+//!   `parallel_map`) built directly on [`std::thread::scope`], so the
+//!   workspace does not need a third-party thread-pool crate.
+//! - [`rng`]: deterministic seeding helpers so every experiment in the
+//!   reproduction is replayable bit-for-bit.
+//! - [`topk`]: bounded top-k selection used by ground-truth computation and
+//!   host-side result reduction.
+//! - [`bitset`]: a fixed-capacity bitset used for visited tracking in
+//!   reference (non-simulated) code paths.
+//! - [`stats`]: summary statistics (mean, geometric mean, percentiles) used
+//!   by the experiment harness.
+//! - [`fmt`]: human-readable formatting of counts, bytes and durations for
+//!   experiment reports.
+
+pub mod bitset;
+pub mod fmt;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+
+pub use bitset::FixedBitSet;
+pub use parallel::{available_threads, parallel_chunks_mut, parallel_for, parallel_map};
+pub use rng::{seed_from_parts, small_rng, SeedStream};
+pub use stats::Summary;
+pub use topk::TopK;

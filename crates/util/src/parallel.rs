@@ -1,0 +1,203 @@
+//! Scoped-thread data parallelism.
+//!
+//! The workspace needs simple fork-join parallelism (graph construction,
+//! brute-force ground truth, per-shard preprocessing) but the approved
+//! dependency set contains no thread-pool crate. [`std::thread::scope`] is
+//! sufficient: all helpers here split an index range into contiguous chunks,
+//! run one scoped thread per chunk, and join before returning. Panics in
+//! worker closures propagate to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use by default.
+///
+/// Honours the `PATHWEAVER_THREADS` environment variable when it parses as a
+/// positive integer; otherwise falls back to [`std::thread::available_parallelism`].
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("PATHWEAVER_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `body(i)` for every `i in 0..len`, distributing indices over scoped
+/// threads.
+///
+/// Work is handed out in dynamically-sized blocks from a shared atomic
+/// cursor, so uneven per-index cost (e.g. beam searches that converge at
+/// different iteration counts) still balances.
+///
+/// `body` receives the global index. The call returns after every index has
+/// been processed.
+pub fn parallel_for<F>(len: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = available_threads().min(len.max(1));
+    if threads <= 1 || len < 2 {
+        for i in 0..len {
+            body(i);
+        }
+        return;
+    }
+    // Dynamic block size: aim for ~8 blocks per thread to balance load
+    // without excessive cursor contention.
+    let block = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + block).min(len);
+                for i in start..end {
+                    body(i);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..len` in parallel and collects the results in index order.
+pub fn parallel_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    {
+        let slots: Vec<SlotPtr<T>> = out.iter_mut().map(|s| SlotPtr(s as *mut Option<T>)).collect();
+        let slots = &slots;
+        let f = &f;
+        parallel_for(len, move |i| {
+            slots[i].write(f(i));
+        });
+    }
+    out.into_iter().map(|s| s.expect("parallel_map slot filled")).collect()
+}
+
+/// Raw pointer wrapper so per-index result slots can cross the scoped-thread
+/// boundary.
+struct SlotPtr<T>(*mut Option<T>);
+
+impl<T> SlotPtr<T> {
+    /// Writes `value` into the slot.
+    fn write(&self, value: T) {
+        // SAFETY: `parallel_for` hands each index to exactly one worker, so
+        // each slot pointer is written by a single thread and never read
+        // until after the scope joins; the target outlives the scope.
+        unsafe { *self.0 = Some(value) };
+    }
+}
+// SAFETY: Each `SlotPtr` targets a distinct element of a `Vec` that outlives
+// the thread scope, and `parallel_for` guarantees exclusive access per index.
+unsafe impl<T: Send> Sync for SlotPtr<T> {}
+// SAFETY: See `Sync` justification above; the pointer is only dereferenced
+// inside the owning scope.
+unsafe impl<T: Send> Send for SlotPtr<T> {}
+
+/// Splits `data` into contiguous mutable chunks of `chunk_len` elements and
+/// processes them in parallel.
+///
+/// `body` receives `(chunk_index, chunk)`. The final chunk may be shorter.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let n = chunks.len();
+    let threads = available_threads().min(n.max(1));
+    if threads <= 1 {
+        for (i, c) in chunks {
+            body(i, c);
+        }
+        return;
+    }
+    let work = parking_lot::Mutex::new(chunks);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = work.lock().pop();
+                match item {
+                    Some((i, c)) => body(i, c),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(5_000, |i| i * 3);
+        assert_eq!(out.len(), 5_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn parallel_map_zero_len() {
+        let out: Vec<u32> = parallel_map(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_all_elements() {
+        let mut data = vec![0u32; 1003];
+        parallel_chunks_mut(&mut data, 97, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        // The first chunk is indices 0..97 with chunk id 0 -> value 1.
+        assert_eq!(data[0], 1);
+        assert_eq!(data[96], 1);
+        assert_eq!(data[97], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn parallel_chunks_mut_rejects_zero_chunk() {
+        let mut data = vec![0u8; 4];
+        parallel_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

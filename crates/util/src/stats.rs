@@ -1,0 +1,203 @@
+//! Summary statistics for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean; 0 when empty.
+    pub mean: f64,
+    /// Minimum; 0 when empty.
+    pub min: f64,
+    /// Maximum; 0 when empty.
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Sample standard deviation; 0 for fewer than two samples.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Non-finite values are ignored. Returns the zero summary for an empty
+    /// (or all-non-finite) input.
+    pub fn of(values: &[f64]) -> Self {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Self { count: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, stddev: 0.0 };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            count,
+            mean,
+            min: v[0],
+            max: v[count - 1],
+            p50: percentile_sorted(&v, 0.50),
+            p95: percentile_sorted(&v, 0.95),
+            p99: percentile_sorted(&v, 0.99),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+///
+/// `q` is in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Geometric mean of positive values.
+///
+/// Values `<= 0` or non-finite are ignored; returns 0 when nothing remains.
+/// Used for the paper's headline "3.24× geomean speedup" style aggregates.
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> =
+        values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).map(f64::ln).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Linearly interpolates `y` at `x` on a polyline of `(x, y)` points sorted by
+/// ascending `x`. Clamps outside the range. Returns `None` for empty input.
+///
+/// Used to read QPS at a fixed recall (e.g. "QPS at 95 % recall") off a
+/// measured QPS–recall curve.
+pub fn interp_at(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    if x <= points[0].0 {
+        return Some(points[0].1);
+    }
+    if x >= points[points.len() - 1].0 {
+        return Some(points[points.len() - 1].1);
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x >= x0 && x <= x1 {
+            if x1 == x0 {
+                return Some(y0.max(y1));
+            }
+            let t = (x - x0) / (x1 - x0);
+            return Some(y0 + t * (y1 - y0));
+        }
+    }
+    Some(points[points.len() - 1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_nan() {
+        let s = Summary::of(&[f64::NAN, 1.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computed() {
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[-1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 10.0);
+        assert_eq!(percentile_sorted(&v, 0.5), 5.0);
+    }
+
+    #[test]
+    fn interp_clamps_and_interpolates() {
+        let pts = [(0.0, 0.0), (1.0, 10.0)];
+        assert_eq!(interp_at(&pts, -1.0), Some(0.0));
+        assert_eq!(interp_at(&pts, 2.0), Some(10.0));
+        assert_eq!(interp_at(&pts, 0.5), Some(5.0));
+        assert_eq!(interp_at(&[], 0.5), None);
+    }
+
+    #[test]
+    fn interp_handles_duplicate_x() {
+        let pts = [(0.0, 1.0), (0.5, 3.0), (0.5, 7.0), (1.0, 9.0)];
+        let y = interp_at(&pts, 0.5).unwrap();
+        assert!(y >= 3.0 && y <= 7.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn summary_bounds_hold(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
+            prop_assert!(s.p50 <= s.p95 + 1e-9 && s.p95 <= s.p99 + 1e-9);
+        }
+
+        #[test]
+        fn geomean_between_min_and_max(values in proptest::collection::vec(0.001f64..1e4, 1..100)) {
+            let g = geomean(&values);
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(0.0f64, f64::max);
+            prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Bounded top-k selection by smallest key.
+//!
+//! Used by brute-force ground truth (keep the k nearest over a scan) and by
+//! the host-side reduction that merges per-GPU candidate lists (paper §3.1.2:
+//! `N × k` candidates reduced on the CPU to the final top-k).
+
+/// A bounded collection keeping the `k` items with the smallest `f32` keys.
+///
+/// Implemented as a binary max-heap over `(key, payload)` so the current
+/// worst element is at the root and `push` is `O(log k)`. Ties on the key are
+/// broken by payload order (smaller payload wins) so results are
+/// deterministic across thread schedules.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Max-heap: heap[0] is the current worst (largest key).
+    heap: Vec<(f32, u64)>,
+}
+
+impl TopK {
+    /// Creates an empty selector for the `k` smallest keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Returns the configured capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the number of items currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no item has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns the current threshold: the largest key that would still be
+    /// kept, or `f32::INFINITY` while the selector is not yet full.
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Offers `(key, payload)`; keeps it only if it is among the k smallest
+    /// seen so far. Returns `true` if the item was kept.
+    pub fn push(&mut self, key: f32, payload: u64) {
+        if self.heap.len() < self.k {
+            self.heap.push((key, payload));
+            self.sift_up(self.heap.len() - 1);
+        } else if Self::less(&(key, payload), &self.heap[0]) {
+            self.heap[0] = (key, payload);
+            self.sift_down(0);
+        }
+    }
+
+    /// Consumes the selector and returns the kept items sorted ascending by
+    /// key (ties broken by payload).
+    pub fn into_sorted(mut self) -> Vec<(f32, u64)> {
+        self.heap.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        self.heap
+    }
+
+    /// Ordering used by the max-heap: `a` outranks `b` ("is better") when its
+    /// key is smaller, with payload as the tie-break.
+    fn less(a: &(f32, u64), b: &(f32, u64)) -> bool {
+        match a.0.partial_cmp(&b.0) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => a.1 < b.1,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            // Max-heap: the worse (greater) element must be above.
+            if Self::less(&self.heap[parent], &self.heap[i]) {
+                self.heap.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < n && Self::less(&self.heap[largest], &self.heap[l]) {
+                largest = l;
+            }
+            if r < n && Self::less(&self.heap[largest], &self.heap[r]) {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+/// Merges several already-sorted `(key, payload)` lists into the global top-k,
+/// dropping duplicate payloads (keeping the smallest key for each).
+///
+/// This is the host-side reduction of paper §3.1.2: each GPU contributes its
+/// local top-k and the CPU selects the final top-k.
+pub fn merge_topk(lists: &[Vec<(f32, u64)>], k: usize) -> Vec<(f32, u64)> {
+    let mut best: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
+    for list in lists {
+        for &(key, payload) in list {
+            best.entry(payload)
+                .and_modify(|cur| {
+                    if key < *cur {
+                        *cur = key;
+                    }
+                })
+                .or_insert(key);
+        }
+    }
+    let mut top = TopK::new(k.max(1));
+    for (payload, key) in best {
+        top.push(key, payload);
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_smallest() {
+        let mut t = TopK::new(3);
+        for (i, key) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            t.push(*key, i as u64);
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|x| x.0).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(out.iter().map(|x| x.1).collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(10.0, 0);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(5.0, 1);
+        assert_eq!(t.threshold(), 10.0);
+        t.push(1.0, 2);
+        assert_eq!(t.threshold(), 5.0);
+    }
+
+    #[test]
+    fn underfilled_returns_all() {
+        let mut t = TopK::new(10);
+        t.push(2.0, 0);
+        t.push(1.0, 1);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (1.0, 1));
+    }
+
+    #[test]
+    fn ties_break_by_payload() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 9);
+        t.push(1.0, 3);
+        t.push(1.0, 7);
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|x| x.1).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn merge_dedups_and_selects() {
+        let a = vec![(1.0, 10), (3.0, 11)];
+        let b = vec![(2.0, 10), (0.5, 12)];
+        let out = merge_topk(&[a, b], 2);
+        assert_eq!(out, vec![(0.5, 12), (1.0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = TopK::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn matches_naive_sort(keys in proptest::collection::vec(0.0f32..1000.0, 0..200), k in 1usize..20) {
+            let mut t = TopK::new(k);
+            for (i, &key) in keys.iter().enumerate() {
+                t.push(key, i as u64);
+            }
+            let got = t.into_sorted();
+
+            let mut pairs: Vec<(f32, u64)> =
+                keys.iter().enumerate().map(|(i, &key)| (key, i as u64)).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            pairs.truncate(k);
+            prop_assert_eq!(got, pairs);
+        }
+
+        #[test]
+        fn threshold_is_max_kept(keys in proptest::collection::vec(0.0f32..100.0, 1..100)) {
+            let mut t = TopK::new(5);
+            for (i, &key) in keys.iter().enumerate() {
+                t.push(key, i as u64);
+            }
+            let thr = t.threshold();
+            let kept = t.into_sorted();
+            if kept.len() == 5 {
+                prop_assert_eq!(thr, kept.last().unwrap().0);
+            } else {
+                prop_assert_eq!(thr, f32::INFINITY);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar distance kernels.
+//!
+//! The inner loops are hand-unrolled into four independent accumulators so
+//! the compiler can keep them in registers and auto-vectorize; this mirrors
+//! the structure of the CUDA kernel (each thread of a warp accumulates a
+//! strided slice of the dimension, then reduces).
+
+/// Squared L2 distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices differ in length; release builds
+/// truncate to the shorter length via the zip.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let o = i * 4;
+        let d0 = a[o] - b[o];
+        let d1 = a[o + 1] - b[o + 1];
+        let d2 = a[o + 2] - b[o + 2];
+        let d3 = a[o + 3] - b[o + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// L2 (Euclidean) distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    l2_squared(a, b).sqrt()
+}
+
+/// Inner product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let o = i * 4;
+        s0 += a[o] * b[o];
+        s1 += a[o + 1] * b[o + 1];
+        s2 += a[o + 2] * b[o + 2];
+        s3 += a[o + 3] * b[o + 3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Computes squared-L2 distances from `query` to each listed row of `set`,
+/// writing into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows.len()`.
+pub fn batch_l2_squared(
+    set: &crate::matrix::VectorSet,
+    rows: &[u32],
+    query: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), rows.len());
+    for (o, &r) in out.iter_mut().zip(rows) {
+        *o = l2_squared(set.row(r as usize), query);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::VectorSet;
+
+    fn naive_l2sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn matches_naive_on_odd_lengths() {
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 15, 96, 128, 129, 960] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            let got = l2_squared(&a, &b);
+            let want = naive_l2sq(&a, &b);
+            assert!((got - want).abs() <= 1e-4 * want.max(1.0), "len={len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        assert_eq!(l2_squared(&a, &a), 0.0);
+        assert_eq!(l2(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_is_sqrt_of_squared() {
+        let a = [0.0f32, 3.0];
+        let b = [4.0f32, 0.0];
+        assert_eq!(l2_squared(&a, &b), 25.0);
+        assert_eq!(l2(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..37).map(|i| 37.0 - i as f32).collect();
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - want).abs() < 1e-2);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let set = VectorSet::from_fn(10, 16, |r, c| (r * c) as f32 * 0.1);
+        let q: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let rows = [0u32, 3, 9];
+        let mut out = [0.0f32; 3];
+        batch_l2_squared(&set, &rows, &q, &mut out);
+        for (i, &r) in rows.iter().enumerate() {
+            assert_eq!(out[i], l2_squared(set.row(r as usize), &q));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn symmetry(v in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..256)) {
+            let (a, b): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+            let ab = l2_squared(&a, &b);
+            let ba = l2_squared(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-3 * ab.abs().max(1.0));
+        }
+
+        #[test]
+        fn non_negative(v in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..128)) {
+            let (a, b): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+            prop_assert!(l2_squared(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn triangle_inequality(v in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0), 1..64)) {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let mut c = Vec::new();
+            for (x, y, z) in v {
+                a.push(x);
+                b.push(y);
+                c.push(z);
+            }
+            let ab = l2(&a, &b);
+            let bc = l2(&b, &c);
+            let ac = l2(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-3);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Vector storage and distance primitives for PathWeaver.
+//!
+//! This crate is the numeric substrate of the reproduction:
+//!
+//! - [`matrix`]: [`VectorSet`], a dense row-major `f32` matrix holding a
+//!   dataset (or shard) of `d`-dimensional points.
+//! - [`metric`]: the [`Metric`] trait plus L2 / inner-product / cosine
+//!   implementations.
+//! - [`distance`]: unrolled scalar kernels for squared-L2 and batched
+//!   distances — the operation the paper shows dominates >80–95 % of search
+//!   time (Fig 2).
+//! - [`signbit`]: 1-bit direction codes packed into `u32` words, the
+//!   substrate of direction-guided selection (paper §3.3): the sign of each
+//!   coordinate of `dst - src` approximates the direction of the edge, and
+//!   matching bit counts against the query direction rank neighbors without
+//!   reading their full vectors.
+//! - [`norm`]: vector norms and normalization.
+//! - [`quantize`]: symmetric scalar `i8` quantization (extension feature for
+//!   memory-footprint experiments).
+
+pub mod distance;
+pub mod matrix;
+pub mod metric;
+pub mod norm;
+pub mod quantize;
+pub mod signbit;
+
+pub use distance::{l2, l2_squared};
+pub use matrix::VectorSet;
+pub use metric::{Cosine, InnerProduct, Metric, SquaredL2};
+pub use signbit::{hamming_matches, sign_code, sign_code_words, SignCodeBuf};

@@ -1,0 +1,171 @@
+//! Dense row-major vector storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` vectors: `len` rows of `dim` columns.
+///
+/// This is the canonical in-memory representation of a dataset, a shard, a
+/// ghost shard, or a query batch. Rows are contiguous so a single row maps to
+/// one coalesced vector load in the simulated GPU cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorSet {
+    /// Creates a set from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(data.len() % dim == 0, "flat buffer length {} not a multiple of dim {dim}", data.len());
+        Self { dim, data }
+    }
+
+    /// Creates an empty set with the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self::from_flat(dim, Vec::new())
+    }
+
+    /// Creates a set of `len` rows produced by `f(row, col)`.
+    pub fn from_fn(len: usize, dim: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(len * dim);
+        for r in 0..len {
+            for c in 0..dim {
+                data.push(f(r, c));
+            }
+        }
+        Self::from_flat(dim, data)
+    }
+
+    /// Returns the vector dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the number of vectors `n`.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Returns `true` when the set holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Returns row `i` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// Returns the flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Appends a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "pushed vector has wrong dimension");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Builds a new set containing the given rows, in order.
+    ///
+    /// Used to materialize shards and ghost shards from a parent dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, rows: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * self.dim);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Self { dim: self.dim, data }
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Returns the memory footprint of the raw vector data in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_row_access() {
+        let m = VectorSet::from_fn(3, 4, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn push_and_gather() {
+        let mut m = VectorSet::empty(2);
+        m.push(&[1.0, 2.0]);
+        m.push(&[3.0, 4.0]);
+        m.push(&[5.0, 6.0]);
+        let g = m.gather(&[2, 0]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nbytes_counts_floats() {
+        let m = VectorSet::from_fn(5, 8, |_, _| 0.0);
+        assert_eq!(m.nbytes(), 5 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = VectorSet::from_flat(3, vec![0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn push_rejects_wrong_dim() {
+        let mut m = VectorSet::empty(3);
+        m.push(&[1.0]);
+    }
+
+    #[test]
+    fn iter_yields_rows() {
+        let m = VectorSet::from_fn(4, 2, |r, _| r as f32);
+        let rows: Vec<&[f32]> = m.iter().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Similarity metrics.
+//!
+//! The paper (and this reproduction) defaults to squared L2: the square root
+//! is monotone, so ranking by squared distance is equivalent and cheaper.
+//! Inner-product and cosine are provided for completeness (Wiki-style text
+//! embeddings are often searched by inner product).
+
+use crate::distance;
+
+/// A dissimilarity measure between two vectors: smaller is closer.
+pub trait Metric: Send + Sync + Copy + 'static {
+    /// Computes the dissimilarity between `a` and `b`.
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Squared Euclidean distance (the default search metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredL2;
+
+impl Metric for SquaredL2 {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        distance::l2_squared(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "squared-l2"
+    }
+}
+
+/// Negative inner product, so that "smaller is closer" still holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InnerProduct;
+
+impl Metric for InnerProduct {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        -distance::dot(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "neg-inner-product"
+    }
+}
+
+/// Cosine distance `1 - cos(a, b)`; returns 1 for zero-norm inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Metric for Cosine {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        let na = distance::dot(a, a).sqrt();
+        let nb = distance::dot(b, b).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        1.0 - distance::dot(a, b) / (na * nb)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_l2_name_and_value() {
+        let m = SquaredL2;
+        assert_eq!(m.name(), "squared-l2");
+        assert_eq!(m.dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn inner_product_prefers_aligned() {
+        let m = InnerProduct;
+        let q = [1.0f32, 0.0];
+        assert!(m.dist(&q, &[2.0, 0.0]) < m.dist(&q, &[0.5, 0.0]));
+        assert!(m.dist(&q, &[1.0, 0.0]) < m.dist(&q, &[0.0, 1.0]));
+    }
+
+    #[test]
+    fn cosine_range_and_zero_norm() {
+        let m = Cosine;
+        assert!((m.dist(&[1.0, 0.0], &[2.0, 0.0])).abs() < 1e-6);
+        assert!((m.dist(&[1.0, 0.0], &[0.0, 5.0]) - 1.0).abs() < 1e-6);
+        assert!((m.dist(&[1.0, 0.0], &[-3.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(m.dist(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+}

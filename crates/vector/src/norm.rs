@@ -1,0 +1,63 @@
+//! Vector norms and normalization.
+
+use crate::distance::dot;
+use crate::matrix::VectorSet;
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm(v: &[f32]) -> f32 {
+    dot(v, v).sqrt()
+}
+
+/// Normalizes `v` to unit length in place; leaves zero vectors untouched.
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Normalizes every row of a [`VectorSet`] to unit length.
+///
+/// Used when preparing cosine / inner-product workloads (e.g. the Wiki-style
+/// text-embedding profile) where vectors conventionally live on the sphere.
+pub fn normalize_all(set: &mut VectorSet) {
+    for i in 0..set.len() {
+        normalize(set.row_mut(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_axis() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = vec![3.0f32, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_is_noop() {
+        let mut v = vec![0.0f32; 8];
+        normalize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn normalize_all_rows() {
+        let mut set = VectorSet::from_fn(5, 6, |r, c| (r + c + 1) as f32);
+        normalize_all(&mut set);
+        for row in set.iter() {
+            assert!((norm(row) - 1.0).abs() < 1e-5);
+        }
+    }
+}

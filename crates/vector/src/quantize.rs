@@ -1,0 +1,125 @@
+//! Symmetric scalar `i8` quantization (extension feature).
+//!
+//! The paper's related work (§7.2) scales to larger datasets by compressing
+//! vectors; this module provides the simplest such scheme — per-set symmetric
+//! scalar quantization to `i8` — so the memory-accounting experiments can
+//! model a 4× footprint reduction and the search kernel can optionally trade
+//! accuracy for bandwidth.
+
+use crate::matrix::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// A scalar-quantized vector set: each `f32` maps to `round(x / scale)` in
+/// `i8`, with one global scale chosen from the set's max magnitude.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedSet {
+    dim: usize,
+    scale: f32,
+    data: Vec<i8>,
+}
+
+impl QuantizedSet {
+    /// Quantizes `set` with a scale that maps its largest magnitude to 127.
+    ///
+    /// An all-zero set quantizes with scale 1.
+    pub fn quantize(set: &VectorSet) -> Self {
+        let max = set.as_flat().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+        let data = set.as_flat().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+        Self { dim: set.dim(), scale, data }
+    }
+
+    /// Returns the vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Returns `true` when the set holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Returns quantized row `i`.
+    pub fn row(&self, i: usize) -> &[i8] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Squared L2 distance between a quantized row and an `f32` query, in the
+    /// original (dequantized) units.
+    pub fn l2_squared_to(&self, i: usize, query: &[f32]) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        let mut acc = 0.0f32;
+        for (q, &c) in query.iter().zip(self.row(i)) {
+            let d = q - f32::from(c) * self.scale;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Reconstructs the full-precision approximation of the set.
+    pub fn dequantize(&self) -> VectorSet {
+        let data = self.data.iter().map(|&c| f32::from(c) * self.scale).collect();
+        VectorSet::from_flat(self.dim, data)
+    }
+
+    /// Memory footprint of the quantized payload in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::l2_squared;
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let set = VectorSet::from_fn(20, 16, |r, c| ((r * 31 + c * 7) % 100) as f32 - 50.0);
+        let q = QuantizedSet::quantize(&set);
+        let back = q.dequantize();
+        // Max error per element is scale/2.
+        let bound = q.scale() * 0.5 + 1e-5;
+        for (a, b) in set.as_flat().iter().zip(back.as_flat()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn quantized_distance_close_to_exact() {
+        let set = VectorSet::from_fn(8, 32, |r, c| ((r + 1) * (c + 3)) as f32 % 17.0);
+        let q = QuantizedSet::quantize(&set);
+        let query: Vec<f32> = (0..32).map(|i| (i % 5) as f32).collect();
+        for i in 0..set.len() {
+            let exact = l2_squared(set.row(i), &query);
+            let approx = q.l2_squared_to(i, &query);
+            assert!((exact - approx).abs() <= 0.1 * exact.max(1.0));
+        }
+    }
+
+    #[test]
+    fn footprint_is_quarter() {
+        let set = VectorSet::from_fn(10, 64, |_, _| 1.0);
+        let q = QuantizedSet::quantize(&set);
+        assert_eq!(q.nbytes() * 4, set.nbytes());
+    }
+
+    #[test]
+    fn zero_set_quantizes() {
+        let set = VectorSet::from_fn(3, 4, |_, _| 0.0);
+        let q = QuantizedSet::quantize(&set);
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.dequantize().as_flat().iter().all(|&x| x == 0.0));
+    }
+}

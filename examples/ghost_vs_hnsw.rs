@@ -1,0 +1,47 @@
+//! Ghost staging versus hierarchical alternatives (paper §6.1 / Fig 18):
+//! runs the same GPU kernel over (a) a CAGRA-style graph entered via ghost
+//! staging, (b) an HNSW layer-0 graph entered at random, and (c) HNSW on
+//! the CPU with its native hierarchy.
+//!
+//! ```text
+//! cargo run --release --example ghost_vs_hnsw
+//! ```
+
+use pathweaver::core::baselines::HnswBaseline;
+use pathweaver::graph::HnswParams;
+use pathweaver::prelude::*;
+
+fn main() {
+    let profile = DatasetProfile::sift_like();
+    let workload = profile.workload(Scale::Test, 32, 10, 99);
+    let params = SearchParams::default();
+
+    // (a) Ghost staging on a single simulated GPU (DGS off for fairness).
+    let index = PathWeaverIndex::build(&workload.base, &PathWeaverConfig::test_scale(1))
+        .expect("index fits");
+    let ghost_out = index.search_pipelined(&workload.queries, &params);
+    let ghost_recall = recall_batch(&workload.ground_truth, &ghost_out.results, 10);
+    let ghost_dists = ghost_out.timeline.aggregate_counters().dist_calcs;
+    println!("ghost staging      : recall {ghost_recall:.3}, distance calcs {ghost_dists}");
+
+    // (b) The same GPU kernel over HNSW's layer-0 graph, random entries.
+    let hnsw = HnswBaseline::build(&workload.base, &HnswParams::default());
+    let hnsw_gpu = hnsw.as_gpu_index();
+    let hnsw_out = hnsw_gpu.search_naive(&workload.queries, &params);
+    let hnsw_recall = recall_batch(&workload.ground_truth, &hnsw_out.results, 10);
+    let hnsw_dists = hnsw_out.timeline.aggregate_counters().dist_calcs;
+    println!("GPU-searched HNSW  : recall {hnsw_recall:.3}, distance calcs {hnsw_dists}");
+
+    // (c) HNSW on the CPU with its native hierarchy (wall-clock timing).
+    let cpu = hnsw.search_cpu(&workload.queries, 10, 64);
+    let cpu_recall = recall_batch(&workload.ground_truth, &cpu.results, 10);
+    println!(
+        "HNSW on CPU        : recall {cpu_recall:.3}, measured {:.0} queries/s (wall clock)",
+        cpu.qps_measured
+    );
+
+    println!(
+        "\nghost staging used {:.1}% of the GPU-HNSW distance work at comparable recall",
+        100.0 * ghost_dists as f64 / hnsw_dists as f64
+    );
+}

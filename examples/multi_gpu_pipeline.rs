@@ -1,0 +1,49 @@
+//! Multi-GPU pipelining walkthrough: compares the sharding baseline against
+//! pipelining-based path extension on the same index, the comparison behind
+//! the paper's Figs 3 and 9.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_pipeline
+//! ```
+
+use pathweaver::prelude::*;
+
+fn main() {
+    let profile = DatasetProfile::deep10m_like();
+    let workload = profile.workload(Scale::Test, 40, 10, 7);
+    let devices = 4;
+    let index = PathWeaverIndex::build(&workload.base, &PathWeaverConfig::test_scale(devices))
+        .expect("index fits");
+    let params = SearchParams::default();
+
+    println!("== sharding baseline: every GPU searches every query ==");
+    let naive = index.search_naive(&workload.queries, &params);
+    let naive_recall = recall_batch(&workload.ground_truth, &naive.results, 10);
+    let naive_work = naive.timeline.aggregate_counters();
+    println!(
+        "recall {naive_recall:.3} | total distance calcs {} | iterations {} | comm bytes {}",
+        naive_work.dist_calcs, naive_work.iterations, naive_work.comm_bytes
+    );
+
+    println!("\n== pipelining-based path extension: results seed the next shard ==");
+    let piped = index.search_pipelined(&workload.queries, &params);
+    let piped_recall = recall_batch(&workload.ground_truth, &piped.results, 10);
+    let piped_work = piped.timeline.aggregate_counters();
+    println!(
+        "recall {piped_recall:.3} | total distance calcs {} | iterations {} | comm bytes {}",
+        piped_work.dist_calcs, piped_work.iterations, piped_work.comm_bytes
+    );
+
+    println!("\n== per-stage time share (Fig 5's shape: stage 1 dominates) ==");
+    let times = piped.timeline.stage_times_s();
+    let total: f64 = times.iter().sum();
+    for (stage, t) in times.iter().enumerate() {
+        let bar_len = (40.0 * t / total).round() as usize;
+        println!("stage {} | {:40} {:.1}%", stage + 1, "#".repeat(bar_len), 100.0 * t / total);
+    }
+
+    println!(
+        "\npath extension removed {:.1}% of the distance work at recall {piped_recall:.3} vs {naive_recall:.3}",
+        100.0 * (1.0 - piped_work.dist_calcs as f64 / naive_work.dist_calcs as f64)
+    );
+}

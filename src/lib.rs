@@ -1,0 +1,27 @@
+//! PathWeaver — a pure-Rust reproduction of "PathWeaver: A High-Throughput
+//! Multi-GPU System for Graph-Based Approximate Nearest Neighbor Search"
+//! (USENIX ATC 2025).
+//!
+//! This umbrella crate re-exports the workspace crates under one namespace:
+//!
+//! - [`util`] — parallelism, RNG, top-k, statistics.
+//! - [`vector`] — vector storage, distance metrics, sign-bit direction codes.
+//! - [`datasets`] — synthetic dataset profiles, ground truth, recall, IO.
+//! - [`graph`] — proximity graph construction (CAGRA-style, HNSW, GGNN),
+//!   ghost shards, inter-shard edges.
+//! - [`gpusim`] — the simulated multi-GPU substrate (device cost model, ring
+//!   interconnect, pipelined executor).
+//! - [`search`] — the beam-search kernel with direction-guided selection.
+//! - [`core`] — the PathWeaver framework API and the baselines.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
+
+pub use pathweaver_core as core;
+pub use pathweaver_datasets as datasets;
+pub use pathweaver_gpusim as gpusim;
+pub use pathweaver_graph as graph;
+pub use pathweaver_search as search;
+pub use pathweaver_util as util;
+pub use pathweaver_vector as vector;
+
+pub use pathweaver_core::prelude;

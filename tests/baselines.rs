@@ -1,0 +1,79 @@
+//! Cross-crate baseline behaviour: the relationships the paper's evaluation
+//! rests on must hold at test scale.
+
+use pathweaver::core::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
+use pathweaver::graph::ggnn::GgnnParams;
+use pathweaver::graph::HnswParams;
+use pathweaver::prelude::*;
+
+fn small_ggnn_params() -> GgnnParams {
+    GgnnParams { degree: 12, selection_ratio: 0.05, selection_degree: 6, ..Default::default() }
+}
+
+#[test]
+fn all_baselines_run_on_the_same_workload() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 12, 10, 41);
+    let params = SearchParams::default();
+
+    let cagra = CagraBaseline::build(&w.base, 2).unwrap();
+    let r1 = recall_batch(&w.ground_truth, &cagra.search(&w.queries, &params).results, 10);
+
+    let ggnn = GgnnBaseline::build(&w.base, 2, &small_ggnn_params()).unwrap();
+    let r2 = recall_batch(&w.ground_truth, &ggnn.search(&w.queries, &params).results, 10);
+
+    let hnsw = HnswBaseline::build(&w.base, &HnswParams::default());
+    let r3 = recall_batch(&w.ground_truth, &hnsw.search_cpu(&w.queries, 10, 64).results, 10);
+
+    assert!(r1 > 0.75, "CAGRA recall {r1}");
+    assert!(r2 > 0.7, "GGNN recall {r2}");
+    assert!(r3 > 0.75, "HNSW recall {r3}");
+}
+
+#[test]
+fn sharding_baseline_iteration_blowup() {
+    // Fig 3's diagnosis: total per-query iterations grow with shard count.
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 12, 10, 42);
+    let params = SearchParams::default();
+    let one = CagraBaseline::build(&w.base, 1).unwrap();
+    let four = CagraBaseline::build(&w.base, 4).unwrap();
+    let i1 = one.search(&w.queries, &params).stats.iterations;
+    let i4 = four.search(&w.queries, &params).stats.iterations;
+    assert!(i4 > i1 * 2, "iterations should blow up with shards: {i1} vs {i4}");
+}
+
+#[test]
+fn discarded_visits_exceed_half() {
+    // Table 1's shape: most visited nodes never make the final buffer.
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 12, 10, 43);
+    let cagra = CagraBaseline::build(&w.base, 1).unwrap();
+    let out = cagra.search(&w.queries, &SearchParams::default());
+    assert!(out.stats.discard_ratio() > 0.5, "ratio {}", out.stats.discard_ratio());
+}
+
+#[test]
+fn direction_beats_random_discard() {
+    // Fig 15's shape: at the same discard volume, direction-guided
+    // filtering loses no more recall than random filtering.
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 44);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let base = SearchParams { max_iterations: 20, ..SearchParams::default() };
+    let dgs = SearchParams {
+        dgs: Some(DgsParams { keep_ratio: 0.3, cooldown_ratio: 0.3, threshold_mode: false }),
+        ..base
+    };
+    let rnd = SearchParams { random_discard: true, ..dgs };
+    let r_dgs = recall_batch(&w.ground_truth, &idx.search_pipelined(&w.queries, &dgs).results, 10);
+    let r_rnd = recall_batch(&w.ground_truth, &idx.search_pipelined(&w.queries, &rnd).results, 10);
+    assert!(
+        r_dgs + 1e-9 >= r_rnd,
+        "direction filtering ({r_dgs}) must not lose to random ({r_rnd})"
+    );
+}
+
+#[test]
+fn ggnn_uses_denser_graphs_than_cagra_default() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 45);
+    let ggnn = GgnnBaseline::build(&w.base, 1, &GgnnParams::default()).unwrap();
+    assert_eq!(ggnn.index.shards[0].graph.degree(), 24);
+    assert!(ggnn.index.shards[0].ghost.is_some(), "selection layer expected");
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration: dataset synthesis → index build → search →
+//! recall evaluation, across every dataset profile and both search modes.
+
+use pathweaver::prelude::*;
+
+fn recall_of(out: &SearchOutput, w: &Workload) -> f64 {
+    recall_batch(&w.ground_truth, &out.results, 10)
+}
+
+#[test]
+fn every_profile_reaches_good_recall_single_device() {
+    for profile in DatasetProfile::all() {
+        let w = profile.workload(Scale::Test, 10, 10, 31);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        let recall = recall_of(&out, &w);
+        assert!(recall >= 0.8, "{}: recall {recall}", profile.name);
+    }
+}
+
+#[test]
+fn multi_device_modes_agree_on_quality() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 16, 10, 32);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4)).unwrap();
+    let params = SearchParams::default();
+    let naive = idx.search_naive(&w.queries, &params);
+    let piped = idx.search_pipelined(&w.queries, &params);
+    let rn = recall_of(&naive, &w);
+    let rp = recall_of(&piped, &w);
+    assert!(rn > 0.8, "naive recall {rn}");
+    assert!(rp > 0.8, "pipelined recall {rp}");
+    // Pipelining must save distance work.
+    let dn = naive.timeline.aggregate_counters().dist_calcs;
+    let dp = piped.timeline.aggregate_counters().dist_calcs;
+    assert!(dp < dn, "pipelined {dp} vs naive {dn}");
+}
+
+#[test]
+fn dgs_saves_work_with_negligible_recall_loss() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 16, 10, 33);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let exact = SearchParams { max_iterations: 24, ..SearchParams::default() };
+    let dgs = SearchParams { dgs: Some(DgsParams::default()), ..exact };
+    let out_exact = idx.search_pipelined(&w.queries, &exact);
+    let out_dgs = idx.search_pipelined(&w.queries, &dgs);
+    let r_exact = recall_of(&out_exact, &w);
+    let r_dgs = recall_of(&out_dgs, &w);
+    assert!(r_exact - r_dgs <= 0.08, "DGS recall drop too large: {r_exact} -> {r_dgs}");
+    let d_exact = out_exact.timeline.aggregate_counters().dist_calcs;
+    let d_dgs = out_dgs.timeline.aggregate_counters().dist_calcs;
+    assert!(d_dgs < d_exact, "DGS should reduce distance work: {d_dgs} vs {d_exact}");
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 12, 10, 34);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let params = SearchParams::default();
+    let a = idx.search_pipelined(&w.queries, &params);
+    let b = idx.search_pipelined(&w.queries, &params);
+    assert_eq!(a.results, b.results);
+    assert_eq!(
+        a.timeline.aggregate_counters().dist_calcs,
+        b.timeline.aggregate_counters().dist_calcs
+    );
+}
+
+#[test]
+fn uniform_data_still_searchable() {
+    // The structure-free stress case.
+    use pathweaver::datasets::{brute_force_knn, Distribution, SyntheticSpec};
+    let base = SyntheticSpec {
+        dim: 24,
+        len: 900,
+        distribution: Distribution::Uniform,
+        seed: 77,
+    }
+    .generate();
+    let queries = SyntheticSpec {
+        dim: 24,
+        len: 12,
+        distribution: Distribution::Uniform,
+        seed: 78,
+    }
+    .generate();
+    let gt = brute_force_knn(&base, &queries, 10);
+    let idx = PathWeaverIndex::build(&base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let out = idx.search_pipelined(&queries, &SearchParams::default());
+    let recall = recall_batch(&gt, &out.results, 10);
+    assert!(recall > 0.6, "uniform-data recall {recall}");
+}
+
+#[test]
+fn larger_k_and_beam_work() {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 50, 35);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let params = SearchParams { k: 50, beam: 128, candidates: 128, ..SearchParams::default() };
+    let out = idx.search_pipelined(&w.queries, &params);
+    assert!(out.results.iter().all(|r| r.len() == 50));
+    let recall = recall_batch(&w.ground_truth, &out.results, 50);
+    assert!(recall > 0.7, "recall@50 {recall}");
+}

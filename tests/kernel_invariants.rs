@@ -1,0 +1,133 @@
+//! Search-kernel invariants exercised through the public API, including the
+//! §6.3 threshold-pruning extension and hostile parameter corners.
+
+use pathweaver::prelude::*;
+use pathweaver::search::{search_batch, EntryPolicy, ShardContext};
+use pathweaver::graph::{cagra_build, CagraBuildParams, DirectionTable};
+use pathweaver::datasets::{brute_force_knn, recall_batch};
+
+fn fixture() -> (pathweaver::vector::VectorSet, pathweaver::graph::FixedDegreeGraph, DirectionTable)
+{
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 1, 1, 81);
+    let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(16));
+    let table = DirectionTable::build(&w.base, &graph);
+    (w.base, graph, table)
+}
+
+#[test]
+fn threshold_mode_reduces_work_and_holds_recall() {
+    let (base, graph, table) = fixture();
+    let queries = base.gather(&[5, 105, 305, 505, 705]);
+    let gt = brute_force_knn(&base, &queries, 10);
+    let ctx = ShardContext::new(&base, &graph, Some(&table));
+    let exact = SearchParams { hash_bits: 13, ..SearchParams::default() };
+    // Require ~55 % of direction bits to match: mildly selective.
+    let threshold = SearchParams {
+        dgs: Some(DgsParams { keep_ratio: 0.55, cooldown_ratio: 0.3, threshold_mode: true }),
+        ..exact
+    };
+    let entries = [EntryPolicy::Random { count: 64 }];
+    let b_exact = search_batch(&ctx, &queries, &exact, &entries);
+    let b_thresh = search_batch(&ctx, &queries, &threshold, &entries);
+    assert!(
+        b_thresh.counters.dist_calcs < b_exact.counters.dist_calcs,
+        "threshold pruning must skip distance work: {} vs {}",
+        b_thresh.counters.dist_calcs,
+        b_exact.counters.dist_calcs
+    );
+    assert!(b_thresh.stats.filtered_neighbors > 0);
+    let to_ids = |b: &pathweaver::search::BatchResult| -> Vec<Vec<u32>> {
+        b.hits.iter().map(|h| h.iter().map(|&(_, id)| id).collect()).collect()
+    };
+    let r_exact = recall_batch(&gt, &to_ids(&b_exact), 10);
+    let r_thresh = recall_batch(&gt, &to_ids(&b_thresh), 10);
+    assert!(r_exact - r_thresh <= 0.1, "threshold recall drop: {r_exact} -> {r_thresh}");
+}
+
+#[test]
+fn expand_one_still_converges() {
+    let (base, graph, _) = fixture();
+    let ctx = ShardContext::new(&base, &graph, None);
+    let queries = base.gather(&[42]);
+    let params = SearchParams { expand: 1, max_iterations: 200, ..SearchParams::default() };
+    let batch = search_batch(&ctx, &queries, &params, &[EntryPolicy::Random { count: 32 }]);
+    assert_eq!(batch.hits[0][0].1, 42);
+    assert_eq!(batch.stats.converged, 1);
+}
+
+#[test]
+fn k_equals_beam_is_legal() {
+    let (base, graph, _) = fixture();
+    let ctx = ShardContext::new(&base, &graph, None);
+    let queries = base.gather(&[7]);
+    let params = SearchParams { k: 32, beam: 32, candidates: 32, ..SearchParams::default() };
+    let batch = search_batch(&ctx, &queries, &params, &[EntryPolicy::Random { count: 32 }]);
+    assert_eq!(batch.hits[0].len(), 32);
+    assert_eq!(batch.hits[0][0].1, 7);
+}
+
+#[test]
+fn duplicate_seeds_are_harmless() {
+    let (base, graph, _) = fixture();
+    let ctx = ShardContext::new(&base, &graph, None);
+    let queries = base.gather(&[9]);
+    let params = SearchParams::default();
+    let entries = [EntryPolicy::Seeded { seeds: vec![3, 3, 3, 3, 9, 9], extra_random: 0 }];
+    let batch = search_batch(&ctx, &queries, &params, &entries);
+    assert_eq!(batch.hits[0][0].1, 9);
+    let ids: std::collections::HashSet<u32> = batch.hits[0].iter().map(|h| h.1).collect();
+    assert_eq!(ids.len(), batch.hits[0].len());
+}
+
+#[test]
+fn out_of_range_seeds_are_dropped() {
+    let (base, graph, _) = fixture();
+    let ctx = ShardContext::new(&base, &graph, None);
+    let queries = base.gather(&[11]);
+    let params = SearchParams::default();
+    // One valid seed among garbage; the kernel must filter silently.
+    let entries = [EntryPolicy::Seeded { seeds: vec![11, 9_000_000], extra_random: 0 }];
+    let batch = search_batch(&ctx, &queries, &params, &entries);
+    assert_eq!(batch.hits[0][0].1, 11);
+}
+
+#[test]
+fn random_discard_never_beats_direction_on_work_per_recall() {
+    // At the same keep ratio both modes compute the same number of
+    // candidate distances per expansion; the difference must show in
+    // recall, not in counted work.
+    let (base, graph, table) = fixture();
+    let ctx = ShardContext::new(&base, &graph, Some(&table));
+    let queries = base.gather(&[1, 201, 401]);
+    let dgs = SearchParams {
+        dgs: Some(DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false }),
+        max_iterations: 12,
+        ..SearchParams::default()
+    };
+    let rnd = SearchParams { random_discard: true, ..dgs };
+    let entries = [EntryPolicy::Random { count: 64 }];
+    let b_dgs = search_batch(&ctx, &queries, &dgs, &entries);
+    let b_rnd = search_batch(&ctx, &queries, &rnd, &entries);
+    let per_exp_dgs = b_dgs.counters.dist_calcs as f64 / b_dgs.counters.nodes_visited.max(1) as f64;
+    let per_exp_rnd = b_rnd.counters.dist_calcs as f64 / b_rnd.counters.nodes_visited.max(1) as f64;
+    assert!((per_exp_dgs - per_exp_rnd).abs() < 4.0, "{per_exp_dgs} vs {per_exp_rnd}");
+}
+
+#[test]
+fn wide_dimensions_round_trip_through_the_kernel() {
+    // Gist-like dimensionality (960) exercises multi-word sign codes.
+    let w = DatasetProfile::gist_like().workload(Scale::Test, 4, 5, 83);
+    let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(12));
+    let table = DirectionTable::build(&w.base, &graph);
+    assert_eq!(table.words_per_code(), 30);
+    let ctx = ShardContext::new(&w.base, &graph, Some(&table));
+    let params = SearchParams {
+        dgs: Some(DgsParams::default()),
+        ..SearchParams::default()
+    };
+    let batch = search_batch(&ctx, &w.queries, &params, &[EntryPolicy::Random { count: 32 }]);
+    let results: Vec<Vec<u32>> =
+        batch.hits.iter().map(|h| h.iter().map(|&(_, id)| id).collect()).collect();
+    let recall = recall_batch(&w.ground_truth, &results, 5);
+    assert!(recall > 0.7, "gist-like recall {recall}");
+}

@@ -1,0 +1,80 @@
+//! Persistence integration: graphs and datasets round-trip through the
+//! filesystem formats, and experiment records reload intact.
+
+use pathweaver::core::report::ExperimentRecord;
+use pathweaver::datasets::io::{read_fvecs_file, read_ivecs, write_fvecs, write_ivecs};
+use pathweaver::graph::serialize::{read_graph, write_graph};
+use pathweaver::graph::{cagra_build, CagraBuildParams};
+use pathweaver::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("pw-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn built_graph_roundtrips_through_disk() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 51);
+    let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(8));
+    let dir = temp_dir("graph");
+    let path = dir.join("shard0.pwgr");
+    write_graph(std::fs::File::create(&path).unwrap(), &graph).unwrap();
+    let back = read_graph(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back, graph);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fvecs_file_feeds_the_index_builder() {
+    // Write a synthetic corpus as fvecs, read it back as a real corpus
+    // would be, and index it.
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, 52);
+    let dir = temp_dir("fvecs");
+    let path = dir.join("base.fvecs");
+    write_fvecs(std::fs::File::create(&path).unwrap(), &w.base).unwrap();
+    let loaded = read_fvecs_file(&path, None).unwrap();
+    assert_eq!(loaded, w.base);
+
+    let idx = PathWeaverIndex::build(&loaded, &PathWeaverConfig::test_scale(2)).unwrap();
+    let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let recall = recall_batch(&w.ground_truth, &out.results, 5);
+    assert!(recall > 0.8, "recall {recall}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ground_truth_roundtrips_as_ivecs() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 8, 10, 53);
+    let records: Vec<Vec<u32>> =
+        (0..8).map(|q| w.ground_truth.neighbors(q).to_vec()).collect();
+    let mut buf = Vec::new();
+    write_ivecs(&mut buf, &records).unwrap();
+    let back = read_ivecs(&buf[..], None).unwrap();
+    assert_eq!(back, records);
+}
+
+#[test]
+fn partial_fvecs_read_respects_limit() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 54);
+    let dir = temp_dir("limit");
+    let path = dir.join("base.fvecs");
+    write_fvecs(std::fs::File::create(&path).unwrap(), &w.base).unwrap();
+    let firsthalf = read_fvecs_file(&path, Some(w.base.len() / 2)).unwrap();
+    assert_eq!(firsthalf.len(), w.base.len() / 2);
+    assert_eq!(firsthalf.row(0), w.base.row(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_records_round_trip() {
+    let dir = temp_dir("record");
+    let mut rec = ExperimentRecord::new("fig0", "integration smoke");
+    rec.note("simulated clock");
+    rec.push_row(&serde_json::json!({"dataset": "sift-like", "qps": 123.0}));
+    let path = rec.save(&dir).unwrap();
+    let back = ExperimentRecord::load(&path).unwrap();
+    assert_eq!(back.id, rec.id);
+    assert_eq!(back.rows.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,92 @@
+//! System-level invariants of the simulated-GPU substrate — the properties
+//! that justify the hardware substitution documented in DESIGN.md.
+
+use pathweaver::gpusim::trace::BreakdownReport;
+use pathweaver::prelude::*;
+
+#[test]
+fn wider_vectors_lower_simulated_qps() {
+    // Fig 8/10's dimensional effect: Wiki-like (768-d) must be far slower
+    // than Deep-like (96-d) at similar sizes — the cost model charges
+    // bandwidth per vector byte.
+    let deep = DatasetProfile::deep10m_like().workload(Scale::Test, 12, 10, 61);
+    let wiki = DatasetProfile::wiki_like().workload(Scale::Test, 12, 10, 61);
+    let params = SearchParams::default();
+    let deep_idx = PathWeaverIndex::build(&deep.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let wiki_idx = PathWeaverIndex::build(&wiki.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let deep_out = deep_idx.search_pipelined(&deep.queries, &params);
+    let wiki_out = wiki_idx.search_pipelined(&wiki.queries, &params);
+    // Per-distance cost scales with dim (768/96 = 8×); convergence differs,
+    // so just require a substantially lower QPS for the wide vectors.
+    assert!(
+        wiki_out.qps < deep_out.qps / 2.0,
+        "wiki {} should be much slower than deep {}",
+        wiki_out.qps,
+        deep_out.qps
+    );
+}
+
+#[test]
+fn communication_stays_negligible() {
+    // §6.4's argument: comm volume is Q×4 bytes per stage; the memory term
+    // dwarfs it.
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 62);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4)).unwrap();
+    let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let counters = out.timeline.aggregate_counters();
+    assert!(counters.comm_bytes > 0);
+    assert!(
+        counters.comm_bytes < counters.vector_bytes / 100,
+        "comm {} vs vector bytes {}",
+        counters.comm_bytes,
+        counters.vector_bytes
+    );
+}
+
+#[test]
+fn makespan_bounded_by_device_seconds() {
+    // Lock-step pipelining can never beat perfect parallelism: makespan must
+    // lie between (total device time / N) and total device time.
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 63);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+    let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let total = out.breakdown.total_s();
+    assert!(out.makespan_s <= total + 1e-12);
+    assert!(out.makespan_s >= total / 3.0 - 1e-12, "makespan {} total {total}", out.makespan_s);
+}
+
+#[test]
+fn counters_consistent_with_stats() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 12, 10, 64);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let c = out.timeline.aggregate_counters();
+    // Every shard-search visit is a distance computation (ghost-stage
+    // distances are counted in the clock but not in shard-search stats, so
+    // the counter can only exceed the stats), and vector bytes follow.
+    assert!(c.dist_calcs >= out.stats.visits);
+    assert_eq!(c.vector_bytes, c.dist_calcs * (idx.dim() as u64) * 4);
+    assert!(c.nodes_visited > 0);
+    assert!(c.hash_probes >= c.dist_calcs);
+}
+
+#[test]
+fn breakdown_fractions_are_a_partition() {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 12, 10, 65);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let br = BreakdownReport::from_timeline(&out.timeline);
+    let sum = br.l2_fraction + br.rest_fraction + br.comm_fraction;
+    assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+    assert!(br.total_s > 0.0);
+}
+
+#[test]
+fn oom_on_undersized_device_is_clean() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 66);
+    let mut config = PathWeaverConfig::test_scale(2);
+    config.device.mem_capacity = 4096;
+    let err = PathWeaverIndex::build(&w.base, &config).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("OOM"), "unexpected message: {msg}");
+}

@@ -1,0 +1,83 @@
+//! Persistence-centric integration flows: save/load through the index
+//! store combined with dynamic updates and continued searching — the
+//! lifecycle a deployment would actually run.
+
+use pathweaver::core::store::{load_index, save_index};
+use pathweaver::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("pw-flow-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn save_update_save_load_keeps_working() {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 91);
+    let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let dir = temp_dir("lifecycle");
+
+    // Save the fresh index, reload, mutate the reloaded copy.
+    save_index(&idx, &dir).unwrap();
+    let mut reloaded = load_index(&dir).unwrap();
+    let novel: Vec<f32> = w.base.row(3).iter().map(|x| x + 0.005).collect();
+    let new_id = reloaded.insert(&novel);
+    assert!(reloaded.delete(w.base.len() as u32 / 2));
+
+    // Save the mutated index over the first snapshot and reload again.
+    save_index(&reloaded, &dir).unwrap();
+    let third = load_index(&dir).unwrap();
+    assert_eq!(third.num_vectors, reloaded.num_vectors);
+    assert_eq!(third.live_vectors(), reloaded.live_vectors());
+
+    let mut queries = pathweaver::vector::VectorSet::empty(third.dim());
+    queries.push(&novel);
+    let out = third.search_pipelined(&queries, &SearchParams::default());
+    assert!(out.results[0].contains(&new_id), "insert lost across save/load");
+
+    // The original in-memory index is untouched by all of this.
+    let out0 = idx.search_pipelined(&w.queries, &SearchParams::default());
+    assert_eq!(out0.results.len(), w.queries.len());
+    idx.insert(&novel); // Still mutable and consistent.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn maintain_then_save_load_searches_identically() {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 92);
+    let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let victims: Vec<u32> =
+        idx.shards[0].global_ids.iter().copied().step_by(2).take(idx.shards[0].len() / 2).collect();
+    for &g in &victims {
+        idx.delete(g);
+    }
+    assert_eq!(idx.maintain(0.3), 1);
+    let dir = temp_dir("maintain");
+    save_index(&idx, &dir).unwrap();
+    let loaded = load_index(&dir).unwrap();
+    let params = SearchParams::default();
+    let a = idx.search_pipelined(&w.queries, &params);
+    let b = loaded.search_pipelined(&w.queries, &params);
+    assert_eq!(a.results, b.results);
+    for hits in &b.results {
+        for id in hits {
+            assert!(!victims.contains(id));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_device_index_roundtrips_without_intershard() {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 93);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
+    let dir = temp_dir("single");
+    save_index(&idx, &dir).unwrap();
+    assert!(!dir.join("shard-000/intershard.ivecs").exists());
+    let loaded = load_index(&dir).unwrap();
+    assert!(loaded.shards[0].intershard.is_none());
+    assert!(loaded.shards[0].ghost.is_some());
+    let out = loaded.search_pipelined(&w.queries, &SearchParams::default());
+    assert_eq!(out.results.len(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
