@@ -15,9 +15,7 @@ fn bench_dgs(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    g.bench_function("exact", |b| {
-        b.iter(|| black_box(idx.search_pipelined(&w.queries, &base)))
-    });
+    g.bench_function("exact", |b| b.iter(|| black_box(idx.search_pipelined(&w.queries, &base))));
     for keep in [0.7f64, 0.5, 0.3] {
         let params = SearchParams {
             dgs: Some(DgsParams { keep_ratio: keep, cooldown_ratio: 0.3, threshold_mode: false }),

@@ -53,10 +53,7 @@ fn main() {
     }
     ids.dedup();
 
-    println!(
-        "PathWeaver reproduction harness — scale: {:?}, output: {out_dir}/",
-        scale
-    );
+    println!("PathWeaver reproduction harness — scale: {:?}, output: {out_dir}/", scale);
     println!("(sim-QPS values come from the simulated-GPU cost model, not wall clock)");
 
     let session = Session::new(scale);
@@ -65,7 +62,12 @@ fn main() {
         let started = std::time::Instant::now();
         let record = experiments::run(id, &session);
         match record.save(&out_dir) {
-            Ok(path) => println!("[{}] saved {} ({:.1}s)", id, path.display(), started.elapsed().as_secs_f64()),
+            Ok(path) => println!(
+                "[{}] saved {} ({:.1}s)",
+                id,
+                path.display(),
+                started.elapsed().as_secs_f64()
+            ),
             Err(e) => eprintln!("[{}] failed to save record: {e}", id),
         }
     }

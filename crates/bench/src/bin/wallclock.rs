@@ -1,0 +1,175 @@
+//! Wall-clock benchmark for the persistent worker pool and the batched
+//! distance kernels, emitting machine-readable `BENCH_wallclock.json`.
+//!
+//! Unlike every other harness in this crate — which reports the simulated
+//! GPU clock derived from operation counters — this binary measures real
+//! elapsed time. It exists to demonstrate that the PR 1 runtime work
+//! (persistent pool, batched gather-distance, scratch reuse) improves
+//! wall-clock throughput while leaving the simulated clock untouched:
+//!
+//! - `pool_dispatch`: many fine-grained `parallel_for` calls through the
+//!   persistent pool vs the retained spawn-per-call baseline
+//!   (`parallel_for_spawning`). This isolates dispatch overhead.
+//! - `batch_search`: `search_batch` (pool-dispatched per-query map) vs an
+//!   identical per-query map driven by spawn-per-call threads, on a
+//!   sift-like shard. This is the end-to-end number the acceptance
+//!   criterion tracks.
+//! - `batch_distance`: the 4-row blocked `batch_l2_squared` vs a per-row
+//!   scalar loop over the same gather list.
+//!
+//! `PATHWEAVER_THREADS` defaults to 2 here so the dispatch comparison is
+//! meaningful even on single-core CI runners (the pool pins one helper; the
+//! baseline spawns threads on every call). Set it explicitly to measure a
+//! different width. Output path: `BENCH_wallclock.json` in the working
+//! directory, or `$PATHWEAVER_BENCH_OUT`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pathweaver_datasets::DatasetProfile;
+use pathweaver_datasets::Scale;
+use pathweaver_gpusim::CostCounters;
+use pathweaver_graph::{cagra_build, CagraBuildParams};
+use pathweaver_search::{search_batch, search_query, EntryPolicy, SearchParams, ShardContext};
+use pathweaver_vector::{batch_l2_squared, l2_squared};
+use serde_json::{json, Value};
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up run lets lazy state (pool workers, page faults)
+    // settle outside the measurement.
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn result(name: &str, baseline_ms: f64, optimized_ms: f64) -> Value {
+    let speedup = baseline_ms / optimized_ms.max(1e-9);
+    println!("{name}: baseline {baseline_ms:.3} ms, optimized {optimized_ms:.3} ms, speedup {speedup:.2}x");
+    json!({
+        "name": name,
+        "baseline_ms": baseline_ms,
+        "optimized_ms": optimized_ms,
+        "speedup": speedup,
+    })
+}
+
+/// Dispatch overhead: 300 fine-grained fork-joins per rep.
+fn pool_dispatch() -> Value {
+    let body = |_i: usize| {
+        black_box((0..32u64).sum::<u64>());
+    };
+    let run_pooled = || {
+        for _ in 0..300 {
+            pathweaver_util::parallel_for(64, body);
+        }
+    };
+    let run_spawning = || {
+        for _ in 0..300 {
+            pathweaver_util::parallel_for_spawning(64, body);
+        }
+    };
+    let baseline = time_ms(9, run_spawning);
+    let optimized = time_ms(9, run_pooled);
+    result("pool_dispatch", baseline, optimized)
+}
+
+/// End-to-end batch search: persistent pool vs spawn-per-call dispatch of
+/// the identical per-query work.
+fn batch_search() -> Value {
+    let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 10, 7);
+    let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(16));
+    let ctx = ShardContext::new(&w.base, &graph, None);
+    let params = SearchParams::default();
+    let entries = [EntryPolicy::Random { count: 64 }];
+
+    let run_pooled = || {
+        for _ in 0..40 {
+            black_box(search_batch(&ctx, &w.queries, &params, &entries));
+        }
+    };
+    // The historical driver: same per-query closure, but each batch spawns
+    // fresh OS threads (via the retained baseline) instead of reusing the
+    // pool. Hits are collected to keep the work identical.
+    let run_spawning = || {
+        for _ in 0..40 {
+            type IndexedHits = Vec<(usize, Vec<(f32, u32)>)>;
+            let hits: Vec<Vec<(f32, u32)>> = {
+                let results: parking_lot::Mutex<IndexedHits> =
+                    parking_lot::Mutex::new(Vec::with_capacity(w.queries.len()));
+                pathweaver_util::parallel_for_spawning(w.queries.len(), |q| {
+                    let mut counters = CostCounters::new();
+                    let seed = pathweaver_util::seed_from_parts(params.seed, "query", q as u64);
+                    let (hits, _) = search_query(
+                        &ctx,
+                        w.queries.row(q),
+                        &params,
+                        &entries[0],
+                        seed,
+                        &mut counters,
+                    );
+                    results.lock().push((q, hits));
+                });
+                let mut collected = results.into_inner();
+                collected.sort_by_key(|&(q, _)| q);
+                collected.into_iter().map(|(_, h)| h).collect()
+            };
+            black_box(hits);
+        }
+    };
+    let baseline = time_ms(7, run_spawning);
+    let optimized = time_ms(7, run_pooled);
+    result("batch_search", baseline, optimized)
+}
+
+/// Gather-distance throughput: blocked batch kernel vs per-row scalar loop.
+fn batch_distance() -> Value {
+    let w = DatasetProfile::sift_like().workload(Scale::Bench, 1, 1, 13);
+    let set = &w.base;
+    let mut rng = pathweaver_util::small_rng(17);
+    let rows: Vec<u32> =
+        (0..8192).map(|_| rand::Rng::gen_range(&mut rng, 0..set.len()) as u32).collect();
+    let query = w.queries.row(0).to_vec();
+    let mut out = vec![0.0f32; rows.len()];
+
+    let baseline = time_ms(15, || {
+        for (o, &r) in out.iter_mut().zip(&rows) {
+            *o = l2_squared(set.row(r as usize), &query);
+        }
+        black_box(&out);
+    });
+    let optimized = time_ms(15, || {
+        batch_l2_squared(set, &rows, &query, &mut out);
+        black_box(&out);
+    });
+    result("batch_distance", baseline, optimized)
+}
+
+fn main() {
+    // Default to two threads so the dispatch comparison exercises the pool
+    // even on single-core runners; an explicit setting wins.
+    if std::env::var("PATHWEAVER_THREADS").is_err() {
+        std::env::set_var("PATHWEAVER_THREADS", "2");
+    }
+    let threads = pathweaver_util::available_threads();
+    println!("wallclock bench: {threads} threads");
+
+    let results = vec![pool_dispatch(), batch_search(), batch_distance()];
+    let doc = json!({
+        "bench": "wallclock",
+        "threads": threads,
+        "results": results,
+    });
+    let path = std::env::var("PATHWEAVER_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_wallclock.json".to_string());
+    let text = serde_json::to_string_pretty(&doc).expect("serialize bench output");
+    std::fs::write(&path, text).expect("write bench output");
+    println!("wrote {path}");
+}

@@ -61,8 +61,13 @@ pub fn run(s: &Session) -> ExperimentRecord {
         for (fw, pts) in [("PathWeaver", &pw_pts), ("CAGRA", &ca_pts), ("GGNN", &gg_pts)] {
             let qps = qps_at_recall(pts, target).unwrap_or(0.0);
             let reached = pts.iter().map(|p| p.recall).fold(0.0f64, f64::max);
-            let row =
-                Row { dataset: profile.name, framework: fw, qps, recall_reached: reached, clock: "sim" };
+            let row = Row {
+                dataset: profile.name,
+                framework: fw,
+                qps,
+                recall_reached: reached,
+                clock: "sim",
+            };
             rec.push_row(&row);
             rows.push(vec![
                 row.dataset.into(),
@@ -106,9 +111,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         ]);
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["dataset", "framework", "QPS@95", "max recall", "clock"], &rows)
-    );
+    print!("{}", text_table(&["dataset", "framework", "QPS@95", "max recall", "clock"], &rows));
     rec
 }

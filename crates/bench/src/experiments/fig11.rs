@@ -48,8 +48,11 @@ pub fn run(s: &Session) -> ExperimentRecord {
         Rung { name: "+DGS", ghost: true, dgs: true, pipelined: false },
     ];
 
-    let multi_profiles =
-        [DatasetProfile::deep10m_like(), DatasetProfile::deep50m_like(), DatasetProfile::sift_like()];
+    let multi_profiles = [
+        DatasetProfile::deep10m_like(),
+        DatasetProfile::deep50m_like(),
+        DatasetProfile::sift_like(),
+    ];
     let single_profiles = [DatasetProfile::deep10m_like(), DatasetProfile::sift_like()];
 
     for (setting, devices, profiles, rungs) in [
@@ -75,14 +78,7 @@ pub fn run(s: &Session) -> ExperimentRecord {
                 // Single-GPU +GS/+DGS rungs run through the pipelined path
                 // (one stage) so ghost staging applies.
                 let mode = if devices == 1 && rung.ghost { SearchMode::Pipelined } else { mode };
-                let pts = sweep_beam(
-                    &idx,
-                    &w.queries,
-                    &w.ground_truth,
-                    &params,
-                    &s.beams(),
-                    mode,
-                );
+                let pts = sweep_beam(&idx, &w.queries, &w.ground_truth, &params, &s.beams(), mode);
                 let qps = qps_at_recall(&pts, target).unwrap_or(0.0);
                 let base = *baseline_qps.get_or_insert(qps);
                 let row = Row {
@@ -104,9 +100,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         }
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["setting", "dataset", "variant", "sim-QPS@90", "speedup"], &rows)
-    );
+    print!("{}", text_table(&["setting", "dataset", "variant", "sim-QPS@90", "speedup"], &rows));
     rec
 }

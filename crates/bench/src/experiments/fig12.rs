@@ -47,25 +47,33 @@ pub fn run(s: &Session) -> ExperimentRecord {
     let cagra = s.cagra(&profile, devices);
     let out = cagra.search(&w.queries, &s.base_params());
     let br = BreakdownReport::from_timeline(&out.timeline);
-    push(&mut rec, &mut rows, Row {
-        setting: "multi-GPU",
-        dataset: profile.name,
-        framework: "CAGRA w/ Sharding",
-        l2: br.l2_fraction,
-        rest: br.rest_fraction,
-        comm: br.comm_fraction,
-    });
+    push(
+        &mut rec,
+        &mut rows,
+        Row {
+            setting: "multi-GPU",
+            dataset: profile.name,
+            framework: "CAGRA w/ Sharding",
+            l2: br.l2_fraction,
+            rest: br.rest_fraction,
+            comm: br.comm_fraction,
+        },
+    );
     let pw = s.pathweaver(&profile, devices);
     let out = pw.search_pipelined(&w.queries, &s.pathweaver_params());
     let br = BreakdownReport::from_timeline(&out.timeline);
-    push(&mut rec, &mut rows, Row {
-        setting: "multi-GPU",
-        dataset: profile.name,
-        framework: "PathWeaver",
-        l2: br.l2_fraction,
-        rest: br.rest_fraction,
-        comm: br.comm_fraction,
-    });
+    push(
+        &mut rec,
+        &mut rows,
+        Row {
+            setting: "multi-GPU",
+            dataset: profile.name,
+            framework: "PathWeaver",
+            l2: br.l2_fraction,
+            rest: br.rest_fraction,
+            comm: br.comm_fraction,
+        },
+    );
 
     // Single-GPU on Sift + Deep-10M.
     for profile in [DatasetProfile::sift_like(), DatasetProfile::deep10m_like()] {
@@ -73,30 +81,35 @@ pub fn run(s: &Session) -> ExperimentRecord {
         let cagra = s.cagra(&profile, 1);
         let out = cagra.search(&w.queries, &s.base_params());
         let br = BreakdownReport::from_timeline(&out.timeline);
-        push(&mut rec, &mut rows, Row {
-            setting: "single-GPU",
-            dataset: profile.name,
-            framework: "CAGRA",
-            l2: br.l2_fraction,
-            rest: br.rest_fraction,
-            comm: br.comm_fraction,
-        });
+        push(
+            &mut rec,
+            &mut rows,
+            Row {
+                setting: "single-GPU",
+                dataset: profile.name,
+                framework: "CAGRA",
+                l2: br.l2_fraction,
+                rest: br.rest_fraction,
+                comm: br.comm_fraction,
+            },
+        );
         let pw = s.pathweaver(&profile, 1);
         let out = pw.search_pipelined(&w.queries, &s.pathweaver_params());
         let br = BreakdownReport::from_timeline(&out.timeline);
-        push(&mut rec, &mut rows, Row {
-            setting: "single-GPU",
-            dataset: profile.name,
-            framework: "PathWeaver",
-            l2: br.l2_fraction,
-            rest: br.rest_fraction,
-            comm: br.comm_fraction,
-        });
+        push(
+            &mut rec,
+            &mut rows,
+            Row {
+                setting: "single-GPU",
+                dataset: profile.name,
+                framework: "PathWeaver",
+                l2: br.l2_fraction,
+                rest: br.rest_fraction,
+                comm: br.comm_fraction,
+            },
+        );
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["setting", "dataset", "framework", "L2", "rest", "comm"], &rows)
-    );
+    print!("{}", text_table(&["setting", "dataset", "framework", "L2", "rest", "comm"], &rows));
     rec
 }

@@ -37,8 +37,14 @@ pub fn run(s: &Session) -> ExperimentRecord {
         // is what differentiates the two modes (the paper's Fig 13 setup).
         let params = SearchParams { beam: 128, candidates: 128, expand: 8, ..s.base_params() };
         let budgets = s.budgets();
-        let naive =
-            sweep_iterations(&idx, &w.queries, &w.ground_truth, &params, &budgets, SearchMode::Naive);
+        let naive = sweep_iterations(
+            &idx,
+            &w.queries,
+            &w.ground_truth,
+            &params,
+            &budgets,
+            SearchMode::Naive,
+        );
         let piped = sweep_iterations(
             &idx,
             &w.queries,

@@ -40,7 +40,11 @@ pub fn run(s: &Session) -> ExperimentRecord {
         let exact_recall = recall_batch(&w.ground_truth, &exact_out.results, s.k);
         for &ratio in ratios {
             let dgs_params = SearchParams {
-                dgs: Some(DgsParams { keep_ratio: 1.0 - ratio, cooldown_ratio: 0.5, threshold_mode: false }),
+                dgs: Some(DgsParams {
+                    keep_ratio: 1.0 - ratio,
+                    cooldown_ratio: 0.5,
+                    threshold_mode: false,
+                }),
                 random_discard: false,
                 ..exact_params
             };
@@ -65,9 +69,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         }
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["dataset", "discard ratio", "exact", "DGS", "random"], &rows)
-    );
+    print!("{}", text_table(&["dataset", "discard ratio", "exact", "DGS", "random"], &rows));
     rec
 }

@@ -64,9 +64,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         }
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["dataset", "cool-down", "exact", "DGS", "random"], &rows)
-    );
+    print!("{}", text_table(&["dataset", "cool-down", "exact", "DGS", "random"], &rows));
     rec
 }

@@ -24,7 +24,9 @@ struct Row {
 /// Reports the wall-clock build breakdown per profile.
 pub fn run(s: &Session) -> ExperimentRecord {
     let mut rec = ExperimentRecord::new("fig17", "Graph build overhead (Fig 17)");
-    rec.note("wall-clock CPU build times; paper bound: overhead <10 % single-GPU, 4–15 % multi-GPU");
+    rec.note(
+        "wall-clock CPU build times; paper bound: overhead <10 % single-GPU, 4–15 % multi-GPU",
+    );
     let mut rows = Vec::new();
     for profile in DatasetProfile::all() {
         let devices = if profile.multi_gpu_target { s.multi_devices() } else { 1 };

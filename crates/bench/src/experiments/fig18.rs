@@ -81,9 +81,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         ]);
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["dataset", "approach", "sim-QPS@90", "max recall"], &rows)
-    );
+    print!("{}", text_table(&["dataset", "approach", "sim-QPS@90", "max recall"], &rows));
     rec
 }

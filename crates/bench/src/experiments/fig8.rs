@@ -37,7 +37,9 @@ pub fn run(s: &Session) -> ExperimentRecord {
     let devices = s.multi_devices();
     let target = 0.95;
     let mut rec = ExperimentRecord::new("fig8", "Multi-GPU QPS–recall comparison (Fig 8)");
-    rec.note(format!("summary reads QPS at recall {target}; paper headline 3.24× geomean vs CAGRA"));
+    rec.note(format!(
+        "summary reads QPS at recall {target}; paper headline 3.24× geomean vs CAGRA"
+    ));
     let mut curve_rows = Vec::new();
     let mut summary_rows = Vec::new();
     let mut speedups = Vec::new();

@@ -32,7 +32,8 @@ struct ModeRow {
 /// Runs both sub-figures.
 pub fn run(s: &Session) -> ExperimentRecord {
     let target = 0.95;
-    let mut rec = ExperimentRecord::new("fig9", "PathWeaver scaling and naive-vs-pipelined (Fig 9)");
+    let mut rec =
+        ExperimentRecord::new("fig9", "PathWeaver scaling and naive-vs-pipelined (Fig 9)");
     rec.note("paper: 2.47x at 4 GPUs (62 % efficiency); pipelining wins across datasets/recalls");
     let mut scale_rows = Vec::new();
     let mut mode_rows = Vec::new();
@@ -54,8 +55,7 @@ pub fn run(s: &Session) -> ExperimentRecord {
         let qps = qps_at_recall(&pts, target).unwrap_or(0.0);
         let b = *base.get_or_insert(qps);
         let speedup = if b > 0.0 { qps / b } else { 0.0 };
-        let row =
-            ScaleRow { devices, qps, speedup, efficiency: speedup / devices as f64 };
+        let row = ScaleRow { devices, qps, speedup, efficiency: speedup / devices as f64 };
         rec.push_row(&row);
         scale_rows.push(vec![
             row.devices.to_string(),

@@ -43,8 +43,8 @@ use pathweaver_core::report::ExperimentRecord;
 
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
-    "table2", "fig2", "fig3", "fig5", "table1", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "table2", "fig2", "fig3", "fig5", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18",
 ];
 
 /// Runs one experiment by id.

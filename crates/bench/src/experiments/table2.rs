@@ -42,9 +42,6 @@ pub fn run(s: &Session) -> ExperimentRecord {
         ]);
     }
     header(&rec);
-    print!(
-        "{}",
-        text_table(&["target", "dataset", "dim", "paper n", "repro n", "type"], &rows)
-    );
+    print!("{}", text_table(&["target", "dataset", "dim", "paper n", "repro n", "type"], &rows));
     rec
 }

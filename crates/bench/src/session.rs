@@ -6,8 +6,8 @@
 //! builds every index exactly once.
 
 use parking_lot::Mutex;
-use pathweaver_core::prelude::*;
 use pathweaver_core::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
+use pathweaver_core::prelude::*;
 use pathweaver_datasets::Workload;
 use pathweaver_graph::ggnn::GgnnParams;
 use pathweaver_graph::HnswParams;
@@ -156,8 +156,9 @@ impl Session {
             },
             _ => GgnnParams::default(),
         };
-        let built =
-            Arc::new(GgnnBaseline::build(&w.base, devices, &params).expect("bench-scale build fits"));
+        let built = Arc::new(
+            GgnnBaseline::build(&w.base, devices, &params).expect("bench-scale build fits"),
+        );
         self.ggnn.lock().insert(key, built.clone());
         built
     }
@@ -205,6 +206,8 @@ mod tests {
 
     #[test]
     fn budgets_scale_with_session() {
-        assert!(Session::new(Scale::Test).budgets().len() < Session::new(Scale::Bench).budgets().len());
+        assert!(
+            Session::new(Scale::Test).budgets().len() < Session::new(Scale::Bench).budgets().len()
+        );
     }
 }

@@ -37,7 +37,10 @@ impl CagraBaseline {
     /// # Errors
     ///
     /// Propagates [`BuildError`] from the index build.
-    pub fn build_with(dataset: &VectorSet, mut config: PathWeaverConfig) -> Result<Self, BuildError> {
+    pub fn build_with(
+        dataset: &VectorSet,
+        mut config: PathWeaverConfig,
+    ) -> Result<Self, BuildError> {
         config.ghost = None;
         config.build_dir_table = false;
         Ok(Self { index: PathWeaverIndex::build(dataset, &config)? })

@@ -10,8 +10,8 @@
 use crate::config::PathWeaverConfig;
 use crate::index::{BuildError, PathWeaverIndex, SearchOutput, ShardIndex};
 use crate::shard::ShardAssignment;
-use pathweaver_graph::ggnn::{GgnnIndex, GgnnParams};
 use pathweaver_gpusim::MemoryLedger;
+use pathweaver_graph::ggnn::{GgnnIndex, GgnnParams};
 use pathweaver_search::SearchParams;
 use pathweaver_util::FixedBitSet;
 use pathweaver_vector::VectorSet;

@@ -4,8 +4,8 @@
 use crate::config::PathWeaverConfig;
 use crate::index::{PathWeaverIndex, ShardIndex};
 use crate::shard::ShardAssignment;
-use pathweaver_graph::{Hnsw, HnswParams};
 use pathweaver_gpusim::MemoryLedger;
+use pathweaver_graph::{Hnsw, HnswParams};
 use pathweaver_util::FixedBitSet;
 use pathweaver_vector::VectorSet;
 

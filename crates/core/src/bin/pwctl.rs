@@ -68,16 +68,13 @@ fn fail(e: impl std::fmt::Display) -> ! {
 }
 
 fn profile_by_name(name: &str) -> DatasetProfile {
-    DatasetProfile::all()
-        .into_iter()
-        .find(|p| p.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown profile '{name}'; available:");
-            for p in DatasetProfile::all() {
-                eprintln!("  {}", p.name);
-            }
-            exit(2)
-        })
+    DatasetProfile::all().into_iter().find(|p| p.name == name).unwrap_or_else(|| {
+        eprintln!("unknown profile '{name}'; available:");
+        for p in DatasetProfile::all() {
+            eprintln!("  {}", p.name);
+        }
+        exit(2)
+    })
 }
 
 fn main() {
@@ -129,8 +126,7 @@ fn gt(flags: &HashMap<String, String>) {
     let k = opt_parse(flags, "k", 10usize);
     let t0 = std::time::Instant::now();
     let gt = pathweaver_datasets::brute_force_knn(&base, &queries, k);
-    let records: Vec<Vec<u32>> =
-        (0..gt.num_queries()).map(|q| gt.neighbors(q).to_vec()).collect();
+    let records: Vec<Vec<u32>> = (0..gt.num_queries()).map(|q| gt.neighbors(q).to_vec()).collect();
     let out = req(flags, "out");
     write_ivecs(std::fs::File::create(out).unwrap_or_else(|e| fail(e)), &records)
         .unwrap_or_else(|e| fail(e));
@@ -229,25 +225,16 @@ fn search(flags: &HashMap<String, String>) {
 }
 
 fn eval(flags: &HashMap<String, String>) {
-    let results = read_ivecs(
-        std::fs::File::open(req(flags, "results")).unwrap_or_else(|e| fail(e)),
-        None,
-    )
-    .unwrap_or_else(|e| fail(e));
-    let truth = read_ivecs(
-        std::fs::File::open(req(flags, "gt")).unwrap_or_else(|e| fail(e)),
-        None,
-    )
-    .unwrap_or_else(|e| fail(e));
+    let results =
+        read_ivecs(std::fs::File::open(req(flags, "results")).unwrap_or_else(|e| fail(e)), None)
+            .unwrap_or_else(|e| fail(e));
+    let truth = read_ivecs(std::fs::File::open(req(flags, "gt")).unwrap_or_else(|e| fail(e)), None)
+        .unwrap_or_else(|e| fail(e));
     if results.len() != truth.len() {
         fail(format!("result count {} != ground-truth count {}", results.len(), truth.len()));
     }
     let k = opt_parse(flags, "k", 10usize);
-    let mean: f64 = results
-        .iter()
-        .zip(&truth)
-        .map(|(r, t)| recall_at_k(t, r, k))
-        .sum::<f64>()
+    let mean: f64 = results.iter().zip(&truth).map(|(r, t)| recall_at_k(t, r, k)).sum::<f64>()
         / results.len().max(1) as f64;
     println!("recall@{k} = {mean:.4} over {} queries", results.len());
 }

@@ -1,7 +1,7 @@
 //! Framework configuration.
 
-use pathweaver_graph::{CagraBuildParams, GhostParams, InterShardParams};
 use pathweaver_gpusim::{DeviceSpec, LinkSpec, RingTopology};
+use pathweaver_graph::{CagraBuildParams, GhostParams, InterShardParams};
 use serde::Serialize;
 
 /// Full configuration of a PathWeaver deployment.
@@ -109,7 +109,10 @@ impl PathWeaverConfig {
         assert!(self.graph.degree > 0, "graph degree must be positive");
         if self.ghost.is_some() {
             assert!(self.ghost_iterations > 0, "ghost_iterations must be positive");
-            assert!(self.ghost_beam > 0 && self.ghost_seeds > 0, "ghost beam/seeds must be positive");
+            assert!(
+                self.ghost_beam > 0 && self.ghost_seeds > 0,
+                "ghost beam/seeds must be positive"
+            );
         }
     }
 }

@@ -39,8 +39,7 @@ impl PathWeaverIndex {
             })
             .collect();
         if let Some(ghost) = &self.shards[s].ghost {
-            let ghost_hits =
-                greedy_search(&ghost.graph, &ghost.vectors, vector, &[0], 8, 2);
+            let ghost_hits = greedy_search(&ghost.graph, &ghost.vectors, vector, &[0], 8, 2);
             entries.extend(ghost_hits.iter().map(|&(_, g)| ghost.original_id(g)));
         }
         let hits = greedy_search(
@@ -67,8 +66,7 @@ impl PathWeaverIndex {
         let local = shard.graph.push_node(&row);
         shard.global_ids.push(global_id);
         shard.deleted.grow(shard.vectors.len());
-        if shard.dir_table.is_some() {
-            let table = shard.dir_table.as_mut().expect("checked");
+        if let Some(table) = shard.dir_table.as_mut() {
             table.push_node(&shard.vectors, &shard.graph);
         }
         debug_assert_eq!(local as usize, shard.vectors.len() - 1);
@@ -89,10 +87,13 @@ impl PathWeaverIndex {
                 .iter()
                 .enumerate()
                 .map(|(j, &w)| {
-                    (j, pathweaver_vector::l2_squared(
-                        shard.vectors.row(v as usize),
-                        shard.vectors.row(w as usize),
-                    ))
+                    (
+                        j,
+                        pathweaver_vector::l2_squared(
+                            shard.vectors.row(v as usize),
+                            shard.vectors.row(w as usize),
+                        ),
+                    )
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .expect("positive degree");
@@ -113,8 +114,11 @@ impl PathWeaverIndex {
                 let next_shard = &self.shards[next];
                 let entries: Vec<u32> = (0..4)
                     .map(|i| {
-                        (pathweaver_util::seed_from_parts(self.config.seed, "isd", global_id as u64 + i)
-                            % next_shard.len() as u64) as u32
+                        (pathweaver_util::seed_from_parts(
+                            self.config.seed,
+                            "isd",
+                            global_id as u64 + i,
+                        ) % next_shard.len() as u64) as u32
                     })
                     .collect();
                 greedy_search(
@@ -169,10 +173,7 @@ impl PathWeaverIndex {
     ///
     /// Panics if `rebuild_threshold` is outside `(0, 1]`.
     pub fn maintain(&mut self, rebuild_threshold: f64) -> usize {
-        assert!(
-            rebuild_threshold > 0.0 && rebuild_threshold <= 1.0,
-            "threshold out of (0, 1]"
-        );
+        assert!(rebuild_threshold > 0.0 && rebuild_threshold <= 1.0, "threshold out of (0, 1]");
         let n = self.shards.len();
         let mut rebuilt = 0;
         for s in 0..n {
@@ -190,21 +191,28 @@ impl PathWeaverIndex {
             rebuilt += 1;
 
             let vectors = shard.vectors.gather(&survivors);
-            let global_ids: Vec<u32> =
-                survivors.iter().map(|&l| shard.global_ids[l]).collect();
+            let global_ids: Vec<u32> = survivors.iter().map(|&l| shard.global_ids[l]).collect();
             let graph = pathweaver_graph::cagra_build(&vectors, &self.config.graph);
             let dir_table = self
                 .config
                 .build_dir_table
                 .then(|| pathweaver_graph::DirectionTable::build(&vectors, &graph));
             let ghost = self.config.ghost.map(|mut gp| {
-                gp.seed = pathweaver_util::seed_from_parts(self.config.seed, "ghost-rebuild", s as u64);
+                gp.seed =
+                    pathweaver_util::seed_from_parts(self.config.seed, "ghost-rebuild", s as u64);
                 pathweaver_graph::GhostShard::build(&vectors, &gp)
             });
             let deleted = pathweaver_util::FixedBitSet::new(vectors.len());
             self.assignment.set_members(s, global_ids.clone());
-            self.shards[s] =
-                crate::index::ShardIndex { global_ids, vectors, graph, dir_table, ghost, intershard: None, deleted };
+            self.shards[s] = crate::index::ShardIndex {
+                global_ids,
+                vectors,
+                graph,
+                dir_table,
+                ghost,
+                intershard: None,
+                deleted,
+            };
 
             if n > 1 {
                 // Outgoing I(u) of the rebuilt shard and the predecessor's
@@ -264,7 +272,9 @@ mod tests {
         let s = idx
             .shards
             .iter()
-            .position(|sh| sh.len() != before[idx.shards.iter().position(|x| std::ptr::eq(x, sh)).unwrap()])
+            .position(|sh| {
+                sh.len() != before[idx.shards.iter().position(|x| std::ptr::eq(x, sh)).unwrap()]
+            })
             .unwrap();
         let shard = &idx.shards[s];
         assert_eq!(shard.vectors.len(), shard.graph.num_nodes());
@@ -300,8 +310,13 @@ mod tests {
         let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 5, 19);
         let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
         // Tombstone 40 % of shard 0.
-        let victims: Vec<u32> =
-            idx.shards[0].global_ids.iter().step_by(2).copied().take(idx.shards[0].len() * 2 / 5).collect();
+        let victims: Vec<u32> = idx.shards[0]
+            .global_ids
+            .iter()
+            .step_by(2)
+            .copied()
+            .take(idx.shards[0].len() * 2 / 5)
+            .collect();
         for &g in &victims {
             assert!(idx.delete(g));
         }
@@ -334,8 +349,13 @@ mod tests {
     fn insert_after_maintain_never_reuses_ids() {
         let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 29);
         let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
-        let victims: Vec<u32> =
-            idx.shards[0].global_ids.iter().step_by(2).copied().take(idx.shards[0].len() / 2).collect();
+        let victims: Vec<u32> = idx.shards[0]
+            .global_ids
+            .iter()
+            .step_by(2)
+            .copied()
+            .take(idx.shards[0].len() / 2)
+            .collect();
         for &g in &victims {
             idx.delete(g);
         }
@@ -343,8 +363,7 @@ mod tests {
         // New ids must stay above every live id even after compaction.
         let id = idx.insert(w.base.row(0));
         assert_eq!(id as usize, w.base.len(), "id high-water mark must not rewind");
-        let all: Vec<u32> =
-            idx.shards.iter().flat_map(|s| s.global_ids.iter().copied()).collect();
+        let all: Vec<u32> = idx.shards.iter().flat_map(|s| s.global_ids.iter().copied()).collect();
         let unique: std::collections::HashSet<u32> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate global ids after maintain+insert");
     }

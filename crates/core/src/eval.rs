@@ -92,12 +92,8 @@ pub fn sweep_beam(
     beams
         .iter()
         .map(|&beam| {
-            let params = SearchParams {
-                beam,
-                candidates: beam,
-                expand: (beam / 16).max(4),
-                ..*base
-            };
+            let params =
+                SearchParams { beam, candidates: beam, expand: (beam / 16).max(4), ..*base };
             let out = run_mode(index, queries, &params, mode);
             let recall = recall_batch(ground_truth, &out.results, base.k);
             SweepPoint {
@@ -163,9 +159,30 @@ mod tests {
     #[test]
     fn qps_at_recall_interpolates() {
         let pts = vec![
-            SweepPoint { beam: 64, max_iterations: 4, recall: 0.80, qps: 1000.0, mean_iterations: 4.0, makespan_s: 0.01 },
-            SweepPoint { beam: 64, max_iterations: 8, recall: 0.90, qps: 500.0, mean_iterations: 8.0, makespan_s: 0.02 },
-            SweepPoint { beam: 64, max_iterations: 16, recall: 1.00, qps: 250.0, mean_iterations: 16.0, makespan_s: 0.04 },
+            SweepPoint {
+                beam: 64,
+                max_iterations: 4,
+                recall: 0.80,
+                qps: 1000.0,
+                mean_iterations: 4.0,
+                makespan_s: 0.01,
+            },
+            SweepPoint {
+                beam: 64,
+                max_iterations: 8,
+                recall: 0.90,
+                qps: 500.0,
+                mean_iterations: 8.0,
+                makespan_s: 0.02,
+            },
+            SweepPoint {
+                beam: 64,
+                max_iterations: 16,
+                recall: 1.00,
+                qps: 250.0,
+                mean_iterations: 16.0,
+                makespan_s: 0.04,
+            },
         ];
         let q = qps_at_recall(&pts, 0.95).unwrap();
         assert!((q - 375.0).abs() < 1e-9);

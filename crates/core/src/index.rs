@@ -2,12 +2,12 @@
 
 use crate::config::PathWeaverConfig;
 use crate::shard::ShardAssignment;
+use pathweaver_gpusim::memory::OutOfMemory;
+use pathweaver_gpusim::{CostCounters, MemoryLedger, PipelineTimeline, TimeBreakdown};
 use pathweaver_graph::build_report::BuildPhase;
 use pathweaver_graph::{
     cagra_build, BuildReport, DirectionTable, FixedDegreeGraph, GhostShard, InterShardTable,
 };
-use pathweaver_gpusim::memory::OutOfMemory;
-use pathweaver_gpusim::{CostCounters, MemoryLedger, PipelineTimeline, TimeBreakdown};
 use pathweaver_search::{search_batch, BatchStats, EntryPolicy, SearchParams, ShardContext};
 use pathweaver_util::FixedBitSet;
 use pathweaver_vector::VectorSet;
@@ -104,8 +104,8 @@ impl ShardIndex {
         let mut counters = CostCounters::new();
         let mut stats = BatchStats::default();
 
-        let main_entries: Vec<EntryPolicy> = if use_ghost && self.ghost.is_some() {
-            let ghost = self.ghost.as_ref().expect("checked");
+        let ghost_ref = if use_ghost { self.ghost.as_ref() } else { None };
+        let main_entries: Vec<EntryPolicy> = if let Some(ghost) = ghost_ref {
             let gctx = ShardContext::new(&ghost.vectors, &ghost.graph, None);
             let gparams = SearchParams {
                 k: config.ghost_seeds.min(config.ghost_beam),
@@ -244,7 +244,8 @@ impl PathWeaverIndex {
         let mut shards: Vec<ShardIndex> = Vec::with_capacity(config.num_devices);
         for s in 0..config.num_devices {
             let vectors = assignment.gather(s, dataset);
-            let graph = report.time(BuildPhase::GraphBuild, || cagra_build(&vectors, &config.graph));
+            let graph =
+                report.time(BuildPhase::GraphBuild, || cagra_build(&vectors, &config.graph));
             let dir_table = if config.build_dir_table {
                 Some(report.time(BuildPhase::DirTable, || DirectionTable::build(&vectors, &graph)))
             } else {

@@ -24,7 +24,7 @@ impl PathWeaverIndex {
     ///
     /// Panics if `queries` is empty or of the wrong dimensionality.
     pub fn search_naive(&self, queries: &VectorSet, params: &SearchParams) -> SearchOutput {
-        assert!(queries.len() > 0, "empty query batch");
+        assert!(!queries.is_empty(), "empty query batch");
         assert_eq!(queries.dim(), self.dim(), "query dimensionality mismatch");
         let cost = CostModel::new(self.config.device);
 
@@ -57,7 +57,8 @@ impl PathWeaverIndex {
             stats.merge(&out.stats);
             let shard = &self.shards[d];
             for (q, hits) in out.hits.iter().enumerate() {
-                per_query[q].extend(hits.iter().map(|&(dist, local)| (dist, shard.to_global(local))));
+                per_query[q]
+                    .extend(hits.iter().map(|&(dist, local)| (dist, shard.to_global(local))));
             }
         }
 

@@ -36,7 +36,7 @@ impl PathWeaverIndex {
     /// Panics if `queries` is empty or its dimensionality differs from the
     /// index.
     pub fn search_pipelined(&self, queries: &VectorSet, params: &SearchParams) -> SearchOutput {
-        assert!(queries.len() > 0, "empty query batch");
+        assert!(!queries.is_empty(), "empty query batch");
         assert_eq!(queries.dim(), self.dim(), "query dimensionality mismatch");
         let n = self.num_devices();
         let cost = CostModel::new(self.config.device);
@@ -111,10 +111,7 @@ impl PathWeaverIndex {
                             // Scale the escape-hatch entries with the search
                             // width so wider (higher-recall) configurations
                             // keep their diversity.
-                            extra_random: self
-                                .config
-                                .seed_extra_random
-                                .max(params.candidates / 8),
+                            extra_random: self.config.seed_extra_random.max(params.candidates / 8),
                         }
                     }
                 })
@@ -131,9 +128,7 @@ impl PathWeaverIndex {
 
         // Accumulate global candidates.
         for (i, hits) in out.hits.iter().enumerate() {
-            chunk
-                .hits[i]
-                .extend(hits.iter().map(|&(d, local)| (d, shard.to_global(local))));
+            chunk.hits[i].extend(hits.iter().map(|&(d, local)| (d, shard.to_global(local))));
         }
 
         // Prepare forwarded seeds through this shard's I(u) table.
@@ -150,8 +145,7 @@ impl PathWeaverIndex {
                     .map(|&(_, local)| table.target(local))
                     .collect();
             }
-            let bytes =
-                (chunk.query_rows.len() * self.config.forward_width * 4) as u64;
+            let bytes = (chunk.query_rows.len() * self.config.forward_width * 4) as u64;
             counters.comm_bytes += bytes;
             comm_s = self.config.topology.forward_time(device, bytes);
         }

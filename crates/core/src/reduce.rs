@@ -7,10 +7,8 @@
 /// Merges several `(squared distance, global id)` lists into the global
 /// top-k, deduplicating ids (keeping each id's best distance).
 pub fn reduce_hits(lists: &[Vec<(f32, u32)>], k: usize) -> Vec<(f32, u32)> {
-    let as_u64: Vec<Vec<(f32, u64)>> = lists
-        .iter()
-        .map(|l| l.iter().map(|&(d, id)| (d, u64::from(id))).collect())
-        .collect();
+    let as_u64: Vec<Vec<(f32, u64)>> =
+        lists.iter().map(|l| l.iter().map(|&(d, id)| (d, u64::from(id))).collect()).collect();
     pathweaver_util::topk::merge_topk(&as_u64, k)
         .into_iter()
         .map(|(d, id)| (d, id as u32))

@@ -24,9 +24,9 @@ use crate::config::PathWeaverConfig;
 use crate::index::{PathWeaverIndex, ShardIndex};
 use crate::shard::ShardAssignment;
 use pathweaver_datasets::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+use pathweaver_gpusim::MemoryLedger;
 use pathweaver_graph::serialize::{read_graph, write_graph};
 use pathweaver_graph::{BuildReport, DirectionTable, GhostParams, GhostShard, InterShardTable};
-use pathweaver_gpusim::MemoryLedger;
 use pathweaver_util::FixedBitSet;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -108,16 +108,21 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
         seed_extra_random: index.config.seed_extra_random,
         seed: index.config.seed,
     };
-    fs::write(dir.join("meta.json"), serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
+    fs::write(
+        dir.join("meta.json"),
+        serde_json::to_string_pretty(&meta).expect("meta serializes"),
+    )?;
     for (s, shard) in index.shards.iter().enumerate() {
         let sdir = dir.join(format!("shard-{s:03}"));
         fs::create_dir_all(&sdir)?;
         write_fvecs(fs::File::create(sdir.join("vectors.fvecs"))?, &shard.vectors)
             .map_err(malformed)?;
-        write_graph(fs::File::create(sdir.join("graph.pwgr"))?, &shard.graph)
-            .map_err(malformed)?;
-        write_ivecs(fs::File::create(sdir.join("globals.ivecs"))?, &[shard.global_ids.clone()])
-            .map_err(malformed)?;
+        write_graph(fs::File::create(sdir.join("graph.pwgr"))?, &shard.graph).map_err(malformed)?;
+        write_ivecs(
+            fs::File::create(sdir.join("globals.ivecs"))?,
+            std::slice::from_ref(&shard.global_ids),
+        )
+        .map_err(malformed)?;
         let deleted: Vec<u32> = shard.deleted.iter().map(|i| i as u32).collect();
         write_ivecs(fs::File::create(sdir.join("deleted.ivecs"))?, &[deleted])
             .map_err(malformed)?;
@@ -127,8 +132,11 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
                 .map_err(malformed)?;
         }
         if let Some(g) = &shard.ghost {
-            write_ivecs(fs::File::create(sdir.join("ghost-map.ivecs"))?, &[g.to_original.clone()])
-                .map_err(malformed)?;
+            write_ivecs(
+                fs::File::create(sdir.join("ghost-map.ivecs"))?,
+                std::slice::from_ref(&g.to_original),
+            )
+            .map_err(malformed)?;
             write_fvecs(fs::File::create(sdir.join("ghost-vectors.fvecs"))?, &g.vectors)
                 .map_err(malformed)?;
             write_graph(fs::File::create(sdir.join("ghost-graph.pwgr"))?, &g.graph)
@@ -150,8 +158,8 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
 /// shapes).
 pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> {
     let dir = dir.as_ref();
-    let meta: Meta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)
-        .map_err(malformed)?;
+    let meta: Meta =
+        serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?).map_err(malformed)?;
     if meta.version != 1 {
         return Err(StoreError::Malformed(format!("unsupported version {}", meta.version)));
     }
@@ -172,8 +180,8 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
     let mut members = Vec::with_capacity(meta.num_devices);
     for s in 0..meta.num_devices {
         let sdir = dir.join(format!("shard-{s:03}"));
-        let vectors = read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None)
-            .map_err(malformed)?;
+        let vectors =
+            read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None).map_err(malformed)?;
         if vectors.dim() != meta.dim {
             return Err(StoreError::Malformed(format!(
                 "shard {s} dim {} != meta dim {}",
@@ -181,8 +189,7 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
                 meta.dim
             )));
         }
-        let graph =
-            read_graph(fs::File::open(sdir.join("graph.pwgr"))?).map_err(malformed)?;
+        let graph = read_graph(fs::File::open(sdir.join("graph.pwgr"))?).map_err(malformed)?;
         if graph.num_nodes() != vectors.len() {
             return Err(StoreError::Malformed(format!("shard {s} graph/vector size mismatch")));
         }
@@ -240,16 +247,23 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
                 .unwrap_or_default();
             let gvec = read_fvecs(fs::File::open(sdir.join("ghost-vectors.fvecs"))?, None)
                 .map_err(malformed)?;
-            let ggraph = read_graph(fs::File::open(sdir.join("ghost-graph.pwgr"))?)
-                .map_err(malformed)?;
+            let ggraph =
+                read_graph(fs::File::open(sdir.join("ghost-graph.pwgr"))?).map_err(malformed)?;
             Some(GhostShard { to_original, vectors: gvec, graph: ggraph })
         } else {
             None
         };
-        let dir_table =
-            meta.build_dir_table.then(|| DirectionTable::build(&vectors, &graph));
+        let dir_table = meta.build_dir_table.then(|| DirectionTable::build(&vectors, &graph));
         members.push(global_ids.clone());
-        shards.push(ShardIndex { global_ids, vectors, graph, dir_table, ghost, intershard, deleted });
+        shards.push(ShardIndex {
+            global_ids,
+            vectors,
+            graph,
+            dir_table,
+            ghost,
+            intershard,
+            deleted,
+        });
     }
 
     // Targets must land inside the ring successor's shard.
@@ -267,11 +281,8 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
         }
     }
 
-    let mut assignment = ShardAssignment::random(
-        meta.num_vectors.max(meta.num_devices),
-        meta.num_devices,
-        0,
-    );
+    let mut assignment =
+        ShardAssignment::random(meta.num_vectors.max(meta.num_devices), meta.num_devices, 0);
     for (s, m) in members.into_iter().enumerate() {
         assignment.set_members(s, m);
     }

@@ -27,7 +27,12 @@ pub enum Scale {
 }
 
 /// A named dataset profile from the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serializes (for experiment records) but deliberately does not deserialize:
+/// profiles form a fixed static catalog addressed through the `const fn`
+/// constructors, and the `&'static str` name cannot be materialized from
+/// parsed input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct DatasetProfile {
     /// Profile name, e.g. `sift-like`.
     pub name: &'static str,
@@ -164,10 +169,13 @@ impl DatasetProfile {
     ///
     /// Panics when called with [`Scale::Paper`].
     pub fn base_spec(&self, scale: Scale, seed: u64) -> SyntheticSpec {
-        assert!(scale != Scale::Paper, "paper-scale corpora must be loaded from files, not synthesized");
+        assert!(
+            scale != Scale::Paper,
+            "paper-scale corpora must be loaded from files, not synthesized"
+        );
         let len = self.len_at(scale);
         let clusters = match scale {
-            Scale::Test => self.clusters.min(8).max(2),
+            Scale::Test => self.clusters.clamp(2, 8),
             _ => self.clusters,
         };
         let distribution = if self.sphere {
@@ -186,7 +194,11 @@ impl DatasetProfile {
     pub fn workload(&self, scale: Scale, n_queries: usize, k: usize, seed: u64) -> Workload {
         let spec = self.base_spec(scale, pathweaver_util::seed_from_parts(seed, self.name, 0));
         let all = SyntheticSpec { len: spec.len + n_queries, ..spec }.generate();
-        let (base, queries) = split_queries(&all, n_queries, pathweaver_util::seed_from_parts(seed, "query-split", 1));
+        let (base, queries) = split_queries(
+            &all,
+            n_queries,
+            pathweaver_util::seed_from_parts(seed, "query-split", 1),
+        );
         let ground_truth = brute_force_knn(&base, &queries, k);
         Workload { name: self.name.to_string(), base, queries, ground_truth }
     }

@@ -25,7 +25,12 @@ pub fn split_queries(all: &VectorSet, n_queries: usize, seed: u64) -> (VectorSet
 
 /// Generates out-of-distribution queries by perturbing base rows with noise
 /// of the given standard deviation (extension: OOD robustness studies).
-pub fn perturbed_queries(base: &VectorSet, n_queries: usize, noise_std: f32, seed: u64) -> VectorSet {
+pub fn perturbed_queries(
+    base: &VectorSet,
+    n_queries: usize,
+    noise_std: f32,
+    seed: u64,
+) -> VectorSet {
     let mut rng = pathweaver_util::small_rng(seed);
     let mut out = VectorSet::empty(base.dim());
     let mut buf = vec![0.0f32; base.dim()];

@@ -70,10 +70,8 @@ mod tests {
 
     #[test]
     fn batch_averages() {
-        let gt = GroundTruth::from_lists(
-            2,
-            vec![vec![(0.0, 0), (1.0, 1)], vec![(0.0, 5), (1.0, 6)]],
-        );
+        let gt =
+            GroundTruth::from_lists(2, vec![vec![(0.0, 0), (1.0, 1)], vec![(0.0, 5), (1.0, 6)]]);
         let results = vec![vec![0u32, 1], vec![9u32, 9]];
         assert_eq!(recall_batch(&gt, &results, 2), 0.5);
     }

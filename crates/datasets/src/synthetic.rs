@@ -125,8 +125,8 @@ fn gen_gmm(
     for _ in 0..len {
         let c = centers.row(rng.gen_range(0..centers.len()));
         let start = data.len();
-        for d in 0..dim {
-            data.push(c[d] + std * standard_normal(rng));
+        for &cv in c.iter().take(dim) {
+            data.push(cv + std * standard_normal(rng));
         }
         if normalize {
             pathweaver_vector::norm::normalize(&mut data[start..]);
@@ -219,7 +219,8 @@ mod tests {
 
     #[test]
     fn uniform_fills_range() {
-        let spec = SyntheticSpec { dim: 4, len: 2000, distribution: Distribution::Uniform, seed: 9 };
+        let spec =
+            SyntheticSpec { dim: 4, len: 2000, distribution: Distribution::Uniform, seed: 9 };
         let set = spec.generate();
         let flat = set.as_flat();
         let min = flat.iter().cloned().fold(f32::INFINITY, f32::min);

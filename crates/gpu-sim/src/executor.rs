@@ -114,15 +114,11 @@ mod tests {
     #[test]
     fn every_chunk_visits_every_device() {
         let n = 4;
-        let (out, timeline) = run_ring_pipeline(
-            n,
-            n,
-            vec![Vec::<usize>::new(); n],
-            |device, stage, msg| {
+        let (out, timeline) =
+            run_ring_pipeline(n, n, vec![Vec::<usize>::new(); n], |device, stage, msg| {
                 msg.payload.push(device);
                 record(device, stage, msg.origin_chunk)
-            },
-        );
+            });
         assert_eq!(out.len(), n);
         for m in &out {
             // Chunk originating at d visits d, d+1, ..., d+3 (mod 4).
@@ -135,11 +131,10 @@ mod tests {
 
     #[test]
     fn single_device_runs_all_stages_locally() {
-        let (out, timeline) =
-            run_ring_pipeline(1, 3, vec![0u32], |device, stage, msg| {
-                msg.payload += 1;
-                record(device, stage, msg.origin_chunk)
-            });
+        let (out, timeline) = run_ring_pipeline(1, 3, vec![0u32], |device, stage, msg| {
+            msg.payload += 1;
+            record(device, stage, msg.origin_chunk)
+        });
         assert_eq!(out[0].payload, 3);
         assert_eq!(timeline.records().len(), 3);
     }

@@ -45,7 +45,7 @@ mod tests {
     fn latency_floor_for_tiny_messages() {
         let n = LinkSpec::nvlink_bridge();
         let t = n.transfer_time(4);
-        assert!(t >= 5.0e-6 && t < 6.0e-6);
+        assert!((5.0e-6..6.0e-6).contains(&t));
     }
 
     #[test]
@@ -56,8 +56,8 @@ mod tests {
         let comm = link.transfer_time(8); // One index + distance per query.
         let dev = crate::device::DeviceSpec::rtx_a6000();
         let mem = dev.stream_time((20 * 32 * 96 * 4) as f64); // I×J×v×4 bytes.
-        // Amortized over a 10k batch the comm latency vanishes; compare
-        // steady-state per-byte costs instead.
+                                                              // Amortized over a 10k batch the comm latency vanishes; compare
+                                                              // steady-state per-byte costs instead.
         let comm_per_byte = 1.0 / link.bandwidth;
         let mem_bytes = 20.0 * 32.0 * 96.0 * 4.0;
         assert!(8.0 * comm_per_byte < mem / 10.0, "comm {comm} mem {mem} bytes {mem_bytes}");

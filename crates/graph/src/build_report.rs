@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn overhead_fraction_math() {
-        let r = BuildReport { graph_build_s: 9.0, intershard_s: 0.5, ghost_s: 0.2, dirtable_s: 0.3 };
+        let r =
+            BuildReport { graph_build_s: 9.0, intershard_s: 0.5, ghost_s: 0.2, dirtable_s: 0.3 };
         assert!((r.total_s() - 10.0).abs() < 1e-12);
         assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
     }

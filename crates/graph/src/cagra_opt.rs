@@ -55,7 +55,8 @@ impl Default for CagraBuildParams {
 /// Panics if `vectors` is empty or `degree == 0`.
 pub fn cagra_build(vectors: &VectorSet, params: &CagraBuildParams) -> FixedDegreeGraph {
     assert!(params.degree > 0, "degree must be positive");
-    let nn_params = NnDescentParams { k: params.knn_degree.max(params.degree), ..params.nn_descent };
+    let nn_params =
+        NnDescentParams { k: params.knn_degree.max(params.degree), ..params.nn_descent };
     let knn = nn_descent(vectors, &nn_params);
     optimize(&knn, params.degree, params.nn_descent.seed)
 }

@@ -26,7 +26,7 @@ impl FixedDegreeGraph {
     pub fn from_flat(degree: usize, adjacency: Vec<u32>) -> Self {
         assert!(degree > 0, "degree must be positive");
         assert!(
-            adjacency.len() % degree == 0,
+            adjacency.len().is_multiple_of(degree),
             "adjacency length {} not a multiple of degree {degree}",
             adjacency.len()
         );
@@ -139,9 +139,8 @@ mod tests {
     use super::*;
 
     fn ring(n: usize, degree: usize) -> FixedDegreeGraph {
-        let lists: Vec<Vec<u32>> = (0..n)
-            .map(|u| (1..=degree).map(|s| ((u + s) % n) as u32).collect())
-            .collect();
+        let lists: Vec<Vec<u32>> =
+            (0..n).map(|u| (1..=degree).map(|s| ((u + s) % n) as u32).collect()).collect();
         FixedDegreeGraph::from_lists(degree, &lists)
     }
 

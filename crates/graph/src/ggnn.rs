@@ -61,7 +61,7 @@ impl GgnnIndex {
     ///
     /// Panics if `vectors` is empty or `degree == 0`.
     pub fn build(vectors: &VectorSet, params: &GgnnParams) -> Self {
-        assert!(vectors.len() > 0, "empty vector set");
+        assert!(!vectors.is_empty(), "empty vector set");
         assert!(params.degree > 0, "degree must be positive");
         let nn = NnDescentParams { k: params.degree, ..params.nn_descent };
         let knn = nn_descent(vectors, &nn);

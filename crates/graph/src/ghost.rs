@@ -60,9 +60,8 @@ impl GhostShard {
     pub fn build(shard_vectors: &VectorSet, params: &GhostParams) -> Self {
         let n = shard_vectors.len();
         assert!(n > 0, "empty shard");
-        let target = ((n as f64 * params.sampling_ratio).ceil() as usize)
-            .max(params.min_nodes)
-            .min(n);
+        let target =
+            ((n as f64 * params.sampling_ratio).ceil() as usize).max(params.min_nodes).min(n);
         let mut ids: Vec<usize> = (0..n).collect();
         let mut rng = pathweaver_util::small_rng(params.seed);
         ids.shuffle(&mut rng);

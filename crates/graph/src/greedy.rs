@@ -56,9 +56,8 @@ pub fn greedy_search(
         }
     }
 
-    loop {
-        // Expand the best unexpanded node within the beam.
-        let Some(idx) = heap.iter().position(|e| !e.2) else { break };
+    // Expand the best unexpanded node within the beam until none remain.
+    while let Some(idx) = heap.iter().position(|e| !e.2) {
         heap[idx].2 = true;
         let u = heap[idx].1;
         for &v in graph.neighbors(u) {

@@ -48,7 +48,7 @@ impl Hnsw {
     ///
     /// Panics if `vectors` is empty or `m == 0`.
     pub fn build(vectors: &VectorSet, params: &HnswParams) -> Self {
-        assert!(vectors.len() > 0, "empty vector set");
+        assert!(!vectors.is_empty(), "empty vector set");
         assert!(params.m > 0, "m must be positive");
         let n = vectors.len();
         let mult = 1.0 / (params.m as f64).ln();
@@ -123,7 +123,8 @@ impl Hnsw {
                         .iter()
                         .map(|&w| (l2_squared(vv, vectors.row(w as usize)), w))
                         .collect();
-                    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                    scored
+                        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                     self.layers[l][v as usize] = select_heuristic(vectors, &scored, cap);
                 }
             }
@@ -191,8 +192,7 @@ impl Hnsw {
                 push(&mut beam, l2_squared(vectors.row(e as usize), q), e);
             }
         }
-        loop {
-            let Some(i) = beam.iter().position(|e| !e.2) else { break };
+        while let Some(i) = beam.iter().position(|e| !e.2) {
             beam[i].2 = true;
             let u = beam[i].1;
             for &v in &self.layers[l][u as usize] {
@@ -273,9 +273,9 @@ fn select_heuristic(vectors: &VectorSet, candidates: &[(f32, u32)], cap: usize) 
         if kept.len() == cap {
             break;
         }
-        let diverse = kept.iter().all(|&(_, r)| {
-            l2_squared(vectors.row(c as usize), vectors.row(r as usize)) > d_q
-        });
+        let diverse = kept
+            .iter()
+            .all(|&(_, r)| l2_squared(vectors.row(c as usize), vectors.row(r as usize)) > d_q);
         if diverse {
             kept.push((d_q, c));
         } else {

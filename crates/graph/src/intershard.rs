@@ -58,8 +58,8 @@ impl InterShardTable {
         target_graph: &FixedDegreeGraph,
         params: &InterShardParams,
     ) -> Self {
-        assert!(source.len() > 0, "empty source shard");
-        assert!(target_vectors.len() > 0, "empty target shard");
+        assert!(!source.is_empty(), "empty source shard");
+        assert!(!target_vectors.is_empty(), "empty target shard");
         assert_eq!(target_vectors.len(), target_graph.num_nodes(), "target shard inconsistent");
         let tn = target_vectors.len();
         let targets = parallel_map(source.len(), |u| {
@@ -80,7 +80,7 @@ impl InterShardTable {
     /// Builds the exact table by brute force — the oracle used in tests and
     /// for tiny shards.
     pub fn build_exact(source: &VectorSet, target_vectors: &VectorSet) -> Self {
-        assert!(target_vectors.len() > 0, "empty target shard");
+        assert!(!target_vectors.is_empty(), "empty target shard");
         let targets = parallel_map(source.len(), |u| {
             let mut best = (f32::INFINITY, 0u32);
             for w in 0..target_vectors.len() {
@@ -133,9 +133,11 @@ mod tests {
 
     fn two_shards(n: usize) -> (VectorSet, VectorSet) {
         let mut rng = pathweaver_util::small_rng(17);
-        let a = VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng.gen_range(-0.3f32..0.3));
+        let a =
+            VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng.gen_range(-0.3f32..0.3));
         let mut rng2 = pathweaver_util::small_rng(23);
-        let b = VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng2.gen_range(-0.3f32..0.3));
+        let b =
+            VectorSet::from_fn(n, 4, |r, _| (r % 13) as f32 * 0.4 + rng2.gen_range(-0.3f32..0.3));
         (a, b)
     }
 
@@ -149,8 +151,12 @@ mod tests {
         // distances rather than identities (ties are common on grids).
         let mut regret = 0.0f64;
         for u in 0..src.len() {
-            let da = pathweaver_vector::l2_squared(src.row(u), dst.row(approx.target(u as u32) as usize));
-            let de = pathweaver_vector::l2_squared(src.row(u), dst.row(exact.target(u as u32) as usize));
+            let da = pathweaver_vector::l2_squared(
+                src.row(u),
+                dst.row(approx.target(u as u32) as usize),
+            );
+            let de =
+                pathweaver_vector::l2_squared(src.row(u), dst.row(exact.target(u as u32) as usize));
             regret += f64::from(da - de);
         }
         assert!(regret / src.len() as f64 <= 0.05, "mean regret too high: {regret}");

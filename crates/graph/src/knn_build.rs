@@ -9,9 +9,9 @@
 //! The result feeds [`crate::cagra_opt`] for detour pruning and reverse-edge
 //! merging.
 
+use parking_lot::Mutex;
 use pathweaver_util::{parallel_for, small_rng, TopK};
 use pathweaver_vector::{l2_squared, VectorSet};
-use parking_lot::Mutex;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,9 +59,7 @@ impl NeighborList {
 
     /// Attempts to insert `(dist, id)`; returns `true` if the list changed.
     fn insert(&mut self, dist: f32, id: u32) -> bool {
-        if self.entries.len() == self.capacity
-            && dist >= self.entries[self.capacity - 1].dist
-        {
+        if self.entries.len() == self.capacity && dist >= self.entries[self.capacity - 1].dist {
             return false;
         }
         if self.entries.iter().any(|e| e.id == id) {
@@ -136,12 +134,8 @@ pub fn nn_descent(vectors: &VectorSet, params: &NnDescentParams) -> Vec<Vec<(f32
                     list.entries[i].is_new = false;
                     news.push(list.entries[i].id);
                 }
-                let mut olds: Vec<u32> = list
-                    .entries
-                    .iter()
-                    .filter(|e| !e.is_new)
-                    .map(|e| e.id)
-                    .collect();
+                let mut olds: Vec<u32> =
+                    list.entries.iter().filter(|e| !e.is_new).map(|e| e.id).collect();
                 olds.retain(|id| !news.contains(id));
                 olds.shuffle(&mut rng);
                 olds.truncate(params.sample);
@@ -162,11 +156,8 @@ pub fn nn_descent(vectors: &VectorSet, params: &NnDescentParams) -> Vec<Vec<(f32
                 rev_old[v as usize].push(u as u32);
             }
         }
-        let mut trim_rng = small_rng(pathweaver_util::seed_from_parts(
-            params.seed,
-            "rev-trim",
-            round as u64,
-        ));
+        let mut trim_rng =
+            small_rng(pathweaver_util::seed_from_parts(params.seed, "rev-trim", round as u64));
         for l in rev_new.iter_mut().chain(rev_old.iter_mut()) {
             if l.len() > params.sample {
                 l.shuffle(&mut trim_rng);
@@ -297,7 +288,8 @@ mod tests {
     #[test]
     fn nn_descent_recovers_most_exact_edges() {
         let set = clustered_set(600, 12, 42);
-        let params = NnDescentParams { k: 8, max_rounds: 10, sample: 8, termination_ratio: 0.001, seed: 1 };
+        let params =
+            NnDescentParams { k: 8, max_rounds: 10, sample: 8, termination_ratio: 0.001, seed: 1 };
         let approx = nn_descent(&set, &params);
         let exact = exact_knn_lists(&set, 8);
         let recall = knn_recall(&exact, &approx);

@@ -70,9 +70,8 @@ pub fn read_graph(mut r: impl Read) -> Result<FixedDegreeGraph, SerializeError> 
     let _flags = buf.get_u16_le();
     let degree = buf.get_u32_le() as usize;
     let nodes = buf.get_u32_le() as usize;
-    let want = nodes
-        .checked_mul(degree)
-        .ok_or_else(|| SerializeError::Format("size overflow".into()))?;
+    let want =
+        nodes.checked_mul(degree).ok_or_else(|| SerializeError::Format("size overflow".into()))?;
     if buf.remaining() != want * 4 {
         return Err(SerializeError::Format(format!(
             "payload size {} != expected {}",

@@ -14,8 +14,8 @@
 
 use pathweaver_graph::DirectionTable;
 use pathweaver_vector::SignCodeBuf;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 
 /// How the kernel selects which neighbors get an exact distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,50 +59,73 @@ pub fn select_neighbors(
     scratch: &mut SignCodeBuf,
     rng: &mut SmallRng,
 ) -> Vec<usize> {
+    let mut out = Vec::with_capacity(degree);
+    let mut ranks = Vec::new();
+    select_neighbors_into(
+        filter, degree, node_vec, query, dir_table, scratch, rng, &mut ranks, &mut out,
+    );
+    out
+}
+
+/// [`select_neighbors`] writing into caller-owned buffers.
+///
+/// `ranks` is the DGS rank scratch (match count, row position) used by the
+/// [`NeighborFilter::Direction`] sort; `out` receives the selected row
+/// positions. Both are cleared first — the search kernel reuses them across
+/// all beam iterations so the selection path stays allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn select_neighbors_into(
+    filter: NeighborFilter,
+    degree: usize,
+    node_vec: &[f32],
+    query: &[f32],
+    dir_table: Option<(&DirectionTable, u32)>,
+    scratch: &mut SignCodeBuf,
+    rng: &mut SmallRng,
+    ranks: &mut Vec<(u32, usize)>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     match filter {
-        NeighborFilter::All => (0..degree).collect(),
+        NeighborFilter::All => out.extend(0..degree),
         NeighborFilter::Random { keep } => {
-            let mut idx: Vec<usize> = (0..degree).collect();
-            idx.shuffle(rng);
-            idx.truncate(keep.clamp(1, degree));
-            idx
+            out.extend(0..degree);
+            out.shuffle(rng);
+            out.truncate(keep.clamp(1, degree));
         }
         NeighborFilter::Direction { keep } => {
-            let (table, u) =
-                dir_table.expect("direction filter requires a direction table");
+            let (table, u) = dir_table.expect("direction filter requires a direction table");
             scratch.encode(node_vec, query);
             let words = table.words_per_code();
             let row = table.node_codes(u);
-            let mut scored: Vec<(u32, usize)> = (0..degree)
-                .map(|j| (scratch.matches(&row[j * words..(j + 1) * words]), j))
-                .collect();
+            ranks.clear();
+            ranks.extend(
+                (0..degree).map(|j| (scratch.matches(&row[j * words..(j + 1) * words]), j)),
+            );
             // Most matching bits first; stable index tie-break for
             // determinism.
-            scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            scored.truncate(keep.clamp(1, degree));
-            scored.into_iter().map(|(_, j)| j).collect()
+            ranks.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            ranks.truncate(keep.clamp(1, degree));
+            out.extend(ranks.iter().map(|&(_, j)| j));
         }
         NeighborFilter::Threshold { min_matches } => {
-            let (table, u) =
-                dir_table.expect("threshold filter requires a direction table");
+            let (table, u) = dir_table.expect("threshold filter requires a direction table");
             scratch.encode(node_vec, query);
             let words = table.words_per_code();
             let row = table.node_codes(u);
             let mut best = (0u32, 0usize);
-            let mut kept: Vec<usize> = Vec::with_capacity(degree);
             for j in 0..degree {
                 let m = scratch.matches(&row[j * words..(j + 1) * words]);
                 if m >= min_matches {
-                    kept.push(j);
+                    out.push(j);
                 }
                 if m > best.0 {
                     best = (m, j);
                 }
             }
-            if kept.is_empty() {
-                kept.push(best.1);
+            if out.is_empty() {
+                out.push(best.1);
             }
-            kept
         }
     }
 }
@@ -147,7 +170,15 @@ mod tests {
     fn all_keeps_everything() {
         let mut rng = pathweaver_util::small_rng(1);
         let mut buf = SignCodeBuf::new(16);
-        let got = select_neighbors(NeighborFilter::All, 4, &[0.0; 16], &[1.0; 16], None, &mut buf, &mut rng);
+        let got = select_neighbors(
+            NeighborFilter::All,
+            4,
+            &[0.0; 16],
+            &[1.0; 16],
+            None,
+            &mut buf,
+            &mut rng,
+        );
         assert_eq!(got, vec![0, 1, 2, 3]);
     }
 

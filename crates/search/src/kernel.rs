@@ -10,14 +10,14 @@
 //! Every operation is tallied into [`CostCounters`]; the simulated GPU clock
 //! is derived from those counters, never from wall time.
 
-use crate::dgs::{select_neighbors, NeighborFilter};
+use crate::dgs::{select_neighbors_into, NeighborFilter};
 use crate::hash::VisitedHash;
 use crate::params::SearchParams;
 use crate::queue::PriorityBuffer;
 use crate::stats::{BatchStats, SearchStats};
 use pathweaver_gpusim::CostCounters;
 use pathweaver_graph::{DirectionTable, FixedDegreeGraph};
-use pathweaver_vector::{l2_squared, SignCodeBuf, VectorSet};
+use pathweaver_vector::{batch_l2_squared, SignCodeBuf, VectorSet};
 use rand::Rng;
 
 /// Everything resident on one simulated device for one shard.
@@ -97,6 +97,16 @@ pub fn search_query(
     let mut rng = pathweaver_util::small_rng(query_seed);
     let mut stats = SearchStats::default();
 
+    // Scratch reused across all beam iterations (and the init phase): the
+    // expansion targets, the per-node selected row positions, the DGS rank
+    // buffer, and the candidate id/distance lists fed to the batched
+    // distance kernel. The hot loop performs no allocation after warm-up.
+    let mut targets: Vec<(f32, u32)> = Vec::with_capacity(params.expand);
+    let mut selected: Vec<usize> = Vec::with_capacity(degree);
+    let mut ranks: Vec<(u32, usize)> = Vec::with_capacity(degree);
+    let mut cand_ids: Vec<u32> = Vec::with_capacity(params.expand * degree);
+    let mut cand_dists: Vec<f32> = Vec::with_capacity(params.expand * degree);
+
     // Step 2–3: fill the candidate buffer and sort it into the queue.
     let mut init_ids: Vec<u32> = Vec::with_capacity(params.candidates);
     match entry {
@@ -115,13 +125,14 @@ pub fn search_query(
             assert!(!init_ids.is_empty(), "seeded entry produced no valid candidates");
         }
     }
-    for id in init_ids {
-        if visited.insert(id) {
-            let d = l2_squared(ctx.vectors.row(id as usize), query);
-            counters.record_distance(dim);
-            stats.visits += 1;
-            queue.push(d, id);
-        }
+    cand_ids.clear();
+    cand_ids.extend(init_ids.iter().copied().filter(|&id| visited.insert(id)));
+    cand_dists.resize(cand_ids.len(), 0.0);
+    batch_l2_squared(ctx.vectors, &cand_ids, query, &mut cand_dists);
+    for (&id, &d) in cand_ids.iter().zip(&cand_dists) {
+        counters.record_distance(dim);
+        stats.visits += 1;
+        queue.push(d, id);
     }
 
     // Steps 3–4 iterated: expand, filter, compute, merge.
@@ -129,7 +140,7 @@ pub fn search_query(
     let keep = params.kept_neighbors(degree);
     let mut stalled = 0usize;
     for iter in 0..params.max_iterations {
-        let targets = queue.pop_expansion_targets(params.expand);
+        queue.pop_expansion_targets_into(params.expand, &mut targets);
         if targets.is_empty() {
             stats.converged = true;
             break;
@@ -163,10 +174,14 @@ pub fn search_query(
             _ => NeighborFilter::All,
         };
 
-        for (_, u) in targets {
+        // Phase 1: select and dedup candidates for every target. Filtering
+        // and visited-hash insertion run in the same order as the historical
+        // per-neighbor loop, so RNG draws and hash probes are unchanged.
+        cand_ids.clear();
+        for &(_, u) in &targets {
             counters.record_adjacency_fetch(degree);
-            let selected = match filter {
-                NeighborFilter::All => select_neighbors(
+            match filter {
+                NeighborFilter::All => select_neighbors_into(
                     NeighborFilter::All,
                     degree,
                     ctx.vectors.row(u as usize),
@@ -174,10 +189,12 @@ pub fn search_query(
                     None,
                     &mut scratch,
                     &mut rng,
+                    &mut ranks,
+                    &mut selected,
                 ),
                 NeighborFilter::Random { keep } => {
                     counters.rng_ops += degree as u64;
-                    select_neighbors(
+                    select_neighbors_into(
                         NeighborFilter::Random { keep },
                         degree,
                         ctx.vectors.row(u as usize),
@@ -185,7 +202,9 @@ pub fn search_query(
                         None,
                         &mut scratch,
                         &mut rng,
-                    )
+                        &mut ranks,
+                        &mut selected,
+                    );
                 }
                 NeighborFilter::Direction { .. } | NeighborFilter::Threshold { .. } => {
                     let table = ctx.dir_table.expect("checked above");
@@ -194,10 +213,9 @@ pub fn search_query(
                         // Only the top-n mode pays a min-sort over the
                         // `degree` match counts; threshold mode is a linear
                         // scan already covered by the per-compare cost.
-                        counters.sort_ops +=
-                            (degree as f64).log2().ceil() as u64 * degree as u64;
+                        counters.sort_ops += (degree as f64).log2().ceil() as u64 * degree as u64;
                     }
-                    select_neighbors(
+                    select_neighbors_into(
                         filter,
                         degree,
                         ctx.vectors.row(u as usize),
@@ -205,22 +223,28 @@ pub fn search_query(
                         Some((table, u)),
                         &mut scratch,
                         &mut rng,
-                    )
+                        &mut ranks,
+                        &mut selected,
+                    );
                 }
-            };
+            }
             stats.filtered_neighbors += (degree - selected.len()) as u64;
             let row = ctx.graph.neighbors(u);
-            for j in selected {
-                let v = row[j];
-                if visited.insert(v) {
-                    let d = l2_squared(ctx.vectors.row(v as usize), query);
-                    counters.record_distance(dim);
-                    stats.visits += 1;
-                    if let Some(rank) = queue.push_at(d, v) {
-                        if rank < params.k {
-                            inserted_in_window = true;
-                        }
-                    }
+            cand_ids.extend(selected.iter().map(|&j| row[j]).filter(|&v| visited.insert(v)));
+        }
+
+        // Phase 2: one batched gather-distance call for the whole iteration
+        // (bitwise identical to per-candidate `l2_squared`), then merge in
+        // the historical order. Distances and pushes are sequenced exactly
+        // as before, so the counters and the queue evolve identically.
+        cand_dists.resize(cand_ids.len(), 0.0);
+        batch_l2_squared(ctx.vectors, &cand_ids, query, &mut cand_dists);
+        for (&v, &d) in cand_ids.iter().zip(&cand_dists) {
+            counters.record_distance(dim);
+            stats.visits += 1;
+            if let Some(rank) = queue.push_at(d, v) {
+                if rank < params.k {
+                    inserted_in_window = true;
                 }
             }
         }
@@ -284,8 +308,7 @@ pub fn search_batch(
         let mut counters = CostCounters::new();
         let entry = if entries.len() == 1 { &entries[0] } else { &entries[q] };
         let seed = pathweaver_util::seed_from_parts(params.seed, "query", q as u64);
-        let (hits, stats) =
-            search_query(ctx, queries.row(q), params, entry, seed, &mut counters);
+        let (hits, stats) = search_query(ctx, queries.row(q), params, entry, seed, &mut counters);
         (hits, stats, counters)
     });
 
@@ -307,6 +330,7 @@ pub fn search_batch(
 mod tests {
     use super::*;
     use pathweaver_graph::{cagra_build, CagraBuildParams};
+    use pathweaver_vector::l2_squared;
 
     fn world(n: usize, dim: usize) -> (VectorSet, FixedDegreeGraph, DirectionTable) {
         let mut rng = pathweaver_util::small_rng(99);
@@ -392,7 +416,11 @@ mod tests {
         // stop, so both run the same number of iterations.
         let base = SearchParams { max_iterations: 8, ..Default::default() };
         let dgs = SearchParams {
-            dgs: Some(crate::params::DgsParams { keep_ratio: 0.5, cooldown_ratio: 0.3, threshold_mode: false }),
+            dgs: Some(crate::params::DgsParams {
+                keep_ratio: 0.5,
+                cooldown_ratio: 0.3,
+                threshold_mode: false,
+            }),
             ..base
         };
         let q = set.row(100).to_vec();
@@ -401,7 +429,12 @@ mod tests {
         let mut c_dgs = CostCounters::new();
         let (hits, stats) =
             search_query(&ctx, &q, &dgs, &EntryPolicy::Random { count: 64 }, 3, &mut c_dgs);
-        assert!(c_dgs.dist_calcs < c_base.dist_calcs, "{} vs {}", c_dgs.dist_calcs, c_base.dist_calcs);
+        assert!(
+            c_dgs.dist_calcs < c_base.dist_calcs,
+            "{} vs {}",
+            c_dgs.dist_calcs,
+            c_base.dist_calcs
+        );
         assert!(stats.filtered_neighbors > 0);
         assert!(c_dgs.dir_table_bytes > 0);
         // Accuracy: DGS should still land on the exact vector.
@@ -450,14 +483,8 @@ mod tests {
         let ctx = ShardContext::new(&set, &g, None);
         let capped = SearchParams { max_iterations: 2, ..Default::default() };
         let mut c = CostCounters::new();
-        let (_, stats) = search_query(
-            &ctx,
-            set.row(0),
-            &capped,
-            &EntryPolicy::Random { count: 16 },
-            5,
-            &mut c,
-        );
+        let (_, stats) =
+            search_query(&ctx, set.row(0), &capped, &EntryPolicy::Random { count: 16 }, 5, &mut c);
         assert!(stats.iterations <= 2);
     }
 
@@ -481,18 +508,10 @@ mod tests {
     fn dgs_without_table_panics() {
         let (set, g, _) = world(100, 8);
         let ctx = ShardContext::new(&set, &g, None);
-        let params = SearchParams {
-            dgs: Some(crate::params::DgsParams::default()),
-            ..Default::default()
-        };
+        let params =
+            SearchParams { dgs: Some(crate::params::DgsParams::default()), ..Default::default() };
         let mut c = CostCounters::new();
-        let _ = search_query(
-            &ctx,
-            set.row(0),
-            &params,
-            &EntryPolicy::Random { count: 8 },
-            1,
-            &mut c,
-        );
+        let _ =
+            search_query(&ctx, set.row(0), &params, &EntryPolicy::Random { count: 8 }, 1, &mut c);
     }
 }

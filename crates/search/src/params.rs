@@ -95,9 +95,7 @@ impl SearchParams {
     pub fn cooldown_start(&self) -> usize {
         match self.dgs {
             None => self.max_iterations,
-            Some(d) => {
-                ((self.max_iterations as f64) * (1.0 - d.cooldown_ratio)).round() as usize
-            }
+            Some(d) => ((self.max_iterations as f64) * (1.0 - d.cooldown_ratio)).round() as usize,
         }
     }
 

@@ -101,6 +101,16 @@ impl PriorityBuffer {
     /// Marks and returns the best `r` unexpanded slots' `(dist, id)`.
     pub fn pop_expansion_targets(&mut self, r: usize) -> Vec<(f32, u32)> {
         let mut out = Vec::with_capacity(r);
+        self.pop_expansion_targets_into(r, &mut out);
+        out
+    }
+
+    /// [`Self::pop_expansion_targets`] writing into a caller-owned buffer.
+    ///
+    /// `out` is cleared first; the search kernel reuses one buffer across all
+    /// beam iterations to keep the hot loop allocation-free.
+    pub fn pop_expansion_targets_into(&mut self, r: usize, out: &mut Vec<(f32, u32)>) {
+        out.clear();
         for s in self.slots.iter_mut() {
             if out.len() == r {
                 break;
@@ -110,7 +120,6 @@ impl PriorityBuffer {
                 out.push((s.dist, s.id));
             }
         }
-        out
     }
 
     /// The current best `k` results, ascending.

@@ -93,8 +93,20 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut b = BatchStats::default();
-        b.absorb(&SearchStats { iterations: 10, visits: 100, discarded: 90, converged: true, filtered_neighbors: 5 });
-        b.absorb(&SearchStats { iterations: 20, visits: 200, discarded: 150, converged: false, filtered_neighbors: 0 });
+        b.absorb(&SearchStats {
+            iterations: 10,
+            visits: 100,
+            discarded: 90,
+            converged: true,
+            filtered_neighbors: 5,
+        });
+        b.absorb(&SearchStats {
+            iterations: 20,
+            visits: 200,
+            discarded: 150,
+            converged: false,
+            filtered_neighbors: 0,
+        });
         assert_eq!(b.queries, 2);
         assert_eq!(b.mean_iterations(), 15.0);
         assert_eq!(b.visits, 300);
@@ -111,8 +123,22 @@ mod tests {
 
     #[test]
     fn merge_combines_batches() {
-        let mut a = BatchStats { queries: 1, iterations: 5, visits: 10, discarded: 8, converged: 1, filtered_neighbors: 2 };
-        let b = BatchStats { queries: 2, iterations: 10, visits: 30, discarded: 20, converged: 1, filtered_neighbors: 3 };
+        let mut a = BatchStats {
+            queries: 1,
+            iterations: 5,
+            visits: 10,
+            discarded: 8,
+            converged: 1,
+            filtered_neighbors: 2,
+        };
+        let b = BatchStats {
+            queries: 2,
+            iterations: 10,
+            visits: 30,
+            discarded: 20,
+            converged: 1,
+            filtered_neighbors: 3,
+        };
         a.merge(&b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.visits, 40);

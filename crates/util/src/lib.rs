@@ -3,9 +3,9 @@
 //! This crate collects the small, dependency-light building blocks that every
 //! other crate in the workspace relies on:
 //!
-//! - [`parallel`]: scoped-thread data parallelism (`parallel_for`,
-//!   `parallel_map`) built directly on [`std::thread::scope`], so the
-//!   workspace does not need a third-party thread-pool crate.
+//! - [`parallel`]: fork-join data parallelism (`parallel_for`,
+//!   `parallel_map`) dispatched onto a lazily-initialized persistent worker
+//!   pool, so the workspace does not need a third-party thread-pool crate.
 //! - [`rng`]: deterministic seeding helpers so every experiment in the
 //!   reproduction is replayable bit-for-bit.
 //! - [`topk`]: bounded top-k selection used by ground-truth computation and
@@ -25,6 +25,8 @@ pub mod stats;
 pub mod topk;
 
 pub use bitset::FixedBitSet;
+#[doc(hidden)]
+pub use parallel::parallel_for_spawning;
 pub use parallel::{available_threads, parallel_chunks_mut, parallel_for, parallel_map};
 pub use rng::{seed_from_parts, small_rng, SeedStream};
 pub use stats::Summary;

@@ -31,7 +31,16 @@ impl Summary {
     pub fn of(values: &[f64]) -> Self {
         let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
         if v.is_empty() {
-            return Self { count: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, stddev: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                stddev: 0.0,
+            };
         }
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         let count = v.len();
@@ -173,7 +182,7 @@ mod tests {
     fn interp_handles_duplicate_x() {
         let pts = [(0.0, 1.0), (0.5, 3.0), (0.5, 7.0), (1.0, 9.0)];
         let y = interp_at(&pts, 0.5).unwrap();
-        assert!(y >= 3.0 && y <= 7.0);
+        assert!((3.0..=7.0).contains(&y));
     }
 }
 

@@ -9,11 +9,11 @@
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if the slices differ in length; release builds
-/// truncate to the shorter length via the zip.
+/// Panics if the slices differ in length (in every build profile; an earlier
+/// revision only checked in debug builds and silently truncated in release).
 #[inline]
 pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "l2_squared requires equal-length vectors");
     let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     for i in 0..chunks {
@@ -42,9 +42,13 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Inner product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (in every build profile).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "dot requires equal-length vectors");
     let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     for i in 0..chunks {
@@ -64,18 +68,120 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Computes squared-L2 distances from `query` to each listed row of `set`,
 /// writing into `out`.
 ///
+/// Rows are processed in blocks of four, each keeping the same four column
+/// accumulators as [`l2_squared`]: the query stays register-resident across
+/// the block and the four per-row dependency chains are independent, so the
+/// gather amortizes query loads and hides FP latency. Because every row runs
+/// the exact [`l2_squared`] operation sequence, results are bitwise identical
+/// to the scalar path — callers (the search kernel) rely on this for
+/// counter-neutral batching.
+///
 /// # Panics
 ///
-/// Panics if `out.len() != rows.len()`.
+/// Panics if `out.len() != rows.len()`, if `query.len() != set.dim()`, or if
+/// any row index is out of range.
 pub fn batch_l2_squared(
     set: &crate::matrix::VectorSet,
     rows: &[u32],
     query: &[f32],
     out: &mut [f32],
 ) {
-    assert_eq!(out.len(), rows.len());
-    for (o, &r) in out.iter_mut().zip(rows) {
-        *o = l2_squared(set.row(r as usize), query);
+    assert_eq!(out.len(), rows.len(), "output length must match row count");
+    assert_eq!(query.len(), set.dim(), "query dimension must match the set");
+    let blocks = rows.len() / 4;
+    for blk in 0..blocks {
+        let b = blk * 4;
+        let r = [
+            set.row(rows[b] as usize),
+            set.row(rows[b + 1] as usize),
+            set.row(rows[b + 2] as usize),
+            set.row(rows[b + 3] as usize),
+        ];
+        let d = l2_squared_x4(r, query);
+        out[b..b + 4].copy_from_slice(&d);
+    }
+    for i in blocks * 4..rows.len() {
+        out[i] = l2_squared(set.row(rows[i] as usize), query);
+    }
+}
+
+/// Four simultaneous squared-L2 distances against one query.
+///
+/// Each row uses the identical accumulator structure (and therefore the
+/// identical FP operation order) as [`l2_squared`], so the results are
+/// bitwise equal to four scalar calls.
+#[inline]
+fn l2_squared_x4(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+    let dim = query.len();
+    let chunks = dim / 4;
+    // acc[k] holds row k's four partial sums (s0..s3 of `l2_squared`).
+    let mut acc = [[0.0f32; 4]; 4];
+    for i in 0..chunks {
+        let o = i * 4;
+        for k in 0..4 {
+            let row = r[k];
+            let d0 = row[o] - query[o];
+            let d1 = row[o + 1] - query[o + 1];
+            let d2 = row[o + 2] - query[o + 2];
+            let d3 = row[o + 3] - query[o + 3];
+            acc[k][0] += d0 * d0;
+            acc[k][1] += d1 * d1;
+            acc[k][2] += d2 * d2;
+            acc[k][3] += d3 * d3;
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for k in 0..4 {
+        let mut tail = 0.0f32;
+        for i in chunks * 4..dim {
+            let d = r[k][i] - query[i];
+            tail += d * d;
+        }
+        out[k] = acc[k][0] + acc[k][1] + acc[k][2] + acc[k][3] + tail;
+    }
+    out
+}
+
+/// Multi-query variant of [`batch_l2_squared`]: distances from every row of
+/// `queries` to each listed row of `set`.
+///
+/// `out[q * rows.len() + i]` receives the distance from query `q` to
+/// `rows[i]`. Gathered rows are reused across the query batch while still
+/// cache-hot, which is the dominant win for ground-truth style all-pairs
+/// scans. Results are bitwise identical to per-pair [`l2_squared`] calls.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows.len() * queries.len()`, if the dimensions
+/// disagree, or if any row index is out of range.
+pub fn batch_l2_squared_mq(
+    set: &crate::matrix::VectorSet,
+    rows: &[u32],
+    queries: &crate::matrix::VectorSet,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), rows.len() * queries.len(), "output length must be rows x queries");
+    assert_eq!(queries.dim(), set.dim(), "query dimension must match the set");
+    let blocks = rows.len() / 4;
+    for blk in 0..blocks {
+        let b = blk * 4;
+        let r = [
+            set.row(rows[b] as usize),
+            set.row(rows[b + 1] as usize),
+            set.row(rows[b + 2] as usize),
+            set.row(rows[b + 3] as usize),
+        ];
+        for (q, query) in queries.iter().enumerate() {
+            let d = l2_squared_x4(r, query);
+            let o = q * rows.len() + b;
+            out[o..o + 4].copy_from_slice(&d);
+        }
+    }
+    for i in blocks * 4..rows.len() {
+        let row = set.row(rows[i] as usize);
+        for (q, query) in queries.iter().enumerate() {
+            out[q * rows.len() + i] = l2_squared(row, query);
+        }
     }
 }
 
@@ -133,6 +239,53 @@ mod tests {
             assert_eq!(out[i], l2_squared(set.row(r as usize), &q));
         }
     }
+
+    #[test]
+    fn batch_is_bitwise_equal_across_block_boundaries() {
+        // Lengths around the 4-row blocking boundary, and a non-multiple-of-4
+        // dimension for the tail path. The search kernel's counter neutrality
+        // depends on bitwise equality, not mere closeness.
+        let set = VectorSet::from_fn(23, 37, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.37 - 2.0);
+        let q: Vec<f32> = (0..37).map(|i| (i as f32 * 0.61).sin()).collect();
+        for n in [0usize, 1, 3, 4, 5, 8, 11, 23] {
+            let rows: Vec<u32> = (0..n).map(|i| ((i * 5) % 23) as u32).collect();
+            let mut out = vec![0.0f32; n];
+            batch_l2_squared(&set, &rows, &q, &mut out);
+            for (i, &r) in rows.iter().enumerate() {
+                let want = l2_squared(set.row(r as usize), &q);
+                assert_eq!(out[i].to_bits(), want.to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_query_matches_scalar_bitwise() {
+        let set = VectorSet::from_fn(17, 24, |r, c| ((r + 3) * (c + 1)) as f32 * 0.05);
+        let queries = VectorSet::from_fn(5, 24, |r, c| (r as f32 - c as f32) * 0.2);
+        let rows: Vec<u32> = vec![0, 2, 4, 6, 8, 10, 16];
+        let mut out = vec![0.0f32; rows.len() * queries.len()];
+        batch_l2_squared_mq(&set, &rows, &queries, &mut out);
+        for q in 0..queries.len() {
+            for (i, &r) in rows.iter().enumerate() {
+                let want = l2_squared(set.row(r as usize), queries.row(q));
+                assert_eq!(out[q * rows.len() + i].to_bits(), want.to_bits(), "q={q} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic_in_all_profiles() {
+        let _ = l2_squared(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension")]
+    fn batch_rejects_wrong_query_dim() {
+        let set = VectorSet::from_fn(4, 8, |_, _| 0.0);
+        let mut out = [0.0f32; 1];
+        batch_l2_squared(&set, &[0], &[0.0; 7], &mut out);
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +306,24 @@ mod proptests {
         fn non_negative(v in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..128)) {
             let (a, b): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
             prop_assert!(l2_squared(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn blocked_batch_matches_scalar(v in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..192)) {
+            // The blocked kernel must agree with the scalar kernel within
+            // 1e-4 relative error on arbitrary inputs (it is in fact bitwise
+            // equal; the tolerance guards the weaker public contract).
+            let (row, q): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+            let dim = row.len();
+            // Six rows: one full 4-block plus a tail, derived from the row.
+            let set = crate::matrix::VectorSet::from_fn(6, dim, |r, c| row[c] * (1.0 + r as f32 * 0.25));
+            let rows: Vec<u32> = (0..6).collect();
+            let mut out = vec![0.0f32; 6];
+            batch_l2_squared(&set, &rows, &q, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                let want = l2_squared(set.row(i), &q);
+                prop_assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "row {}: {} vs {}", i, got, want);
+            }
         }
 
         #[test]

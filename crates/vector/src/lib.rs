@@ -25,7 +25,7 @@ pub mod norm;
 pub mod quantize;
 pub mod signbit;
 
-pub use distance::{l2, l2_squared};
+pub use distance::{batch_l2_squared, batch_l2_squared_mq, dot, l2, l2_squared};
 pub use matrix::VectorSet;
 pub use metric::{Cosine, InnerProduct, Metric, SquaredL2};
 pub use signbit::{hamming_matches, sign_code, sign_code_words, SignCodeBuf};

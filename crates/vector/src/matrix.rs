@@ -21,7 +21,11 @@ impl VectorSet {
     /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert!(data.len() % dim == 0, "flat buffer length {} not a multiple of dim {dim}", data.len());
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} not a multiple of dim {dim}",
+            data.len()
+        );
         Self { dim, data }
     }
 

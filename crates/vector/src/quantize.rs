@@ -25,7 +25,8 @@ impl QuantizedSet {
     pub fn quantize(set: &VectorSet) -> Self {
         let max = set.as_flat().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
-        let data = set.as_flat().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+        let data =
+            set.as_flat().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
         Self { dim: set.dim(), scale, data }
     }
 

@@ -31,11 +31,8 @@ fn main() {
         queries.push(v);
     }
     let out = index.search_pipelined(&queries, &params);
-    let found = inserted
-        .iter()
-        .enumerate()
-        .filter(|(i, (id, _))| out.results[*i].contains(id))
-        .count();
+    let found =
+        inserted.iter().enumerate().filter(|(i, (id, _))| out.results[*i].contains(id)).count();
     println!("{found}/{} inserted vectors found by search", inserted.len());
 
     // Tombstone half of them; they must vanish from results while the rest

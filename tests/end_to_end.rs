@@ -69,20 +69,10 @@ fn results_are_deterministic_across_runs() {
 fn uniform_data_still_searchable() {
     // The structure-free stress case.
     use pathweaver::datasets::{brute_force_knn, Distribution, SyntheticSpec};
-    let base = SyntheticSpec {
-        dim: 24,
-        len: 900,
-        distribution: Distribution::Uniform,
-        seed: 77,
-    }
-    .generate();
-    let queries = SyntheticSpec {
-        dim: 24,
-        len: 12,
-        distribution: Distribution::Uniform,
-        seed: 78,
-    }
-    .generate();
+    let base = SyntheticSpec { dim: 24, len: 900, distribution: Distribution::Uniform, seed: 77 }
+        .generate();
+    let queries = SyntheticSpec { dim: 24, len: 12, distribution: Distribution::Uniform, seed: 78 }
+        .generate();
     let gt = brute_force_knn(&base, &queries, 10);
     let idx = PathWeaverIndex::build(&base, &PathWeaverConfig::test_scale(2)).unwrap();
     let out = idx.search_pipelined(&queries, &SearchParams::default());

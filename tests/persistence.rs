@@ -46,8 +46,7 @@ fn fvecs_file_feeds_the_index_builder() {
 #[test]
 fn ground_truth_roundtrips_as_ivecs() {
     let w = DatasetProfile::sift_like().workload(Scale::Test, 8, 10, 53);
-    let records: Vec<Vec<u32>> =
-        (0..8).map(|q| w.ground_truth.neighbors(q).to_vec()).collect();
+    let records: Vec<Vec<u32>> = (0..8).map(|q| w.ground_truth.neighbors(q).to_vec()).collect();
     let mut buf = Vec::new();
     write_ivecs(&mut buf, &records).unwrap();
     let back = read_ivecs(&buf[..], None).unwrap();

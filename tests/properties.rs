@@ -9,13 +9,8 @@ use proptest::prelude::*;
 
 /// A small searchable world for property tests.
 fn world(n: usize, dim: usize, clusters: usize, seed: u64) -> pathweaver::vector::VectorSet {
-    SyntheticSpec {
-        dim,
-        len: n,
-        distribution: Distribution::Gmm { clusters, std: 0.25 },
-        seed,
-    }
-    .generate()
+    SyntheticSpec { dim, len: n, distribution: Distribution::Gmm { clusters, std: 0.25 }, seed }
+        .generate()
 }
 
 proptest! {

@@ -1,0 +1,168 @@
+//! Vendored offline shim for the `bytes` API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of `bytes` the (de)serializers need: the [`Buf`] reader trait for
+//! `&[u8]` cursors and the [`BufMut`] writer trait for `Vec<u8>`, with the
+//! fixed-width little-endian accessors used by the framed binary formats.
+
+/// Sequential reader over a byte cursor.
+///
+/// Implemented for `&[u8]`; every `get_*` consumes from the front, so a
+/// `&mut &[u8]` advances through the slice exactly like `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out of the cursor, advancing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Returns true while at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential writer appending to a growable buffer.
+///
+/// Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_i32_le(-12345);
+        buf.put_f32_le(1.5);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f64_le(-2.25);
+        let mut cur = &buf[..];
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 513);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_i32_le(), -12345);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.remaining(), 0);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32_le();
+    }
+}

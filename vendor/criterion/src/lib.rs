@@ -1,0 +1,214 @@
+//! Vendored offline shim for the `criterion` API surface this workspace
+//! uses.
+//!
+//! Provides `Criterion`, benchmark groups with the tuning setters the bench
+//! files call, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple warm-up + timed-batch loop that prints a
+//! mean ns/iter line per benchmark — enough to compare kernels locally and
+//! to keep `--benches` targets compiling and runnable without crates.io
+//! access (no statistical analysis, plots, or baselines).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI arguments. This shim accepts and ignores them (including
+    /// the bench filter), so `cargo bench` invocations don't error.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one(&name.into(), cfg, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, (self.sample_size, self.measurement_time, self.warm_up_time), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Calibrate a batch size so one batch is ~1ms, then time batches.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 24 {
+                self.total += dt;
+                self.iters += batch;
+                break;
+            }
+            batch *= 8;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, cfg: (usize, Duration, Duration), f: &mut F) {
+    let (samples, measurement, warm_up) = cfg;
+    // Warm-up: run untimed batches until the budget elapses.
+    let w0 = Instant::now();
+    while w0.elapsed() < warm_up {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.iters == 0 {
+            break;
+        }
+    }
+    // Timed samples, bounded by both sample count and wall-clock budget.
+    let mut b = Bencher::default();
+    let m0 = Instant::now();
+    for _ in 0..samples {
+        f(&mut b);
+        if m0.elapsed() >= measurement {
+            break;
+        }
+    }
+    if b.iters > 0 {
+        let ns = b.total.as_nanos() as f64 / b.iters as f64;
+        println!("bench {name:<48} {ns:>14.1} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {name:<48} (no iterations recorded)");
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.measurement_time(Duration::from_millis(5));
+        g.warm_up_time(Duration::from_millis(1));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+    }
+}

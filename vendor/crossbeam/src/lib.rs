@@ -1,0 +1,160 @@
+//! Vendored offline shim for the `crossbeam` API surface this workspace
+//! uses.
+//!
+//! Only `crossbeam::channel::{bounded, unbounded}` are needed (the ring
+//! pipeline executor). They are implemented over `std::sync::mpsc`, whose
+//! `sync_channel`/`channel` pair has the same blocking semantics for the
+//! single-consumer topology the executor builds (cloneable senders, one
+//! receiver per ring edge).
+
+pub mod channel {
+    //! Multi-producer single-consumer channels with cloneable senders.
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Sending half of a channel; cloneable.
+    pub enum Sender<T> {
+        /// Capacity-bounded sender (blocks when full).
+        Bounded(mpsc::SyncSender<T>),
+        /// Unbounded sender.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Self::Bounded(s) => Self::Bounded(s.clone()),
+                Self::Unbounded(s) => Self::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if the receiving side has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Self::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Self::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Fails once the channel is empty and every sender has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a value if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+
+        /// Iterates over received values until the channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_order_preserved() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_then_delivers() {
+        let (tx, rx) = channel::bounded(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(rx.recv().is_err());
+        });
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u8).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        let mut got: Vec<u8> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

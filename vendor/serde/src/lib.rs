@@ -1,0 +1,464 @@
+//! Vendored offline shim for the `serde` API surface this workspace uses.
+//!
+//! The real serde's serializer/deserializer abstraction is far larger than
+//! this workspace needs: every consumer here serializes plain data structs to
+//! JSON via `serde_json`. This shim therefore collapses the data model to a
+//! single JSON-shaped [`Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] reads back out of one, and the companion `serde_derive`
+//! crate generates both impls for field-named structs and for enums with
+//! unit/struct/tuple variants (externally tagged, like serde's default).
+//!
+//! Derived code and `serde_json` are the only intended consumers of these
+//! traits; application code in the workspace just writes
+//! `#[derive(Serialize, Deserialize)]` exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-shaped tree: the single data model of this shim.
+///
+/// Object fields keep insertion order (a `Vec` of pairs, not a map), so
+/// serialized output lists struct fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. All numerics funnel through `f64`, which is exact for
+    /// every integer this workspace serializes (|x| < 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved field order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => find(fields, key),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object fields as an ordered slice of pairs.
+    pub fn as_object_slice(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexes into an object by key, mirroring `serde_json`'s semantics:
+    /// a missing key (or a non-object receiver) yields `Value::Null` rather
+    /// than panicking.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+/// Field lookup over an ordered object body (used by derived code).
+#[doc(hidden)]
+pub fn __find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    find(fields, key)
+}
+
+fn find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Error raised when a [`Value`] cannot be read back as the requested type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Rendering into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a JSON-shaped tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON-shaped tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree's shape or types don't match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent.
+    ///
+    /// The default errors; `Option<T>` overrides it to produce `None`, which
+    /// gives the usual "missing field means `None`" behavior.
+    ///
+    /// # Errors
+    ///
+    /// Fails for every type that has no natural default.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field `{field}`")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $signed:literal),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_f64().ok_or_else(|| Error::msg("expected number"))?;
+                if n.fract() != 0.0 {
+                    return Err(Error::msg(format!("expected integer, got {n}")));
+                }
+                if !$signed && n < 0.0 {
+                    return Err(Error::msg(format!("expected unsigned integer, got {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!("integer {n} out of range")));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(
+    u8 => false, u16 => false, u32 => false, u64 => false, usize => false,
+    i8 => true, i16 => true, i32 => true, i64 => true, isize => true
+);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|n| n as f32).ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object_slice()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (HashMap iteration order varies).
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object_slice()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn negative_into_unsigned_fails() {
+        assert!(u32::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![(1.5f32, 7u32), (2.5, 9)];
+        let back: Vec<(f32, u32)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_semantics() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Num(3.0)).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::missing_field("x").unwrap(), None);
+        assert!(u32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Num(1.0)),
+            ("b".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert!(v.get("c").is_none());
+    }
+}

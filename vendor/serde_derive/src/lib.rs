@@ -1,0 +1,481 @@
+//! Vendored offline `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implementations for the vendored serde shim.
+//!
+//! Because the build environment cannot fetch `syn`/`quote`, the item is
+//! parsed directly from the `proc_macro::TokenStream`: enough of Rust's item
+//! grammar to cover what this workspace derives on — non-generic structs
+//! with named fields, tuple/unit structs, and enums with unit, struct, or
+//! tuple variants. Anything fancier (generics, `#[serde(...)]` attributes)
+//! is rejected with a compile error naming this file, so failures are loud
+//! and local rather than silently wrong.
+//!
+//! Generated code targets the shim's single-`Value` data model:
+//! `Serialize::to_value` builds a JSON-shaped tree and
+//! `Deserialize::from_value` reads one back (externally tagged enums,
+//! missing-field hook for `Option`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error macro parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, visibility, and doc comments preceding the keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional pub(...) restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => {
+                return Err(format!("unexpected token before struct/enum: {other}"));
+            }
+            None => return Err("no struct or enum found".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::Struct { name, fields: named_fields(g.stream())? })
+            } else {
+                Ok(Item::Enum { name, variants: enum_variants(g.stream())? })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            Ok(Item::TupleStruct { name, arity: count_top_level(g.stream()) })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok(Item::UnitStruct { name })
+        }
+        other => Err(format!("unsupported {kind} body for `{name}`: {other:?}")),
+    }
+}
+
+/// Splits a token stream on commas that sit outside `<...>` nesting, handing
+/// each chunk to `f`. Group tokens (parens/brackets/braces) are opaque, so
+/// only angle brackets need explicit depth tracking; `->` is skipped so the
+/// `>` of a return arrow can't unbalance the count.
+fn split_top_level(stream: TokenStream, mut f: impl FnMut(&[TokenTree]) -> Result<(), String>) -> Result<(), String> {
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    let mut prev_dash = false;
+    for tt in stream {
+        let dash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !chunk.is_empty() {
+                    f(&chunk)?;
+                    chunk.clear();
+                }
+                prev_dash = false;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => {
+                angle = angle.saturating_sub(1);
+            }
+            _ => {}
+        }
+        prev_dash = dash;
+        chunk.push(tt);
+    }
+    if !chunk.is_empty() {
+        f(&chunk)?;
+    }
+    Ok(())
+}
+
+fn count_top_level(stream: TokenStream) -> usize {
+    let mut n = 0;
+    let _ = split_top_level(stream, |_| {
+        n += 1;
+        Ok(())
+    });
+    n
+}
+
+/// Strips leading attributes and visibility from a field/variant chunk.
+fn strip_meta(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    split_top_level(stream, |chunk| {
+        let rest = strip_meta(chunk);
+        match (rest.first(), rest.get(1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                fields.push(id.to_string());
+                Ok(())
+            }
+            _ => Err(format!("cannot read field name from `{}`", tokens_to_string(rest))),
+        }
+    })?;
+    Ok(fields)
+}
+
+fn enum_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    split_top_level(stream, |chunk| {
+        let rest = strip_meta(chunk);
+        let name = match rest.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err(format!("cannot read variant from `{}`", tokens_to_string(rest))),
+        };
+        let kind = match rest.get(1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_top_level(g.stream()))
+            }
+            Some(other) => {
+                return Err(format!("unsupported variant syntax after `{name}`: {other}"));
+            }
+        };
+        variants.push(Variant { name, kind });
+        Ok(())
+    })?;
+    Ok(variants)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(__fields)\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                format!("::serde::Value::Array(vec![{elems}])")
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                   let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                   {pushes}\
+                                   ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__inner))])\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let bind_list = binds.join(", ");
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{elems}])")
+                            };
+                            format!(
+                                "{name}::{vname}({bind_list}) => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::__find(__obj, {f:?}) {{\n\
+                           ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                           ::std::option::Option::None => ::serde::Deserialize::missing_field({f:?})?,\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let __obj = __v.as_object_slice().ok_or_else(|| \
+                       ::serde::Error::msg(concat!(\"expected object for struct \", stringify!({name}))))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{reads}}})\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let reads: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                       ::serde::Error::msg(\"expected array for tuple struct\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                       return ::std::result::Result::Err(::serde::Error::msg(\"tuple struct arity mismatch\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({reads}))"
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     {body}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let reads: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: match ::serde::__find(__inner, {f:?}) {{\n\
+                                           ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                           ::std::option::Option::None => ::serde::Deserialize::missing_field({f:?})?,\n\
+                                         }},\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                   let __inner = __payload.as_object_slice().ok_or_else(|| \
+                                     ::serde::Error::msg(\"expected object payload\"))?;\n\
+                                   return ::std::result::Result::Ok({name}::{vname} {{\n{reads}}});\n\
+                                 }}\n"
+                            ))
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "return ::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_value(__payload)?));"
+                                )
+                            } else {
+                                let reads: String = (0..*arity)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "let __items = __payload.as_array().ok_or_else(|| \
+                                       ::serde::Error::msg(\"expected array payload\"))?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                       return ::std::result::Result::Err(::serde::Error::msg(\"variant arity mismatch\"));\n\
+                                     }}\n\
+                                     return ::std::result::Result::Ok({name}::{vname}({reads}));"
+                                )
+                            };
+                            Some(format!("{vname:?} => {{ {body} }}\n"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     if let ::std::option::Option::Some(__tag) = __v.as_str() {{\n\
+                       match __tag {{\n{unit_arms}\
+                         _ => return ::std::result::Result::Err(::serde::Error::msg(\
+                           format!(\"unknown variant `{{}}` of {name}\", __tag))),\n\
+                       }}\n\
+                     }}\n\
+                     if let ::std::option::Option::Some(__fields) = __v.as_object_slice() {{\n\
+                       if __fields.len() == 1 {{\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n{tagged_arms}\
+                           _ => return ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown variant `{{}}` of {name}\", __tag))),\n\
+                         }}\n\
+                       }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::Error::msg(concat!(\
+                       \"expected enum \", stringify!({name}))))\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
