@@ -16,6 +16,14 @@
 //!   criterion tracks.
 //! - `batch_distance`: the 4-row blocked `batch_l2_squared` vs a per-row
 //!   scalar loop over the same gather list.
+//! - `simd_l2` / `simd_batch`: the runtime-dispatched SIMD kernels (PR 2)
+//!   vs the same code forced to the scalar level, on single-pair and blocked
+//!   batch distance respectively. Results are asserted bitwise identical
+//!   across levels before timing.
+//! - `pipelined_search`: end-to-end `search_pipelined` under auto dispatch
+//!   vs forced scalar, with search results and simulated-clock counters
+//!   asserted bitwise unchanged (the dispatch level must never leak into
+//!   the simulation).
 //!
 //! `PATHWEAVER_THREADS` defaults to 2 here so the dispatch comparison is
 //! meaningful even on single-core CI runners (the pool pins one helper; the
@@ -31,7 +39,7 @@ use pathweaver_datasets::Scale;
 use pathweaver_gpusim::CostCounters;
 use pathweaver_graph::{cagra_build, CagraBuildParams};
 use pathweaver_search::{search_batch, search_query, EntryPolicy, SearchParams, ShardContext};
-use pathweaver_vector::{batch_l2_squared, l2_squared};
+use pathweaver_vector::{batch_l2_squared, l2_squared, set_simd_level, SimdLevel};
 use serde_json::{json, Value};
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
@@ -152,6 +160,109 @@ fn batch_distance() -> Value {
     result("batch_distance", baseline, optimized)
 }
 
+/// Runs `f` with the dispatch forced to `level`, restoring auto detection
+/// afterwards. Swapping mid-process is safe: every level is bitwise
+/// identical, so nothing downstream can observe which level computed what.
+fn at_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    assert!(set_simd_level(level), "level {} unavailable on this host", level.name());
+    let r = f();
+    set_simd_level(SimdLevel::detect());
+    r
+}
+
+/// Single-pair distance throughput: auto-dispatched SIMD level vs forced
+/// scalar on the same pairs (960-d, the paper's widest dataset).
+fn simd_l2() -> Value {
+    let dim = 960;
+    let n = 512;
+    let set = pathweaver_datasets::SyntheticSpec {
+        dim,
+        len: n + 1,
+        distribution: pathweaver_datasets::Distribution::Uniform,
+        seed: 41,
+    }
+    .generate();
+    let query = set.row(n).to_vec();
+    // Bitwise identity across levels, checked on the bench inputs.
+    let auto: Vec<u32> = (0..n).map(|i| l2_squared(set.row(i), &query).to_bits()).collect();
+    at_level(SimdLevel::Scalar, || {
+        for (i, &bits) in auto.iter().enumerate() {
+            assert_eq!(l2_squared(set.row(i), &query).to_bits(), bits, "row {i}");
+        }
+    });
+
+    let run = || {
+        let mut acc = 0.0f32;
+        for _ in 0..16 {
+            for i in 0..n {
+                acc += l2_squared(set.row(i), &query);
+            }
+        }
+        black_box(acc);
+    };
+    let baseline = time_ms(15, || at_level(SimdLevel::Scalar, run));
+    let optimized = time_ms(15, run);
+    result("simd_l2", baseline, optimized)
+}
+
+/// Blocked batch-distance throughput: auto-dispatched SIMD level vs forced
+/// scalar running the identical blocked kernel (this is the acceptance
+/// criterion's batch-distance microbench).
+fn simd_batch() -> Value {
+    let w = DatasetProfile::sift_like().workload(Scale::Bench, 1, 1, 19);
+    let set = &w.base;
+    let mut rng = pathweaver_util::small_rng(29);
+    let rows: Vec<u32> =
+        (0..8192).map(|_| rand::Rng::gen_range(&mut rng, 0..set.len()) as u32).collect();
+    let query = w.queries.row(0).to_vec();
+    let mut out = vec![0.0f32; rows.len()];
+
+    batch_l2_squared(set, &rows, &query, &mut out);
+    let auto_bits: Vec<u32> = out.iter().map(|d| d.to_bits()).collect();
+    at_level(SimdLevel::Scalar, || {
+        batch_l2_squared(set, &rows, &query, &mut out);
+    });
+    let scalar_bits: Vec<u32> = out.iter().map(|d| d.to_bits()).collect();
+    assert_eq!(auto_bits, scalar_bits, "dispatch levels disagree bitwise");
+
+    let mut run = || {
+        batch_l2_squared(set, &rows, &query, &mut out);
+        black_box(&out);
+    };
+    let baseline = time_ms(25, || at_level(SimdLevel::Scalar, &mut run));
+    let optimized = time_ms(25, run);
+    result("simd_batch", baseline, optimized)
+}
+
+/// End-to-end pipelined multi-shard search: auto dispatch vs forced scalar.
+/// Search results and simulated-clock counters must be bitwise unchanged —
+/// only the wall clock may move.
+fn pipelined_search() -> Value {
+    use pathweaver_core::{PathWeaverConfig, PathWeaverIndex};
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 43);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2))
+        .expect("bench index builds");
+    let params = SearchParams::default();
+
+    let out_auto = idx.search_pipelined(&w.queries, &params);
+    let out_scalar = at_level(SimdLevel::Scalar, || idx.search_pipelined(&w.queries, &params));
+    assert_eq!(out_auto.hits, out_scalar.hits, "hits changed across dispatch levels");
+    assert_eq!(
+        out_auto.timeline.aggregate_counters(),
+        out_scalar.timeline.aggregate_counters(),
+        "simulated-clock counters changed across dispatch levels"
+    );
+
+    let run = || {
+        for _ in 0..4 {
+            black_box(idx.search_pipelined(&w.queries, &params));
+        }
+    };
+    let baseline = time_ms(7, || at_level(SimdLevel::Scalar, run));
+    let optimized = time_ms(7, run);
+    result("pipelined_search", baseline, optimized)
+}
+
 fn main() {
     // Default to two threads so the dispatch comparison exercises the pool
     // even on single-core runners; an explicit setting wins.
@@ -159,12 +270,21 @@ fn main() {
         std::env::set_var("PATHWEAVER_THREADS", "2");
     }
     let threads = pathweaver_util::available_threads();
-    println!("wallclock bench: {threads} threads");
+    let simd_name = pathweaver_vector::active_simd_level().name();
+    println!("wallclock bench: {threads} threads, simd dispatch: {simd_name}");
 
-    let results = vec![pool_dispatch(), batch_search(), batch_distance()];
+    let results = vec![
+        pool_dispatch(),
+        batch_search(),
+        batch_distance(),
+        simd_l2(),
+        simd_batch(),
+        pipelined_search(),
+    ];
     let doc = json!({
         "bench": "wallclock",
         "threads": threads,
+        "simd": simd_name,
         "results": results,
     });
     let path = std::env::var("PATHWEAVER_BENCH_OUT")

@@ -243,7 +243,10 @@ impl PathWeaverIndex {
         // Phase 1: per-shard vectors + proximity graphs.
         let mut shards: Vec<ShardIndex> = Vec::with_capacity(config.num_devices);
         for s in 0..config.num_devices {
-            let vectors = assignment.gather(s, dataset);
+            // Aligned storage (64-byte rows, zero-padded stride) mirrors the
+            // device-side layout and lets the SIMD kernels avoid split-line
+            // loads; distances are bitwise unchanged (logical dim preserved).
+            let vectors = assignment.gather(s, dataset).into_aligned();
             let graph =
                 report.time(BuildPhase::GraphBuild, || cagra_build(&vectors, &config.graph));
             let dir_table = if config.build_dir_table {

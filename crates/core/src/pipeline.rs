@@ -65,10 +65,13 @@ impl PathWeaverIndex {
         let mut hits_by_row: Vec<Vec<(f32, u32)>> = vec![Vec::new(); queries.len()];
         let mut stats = BatchStats::default();
         for msg in finished {
-            let chunk = msg.payload;
+            let mut chunk = msg.payload;
             stats.merge(&chunk.stats);
             for (i, row) in chunk.query_rows.iter().enumerate() {
-                hits_by_row[*row] = reduce_hits(&[chunk.hits[i].clone()], params.k);
+                // Take the accumulated list instead of cloning it: the chunk
+                // is consumed here, and reduce only needs it by value to sort.
+                let hits = std::mem::take(&mut chunk.hits[i]);
+                hits_by_row[*row] = reduce_hits(&[hits], params.k);
             }
         }
         SearchOutput::from_parts(hits_by_row, stats, timeline, queries.len())
@@ -87,10 +90,7 @@ impl PathWeaverIndex {
         let n = self.num_devices();
         let shard = &self.shards[device];
         let chunk = &mut msg.payload;
-        let chunk_queries = {
-            let rows: Vec<usize> = chunk.query_rows.clone();
-            queries.gather(&rows)
-        };
+        let chunk_queries = queries.gather(&chunk.query_rows);
 
         // Stage 0 starts from scratch (ghost staging if available); later
         // stages start from the forwarded I(z) seeds. Empty seed lists

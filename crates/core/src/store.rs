@@ -180,8 +180,11 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
     let mut members = Vec::with_capacity(meta.num_devices);
     for s in 0..meta.num_devices {
         let sdir = dir.join(format!("shard-{s:03}"));
-        let vectors =
-            read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None).map_err(malformed)?;
+        // Restore the aligned storage the build phase uses (fvecs on disk is
+        // compact; distances are identical either way).
+        let vectors = read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None)
+            .map_err(malformed)?
+            .into_aligned();
         if vectors.dim() != meta.dim {
             return Err(StoreError::Malformed(format!(
                 "shard {s} dim {} != meta dim {}",
@@ -246,7 +249,8 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
                 .next()
                 .unwrap_or_default();
             let gvec = read_fvecs(fs::File::open(sdir.join("ghost-vectors.fvecs"))?, None)
-                .map_err(malformed)?;
+                .map_err(malformed)?
+                .into_aligned();
             let ggraph =
                 read_graph(fs::File::open(sdir.join("ghost-graph.pwgr"))?).map_err(malformed)?;
             Some(GhostShard { to_original, vectors: gvec, graph: ggraph })

@@ -1,7 +1,7 @@
 //! Exact brute-force k-NN ground truth.
 
 use pathweaver_util::{parallel_map, TopK};
-use pathweaver_vector::{l2_squared, VectorSet};
+use pathweaver_vector::{l2_squared_rows, VectorSet};
 use serde::{Deserialize, Serialize};
 
 /// Exact k-nearest-neighbor results for a batch of queries.
@@ -63,12 +63,22 @@ pub fn brute_force_knn(base: &VectorSet, queries: &VectorSet, k: usize) -> Groun
     assert!(k > 0, "k must be positive");
     assert!(k <= base.len(), "k {} exceeds base size {}", k, base.len());
     assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    // The scan runs through the blocked SIMD kernel in row chunks; pushes
+    // stay in ascending-id order, so ties resolve exactly as the historical
+    // per-row loop did (results are bitwise identical either way).
+    const CHUNK: usize = 256;
     let lists = parallel_map(queries.len(), |q| {
         let query = queries.row(q);
         let mut top = TopK::new(k);
-        for i in 0..base.len() {
-            let d = l2_squared(base.row(i), query);
-            top.push(d, i as u64);
+        let mut dists = [0.0f32; CHUNK];
+        let mut i = 0;
+        while i < base.len() {
+            let n = CHUNK.min(base.len() - i);
+            l2_squared_rows(base, i, query, &mut dists[..n]);
+            for (j, &d) in dists[..n].iter().enumerate() {
+                top.push(d, (i + j) as u64);
+            }
+            i += n;
         }
         top.into_sorted()
     });
@@ -127,7 +137,7 @@ mod tests {
         let gt = brute_force_knn(&base, &queries, k);
         for q in 0..queries.len() {
             let mut pairs: Vec<(f32, u32)> = (0..base.len())
-                .map(|i| (l2_squared(base.row(i), queries.row(q)), i as u32))
+                .map(|i| (pathweaver_vector::l2_squared(base.row(i), queries.row(q)), i as u32))
                 .collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
             let want: Vec<u32> = pairs.iter().take(k).map(|p| p.1).collect();

@@ -52,10 +52,19 @@ pub struct SyntheticSpec {
 impl SyntheticSpec {
     /// Generates the vector set described by this spec.
     ///
+    /// The result uses the aligned storage mode (64-byte rows, zero-padded
+    /// stride) so the SIMD distance kernels never straddle a cache line at a
+    /// row start; contents and distances are identical to compact storage.
+    ///
     /// # Panics
     ///
     /// Panics if `dim == 0` or a GMM/Sphere spec has zero clusters.
     pub fn generate(&self) -> VectorSet {
+        self.generate_compact().into_aligned()
+    }
+
+    /// Generates into the compact (unpadded) storage mode.
+    fn generate_compact(&self) -> VectorSet {
         assert!(self.dim > 0, "dim must be positive");
         let mut rng = pathweaver_util::small_rng(self.seed);
         match self.distribution {
@@ -222,9 +231,10 @@ mod tests {
         let spec =
             SyntheticSpec { dim: 4, len: 2000, distribution: Distribution::Uniform, seed: 9 };
         let set = spec.generate();
-        let flat = set.as_flat();
-        let min = flat.iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = flat.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // Aligned storage has no flat view; fold over logical rows (padding
+        // lanes would otherwise drag `min` to 0).
+        let min = set.iter().flatten().cloned().fold(f32::INFINITY, f32::min);
+        let max = set.iter().flatten().cloned().fold(f32::NEG_INFINITY, f32::max);
         assert!(min < -0.9 && max > 0.9);
         assert!(min >= -1.0 && max < 1.0);
     }

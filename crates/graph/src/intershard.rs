@@ -81,13 +81,27 @@ impl InterShardTable {
     /// for tiny shards.
     pub fn build_exact(source: &VectorSet, target_vectors: &VectorSet) -> Self {
         assert!(!target_vectors.is_empty(), "empty target shard");
+        // Chunked through the blocked SIMD kernel; the strict `<` scan in
+        // ascending target order keeps the historical argmin tie-breaking.
+        const CHUNK: usize = 256;
         let targets = parallel_map(source.len(), |u| {
             let mut best = (f32::INFINITY, 0u32);
-            for w in 0..target_vectors.len() {
-                let d = pathweaver_vector::l2_squared(source.row(u), target_vectors.row(w));
-                if d < best.0 {
-                    best = (d, w as u32);
+            let mut dists = [0.0f32; CHUNK];
+            let mut w = 0;
+            while w < target_vectors.len() {
+                let n = CHUNK.min(target_vectors.len() - w);
+                pathweaver_vector::l2_squared_rows(
+                    target_vectors,
+                    w,
+                    source.row(u),
+                    &mut dists[..n],
+                );
+                for (j, &d) in dists[..n].iter().enumerate() {
+                    if d < best.0 {
+                        best = (d, (w + j) as u32);
+                    }
                 }
+                w += n;
             }
             best.1
         });

@@ -229,12 +229,22 @@ fn join(vectors: &VectorSet, lists: &[Mutex<NeighborList>], a: u32, b: u32) -> u
 pub fn exact_knn_lists(vectors: &VectorSet, k: usize) -> Vec<Vec<(f32, u32)>> {
     let n = vectors.len();
     let k = k.min(n.saturating_sub(1)).max(1);
+    // Chunked through the blocked SIMD kernel; pushes stay in ascending-id
+    // order (skipping the self pair) so TopK tie-breaking is unchanged.
+    const CHUNK: usize = 256;
     pathweaver_util::parallel_map(n, |u| {
         let mut top = TopK::new(k);
-        for v in 0..n {
-            if v != u {
-                top.push(l2_squared(vectors.row(u), vectors.row(v)), v as u64);
+        let mut dists = [0.0f32; CHUNK];
+        let mut v = 0;
+        while v < n {
+            let m = CHUNK.min(n - v);
+            pathweaver_vector::l2_squared_rows(vectors, v, vectors.row(u), &mut dists[..m]);
+            for (j, &d) in dists[..m].iter().enumerate() {
+                if v + j != u {
+                    top.push(d, (v + j) as u64);
+                }
             }
+            v += m;
         }
         top.into_sorted().into_iter().map(|(d, id)| (d, id as u32)).collect()
     })

@@ -1,9 +1,15 @@
-//! Scalar distance kernels.
+//! Distance kernel entry points.
 //!
-//! The inner loops are hand-unrolled into four independent accumulators so
-//! the compiler can keep them in registers and auto-vectorize; this mirrors
-//! the structure of the CUDA kernel (each thread of a warp accumulates a
-//! strided slice of the dimension, then reduces).
+//! These free functions are the workspace-wide distance API; they forward to
+//! the runtime-dispatched SIMD kernels in [`crate::simd`] (AVX2/SSE2 on
+//! x86_64, NEON on aarch64, 4-accumulator scalar everywhere else). Every
+//! dispatch level executes the identical FP operation sequence, so results
+//! are **bitwise identical** regardless of the selected level — the search
+//! kernel's simulated-clock counters rely on this. See the [`crate::simd`]
+//! module docs for the lane-structure invariant, and `PATHWEAVER_SIMD` to
+//! override the selected level.
+
+use crate::simd::active_kernels;
 
 /// Squared L2 distance between two equal-length vectors.
 ///
@@ -13,26 +19,7 @@
 /// revision only checked in debug builds and silently truncated in release).
 #[inline]
 pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "l2_squared requires equal-length vectors");
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let o = i * 4;
-        let d0 = a[o] - b[o];
-        let d1 = a[o + 1] - b[o + 1];
-        let d2 = a[o + 2] - b[o + 2];
-        let d3 = a[o + 3] - b[o + 3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut tail = 0.0f32;
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        tail += d * d;
-    }
-    s0 + s1 + s2 + s3 + tail
+    active_kernels().l2_squared(a, b)
 }
 
 /// L2 (Euclidean) distance.
@@ -48,21 +35,7 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices differ in length (in every build profile).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot requires equal-length vectors");
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let o = i * 4;
-        s0 += a[o] * b[o];
-        s1 += a[o + 1] * b[o + 1];
-        s2 += a[o + 2] * b[o + 2];
-        s3 += a[o + 3] * b[o + 3];
-    }
-    let mut tail = 0.0f32;
-    for i in chunks * 4..a.len() {
-        tail += a[i] * b[i];
-    }
-    s0 + s1 + s2 + s3 + tail
+    active_kernels().dot(a, b)
 }
 
 /// Computes squared-L2 distances from `query` to each listed row of `set`,
@@ -86,60 +59,7 @@ pub fn batch_l2_squared(
     query: &[f32],
     out: &mut [f32],
 ) {
-    assert_eq!(out.len(), rows.len(), "output length must match row count");
-    assert_eq!(query.len(), set.dim(), "query dimension must match the set");
-    let blocks = rows.len() / 4;
-    for blk in 0..blocks {
-        let b = blk * 4;
-        let r = [
-            set.row(rows[b] as usize),
-            set.row(rows[b + 1] as usize),
-            set.row(rows[b + 2] as usize),
-            set.row(rows[b + 3] as usize),
-        ];
-        let d = l2_squared_x4(r, query);
-        out[b..b + 4].copy_from_slice(&d);
-    }
-    for i in blocks * 4..rows.len() {
-        out[i] = l2_squared(set.row(rows[i] as usize), query);
-    }
-}
-
-/// Four simultaneous squared-L2 distances against one query.
-///
-/// Each row uses the identical accumulator structure (and therefore the
-/// identical FP operation order) as [`l2_squared`], so the results are
-/// bitwise equal to four scalar calls.
-#[inline]
-fn l2_squared_x4(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
-    let dim = query.len();
-    let chunks = dim / 4;
-    // acc[k] holds row k's four partial sums (s0..s3 of `l2_squared`).
-    let mut acc = [[0.0f32; 4]; 4];
-    for i in 0..chunks {
-        let o = i * 4;
-        for k in 0..4 {
-            let row = r[k];
-            let d0 = row[o] - query[o];
-            let d1 = row[o + 1] - query[o + 1];
-            let d2 = row[o + 2] - query[o + 2];
-            let d3 = row[o + 3] - query[o + 3];
-            acc[k][0] += d0 * d0;
-            acc[k][1] += d1 * d1;
-            acc[k][2] += d2 * d2;
-            acc[k][3] += d3 * d3;
-        }
-    }
-    let mut out = [0.0f32; 4];
-    for k in 0..4 {
-        let mut tail = 0.0f32;
-        for i in chunks * 4..dim {
-            let d = r[k][i] - query[i];
-            tail += d * d;
-        }
-        out[k] = acc[k][0] + acc[k][1] + acc[k][2] + acc[k][3] + tail;
-    }
-    out
+    active_kernels().batch_l2_squared(set, rows, query, out);
 }
 
 /// Multi-query variant of [`batch_l2_squared`]: distances from every row of
@@ -160,29 +80,27 @@ pub fn batch_l2_squared_mq(
     queries: &crate::matrix::VectorSet,
     out: &mut [f32],
 ) {
-    assert_eq!(out.len(), rows.len() * queries.len(), "output length must be rows x queries");
-    assert_eq!(queries.dim(), set.dim(), "query dimension must match the set");
-    let blocks = rows.len() / 4;
-    for blk in 0..blocks {
-        let b = blk * 4;
-        let r = [
-            set.row(rows[b] as usize),
-            set.row(rows[b + 1] as usize),
-            set.row(rows[b + 2] as usize),
-            set.row(rows[b + 3] as usize),
-        ];
-        for (q, query) in queries.iter().enumerate() {
-            let d = l2_squared_x4(r, query);
-            let o = q * rows.len() + b;
-            out[o..o + 4].copy_from_slice(&d);
-        }
-    }
-    for i in blocks * 4..rows.len() {
-        let row = set.row(rows[i] as usize);
-        for (q, query) in queries.iter().enumerate() {
-            out[q * rows.len() + i] = l2_squared(row, query);
-        }
-    }
+    active_kernels().batch_l2_squared_mq(set, rows, queries, out);
+}
+
+/// Squared-L2 distances from `query` to the consecutive rows
+/// `first_row..first_row + out.len()` of `set`.
+///
+/// The dense sibling of [`batch_l2_squared`] for brute-force scans (ground
+/// truth, exact k-NN oracles, inter-shard tables) that walk every row and
+/// need no gather list. Results are bitwise identical to per-row
+/// [`l2_squared`] calls over the same range.
+///
+/// # Panics
+///
+/// Panics if the row range exceeds `set.len()` or `query.len() != set.dim()`.
+pub fn l2_squared_rows(
+    set: &crate::matrix::VectorSet,
+    first_row: usize,
+    query: &[f32],
+    out: &mut [f32],
+) {
+    active_kernels().l2_squared_rows(set, first_row, query, out);
 }
 
 #[cfg(test)]
@@ -270,6 +188,34 @@ mod tests {
                 let want = l2_squared(set.row(r as usize), queries.row(q));
                 assert_eq!(out[q * rows.len() + i].to_bits(), want.to_bits(), "q={q} i={i}");
             }
+        }
+    }
+
+    #[test]
+    fn dense_rows_match_scalar_bitwise() {
+        let set = VectorSet::from_fn(13, 29, |r, c| ((r * 7 + c) % 11) as f32 * 0.41 - 1.5);
+        let q: Vec<f32> = (0..29).map(|i| (i as f32 * 0.23).cos()).collect();
+        for (first, n) in [(0usize, 13usize), (2, 9), (5, 0), (12, 1), (3, 6)] {
+            let mut out = vec![0.0f32; n];
+            l2_squared_rows(&set, first, &q, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                let want = l2_squared(set.row(first + i), &q);
+                assert_eq!(got.to_bits(), want.to_bits(), "first={first} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_storage_is_bitwise_equal_to_compact() {
+        let compact = VectorSet::from_fn(21, 37, |r, c| ((r * 13 + c * 3) % 17) as f32 * 0.31);
+        let aligned = compact.clone().into_aligned();
+        let q: Vec<f32> = (0..37).map(|i| (i as f32 * 0.47).sin() * 2.0).collect();
+        let rows: Vec<u32> = (0..21).map(|i| ((i * 11) % 21) as u32).collect();
+        let (mut out_c, mut out_a) = (vec![0.0f32; 21], vec![0.0f32; 21]);
+        batch_l2_squared(&compact, &rows, &q, &mut out_c);
+        batch_l2_squared(&aligned, &rows, &q, &mut out_a);
+        for i in 0..21 {
+            assert_eq!(out_c[i].to_bits(), out_a[i].to_bits(), "i={i}");
         }
     }
 

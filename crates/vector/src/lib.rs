@@ -6,9 +6,12 @@
 //!   dataset (or shard) of `d`-dimensional points.
 //! - [`metric`]: the [`Metric`] trait plus L2 / inner-product / cosine
 //!   implementations.
-//! - [`distance`]: unrolled scalar kernels for squared-L2 and batched
-//!   distances — the operation the paper shows dominates >80–95 % of search
-//!   time (Fig 2).
+//! - [`distance`]: squared-L2 and batched distance entry points — the
+//!   operation the paper shows dominates >80–95 % of search time (Fig 2).
+//! - [`simd`]: the runtime-dispatched kernel layer behind [`distance`] and
+//!   [`signbit`] — AVX2/SSE2 on x86_64, NEON on aarch64, 4-accumulator
+//!   scalar fallback — bitwise identical across levels and overridable via
+//!   `PATHWEAVER_SIMD=scalar|sse2|avx2|neon`.
 //! - [`signbit`]: 1-bit direction codes packed into `u32` words, the
 //!   substrate of direction-guided selection (paper §3.3): the sign of each
 //!   coordinate of `dst - src` approximates the direction of the edge, and
@@ -24,8 +27,10 @@ pub mod metric;
 pub mod norm;
 pub mod quantize;
 pub mod signbit;
+pub mod simd;
 
-pub use distance::{batch_l2_squared, batch_l2_squared_mq, dot, l2, l2_squared};
+pub use distance::{batch_l2_squared, batch_l2_squared_mq, dot, l2, l2_squared, l2_squared_rows};
 pub use matrix::VectorSet;
 pub use metric::{Cosine, InnerProduct, Metric, SquaredL2};
 pub use signbit::{hamming_matches, sign_code, sign_code_words, SignCodeBuf};
+pub use simd::{active_simd_level, kernels_for, set_simd_level, Kernels, SimdLevel};

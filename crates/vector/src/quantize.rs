@@ -21,12 +21,13 @@ pub struct QuantizedSet {
 impl QuantizedSet {
     /// Quantizes `set` with a scale that maps its largest magnitude to 127.
     ///
-    /// An all-zero set quantizes with scale 1.
+    /// An all-zero set quantizes with scale 1. Works on either storage mode
+    /// (rows are iterated logically, so aligned padding never quantizes).
     pub fn quantize(set: &VectorSet) -> Self {
-        let max = set.as_flat().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let max = set.iter().flatten().fold(0.0f32, |m, &x| m.max(x.abs()));
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
         let data =
-            set.as_flat().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+            set.iter().flatten().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
         Self { dim: set.dim(), scale, data }
     }
 

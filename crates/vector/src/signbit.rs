@@ -20,20 +20,17 @@ pub const fn sign_code_words(dim: usize) -> usize {
 /// Bit `d` of the code is 1 iff `to[d] > from[d]`. Bits beyond `dim` stay 0,
 /// so codes of equal `dim` are directly comparable word-by-word.
 ///
+/// Forwards to the runtime-dispatched SIMD kernel (see [`crate::simd`]):
+/// SSE2/AVX2 compare-and-movemask or NEON compare-and-weighted-add, all
+/// producing identical codes to the scalar loop (including on NaN, where the
+/// ordered `>` comparison is false on every path).
+///
 /// # Panics
 ///
 /// Panics if `from.len() != to.len()` or `out` is shorter than
 /// [`sign_code_words`]`(dim)`.
 pub fn sign_code(from: &[f32], to: &[f32], out: &mut [u32]) {
-    assert_eq!(from.len(), to.len(), "sign_code length mismatch");
-    let words = sign_code_words(from.len());
-    assert!(out.len() >= words, "sign code buffer too small");
-    out[..words].fill(0);
-    for (d, (f, t)) in from.iter().zip(to).enumerate() {
-        if t > f {
-            out[d / 32] |= 1u32 << (d % 32);
-        }
-    }
+    crate::simd::active_kernels().sign_code(from, to, out);
 }
 
 /// Counts matching direction bits between two codes over `dim` dimensions.

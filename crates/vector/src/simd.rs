@@ -1,0 +1,973 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! Every claim in PathWeaver is denominated in distance computations, so the
+//! wall-clock cost of one `l2_squared` call is the single biggest lever on
+//! host-side throughput. This module provides explicit-SIMD implementations
+//! of the four kernel primitives — squared-L2, inner product, the 4-row
+//! blocked squared-L2 used by the gather-distance kernels, and sign-bit code
+//! construction — selected once at startup from the CPU's capabilities:
+//!
+//! - **AVX2 (+FMA detected)** and **SSE2** on `x86_64`,
+//! - **NEON** on `aarch64`,
+//! - the 4-accumulator **scalar** loops everywhere else (and as the
+//!   universal fallback).
+//!
+//! # The bitwise-identity invariant
+//!
+//! The simulated-GPU clock is derived from operation counters, and the
+//! search kernel's convergence checks feed back into those counters; any
+//! change in a single distance bit could change a queue insertion, an
+//! iteration count, and ultimately every simulated number in the paper
+//! harness. The SIMD paths therefore keep the **exact lane structure of the
+//! scalar kernels**:
+//!
+//! - One vector lane per scalar accumulator `s0..s3`: lane `j` accumulates
+//!   `d[4i+j]²` with a separate multiply and add per step, exactly like the
+//!   scalar `s_j += d_j * d_j`. Fused multiply-add is deliberately **not**
+//!   used even when FMA is available — fusing changes the rounding.
+//! - The AVX2 paths widen to two interleaved `f32x4` groups (two consecutive
+//!   dimension chunks of one pair, or two rows of the blocked kernel) whose
+//!   partial sums are folded back in the scalar program order.
+//! - The horizontal reduce extracts lanes and sums them in the scalar order
+//!   `s0 + s1 + s2 + s3 + tail` (left-associated), never with `haddps`-style
+//!   pairwise trees.
+//!
+//! Under IEEE-754 every path then performs the identical operation sequence
+//! per output, so results are **bitwise identical** across dispatch levels —
+//! verified by the `simd_identity` property tests.
+//!
+//! # Dispatch
+//!
+//! [`active_kernels`] resolves the kernel table once (an atomic pointer, so
+//! the per-call overhead is one relaxed load and an indirect call). The
+//! environment variable `PATHWEAVER_SIMD=scalar|sse2|avx2|neon` overrides
+//! detection for testing; a level the CPU cannot run falls back to scalar
+//! with a warning. Benchmarks and tests can also swap the table at runtime
+//! via [`set_simd_level`] — safe because every level returns bitwise-equal
+//! results.
+
+use crate::matrix::VectorSet;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A SIMD instruction-set level the kernels can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable 4-accumulator scalar loops (universal fallback).
+    Scalar,
+    /// 128-bit SSE2 (baseline on every `x86_64`).
+    Sse2,
+    /// 256-bit AVX2; requires FMA to be present as well (the detection gate
+    /// matches real deployments), although fused ops are never emitted — see
+    /// the module docs on bitwise identity.
+    Avx2,
+    /// 128-bit NEON (baseline on every `aarch64`).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Every level, strongest-last.
+    pub const ALL: [SimdLevel; 4] =
+        [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Neon, SimdLevel::Avx2];
+
+    /// Lower-case name, matching the `PATHWEAVER_SIMD` syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// Parses a `PATHWEAVER_SIMD` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            "neon" => Some(SimdLevel::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the level.
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "aarch64")]
+            SimdLevel::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// The strongest level this host supports.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if SimdLevel::Avx2.is_supported() {
+                return SimdLevel::Avx2;
+            }
+            return SimdLevel::Sse2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return SimdLevel::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdLevel::Scalar
+    }
+
+    /// All levels this host supports (scalar first).
+    pub fn available() -> Vec<Self> {
+        Self::ALL.into_iter().filter(|l| l.is_supported()).collect()
+    }
+}
+
+/// A resolved table of kernel entry points for one [`SimdLevel`].
+///
+/// Obtain one through [`active_kernels`] (the dispatched level) or
+/// [`kernels_for`] (a specific level, for A/B benchmarking and identity
+/// tests). All tables are `'static`; all levels return bitwise-identical
+/// results.
+pub struct Kernels {
+    level: SimdLevel,
+    l2_squared: fn(&[f32], &[f32]) -> f32,
+    dot: fn(&[f32], &[f32]) -> f32,
+    l2_squared_x4: fn([&[f32]; 4], &[f32]) -> [f32; 4],
+    sign_code: fn(&[f32], &[f32], &mut [u32]),
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels").field("level", &self.level).finish()
+    }
+}
+
+impl Kernels {
+    /// The instruction-set level of this table.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Squared L2 distance between two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn l2_squared(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "l2_squared requires equal-length vectors");
+        (self.l2_squared)(a, b)
+    }
+
+    /// Inner product of two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot requires equal-length vectors");
+        (self.dot)(a, b)
+    }
+
+    /// Four simultaneous squared-L2 distances against one query, bitwise
+    /// equal to four [`Kernels::l2_squared`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the query length.
+    #[inline]
+    pub fn l2_squared_x4(&self, rows: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+        for r in &rows {
+            assert_eq!(r.len(), query.len(), "l2_squared_x4 requires equal-length vectors");
+        }
+        (self.l2_squared_x4)(rows, query)
+    }
+
+    /// Packed sign code of `to - from` (see [`crate::signbit::sign_code`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from.len() != to.len()` or `out` is shorter than
+    /// [`crate::signbit::sign_code_words`]`(dim)`.
+    #[inline]
+    pub fn sign_code(&self, from: &[f32], to: &[f32], out: &mut [u32]) {
+        assert_eq!(from.len(), to.len(), "sign_code length mismatch");
+        let words = crate::signbit::sign_code_words(from.len());
+        assert!(out.len() >= words, "sign code buffer too small");
+        (self.sign_code)(from, to, out);
+    }
+
+    /// Squared-L2 distances from `query` to each listed row of `set` (the
+    /// blocked gather-distance kernel; see
+    /// [`crate::distance::batch_l2_squared`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()`, if `query.len() != set.dim()`,
+    /// or if any row index is out of range.
+    pub fn batch_l2_squared(&self, set: &VectorSet, rows: &[u32], query: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), rows.len(), "output length must match row count");
+        assert_eq!(query.len(), set.dim(), "query dimension must match the set");
+        let blocks = rows.len() / 4;
+        for blk in 0..blocks {
+            let b = blk * 4;
+            let r = [
+                set.row(rows[b] as usize),
+                set.row(rows[b + 1] as usize),
+                set.row(rows[b + 2] as usize),
+                set.row(rows[b + 3] as usize),
+            ];
+            let d = (self.l2_squared_x4)(r, query);
+            out[b..b + 4].copy_from_slice(&d);
+        }
+        for i in blocks * 4..rows.len() {
+            out[i] = (self.l2_squared)(set.row(rows[i] as usize), query);
+        }
+    }
+
+    /// Multi-query variant of [`Kernels::batch_l2_squared`]; see
+    /// [`crate::distance::batch_l2_squared_mq`] for the layout contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len() * queries.len()`, if the
+    /// dimensions disagree, or if any row index is out of range.
+    pub fn batch_l2_squared_mq(
+        &self,
+        set: &VectorSet,
+        rows: &[u32],
+        queries: &VectorSet,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), rows.len() * queries.len(), "output length must be rows x queries");
+        assert_eq!(queries.dim(), set.dim(), "query dimension must match the set");
+        let blocks = rows.len() / 4;
+        for blk in 0..blocks {
+            let b = blk * 4;
+            let r = [
+                set.row(rows[b] as usize),
+                set.row(rows[b + 1] as usize),
+                set.row(rows[b + 2] as usize),
+                set.row(rows[b + 3] as usize),
+            ];
+            for (q, query) in queries.iter().enumerate() {
+                let d = (self.l2_squared_x4)(r, query);
+                let o = q * rows.len() + b;
+                out[o..o + 4].copy_from_slice(&d);
+            }
+        }
+        for i in blocks * 4..rows.len() {
+            let row = set.row(rows[i] as usize);
+            for (q, query) in queries.iter().enumerate() {
+                out[q * rows.len() + i] = (self.l2_squared)(row, query);
+            }
+        }
+    }
+
+    /// Squared-L2 distances from `query` to the consecutive rows
+    /// `first_row..first_row + out.len()` of `set`.
+    ///
+    /// The dense sibling of [`Kernels::batch_l2_squared`]: brute-force scans
+    /// (ground truth, exact k-NN oracles, inter-shard tables) walk every row
+    /// and need no gather list. Results are bitwise identical to per-row
+    /// [`Kernels::l2_squared`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range exceeds `set.len()` or
+    /// `query.len() != set.dim()`.
+    pub fn l2_squared_rows(
+        &self,
+        set: &VectorSet,
+        first_row: usize,
+        query: &[f32],
+        out: &mut [f32],
+    ) {
+        assert!(first_row + out.len() <= set.len(), "row range out of bounds");
+        assert_eq!(query.len(), set.dim(), "query dimension must match the set");
+        let blocks = out.len() / 4;
+        for blk in 0..blocks {
+            let b = first_row + blk * 4;
+            let r = [set.row(b), set.row(b + 1), set.row(b + 2), set.row(b + 3)];
+            let d = (self.l2_squared_x4)(r, query);
+            out[blk * 4..blk * 4 + 4].copy_from_slice(&d);
+        }
+        for (i, o) in out.iter_mut().enumerate().skip(blocks * 4) {
+            *o = (self.l2_squared)(set.row(first_row + i), query);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch state
+// ---------------------------------------------------------------------------
+
+static ACTIVE: AtomicPtr<Kernels> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Returns the dispatched kernel table (detecting once on first use).
+#[inline]
+pub fn active_kernels() -> &'static Kernels {
+    let p = ACTIVE.load(Ordering::Relaxed);
+    if p.is_null() {
+        init_active()
+    } else {
+        // SAFETY: the pointer only ever holds one of the `'static` tables.
+        unsafe { &*p }
+    }
+}
+
+/// The level of the dispatched kernel table.
+pub fn active_simd_level() -> SimdLevel {
+    active_kernels().level
+}
+
+#[cold]
+fn init_active() -> &'static Kernels {
+    let level = match std::env::var("PATHWEAVER_SIMD") {
+        Ok(raw) => match SimdLevel::parse(raw.trim()) {
+            Some(l) if l.is_supported() => l,
+            Some(l) => {
+                eprintln!(
+                    "pathweaver: PATHWEAVER_SIMD={} is not supported on this CPU; \
+                     falling back to scalar",
+                    l.name()
+                );
+                SimdLevel::Scalar
+            }
+            None => {
+                // A typo must not take the process down (or silently slow it
+                // to scalar): warn once and use normal detection. Every level
+                // is bitwise identical, so only wall-clock could differ.
+                eprintln!(
+                    "pathweaver: ignoring unknown PATHWEAVER_SIMD={raw:?} \
+                     (expected scalar|sse2|avx2|neon); auto-detecting"
+                );
+                SimdLevel::detect()
+            }
+        },
+        Err(_) => SimdLevel::detect(),
+    };
+    let k = kernels_for(level).expect("supported level always has a kernel table");
+    ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Relaxed);
+    k
+}
+
+/// Forces the dispatched level (test/bench hook).
+///
+/// Returns `false` (leaving the dispatch unchanged) when this host cannot
+/// execute `level`. Swapping levels mid-run is harmless for correctness —
+/// every level is bitwise identical — so benchmarks use this to A/B the same
+/// code path.
+pub fn set_simd_level(level: SimdLevel) -> bool {
+    match kernels_for(level) {
+        Some(k) => {
+            ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Relaxed);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Returns the kernel table for `level`, or `None` when this host cannot
+/// execute it.
+pub fn kernels_for(level: SimdLevel) -> Option<&'static Kernels> {
+    if !level.is_supported() {
+        return None;
+    }
+    match level {
+        SimdLevel::Scalar => Some(&SCALAR_KERNELS),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => Some(&SSE2_KERNELS),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => Some(&AVX2_KERNELS),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => Some(&NEON_KERNELS),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (the universal fallback and the identity oracle)
+// ---------------------------------------------------------------------------
+
+static SCALAR_KERNELS: Kernels = Kernels {
+    level: SimdLevel::Scalar,
+    l2_squared: scalar::l2_squared,
+    dot: scalar::dot,
+    l2_squared_x4: scalar::l2_squared_x4,
+    sign_code: scalar::sign_code,
+};
+
+pub(crate) mod scalar {
+    //! The hand-unrolled scalar kernels: four independent accumulators so the
+    //! compiler keeps them in registers (mirroring one warp-strided CUDA
+    //! accumulation per lane). Every SIMD path reproduces this operation
+    //! sequence exactly.
+
+    pub(crate) fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let chunks = a.len() / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in 0..chunks {
+            let o = i * 4;
+            let d0 = a[o] - b[o];
+            let d1 = a[o + 1] - b[o + 1];
+            let d2 = a[o + 2] - b[o + 2];
+            let d3 = a[o + 3] - b[o + 3];
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..a.len() {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        s0 + s1 + s2 + s3 + tail
+    }
+
+    pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let chunks = a.len() / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in 0..chunks {
+            let o = i * 4;
+            s0 += a[o] * b[o];
+            s1 += a[o + 1] * b[o + 1];
+            s2 += a[o + 2] * b[o + 2];
+            s3 += a[o + 3] * b[o + 3];
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..a.len() {
+            tail += a[i] * b[i];
+        }
+        s0 + s1 + s2 + s3 + tail
+    }
+
+    /// Four simultaneous squared-L2 distances with the identical accumulator
+    /// structure (and therefore FP operation order) as [`l2_squared`].
+    pub(crate) fn l2_squared_x4(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+        let dim = query.len();
+        let chunks = dim / 4;
+        // acc[k] holds row k's four partial sums (s0..s3 of `l2_squared`).
+        let mut acc = [[0.0f32; 4]; 4];
+        for i in 0..chunks {
+            let o = i * 4;
+            for (k, acc_k) in acc.iter_mut().enumerate() {
+                let row = r[k];
+                let d0 = row[o] - query[o];
+                let d1 = row[o + 1] - query[o + 1];
+                let d2 = row[o + 2] - query[o + 2];
+                let d3 = row[o + 3] - query[o + 3];
+                acc_k[0] += d0 * d0;
+                acc_k[1] += d1 * d1;
+                acc_k[2] += d2 * d2;
+                acc_k[3] += d3 * d3;
+            }
+        }
+        let mut out = [0.0f32; 4];
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let mut tail = 0.0f32;
+            for i in chunks * 4..dim {
+                let d = r[k][i] - query[i];
+                tail += d * d;
+            }
+            *out_k = acc[k][0] + acc[k][1] + acc[k][2] + acc[k][3] + tail;
+        }
+        out
+    }
+
+    /// Packed sign bits of `to - from`: bit `d` set iff `to[d] > from[d]`.
+    pub(crate) fn sign_code(from: &[f32], to: &[f32], out: &mut [u32]) {
+        let words = crate::signbit::sign_code_words(from.len());
+        out[..words].fill(0);
+        for (d, (f, t)) in from.iter().zip(to).enumerate() {
+            if t > f {
+                out[d / 32] |= 1u32 << (d % 32);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64: SSE2 and AVX2
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+static SSE2_KERNELS: Kernels = Kernels {
+    level: SimdLevel::Sse2,
+    l2_squared: x86::l2_squared_sse2_entry,
+    dot: x86::dot_sse2_entry,
+    l2_squared_x4: x86::l2_squared_x4_sse2_entry,
+    sign_code: x86::sign_code_sse2_entry,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_KERNELS: Kernels = Kernels {
+    level: SimdLevel::Avx2,
+    l2_squared: x86::l2_squared_avx2_entry,
+    dot: x86::dot_avx2_entry,
+    l2_squared_x4: x86::l2_squared_x4_avx2_entry,
+    sign_code: x86::sign_code_avx2_entry,
+};
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! x86_64 kernels. Per the module invariant: separate `sub`/`mul`/`add`
+    //! (never FMA), one lane per scalar accumulator, scalar-order reduction.
+
+    use std::arch::x86_64::*;
+
+    // --- safe entry points (installed in the dispatch tables) ---
+    //
+    // SAFETY of all entries: SSE2 is part of the x86_64 baseline, and the
+    // AVX2 table is only reachable through `kernels_for`, which returns it
+    // exclusively after `is_x86_feature_detected!("avx2") && ("fma")`.
+
+    pub(super) fn l2_squared_sse2_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { l2_squared_sse2(a, b) }
+    }
+    pub(super) fn dot_sse2_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { dot_sse2(a, b) }
+    }
+    pub(super) fn l2_squared_x4_sse2_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        unsafe { l2_squared_x4_sse2(r, q) }
+    }
+    pub(super) fn sign_code_sse2_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        unsafe { sign_code_sse2(f, t, out) }
+    }
+    pub(super) fn l2_squared_avx2_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { l2_squared_avx2(a, b) }
+    }
+    pub(super) fn dot_avx2_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { dot_avx2(a, b) }
+    }
+    pub(super) fn l2_squared_x4_avx2_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        unsafe { l2_squared_x4_avx2(r, q) }
+    }
+    pub(super) fn sign_code_avx2_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        unsafe { sign_code_avx2(f, t, out) }
+    }
+
+    /// Sums the four lanes of `v` plus `tail` in scalar program order:
+    /// `((s0 + s1) + s2) + s3 + tail`.
+    #[inline]
+    unsafe fn reduce4(v: __m128, tail: f32) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), v);
+        lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_squared_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        for i in 0..chunks {
+            let d = _mm_sub_ps(_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4)));
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        reduce4(acc, tail)
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        for i in 0..chunks {
+            let m = _mm_mul_ps(_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4)));
+            acc = _mm_add_ps(acc, m);
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            tail += a[i] * b[i];
+        }
+        reduce4(acc, tail)
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_squared_x4_sse2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+        let dim = query.len();
+        let chunks = dim / 4;
+        let qp = query.as_ptr();
+        let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
+        let mut acc = [_mm_setzero_ps(); 4];
+        for i in 0..chunks {
+            let o = i * 4;
+            let qv = _mm_loadu_ps(qp.add(o));
+            for (k, acc_k) in acc.iter_mut().enumerate() {
+                let d = _mm_sub_ps(_mm_loadu_ps(rp[k].add(o)), qv);
+                *acc_k = _mm_add_ps(*acc_k, _mm_mul_ps(d, d));
+            }
+        }
+        let mut out = [0.0f32; 4];
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let mut tail = 0.0f32;
+            for i in chunks * 4..dim {
+                let d = r[k][i] - query[i];
+                tail += d * d;
+            }
+            *out_k = reduce4(acc[k], tail);
+        }
+        out
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sign_code_sse2(from: &[f32], to: &[f32], out: &mut [u32]) {
+        let dim = from.len();
+        let words = crate::signbit::sign_code_words(dim);
+        out[..words].fill(0);
+        let chunks = dim / 4;
+        let (fp, tp) = (from.as_ptr(), to.as_ptr());
+        for i in 0..chunks {
+            let f = _mm_loadu_ps(fp.add(i * 4));
+            let t = _mm_loadu_ps(tp.add(i * 4));
+            // `to > from` == `from < to`; false on NaN, like the scalar `>`.
+            let bits = _mm_movemask_ps(_mm_cmplt_ps(f, t)) as u32;
+            let d = i * 4;
+            out[d / 32] |= bits << (d % 32);
+        }
+        for d in chunks * 4..dim {
+            if to[d] > from[d] {
+                out[d / 32] |= 1u32 << (d % 32);
+            }
+        }
+    }
+
+    // AVX2 processes two dimension chunks per iteration (one 256-bit lane
+    // pair), folding the two 128-bit halves into the accumulator in chunk
+    // order — the same sequence the scalar loop would execute.
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_squared_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let pairs = chunks / 2;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        for i in 0..pairs {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i * 8)), _mm256_loadu_ps(bp.add(i * 8)));
+            let m = _mm256_mul_ps(d, d);
+            acc = _mm_add_ps(acc, _mm256_castps256_ps128(m));
+            acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(m));
+        }
+        if chunks % 2 == 1 {
+            let o = pairs * 8;
+            let d = _mm_sub_ps(_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o)));
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        reduce4(acc, tail)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let pairs = chunks / 2;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        for i in 0..pairs {
+            let m = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i * 8)), _mm256_loadu_ps(bp.add(i * 8)));
+            acc = _mm_add_ps(acc, _mm256_castps256_ps128(m));
+            acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(m));
+        }
+        if chunks % 2 == 1 {
+            let o = pairs * 8;
+            let m = _mm_mul_ps(_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o)));
+            acc = _mm_add_ps(acc, m);
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            tail += a[i] * b[i];
+        }
+        reduce4(acc, tail)
+    }
+
+    /// Blocked kernel: rows (0,1) and (2,3) share one 256-bit accumulator
+    /// each (two interleaved `f32x4` lane groups); the query chunk is
+    /// broadcast to both halves. Lanes never cross rows, so each row's
+    /// accumulation is the exact scalar sequence.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_squared_x4_avx2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+        let dim = query.len();
+        let chunks = dim / 4;
+        let qp = query.as_ptr();
+        let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc23 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let o = i * 4;
+            let qv = _mm_loadu_ps(qp.add(o));
+            let q2 = _mm256_set_m128(qv, qv);
+            let v01 = _mm256_set_m128(_mm_loadu_ps(rp[1].add(o)), _mm_loadu_ps(rp[0].add(o)));
+            let v23 = _mm256_set_m128(_mm_loadu_ps(rp[3].add(o)), _mm_loadu_ps(rp[2].add(o)));
+            let d01 = _mm256_sub_ps(v01, q2);
+            let d23 = _mm256_sub_ps(v23, q2);
+            acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(d01, d01));
+            acc23 = _mm256_add_ps(acc23, _mm256_mul_ps(d23, d23));
+        }
+        let accs = [
+            _mm256_castps256_ps128(acc01),
+            _mm256_extractf128_ps::<1>(acc01),
+            _mm256_castps256_ps128(acc23),
+            _mm256_extractf128_ps::<1>(acc23),
+        ];
+        let mut out = [0.0f32; 4];
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let mut tail = 0.0f32;
+            for i in chunks * 4..dim {
+                let d = r[k][i] - query[i];
+                tail += d * d;
+            }
+            *out_k = reduce4(accs[k], tail);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sign_code_avx2(from: &[f32], to: &[f32], out: &mut [u32]) {
+        let dim = from.len();
+        let words = crate::signbit::sign_code_words(dim);
+        out[..words].fill(0);
+        let groups = dim / 8;
+        let (fp, tp) = (from.as_ptr(), to.as_ptr());
+        for i in 0..groups {
+            let f = _mm256_loadu_ps(fp.add(i * 8));
+            let t = _mm256_loadu_ps(tp.add(i * 8));
+            // Ordered `from < to`, quiet on NaN — matches the scalar `>`.
+            let bits = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(f, t)) as u32;
+            let d = i * 8;
+            out[d / 32] |= bits << (d % 32);
+        }
+        for d in groups * 8..dim {
+            if to[d] > from[d] {
+                out[d / 32] |= 1u32 << (d % 32);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64: NEON
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+static NEON_KERNELS: Kernels = Kernels {
+    level: SimdLevel::Neon,
+    l2_squared: neon::l2_squared_neon_entry,
+    dot: neon::dot_neon_entry,
+    l2_squared_x4: neon::l2_squared_x4_neon_entry,
+    sign_code: neon::sign_code_neon_entry,
+};
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! aarch64 NEON kernels: one `float32x4` lane per scalar accumulator,
+    //! separate multiply/add (no `vfma`), scalar-order reduction.
+
+    use std::arch::aarch64::*;
+
+    // SAFETY of all entries: NEON is part of the aarch64 baseline.
+
+    pub(super) fn l2_squared_neon_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { l2_squared_neon(a, b) }
+    }
+    pub(super) fn dot_neon_entry(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { dot_neon(a, b) }
+    }
+    pub(super) fn l2_squared_x4_neon_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        unsafe { l2_squared_x4_neon(r, q) }
+    }
+    pub(super) fn sign_code_neon_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        unsafe { sign_code_neon(f, t, out) }
+    }
+
+    #[inline]
+    unsafe fn reduce4(v: float32x4_t, tail: f32) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), v);
+        lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn l2_squared_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let d = vsubq_f32(vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4)));
+            acc = vaddq_f32(acc, vmulq_f32(d, d));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        reduce4(acc, tail)
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            acc = vaddq_f32(acc, vmulq_f32(vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4))));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..n {
+            tail += a[i] * b[i];
+        }
+        reduce4(acc, tail)
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn l2_squared_x4_neon(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+        let dim = query.len();
+        let chunks = dim / 4;
+        let qp = query.as_ptr();
+        let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
+        let mut acc = [vdupq_n_f32(0.0); 4];
+        for i in 0..chunks {
+            let o = i * 4;
+            let qv = vld1q_f32(qp.add(o));
+            for (k, acc_k) in acc.iter_mut().enumerate() {
+                let d = vsubq_f32(vld1q_f32(rp[k].add(o)), qv);
+                *acc_k = vaddq_f32(*acc_k, vmulq_f32(d, d));
+            }
+        }
+        let mut out = [0.0f32; 4];
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let mut tail = 0.0f32;
+            for i in chunks * 4..dim {
+                let d = r[k][i] - query[i];
+                tail += d * d;
+            }
+            *out_k = reduce4(acc[k], tail);
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn sign_code_neon(from: &[f32], to: &[f32], out: &mut [u32]) {
+        let dim = from.len();
+        let words = crate::signbit::sign_code_words(dim);
+        out[..words].fill(0);
+        let chunks = dim / 4;
+        let (fp, tp) = (from.as_ptr(), to.as_ptr());
+        let weights: [u32; 4] = [1, 2, 4, 8];
+        let wv = vld1q_u32(weights.as_ptr());
+        for i in 0..chunks {
+            let f = vld1q_f32(fp.add(i * 4));
+            let t = vld1q_f32(tp.add(i * 4));
+            // Lanes where `to > from` become all-ones; mask to one bit per
+            // lane and horizontal-add into a 4-bit group.
+            let m = vcgtq_f32(t, f);
+            let bits = vaddvq_u32(vandq_u32(m, wv));
+            let d = i * 4;
+            out[d / 32] |= bits << (d % 32);
+        }
+        for d in chunks * 4..dim {
+            if to[d] > from[d] {
+                out[d / 32] |= 1u32 << (d % 32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for l in SimdLevel::ALL {
+            assert_eq!(SimdLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(SimdLevel::parse("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("avx512"), None);
+    }
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(SimdLevel::Scalar.is_supported());
+        assert!(kernels_for(SimdLevel::Scalar).is_some());
+        assert!(SimdLevel::available().contains(&SimdLevel::Scalar));
+    }
+
+    #[test]
+    fn detect_is_supported() {
+        let l = SimdLevel::detect();
+        assert!(l.is_supported());
+        assert!(kernels_for(l).is_some());
+    }
+
+    #[test]
+    fn active_kernels_resolve() {
+        let k = active_kernels();
+        assert!(k.level().is_supported());
+        // Trivial smoke: zero distance to self through whatever path is live.
+        let v: Vec<f32> = (0..33).map(|i| i as f32 * 0.5).collect();
+        assert_eq!(k.l2_squared(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn set_level_rejects_unsupported() {
+        #[cfg(target_arch = "x86_64")]
+        assert!(!set_simd_level(SimdLevel::Neon));
+        #[cfg(target_arch = "aarch64")]
+        assert!(!set_simd_level(SimdLevel::Avx2));
+    }
+
+    #[test]
+    fn every_available_level_matches_scalar_bitwise() {
+        let a: Vec<f32> = (0..259).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..259).map(|i| (i as f32 * 0.51).cos() * 2.0).collect();
+        let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            for dim in [0usize, 1, 3, 4, 7, 8, 15, 16, 31, 64, 96, 100, 128, 259] {
+                let (xa, xb) = (&a[..dim], &b[..dim]);
+                assert_eq!(
+                    k.l2_squared(xa, xb).to_bits(),
+                    scalar.l2_squared(xa, xb).to_bits(),
+                    "l2 {} dim {dim}",
+                    level.name()
+                );
+                assert_eq!(
+                    k.dot(xa, xb).to_bits(),
+                    scalar.dot(xa, xb).to_bits(),
+                    "dot {} dim {dim}",
+                    level.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-level bitwise-identity property tests for the SIMD kernel layer.
+//!
+//! The dispatch contract (see `pathweaver_vector::simd`) is that every
+//! enabled SIMD level executes the exact FP operation sequence of the scalar
+//! kernels, so distances, dot products, and sign codes are **bitwise
+//! identical** across levels — on every dimension (including 0 and the awkward
+//! primes), on unaligned subslices, and on padded-aligned storage.
+
+use pathweaver_vector::{
+    batch_l2_squared, kernels_for, l2_squared, sign_code_words, SimdLevel, VectorSet,
+};
+use proptest::prelude::*;
+
+/// The dimensions the issue calls out, plus block-boundary neighbors.
+const DIMS: &[usize] = &[0, 1, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 64, 96, 100, 128, 960];
+
+fn deterministic_vec(len: usize, salt: u32) -> Vec<f32> {
+    // Cheap splitmix-style generator: full-range mantissas, mixed signs, a
+    // few denormal-ish magnitudes — values where reassociation would show.
+    let mut state = 0x9e37_79b9u32 ^ salt;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(0x85eb_ca6b).wrapping_add(0xc2b2_ae35);
+            ((state >> 8) as f32 / (1 << 24) as f32 - 0.5) * 200.0
+        })
+        .collect()
+}
+
+#[test]
+fn all_levels_bitwise_identical_on_issue_dims() {
+    let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+    for level in SimdLevel::available() {
+        let k = kernels_for(level).unwrap();
+        for &dim in DIMS {
+            let a = deterministic_vec(dim, 1);
+            let b = deterministic_vec(dim, 2);
+            assert_eq!(
+                k.l2_squared(&a, &b).to_bits(),
+                scalar.l2_squared(&a, &b).to_bits(),
+                "l2_squared {} dim={dim}",
+                level.name()
+            );
+            assert_eq!(
+                k.dot(&a, &b).to_bits(),
+                scalar.dot(&a, &b).to_bits(),
+                "dot {} dim={dim}",
+                level.name()
+            );
+            let rows: Vec<Vec<f32>> = (0..4).map(|i| deterministic_vec(dim, 10 + i)).collect();
+            let r = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+            let got = k.l2_squared_x4(r, &a);
+            let want = scalar.l2_squared_x4(r, &a);
+            for j in 0..4 {
+                assert_eq!(
+                    got[j].to_bits(),
+                    want[j].to_bits(),
+                    "l2_squared_x4 {} dim={dim} row={j}",
+                    level.name()
+                );
+            }
+            let words = sign_code_words(dim).max(1);
+            let (mut cg, mut cw) = (vec![0u32; words], vec![0u32; words]);
+            k.sign_code(&a, &b, &mut cg);
+            scalar.sign_code(&a, &b, &mut cw);
+            assert_eq!(cg, cw, "sign_code {} dim={dim}", level.name());
+        }
+    }
+}
+
+#[test]
+fn unaligned_subslices_are_bitwise_identical() {
+    // Slicing at every offset 0..8 guarantees the kernels see row pointers
+    // at all possible (mis)alignments relative to 16/32-byte boundaries.
+    let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+    let a = deterministic_vec(200, 21);
+    let b = deterministic_vec(200, 22);
+    for level in SimdLevel::available() {
+        let k = kernels_for(level).unwrap();
+        for off in 0..8usize {
+            for dim in [0usize, 1, 7, 33, 100, 129] {
+                let (xa, xb) = (&a[off..off + dim], &b[off..off + dim]);
+                assert_eq!(
+                    k.l2_squared(xa, xb).to_bits(),
+                    scalar.l2_squared(xa, xb).to_bits(),
+                    "{} off={off} dim={dim}",
+                    level.name()
+                );
+                assert_eq!(
+                    k.dot(xa, xb).to_bits(),
+                    scalar.dot(xa, xb).to_bits(),
+                    "dot {} off={off} dim={dim}",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nan_sign_codes_match_scalar_on_every_level() {
+    // The scalar `t > f` is false on NaN; the SIMD ordered compares must
+    // agree exactly, on every lane position.
+    let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+    for level in SimdLevel::available() {
+        let k = kernels_for(level).unwrap();
+        for dim in [9usize, 16, 33] {
+            for nan_pos in 0..dim {
+                let from = deterministic_vec(dim, 31);
+                let mut to = deterministic_vec(dim, 32);
+                to[nan_pos] = f32::NAN;
+                let words = sign_code_words(dim);
+                let (mut cg, mut cw) = (vec![0u32; words], vec![0u32; words]);
+                k.sign_code(&from, &to, &mut cg);
+                scalar.sign_code(&from, &to, &mut cw);
+                assert_eq!(cg, cw, "{} dim={dim} nan at {nan_pos}", level.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_all_levels_match_scalar(
+        pairs in proptest::collection::vec((-1e6f32..1e6, -1e6f32..1e6), 0..300),
+    ) {
+        let (a, b): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            prop_assert_eq!(
+                k.l2_squared(&a, &b).to_bits(),
+                scalar.l2_squared(&a, &b).to_bits(),
+                "l2 {} dim={}", level.name(), a.len()
+            );
+            prop_assert_eq!(
+                k.dot(&a, &b).to_bits(),
+                scalar.dot(&a, &b).to_bits(),
+                "dot {} dim={}", level.name(), a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_padded_aligned_storage_identical_to_compact(
+        dim in 1usize..130,
+        rows in 1usize..12,
+        seed in 0u32..1000,
+    ) {
+        let flat = deterministic_vec(dim * rows, seed);
+        let compact = VectorSet::from_flat(dim, flat.clone());
+        let aligned = VectorSet::from_flat_aligned(dim, flat);
+        let query = deterministic_vec(dim, seed ^ 0xffff);
+        let idx: Vec<u32> = (0..rows as u32).rev().collect();
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            let (mut out_c, mut out_a) = (vec![0.0f32; rows], vec![0.0f32; rows]);
+            k.batch_l2_squared(&compact, &idx, &query, &mut out_c);
+            k.batch_l2_squared(&aligned, &idx, &query, &mut out_a);
+            for i in 0..rows {
+                prop_assert_eq!(
+                    out_c[i].to_bits(), out_a[i].to_bits(),
+                    "{} dim={} row={}", level.name(), dim, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_dispatched_batch_matches_per_row_scalar(
+        dim in 1usize..100,
+        n in 0usize..20,
+        seed in 0u32..1000,
+    ) {
+        // Whatever level the environment dispatched: the public batched entry
+        // point must be bitwise equal to per-row l2_squared calls.
+        let set = VectorSet::from_flat(dim, deterministic_vec(dim * 20, seed));
+        let query = deterministic_vec(dim, seed ^ 0xabcd);
+        let rows: Vec<u32> = (0..n as u32).map(|i| (i * 7) % 20).collect();
+        let mut out = vec![0.0f32; n];
+        batch_l2_squared(&set, &rows, &query, &mut out);
+        for (i, &r) in rows.iter().enumerate() {
+            prop_assert_eq!(out[i].to_bits(), l2_squared(set.row(r as usize), &query).to_bits());
+        }
+    }
+}
