@@ -1,0 +1,109 @@
+//! Perf-regression gate over `BENCH_wallclock.json`.
+//!
+//! ```text
+//! check_bench <baseline.json> <fresh.json>
+//! ```
+//!
+//! Compares the `optimized_ms` of every named entry in the committed
+//! baseline against a fresh run and exits non-zero if any entry slowed down
+//! by more than the tolerance (default 30%). An entry present in the
+//! baseline but missing from the fresh run is a failure (a silently dropped
+//! bench would otherwise un-gate itself); entries that exist only in the
+//! fresh run are reported and tolerated, so adding a bench does not require
+//! regenerating the baseline in the same change.
+//!
+//! `PATHWEAVER_PERF_TOLERANCE` overrides the allowed fractional slowdown:
+//! e.g. `PATHWEAVER_PERF_TOLERANCE=0.5` allows 50%. Use a temporarily raised
+//! tolerance to land a change with a known, accepted slowdown, then commit a
+//! regenerated baseline.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Allowed fractional slowdown before the gate fails.
+const DEFAULT_TOLERANCE: f64 = 0.30;
+
+fn usage() -> ! {
+    eprintln!("usage: check_bench <baseline.json> <fresh.json>");
+    std::process::exit(2);
+}
+
+/// Extracts `name -> optimized_ms` from a wallclock bench document.
+fn entries(doc: &Value, source: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let results = doc["results"].as_array().unwrap_or_else(|| {
+        eprintln!("check_bench: {source}: no `results` array");
+        std::process::exit(2);
+    });
+    for r in results {
+        let (Some(name), Some(ms)) = (r["name"].as_str(), r["optimized_ms"].as_f64()) else {
+            eprintln!("check_bench: {source}: entry missing `name`/`optimized_ms`");
+            std::process::exit(2);
+        };
+        out.insert(name.to_string(), ms);
+    }
+    out
+}
+
+fn load(path: &str) -> Value {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check_bench: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!("check_bench: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else { usage() };
+    let tolerance = match std::env::var("PATHWEAVER_PERF_TOLERANCE") {
+        Ok(s) => s.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("check_bench: PATHWEAVER_PERF_TOLERANCE={s} is not a number");
+            std::process::exit(2);
+        }),
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+
+    let baseline = entries(&load(baseline_path), baseline_path);
+    let fresh = entries(&load(fresh_path), fresh_path);
+
+    println!(
+        "perf gate: {} baseline entries, tolerance +{:.0}% (PATHWEAVER_PERF_TOLERANCE to override)",
+        baseline.len(),
+        tolerance * 100.0
+    );
+    let mut failures = 0usize;
+    for (name, &base_ms) in &baseline {
+        match fresh.get(name) {
+            None => {
+                println!("  {name}: MISSING from fresh run — FAIL");
+                failures += 1;
+            }
+            Some(&fresh_ms) => {
+                let ratio = fresh_ms / base_ms.max(1e-9);
+                let verdict = if ratio > 1.0 + tolerance {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {name}: baseline {base_ms:.3} ms, fresh {fresh_ms:.3} ms ({:+.1}%) — {verdict}",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("  {name}: new entry (not in baseline) — tolerated");
+    }
+
+    if failures > 0 {
+        eprintln!("check_bench: {failures} entry/entries regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}

@@ -71,5 +71,10 @@ fn main() {
             Err(e) => eprintln!("[{}] failed to save record: {e}", id),
         }
     }
+    match pathweaver_core::report::save_metrics_summary(&out_dir) {
+        Ok(Some(path)) => println!("metrics summary: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to save metrics summary: {e}"),
+    }
     println!("\ndone: {} experiment(s) in {:.1}s", ids.len(), t0.elapsed().as_secs_f64());
 }

@@ -24,6 +24,14 @@
 //!   vs forced scalar, with search results and simulated-clock counters
 //!   asserted bitwise unchanged (the dispatch level must never leak into
 //!   the simulation).
+//! - `obs_overhead`: the same pipelined search with observability (metrics
+//!   and tracing) enabled vs disabled; search results and simulated-clock
+//!   counters are asserted unchanged, so only wall time may differ. The
+//!   disabled side is the number the perf gate tracks.
+//!
+//! After the timed entries, one instrumented search populates the metrics
+//! registry and the summary is written to `target/BENCH_metrics.json` (or
+//! `$PATHWEAVER_METRICS_OUT`).
 //!
 //! `PATHWEAVER_THREADS` defaults to 2 here so the dispatch comparison is
 //! meaningful even on single-core CI runners (the pool pins one helper; the
@@ -234,6 +242,49 @@ fn simd_batch() -> Value {
     result("simd_batch", baseline, optimized)
 }
 
+/// Observability overhead: the same pipelined search with metrics + tracing
+/// fully enabled ("baseline") vs disabled ("optimized"). The disabled path
+/// must stay within noise of the uninstrumented build — the speedup here is
+/// the cost of enabling observability, and the CI perf gate tracks the
+/// disabled number against the committed baseline like every other entry.
+fn obs_overhead() -> Value {
+    use pathweaver_core::{PathWeaverConfig, PathWeaverIndex};
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 43);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2))
+        .expect("bench index builds");
+    let params = SearchParams::default();
+
+    // Instrumentation must not perturb results or the simulated clock.
+    pathweaver_obs::set_tracing(false);
+    pathweaver_obs::set_enabled(false);
+    let out_off = idx.search_pipelined(&w.queries, &params);
+    pathweaver_obs::set_tracing(true);
+    let out_on = idx.search_pipelined(&w.queries, &params);
+    pathweaver_obs::set_tracing(false);
+    pathweaver_obs::set_enabled(false);
+    assert_eq!(out_off.hits, out_on.hits, "observability changed search results");
+    assert_eq!(
+        out_off.timeline.aggregate_counters(),
+        out_on.timeline.aggregate_counters(),
+        "observability perturbed the simulated clock"
+    );
+
+    let run = || {
+        for _ in 0..4 {
+            black_box(idx.search_pipelined(&w.queries, &params));
+        }
+    };
+    let baseline = time_ms(7, || {
+        pathweaver_obs::set_tracing(true);
+        run();
+        pathweaver_obs::set_tracing(false);
+        pathweaver_obs::set_enabled(false);
+    });
+    let optimized = time_ms(7, run);
+    pathweaver_obs::reset();
+    result("obs_overhead", baseline, optimized)
+}
+
 /// End-to-end pipelined multi-shard search: auto dispatch vs forced scalar.
 /// Search results and simulated-clock counters must be bitwise unchanged —
 /// only the wall clock may move.
@@ -280,6 +331,7 @@ fn main() {
         simd_l2(),
         simd_batch(),
         pipelined_search(),
+        obs_overhead(),
     ];
     let doc = json!({
         "bench": "wallclock",
@@ -292,4 +344,30 @@ fn main() {
     let text = serde_json::to_string_pretty(&doc).expect("serialize bench output");
     std::fs::write(&path, text).expect("write bench output");
     println!("wrote {path}");
+
+    // One instrumented pass so the run ships a metrics summary alongside the
+    // timing numbers (CI uploads both as artifacts).
+    pathweaver_obs::set_enabled(true);
+    pipelined_search_snapshot();
+    let metrics_path = std::env::var("PATHWEAVER_METRICS_OUT")
+        .unwrap_or_else(|_| "target/BENCH_metrics.json".to_string());
+    if let Some(dir) = std::path::Path::new(&metrics_path).parent() {
+        std::fs::create_dir_all(dir).expect("create metrics output directory");
+    }
+    let mut summary = pathweaver_obs::global_snapshot().to_json();
+    summary.push('\n');
+    std::fs::write(&metrics_path, summary).expect("write metrics summary");
+    pathweaver_obs::set_enabled(false);
+    pathweaver_obs::reset();
+    println!("wrote {metrics_path}");
+}
+
+/// Runs one pipelined search purely to populate the metrics registry for the
+/// end-of-run summary.
+fn pipelined_search_snapshot() {
+    use pathweaver_core::{PathWeaverConfig, PathWeaverIndex};
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 24, 10, 43);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2))
+        .expect("bench index builds");
+    black_box(idx.search_pipelined(&w.queries, &SearchParams::default()));
 }

@@ -126,6 +126,20 @@ impl ShardIndex {
                 &[EntryPolicy::Random { count: config.ghost_entries }],
             );
             counters.merge(&gbatch.counters);
+            // Ghost-staging entry metrics: how many entry seeds each query
+            // got and what the ghost stage cost (bridged under `ghost.*` so
+            // its share of the stage's work stays attributable).
+            if pathweaver_obs::enabled() {
+                let r = pathweaver_obs::registry();
+                r.counter("ghost.batches").inc();
+                r.counter("ghost.queries").add(gbatch.stats.queries);
+                r.counter("ghost.converged").add(gbatch.stats.converged);
+                pathweaver_gpusim::obs_bridge::record_counters("ghost", &gbatch.counters);
+                let seeds = r.histogram("ghost.seeds_per_query");
+                for hits in &gbatch.hits {
+                    seeds.record(hits.len() as u64);
+                }
+            }
             // Ghost iterations are bookkeeping, not shard-search iterations:
             // keep visits/distance costs but do not fold ghost iteration
             // counts into the shard stats used for Fig 3/13.

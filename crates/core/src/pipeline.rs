@@ -8,7 +8,8 @@
 
 use crate::index::{PathWeaverIndex, SearchOutput};
 use crate::reduce::reduce_hits;
-use pathweaver_gpusim::{run_ring_pipeline, CostModel, StageRecord};
+use pathweaver_gpusim::{obs_bridge, run_ring_pipeline, CostModel, StageRecord};
+use pathweaver_obs::{trace, SpanTimer, TraceEvent};
 use pathweaver_search::{BatchStats, EntryPolicy, SearchParams};
 use pathweaver_vector::VectorSet;
 
@@ -40,6 +41,9 @@ impl PathWeaverIndex {
         assert_eq!(queries.dim(), self.dim(), "query dimensionality mismatch");
         let n = self.num_devices();
         let cost = CostModel::new(self.config.device);
+        // Batch ids are only consumed while tracing, so metrics-only runs
+        // leave the sequence untouched.
+        let batch_id = if pathweaver_obs::tracing_enabled() { trace::next_batch_id() } else { 0 };
 
         // Contiguous chunking: chunk d gets rows [d·Q/N, (d+1)·Q/N).
         let chunks: Vec<ChunkState> = (0..n)
@@ -58,7 +62,7 @@ impl PathWeaverIndex {
             .collect();
 
         let (finished, timeline) = run_ring_pipeline(n, n, chunks, |device, stage, msg| {
-            self.run_stage(device, stage, msg, queries, params, &cost)
+            self.run_stage(device, stage, msg, queries, params, &cost, batch_id)
         });
 
         // Host-side reduction back into global query order.
@@ -78,6 +82,7 @@ impl PathWeaverIndex {
     }
 
     /// Executes one pipeline stage of one chunk on one device.
+    #[allow(clippy::too_many_arguments)]
     fn run_stage(
         &self,
         device: usize,
@@ -86,7 +91,11 @@ impl PathWeaverIndex {
         queries: &VectorSet,
         params: &SearchParams,
         cost: &CostModel,
+        batch_id: u64,
     ) -> StageRecord {
+        // Stage-entry span: wall time of the whole hop (ghost stage, search,
+        // seed forwarding). Inert unless observability is on.
+        let span = SpanTimer::start();
         let n = self.num_devices();
         let shard = &self.shards[device];
         let chunk = &mut msg.payload;
@@ -152,6 +161,33 @@ impl PathWeaverIndex {
 
         let mut breakdown = cost.kernel_time(&counters, self.dim());
         breakdown.comm_s = comm_s;
+
+        // Stage-exit instrumentation: per-stage latency/iteration/distance
+        // histograms, the gpu-sim counter bridge, and (when tracing) one
+        // structured trace event for this shard hop. All of it only reads
+        // the counters, so the simulated clock cannot be perturbed.
+        let wall_ns = span.elapsed_ns();
+        if pathweaver_obs::enabled() {
+            let r = pathweaver_obs::registry();
+            r.histogram(&format!("pipeline.stage{stage}.wall_ns")).record(wall_ns);
+            r.histogram(&format!("pipeline.stage{stage}.iterations")).record(counters.iterations);
+            r.histogram(&format!("pipeline.stage{stage}.dist_calcs")).record(counters.dist_calcs);
+            obs_bridge::record_counters("pipeline", &counters);
+        }
+        if pathweaver_obs::tracing_enabled() {
+            trace::record(TraceEvent {
+                batch: batch_id,
+                chunk: msg.origin_chunk,
+                device,
+                stage,
+                queries: chunk.query_rows.len() as u64,
+                iterations: counters.iterations,
+                dist_calcs: counters.dist_calcs,
+                bytes_read: counters.bytes_read(),
+                comm_bytes: counters.comm_bytes,
+                wall_ns,
+            });
+        }
         StageRecord { device, stage, origin_chunk: msg.origin_chunk, breakdown, counters }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! The `reproduce` harness prints human tables and, alongside, persists each
 //! experiment as JSON so EXPERIMENTS.md can be regenerated and results can
-//! be diffed across runs.
+//! be diffed across runs. When observability is enabled
+//! (`PATHWEAVER_OBS=1`), [`save_metrics_summary`] additionally persists the
+//! metrics registry snapshot next to the records.
 
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -62,6 +64,29 @@ impl ExperimentRecord {
         let body = std::fs::read_to_string(path)?;
         Ok(serde_json::from_str(&body)?)
     }
+}
+
+/// Writes the global observability snapshot as pretty JSON to
+/// `dir/metrics_summary.json`, so experiment results ship with the
+/// per-stage latency/skip-rate/entry metrics that produced them.
+///
+/// Returns `Ok(None)` without touching the filesystem when observability is
+/// disabled (the snapshot would be empty noise).
+///
+/// # Errors
+///
+/// IO errors creating the directory or writing the file.
+pub fn save_metrics_summary(dir: impl AsRef<Path>) -> std::io::Result<Option<std::path::PathBuf>> {
+    if !pathweaver_obs::enabled() {
+        return Ok(None);
+    }
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("metrics_summary.json");
+    let mut body = pathweaver_obs::global_snapshot().to_json();
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    Ok(Some(path))
 }
 
 #[cfg(test)]

@@ -76,6 +76,12 @@ impl CostCounters {
         self.graph_bytes += (degree * std::mem::size_of::<u32>()) as u64;
     }
 
+    /// Total bytes streamed from simulated device memory (vectors,
+    /// adjacency rows, and direction-table codes).
+    pub fn bytes_read(&self) -> u64 {
+        self.vector_bytes + self.graph_bytes + self.dir_table_bytes
+    }
+
     /// Records one direction-table row fetch plus the per-neighbor compares.
     #[inline]
     pub fn record_dir_selection(&mut self, degree: usize, words_per_code: usize) {

@@ -25,6 +25,9 @@
 //! - [`executor`]: one OS thread per simulated device with crossbeam ring
 //!   channels — the real concurrency skeleton the framework drives.
 //! - [`trace`]: execution-time breakdown reports (Figs 2, 5, 12).
+//! - [`obs_bridge`]: snapshots [`CostCounters`] into the `pathweaver-obs`
+//!   metrics registry so simulated-clock accounting and wall-clock spans
+//!   share one exportable namespace.
 
 pub mod cost;
 pub mod counters;
@@ -32,6 +35,7 @@ pub mod device;
 pub mod executor;
 pub mod link;
 pub mod memory;
+pub mod obs_bridge;
 pub mod timeline;
 pub mod topology;
 pub mod trace;

@@ -1,0 +1,81 @@
+//! Bridge from the simulated-clock [`CostCounters`] into the observability
+//! registry.
+//!
+//! The simulator's counters are the source of truth for *what work
+//! happened*; this module snapshots them into `pathweaver-obs` counters so
+//! per-stage accounting, gpu-sim aggregates, and wall-clock spans all land
+//! in one exportable registry. The bridge only reads the counters — it can
+//! never perturb the deterministic simulated clock.
+
+use crate::counters::CostCounters;
+
+/// Adds every field of `c` to the global registry under
+/// `"<prefix>.<field>"` (e.g. `pipeline.dist_calcs`).
+///
+/// No-op while observability is disabled.
+pub fn record_counters(prefix: &str, c: &CostCounters) {
+    if !pathweaver_obs::enabled() {
+        return;
+    }
+    let r = pathweaver_obs::registry();
+    for (field, value) in [
+        ("dist_calcs", c.dist_calcs),
+        ("vector_bytes", c.vector_bytes),
+        ("graph_bytes", c.graph_bytes),
+        ("dir_table_bytes", c.dir_table_bytes),
+        ("sign_encodes", c.sign_encodes),
+        ("dir_compares", c.dir_compares),
+        ("hash_probes", c.hash_probes),
+        ("sort_ops", c.sort_ops),
+        ("rng_ops", c.rng_ops),
+        ("kernel_launches", c.kernel_launches),
+        ("iterations", c.iterations),
+        ("nodes_visited", c.nodes_visited),
+        ("comm_bytes", c.comm_bytes),
+    ] {
+        if value > 0 {
+            r.counter(&format!("{prefix}.{field}")).add(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the process-global obs flag.
+    fn flag_guard() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+        LOCK.lock()
+    }
+
+    #[test]
+    fn bridge_mirrors_counters_when_enabled() {
+        let _g = flag_guard();
+        pathweaver_obs::set_enabled(true);
+        let c = CostCounters {
+            dist_calcs: 10,
+            vector_bytes: 4096,
+            iterations: 3,
+            ..Default::default()
+        };
+        record_counters("bridge_test", &c);
+        let snap = pathweaver_obs::global_snapshot();
+        assert_eq!(snap.counters["bridge_test.dist_calcs"], 10);
+        assert_eq!(snap.counters["bridge_test.vector_bytes"], 4096);
+        assert_eq!(snap.counters["bridge_test.iterations"], 3);
+        // Zero-valued fields are not registered at all.
+        assert!(!snap.counters.contains_key("bridge_test.comm_bytes"));
+        pathweaver_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn bridge_is_inert_when_disabled() {
+        let _g = flag_guard();
+        pathweaver_obs::set_enabled(false);
+        let c = CostCounters { dist_calcs: 5, ..Default::default() };
+        record_counters("bridge_off_test", &c);
+        let snap = pathweaver_obs::global_snapshot();
+        assert!(!snap.counters.contains_key("bridge_off_test.dist_calcs"));
+    }
+}

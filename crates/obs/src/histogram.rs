@@ -1,0 +1,272 @@
+//! Lock-free log-linear histograms with percentile summaries.
+//!
+//! The bucket layout is HdrHistogram-style log-linear: each power-of-two
+//! octave is split into `SUB_BUCKETS` linear sub-buckets, so the relative
+//! quantization error of any recorded value is bounded by
+//! `1 / SUB_BUCKETS = 12.5 %` regardless of magnitude. Values `< SUB_BUCKETS`
+//! are stored exactly. Every slot is an `AtomicU64`, so concurrent recording
+//! from pipeline device threads needs no lock.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: u64 = 8;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 3;
+/// Total bucket count: exact small values plus `SUB_BUCKETS` per octave for
+/// octaves `SUB_BITS..64`.
+const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A concurrent log-linear histogram of `u64` samples.
+///
+/// Recording is wait-free (a handful of relaxed atomic RMWs); reading takes a
+/// consistent-enough snapshot for reporting (individual bucket loads are
+/// atomic, cross-bucket skew is bounded by in-flight recordings).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (SUB_BUCKETS - 1);
+        ((octave - SUB_BITS + 1) as u64 * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Inclusive value range `[lo, hi]` covered by bucket `b`.
+    fn bucket_range(b: usize) -> (u64, u64) {
+        if b < SUB_BUCKETS as usize {
+            return (b as u64, b as u64);
+        }
+        let octave = (b as u64 / SUB_BUCKETS - 1) as u32 + SUB_BITS;
+        let sub = b as u64 & (SUB_BUCKETS - 1);
+        let width = 1u64 << (octave - SUB_BITS);
+        let lo = (1u64 << octave) + sub * width;
+        // `lo + (width - 1)`: adding first would overflow in the top octave.
+        (lo, lo + (width - 1))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records `n` occurrences of the same sample value.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Computes the summary (count, mean, min/max, p50/p95/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let pct = |q: f64| -> u64 {
+            // Rank of the q-quantile among `total` sorted samples.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (b, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    let (lo, hi) = Self::bucket_range(b);
+                    // Bucket midpoint, clamped to the observed extremes so a
+                    // single-sample histogram reports the exact value.
+                    return lo.midpoint(hi).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum,
+            mean: sum as f64 / count as f64,
+            min,
+            max,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+///
+/// Percentiles are bucket midpoints, so they carry the histogram's bounded
+/// 12.5 % relative quantization error; `min`, `max`, `sum`, and `count` are
+/// exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Arithmetic mean (`sum / count`; 0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, SUB_BUCKETS);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, SUB_BUCKETS - 1);
+        // With 8 exact samples 0..=7 the median rank is 4, i.e. the value 3.
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(Histogram::new().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn percentiles_bounded_relative_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        for (got, want) in [(s.p50, 5_000.0), (s.p95, 9_500.0), (s.p99, 9_900.0)] {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 0.13, "got {got} want {want} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn single_sample_reports_exactly() {
+        let h = Histogram::new();
+        h.record(123_456);
+        let s = h.summary();
+        assert_eq!(s.min, 123_456);
+        assert_eq!(s.max, 123_456);
+        assert_eq!(s.p50, 123_456);
+        assert_eq!(s.p99, 123_456);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_n(77, 5);
+        for _ in 0..5 {
+            b.record(77);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_u64_line() {
+        // Every bucket's range must start right after the previous one ends,
+        // and bucket_of must map each boundary into its own bucket.
+        let mut expect_lo = 0u64;
+        for b in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_range(b);
+            assert_eq!(lo, expect_lo, "bucket {b}");
+            assert!(hi >= lo);
+            assert_eq!(Histogram::bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(Histogram::bucket_of(hi), b, "hi of bucket {b}");
+            if hi == u64::MAX {
+                break;
+            }
+            expect_lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn max_value_has_a_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.summary().max, u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn percentile_order_and_bounds(values in proptest::collection::vec(0u64..1u64 << 48, 1..300)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.summary();
+            prop_assert_eq!(s.count, values.len() as u64);
+            prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+            prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99);
+            prop_assert!(s.p99 <= s.max);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Query-level observability for the PathWeaver workspace.
+//!
+//! Three pieces, all process-global and lock-cheap:
+//!
+//! - [`registry()`]: a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s,
+//!   and log-linear [`Histogram`]s with p50/p95/p99 summaries
+//!   ([`MetricsSnapshot`] serializes the whole registry).
+//! - [`span::SpanTimer`]: wall-clock stage timers feeding the per-stage
+//!   `*.wall_ns` latency histograms.
+//! - [`trace`]: structured per-stage query traces ([`trace::TraceEvent`])
+//!   with JSONL export.
+//!
+//! # Overhead contract
+//!
+//! Everything is gated on two process-global atomic flags, both off by
+//! default. While disabled, instrumented code paths execute exactly one
+//! relaxed atomic load and skip all metric work — the overhead bench
+//! (`obs_overhead` in the wallclock harness) holds the disabled path within
+//! noise of the uninstrumented baseline. Instrumentation reads the
+//! simulated-clock counters but never writes them, never draws from a search
+//! RNG, and never reorders search work, so enabling it cannot perturb search
+//! results or the deterministic simulated clock (asserted by
+//! `tests/observability.rs`).
+//!
+//! # Enabling
+//!
+//! Programmatically via [`set_enabled`] / [`set_tracing`], or through the
+//! environment on first query: `PATHWEAVER_OBS=1` enables metrics,
+//! `PATHWEAVER_TRACE=1` enables both metrics and trace collection.
+
+pub mod histogram;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use span::SpanTimer;
+pub use trace::TraceEvent;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const FLAG_OFF: u8 = 0;
+const FLAG_ON: u8 = 1;
+const FLAG_UNSET: u8 = 2;
+
+static METRICS_FLAG: AtomicU8 = AtomicU8::new(FLAG_UNSET);
+static TRACE_FLAG: AtomicU8 = AtomicU8::new(FLAG_UNSET);
+
+/// Reads a flag, consulting its environment variable on first use.
+#[inline]
+fn flag(state: &AtomicU8, env: &str) -> bool {
+    match state.load(Ordering::Relaxed) {
+        FLAG_ON => true,
+        FLAG_OFF => false,
+        _ => init_flag(state, env),
+    }
+}
+
+#[cold]
+fn init_flag(state: &AtomicU8, env: &str) -> bool {
+    let on = matches!(std::env::var(env).as_deref(), Ok("1") | Ok("true") | Ok("on"));
+    state.store(if on { FLAG_ON } else { FLAG_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Whether metric recording is enabled. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    flag(&METRICS_FLAG, "PATHWEAVER_OBS")
+}
+
+/// Whether trace collection is enabled. Tracing implies metrics make sense,
+/// but the flags are independent; [`set_tracing`]`(true)` also enables
+/// metrics for convenience.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    flag(&TRACE_FLAG, "PATHWEAVER_TRACE")
+}
+
+/// Turns metric recording on or off (overrides `PATHWEAVER_OBS`).
+pub fn set_enabled(on: bool) {
+    METRICS_FLAG.store(if on { FLAG_ON } else { FLAG_OFF }, Ordering::Relaxed);
+}
+
+/// Turns trace collection on or off (overrides `PATHWEAVER_TRACE`); enabling
+/// tracing also enables metrics.
+pub fn set_tracing(on: bool) {
+    TRACE_FLAG.store(if on { FLAG_ON } else { FLAG_OFF }, Ordering::Relaxed);
+    if on {
+        set_enabled(true);
+    }
+}
+
+/// The process-global registry every PathWeaver crate records into.
+pub fn registry() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Snapshot of the global registry.
+pub fn global_snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// Clears the global registry, the trace sink, and the batch counter —
+/// full observability reset for deterministic reruns.
+pub fn reset() {
+    registry().reset();
+    trace::clear();
+    trace::reset_batch_ids();
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    // Tests that toggle the process-global flags serialize on this lock so
+    // the default parallel test harness cannot interleave them.
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    LOCK.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_toggle() {
+        let _g = test_guard();
+        set_enabled(false);
+        set_tracing(false);
+        assert!(!enabled());
+        assert!(!tracing_enabled());
+        set_tracing(true);
+        assert!(tracing_enabled());
+        assert!(enabled(), "tracing implies metrics");
+        set_tracing(false);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let _g = test_guard();
+        registry().counter("lib.test.shared").add(2);
+        assert_eq!(global_snapshot().counters["lib.test.shared"], 2);
+        reset();
+        assert!(!global_snapshot().counters.contains_key("lib.test.shared"));
+    }
+}

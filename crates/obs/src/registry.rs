@@ -1,0 +1,258 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → metric handle) takes a short `RwLock` critical
+//! section; all subsequent updates through the returned `Arc` handle are
+//! plain atomic operations. Call sites on the query path look a metric up
+//! once per batch or stage — never per neighbor — so the lock is far off the
+//! hot loop.
+
+use crate::histogram::{Histogram, HistogramSummary};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A namespace of metrics, usually accessed through [`crate::registry()`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Looks up `name` in `map`, inserting a default entry when missing.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(m) = map.read().get(name) {
+        return Arc::clone(m);
+    }
+    Arc::clone(map.write().entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// Returns (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Takes a point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric (test isolation between runs).
+    ///
+    /// Handles obtained before the reset keep working but are no longer
+    /// reachable from the registry or its snapshots.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// A serializable point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot with every wall-clock-derived metric removed.
+    ///
+    /// By convention every metric measuring host wall time has a name ending
+    /// in `wall_ns`; everything else is derived from the deterministic
+    /// simulated-clock counters and must be bit-identical across reruns of
+    /// the same workload. Determinism tests compare this view.
+    pub fn without_wallclock(&self) -> MetricsSnapshot {
+        let keep = |k: &String| !k.ends_with("wall_ns");
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Pretty-printed JSON rendering.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the snapshot's maps always serialize.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.counter("a").inc();
+        r.gauge("g").set(0.25);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 4);
+        assert_eq!(s.gauges["g"], 0.25);
+    }
+
+    #[test]
+    fn handles_survive_and_share_state() {
+        let r = MetricsRegistry::new();
+        let h1 = r.counter("x");
+        let h2 = r.counter("x");
+        h1.add(1);
+        h2.add(1);
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn histogram_registered_and_summarized() {
+        let r = MetricsRegistry::new();
+        for v in [1u64, 2, 3] {
+            r.histogram("h").record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histograms["h"].count, 3);
+        assert_eq!(s.histograms["h"].sum, 6);
+    }
+
+    #[test]
+    fn reset_clears_names() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+        assert_eq!(r.counter("a").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(42);
+        let s = r.snapshot();
+        let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn without_wallclock_filters_by_suffix() {
+        let r = MetricsRegistry::new();
+        r.counter("pipeline.stage0.dist_calcs").add(1);
+        r.histogram("pipeline.stage0.wall_ns").record(123);
+        r.histogram("pipeline.stage0.iterations").record(4);
+        let s = r.snapshot().without_wallclock();
+        assert!(s.counters.contains_key("pipeline.stage0.dist_calcs"));
+        assert!(s.histograms.contains_key("pipeline.stage0.iterations"));
+        assert!(!s.histograms.contains_key("pipeline.stage0.wall_ns"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let r = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter("c").inc();
+                        r.histogram("h").record(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("c").get(), 4000);
+        assert_eq!(r.histogram("h").count(), 4000);
+    }
+}

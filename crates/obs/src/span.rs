@@ -1,0 +1,65 @@
+//! Span-style stage timers.
+//!
+//! A [`SpanTimer`] is the wall-clock half of stage instrumentation: started
+//! at stage entry, read at stage exit, and recorded into a `*.wall_ns`
+//! histogram. When observability is disabled the timer never touches the
+//! clock — construction is a single relaxed atomic load.
+
+use std::time::Instant;
+
+/// A wall-clock timer that is a no-op while observability is disabled.
+#[derive(Debug)]
+pub struct SpanTimer(Option<Instant>);
+
+impl SpanTimer {
+    /// Starts a timer; inert unless metrics or tracing are enabled.
+    #[inline]
+    pub fn start() -> Self {
+        if crate::enabled() || crate::tracing_enabled() {
+            Self(Some(Instant::now()))
+        } else {
+            Self(None)
+        }
+    }
+
+    /// Elapsed nanoseconds since [`SpanTimer::start`]; 0 for an inert timer
+    /// (and saturated at `u64::MAX` for implausibly long spans).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        match self.0 {
+            Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            None => 0,
+        }
+    }
+
+    /// Whether the timer is actually measuring.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_when_disabled() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        crate::set_tracing(false);
+        let t = SpanTimer::start();
+        assert!(!t.is_active());
+        assert_eq!(t.elapsed_ns(), 0);
+    }
+
+    #[test]
+    fn measures_when_enabled() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let t = SpanTimer::start();
+        assert!(t.is_active());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(t.elapsed_ns() > 0);
+        crate::set_enabled(false);
+    }
+}

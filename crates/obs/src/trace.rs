@@ -1,0 +1,204 @@
+//! Structured per-stage query traces with JSONL export.
+//!
+//! When tracing is enabled (see [`crate::set_tracing`]), every pipeline
+//! stage records one [`TraceEvent`] describing the work one query chunk did
+//! on one shard hop: iterations, distance computations, bytes streamed, and
+//! host wall time. Events from concurrent device threads land in a global
+//! sink; [`drain_sorted`] returns them in the canonical deterministic order
+//! `(batch, chunk, stage)`.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One pipeline-stage hop of one query chunk.
+///
+/// All fields except `wall_ns` and `batch` are derived from the
+/// deterministic simulated-clock counters; [`TraceEvent::normalized`] zeroes
+/// the non-deterministic pair for replay comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Batch sequence number (process-global, see [`next_batch_id`]).
+    pub batch: u64,
+    /// Origin chunk index (= the device the chunk started on).
+    pub chunk: usize,
+    /// Device that executed this stage.
+    pub device: usize,
+    /// Stage index along the ring (0 = unseeded first hop).
+    pub stage: usize,
+    /// Queries in the chunk.
+    pub queries: u64,
+    /// Search iterations executed in this stage.
+    pub iterations: u64,
+    /// Exact distance computations in this stage.
+    pub dist_calcs: u64,
+    /// Bytes streamed from simulated device memory (vectors + adjacency +
+    /// direction table).
+    pub bytes_read: u64,
+    /// Bytes forwarded to the next device after this stage.
+    pub comm_bytes: u64,
+    /// Host wall time of the stage in nanoseconds (not simulated time; 0
+    /// when the stage ran with tracing disabled mid-flight).
+    pub wall_ns: u64,
+}
+
+impl TraceEvent {
+    /// The event with the non-deterministic fields (`wall_ns`, `batch`)
+    /// zeroed, leaving only simulated-clock-derived content. Two runs of the
+    /// same workload must produce identical normalized traces.
+    pub fn normalized(&self) -> TraceEvent {
+        TraceEvent { wall_ns: 0, batch: 0, ..*self }
+    }
+}
+
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_BATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Allocates the next batch sequence number.
+pub fn next_batch_id() -> u64 {
+    NEXT_BATCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Resets the batch sequence counter (test isolation).
+pub fn reset_batch_ids() {
+    NEXT_BATCH.store(0, Ordering::Relaxed);
+}
+
+/// Appends an event to the global sink.
+pub fn record(ev: TraceEvent) {
+    SINK.lock().push(ev);
+}
+
+/// Number of events currently buffered.
+pub fn len() -> usize {
+    SINK.lock().len()
+}
+
+/// Discards all buffered events.
+pub fn clear() {
+    SINK.lock().clear();
+}
+
+/// Removes and returns all buffered events in `(batch, chunk, stage)` order.
+///
+/// Device threads complete stages in a wall-clock-dependent order; sorting
+/// by the logical key makes the returned trace (and hence JSONL exports)
+/// deterministic for a deterministic workload.
+pub fn drain_sorted() -> Vec<TraceEvent> {
+    let mut events = std::mem::take(&mut *SINK.lock());
+    events.sort_by_key(|e| (e.batch, e.chunk, e.stage));
+    events
+}
+
+/// Writes events as JSON Lines (one object per line).
+///
+/// # Errors
+///
+/// Propagates IO errors; serialization itself cannot fail for
+/// [`TraceEvent`].
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[TraceEvent]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for ev in events {
+        let line = serde_json::to_string(ev).map_err(std::io::Error::other)?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")?;
+    }
+    f.flush()
+}
+
+/// Reads a JSONL trace written by [`write_jsonl`]. Blank lines are skipped.
+///
+/// # Errors
+///
+/// IO errors or malformed JSON on any line.
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<TraceEvent>> {
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(batch: u64, chunk: usize, stage: usize) -> TraceEvent {
+        TraceEvent {
+            batch,
+            chunk,
+            device: (chunk + stage) % 4,
+            stage,
+            queries: 8,
+            iterations: 12,
+            dist_calcs: 3456,
+            bytes_read: 1 << 20,
+            comm_bytes: 256,
+            wall_ns: 98_765,
+        }
+    }
+
+    #[test]
+    fn drain_sorts_by_logical_key() {
+        clear();
+        record(ev(1, 0, 0));
+        record(ev(0, 1, 1));
+        record(ev(0, 1, 0));
+        record(ev(0, 0, 0));
+        let got = drain_sorted();
+        let keys: Vec<(u64, usize, usize)> =
+            got.iter().map(|e| (e.batch, e.chunk, e.stage)).collect();
+        assert_eq!(keys, vec![(0, 0, 0), (0, 1, 0), (0, 1, 1), (1, 0, 0)]);
+        assert_eq!(len(), 0, "drain empties the sink");
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events: Vec<TraceEvent> = (0..5).map(|i| ev(0, i, i % 2)).collect();
+        let path = std::env::temp_dir().join(format!("pw-trace-{}.jsonl", std::process::id()));
+        write_jsonl(&path, &events).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let path =
+            std::env::temp_dir().join(format!("pw-trace-blank-{}.jsonl", std::process::id()));
+        let body = format!(
+            "{}\n\n{}\n",
+            serde_json::to_string(&ev(0, 0, 0)).unwrap(),
+            serde_json::to_string(&ev(0, 1, 0)).unwrap()
+        );
+        std::fs::write(&path, body).unwrap();
+        assert_eq!(read_jsonl(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn normalized_zeroes_nondeterministic_fields() {
+        let e = ev(7, 2, 1);
+        let n = e.normalized();
+        assert_eq!(n.wall_ns, 0);
+        assert_eq!(n.batch, 0);
+        assert_eq!(n.dist_calcs, e.dist_calcs);
+        assert_eq!(n.stage, e.stage);
+    }
+
+    #[test]
+    fn batch_ids_are_sequential_after_reset() {
+        reset_batch_ids();
+        assert_eq!(next_batch_id(), 0);
+        assert_eq!(next_batch_id(), 1);
+        reset_batch_ids();
+        assert_eq!(next_batch_id(), 0);
+    }
+}

@@ -317,13 +317,54 @@ pub fn search_batch(
         stats: BatchStats::default(),
         counters: CostCounters::new(),
     };
+    let obs = pathweaver_obs::enabled();
     for (hits, stats, counters) in per_query {
+        if obs {
+            record_query_metrics(&stats, &counters);
+        }
         result.hits.push(hits);
         result.stats.absorb(&stats);
         result.counters.merge(&counters);
     }
     result.counters.kernel_launches += 1;
+    if obs {
+        record_batch_metrics(ctx, params, &result);
+    }
     result
+}
+
+/// Records one query's per-query distributions into the metrics registry.
+///
+/// Runs on the host aggregation loop, off the parallel per-query hot path;
+/// histogram recording is order-independent, so the resulting summaries are
+/// deterministic for a deterministic workload.
+fn record_query_metrics(stats: &SearchStats, counters: &CostCounters) {
+    let r = pathweaver_obs::registry();
+    r.histogram("search.query.iterations").record(stats.iterations);
+    r.histogram("search.query.visits").record(stats.visits);
+    r.histogram("search.query.hash_probes").record(counters.hash_probes);
+}
+
+/// Records batch-level aggregates: query/convergence counts, visited-hash
+/// probe totals, and — when DGS is active — the neighbor skip rate that the
+/// paper's distance-computation savings hinge on.
+fn record_batch_metrics(ctx: &ShardContext<'_>, params: &SearchParams, batch: &BatchResult) {
+    let r = pathweaver_obs::registry();
+    r.counter("search.queries").add(batch.stats.queries);
+    r.counter("search.converged").add(batch.stats.converged);
+    r.counter("search.hash.probes").add(batch.counters.hash_probes);
+    if params.dgs.is_some() {
+        let considered = batch.counters.nodes_visited * ctx.graph.degree() as u64;
+        let skipped = r.counter("search.dgs.neighbors_skipped");
+        let total = r.counter("search.dgs.neighbors_considered");
+        skipped.add(batch.stats.filtered_neighbors);
+        total.add(considered);
+        if total.get() > 0 {
+            // Cumulative skip rate across every DGS batch so far; derived
+            // from the two counters, hence replay-deterministic.
+            r.gauge("search.dgs.skip_rate").set(skipped.get() as f64 / total.get() as f64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +516,52 @@ mod tests {
         for (i, &orig) in [10u32, 20, 30].iter().enumerate() {
             assert_eq!(batch.hits[i][0].1, orig, "query {i}");
         }
+    }
+
+    /// Serializes tests that toggle the process-global obs flag.
+    fn obs_guard() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+        LOCK.lock()
+    }
+
+    #[test]
+    fn dgs_metrics_recorded_when_enabled() {
+        let _g = obs_guard();
+        let mut rng = pathweaver_util::small_rng(777);
+        let set = VectorSet::from_fn(1200, 24, |_, _| rand::Rng::gen_range(&mut rng, -1.0f32..1.0));
+        let g = cagra_build(&set, &CagraBuildParams::with_degree(16));
+        let t = DirectionTable::build(&set, &g);
+        let ctx = ShardContext::new(&set, &g, Some(&t));
+        let params =
+            SearchParams { dgs: Some(crate::params::DgsParams::default()), ..Default::default() };
+        let queries = set.gather(&[5, 50, 500]);
+        pathweaver_obs::set_enabled(true);
+        let _ = search_batch(&ctx, &queries, &params, &[EntryPolicy::Random { count: 32 }]);
+        pathweaver_obs::set_enabled(false);
+        let snap = pathweaver_obs::global_snapshot();
+        assert!(snap.counters["search.queries"] >= 3);
+        assert!(snap.counters["search.dgs.neighbors_skipped"] > 0);
+        assert!(snap.counters["search.hash.probes"] > 0);
+        let rate = snap.gauges["search.dgs.skip_rate"];
+        assert!(rate > 0.0 && rate < 1.0, "skip rate {rate}");
+        assert!(snap.histograms["search.query.iterations"].count >= 3);
+        assert!(snap.histograms["search.query.visits"].p50 > 0);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_search() {
+        let _g = obs_guard();
+        let (set, g, _) = world(500, 12);
+        let ctx = ShardContext::new(&set, &g, None);
+        let params = SearchParams::default();
+        let queries = set.gather(&[7, 70, 170]);
+        let entries = [EntryPolicy::Random { count: 32 }];
+        let off = search_batch(&ctx, &queries, &params, &entries);
+        pathweaver_obs::set_enabled(true);
+        let on = search_batch(&ctx, &queries, &params, &entries);
+        pathweaver_obs::set_enabled(false);
+        assert_eq!(off.hits, on.hits, "hits changed with metrics enabled");
+        assert_eq!(off.counters, on.counters, "simulated counters changed with metrics enabled");
     }
 
     #[test]

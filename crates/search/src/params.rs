@@ -26,14 +26,14 @@ impl Default for DgsParams {
 /// Parameters of one graph search (paper §2.2 notation in brackets).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchParams {
-    /// Number of results returned [`k`].
+    /// Number of results returned (`k`).
     pub k: usize,
-    /// Priority-queue width [`l`, `k ≤ l`]; CAGRA calls this `itopk`.
+    /// Priority-queue width (`l`, `k ≤ l`); CAGRA calls this `itopk`.
     pub beam: usize,
-    /// Number of initial candidates [`m`]; random entries or forwarded
+    /// Number of initial candidates (`m`); random entries or forwarded
     /// seeds fill this buffer.
     pub candidates: usize,
-    /// Nodes expanded per iteration [`r`, `r ≤ l`].
+    /// Nodes expanded per iteration (`r`, `r ≤ l`).
     pub expand: usize,
     /// Hard iteration cap.
     pub max_iterations: usize,

@@ -26,7 +26,7 @@ pub struct PriorityBuffer {
 }
 
 impl PriorityBuffer {
-    /// Creates an empty buffer of the given capacity [`l`].
+    /// Creates an empty buffer of the given capacity (`l`).
     ///
     /// # Panics
     ///

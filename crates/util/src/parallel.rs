@@ -439,25 +439,34 @@ mod tests {
     fn parallel_for_uses_pool_workers() {
         with_threads(4, || {
             let caller = std::thread::current().id();
-            let off_thread = AtomicU64::new(0);
-            // One dispatch can (rarely) complete entirely on the caller
-            // before a parked worker wakes; that is legal behavior, so probe
-            // several dispatches and require a worker to appear in at least
-            // one of them.
-            for attempt in 0..50 {
+            // One dispatch can (legally) complete entirely on the caller
+            // before a parked worker wakes, so no single dispatch is
+            // asserted on. Instead the off-thread participation of each
+            // dispatch is recorded into a histogram and the aggregate is
+            // asserted, with the summary in the failure message — on a
+            // loaded runner the distribution shows *how* starved the pool
+            // was rather than a bare "never ran".
+            let hist = pathweaver_obs::Histogram::new();
+            for _ in 0..50 {
+                let off_thread = AtomicU64::new(0);
                 parallel_for(4_096, |_| {
                     if std::thread::current().id() != caller {
                         off_thread.fetch_add(1, Ordering::Relaxed);
+                    } else if off_thread.load(Ordering::Relaxed) == 0 {
+                        // The caller yields while it has seen no worker yet,
+                        // so it cannot race through the whole range before a
+                        // parked worker has any chance to wake.
+                        std::thread::yield_now();
                     }
-                    // Enough work per index that the caller is unlikely to
-                    // race through the whole range before a worker wakes.
                     std::hint::black_box((0..64).sum::<u64>());
                 });
-                if off_thread.load(Ordering::Relaxed) > 0 {
+                hist.record(off_thread.load(Ordering::Relaxed));
+                if hist.summary().max > 0 {
                     break;
                 }
-                assert!(attempt < 49, "pool workers never ran in 50 dispatches");
             }
+            let s = hist.summary();
+            assert!(s.max > 0, "pool workers never ran in {} dispatches: {s:?}", s.count);
         });
     }
 

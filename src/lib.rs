@@ -5,6 +5,9 @@
 //! This umbrella crate re-exports the workspace crates under one namespace:
 //!
 //! - [`util`] — parallelism, RNG, top-k, statistics.
+//! - [`obs`] — query-level observability: metrics registry, stage spans,
+//!   structured traces (off by default, `PATHWEAVER_OBS=1` /
+//!   `PATHWEAVER_TRACE=1` to enable).
 //! - [`vector`] — vector storage, distance metrics, sign-bit direction codes.
 //! - [`datasets`] — synthetic dataset profiles, ground truth, recall, IO.
 //! - [`graph`] — proximity graph construction (CAGRA-style, HNSW, GGNN),
@@ -20,6 +23,7 @@ pub use pathweaver_core as core;
 pub use pathweaver_datasets as datasets;
 pub use pathweaver_gpusim as gpusim;
 pub use pathweaver_graph as graph;
+pub use pathweaver_obs as obs;
 pub use pathweaver_search as search;
 pub use pathweaver_util as util;
 pub use pathweaver_vector as vector;

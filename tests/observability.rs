@@ -1,0 +1,139 @@
+//! Observability contract tests: enabling metrics + tracing must not change
+//! search results or the simulated clock, and the instrumented view itself
+//! must be deterministic run-to-run.
+
+use pathweaver::obs;
+use pathweaver::obs::trace;
+use pathweaver::prelude::*;
+
+/// Tests in this binary toggle the process-global observability flags, so
+/// they serialize on one lock (the harness runs tests in parallel).
+fn flag_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn workload() -> Workload {
+    DatasetProfile::deep10m_like().workload(Scale::Test, 16, 10, 77)
+}
+
+#[test]
+fn tracing_run_is_fully_deterministic() {
+    let _g = flag_guard();
+    let w = workload();
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+    let params = SearchParams::default();
+
+    let run = || {
+        obs::reset();
+        let out = idx.search_pipelined(&w.queries, &params);
+        let traces: Vec<_> = trace::drain_sorted().iter().map(|e| e.normalized()).collect();
+        // Wall-clock metrics differ across runs by nature; everything else
+        // in the snapshot is derived from the simulated clock and must not.
+        let snapshot = obs::global_snapshot().without_wallclock();
+        (out.hits.clone(), out.timeline.aggregate_counters(), traces, snapshot)
+    };
+
+    obs::set_tracing(true);
+    let (hits_a, counters_a, traces_a, snap_a) = run();
+    let (hits_b, counters_b, traces_b, snap_b) = run();
+    obs::set_tracing(false);
+    obs::set_enabled(false);
+    obs::reset();
+
+    assert!(!traces_a.is_empty(), "tracing produced no events");
+    assert_eq!(hits_a, hits_b, "search results drifted across traced runs");
+    assert_eq!(counters_a, counters_b, "simulated clock drifted across traced runs");
+    assert_eq!(traces_a, traces_b, "normalized traces differ across runs");
+    assert_eq!(snap_a, snap_b, "non-wallclock metric snapshots differ across runs");
+}
+
+#[test]
+fn enabling_observability_does_not_perturb_search() {
+    let _g = flag_guard();
+    let w = workload();
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let params = SearchParams::default();
+
+    obs::set_tracing(false);
+    obs::set_enabled(false);
+    let off = idx.search_pipelined(&w.queries, &params);
+
+    obs::set_tracing(true);
+    obs::reset();
+    let on = idx.search_pipelined(&w.queries, &params);
+    obs::set_tracing(false);
+    obs::set_enabled(false);
+    obs::reset();
+
+    assert_eq!(off.hits, on.hits, "observability changed search results");
+    assert_eq!(
+        off.timeline.aggregate_counters(),
+        on.timeline.aggregate_counters(),
+        "observability perturbed the simulated clock"
+    );
+}
+
+#[test]
+fn trace_covers_every_stage_and_roundtrips_through_jsonl() {
+    let _g = flag_guard();
+    let w = workload();
+    let devices = 3;
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(devices)).unwrap();
+
+    obs::set_tracing(true);
+    obs::reset();
+    let _ = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let events = trace::drain_sorted();
+    obs::set_tracing(false);
+    obs::set_enabled(false);
+    obs::reset();
+
+    // One event per (chunk, stage) pair of the ring.
+    assert_eq!(events.len(), devices * devices);
+    for e in &events {
+        assert!(e.queries > 0);
+        assert!(e.iterations > 0, "stage ran zero iterations: {e:?}");
+        assert!(e.bytes_read > 0);
+        // Ring schedule: chunk c runs stage s on device (c + s) mod n.
+        assert_eq!(e.device, (e.chunk + e.stage) % devices);
+    }
+    // Every stage except the last forwards seeds to the next device.
+    let total_comm: u64 = events.iter().map(|e| e.comm_bytes).sum();
+    assert!(total_comm > 0);
+
+    let path = std::env::temp_dir().join(format!("pw-obs-trace-{}.jsonl", std::process::id()));
+    trace::write_jsonl(&path, &events).unwrap();
+    let back = trace::read_jsonl(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, events, "JSONL roundtrip altered the trace");
+}
+
+#[test]
+fn metrics_summary_names_the_pipeline_stages() {
+    let _g = flag_guard();
+    let w = workload();
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+
+    obs::set_enabled(true);
+    obs::reset();
+    let _ = idx.search_pipelined(&w.queries, &SearchParams::default());
+    let snap = obs::global_snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+
+    for stage in 0..2 {
+        for metric in ["wall_ns", "iterations", "dist_calcs"] {
+            let key = format!("pipeline.stage{stage}.{metric}");
+            assert!(snap.histograms.contains_key(&key), "missing histogram {key}");
+        }
+    }
+    assert!(snap.counters["pipeline.dist_calcs"] > 0);
+    assert!(snap.counters["search.queries"] > 0);
+    // Ghost staging ran on stage 0 and is attributed separately.
+    assert!(snap.counters["ghost.batches"] > 0);
+    // The wallclock filter drops exactly the wall-time histograms.
+    let filtered = snap.without_wallclock();
+    assert!(filtered.histograms.keys().all(|k| !k.ends_with("wall_ns")));
+    assert!(filtered.histograms.contains_key("pipeline.stage0.iterations"));
+}

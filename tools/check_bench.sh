@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Perf-regression gate.
+#
+# Builds the wallclock bench and the check_bench comparator, runs a fresh
+# wallclock measurement into target/, and fails when any entry of the
+# committed baseline (BENCH_wallclock.json) slowed down by more than the
+# tolerance (default 30%).
+#
+# Environment:
+#   PATHWEAVER_PERF_TOLERANCE   fractional slowdown allowed, e.g. 0.5 = 50%.
+#                               Raise it temporarily to land an accepted
+#                               slowdown, then commit a regenerated baseline
+#                               (cargo run --release --bin wallclock).
+#   PATHWEAVER_THREADS          forwarded to the bench (defaults to 2 there).
+#
+# Artifacts: target/BENCH_wallclock_fresh.json (fresh timings) and
+# target/BENCH_metrics.json (metrics summary of the instrumented pass) —
+# CI uploads both.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_wallclock.json
+FRESH=target/BENCH_wallclock_fresh.json
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: $BASELINE missing — run 'cargo run --release --bin wallclock' and commit it" >&2
+    exit 1
+fi
+
+cargo build --release -p pathweaver-bench --bin wallclock --bin check_bench
+
+PATHWEAVER_BENCH_OUT="$FRESH" ./target/release/wallclock
+./target/release/check_bench "$BASELINE" "$FRESH"
