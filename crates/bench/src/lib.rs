@@ -17,6 +17,8 @@
 //! All QPS numbers from the simulated devices come from the cost-model
 //! clock ("sim-QPS"); only the HNSW CPU baseline reports real wall time.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod session;
 

@@ -42,7 +42,7 @@ impl HnswBaseline {
     /// on an actual CPU, so no simulation is needed (the paper likewise ran
     /// HNSW natively with 64 threads).
     pub fn search_cpu(&self, queries: &VectorSet, k: usize, ef: usize) -> CpuSearchOutput {
-        let t0 = std::time::Instant::now();
+        let sw = pathweaver_obs::Stopwatch::start();
         let results: Vec<Vec<u32>> = pathweaver_util::parallel_map(queries.len(), |q| {
             self.hnsw
                 .search(&self.vectors, queries.row(q), k, ef)
@@ -50,7 +50,7 @@ impl HnswBaseline {
                 .map(|(_, id)| id)
                 .collect()
         });
-        let elapsed_s = t0.elapsed().as_secs_f64();
+        let elapsed_s = sw.elapsed_secs();
         let qps_measured = if elapsed_s > 0.0 { queries.len() as f64 / elapsed_s } else { 0.0 };
         CpuSearchOutput { results, qps_measured, elapsed_s }
     }

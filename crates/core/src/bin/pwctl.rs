@@ -18,7 +18,7 @@ use pathweaver_core::prelude::*;
 use pathweaver_core::store::{load_index, save_index};
 use pathweaver_datasets::io::{read_fvecs_file, read_ivecs, write_fvecs, write_ivecs};
 use pathweaver_datasets::recall_at_k;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -29,8 +29,8 @@ fn usage() -> ! {
 
 /// Parses `--key value` pairs (plus bare `--key` switches) after the
 /// subcommand.
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i].strip_prefix("--").unwrap_or_else(|| usage()).to_string();
@@ -45,14 +45,14 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+fn req<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> &'a str {
     flags.get(key).map(String::as_str).unwrap_or_else(|| {
         eprintln!("missing required flag --{key}");
         exit(2)
     })
 }
 
-fn opt_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+fn opt_parse<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
     match flags.get(key) {
         None => default,
         Some(v) => v.parse().unwrap_or_else(|_| {
@@ -92,7 +92,7 @@ fn main() {
     }
 }
 
-fn synth(flags: &HashMap<String, String>) {
+fn synth(flags: &BTreeMap<String, String>) {
     let profile = profile_by_name(req(flags, "profile"));
     let scale = match flags.get("scale").map(String::as_str) {
         Some("test") => Scale::Test,
@@ -120,11 +120,11 @@ fn synth(flags: &HashMap<String, String>) {
     }
 }
 
-fn gt(flags: &HashMap<String, String>) {
+fn gt(flags: &BTreeMap<String, String>) {
     let base = read_fvecs_file(req(flags, "base"), None).unwrap_or_else(|e| fail(e));
     let queries = read_fvecs_file(req(flags, "queries"), None).unwrap_or_else(|e| fail(e));
     let k = opt_parse(flags, "k", 10usize);
-    let t0 = std::time::Instant::now();
+    let sw = pathweaver_obs::Stopwatch::start();
     let gt = pathweaver_datasets::brute_force_knn(&base, &queries, k);
     let records: Vec<Vec<u32>> = (0..gt.num_queries()).map(|q| gt.neighbors(q).to_vec()).collect();
     let out = req(flags, "out");
@@ -134,11 +134,11 @@ fn gt(flags: &HashMap<String, String>) {
         "wrote exact top-{k} of {} queries over {} vectors to {out} ({:.1}s)",
         queries.len(),
         base.len(),
-        t0.elapsed().as_secs_f64()
+        sw.elapsed_secs()
     );
 }
 
-fn build(flags: &HashMap<String, String>) {
+fn build(flags: &BTreeMap<String, String>) {
     let base = read_fvecs_file(req(flags, "base"), None).unwrap_or_else(|e| fail(e));
     let devices = opt_parse(flags, "devices", 1usize);
     let degree = opt_parse(flags, "degree", 32usize);
@@ -150,7 +150,7 @@ fn build(flags: &HashMap<String, String>) {
     if flags.contains_key("no-dgs") {
         config.build_dir_table = false;
     }
-    let t0 = std::time::Instant::now();
+    let sw = pathweaver_obs::Stopwatch::start();
     let index = PathWeaverIndex::build(&base, &config).unwrap_or_else(|e| fail(e));
     let out = req(flags, "out");
     save_index(&index, out).unwrap_or_else(|e| fail(e));
@@ -158,7 +158,7 @@ fn build(flags: &HashMap<String, String>) {
         "built {} shards over {} vectors in {:.1}s ({:.1}% auxiliary overhead); saved to {out}",
         devices,
         base.len(),
-        t0.elapsed().as_secs_f64(),
+        sw.elapsed_secs(),
         index.build_report.overhead_fraction() * 100.0
     );
 }
@@ -170,7 +170,7 @@ mod pathweaver {
     }
 }
 
-fn search(flags: &HashMap<String, String>) {
+fn search(flags: &BTreeMap<String, String>) {
     let index = load_index(req(flags, "index")).unwrap_or_else(|e| fail(e));
     let queries = read_fvecs_file(req(flags, "queries"), None).unwrap_or_else(|e| fail(e));
     if queries.dim() != index.dim() {
@@ -224,7 +224,7 @@ fn search(flags: &HashMap<String, String>) {
     }
 }
 
-fn eval(flags: &HashMap<String, String>) {
+fn eval(flags: &BTreeMap<String, String>) {
     let results =
         read_ivecs(std::fs::File::open(req(flags, "results")).unwrap_or_else(|e| fail(e)), None)
             .unwrap_or_else(|e| fail(e));
@@ -239,7 +239,7 @@ fn eval(flags: &HashMap<String, String>) {
     println!("recall@{k} = {mean:.4} over {} queries", results.len());
 }
 
-fn info(flags: &HashMap<String, String>) {
+fn info(flags: &BTreeMap<String, String>) {
     let index = load_index(req(flags, "index")).unwrap_or_else(|e| fail(e));
     println!(
         "PathWeaver index: {} vectors (dim {}), {} shards",

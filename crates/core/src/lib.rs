@@ -40,6 +40,8 @@
 //! assert!(recall > 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod config;
 pub mod dynamic;

@@ -16,6 +16,8 @@
 //! [`ground_truth`] computes exact brute-force k-NN (the recall denominator)
 //! and [`recall`] implements Recall@k exactly as Eq. 4 of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod ground_truth;
 pub mod io;
 pub mod profiles;

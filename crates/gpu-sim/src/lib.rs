@@ -29,6 +29,8 @@
 //!   metrics registry so simulated-clock accounting and wall-clock spans
 //!   share one exportable namespace.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod counters;
 pub mod device;

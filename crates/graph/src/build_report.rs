@@ -5,8 +5,8 @@
 //! build time. [`BuildReport`] accumulates wall-clock timings per phase so
 //! the `reproduce fig17` harness can print the same breakdown.
 
+use pathweaver_obs::Stopwatch;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Wall-clock build-time breakdown in seconds.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -46,9 +46,9 @@ impl BuildReport {
 
     /// Runs `f`, adding its wall time to the field selected by `phase`.
     pub fn time<T>(&mut self, phase: BuildPhase, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         let out = f();
-        let dt = t0.elapsed().as_secs_f64();
+        let dt = sw.elapsed_secs();
         match phase {
             BuildPhase::GraphBuild => self.graph_build_s += dt,
             BuildPhase::InterShard => self.intershard_s += dt,

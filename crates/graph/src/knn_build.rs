@@ -194,11 +194,16 @@ pub fn nn_descent(vectors: &VectorSet, params: &NnDescentParams) -> Vec<Vec<(f32
                 }
             }
             if local > 0 {
+                // Relaxed: integer event count — addition commutes, so the
+                // total is schedule-independent; `parallel_for`'s completion
+                // handshake orders it before the read below.
                 updates.fetch_add(local, Ordering::Relaxed);
             }
         });
 
         let threshold = (params.termination_ratio * n as f64 * k as f64) as u64;
+        // Relaxed: all contributing threads quiesced when `parallel_for`
+        // returned, so this read observes the full round's total.
         if updates.load(Ordering::Relaxed) <= threshold {
             break;
         }

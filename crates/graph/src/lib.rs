@@ -23,6 +23,8 @@
 //! - [`serialize`]: compact binary graph (de)serialization.
 //! - [`build_report`]: build-phase timing breakdown (Fig 17).
 
+#![forbid(unsafe_code)]
+
 pub mod build_report;
 pub mod cagra_opt;
 pub mod csr;

@@ -1,0 +1,371 @@
+//! `lint.toml` configuration.
+//!
+//! The workspace's approved dependency set contains no TOML crate, so the
+//! config file is parsed with a small hand-rolled reader covering the subset
+//! the lint actually uses: `[dotted.section]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]`, `key = true|false`, and `#` comments.
+//! Anything outside that subset is a hard error — a config typo silently
+//! ignored would disable merge-gate rules.
+
+use std::collections::BTreeMap;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) scanned in `--workspace` mode.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from every scan (fixtures, vendor, target).
+    pub exclude: Vec<String>,
+    /// Directory names whose files are *test context*: determinism and
+    /// atomics rules (D/A) do not apply there, hygiene rules (U/O) still do.
+    pub test_dirs: Vec<String>,
+    /// Rule ids or slugs disabled outright.
+    pub disabled: Vec<String>,
+    /// Per-rule file allowlists: slug -> path prefixes where the rule does
+    /// not apply (the rule's sanctioned home, e.g. the pool internals for
+    /// `thread-id`).
+    pub allow: BTreeMap<String, Vec<String>>,
+    /// Legal first segments of metric names (O001).
+    pub metric_prefixes: Vec<String>,
+    /// Per-file waivers: workspace-relative path -> waived rule slugs.
+    pub waivers: BTreeMap<String, Vec<String>>,
+    /// Path prefixes considered "counted paths" for D004 (thread-count
+    /// sensitive float accumulation).
+    pub counted_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            roots: vec!["crates".into(), "src".into(), "tests".into(), "examples".into()],
+            exclude: vec!["crates/lint/tests/fixtures".into(), "vendor".into(), "target".into()],
+            test_dirs: vec!["tests".into(), "benches".into()],
+            disabled: Vec::new(),
+            allow: BTreeMap::new(),
+            metric_prefixes: vec![
+                "pipeline".into(),
+                "ghost".into(),
+                "search".into(),
+                "gpu".into(),
+                "bench".into(),
+                "build".into(),
+                "obs".into(),
+            ],
+            waivers: BTreeMap::new(),
+            counted_paths: vec![
+                "crates/search".into(),
+                "crates/core".into(),
+                "crates/graph".into(),
+                "crates/gpu-sim".into(),
+                "crates/vector".into(),
+            ],
+        }
+    }
+}
+
+/// A config-file syntax or semantics error.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending entry (0 for file-level errors).
+    pub line: usize,
+    /// Human description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses a `lint.toml` document, starting from the defaults.
+    pub fn parse(src: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let lines: Vec<&str> = src.lines().collect();
+        let mut idx = 0;
+        while idx < lines.len() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(lines[idx]).trim().to_string();
+            idx += 1;
+            // Multi-line arrays: keep appending lines until brackets balance.
+            while bracket_balance(&line) > 0 && idx < lines.len() {
+                line.push(' ');
+                line.push_str(strip_comment(lines[idx]).trim());
+                idx += 1;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("unterminated section header {line:?}"),
+                })?;
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = split_kv(&line, lineno)?;
+            cfg.apply(&section, &key, &value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses a config file.
+    pub fn load(path: &std::path::Path) -> Result<Self, ConfigError> {
+        let src = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&src)
+    }
+
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &Value,
+        line: usize,
+    ) -> Result<(), ConfigError> {
+        let err = |message: String| Err(ConfigError { line, message });
+        match (section, key) {
+            ("scan", "roots") => self.roots = value.as_strings(line)?,
+            ("scan", "exclude") => self.exclude = value.as_strings(line)?,
+            ("scan", "test_dirs") => self.test_dirs = value.as_strings(line)?,
+            ("scan", "counted_paths") => self.counted_paths = value.as_strings(line)?,
+            ("rules", "disabled") => self.disabled = value.as_strings(line)?,
+            ("metric-names", "prefixes") => self.metric_prefixes = value.as_strings(line)?,
+            ("waivers", path) => {
+                self.waivers.insert(path.to_string(), value.as_strings(line)?);
+            }
+            (s, "files") if s.starts_with("allow.") => {
+                let slug = s.trim_start_matches("allow.").to_string();
+                if !crate::rules::is_known_slug(&slug) {
+                    return err(format!("unknown rule slug {slug:?} in [allow.*]"));
+                }
+                self.allow.insert(slug, value.as_strings(line)?);
+            }
+            _ => {
+                return err(format!("unknown config entry [{section}] {key}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `rel` (workspace-relative, `/`-separated) is excluded from
+    /// scanning entirely.
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        self.exclude.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+
+    /// Whether `rel` lives in test context (integration tests, benches).
+    pub fn is_test_path(&self, rel: &str) -> bool {
+        rel.split('/').any(|seg| self.test_dirs.iter().any(|d| d == seg))
+    }
+
+    /// Whether `slug` is allowed (rule does not apply) in file `rel`.
+    pub fn is_allowed(&self, slug: &str, rel: &str) -> bool {
+        if let Some(prefixes) = self.allow.get(slug) {
+            if prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+                return true;
+            }
+        }
+        if let Some(waived) = self.waivers.get(rel) {
+            if waived.iter().any(|w| w == slug) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a rule (by id or slug) is disabled globally.
+    pub fn is_disabled(&self, id: &str, slug: &str) -> bool {
+        self.disabled.iter().any(|d| d == id || d == slug)
+    }
+
+    /// Whether `rel` is on a counted path (D004 scope).
+    pub fn is_counted_path(&self, rel: &str) -> bool {
+        self.counted_paths.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// A parsed right-hand-side value.
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+    Bool,
+}
+
+impl Value {
+    fn as_strings(&self, line: usize) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::List(v) => Ok(v.clone()),
+            Value::Str(s) => Ok(vec![s.clone()]),
+            Value::Bool => {
+                Err(ConfigError { line, message: "expected a string or array of strings".into() })
+            }
+        }
+    }
+}
+
+/// Net count of `[` minus `]` outside quoted strings (multi-line arrays).
+fn bracket_balance(line: &str) -> i32 {
+    let mut in_str = false;
+    let mut balance = 0;
+    for c in line.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits `key = value`, parsing the value.
+fn split_kv(line: &str, lineno: usize) -> Result<(String, Value), ConfigError> {
+    let eq = line.find('=').ok_or_else(|| ConfigError {
+        line: lineno,
+        message: format!("expected `key = value`, got {line:?}"),
+    })?;
+    let key = unquote(line[..eq].trim());
+    let raw = line[eq + 1..].trim();
+    let value = parse_value(raw, lineno)?;
+    Ok((key, value))
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, ConfigError> {
+    if raw == "true" {
+        return Ok(Value::Bool);
+    }
+    if raw == "false" {
+        return Ok(Value::Bool);
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or_else(|| ConfigError {
+            line: lineno,
+            message: "array value must close on the same line".into(),
+        })?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if !part.starts_with('"') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("array items must be quoted strings, got {part:?}"),
+                });
+            }
+            items.push(unquote(part));
+        }
+        return Ok(Value::List(items));
+    }
+    if raw.starts_with('"') {
+        return Ok(Value::Str(unquote(raw)));
+    }
+    Err(ConfigError { line: lineno, message: format!("unsupported value syntax {raw:?}") })
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.is_excluded("vendor/rand/src/lib.rs"));
+        assert!(c.is_test_path("crates/vector/tests/simd_identity.rs"));
+        assert!(c.is_test_path("tests/end_to_end.rs"));
+        assert!(!c.is_test_path("crates/vector/src/simd.rs"));
+    }
+
+    #[test]
+    fn parses_sections_and_lists() {
+        let c = Config::parse(
+            r#"
+# comment
+[scan]
+roots = ["crates", "src"]  # trailing comment
+
+[rules]
+disabled = ["D004"]
+
+[allow.wallclock-time]
+files = ["crates/obs/", "crates/bench/"]
+
+[metric-names]
+prefixes = ["pipeline"]
+
+[waivers]
+"crates/foo/src/bar.rs" = ["unordered-iter"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(c.roots, vec!["crates", "src"]);
+        assert!(c.is_disabled("D004", "parallel-float-accum"));
+        assert!(c.is_allowed("wallclock-time", "crates/obs/src/span.rs"));
+        assert!(!c.is_allowed("wallclock-time", "crates/graph/src/build_report.rs"));
+        assert!(c.is_allowed("unordered-iter", "crates/foo/src/bar.rs"));
+        assert_eq!(c.metric_prefixes, vec!["pipeline"]);
+    }
+
+    #[test]
+    fn rejects_unknown_entries() {
+        assert!(Config::parse("[scan]\nbogus = true\n").is_err());
+        assert!(Config::parse("[allow.not-a-rule]\nfiles = [\"x\"]\n").is_err());
+        assert!(Config::parse("key_without_section = 1\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let c = Config::parse("[waivers]\n\"a#b.rs\" = [\"thread-id\"]\n").unwrap();
+        assert!(c.is_allowed("thread-id", "a#b.rs"));
+    }
+}

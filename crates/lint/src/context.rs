@@ -1,0 +1,445 @@
+//! Per-file analysis context shared by all rules.
+//!
+//! One pass over the token stream derives everything the rules match
+//! against: which lines belong to `#[cfg(test)]` modules, which identifiers
+//! were declared with order-sensitive or pointer types, which lines carry
+//! code vs. only comments/attributes, and where inline waivers sit.
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, Spanned, Token};
+use std::collections::BTreeMap;
+
+/// How an identifier was declared, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclKind {
+    /// `HashMap` / `HashSet` — iteration order is unspecified.
+    HashCollection,
+    /// `f32` / `f64` (possibly nested, e.g. `Vec<f32>`).
+    Float,
+    /// `AtomicPtr` — publish/consume candidate.
+    AtomicPtr,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Lexer output.
+    pub lexed: Lexed,
+    /// Whether the whole file is test context (tests/, benches/ dirs).
+    pub test_file: bool,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Identifier declarations found in the file.
+    pub decls: BTreeMap<String, DeclKind>,
+    /// Lines that contain at least one code token.
+    code_lines: Vec<bool>,
+    /// Lines whose first code token is `#` (attribute lines).
+    attr_lines: Vec<bool>,
+    /// The active configuration.
+    pub config: &'a Config,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes and analyzes `src`.
+    pub fn new(rel: &str, src: &str, config: &'a Config) -> Self {
+        let lexed = lex(src);
+        let line_count = lexed.comments.len();
+        let mut code_lines = vec![false; line_count];
+        let mut attr_lines = vec![false; line_count];
+        for t in &lexed.tokens {
+            if t.line < line_count {
+                if !code_lines[t.line] {
+                    attr_lines[t.line] = t.tok == Token::Punct('#');
+                }
+                code_lines[t.line] = true;
+            }
+        }
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let decls = collect_decls(&lexed.tokens);
+        Self {
+            rel: rel.to_string(),
+            lexed,
+            test_file: config.is_test_path(rel),
+            test_ranges,
+            decls,
+            code_lines,
+            attr_lines,
+            config,
+        }
+    }
+
+    /// The tokens of the file.
+    pub fn tokens(&self) -> &[Spanned] {
+        &self.lexed.tokens
+    }
+
+    /// Whether `line` is inside test context (a test file or a
+    /// `#[cfg(test)]` module).
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_file || self.test_ranges.iter().any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// Whether an inline waiver `// lint: allow(<slug>)` covers `line`
+    /// (on the line itself or up to two lines above).
+    pub fn has_waiver(&self, line: usize, slug: &str) -> bool {
+        let needle = format!("lint: allow({slug})");
+        for l in line.saturating_sub(2)..=line {
+            if self.lexed.comment_on(l).contains(&needle) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any non-empty comment sits on `line` or within `lookback`
+    /// lines above it (the justification-comment convention of the A-rules).
+    pub fn has_comment_near(&self, line: usize, lookback: usize) -> bool {
+        for l in line.saturating_sub(lookback)..=line {
+            if self.lexed.comment_on(l).chars().any(|c| c.is_alphabetic()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Searches for a `SAFETY:` comment attached to the construct at `line`:
+    /// a trailing comment on the line itself, or a comment block directly
+    /// above it (attribute lines and doc comments may sit in between).
+    /// Returns the justification text if found.
+    pub fn safety_comment(&self, line: usize) -> Option<String> {
+        if let Some(text) = extract_safety(self.lexed.comment_on(line)) {
+            return Some(self.gather_safety_text(line, text));
+        }
+        let mut l = line;
+        for _ in 0..12 {
+            if l <= 1 {
+                break;
+            }
+            l -= 1;
+            let comment = self.lexed.comment_on(l);
+            if let Some(text) = extract_safety(comment) {
+                return Some(self.gather_safety_text(l, text));
+            }
+            let has_code = self.code_lines.get(l).copied().unwrap_or(false);
+            let is_attr = self.attr_lines.get(l).copied().unwrap_or(false);
+            let comment_only = !has_code && !comment.is_empty();
+            let blank = !has_code && comment.is_empty();
+            // Walk up through comment-only and attribute lines; any other
+            // code line (or a blank line) detaches the comment block.
+            if !(comment_only || is_attr) || blank {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Concatenates the safety text starting at `line` with the contiguous
+    /// comment-only lines that follow (a multi-line SAFETY argument).
+    fn gather_safety_text(&self, line: usize, head: String) -> String {
+        let mut text = head;
+        let mut l = line + 1;
+        while l < self.lexed.comments.len() {
+            let has_code = self.code_lines.get(l).copied().unwrap_or(false);
+            let comment = self.lexed.comment_on(l);
+            if has_code || comment.is_empty() {
+                break;
+            }
+            text.push(' ');
+            text.push_str(comment.trim_start_matches('/').trim());
+            l += 1;
+        }
+        text
+    }
+}
+
+/// Extracts the text after `SAFETY:` (or a `# Safety` doc heading) from a
+/// comment line.
+fn extract_safety(comment: &str) -> Option<String> {
+    if let Some(idx) = comment.find("SAFETY") {
+        let rest = comment[idx + "SAFETY".len()..].trim_start();
+        let rest = rest.strip_prefix("of all entries").unwrap_or(rest);
+        let rest = rest.strip_prefix(':').unwrap_or(rest);
+        return Some(rest.trim().to_string());
+    }
+    if comment.contains("# Safety") {
+        return Some(String::new());
+    }
+    None
+}
+
+/// Finds line ranges of items annotated `#[cfg(test)]` (and `#[cfg(all(...,
+/// test, ...))]`): the following braced item — usually `mod tests { ... }` —
+/// is marked as test context.
+fn find_test_ranges(tokens: &[Spanned]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok == Token::Punct('#')
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Token::Punct('[')))
+        {
+            // Scan the attribute body for `cfg` ... `test`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].tok {
+                    Token::Punct('[') => depth += 1,
+                    Token::Punct(']') => depth -= 1,
+                    Token::Ident(n) if n == "cfg" => saw_cfg = true,
+                    Token::Ident(n) if n == "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                // Skip further attributes, then find the item's braces.
+                let mut k = j;
+                while k < tokens.len() && tokens[k].tok == Token::Punct('#') {
+                    k += 1; // '#'
+                    let mut d = 0usize;
+                    while k < tokens.len() {
+                        match &tokens[k].tok {
+                            Token::Punct('[') => d += 1,
+                            Token::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the opening `{` (or a terminating `;` for brace-less
+                // items like `#[cfg(test)] use ...;`).
+                let start_line = tokens.get(k).map(|t| t.line).unwrap_or(tokens[i].line);
+                let mut open = None;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Token::Punct('{') => {
+                            open = Some(k);
+                            break;
+                        }
+                        Token::Punct(';') => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(open_idx) = open {
+                    if let Some(close_idx) = matching_brace(tokens, open_idx) {
+                        ranges.push((tokens[i].line, tokens[close_idx].line));
+                        i = close_idx + 1;
+                        continue;
+                    }
+                } else {
+                    let end_line = tokens.get(k).map(|t| t.line).unwrap_or(start_line);
+                    ranges.push((tokens[i].line, end_line));
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Index of the `}` matching the `{` at `open`, if any.
+pub fn matching_brace(tokens: &[Spanned], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Token::Punct('{') => depth += 1,
+            Token::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+pub fn matching_paren(tokens: &[Spanned], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Token::Punct('(') => depth += 1,
+            Token::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects identifier declarations whose type (or constructor) names an
+/// order-sensitive or pointer type. Covers `let x: T`, struct fields,
+/// statics, fn params (`name: T` forms) and `let x = HashMap::new()` forms.
+fn collect_decls(tokens: &[Spanned]) -> BTreeMap<String, DeclKind> {
+    let mut decls = BTreeMap::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let (name, after) = match (&tokens[i].tok, &tokens[i + 1].tok) {
+            (Token::Ident(n), Token::Punct(':')) => {
+                // Exclude `::` paths: `a::b` must not record `a`.
+                if matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Token::Punct(':'))) {
+                    i += 3;
+                    continue;
+                }
+                (n.clone(), i + 2)
+            }
+            (Token::Ident(n), Token::Punct('=')) => {
+                // `name = HashMap::new()` style (let-inference or reassign).
+                // Exclude `==`, `=>`, `<=`, `>=` composites.
+                if matches!(
+                    tokens.get(i + 2).map(|t| &t.tok),
+                    Some(Token::Punct('=')) | Some(Token::Punct('>'))
+                ) {
+                    i += 2;
+                    continue;
+                }
+                (n.clone(), i + 2)
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Scan the type/constructor expression: stop at item boundaries.
+        let mut kind = None;
+        let mut j = after;
+        let mut angle: i32 = 0;
+        while j < tokens.len() && j < after + 24 {
+            match &tokens[j].tok {
+                Token::Punct('<') => angle += 1,
+                Token::Punct('>') => angle -= 1,
+                Token::Punct(';') | Token::Punct('{') | Token::Punct('}') => break,
+                Token::Punct(',') | Token::Punct(')') if angle <= 0 => break,
+                Token::Punct('(') => {
+                    // Constructor call boundary: `HashMap::new(` — the names
+                    // before the paren decide; stop here.
+                    break;
+                }
+                Token::Ident(t) => match t.as_str() {
+                    "HashMap" | "HashSet" => {
+                        kind = Some(DeclKind::HashCollection);
+                    }
+                    "AtomicPtr" => {
+                        kind = Some(DeclKind::AtomicPtr);
+                    }
+                    "f32" | "f64" if kind.is_none() => {
+                        kind = Some(DeclKind::Float);
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(k) = kind {
+            decls.insert(name, k);
+        }
+        i = after;
+    }
+    decls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(src: &str, config: &'a Config) -> FileContext<'a> {
+        FileContext::new("crates/x/src/lib.rs", src, config)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_region() {
+        let cfg = Config::default();
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let c = ctx(src, &cfg);
+        assert!(!c.in_test(1));
+        assert!(c.in_test(3));
+        assert!(c.in_test(4));
+        assert!(!c.in_test(6));
+    }
+
+    #[test]
+    fn decl_kinds_collected() {
+        let cfg = Config::default();
+        let src = "let a: HashMap<u32, u32> = HashMap::new();\n\
+                   let b = std::collections::HashSet::new();\n\
+                   static P: AtomicPtr<Kernels> = AtomicPtr::new(x);\n\
+                   let total: f64 = 0.0;\n\
+                   let v: Vec<u32> = Vec::new();\n";
+        let c = ctx(src, &cfg);
+        assert_eq!(c.decls.get("a"), Some(&DeclKind::HashCollection));
+        assert_eq!(c.decls.get("b"), Some(&DeclKind::HashCollection));
+        assert_eq!(c.decls.get("P"), Some(&DeclKind::AtomicPtr));
+        assert_eq!(c.decls.get("total"), Some(&DeclKind::Float));
+        assert_eq!(c.decls.get("v"), None);
+    }
+
+    #[test]
+    fn paths_are_not_decls() {
+        let cfg = Config::default();
+        // `std::collections::HashMap` must not record `std` or `collections`.
+        let c = ctx("use std::collections::HashMap;\n", &cfg);
+        assert!(!c.decls.contains_key("std"));
+        assert!(!c.decls.contains_key("collections"));
+    }
+
+    #[test]
+    fn waiver_detected_on_and_above_line() {
+        let cfg = Config::default();
+        let src = "// lint: allow(unordered-iter)\nfor x in m {}\n\nfor y in m {} // lint: allow(unordered-iter)\n";
+        let c = ctx(src, &cfg);
+        assert!(c.has_waiver(2, "unordered-iter"));
+        assert!(c.has_waiver(4, "unordered-iter"));
+        assert!(!c.has_waiver(3, "thread-id"));
+    }
+
+    #[test]
+    fn safety_comment_found_and_gathered() {
+        let cfg = Config::default();
+        let src = "// SAFETY: the pointer is valid because the caller blocks\n\
+                   // until every outstanding reference is returned.\n\
+                   unsafe { foo() }\n";
+        let c = ctx(src, &cfg);
+        let text = c.safety_comment(3).unwrap();
+        assert!(text.contains("caller blocks"));
+        assert!(text.contains("outstanding reference"));
+    }
+
+    #[test]
+    fn safety_comment_not_borrowed_across_code() {
+        let cfg = Config::default();
+        let src = "// SAFETY: only covers the first block here.\n\
+                   unsafe { a() }\n\
+                   unsafe { b() }\n";
+        let c = ctx(src, &cfg);
+        assert!(c.safety_comment(2).is_some());
+        assert!(c.safety_comment(3).is_none());
+    }
+
+    #[test]
+    fn safety_comment_skips_attributes() {
+        let cfg = Config::default();
+        let src = "// SAFETY: callers checked the cpu feature at dispatch.\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn kernel() {}\n";
+        let c = ctx(src, &cfg);
+        assert!(c.safety_comment(3).is_some());
+    }
+}

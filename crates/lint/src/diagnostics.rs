@@ -1,0 +1,126 @@
+//! Findings and their human / machine renderings.
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `D002`.
+    pub rule: &'static str,
+    /// Rule slug, e.g. `unordered-iter` (the waiver token).
+    pub slug: &'static str,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human description of the violation.
+    pub message: String,
+}
+
+/// Sorts findings into the canonical (file, line, rule) report order so the
+/// output is byte-stable regardless of scan order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// `file:line: RULE [slug] message` diagnostics, one per line, plus a
+/// trailing summary.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{}: {} [{}] {}\n", f.file, f.line, f.rule, f.slug, f.message));
+    }
+    if findings.is_empty() {
+        out.push_str(&format!("pwlint: {files_scanned} files scanned, no violations\n"));
+    } else {
+        out.push_str(&format!(
+            "pwlint: {files_scanned} files scanned, {} violation{} found\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Machine-readable report (`--format json`).
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    use serde_json::Value;
+    let items: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            Value::Object(vec![
+                ("rule".to_string(), Value::Str(f.rule.to_string())),
+                ("slug".to_string(), Value::Str(f.slug.to_string())),
+                ("file".to_string(), Value::Str(f.file.clone())),
+                ("line".to_string(), Value::Num(f.line as f64)),
+                ("message".to_string(), Value::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("tool".to_string(), Value::Str("pwlint".to_string())),
+        ("files_scanned".to_string(), Value::Num(files_scanned as f64)),
+        ("violation_count".to_string(), Value::Num(findings.len() as f64)),
+        ("findings".to_string(), Value::Array(items)),
+    ]);
+    let mut s = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "D002",
+                slug: "unordered-iter",
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                message: "iteration over HashMap".into(),
+            },
+            Finding {
+                rule: "D001",
+                slug: "wallclock-time",
+                file: "crates/a/src/lib.rs".into(),
+                line: 3,
+                message: "Instant".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn sorted_by_file_then_line() {
+        let mut f = sample();
+        sort_findings(&mut f);
+        assert_eq!(f[0].rule, "D001");
+        assert_eq!(f[1].rule, "D002");
+    }
+
+    #[test]
+    fn human_render_has_spans_and_summary() {
+        let f = sample();
+        let text = render_human(&f, 7);
+        assert!(text.contains("crates/x/src/lib.rs:9: D002 [unordered-iter]"));
+        assert!(text.contains("7 files scanned, 2 violations"));
+    }
+
+    #[test]
+    fn json_render_is_parseable() {
+        let f = sample();
+        let text = render_json(&f, 7);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["violation_count"].as_f64(), Some(2.0));
+        assert_eq!(v["files_scanned"].as_f64(), Some(7.0));
+        let first = &v["findings"].as_array().unwrap()[0];
+        assert_eq!(first["rule"].as_str(), Some("D002"));
+        assert_eq!(first["line"].as_f64(), Some(9.0));
+    }
+}

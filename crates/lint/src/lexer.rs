@@ -1,0 +1,424 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The rule engine needs far less than a full parser: identifiers,
+//! punctuation, literal kinds, line numbers, and comments kept *out of* the
+//! token stream but addressable by line (SAFETY comments, waivers, and
+//! justification comments are all line-oriented conventions). The lexer
+//! therefore tokenizes the small subset of Rust's lexical grammar that
+//! matters for matching token patterns:
+//!
+//! - line (`//`) and nested block (`/* */`) comments, collected per line;
+//! - string/char/byte/raw-string literals (so `"HashMap"` in a message never
+//!   looks like the `HashMap` identifier);
+//! - identifiers and lifetimes (disambiguated from char literals);
+//! - numeric literals (consumed loosely — their value is irrelevant);
+//! - everything else as single-character punctuation.
+//!
+//! Multi-character operators arrive as consecutive punctuation tokens
+//! (`::` is `:`, `:`), which is exactly what the pattern matchers want.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String, char, byte, or numeric literal. Strings carry their content
+    /// so rules can validate literal arguments (e.g. metric names).
+    Literal(LiteralKind),
+    /// A single punctuation character.
+    Punct(char),
+    /// A lifetime such as `'a` (kept distinct so it never shadows idents).
+    Lifetime,
+}
+
+/// The payload of a [`Token::Literal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteralKind {
+    /// A string literal's unescaped-ish content (escapes left as written —
+    /// rules only inspect plain names, which contain none).
+    Str(String),
+    /// Char, byte, or numeric literal; content irrelevant to every rule.
+    Other,
+}
+
+/// A token paired with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexer output: the code token stream plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Spanned>,
+    /// For each 1-based line, the concatenated comment text present on that
+    /// line (line comments and any block-comment portion). Index 0 unused.
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// Comment text of `line`, or `""` when out of range / none.
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.comments.get(line).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Tokenizes `src`, separating comments from code tokens.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    let mut out = Lexed::default();
+    let line_count = src.lines().count() + 2;
+    out.comments = vec![String::new(); line_count + 1];
+    let mut i = 0;
+    let mut line = 1;
+
+    let push_comment = |comments: &mut Vec<String>, line: usize, text: &str| {
+        if line < comments.len() {
+            if !comments[line].is_empty() {
+                comments[line].push(' ');
+            }
+            comments[line].push_str(text);
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                push_comment(&mut out.comments, line, &text);
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1usize;
+                let mut text = String::new();
+                i += 2;
+                let mut at = line;
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == '\n' {
+                            push_comment(&mut out.comments, at, &text);
+                            text.clear();
+                            line += 1;
+                            at = line;
+                        } else {
+                            text.push(bytes[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                push_comment(&mut out.comments, at, &text);
+            }
+            '"' => {
+                let (content, consumed, newlines) = scan_string(&bytes[i..]);
+                out.tokens.push(Spanned { tok: Token::Literal(LiteralKind::Str(content)), line });
+                i += consumed;
+                line += newlines;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes[i..]) => {
+                let (kind, consumed, newlines) = scan_prefixed_string(&bytes[i..]);
+                out.tokens.push(Spanned { tok: Token::Literal(kind), line });
+                i += consumed;
+                line += newlines;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`): a lifetime's
+                // identifier is not followed by a closing quote.
+                if is_lifetime(&bytes[i..]) {
+                    i += 1;
+                    while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Spanned { tok: Token::Lifetime, line });
+                } else {
+                    let consumed = scan_char_literal(&bytes[i..]);
+                    out.tokens.push(Spanned { tok: Token::Literal(LiteralKind::Other), line });
+                    i += consumed;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    // `0..10` range syntax: stop before a second consecutive dot.
+                    if bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Spanned { tok: Token::Literal(LiteralKind::Other), line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let name: String = bytes[start..i].iter().collect();
+                out.tokens.push(Spanned { tok: Token::Ident(name), line });
+            }
+            other => {
+                out.tokens.push(Spanned { tok: Token::Punct(other), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"..."` literal starting at `s[0] == '"'`.
+/// Returns (content, chars consumed, newlines crossed).
+fn scan_string(s: &[char]) -> (String, usize, usize) {
+    let mut content = String::new();
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < s.len() {
+        match s[i] {
+            '\\' if i + 1 < s.len() => {
+                // An escaped newline (string continuation) still advances the
+                // source line, or every later token's line number drifts.
+                if s[i + 1] == '\n' {
+                    newlines += 1;
+                }
+                content.push(s[i]);
+                content.push(s[i + 1]);
+                i += 2;
+            }
+            '"' => return (content, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Whether `s` starts a raw string (`r"`, `r#`), byte string (`b"`), or raw
+/// byte string (`br`). Plain identifiers starting with r/b fall through.
+fn starts_raw_or_byte_string(s: &[char]) -> bool {
+    match s.first() {
+        Some('r') => matches!(s.get(1), Some('"') | Some('#')),
+        Some('b') => match s.get(1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => matches!(s.get(2), Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` forms.
+/// Returns (kind, chars consumed, newlines crossed).
+fn scan_prefixed_string(s: &[char]) -> (LiteralKind, usize, usize) {
+    let mut i = 0;
+    // Skip the b / r / br prefix.
+    while i < s.len() && (s[i] == 'b' || s[i] == 'r') {
+        i += 1;
+    }
+    if s.get(i) == Some(&'\'') {
+        // Byte char literal.
+        let consumed = scan_char_literal(&s[i..]);
+        return (LiteralKind::Other, i + consumed, 0);
+    }
+    let mut hashes = 0;
+    while s.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if s.get(i) != Some(&'"') {
+        // Not actually a string (e.g. `r#ident`); consume the prefix only.
+        return (LiteralKind::Other, i.max(1), 0);
+    }
+    i += 1;
+    let mut content = String::new();
+    let mut newlines = 0;
+    while i < s.len() {
+        if s[i] == '"' {
+            // Check for the closing `#` run.
+            let mut ok = true;
+            for k in 0..hashes {
+                if s.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (LiteralKind::Str(content), i + 1 + hashes, newlines);
+            }
+        }
+        if s[i] == '\n' {
+            newlines += 1;
+        }
+        content.push(s[i]);
+        i += 1;
+    }
+    (LiteralKind::Str(content), i, newlines)
+}
+
+/// Whether `s` (starting at `'`) is a lifetime rather than a char literal.
+fn is_lifetime(s: &[char]) -> bool {
+    match s.get(1) {
+        Some(c) if c.is_alphabetic() || *c == '_' => s.get(2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Scans a char literal starting at `'`; returns chars consumed.
+fn scan_char_literal(s: &[char]) -> usize {
+    let mut i = 1;
+    while i < s.len() {
+        match s[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Token::Ident(n) => Some(n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_puncts() {
+        let l = lex("let x = a.b();");
+        let names = idents("let x = a.b();");
+        assert_eq!(names, vec!["let", "x", "a", "b"]);
+        assert!(l.tokens.iter().any(|t| t.tok == Token::Punct('.')));
+    }
+
+    #[test]
+    fn strings_are_not_identifiers() {
+        let names = idents(r#"call("Instant inside string")"#);
+        assert_eq!(names, vec!["call"]);
+    }
+
+    #[test]
+    fn string_content_preserved() {
+        let l = lex(r#"counter("pipeline.stage0.wall_ns")"#);
+        let found = l.tokens.iter().any(
+            |t| matches!(&t.tok, Token::Literal(LiteralKind::Str(s)) if s == "pipeline.stage0.wall_ns"),
+        );
+        assert!(found);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let l = lex(r##"let a = r#"raw "x" body"#; let b = b"bytes";"##);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Token::Literal(LiteralKind::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["raw \"x\" body".to_string(), "bytes".to_string()]);
+    }
+
+    #[test]
+    fn comments_collected_by_line() {
+        let src = "let a = 1; // trailing note\n// SAFETY: fine because reasons\nlet b = 2;\n";
+        let l = lex(src);
+        assert!(l.comment_on(1).contains("trailing note"));
+        assert!(l.comment_on(2).contains("SAFETY: fine"));
+        assert_eq!(l.comment_on(3), "");
+        // Comments never become tokens.
+        assert!(!l.tokens.iter().any(|t| matches!(&t.tok, Token::Ident(n) if n == "SAFETY")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["let", "x"]);
+        assert!(l.comment_on(1).contains("still comment"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Token::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars =
+            l.tokens.iter().filter(|t| matches!(t.tok, Token::Literal(LiteralKind::Other))).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let l = lex(src);
+        let lines: Vec<usize> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn range_syntax_is_not_a_float() {
+        let src = "for i in 0..10 { }";
+        let l = lex(src);
+        // `0..10` must lex as literal, dot, dot, literal — not `0.` `.10`.
+        let dots = l.tokens.iter().filter(|t| t.tok == Token::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn escaped_newline_continuation_advances_lines() {
+        let src = "let s = \"part one \\\n    part two\";\nlet t = 1;";
+        let l = lex(src);
+        let t_line = l
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Token::Ident(n) if n == "t"))
+            .map(|t| t.line)
+            .unwrap();
+        assert_eq!(t_line, 3);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let src = "let s = \"line one\nline two\";\nlet t = 1;";
+        let l = lex(src);
+        let t_line = l
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Token::Ident(n) if n == "t"))
+            .map(|t| t.line)
+            .unwrap();
+        assert_eq!(t_line, 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! `pathweaver-lint` — the workspace invariant checker.
+//!
+//! Enforces the repo's determinism, unsafe-hygiene, atomics, and
+//! observability-naming contracts by scanning every workspace `.rs` file at
+//! the token level. See [`rules::RULES`] for the catalogue and
+//! `DESIGN.md` ("Static analysis & invariant checking") for the policy.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod context;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use config::Config;
+use context::FileContext;
+use diagnostics::{sort_findings, Finding};
+use std::path::Path;
+
+/// Result of a lint run.
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Sorted findings.
+    pub findings: Vec<Finding>,
+}
+
+/// Lints an explicit list of workspace-relative files.
+pub fn lint_files(root: &Path, config: &Config, rels: &[String]) -> Report {
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel in rels {
+        let path = root.join(rel);
+        match std::fs::read_to_string(&path) {
+            Ok(src) => {
+                scanned += 1;
+                let ctx = FileContext::new(rel, &src, config);
+                findings.extend(rules::check_file(&ctx));
+            }
+            Err(e) => findings.push(Finding {
+                rule: "E000",
+                slug: "io-error",
+                file: rel.clone(),
+                line: 0,
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    sort_findings(&mut findings);
+    Report { files_scanned: scanned, findings }
+}
+
+/// Lints the whole workspace: every discovered `.rs` file plus the
+/// manifest-level (U002) checks.
+pub fn lint_workspace(root: &Path, config: &Config) -> Report {
+    let rels = workspace::collect_files(root, config);
+    let mut report = lint_files(root, config, &rels);
+    report.findings.extend(rules::check_manifests(root, config));
+    sort_findings(&mut report.findings);
+    report
+}

@@ -1,0 +1,150 @@
+//! `pwlint` — command-line front end for `pathweaver-lint`.
+//!
+//! ```text
+//! pwlint --workspace [--format human|json] [--config lint.toml] [--root DIR]
+//! pwlint FILE.rs [FILE.rs ...]
+//! pwlint --explain D002 | --explain list
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+use pathweaver_lint::{config::Config, diagnostics, lint_files, lint_workspace, rules};
+use std::path::PathBuf;
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    workspace: bool,
+    files: Vec<String>,
+    format: Format,
+    config_path: Option<PathBuf>,
+    root: PathBuf,
+    explain: Option<String>,
+}
+
+const USAGE: &str = "usage: pwlint (--workspace | FILE.rs ...) [--format human|json] \
+                     [--config PATH] [--root DIR] | --explain RULE|list";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        files: Vec::new(),
+        format: Format::Human,
+        config_path: None,
+        root: PathBuf::from("."),
+        explain: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format expects human|json, got {other:?}")),
+                };
+            }
+            "--config" => {
+                let p = it.next().ok_or("--config expects a path")?;
+                args.config_path = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let p = it.next().ok_or("--root expects a directory")?;
+                args.root = PathBuf::from(p);
+            }
+            "--explain" => {
+                let r = it.next().ok_or("--explain expects a rule id, slug, or `list`")?;
+                args.explain = Some(r);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn explain(query: &str) -> i32 {
+    if query == "list" || query == "all" {
+        for r in rules::RULES {
+            println!("{}  {:<22} {}", r.id, r.slug, r.summary);
+        }
+        return 0;
+    }
+    match rules::find_rule(query) {
+        Some(r) => {
+            println!("{} [{}]", r.id, r.slug);
+            println!("  {}", r.summary);
+            println!();
+            println!("  {}", r.rationale);
+            println!();
+            println!("  Waive a single site with `// lint: allow({})` (same line or up", r.slug);
+            println!("  to two lines above), or a whole file under [waivers] in lint.toml.");
+            0
+        }
+        None => {
+            eprintln!("pwlint: unknown rule {query:?}; try `--explain list`");
+            2
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(query) = &args.explain {
+        std::process::exit(explain(query));
+    }
+    if !args.workspace && args.files.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let config_path = args.config_path.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = if config_path.is_file() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("pwlint: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if args.config_path.is_some() {
+        eprintln!("pwlint: config file {} not found", config_path.display());
+        std::process::exit(2);
+    } else {
+        Config::default()
+    };
+
+    let report = if args.workspace {
+        lint_workspace(&args.root, &config)
+    } else {
+        // Normalize explicit paths to workspace-relative form.
+        let rels: Vec<String> = args
+            .files
+            .iter()
+            .map(|f| {
+                let p = PathBuf::from(f);
+                pathweaver_lint::workspace::relative(&p, &args.root)
+                    .unwrap_or_else(|| f.replace('\\', "/"))
+            })
+            .collect();
+        lint_files(&args.root, &config, &rels)
+    };
+
+    let rendered = match args.format {
+        Format::Human => diagnostics::render_human(&report.findings, report.files_scanned),
+        Format::Json => diagnostics::render_json(&report.findings, report.files_scanned),
+    };
+    print!("{rendered}");
+    std::process::exit(i32::from(!report.findings.is_empty()));
+}

@@ -1,0 +1,775 @@
+//! The rule catalogue and the token-pattern checkers.
+//!
+//! Rules are grouped by contract:
+//!
+//! - **D (determinism)** — the PathWeaver counters and search results must be
+//!   bitwise identical across thread counts, SIMD levels, and runs; anything
+//!   that injects wall-clock time, unordered iteration, or thread identity
+//!   into a counted path breaks that.
+//! - **U (unsafe hygiene)** — every `unsafe` surface carries a written
+//!   argument, and raw-pointer tricks stay confined to audited files.
+//! - **A (atomics)** — `Ordering::Relaxed` is only sound with a reason, and
+//!   pointer publication must explain its synchronization.
+//! - **O (observability)** — metric names follow the documented grammar so
+//!   reports diff cleanly across versions.
+
+use crate::config::Config;
+use crate::context::{matching_paren, DeclKind, FileContext};
+use crate::diagnostics::Finding;
+use crate::lexer::{LiteralKind, Spanned, Token};
+use std::path::Path;
+
+/// Static description of one rule, used by `--explain` and the docs.
+pub struct RuleInfo {
+    /// Stable id (`D001`…).
+    pub id: &'static str,
+    /// Waiver slug (`wallclock-time`…).
+    pub slug: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why the rule exists — the contract it protects.
+    pub rationale: &'static str,
+}
+
+/// The full rule catalogue, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        slug: "wallclock-time",
+        summary: "no std::time::Instant / SystemTime outside crates/obs and crates/bench",
+        rationale: "Counted paths must be replayable: the paper's PPE/GS/DGS operation \
+                    counts are the experimental result, and wall-clock reads make a run's \
+                    control flow depend on machine speed. Timing belongs in pathweaver-obs \
+                    (Stopwatch, SpanTimer) or pathweaver-bench, where it is measured but \
+                    never fed back into decisions.",
+    },
+    RuleInfo {
+        id: "D002",
+        slug: "unordered-iter",
+        summary: "no HashMap/HashSet iteration feeding counters, results, or serialized output",
+        rationale: "std's hash collections use a randomized hasher; iterating one and \
+                    folding the items into a counter, result list, or JSON report makes \
+                    output order differ run-to-run. Use BTreeMap/BTreeSet, or sort first \
+                    and waive the site with `// lint: allow(unordered-iter)`.",
+    },
+    RuleInfo {
+        id: "D003",
+        slug: "thread-id",
+        summary: "no thread::current().id()-dependent logic outside the pool internals",
+        rationale: "Thread ids are assigned by the OS in scheduling order; branching on \
+                    them (or keying data by them) couples results to the thread count and \
+                    launch timing. Only the worker pool's own internals may inspect \
+                    thread identity, to index its per-worker slots.",
+    },
+    RuleInfo {
+        id: "D004",
+        slug: "parallel-float-accum",
+        summary: "no float accumulation across parallel_for iterations in counted paths",
+        rationale: "Float addition is not associative: accumulating partial sums in an \
+                    order set by how work was split across threads yields different bits \
+                    at different thread counts. Counted paths must reduce floats in a \
+                    fixed sequential order (or use integer/bit-exact accumulators).",
+    },
+    RuleInfo {
+        id: "U001",
+        slug: "safety-comment",
+        summary: "every unsafe block/fn/impl carries a substantive // SAFETY: comment",
+        rationale: "An unsafe block is a proof obligation discharged by the author; the \
+                    proof must be written down next to the code, or the next refactor \
+                    invalidates it silently. Boilerplate does not count: the comment must \
+                    state which invariant holds and why.",
+    },
+    RuleInfo {
+        id: "U002",
+        slug: "unsafe-config",
+        summary: "unsafe_op_in_unsafe_fn denied workspace-wide via [workspace.lints]",
+        rationale: "Inside an `unsafe fn`, each individual unsafe operation still needs \
+                    its own scoped block and argument. The workspace manifest must deny \
+                    unsafe_op_in_unsafe_fn and every crate must inherit workspace lints, \
+                    so the guarantee survives new crates.",
+    },
+    RuleInfo {
+        id: "U003",
+        slug: "raw-pointer",
+        summary: "no transmute / raw-pointer types or casts outside allowlisted files",
+        rationale: "Raw pointers and transmute erase the borrow checker's guarantees. \
+                    The repo confines them to three audited files (the worker pool's job \
+                    slots, the SIMD kernels, the aligned matrix storage); anywhere else \
+                    they signal a design that should use safe abstractions.",
+    },
+    RuleInfo {
+        id: "A001",
+        slug: "relaxed-comment",
+        summary: "every Ordering::Relaxed on a non-obs atomic needs a justification comment",
+        rationale: "Relaxed gives no happens-before edges. That is fine for obs counters \
+                    (monotonic, read after join) but anywhere else it must be argued: \
+                    what makes the unordered access sound? The comment forces the \
+                    argument to exist and survive review.",
+    },
+    RuleInfo {
+        id: "A002",
+        slug: "relaxed-publish",
+        summary: "fence-free Relaxed publication through pointer atomics is flagged",
+        rationale: "Storing a pointer with Relaxed publishes the pointee without a \
+                    release edge; readers may observe the pointer before the pointee's \
+                    initialization. Sound only when the pointee is immutable 'static data \
+                    — which the adjacent comment must say.",
+    },
+    RuleInfo {
+        id: "O001",
+        slug: "metric-name",
+        summary: "metric names match the documented prefix.segment grammar",
+        rationale: "Reports are diffed and gated across versions; free-form metric names \
+                    fracture that history. Names must be lowercase dotted paths whose \
+                    first segment is a documented namespace (pipeline, ghost, search, \
+                    gpu, bench, build, obs).",
+    },
+];
+
+/// Whether `slug` names a rule (used to validate `lint.toml` entries).
+pub fn is_known_slug(slug: &str) -> bool {
+    RULES.iter().any(|r| r.slug == slug)
+}
+
+/// Looks a rule up by id or slug for `--explain`.
+pub fn find_rule(query: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id.eq_ignore_ascii_case(query) || r.slug == query)
+}
+
+/// Runs every file-level rule over one analyzed file.
+pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d001_wallclock(ctx, &mut out);
+    d002_unordered_iter(ctx, &mut out);
+    d003_thread_id(ctx, &mut out);
+    d004_parallel_float(ctx, &mut out);
+    u001_safety_comment(ctx, &mut out);
+    u003_raw_pointer(ctx, &mut out);
+    a001_relaxed_comment(ctx, &mut out);
+    a002_relaxed_publish(ctx, &mut out);
+    o001_metric_name(ctx, &mut out);
+    out
+}
+
+/// Pushes a finding unless the rule is disabled, allowlisted for this file,
+/// or waived inline at this line.
+fn emit(
+    ctx: &FileContext<'_>,
+    out: &mut Vec<Finding>,
+    id: &'static str,
+    slug: &'static str,
+    line: usize,
+    message: String,
+) {
+    if ctx.config.is_disabled(id, slug)
+        || ctx.config.is_allowed(slug, &ctx.rel)
+        || ctx.has_waiver(line, slug)
+    {
+        return;
+    }
+    out.push(Finding { rule: id, slug, file: ctx.rel.clone(), line, message });
+}
+
+fn ident_at(tokens: &[Spanned], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Token::Ident(n)) => Some(n.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Spanned], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Token::Punct(p)) if *p == c)
+}
+
+/// D001: wall-clock types outside the observability/bench crates.
+fn d001_wallclock(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for t in ctx.tokens() {
+        if let Token::Ident(n) = &t.tok {
+            if (n == "Instant" || n == "SystemTime") && !ctx.in_test(t.line) {
+                emit(
+                    ctx,
+                    out,
+                    "D001",
+                    "wallclock-time",
+                    t.line,
+                    format!(
+                        "`{n}` makes control flow machine-speed dependent; use \
+                         pathweaver_obs::Stopwatch (or move timing into crates/obs / \
+                         crates/bench)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// D002: iteration over identifiers declared as HashMap/HashSet.
+fn d002_unordered_iter(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        // `name.iter()` / `name.keys()` / … where `name: HashMap<..>`.
+        if let Some(name) = ident_at(tokens, i) {
+            if ctx.decls.get(name) == Some(&DeclKind::HashCollection)
+                && punct_at(tokens, i + 1, '.')
+                && ident_at(tokens, i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+                && punct_at(tokens, i + 3, '(')
+                && !ctx.in_test(tokens[i].line)
+            {
+                emit(
+                    ctx,
+                    out,
+                    "D002",
+                    "unordered-iter",
+                    tokens[i].line,
+                    format!(
+                        "iteration over hash collection `{name}` has unspecified order; \
+                         use BTreeMap/BTreeSet or sort and waive with \
+                         `// lint: allow(unordered-iter)`"
+                    ),
+                );
+            }
+            // `for pat in [&][mut] name {` over a hash collection.
+            if name == "for" {
+                let mut j = i + 1;
+                let mut found_in = None;
+                while j < tokens.len() && j < i + 16 {
+                    match &tokens[j].tok {
+                        Token::Ident(n) if n == "in" => {
+                            found_in = Some(j);
+                            break;
+                        }
+                        Token::Punct('{') | Token::Punct(';') => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(in_idx) = found_in {
+                    let mut k = in_idx + 1;
+                    if punct_at(tokens, k, '&') {
+                        k += 1;
+                    }
+                    if ident_at(tokens, k) == Some("mut") {
+                        k += 1;
+                    }
+                    if let Some(iterable) = ident_at(tokens, k) {
+                        if ctx.decls.get(iterable) == Some(&DeclKind::HashCollection)
+                            && punct_at(tokens, k + 1, '{')
+                            && !ctx.in_test(tokens[k].line)
+                        {
+                            emit(
+                                ctx,
+                                out,
+                                "D002",
+                                "unordered-iter",
+                                tokens[k].line,
+                                format!(
+                                    "for-loop over hash collection `{iterable}` has \
+                                     unspecified order; use BTreeMap/BTreeSet or sort and \
+                                     waive with `// lint: allow(unordered-iter)`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// D003: `thread::current().id()` outside the pool internals.
+fn d003_thread_id(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) == Some("current")
+            && punct_at(tokens, i + 1, '(')
+            && punct_at(tokens, i + 2, ')')
+            && punct_at(tokens, i + 3, '.')
+            && ident_at(tokens, i + 4) == Some("id")
+        {
+            let preceded_by_thread = (i >= 1 && ident_at(tokens, i - 1) == Some("thread"))
+                || (i >= 3
+                    && ident_at(tokens, i - 3).is_some_and(|n| n.eq_ignore_ascii_case("thread")));
+            if preceded_by_thread && !ctx.in_test(tokens[i].line) {
+                emit(
+                    ctx,
+                    out,
+                    "D003",
+                    "thread-id",
+                    tokens[i].line,
+                    "thread::current().id() couples behavior to OS scheduling; only the \
+                     worker pool internals may inspect thread identity"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// D004: float accumulation inside `parallel_for` bodies on counted paths.
+fn d004_parallel_float(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.config.is_counted_path(&ctx.rel) {
+        return;
+    }
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        let is_par = matches!(ident_at(tokens, i), Some("parallel_for" | "parallel_for_spawning"));
+        if !is_par || !punct_at(tokens, i + 1, '(') {
+            continue;
+        }
+        let Some(close) = matching_paren(tokens, i + 1) else { continue };
+        for j in (i + 2)..close {
+            if ctx.in_test(tokens[j].line) {
+                continue;
+            }
+            // `name += …` where `name` is float-typed.
+            if let Some(name) = ident_at(tokens, j) {
+                if ctx.decls.get(name) == Some(&DeclKind::Float)
+                    && punct_at(tokens, j + 1, '+')
+                    && punct_at(tokens, j + 2, '=')
+                {
+                    emit(
+                        ctx,
+                        out,
+                        "D004",
+                        "parallel-float-accum",
+                        tokens[j].line,
+                        format!(
+                            "float accumulator `{name}` updated inside a parallel_for \
+                             body; reduction order depends on the thread count — reduce \
+                             sequentially or use a bit-exact accumulator"
+                        ),
+                    );
+                }
+                // `.sum::<f32>()` inside the parallel body.
+                if name == "sum"
+                    && punct_at(tokens, j + 1, ':')
+                    && punct_at(tokens, j + 2, ':')
+                    && punct_at(tokens, j + 3, '<')
+                    && matches!(ident_at(tokens, j + 4), Some("f32" | "f64"))
+                {
+                    emit(
+                        ctx,
+                        out,
+                        "D004",
+                        "parallel-float-accum",
+                        tokens[j].line,
+                        "float .sum() inside a parallel_for body; reduction order must \
+                         not depend on work splitting"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// U001: SAFETY comments on unsafe blocks/fns/impls.
+fn u001_safety_comment(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) != Some("unsafe") {
+            continue;
+        }
+        let construct = match tokens.get(i + 1).map(|t| &t.tok) {
+            Some(Token::Punct('{')) => "unsafe block",
+            Some(Token::Ident(n)) if n == "fn" => "unsafe fn",
+            Some(Token::Ident(n)) if n == "impl" => "unsafe impl",
+            Some(Token::Ident(n)) if n == "trait" => "unsafe trait",
+            Some(Token::Ident(n)) if n == "extern" => "unsafe extern block",
+            _ => continue,
+        };
+        let line = tokens[i].line;
+        match ctx.safety_comment(line) {
+            None => emit(
+                ctx,
+                out,
+                "U001",
+                "safety-comment",
+                line,
+                format!(
+                    "{construct} without a `// SAFETY:` comment; write the argument for \
+                     why the invariants hold at this site"
+                ),
+            ),
+            Some(text) => {
+                let substance = text.chars().filter(|c| c.is_alphabetic()).count();
+                if substance < 10 {
+                    emit(
+                        ctx,
+                        out,
+                        "U001",
+                        "safety-comment",
+                        line,
+                        format!(
+                            "{construct} has a SAFETY comment with no argument; state \
+                             which invariant holds and why"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// U003: transmute / raw-pointer types and casts outside allowlisted files.
+fn u003_raw_pointer(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if let Some(name) = ident_at(tokens, i) {
+            if matches!(name, "transmute" | "from_raw_parts" | "from_raw_parts_mut")
+                && punct_at(tokens, i + 1, '(')
+            {
+                emit(
+                    ctx,
+                    out,
+                    "U003",
+                    "raw-pointer",
+                    tokens[i].line,
+                    format!(
+                        "`{name}` outside the allowlisted unsafe files; keep raw-pointer \
+                         constructions confined to audited modules"
+                    ),
+                );
+            }
+        }
+        // `*const T` / `*mut T` pointer types and casts.
+        if punct_at(tokens, i, '*') && matches!(ident_at(tokens, i + 1), Some("const" | "mut")) {
+            emit(
+                ctx,
+                out,
+                "U003",
+                "raw-pointer",
+                tokens[i].line,
+                "raw pointer type outside the allowlisted unsafe files; use references \
+                 or the audited wrappers in pathweaver-util/pathweaver-vector"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// A001: `Ordering::Relaxed` without a nearby justification comment.
+fn a001_relaxed_comment(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for t in ctx.tokens() {
+        if let Token::Ident(n) = &t.tok {
+            if n == "Relaxed" && !ctx.in_test(t.line) && !ctx.has_comment_near(t.line, 3) {
+                emit(
+                    ctx,
+                    out,
+                    "A001",
+                    "relaxed-comment",
+                    t.line,
+                    "Ordering::Relaxed without a justification comment; state why the \
+                     access needs no happens-before edge"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// A002: Relaxed stores through `AtomicPtr` (fence-free publication).
+fn a002_relaxed_publish(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        let Some(name) = ident_at(tokens, i) else { continue };
+        if ctx.decls.get(name) != Some(&DeclKind::AtomicPtr)
+            || !punct_at(tokens, i + 1, '.')
+            || ident_at(tokens, i + 2) != Some("store")
+            || !punct_at(tokens, i + 3, '(')
+        {
+            continue;
+        }
+        let Some(close) = matching_paren(tokens, i + 3) else { continue };
+        let relaxed = (i + 4..close).any(|j| ident_at(tokens, j) == Some("Relaxed"));
+        if relaxed && !ctx.in_test(tokens[i].line) && !ctx.has_comment_near(tokens[i].line, 4) {
+            emit(
+                ctx,
+                out,
+                "A002",
+                "relaxed-publish",
+                tokens[i].line,
+                format!(
+                    "Relaxed store through AtomicPtr `{name}` publishes a pointee with \
+                     no release edge; justify (immutable 'static pointee) or use \
+                     Release/Acquire"
+                ),
+            );
+        }
+    }
+}
+
+/// O001: metric-name grammar at registration call sites.
+fn o001_metric_name(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        let Some(fn_name) = ident_at(tokens, i) else { continue };
+        if !matches!(fn_name, "counter" | "gauge" | "histogram") || !punct_at(tokens, i + 1, '(') {
+            continue;
+        }
+        // Skip definitions (`fn counter(...)`) — only call sites carry names.
+        if i >= 1 && ident_at(tokens, i - 1) == Some("fn") {
+            continue;
+        }
+        let Some(Token::Literal(LiteralKind::Str(name))) = tokens.get(i + 2).map(|t| &t.tok) else {
+            continue; // dynamic names (format!) are checked at review time
+        };
+        if ctx.in_test(tokens[i].line) {
+            continue;
+        }
+        if !metric_name_ok(name, &ctx.config.metric_prefixes) {
+            let prefixes = ctx.config.metric_prefixes.join(", ");
+            emit(
+                ctx,
+                out,
+                "O001",
+                "metric-name",
+                tokens[i].line,
+                format!(
+                    "metric name {name:?} violates the naming grammar: expected \
+                     `<prefix>.<segment>[.<segment>…]` with lowercase [a-z0-9_] segments \
+                     and prefix one of [{prefixes}]"
+                ),
+            );
+        }
+    }
+}
+
+/// Validates `prefix.segment[.segment…]` with lowercase segments.
+fn metric_name_ok(name: &str, prefixes: &[String]) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    if segments.len() < 2 {
+        return false;
+    }
+    if !prefixes.iter().any(|p| p == segments[0]) {
+        return false;
+    }
+    segments.iter().all(|seg| {
+        !seg.is_empty()
+            && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// U002: manifest-level checks — the workspace must deny
+/// `unsafe_op_in_unsafe_fn` and every crate must inherit workspace lints.
+pub fn check_manifests(root: &Path, config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if config.is_disabled("U002", "unsafe-config") {
+        return out;
+    }
+    let ws_manifest = root.join("Cargo.toml");
+    match std::fs::read_to_string(&ws_manifest) {
+        Ok(text) => {
+            let denies = text.lines().any(|l| {
+                let l = l.trim();
+                l.starts_with("unsafe_op_in_unsafe_fn") && l.contains("deny")
+            });
+            if !denies {
+                out.push(Finding {
+                    rule: "U002",
+                    slug: "unsafe-config",
+                    file: "Cargo.toml".into(),
+                    line: 1,
+                    message: "workspace manifest must deny unsafe_op_in_unsafe_fn under \
+                              [workspace.lints.rust]"
+                        .to_string(),
+                });
+            }
+        }
+        Err(e) => out.push(Finding {
+            rule: "U002",
+            slug: "unsafe-config",
+            file: "Cargo.toml".into(),
+            line: 0,
+            message: format!("cannot read workspace manifest: {e}"),
+        }),
+    }
+    // Every crate manifest must opt into the workspace lint table.
+    let crates_dir = root.join("crates");
+    let mut members: Vec<std::path::PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    members.sort();
+    for member in members {
+        let manifest = member.join("Cargo.toml");
+        let rel = format!(
+            "crates/{}/Cargo.toml",
+            member.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+        );
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        match std::fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let mut in_lints = false;
+                let mut inherits = false;
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.starts_with('[') {
+                        in_lints = line == "[lints]";
+                    } else if in_lints && line.replace(' ', "") == "workspace=true" {
+                        inherits = true;
+                    }
+                }
+                if !inherits {
+                    out.push(Finding {
+                        rule: "U002",
+                        slug: "unsafe-config",
+                        file: rel,
+                        line: 1,
+                        message: "crate manifest must contain `[lints] workspace = true` \
+                                  to inherit the workspace lint table"
+                            .to_string(),
+                    });
+                }
+            }
+            Err(e) => out.push(Finding {
+                rule: "U002",
+                slug: "unsafe-config",
+                file: rel,
+                line: 0,
+                message: format!("cannot read crate manifest: {e}"),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let config = Config::default();
+        let ctx = FileContext::new("crates/search/src/x.rs", src, &config);
+        check_file(&ctx)
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        findings(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn catalogue_is_consistent() {
+        assert_eq!(RULES.len(), 10);
+        assert!(is_known_slug("unordered-iter"));
+        assert!(!is_known_slug("no-such-rule"));
+        assert_eq!(find_rule("d002").unwrap().slug, "unordered-iter");
+        assert_eq!(find_rule("safety-comment").unwrap().id, "U001");
+    }
+
+    #[test]
+    fn d001_fires_on_instant() {
+        assert!(rules_of("use std::time::Instant;\n").contains(&"D001"));
+        // …but not inside test modules.
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+        assert!(!rules_of(src).contains(&"D001"));
+    }
+
+    #[test]
+    fn d002_fires_on_hash_iteration_only() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\nfor x in m {}\n";
+        assert!(rules_of(src).contains(&"D002"));
+        let ok = "let m: BTreeMap<u32, u32> = BTreeMap::new();\nfor x in m {}\n";
+        assert!(!rules_of(ok).contains(&"D002"));
+        // Membership tests (no iteration) are fine.
+        let member = "let s: HashSet<u32> = HashSet::new();\nif s.contains(&3) {}\n";
+        assert!(!rules_of(member).contains(&"D002"));
+    }
+
+    #[test]
+    fn d002_waiver_suppresses() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\n\
+                   // lint: allow(unordered-iter)\n\
+                   for x in m {}\n";
+        assert!(!rules_of(src).contains(&"D002"));
+    }
+
+    #[test]
+    fn u001_requires_substantive_comment() {
+        assert!(rules_of("fn f() { unsafe { g() } }\n").contains(&"U001"));
+        let boiler = "// SAFETY: ok\nfn f() { unsafe { g() } }\n";
+        assert!(rules_of(boiler).contains(&"U001"));
+        let good = "fn f() {\n    // SAFETY: g is sound here because the buffer was \
+                    allocated above with the required alignment.\n    unsafe { g() }\n}\n";
+        assert!(!rules_of(good).contains(&"U001"));
+    }
+
+    #[test]
+    fn u003_flags_raw_pointers_outside_allowlist() {
+        assert!(rules_of("let p: *const u8 = x.as_ptr();\n").contains(&"U003"));
+        assert!(rules_of("let v = transmute(x);\n").contains(&"U003"));
+        let config = Config::parse("[allow.raw-pointer]\nfiles = [\"crates/search/\"]\n").unwrap();
+        let ctx =
+            FileContext::new("crates/search/src/x.rs", "let p: *const u8 = x.as_ptr();", &config);
+        assert!(check_file(&ctx).is_empty());
+    }
+
+    #[test]
+    fn a001_requires_comment() {
+        assert!(rules_of("c.load(Ordering::Relaxed);\n").contains(&"A001"));
+        let good = "// monotonic counter, read only after the pool joins\n\
+                    c.load(Ordering::Relaxed);\n";
+        assert!(!rules_of(good).contains(&"A001"));
+    }
+
+    #[test]
+    fn a002_flags_uncommented_ptr_publication() {
+        let src = "static P: AtomicPtr<K> = AtomicPtr::new(null_mut());\n\n\n\n\n\n\
+                   fn f() { P.store(p, Ordering::Relaxed); }\n";
+        let r = rules_of(src);
+        assert!(r.contains(&"A002"), "{r:?}");
+    }
+
+    #[test]
+    fn o001_validates_metric_grammar() {
+        assert!(rules_of("r.counter(\"SearchQueries\").inc();\n").contains(&"O001"));
+        assert!(rules_of("r.counter(\"queries\").inc();\n").contains(&"O001"));
+        assert!(rules_of("r.counter(\"rogue.queries\").inc();\n").contains(&"O001"));
+        assert!(!rules_of("r.counter(\"search.queries\").inc();\n").contains(&"O001"));
+        assert!(
+            !rules_of("r.histogram(\"pipeline.stage0.wall_ns\").record(1);\n").contains(&"O001")
+        );
+    }
+
+    #[test]
+    fn d004_flags_parallel_float_accumulation() {
+        let src = "let total: f32 = 0.0;\nparallel_for(n, |i| {\n    total += x[i];\n});\n";
+        assert!(rules_of(src).contains(&"D004"));
+        let seq = "let total: f32 = 0.0;\nfor i in 0..n { total += x[i]; }\n";
+        assert!(!rules_of(seq).contains(&"D004"));
+    }
+
+    #[test]
+    fn d003_flags_thread_id() {
+        assert!(rules_of("let id = std::thread::current().id();\n").contains(&"D003"));
+    }
+
+    #[test]
+    fn metric_grammar_details() {
+        let p = vec!["search".to_string()];
+        assert!(metric_name_ok("search.queries", &p));
+        assert!(metric_name_ok("search.dgs.skip_rate", &p));
+        assert!(!metric_name_ok("search", &p));
+        assert!(!metric_name_ok("search.Queries", &p));
+        assert!(!metric_name_ok("search..x", &p));
+        assert!(!metric_name_ok("ghost.queries", &p));
+    }
+}

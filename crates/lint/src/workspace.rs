@@ -1,0 +1,65 @@
+//! Workspace file discovery.
+
+use crate::config::Config;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under the configured scan roots, returning
+/// workspace-relative `/`-separated paths in sorted (deterministic) order.
+pub fn collect_files(root: &Path, config: &Config) -> Vec<String> {
+    let mut out = Vec::new();
+    for scan_root in &config.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, root, config, &mut out);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, config: &Config, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let Some(rel) = relative(&path, root) else { continue };
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, config, out);
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(path: &Path, root: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    Some(s.join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_sorted_rs_files_honoring_excludes() {
+        let base = std::env::temp_dir().join(format!("pwlint-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(base.join("crates/a/src")).unwrap();
+        std::fs::create_dir_all(base.join("vendor/x")).unwrap();
+        std::fs::write(base.join("crates/a/src/lib.rs"), "fn a() {}").unwrap();
+        std::fs::write(base.join("crates/a/src/zz.rs"), "fn z() {}").unwrap();
+        std::fs::write(base.join("crates/a/src/notes.txt"), "not rust").unwrap();
+        std::fs::write(base.join("vendor/x/lib.rs"), "fn v() {}").unwrap();
+        let config = Config::default();
+        let files = collect_files(&base, &config);
+        assert_eq!(files, vec!["crates/a/src/lib.rs", "crates/a/src/zz.rs"]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

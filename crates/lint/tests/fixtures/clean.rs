@@ -1,0 +1,36 @@
+//! Fixture: idiomatic, invariant-respecting code. Zero findings expected.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn ordered() -> u64 {
+    let m: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+/// # Safety
+///
+/// Callers must guarantee `p` points to a live, properly aligned `u32`.
+pub unsafe fn deref(p: &u32) -> u32 {
+    // SAFETY: the caller contract above guarantees `p` is valid for reads
+    // for the lifetime of this call, so the copy cannot fault.
+    unsafe { std::ptr::read(p) }
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn request_stop() {
+    // Relaxed: best-effort cancellation flag — readers only ever observe it
+    // to exit early, never to synchronize data.
+    STOP.store(true, Ordering::Relaxed);
+}
+
+pub fn good_metric_names(reg: &Registry) {
+    reg.counter("pipeline.stage0.batches_total");
+    reg.gauge("gpu.mem.resident_bytes");
+    reg.histogram("search.query.wall_ns");
+}

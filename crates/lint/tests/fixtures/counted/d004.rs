@@ -1,0 +1,17 @@
+//! Fixture: float reductions inside parallel bodies (counted-path only).
+
+pub fn reduce(xs: &[f32]) -> f32 {
+    let mut total: f32 = 0.0;
+    parallel_for(xs.len(), |i| {
+        total += xs[i];
+    });
+    total
+}
+
+pub fn reduce_sum(xs: &[f32]) -> f32 {
+    let mut acc: f32 = 0.0;
+    parallel_for_spawning(xs.len(), |_i| {
+        acc = xs.iter().map(|x| x * x).sum::<f32>();
+    });
+    acc
+}

@@ -1,0 +1,62 @@
+//! Fixture: one violation per token rule, at known line numbers.
+//! Never compiled — scanned by `tests/fixtures_test.rs`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+pub fn wallclock() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn unordered() -> u64 {
+    let m: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0u64;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+pub unsafe fn missing_safety_fn() {}
+
+pub fn missing_safety_block() {
+    unsafe { missing_safety_fn() }
+}
+
+pub fn vague_safety_block() {
+    // SAFETY: ok
+    unsafe { missing_safety_fn() }
+}
+
+pub fn reinterpret(x: u32) -> f32 {
+    // SAFETY: u32 and f32 have the same size and any bit pattern is a
+    // valid f32, so the reinterpretation cannot produce invalid values.
+    unsafe { std::mem::transmute(x) }
+}
+
+pub fn pointer_type(x: &u32) -> *const u32 {
+    x as *const u32
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn relaxed_no_comment() {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+static PUBLISHED: AtomicPtr<u32> = AtomicPtr::new(std::ptr::null_mut());
+
+pub fn relaxed_publish() {
+    PUBLISHED.store(std::ptr::null_mut(), Ordering::Relaxed);
+}
+
+pub fn bad_metric_names(reg: &Registry) {
+    reg.counter("BadName");
+    reg.gauge("unknown.prefix_metric");
+    reg.histogram("pipeline.stage0.wall_ns");
+}

@@ -1,0 +1,51 @@
+//! Fixture: the same patterns as `violations.rs`, every site waived inline.
+//! A scan of this file must produce zero findings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+pub fn wallclock() -> f64 {
+    // lint: allow(wallclock-time)
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn unordered() -> u64 {
+    let m: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0u64;
+    // lint: allow(unordered-iter)
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) // lint: allow(thread-id)
+}
+
+pub unsafe fn missing_safety_fn() {} // lint: allow(safety-comment)
+
+pub fn reinterpret(x: u32) -> f32 {
+    // SAFETY: u32 and f32 have the same size and any bit pattern is a
+    // valid f32, so the reinterpretation cannot produce invalid values.
+    unsafe { std::mem::transmute(x) } // lint: allow(raw-pointer)
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn relaxed_no_comment() {
+    STOP.store(true, Ordering::Relaxed); // lint: allow(relaxed-comment)
+}
+
+static PUBLISHED: AtomicPtr<u32> = AtomicPtr::new(std::ptr::null_mut());
+
+pub fn relaxed_publish() {
+    // lint: allow(relaxed-comment)
+    // lint: allow(relaxed-publish)
+    PUBLISHED.store(std::ptr::null_mut(), Ordering::Relaxed);
+}
+
+pub fn bad_metric_names(reg: &Registry) {
+    reg.counter("BadName"); // lint: allow(metric-name)
+}

@@ -1,0 +1,103 @@
+//! End-to-end fixture tests: scan known-bad, waived, and clean sources and
+//! assert the exact (rule, line) findings.
+//!
+//! The fixtures directory itself is the lint root so that workspace-relative
+//! paths carry no `tests/` segment (which would mark them as test context and
+//! suppress the determinism/atomics rules).
+
+use std::path::Path;
+
+use pathweaver_lint::config::Config;
+use pathweaver_lint::lint_files;
+
+fn fixtures_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+}
+
+fn scan(rels: &[&str]) -> Vec<(&'static str, usize)> {
+    let mut config = Config::default();
+    // The d004 fixture lives under `counted/`; everything else keeps the
+    // default behaviour.
+    config.counted_paths.push("counted/".into());
+    let report = lint_files(
+        fixtures_root(),
+        &config,
+        &rels.iter().map(|r| (*r).to_string()).collect::<Vec<_>>(),
+    );
+    let mut got: Vec<(&'static str, usize)> =
+        report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_unstable();
+    got
+}
+
+#[test]
+fn violations_fixture_reports_exact_rules_and_lines() {
+    let got = scan(&["violations.rs"]);
+    let expected = vec![
+        ("A001", 49),
+        ("A001", 55),
+        ("A002", 55),
+        ("D001", 8),
+        ("D002", 15),
+        ("D003", 22),
+        ("O001", 59),
+        ("O001", 60),
+        ("U001", 25),
+        ("U001", 28),
+        ("U001", 33),
+        ("U003", 39),
+        ("U003", 42),
+        ("U003", 43),
+    ];
+    assert_eq!(got, expected, "violations.rs finding set drifted");
+}
+
+#[test]
+fn counted_path_fixture_trips_d004() {
+    let got = scan(&["counted/d004.rs"]);
+    assert_eq!(got, vec![("D004", 6), ("D004", 14)], "counted/d004.rs finding set drifted");
+}
+
+#[test]
+fn d004_is_scoped_to_counted_paths() {
+    // Same file scanned under a rel path that is NOT a counted path: the
+    // float-accumulation rule must stay silent.
+    let config = Config::default();
+    let report = lint_files(fixtures_root(), &config, &["counted/d004.rs".to_string()]);
+    assert!(report.findings.is_empty(), "D004 fired outside counted paths: {:?}", report.findings);
+}
+
+#[test]
+fn inline_waivers_suppress_every_rule() {
+    let got = scan(&["waived.rs"]);
+    assert!(got.is_empty(), "waived.rs should scan clean, got {got:?}");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let got = scan(&["clean.rs"]);
+    assert!(got.is_empty(), "clean.rs should scan clean, got {got:?}");
+}
+
+#[test]
+fn per_file_config_waiver_suppresses() {
+    let mut config = Config::default();
+    config.waivers.insert("violations.rs".to_string(), vec!["wallclock-time".to_string()]);
+    let report = lint_files(fixtures_root(), &config, &["violations.rs".to_string()]);
+    assert!(
+        report.findings.iter().all(|f| f.rule != "D001"),
+        "file-level waiver failed to suppress D001"
+    );
+    assert!(
+        report.findings.iter().any(|f| f.rule == "D002"),
+        "file-level waiver over-suppressed other rules"
+    );
+}
+
+#[test]
+fn unreadable_file_reports_io_error() {
+    let config = Config::default();
+    let report = lint_files(fixtures_root(), &config, &["does_not_exist.rs".to_string()]);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "E000");
+}

@@ -28,14 +28,18 @@
 //! environment on first query: `PATHWEAVER_OBS=1` enables metrics,
 //! `PATHWEAVER_TRACE=1` enables both metrics and trace collection.
 
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod stopwatch;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use span::SpanTimer;
+pub use stopwatch::Stopwatch;
 pub use trace::TraceEvent;
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -1,0 +1,76 @@
+//! Unconditional wall-clock measurement.
+//!
+//! [`SpanTimer`](crate::span::SpanTimer) is gated on the obs flags and inert
+//! while they are off — correct for instrumentation, wrong for code that must
+//! always report elapsed time (build reports, CLI summaries). [`Stopwatch`]
+//! is the sanctioned home for that: the rest of the workspace is barred from
+//! `std::time::Instant` by pwlint's D001 rule, so every wall-clock read
+//! funnels through here, where it is *measured and reported* but never fed
+//! back into control flow. Keeping the type in `crates/obs` keeps that
+//! contract auditable in one place.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+///
+/// ```
+/// let sw = pathweaver_obs::Stopwatch::start();
+/// let _elapsed = sw.elapsed_secs();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`start`](Self::start), as `f64`.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed since [`start`](Self::start), as `f64`.
+    #[must_use]
+    pub fn elapsed_millis(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start), saturating at
+    /// `u64::MAX` (~584 years).
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.elapsed_millis() >= 0.0);
+    }
+
+    #[test]
+    fn copies_share_the_start_instant() {
+        let sw = Stopwatch::start();
+        let copy = sw;
+        // A copy measures from the same start, so a strictly later read
+        // through the copy can never be smaller.
+        let first = sw.elapsed_nanos();
+        let later = copy.elapsed_nanos();
+        assert!(later >= first);
+    }
+}

@@ -112,14 +112,14 @@ pub fn search_query(
     match entry {
         EntryPolicy::Random { count } => {
             for _ in 0..(*count).max(1) {
-                init_ids.push(rng.gen_range(0..n) as u32);
+                init_ids.push(u32::try_from(rng.gen_range(0..n)).expect("node id fits u32"));
                 counters.rng_ops += 1;
             }
         }
         EntryPolicy::Seeded { seeds, extra_random } => {
             init_ids.extend(seeds.iter().copied().filter(|&s| (s as usize) < n));
             for _ in 0..*extra_random {
-                init_ids.push(rng.gen_range(0..n) as u32);
+                init_ids.push(u32::try_from(rng.gen_range(0..n)).expect("node id fits u32"));
                 counters.rng_ops += 1;
             }
             assert!(!init_ids.is_empty(), "seeded entry produced no valid candidates");
@@ -164,9 +164,11 @@ pub fn search_query(
                 } else if d.threshold_mode {
                     // §6.3 variant: the keep_ratio doubles as the matching-
                     // bit fraction required of a surviving neighbor.
-                    NeighborFilter::Threshold {
-                        min_matches: (d.keep_ratio * dim as f64).round() as u32,
-                    }
+                    // `keep_ratio` is validated to [0, 1], so the product is
+                    // bounded by `dim`, which fits u32.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let min_matches = (d.keep_ratio * dim as f64).round() as u32;
+                    NeighborFilter::Threshold { min_matches }
                 } else {
                     NeighborFilter::Direction { keep }
                 }
@@ -213,7 +215,11 @@ pub fn search_query(
                         // Only the top-n mode pays a min-sort over the
                         // `degree` match counts; threshold mode is a linear
                         // scan already covered by the per-compare cost.
-                        counters.sort_ops += (degree as f64).log2().ceil() as u64 * degree as u64;
+                        // `ceil(log2(degree))` of a graph degree is tiny, so
+                        // the f64-to-u64 cast cannot truncate.
+                        #[allow(clippy::cast_possible_truncation)]
+                        let cmp_rounds = (degree as f64).log2().ceil() as u64;
+                        counters.sort_ops += cmp_rounds * degree as u64;
                     }
                     select_neighbors_into(
                         filter,
@@ -388,7 +394,7 @@ mod tests {
         for i in 0..set.len() {
             let d = l2_squared(set.row(i), q);
             if d < best.0 {
-                best = (d, i as u32);
+                best = (d, u32::try_from(i).expect("test set fits u32"));
             }
         }
         best.1

@@ -20,6 +20,9 @@
 //! - [`stats`]: per-query and batch statistics (iterations, visits,
 //!   discarded visits — Table 1, Fig 3, Fig 13).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::cast_possible_truncation)]
+
 pub mod dgs;
 pub mod hash;
 pub mod kernel;

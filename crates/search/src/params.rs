@@ -92,6 +92,9 @@ impl SearchParams {
     /// First iteration index (0-based) at which the DGS cool-down starts;
     /// `max_iterations` when DGS is disabled (never cools down because it
     /// never filters).
+    // `cooldown_ratio` is validated to [0, 1], so the product is bounded by
+    // `max_iterations` and the cast back to usize cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn cooldown_start(&self) -> usize {
         match self.dgs {
             None => self.max_iterations,
@@ -101,6 +104,9 @@ impl SearchParams {
 
     /// Number of neighbors kept per adjacency row of `degree` under DGS; at
     /// least 1.
+    // `keep_ratio` is validated to [0, 1], so the product is bounded by
+    // `degree` and the cast back to usize cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn kept_neighbors(&self, degree: usize) -> usize {
         match self.dgs {
             None => degree,

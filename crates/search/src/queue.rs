@@ -89,7 +89,11 @@ impl PriorityBuffer {
         if self.slots.iter().any(|s| s.id == id) {
             return None;
         }
-        self.sort_steps += (self.capacity.max(2) as f64).log2().ceil() as u64;
+        // `ceil(log2(capacity))` of a queue capacity is tiny, so the
+        // f64-to-u64 cast cannot truncate.
+        #[allow(clippy::cast_possible_truncation)]
+        let steps = (self.capacity.max(2) as f64).log2().ceil() as u64;
+        self.sort_steps += steps;
         let pos = self.slots.partition_point(|s| s.dist <= dist);
         self.slots.insert(pos, Slot { dist, id, expanded: false });
         if self.slots.len() > self.capacity {

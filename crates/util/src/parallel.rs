@@ -118,6 +118,9 @@ impl Job {
             let end = (start + self.block).min(self.len);
             for i in start..end {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
+                    // Relaxed: `abandoned` is a best-effort stop flag — late
+                    // readers just claim one extra block; the panic payload
+                    // itself is published through the `panic` mutex.
                     self.abandoned.store(true, Ordering::Relaxed);
                     return Some(payload);
                 }
@@ -256,8 +259,11 @@ where
     // SAFETY: erasing the borrow's lifetime is sound because this function
     // blocks until `outstanding == 0`, i.e. until no worker can still hold
     // a reference to the job or the closure.
-    let body_ptr: *const (dyn Fn(usize) + Sync + 'static) =
-        unsafe { std::mem::transmute(body_ref) };
+    let body_ptr = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+            body_ref,
+        )
+    };
     let job = Job {
         cursor: AtomicUsize::new(0),
         len,
@@ -386,6 +392,8 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
+                // Relaxed: the cursor is a pure work-claim ticket; the
+                // scope's join provides the end-of-job synchronization.
                 let start = cursor.fetch_add(block, Ordering::Relaxed);
                 if start >= len {
                     break;

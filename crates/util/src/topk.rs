@@ -124,7 +124,10 @@ impl TopK {
 /// This is the host-side reduction of paper §3.1.2: each GPU contributes its
 /// local top-k and the CPU selects the final top-k.
 pub fn merge_topk(lists: &[Vec<(f32, u64)>], k: usize) -> Vec<(f32, u64)> {
-    let mut best: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: ties between equal keys resolve by payload-id
+    // insertion order below, so the dedup map must iterate deterministically
+    // for the merged top-k to be identical across runs (pwlint D002).
+    let mut best: std::collections::BTreeMap<u64, f32> = std::collections::BTreeMap::new();
     for list in lists {
         for &(key, payload) in list {
             best.entry(payload)

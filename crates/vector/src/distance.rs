@@ -166,7 +166,7 @@ mod tests {
         let set = VectorSet::from_fn(23, 37, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.37 - 2.0);
         let q: Vec<f32> = (0..37).map(|i| (i as f32 * 0.61).sin()).collect();
         for n in [0usize, 1, 3, 4, 5, 8, 11, 23] {
-            let rows: Vec<u32> = (0..n).map(|i| ((i * 5) % 23) as u32).collect();
+            let rows: Vec<u32> = (0..n).map(|i| u32::try_from((i * 5) % 23).unwrap()).collect();
             let mut out = vec![0.0f32; n];
             batch_l2_squared(&set, &rows, &q, &mut out);
             for (i, &r) in rows.iter().enumerate() {

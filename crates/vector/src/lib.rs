@@ -21,6 +21,8 @@
 //! - [`quantize`]: symmetric scalar `i8` quantization (extension feature for
 //!   memory-footprint experiments).
 
+#![deny(clippy::cast_possible_truncation)]
+
 pub mod distance;
 pub mod matrix;
 pub mod metric;

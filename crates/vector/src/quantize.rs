@@ -23,6 +23,9 @@ impl QuantizedSet {
     ///
     /// An all-zero set quantizes with scale 1. Works on either storage mode
     /// (rows are iterated logically, so aligned padding never quantizes).
+    // The clamp to ±127.0 bounds the rounded value to i8 range, so the
+    // float-to-i8 cast cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn quantize(set: &VectorSet) -> Self {
         let max = set.iter().flatten().fold(0.0f32, |m, &x| m.max(x.abs()));
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };

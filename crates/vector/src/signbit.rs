@@ -45,7 +45,7 @@ pub fn hamming_matches(a: &[u32], b: &[u32], dim: usize) -> u32 {
     for (x, y) in a.iter().zip(b) {
         mismatches += (x ^ y).count_ones();
     }
-    dim as u32 - mismatches
+    u32::try_from(dim).expect("dimension fits in u32") - mismatches
 }
 
 /// A reusable buffer holding one packed sign code.
@@ -176,9 +176,10 @@ mod proptests {
             sign_code(&from, &a, &mut ca);
             sign_code(&from, &b, &mut cb);
             let m = hamming_matches(&ca, &cb, dim);
-            prop_assert!(m <= dim as u32);
+            let dim32 = u32::try_from(dim).unwrap();
+            prop_assert!(m <= dim32);
             // Self-match is always exactly dim.
-            prop_assert_eq!(hamming_matches(&ca, &ca, dim), dim as u32);
+            prop_assert_eq!(hamming_matches(&ca, &ca, dim), dim32);
         }
 
         #[test]

@@ -92,6 +92,12 @@ impl SimdLevel {
 
     /// Whether this host can execute the level.
     pub fn is_supported(self) -> bool {
+        // Under Miri only the scalar path runs: vendor intrinsics are not
+        // interpretable, and bitwise identity means scalar covers the
+        // semantics of every level.
+        if cfg!(miri) {
+            return matches!(self, SimdLevel::Scalar);
+        }
         match self {
             SimdLevel::Scalar => true,
             #[cfg(target_arch = "x86_64")]
@@ -110,6 +116,9 @@ impl SimdLevel {
 
     /// The strongest level this host supports.
     pub fn detect() -> Self {
+        if cfg!(miri) {
+            return SimdLevel::Scalar;
+        }
         #[cfg(target_arch = "x86_64")]
         {
             if SimdLevel::Avx2.is_supported() {
@@ -317,6 +326,10 @@ static ACTIVE: AtomicPtr<Kernels> = AtomicPtr::new(std::ptr::null_mut());
 /// Returns the dispatched kernel table (detecting once on first use).
 #[inline]
 pub fn active_kernels() -> &'static Kernels {
+    // Relaxed is sufficient: the pointer is either null or one of the
+    // immutable `'static` tables above, fully initialized at compile time,
+    // so no reader can observe a partially-built pointee and no
+    // happens-before edge is needed (pwlint A001/A002).
     let p = ACTIVE.load(Ordering::Relaxed);
     if p.is_null() {
         init_active()
@@ -358,7 +371,10 @@ fn init_active() -> &'static Kernels {
         Err(_) => SimdLevel::detect(),
     };
     let k = kernels_for(level).expect("supported level always has a kernel table");
-    ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Relaxed);
+    // Relaxed publish is sound: the pointee is an immutable `'static` table
+    // initialized at compile time, so there is nothing for a release fence
+    // to order. Racing initializers store the same deterministic choice.
+    ACTIVE.store(std::ptr::from_ref(k).cast_mut(), Ordering::Relaxed);
     k
 }
 
@@ -371,7 +387,9 @@ fn init_active() -> &'static Kernels {
 pub fn set_simd_level(level: SimdLevel) -> bool {
     match kernels_for(level) {
         Some(k) => {
-            ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Relaxed);
+            // Relaxed: same immutable-'static-pointee argument as the
+            // initial publish in `init_active`.
+            ACTIVE.store(std::ptr::from_ref(k).cast_mut(), Ordering::Relaxed);
             true
         }
         None => false,
@@ -532,52 +550,76 @@ mod x86 {
 
     // --- safe entry points (installed in the dispatch tables) ---
     //
-    // SAFETY of all entries: SSE2 is part of the x86_64 baseline, and the
-    // AVX2 table is only reachable through `kernels_for`, which returns it
-    // exclusively after `is_x86_feature_detected!("avx2") && ("fma")`.
+    // The kernels are safe `#[target_feature]` fns; only the call across the
+    // feature boundary is unsafe (the entries must remain plain `fn`s so the
+    // dispatch tables can hold them as function pointers), and each call
+    // site carries the feature-availability argument.
 
     pub(super) fn l2_squared_sse2_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI — every CPU this
+        // module compiles for executes it.
         unsafe { l2_squared_sse2(a, b) }
     }
     pub(super) fn dot_sse2_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
         unsafe { dot_sse2(a, b) }
     }
     pub(super) fn l2_squared_x4_sse2_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
         unsafe { l2_squared_x4_sse2(r, q) }
     }
     pub(super) fn sign_code_sse2_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
         unsafe { sign_code_sse2(f, t, out) }
     }
     pub(super) fn l2_squared_avx2_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: the AVX2 table is only installed by `kernels_for` after
+        // `is_x86_feature_detected!("avx2") && ("fma")` reported support, so
+        // the required features are present whenever this entry is reachable.
         unsafe { l2_squared_avx2(a, b) }
     }
     pub(super) fn dot_avx2_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: reachable only through the AVX2 table, which `kernels_for`
+        // installs exclusively after runtime detection of avx2+fma.
         unsafe { dot_avx2(a, b) }
     }
     pub(super) fn l2_squared_x4_avx2_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        // SAFETY: reachable only through the AVX2 table, which `kernels_for`
+        // installs exclusively after runtime detection of avx2+fma.
         unsafe { l2_squared_x4_avx2(r, q) }
     }
     pub(super) fn sign_code_avx2_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        // SAFETY: reachable only through the AVX2 table, which `kernels_for`
+        // installs exclusively after runtime detection of avx2+fma.
         unsafe { sign_code_avx2(f, t, out) }
     }
 
     /// Sums the four lanes of `v` plus `tail` in scalar program order:
     /// `((s0 + s1) + s2) + s3 + tail`.
     #[inline]
-    unsafe fn reduce4(v: __m128, tail: f32) -> f32 {
+    #[target_feature(enable = "sse2")]
+    fn reduce4(v: __m128, tail: f32) -> f32 {
         let mut lanes = [0.0f32; 4];
-        _mm_storeu_ps(lanes.as_mut_ptr(), v);
+        // SAFETY: `lanes` is a live local `[f32; 4]`, exactly the 16 bytes
+        // the unaligned store writes.
+        unsafe { _mm_storeu_ps(lanes.as_mut_ptr(), v) };
         lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail
     }
 
     #[target_feature(enable = "sse2")]
-    unsafe fn l2_squared_sse2(a: &[f32], b: &[f32]) -> f32 {
+    fn l2_squared_sse2(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = _mm_setzero_ps();
         for i in 0..chunks {
-            let d = _mm_sub_ps(_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4)));
+            // SAFETY: `i < chunks = n / 4`, so offsets `i * 4 .. i * 4 + 4`
+            // lie inside `a`; the dispatch wrapper (`Kernels::l2_squared`)
+            // asserts `b.len() == a.len()`, so the load from `bp` is
+            // likewise in-bounds.
+            let (va, vb) = unsafe { (_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4))) };
+            let d = _mm_sub_ps(va, vb);
             acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
         }
         let mut tail = 0.0f32;
@@ -589,14 +631,17 @@ mod x86 {
     }
 
     #[target_feature(enable = "sse2")]
-    unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+    fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = _mm_setzero_ps();
         for i in 0..chunks {
-            let m = _mm_mul_ps(_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4)));
-            acc = _mm_add_ps(acc, m);
+            // SAFETY: `i < chunks = n / 4` keeps the 4-wide loads inside
+            // `a`, and `Kernels::dot` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe { (_mm_loadu_ps(ap.add(i * 4)), _mm_loadu_ps(bp.add(i * 4))) };
+            acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
         }
         let mut tail = 0.0f32;
         for i in chunks * 4..n {
@@ -606,17 +651,22 @@ mod x86 {
     }
 
     #[target_feature(enable = "sse2")]
-    unsafe fn l2_squared_x4_sse2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+    fn l2_squared_x4_sse2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
         let dim = query.len();
+        debug_assert!(r.iter().all(|row| row.len() == dim));
         let chunks = dim / 4;
         let qp = query.as_ptr();
         let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
         let mut acc = [_mm_setzero_ps(); 4];
         for i in 0..chunks {
             let o = i * 4;
-            let qv = _mm_loadu_ps(qp.add(o));
+            // SAFETY: `o + 4 <= chunks * 4 <= dim = query.len()`.
+            let qv = unsafe { _mm_loadu_ps(qp.add(o)) };
             for (k, acc_k) in acc.iter_mut().enumerate() {
-                let d = _mm_sub_ps(_mm_loadu_ps(rp[k].add(o)), qv);
+                // SAFETY: `Kernels::l2_squared_x4` asserts every row has
+                // length `dim`, so `o + 4 <= dim` bounds this load too.
+                let rv = unsafe { _mm_loadu_ps(rp[k].add(o)) };
+                let d = _mm_sub_ps(rv, qv);
                 *acc_k = _mm_add_ps(*acc_k, _mm_mul_ps(d, d));
             }
         }
@@ -633,15 +683,17 @@ mod x86 {
     }
 
     #[target_feature(enable = "sse2")]
-    unsafe fn sign_code_sse2(from: &[f32], to: &[f32], out: &mut [u32]) {
+    fn sign_code_sse2(from: &[f32], to: &[f32], out: &mut [u32]) {
         let dim = from.len();
+        debug_assert_eq!(dim, to.len());
         let words = crate::signbit::sign_code_words(dim);
         out[..words].fill(0);
         let chunks = dim / 4;
         let (fp, tp) = (from.as_ptr(), to.as_ptr());
         for i in 0..chunks {
-            let f = _mm_loadu_ps(fp.add(i * 4));
-            let t = _mm_loadu_ps(tp.add(i * 4));
+            // SAFETY: `i < chunks = dim / 4` keeps both 4-wide loads inside
+            // `from`; `Kernels::sign_code` asserts `to.len() == from.len()`.
+            let (f, t) = unsafe { (_mm_loadu_ps(fp.add(i * 4)), _mm_loadu_ps(tp.add(i * 4))) };
             // `to > from` == `from < to`; false on NaN, like the scalar `>`.
             let bits = _mm_movemask_ps(_mm_cmplt_ps(f, t)) as u32;
             let d = i * 4;
@@ -659,21 +711,30 @@ mod x86 {
     // order — the same sequence the scalar loop would execute.
 
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn l2_squared_avx2(a: &[f32], b: &[f32]) -> f32 {
+    fn l2_squared_avx2(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let pairs = chunks / 2;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = _mm_setzero_ps();
         for i in 0..pairs {
-            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i * 8)), _mm256_loadu_ps(bp.add(i * 8)));
+            // SAFETY: `i < pairs = (n / 4) / 2`, so offsets
+            // `i * 8 .. i * 8 + 8` lie inside `a`.
+            let va = unsafe { _mm256_loadu_ps(ap.add(i * 8)) };
+            // SAFETY: `Kernels::l2_squared` asserts `b.len() == a.len()`,
+            // so the same bound covers `b`.
+            let vb = unsafe { _mm256_loadu_ps(bp.add(i * 8)) };
+            let d = _mm256_sub_ps(va, vb);
             let m = _mm256_mul_ps(d, d);
             acc = _mm_add_ps(acc, _mm256_castps256_ps128(m));
             acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(m));
         }
         if chunks % 2 == 1 {
             let o = pairs * 8;
-            let d = _mm_sub_ps(_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o)));
+            // SAFETY: the odd chunk spans `o .. o + 4 = chunks * 4 <= n`.
+            let (va, vb) = unsafe { (_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o))) };
+            let d = _mm_sub_ps(va, vb);
             acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
         }
         let mut tail = 0.0f32;
@@ -685,21 +746,29 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let pairs = chunks / 2;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = _mm_setzero_ps();
         for i in 0..pairs {
-            let m = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i * 8)), _mm256_loadu_ps(bp.add(i * 8)));
+            // SAFETY: `i < pairs = (n / 4) / 2` keeps the 8-wide load
+            // inside `a`.
+            let va = unsafe { _mm256_loadu_ps(ap.add(i * 8)) };
+            // SAFETY: `Kernels::dot` asserts `b.len() == a.len()`, so the
+            // same bound covers `b`.
+            let vb = unsafe { _mm256_loadu_ps(bp.add(i * 8)) };
+            let m = _mm256_mul_ps(va, vb);
             acc = _mm_add_ps(acc, _mm256_castps256_ps128(m));
             acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(m));
         }
         if chunks % 2 == 1 {
             let o = pairs * 8;
-            let m = _mm_mul_ps(_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o)));
-            acc = _mm_add_ps(acc, m);
+            // SAFETY: the odd chunk spans `o .. o + 4 = chunks * 4 <= n`.
+            let (va, vb) = unsafe { (_mm_loadu_ps(ap.add(o)), _mm_loadu_ps(bp.add(o))) };
+            acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
         }
         let mut tail = 0.0f32;
         for i in chunks * 4..n {
@@ -713,8 +782,9 @@ mod x86 {
     /// broadcast to both halves. Lanes never cross rows, so each row's
     /// accumulation is the exact scalar sequence.
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn l2_squared_x4_avx2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+    fn l2_squared_x4_avx2(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
         let dim = query.len();
+        debug_assert!(r.iter().all(|row| row.len() == dim));
         let chunks = dim / 4;
         let qp = query.as_ptr();
         let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
@@ -722,10 +792,17 @@ mod x86 {
         let mut acc23 = _mm256_setzero_ps();
         for i in 0..chunks {
             let o = i * 4;
-            let qv = _mm_loadu_ps(qp.add(o));
+            // SAFETY: `o + 4 <= chunks * 4 <= dim`, and
+            // `Kernels::l2_squared_x4` asserts every row has length `dim`,
+            // so each of the five 4-wide loads stays in-bounds.
+            let (qv, v01, v23) = unsafe {
+                (
+                    _mm_loadu_ps(qp.add(o)),
+                    _mm256_set_m128(_mm_loadu_ps(rp[1].add(o)), _mm_loadu_ps(rp[0].add(o))),
+                    _mm256_set_m128(_mm_loadu_ps(rp[3].add(o)), _mm_loadu_ps(rp[2].add(o))),
+                )
+            };
             let q2 = _mm256_set_m128(qv, qv);
-            let v01 = _mm256_set_m128(_mm_loadu_ps(rp[1].add(o)), _mm_loadu_ps(rp[0].add(o)));
-            let v23 = _mm256_set_m128(_mm_loadu_ps(rp[3].add(o)), _mm_loadu_ps(rp[2].add(o)));
             let d01 = _mm256_sub_ps(v01, q2);
             let d23 = _mm256_sub_ps(v23, q2);
             acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(d01, d01));
@@ -750,15 +827,19 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn sign_code_avx2(from: &[f32], to: &[f32], out: &mut [u32]) {
+    fn sign_code_avx2(from: &[f32], to: &[f32], out: &mut [u32]) {
         let dim = from.len();
+        debug_assert_eq!(dim, to.len());
         let words = crate::signbit::sign_code_words(dim);
         out[..words].fill(0);
         let groups = dim / 8;
         let (fp, tp) = (from.as_ptr(), to.as_ptr());
         for i in 0..groups {
-            let f = _mm256_loadu_ps(fp.add(i * 8));
-            let t = _mm256_loadu_ps(tp.add(i * 8));
+            // SAFETY: `i < groups = dim / 8` keeps this 8-wide load inside `from`.
+            let f = unsafe { _mm256_loadu_ps(fp.add(i * 8)) };
+            // SAFETY: `Kernels::sign_code` asserts `to.len() == from.len()`,
+            // so the same bound keeps the load inside `to`.
+            let t = unsafe { _mm256_loadu_ps(tp.add(i * 8)) };
             // Ordered `from < to`, quiet on NaN — matches the scalar `>`.
             let bits = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(f, t)) as u32;
             let d = i * 8;
@@ -792,36 +873,51 @@ mod neon {
 
     use std::arch::aarch64::*;
 
-    // SAFETY of all entries: NEON is part of the aarch64 baseline.
+    // The kernels are safe `#[target_feature]` fns; only the call across the
+    // feature boundary is unsafe (the entries must remain plain `fn`s so the
+    // dispatch table can hold them as function pointers).
 
     pub(super) fn l2_squared_neon_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline ABI — every CPU this
+        // module compiles for executes it.
         unsafe { l2_squared_neon(a, b) }
     }
     pub(super) fn dot_neon_entry(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline ABI.
         unsafe { dot_neon(a, b) }
     }
     pub(super) fn l2_squared_x4_neon_entry(r: [&[f32]; 4], q: &[f32]) -> [f32; 4] {
+        // SAFETY: NEON is part of the aarch64 baseline ABI.
         unsafe { l2_squared_x4_neon(r, q) }
     }
     pub(super) fn sign_code_neon_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
+        // SAFETY: NEON is part of the aarch64 baseline ABI.
         unsafe { sign_code_neon(f, t, out) }
     }
 
+    /// Sums the four lanes of `v` plus `tail` in scalar program order.
     #[inline]
-    unsafe fn reduce4(v: float32x4_t, tail: f32) -> f32 {
+    #[target_feature(enable = "neon")]
+    fn reduce4(v: float32x4_t, tail: f32) -> f32 {
         let mut lanes = [0.0f32; 4];
-        vst1q_f32(lanes.as_mut_ptr(), v);
+        // SAFETY: `lanes` is a live local `[f32; 4]`, exactly the 16 bytes
+        // the store writes.
+        unsafe { vst1q_f32(lanes.as_mut_ptr(), v) };
         lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail
     }
 
     #[target_feature(enable = "neon")]
-    unsafe fn l2_squared_neon(a: &[f32], b: &[f32]) -> f32 {
+    fn l2_squared_neon(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = vdupq_n_f32(0.0);
         for i in 0..chunks {
-            let d = vsubq_f32(vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4)));
+            // SAFETY: `i < chunks = n / 4` keeps offsets `i * 4 .. i * 4 + 4`
+            // inside `a`; `Kernels::l2_squared` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe { (vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4))) };
+            let d = vsubq_f32(va, vb);
             acc = vaddq_f32(acc, vmulq_f32(d, d));
         }
         let mut tail = 0.0f32;
@@ -833,13 +929,17 @@ mod neon {
     }
 
     #[target_feature(enable = "neon")]
-    unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+    fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
+        debug_assert_eq!(n, b.len());
         let chunks = n / 4;
         let (ap, bp) = (a.as_ptr(), b.as_ptr());
         let mut acc = vdupq_n_f32(0.0);
         for i in 0..chunks {
-            acc = vaddq_f32(acc, vmulq_f32(vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4))));
+            // SAFETY: `i < chunks = n / 4` keeps the 4-wide loads inside
+            // `a`; `Kernels::dot` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe { (vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4))) };
+            acc = vaddq_f32(acc, vmulq_f32(va, vb));
         }
         let mut tail = 0.0f32;
         for i in chunks * 4..n {
@@ -849,17 +949,22 @@ mod neon {
     }
 
     #[target_feature(enable = "neon")]
-    unsafe fn l2_squared_x4_neon(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
+    fn l2_squared_x4_neon(r: [&[f32]; 4], query: &[f32]) -> [f32; 4] {
         let dim = query.len();
+        debug_assert!(r.iter().all(|row| row.len() == dim));
         let chunks = dim / 4;
         let qp = query.as_ptr();
         let rp = [r[0].as_ptr(), r[1].as_ptr(), r[2].as_ptr(), r[3].as_ptr()];
         let mut acc = [vdupq_n_f32(0.0); 4];
         for i in 0..chunks {
             let o = i * 4;
-            let qv = vld1q_f32(qp.add(o));
+            // SAFETY: `o + 4 <= chunks * 4 <= dim = query.len()`.
+            let qv = unsafe { vld1q_f32(qp.add(o)) };
             for (k, acc_k) in acc.iter_mut().enumerate() {
-                let d = vsubq_f32(vld1q_f32(rp[k].add(o)), qv);
+                // SAFETY: `Kernels::l2_squared_x4` asserts every row has
+                // length `dim`, so `o + 4 <= dim` bounds this load too.
+                let rv = unsafe { vld1q_f32(rp[k].add(o)) };
+                let d = vsubq_f32(rv, qv);
                 *acc_k = vaddq_f32(*acc_k, vmulq_f32(d, d));
             }
         }
@@ -876,17 +981,21 @@ mod neon {
     }
 
     #[target_feature(enable = "neon")]
-    unsafe fn sign_code_neon(from: &[f32], to: &[f32], out: &mut [u32]) {
+    fn sign_code_neon(from: &[f32], to: &[f32], out: &mut [u32]) {
         let dim = from.len();
+        debug_assert_eq!(dim, to.len());
         let words = crate::signbit::sign_code_words(dim);
         out[..words].fill(0);
         let chunks = dim / 4;
         let (fp, tp) = (from.as_ptr(), to.as_ptr());
         let weights: [u32; 4] = [1, 2, 4, 8];
-        let wv = vld1q_u32(weights.as_ptr());
+        // SAFETY: `weights` is a live local `[u32; 4]`, exactly the 16 bytes
+        // the load reads.
+        let wv = unsafe { vld1q_u32(weights.as_ptr()) };
         for i in 0..chunks {
-            let f = vld1q_f32(fp.add(i * 4));
-            let t = vld1q_f32(tp.add(i * 4));
+            // SAFETY: `i < chunks = dim / 4` keeps both 4-wide loads inside
+            // `from`; `Kernels::sign_code` asserts `to.len() == from.len()`.
+            let (f, t) = unsafe { (vld1q_f32(fp.add(i * 4)), vld1q_f32(tp.add(i * 4))) };
             // Lanes where `to > from` become all-ones; mask to one bit per
             // lane and horizontal-add into a 4-bit group.
             let m = vcgtq_f32(t, f);

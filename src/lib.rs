@@ -19,6 +19,8 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
+#![forbid(unsafe_code)]
+
 pub use pathweaver_core as core;
 pub use pathweaver_datasets as datasets;
 pub use pathweaver_gpusim as gpusim;

@@ -1,0 +1,121 @@
+//! Concurrency stress tests over the worker pool and the obs registry's
+//! tri-state flags — the dynamic complement to pwlint's static A-rules.
+//!
+//! These run under the normal harness on every CI pass and are the intended
+//! workload for the ThreadSanitizer leg (`tools/check_tsan.sh`): each test
+//! drives real cross-thread interleavings (pool work racing flag toggles,
+//! snapshots racing recording) and asserts the exactness guarantees that
+//! Relaxed-ordering counters must still provide.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pathweaver::obs;
+use pathweaver::util::{parallel_for, parallel_for_spawning};
+
+/// Tests in this binary toggle the process-global observability flags, so
+/// they serialize on one lock (the harness runs tests in parallel).
+fn flag_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pool work races rapid flag flips: every gated instrumentation read
+/// (`obs::enabled()` / `obs::tracing_enabled()`) interleaves with stores
+/// from the toggler thread, while the job's own Relaxed tally must still
+/// come out exact — integer addition commutes regardless of schedule.
+#[test]
+fn pool_work_is_exact_under_flag_toggling() {
+    let _g = flag_guard();
+    let stop = AtomicU64::new(0);
+    let total = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut on = false;
+            while stop.load(Ordering::Acquire) == 0 {
+                obs::set_enabled(on);
+                obs::set_tracing(!on);
+                on = !on;
+                std::thread::yield_now();
+            }
+        });
+
+        for round in 0..50u64 {
+            let len = 64 + (round as usize % 7) * 33;
+            parallel_for(len, |i| {
+                // The gated fast path every instrumented call site takes.
+                if obs::enabled() {
+                    std::hint::black_box(i);
+                }
+                total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        stop.store(1, Ordering::Release);
+    });
+
+    obs::set_tracing(false);
+    obs::set_enabled(false);
+
+    let expected: u64 = (0..50u64)
+        .map(|r| {
+            let n = 64 + (r % 7) * 33;
+            n * (n + 1) / 2
+        })
+        .sum();
+    assert_eq!(total.load(Ordering::Relaxed), expected, "pool dropped or duplicated work");
+}
+
+/// Snapshots (including full JSON rendering) race live recording from pool
+/// workers; after the pool joins, the registry must hold the exact total.
+#[test]
+fn snapshots_race_recording_without_losing_updates() {
+    let _g = flag_guard();
+    obs::set_enabled(true);
+    obs::reset();
+
+    let done = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while done.load(Ordering::Acquire) == 0 {
+                let snap = obs::global_snapshot();
+                std::hint::black_box(snap.to_json());
+                std::thread::yield_now();
+            }
+        });
+
+        parallel_for_spawning(1000, |i| {
+            obs::registry().counter("search.stress.events").add(1);
+            obs::registry().histogram("search.stress.sizes").record(i as u64);
+        });
+        done.store(1, Ordering::Release);
+    });
+
+    let snap = obs::global_snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+
+    assert_eq!(snap.counters["search.stress.events"], 1000);
+    assert_eq!(snap.histograms["search.stress.sizes"].count, 1000);
+}
+
+/// Concurrent first-touch registration of the same metric names from many
+/// pool workers must yield one instance per name (the registry's intern
+/// path), never split counts across duplicates.
+#[test]
+fn concurrent_registration_interns_one_instance_per_name() {
+    let _g = flag_guard();
+    obs::set_enabled(true);
+    obs::reset();
+
+    parallel_for(256, |i| {
+        let name = format!("search.stress.shard{}", i % 4);
+        obs::registry().counter(&name).add(1);
+    });
+
+    let snap = obs::global_snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+
+    let shard_total: u64 = (0..4).map(|s| snap.counters[&format!("search.stress.shard{s}")]).sum();
+    assert_eq!(shard_total, 256, "interning split counts across duplicates");
+}

@@ -48,6 +48,40 @@ fn tracing_run_is_fully_deterministic() {
     assert_eq!(snap_a, snap_b, "non-wallclock metric snapshots differ across runs");
 }
 
+/// The determinism contract, end to end: two full instrumented passes
+/// (graph build through pipelined search, both running on the parallel
+/// worker pool) must render **byte-identical** metrics JSON once wall-clock
+/// histograms are filtered out. Comparing the serialized bytes rather than
+/// the parsed structures also pins the serialization order itself — a
+/// regression from `BTreeMap` back to an unordered map fails here even if
+/// the values still match.
+#[test]
+fn metrics_json_is_byte_identical_across_runs() {
+    let _g = flag_guard();
+    let w = workload();
+    let params = SearchParams::default();
+
+    let run = || {
+        obs::reset();
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(3)).unwrap();
+        let _ = idx.search_pipelined(&w.queries, &params);
+        obs::global_snapshot().without_wallclock().to_json()
+    };
+
+    obs::set_enabled(true);
+    let json_a = run();
+    let json_b = run();
+    obs::set_enabled(false);
+    obs::reset();
+
+    assert!(!json_a.is_empty() && json_a.contains("counters"));
+    assert_eq!(
+        json_a.as_bytes(),
+        json_b.as_bytes(),
+        "metrics JSON is not byte-identical across runs:\n--- A ---\n{json_a}\n--- B ---\n{json_b}"
+    );
+}
+
 #[test]
 fn enabling_observability_does_not_perturb_search() {
     let _g = flag_guard();

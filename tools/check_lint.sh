@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Blocking invariant-lint gate.
+#
+# Runs pwlint (crates/lint) over the whole workspace with the committed
+# lint.toml policy. Any finding fails the build — violations are fixed or
+# explicitly waived (`// lint: allow(<slug>)` at the site, or a [waivers]
+# entry in lint.toml), never ignored.
+#
+# Artifacts: target/lint_report.json (machine-readable findings, uploaded by
+# CI next to the bench artifacts) plus human-readable diagnostics on stderr
+# when the gate fails.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p target
+
+cargo build -q --release -p pathweaver-lint
+
+status=0
+./target/release/pwlint --workspace --format json > target/lint_report.json || status=$?
+
+if [[ $status -ne 0 ]]; then
+    echo "pwlint: violations found — human-readable report follows" >&2
+    ./target/release/pwlint --workspace || true
+    echo "(machine-readable copy: target/lint_report.json;" >&2
+    echo " run 'cargo run -p pathweaver-lint -- --explain RULE' for rationale)" >&2
+    exit "$status"
+fi
+
+echo "pwlint: workspace clean (report: target/lint_report.json)"
