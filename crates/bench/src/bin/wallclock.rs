@@ -28,6 +28,11 @@
 //!   and tracing) enabled vs disabled; search results and simulated-clock
 //!   counters are asserted unchanged, so only wall time may differ. The
 //!   disabled side is the number the perf gate tracks.
+//! - `serve_throughput`: a stream of single-query batches served one at a
+//!   time (`search_pipelined` in a loop) vs overlapped through the streaming
+//!   `Server` on a 4-device ring. Hits are asserted identical, and the
+//!   simulated-makespan speedup of the overlapped schedule must clear 1.5×
+//!   (the serve-layer acceptance bar) before the wall clocks are compared.
 //!
 //! After the timed entries, one instrumented search populates the metrics
 //! registry and the summary is written to `target/BENCH_metrics.json` (or
@@ -314,6 +319,84 @@ fn pipelined_search() -> Value {
     result("pipelined_search", baseline, optimized)
 }
 
+/// Streamed serving vs one-batch-at-a-time: a backlog of single-query
+/// batches on a 4-device ring. Serialized, every batch pays the full ring
+/// traversal before the next starts; streamed through the [`Server`], batch
+/// `b+1`'s entry stage runs while batch `b`'s tail still hops the remaining
+/// devices. Hits must be identical; the simulated-makespan speedup
+/// (serialized sum vs overlapped replay of the merged timeline) must clear
+/// the 1.5× serve-layer acceptance bar.
+///
+/// [`Server`]: pathweaver_core::serve::Server
+fn serve_throughput() -> Value {
+    use pathweaver_core::serve::{ServeConfig, Server};
+    use pathweaver_core::{PathWeaverConfig, PathWeaverIndex};
+    use std::sync::Arc;
+
+    const BATCHES: usize = 12;
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, BATCHES, 10, 53);
+    let idx = Arc::new(
+        PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4))
+            .expect("bench index builds"),
+    );
+    let params = SearchParams::default();
+
+    // Serialized reference: per-batch hits plus summed simulated makespans.
+    let singles: Vec<pathweaver_vector::VectorSet> = (0..BATCHES)
+        .map(|r| {
+            let mut q = pathweaver_vector::VectorSet::empty(idx.dim());
+            q.push(w.queries.row(r));
+            q
+        })
+        .collect();
+    let serial_outs: Vec<_> = singles.iter().map(|q| idx.search_pipelined(q, &params)).collect();
+    let serial_sim_s: f64 = serial_outs.iter().map(|o| o.makespan_s).sum();
+
+    let config = ServeConfig {
+        max_batch: 1, // Every submission is its own in-flight batch.
+        queue_capacity: BATCHES,
+        params,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(Arc::clone(&idx), config.clone());
+    let tickets: Vec<_> = (0..BATCHES)
+        .map(|r| server.try_submit(w.queries.row(r)).expect("capacity fits the backlog"))
+        .collect();
+    let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    for (r, (res, reference)) in results.iter().zip(&serial_outs).enumerate() {
+        assert_eq!(res.hits, reference.hits[0], "query {r}: streamed hits diverged");
+    }
+    let overlapped_sim_s = server.timeline().overlapped_makespan_s();
+    server.shutdown();
+    let sim_speedup = serial_sim_s / overlapped_sim_s.max(1e-12);
+    println!(
+        "serve_throughput: simulated {:.1} us serialized vs {:.1} us overlapped ({sim_speedup:.2}x)",
+        serial_sim_s * 1e6,
+        overlapped_sim_s * 1e6
+    );
+    assert!(
+        sim_speedup >= 1.5,
+        "overlapped serving must beat serialized by 1.5x simulated, got {sim_speedup:.2}x"
+    );
+
+    let baseline = time_ms(7, || {
+        for q in &singles {
+            black_box(idx.search_pipelined(q, &params));
+        }
+    });
+    let server = Server::new(Arc::clone(&idx), config);
+    let optimized = time_ms(7, || {
+        let tickets: Vec<_> = (0..BATCHES)
+            .map(|r| server.try_submit(w.queries.row(r)).expect("capacity fits the backlog"))
+            .collect();
+        for t in tickets {
+            black_box(t.wait());
+        }
+    });
+    server.shutdown();
+    result("serve_throughput", baseline, optimized)
+}
+
 fn main() {
     // Default to two threads so the dispatch comparison exercises the pool
     // even on single-core runners; an explicit setting wins.
@@ -332,6 +415,7 @@ fn main() {
         simd_batch(),
         pipelined_search(),
         obs_overhead(),
+        serve_throughput(),
     ];
     let doc = json!({
         "bench": "wallclock",

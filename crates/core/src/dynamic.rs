@@ -51,13 +51,25 @@ impl PathWeaverIndex {
             degree,
         );
         let mut row: Vec<u32> = hits.iter().map(|&(_, id)| id).collect();
-        // Pad pathological underfull rows by wrapping over the shard.
+        // Pad pathological underfull rows by wrapping over the shard. Only
+        // locals that exist before this push are legal neighbors: an
+        // unbounded pad fabricates ids at or past the new node's own id (a
+        // self-loop at best, an out-of-range panic at worst) whenever the
+        // shard is smaller than the degree.
+        let existing = self.shards[s].len() as u32;
         let mut pad = 0u32;
-        while row.len() < degree {
+        while row.len() < degree && pad < existing {
             if !row.contains(&pad) {
                 row.push(pad);
             }
             pad += 1;
+        }
+        // A shard smaller than the degree cycles its own row; duplicate
+        // neighbors are legal in a fixed-degree graph.
+        let mut wrap = 0;
+        while row.len() < degree {
+            row.push(row[wrap]);
+            wrap += 1;
         }
 
         // Extend every affected structure in dependency order.
@@ -394,6 +406,49 @@ mod tests {
         idx.delete(g);
         assert_eq!(idx.maintain(0.3), 0);
         assert_eq!(idx.shards[0].deleted.count(), 1);
+    }
+
+    #[test]
+    fn insert_into_tiny_shard_stays_in_range() {
+        // A shard smaller than the graph degree must not pad the new row
+        // with fabricated ids at or past the new node's own id (self-loop
+        // or out-of-range panic in `push_node`).
+        let dim = 4;
+        let n = 4usize;
+        let degree = 6usize;
+        let mut vectors = pathweaver_vector::VectorSet::empty(dim);
+        for i in 0..n {
+            let row: Vec<f32> = (0..dim).map(|d| (i * dim + d) as f32).collect();
+            vectors.push(&row);
+        }
+        let lists: Vec<Vec<u32>> =
+            (0..n).map(|u| (0..degree).map(|j| ((u + j + 1) % n) as u32).collect()).collect();
+        let graph = pathweaver_graph::FixedDegreeGraph::from_lists(degree, &lists);
+        let shard = crate::index::ShardIndex {
+            global_ids: (0..n as u32).collect(),
+            deleted: pathweaver_util::FixedBitSet::new(n),
+            vectors,
+            graph,
+            dir_table: None,
+            ghost: None,
+            intershard: None,
+        };
+        let mut idx = PathWeaverIndex {
+            config: PathWeaverConfig::test_scale(1),
+            shards: vec![shard],
+            assignment: crate::shard::ShardAssignment::random(n, 1, 7),
+            build_report: pathweaver_graph::BuildReport::new(),
+            ledgers: Vec::new(),
+            num_vectors: n,
+        };
+        let id = idx.insert(&[0.5; 4]);
+        assert_eq!(id, n as u32);
+        let local = (idx.shards[0].len() - 1) as u32;
+        let row = idx.shards[0].graph.neighbors(local);
+        assert!(
+            row.iter().all(|&v| v < local),
+            "new node's row references itself or out-of-range ids: {row:?}"
+        );
     }
 
     #[test]

@@ -161,8 +161,13 @@ impl ShardIndex {
         // live neighbors were ranked just past the window.
         let tombstones = self.deleted.count();
         let run_params = if tombstones > 0 {
-            let k = (params.k + tombstones.min(params.k)).min(params.beam);
-            SearchParams { k, ..*params }
+            // Widen the beam along with k: clamping the widened k back to the
+            // caller's beam silently cancels the over-fetch whenever
+            // k == beam, so heavy deletions would return fewer than k live
+            // hits even though the shard still holds them.
+            let k = params.k + tombstones.min(params.k);
+            let beam = params.beam.max(k);
+            SearchParams { k, beam, ..*params }
         } else {
             *params
         };
@@ -477,5 +482,33 @@ mod tests {
             &config,
         );
         assert!(out.hits[0].iter().all(|&(_, id)| id != 3), "tombstoned id returned");
+    }
+
+    #[test]
+    fn tombstone_overfetch_widens_tight_beam() {
+        let w = small_workload();
+        let config = PathWeaverConfig::test_scale(2);
+        let mut idx = PathWeaverIndex::build(&w.base, &config).unwrap();
+        let queries = idx.shards[0].vectors.gather(&[0]);
+        let entries = [pathweaver_search::EntryPolicy::Random { count: 16 }];
+
+        // Find the query's ten nearest locals with a generous beam, then
+        // tombstone all of them.
+        let wide = SearchParams { k: 10, beam: 64, ..Default::default() };
+        let before = idx.shards[0].search_local(&queries, &wide, &entries, false, &config);
+        let victims: Vec<u32> = before.hits[0].iter().map(|&(_, id)| id).collect();
+        assert_eq!(victims.len(), 10);
+        for &v in &victims {
+            idx.shards[0].deleted.insert(v as usize);
+        }
+
+        // A caller whose beam equals k leaves the over-fetch no headroom
+        // unless the beam widens alongside the widened k.
+        let tight = SearchParams { k: 10, beam: 10, ..Default::default() };
+        let out = idx.shards[0].search_local(&queries, &tight, &entries, false, &config);
+        assert_eq!(out.hits[0].len(), 10, "deletions starved the result window");
+        for &(_, id) in &out.hits[0] {
+            assert!(!victims.contains(&id), "tombstoned id {id} returned");
+        }
     }
 }

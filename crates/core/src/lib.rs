@@ -16,6 +16,9 @@
 //! - [`reduce`]: host-side top-k reduction across devices.
 //! - [`eval`]: QPS–recall sweeps, `QPS@recall` readout and ablation runs.
 //! - [`baselines`]: CAGRA (+sharding), GGNN-style, and HNSW-CPU baselines.
+//! - [`serve`]: streaming query serving — a micro-batching admission queue
+//!   over a persistent device ring that keeps multiple batches overlapped in
+//!   flight (the throughput mode §3.1's pipelining exists for).
 //! - [`dynamic`]: shard-local insertions and logical deletions (§6.2).
 //! - [`report`]: JSON experiment records for the reproduction harness.
 //!
@@ -51,11 +54,13 @@ pub mod naive;
 pub mod pipeline;
 pub mod reduce;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod store;
 
 pub use config::PathWeaverConfig;
 pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
+pub use serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
@@ -63,6 +68,7 @@ pub mod prelude {
     pub use crate::config::PathWeaverConfig;
     pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
     pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};
+    pub use crate::serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
     pub use pathweaver_datasets::{recall_batch, DatasetProfile, Scale, Workload};
     pub use pathweaver_gpusim::{CostModel, DeviceSpec, RingTopology};
     pub use pathweaver_search::{DgsParams, SearchParams};

@@ -51,6 +51,7 @@ impl PathWeaverIndex {
                 device: d,
                 stage: 0,
                 origin_chunk: d,
+                batch: 0,
                 breakdown,
                 counters: out.counters,
             });

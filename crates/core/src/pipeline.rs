@@ -8,22 +8,75 @@
 
 use crate::index::{PathWeaverIndex, SearchOutput};
 use crate::reduce::reduce_hits;
-use pathweaver_gpusim::{obs_bridge, run_ring_pipeline, CostModel, StageRecord};
+use pathweaver_gpusim::{obs_bridge, run_ring_stream, CostModel, RingMessage, StageRecord};
 use pathweaver_obs::{trace, SpanTimer, TraceEvent};
 use pathweaver_search::{BatchStats, EntryPolicy, SearchParams};
 use pathweaver_vector::VectorSet;
 
-/// In-flight state of one query chunk.
-struct ChunkState {
-    /// Global query row indices of this chunk.
-    query_rows: Vec<usize>,
+/// In-flight state of one query chunk. Shared between the one-shot
+/// pipelined mode and the streaming serve layer.
+pub(crate) struct ChunkState {
+    /// Global query row indices of this chunk (rows of the batch's
+    /// `VectorSet`).
+    pub(crate) query_rows: Vec<usize>,
     /// Per-query entry seeds for the *next* stage (local ids of the device
     /// that will process the chunk next); empty before stage 0.
-    seeds: Vec<Vec<u32>>,
+    pub(crate) seeds: Vec<Vec<u32>>,
     /// Accumulated `(distance, global id)` candidates per query.
-    hits: Vec<Vec<(f32, u32)>>,
+    pub(crate) hits: Vec<Vec<(f32, u32)>>,
     /// Accumulated statistics of this chunk.
-    stats: BatchStats,
+    pub(crate) stats: BatchStats,
+}
+
+/// Splits a batch of `num_queries` rows into contiguous per-device chunks —
+/// chunk `d` gets rows `[d·Q/N, (d+1)·Q/N)` — skipping chunks that would be
+/// empty (`Q < N` leaves some devices without a chunk). Empty chunks used to
+/// circulate anyway, paying `N` no-op stage records each and polluting the
+/// per-stage histograms; now they are never submitted.
+pub(crate) fn make_chunks(num_queries: usize, num_devices: usize) -> Vec<(usize, ChunkState)> {
+    (0..num_devices)
+        .filter_map(|d| {
+            let lo = d * num_queries / num_devices;
+            let hi = (d + 1) * num_queries / num_devices;
+            if lo == hi {
+                return None;
+            }
+            let rows: Vec<usize> = (lo..hi).collect();
+            let m = rows.len();
+            Some((
+                d,
+                ChunkState {
+                    query_rows: rows,
+                    seeds: vec![Vec::new(); m],
+                    hits: vec![Vec::new(); m],
+                    stats: BatchStats::default(),
+                },
+            ))
+        })
+        .collect()
+}
+
+/// Host-side reduction of finished chunks back into global query order.
+/// `finished` must be sorted by origin chunk (the executor guarantees it),
+/// so stats merge in a deterministic order.
+pub(crate) fn reduce_chunks(
+    finished: Vec<RingMessage<ChunkState>>,
+    num_queries: usize,
+    k: usize,
+) -> (Vec<Vec<(f32, u32)>>, BatchStats) {
+    let mut hits_by_row: Vec<Vec<(f32, u32)>> = vec![Vec::new(); num_queries];
+    let mut stats = BatchStats::default();
+    for msg in finished {
+        let mut chunk = msg.payload;
+        stats.merge(&chunk.stats);
+        for (i, row) in chunk.query_rows.iter().enumerate() {
+            // Take the accumulated list instead of cloning it: the chunk
+            // is consumed here, and reduce only needs it by value to sort.
+            let hits = std::mem::take(&mut chunk.hits[i]);
+            hits_by_row[*row] = reduce_hits(&[hits], k);
+        }
+    }
+    (hits_by_row, stats)
 }
 
 impl PathWeaverIndex {
@@ -45,60 +98,50 @@ impl PathWeaverIndex {
         // leave the sequence untouched.
         let batch_id = if pathweaver_obs::tracing_enabled() { trace::next_batch_id() } else { 0 };
 
-        // Contiguous chunking: chunk d gets rows [d·Q/N, (d+1)·Q/N).
-        let chunks: Vec<ChunkState> = (0..n)
-            .map(|d| {
-                let lo = d * queries.len() / n;
-                let hi = (d + 1) * queries.len() / n;
-                let rows: Vec<usize> = (lo..hi).collect();
-                let m = rows.len();
-                ChunkState {
-                    query_rows: rows,
-                    seeds: vec![Vec::new(); m],
-                    hits: vec![Vec::new(); m],
-                    stats: BatchStats::default(),
-                }
-            })
-            .collect();
+        // Contiguous chunking, empty chunks skipped.
+        let chunks = make_chunks(queries.len(), n);
 
-        let (finished, timeline) = run_ring_pipeline(n, n, chunks, |device, stage, msg| {
-            self.run_stage(device, stage, msg, queries, params, &cost, batch_id)
+        let (finished, timeline) = run_ring_stream(n, n, batch_id, chunks, |device, stage, msg| {
+            self.run_stage(
+                device,
+                stage,
+                msg.origin_chunk,
+                &mut msg.payload,
+                queries,
+                params,
+                &cost,
+                batch_id,
+            )
         });
 
-        // Host-side reduction back into global query order.
-        let mut hits_by_row: Vec<Vec<(f32, u32)>> = vec![Vec::new(); queries.len()];
-        let mut stats = BatchStats::default();
-        for msg in finished {
-            let mut chunk = msg.payload;
-            stats.merge(&chunk.stats);
-            for (i, row) in chunk.query_rows.iter().enumerate() {
-                // Take the accumulated list instead of cloning it: the chunk
-                // is consumed here, and reduce only needs it by value to sort.
-                let hits = std::mem::take(&mut chunk.hits[i]);
-                hits_by_row[*row] = reduce_hits(&[hits], params.k);
-            }
-        }
+        let (hits_by_row, stats) = reduce_chunks(finished, queries.len(), params.k);
         SearchOutput::from_parts(hits_by_row, stats, timeline, queries.len())
     }
 
-    /// Executes one pipeline stage of one chunk on one device.
+    /// Executes one pipeline stage of one chunk on one device. Returns
+    /// `None` for an empty chunk (nothing to search, no record to emit) —
+    /// the executor skips such chunks at submission, so this is a guard, not
+    /// a hot path.
     #[allow(clippy::too_many_arguments)]
-    fn run_stage(
+    pub(crate) fn run_stage(
         &self,
         device: usize,
         stage: usize,
-        msg: &mut pathweaver_gpusim::RingMessage<ChunkState>,
+        origin_chunk: usize,
+        chunk: &mut ChunkState,
         queries: &VectorSet,
         params: &SearchParams,
         cost: &CostModel,
         batch_id: u64,
-    ) -> StageRecord {
+    ) -> Option<StageRecord> {
+        if chunk.query_rows.is_empty() {
+            return None;
+        }
         // Stage-entry span: wall time of the whole hop (ghost stage, search,
         // seed forwarding). Inert unless observability is on.
         let span = SpanTimer::start();
         let n = self.num_devices();
         let shard = &self.shards[device];
-        let chunk = &mut msg.payload;
         let chunk_queries = queries.gather(&chunk.query_rows);
 
         // Stage 0 starts from scratch (ghost staging if available); later
@@ -177,7 +220,7 @@ impl PathWeaverIndex {
         if pathweaver_obs::tracing_enabled() {
             trace::record(TraceEvent {
                 batch: batch_id,
-                chunk: msg.origin_chunk,
+                chunk: origin_chunk,
                 device,
                 stage,
                 queries: chunk.query_rows.len() as u64,
@@ -188,7 +231,7 @@ impl PathWeaverIndex {
                 wall_ns,
             });
         }
-        StageRecord { device, stage, origin_chunk: msg.origin_chunk, breakdown, counters }
+        Some(StageRecord { device, stage, origin_chunk, batch: batch_id, breakdown, counters })
     }
 }
 
@@ -253,6 +296,41 @@ mod tests {
         let recall = recall_batch(&w.ground_truth, &out.results, 10);
         assert!(recall > 0.8, "recall {recall}");
         assert_eq!(out.timeline.num_stages(), 1);
+    }
+
+    #[test]
+    fn fewer_queries_than_devices_skips_empty_chunks() {
+        // Regression: 1 query on 4 devices used to circulate 3 empty chunks
+        // through all 4 stages, logging 16 stage records instead of 4.
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 1, 10, 41);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4)).unwrap();
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        assert_eq!(out.results.len(), 1);
+        assert!(!out.results[0].is_empty());
+        assert_eq!(
+            out.timeline.records().len(),
+            4,
+            "only the non-empty chunk should produce records"
+        );
+        // The lone chunk still visits every device in ring order.
+        let devices: Vec<usize> = out.timeline.records().iter().map(|r| r.device).collect();
+        let origin = out.timeline.records()[0].origin_chunk;
+        let want: Vec<usize> = (0..4).map(|s| (origin + s) % 4).collect();
+        assert_eq!(devices, want);
+        // Every stage of the batch shows up exactly once.
+        let stages: Vec<usize> = out.timeline.records().iter().map(|r| r.stage).collect();
+        assert_eq!(stages, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn make_chunks_covers_rows_without_empties() {
+        for (q, n) in [(1usize, 4usize), (3, 4), (5, 4), (12, 3), (4, 4), (2, 5)] {
+            let chunks = make_chunks(q, n);
+            assert!(chunks.iter().all(|(_, c)| !c.query_rows.is_empty()), "q={q} n={n}");
+            let rows: Vec<usize> =
+                chunks.iter().flat_map(|(_, c)| c.query_rows.iter().copied()).collect();
+            assert_eq!(rows, (0..q).collect::<Vec<_>>(), "q={q} n={n}");
+        }
     }
 
     #[test]

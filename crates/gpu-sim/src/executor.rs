@@ -1,16 +1,35 @@
 //! Pipelined ring executor.
 //!
-//! One OS thread per simulated device, connected in a ring with bounded
-//! crossbeam channels — the concurrency skeleton of pipelining-based path
-//! extension. Each device starts with its own query chunk; at every stage
-//! boundary, all devices forward their in-flight payload to their ring
-//! successor and receive from their predecessor, exactly as the paper's §3.1
-//! describes. The *simulated* time of each stage comes from the
-//! [`StageRecord`]s the caller's stage function produces; the OS-level
-//! parallelism only provides real concurrency for the computation itself.
+//! One OS thread per simulated device, connected in a ring — the concurrency
+//! skeleton of pipelining-based path extension (paper §3.1). Each device owns
+//! a work queue; a chunk enters the ring on its origin device and, after
+//! every stage, hops to the ring successor's queue. The *simulated* time of
+//! each stage comes from the [`StageRecord`]s the caller's stage function
+//! produces; the OS-level parallelism only provides real concurrency for the
+//! computation itself.
+//!
+//! Two frontends share the same device-worker loop:
+//!
+//! - [`run_ring_stream`] spawns scoped workers for one batch and joins them
+//!   before returning — the one-shot mode `search_pipelined` uses, able to
+//!   borrow non-`'static` state.
+//! - [`RingExecutor`] keeps the device threads alive across submissions and
+//!   accepts new batches while earlier ones are still circulating, so stage
+//!   `s` of batch `b` on device `d` overlaps with stage `s` of batch `b + 1`
+//!   on device `d - 1` — the paper's inter-batch pipelining, and the engine
+//!   under the serving layer.
+//!
+//! Device queues are unbounded: admission control (and therefore
+//! backpressure) belongs to the serving layer above, and a bounded ring edge
+//! could deadlock once batches stop moving in lock-step. In-flight work is
+//! tracked by a counter so [`RingExecutor`]'s drop can drain before stopping
+//! the threads.
 
 use crate::timeline::{PipelineTimeline, StageRecord};
-use crossbeam::channel;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A payload circulating the ring: the chunk's origin device plus the
 /// caller-defined state (queries + current best hits).
@@ -22,15 +41,187 @@ pub struct RingMessage<T> {
     pub payload: T,
 }
 
-/// Runs an `num_stages`-stage ring pipeline over `num_devices` devices.
+/// One unit of device work: a chunk at a specific stage of a specific batch,
+/// plus the channels its records and final state report back on.
+struct Task<T> {
+    batch: u64,
+    stage: usize,
+    msg: RingMessage<T>,
+    rec_tx: Sender<StageRecord>,
+    fin_tx: Sender<RingMessage<T>>,
+}
+
+/// What a device queue carries.
+enum DeviceMsg<T> {
+    Task(Task<T>),
+    Stop,
+}
+
+/// Count of chunks somewhere between submission and final delivery; drop
+/// drains on it before stopping the device threads, so a `Stop` can never
+/// overtake a chunk that is still hopping the ring.
+#[derive(Default)]
+struct Inflight {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Inflight {
+    fn add(&self, n: usize) {
+        *self.count.lock() += n;
+    }
+
+    fn finish_one(&self) {
+        let mut c = self.count.lock();
+        *c -= 1;
+        if *c == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut c = self.count.lock();
+        while *c > 0 {
+            self.zero.wait(&mut c);
+        }
+    }
+}
+
+/// The device loop both frontends run: take a task, execute its stage, stamp
+/// and emit the record, then forward to the ring successor or deliver.
 ///
-/// `initial[d]` is the chunk that starts on device `d`. At each stage `s`,
-/// device `d` calls `stage_fn(d, s, msg)` on its current message, records the
-/// returned [`StageRecord`], then (unless it was the final stage) forwards
-/// the message to device `(d + 1) % N` and receives from `(d + N - 1) % N`.
+/// Sends to `rec_tx`/`fin_tx` ignore disconnects (a caller may drop its
+/// [`BatchHandle`] without waiting); the inflight counter is decremented
+/// exactly once per chunk, at final delivery.
+fn device_worker<T, F>(
+    device: usize,
+    num_stages: usize,
+    rx: &Receiver<DeviceMsg<T>>,
+    next_tx: &Sender<DeviceMsg<T>>,
+    inflight: &Inflight,
+    stage_fn: &F,
+) where
+    F: Fn(usize, usize, &mut RingMessage<T>) -> Option<StageRecord>,
+{
+    while let Ok(msg) = rx.recv() {
+        let mut task = match msg {
+            DeviceMsg::Stop => break,
+            DeviceMsg::Task(t) => t,
+        };
+        if let Some(mut record) = stage_fn(device, task.stage, &mut task.msg) {
+            record.batch = task.batch;
+            let _ = task.rec_tx.send(record);
+        }
+        task.stage += 1;
+        if task.stage < num_stages {
+            next_tx.send(DeviceMsg::Task(task)).expect("ring successor alive");
+        } else {
+            let _ = task.fin_tx.send(task.msg);
+            inflight.finish_one();
+        }
+    }
+}
+
+/// Collects `expected` finished chunks (sorted by origin) and the batch's
+/// records (sorted by `(stage, origin_chunk)`) into a timeline.
 ///
-/// Returns the final messages (sorted by origin chunk) and the merged
-/// timeline.
+/// Every record of a chunk is sent before that chunk's final delivery on the
+/// same worker chain (each hop is a channel send/recv pair, which orders the
+/// sends), so once all finals have arrived the record drain is complete.
+fn collect_batch<T>(
+    expected: usize,
+    fin_rx: &Receiver<RingMessage<T>>,
+    rec_rx: &Receiver<StageRecord>,
+) -> (Vec<RingMessage<T>>, PipelineTimeline) {
+    let mut out = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        out.push(fin_rx.recv().expect("executor delivers every chunk"));
+    }
+    out.sort_by_key(|m| m.origin_chunk);
+    let mut records = Vec::new();
+    while let Some(r) = rec_rx.try_recv() {
+        records.push(r);
+    }
+    records.sort_by_key(|r| (r.batch, r.stage, r.origin_chunk, r.device));
+    let mut timeline = PipelineTimeline::new();
+    for r in records {
+        timeline.push(r);
+    }
+    (out, timeline)
+}
+
+/// Runs one batch of `chunks` through an `num_stages`-stage ring of
+/// `num_devices` scoped device workers and joins them before returning.
+///
+/// `chunks` pairs each chunk's origin index with its payload; the chunk
+/// enters the ring on device `origin % num_devices` and hops to the ring
+/// successor after every stage. Origins need not cover every device — empty
+/// chunks are simply not submitted. `stage_fn(device, stage, msg)` returns
+/// `Some(record)` for work performed or `None` for a stage that should leave
+/// no trace in the timeline; records are stamped with `batch`.
+///
+/// Returns the final messages (sorted by origin chunk) and the timeline
+/// (records sorted by `(stage, origin_chunk)`).
+///
+/// # Panics
+///
+/// Panics if `num_devices == 0`, `num_stages == 0`, or `chunks` is empty.
+/// Panics raised inside `stage_fn` propagate.
+pub fn run_ring_stream<T, F>(
+    num_devices: usize,
+    num_stages: usize,
+    batch: u64,
+    chunks: Vec<(usize, T)>,
+    stage_fn: F,
+) -> (Vec<RingMessage<T>>, PipelineTimeline)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut RingMessage<T>) -> Option<StageRecord> + Sync,
+{
+    assert!(num_devices > 0, "need at least one device");
+    assert!(num_stages > 0, "need at least one stage");
+    assert!(!chunks.is_empty(), "need at least one chunk");
+
+    let (txs, rxs): (Vec<_>, Vec<_>) =
+        (0..num_devices).map(|_| channel::unbounded::<DeviceMsg<T>>()).unzip();
+    let (rec_tx, rec_rx) = channel::unbounded::<StageRecord>();
+    let (fin_tx, fin_rx) = channel::unbounded::<RingMessage<T>>();
+    let inflight = Inflight::default();
+    let expected = chunks.len();
+    inflight.add(expected);
+
+    std::thread::scope(|scope| {
+        let stage_fn = &stage_fn;
+        let inflight = &inflight;
+        let mut rxs = rxs.into_iter().map(Some).collect::<Vec<_>>();
+        for (d, rx_slot) in rxs.iter_mut().enumerate() {
+            let rx = rx_slot.take().expect("rx taken once");
+            let next_tx = txs[(d + 1) % num_devices].clone();
+            scope.spawn(move || device_worker(d, num_stages, &rx, &next_tx, inflight, stage_fn));
+        }
+        for (origin, payload) in chunks {
+            let entry = origin % num_devices;
+            txs[entry]
+                .send(DeviceMsg::Task(Task {
+                    batch,
+                    stage: 0,
+                    msg: RingMessage { origin_chunk: origin, payload },
+                    rec_tx: rec_tx.clone(),
+                    fin_tx: fin_tx.clone(),
+                }))
+                .expect("device thread alive");
+        }
+        inflight.wait_zero();
+        for tx in &txs {
+            tx.send(DeviceMsg::Stop).expect("device thread alive");
+        }
+    });
+    collect_batch(expected, &fin_rx, &rec_rx)
+}
+
+/// Runs an `num_stages`-stage ring pipeline over `num_devices` devices, one
+/// chunk starting on each device — the one-shot compatibility wrapper over
+/// [`run_ring_stream`].
 ///
 /// # Panics
 ///
@@ -46,53 +237,145 @@ where
     T: Send,
     F: Fn(usize, usize, &mut RingMessage<T>) -> StageRecord + Sync,
 {
-    assert!(num_devices > 0, "need at least one device");
-    assert!(num_stages > 0, "need at least one stage");
     assert_eq!(initial.len(), num_devices, "one initial chunk per device");
+    let chunks: Vec<(usize, T)> = initial.into_iter().enumerate().collect();
+    run_ring_stream(num_devices, num_stages, 0, chunks, |d, s, m| Some(stage_fn(d, s, m)))
+}
 
-    // forward[d] is the channel from device d to device (d+1)%N.
-    let (txs, rxs): (Vec<_>, Vec<_>) =
-        (0..num_devices).map(|_| channel::bounded::<RingMessage<T>>(1)).unzip();
-    let (rec_tx, rec_rx) = channel::unbounded::<StageRecord>();
-    let (out_tx, out_rx) = channel::unbounded::<RingMessage<T>>();
+/// Shared state between a [`RingExecutor`] and its device threads.
+struct RingShared<T> {
+    txs: Vec<Sender<DeviceMsg<T>>>,
+    inflight: Arc<Inflight>,
+    num_devices: usize,
+}
 
-    std::thread::scope(|scope| {
-        let stage_fn = &stage_fn;
-        let mut txs = txs.into_iter().map(Some).collect::<Vec<_>>();
-        let mut rxs = rxs.into_iter().map(Some).collect::<Vec<_>>();
-        let mut initial = initial.into_iter().map(Some).collect::<Vec<_>>();
-        for d in 0..num_devices {
-            let tx = txs[d].take().expect("tx taken once");
-            // Device d receives from its predecessor's forward channel.
-            let prev = (d + num_devices - 1) % num_devices;
-            let rx = rxs[prev].take().expect("rx taken once");
-            let payload = initial[d].take().expect("initial taken once");
-            let rec_tx = rec_tx.clone();
-            let out_tx = out_tx.clone();
-            scope.spawn(move || {
-                let mut msg = RingMessage { origin_chunk: d, payload };
-                for s in 0..num_stages {
-                    let record = stage_fn(d, s, &mut msg);
-                    rec_tx.send(record).expect("collector alive");
-                    if s + 1 < num_stages && num_devices > 1 {
-                        tx.send(msg).expect("successor alive");
-                        msg = rx.recv().expect("predecessor alive");
-                    }
-                }
-                out_tx.send(msg).expect("collector alive");
-            });
+/// A persistent ring of device threads that keeps multiple batches in
+/// flight.
+///
+/// Unlike [`run_ring_stream`], the device threads outlive any single batch:
+/// [`submit`](Self::submit) enqueues a batch's chunks and returns a
+/// [`BatchHandle`] immediately, so while batch `b`'s chunks are on devices
+/// `d, d+1, …`, batch `b+1`'s chunks already occupy the devices behind them.
+/// Dropping the executor drains every in-flight chunk, then stops and joins
+/// the threads.
+pub struct RingExecutor<T: Send + 'static> {
+    shared: RingShared<T>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    batch_seq: AtomicU64,
+}
+
+impl<T: Send + 'static> RingExecutor<T> {
+    /// Spawns `num_devices` device threads running `stage_fn` over
+    /// `num_stages`-stage batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0` or `num_stages == 0`.
+    pub fn new<F>(num_devices: usize, num_stages: usize, stage_fn: F) -> Self
+    where
+        F: Fn(usize, usize, &mut RingMessage<T>) -> Option<StageRecord> + Send + Sync + 'static,
+    {
+        assert!(num_devices > 0, "need at least one device");
+        assert!(num_stages > 0, "need at least one stage");
+        let (txs, rxs): (Vec<_>, Vec<_>) =
+            (0..num_devices).map(|_| channel::unbounded::<DeviceMsg<T>>()).unzip();
+        let inflight = Arc::new(Inflight::default());
+        let stage_fn = Arc::new(stage_fn);
+        let threads = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(d, rx)| {
+                let next_tx = txs[(d + 1) % num_devices].clone();
+                let inflight = Arc::clone(&inflight);
+                let stage_fn = Arc::clone(&stage_fn);
+                std::thread::Builder::new()
+                    .name(format!("pathweaver-device-{d}"))
+                    .spawn(move || {
+                        device_worker(d, num_stages, &rx, &next_tx, &inflight, &*stage_fn);
+                    })
+                    .expect("spawn device thread")
+            })
+            .collect();
+        Self {
+            shared: RingShared { txs, inflight, num_devices },
+            threads,
+            batch_seq: AtomicU64::new(0),
         }
-        drop(rec_tx);
-        drop(out_tx);
-    });
-
-    let mut timeline = PipelineTimeline::new();
-    for r in rec_rx.iter() {
-        timeline.push(r);
     }
-    let mut out: Vec<RingMessage<T>> = out_rx.iter().collect();
-    out.sort_by_key(|m| m.origin_chunk);
-    (out, timeline)
+
+    /// Number of device threads.
+    pub fn num_devices(&self) -> usize {
+        self.shared.num_devices
+    }
+
+    /// Submits one batch of `chunks` and returns without waiting; each chunk
+    /// enters the ring on device `origin % num_devices`.
+    ///
+    /// The returned handle collects the batch's outputs; its records carry
+    /// this submission's sequence number in [`StageRecord::batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty.
+    pub fn submit(&self, chunks: Vec<(usize, T)>) -> BatchHandle<T> {
+        assert!(!chunks.is_empty(), "need at least one chunk");
+        // Relaxed: the sequence only needs per-submission uniqueness; all
+        // data the batch touches flows through the channels, which order it.
+        let batch = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let (rec_tx, rec_rx) = channel::unbounded::<StageRecord>();
+        let (fin_tx, fin_rx) = channel::unbounded::<RingMessage<T>>();
+        let expected = chunks.len();
+        self.shared.inflight.add(expected);
+        for (origin, payload) in chunks {
+            let entry = origin % self.shared.num_devices;
+            self.shared.txs[entry]
+                .send(DeviceMsg::Task(Task {
+                    batch,
+                    stage: 0,
+                    msg: RingMessage { origin_chunk: origin, payload },
+                    rec_tx: rec_tx.clone(),
+                    fin_tx: fin_tx.clone(),
+                }))
+                .expect("device thread alive");
+        }
+        BatchHandle { batch, expected, fin_rx, rec_rx }
+    }
+}
+
+impl<T: Send + 'static> Drop for RingExecutor<T> {
+    fn drop(&mut self) {
+        // Drain first: a Stop enqueued while chunks still hop the ring could
+        // arrive at a device before a chunk forwarded to it later.
+        self.shared.inflight.wait_zero();
+        for tx in &self.shared.txs {
+            let _ = tx.send(DeviceMsg::Stop);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pending results of one submitted batch.
+pub struct BatchHandle<T> {
+    batch: u64,
+    expected: usize,
+    fin_rx: Receiver<RingMessage<T>>,
+    rec_rx: Receiver<StageRecord>,
+}
+
+impl<T> BatchHandle<T> {
+    /// The batch's submission sequence number (stamped into its records).
+    pub fn batch_id(&self) -> u64 {
+        self.batch
+    }
+
+    /// Blocks until every chunk of the batch has completed all stages;
+    /// returns the final messages (sorted by origin chunk) and the batch's
+    /// timeline (records sorted by `(stage, origin_chunk)`).
+    pub fn wait(self) -> (Vec<RingMessage<T>>, PipelineTimeline) {
+        collect_batch(self.expected, &self.fin_rx, &self.rec_rx)
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +389,7 @@ mod tests {
             device,
             stage,
             origin_chunk: origin,
+            batch: 0,
             breakdown: TimeBreakdown { dist_s: 1.0, other_s: 0.0, comm_s: 0.0 },
             counters: CostCounters::new(),
         }
@@ -166,5 +450,97 @@ mod tests {
         let _ = run_ring_pipeline(2, 1, vec![()], |d, s, m: &mut RingMessage<()>| {
             record(d, s, m.origin_chunk)
         });
+    }
+
+    #[test]
+    fn stream_accepts_sparse_chunks() {
+        // One chunk (origin 3) on a 4-device ring still visits all four
+        // devices, and the other devices produce no records.
+        let (out, timeline) =
+            run_ring_stream(4, 4, 7, vec![(3usize, Vec::<usize>::new())], |device, stage, msg| {
+                msg.payload.push(device);
+                Some(record(device, stage, msg.origin_chunk))
+            });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].origin_chunk, 3);
+        assert_eq!(out[0].payload, vec![3, 0, 1, 2]);
+        assert_eq!(timeline.records().len(), 4);
+        assert!(timeline.records().iter().all(|r| r.batch == 7));
+    }
+
+    #[test]
+    fn none_stages_leave_no_records() {
+        let (out, timeline) = run_ring_stream(2, 2, 0, vec![(0, ()), (1, ())], |_, stage, msg| {
+            (stage == 0 && msg.origin_chunk == 0).then(|| record(0, 0, 0))
+        });
+        assert_eq!(out.len(), 2);
+        assert_eq!(timeline.records().len(), 1);
+    }
+
+    #[test]
+    fn persistent_executor_matches_scoped_run() {
+        let n = 4;
+        let exec = RingExecutor::new(
+            n,
+            n,
+            move |device: usize, stage, msg: &mut RingMessage<Vec<usize>>| {
+                msg.payload.push(device);
+                Some(record(device, stage, msg.origin_chunk))
+            },
+        );
+        let chunks: Vec<(usize, Vec<usize>)> = (0..n).map(|d| (d, Vec::new())).collect();
+        let (out, timeline) = exec.submit(chunks).wait();
+        assert_eq!(out.len(), n);
+        for m in &out {
+            let want: Vec<usize> = (0..n).map(|s| (m.origin_chunk + s) % n).collect();
+            assert_eq!(m.payload, want, "origin {}", m.origin_chunk);
+        }
+        assert_eq!(timeline.records().len(), n * n);
+    }
+
+    #[test]
+    fn batches_overlap_in_flight() {
+        let n = 4;
+        let exec = RingExecutor::new(n, n, |device: usize, stage, msg: &mut RingMessage<u64>| {
+            msg.payload += 1;
+            Some(record(device, stage, msg.origin_chunk))
+        });
+        // Submit several batches before waiting on any of them.
+        let handles: Vec<BatchHandle<u64>> =
+            (0..6).map(|b| exec.submit(vec![(3usize, b * 1000)])).collect();
+        for (b, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.batch_id(), b as u64);
+            let (out, timeline) = h.wait();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].payload, b as u64 * 1000 + n as u64);
+            assert_eq!(timeline.records().len(), n);
+            assert!(timeline.records().iter().all(|r| r.batch == b as u64));
+        }
+    }
+
+    #[test]
+    fn drop_drains_inflight_batches() {
+        let exec = RingExecutor::new(2, 2, |device: usize, stage, msg: &mut RingMessage<u32>| {
+            msg.payload += 1;
+            Some(record(device, stage, msg.origin_chunk))
+        });
+        let h1 = exec.submit(vec![(0, 0u32), (1, 10)]);
+        let h2 = exec.submit(vec![(0, 100)]);
+        drop(exec); // Must drain, not strand, the two batches.
+        let (out1, _) = h1.wait();
+        assert_eq!(out1.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![2, 12]);
+        let (out2, _) = h2.wait();
+        assert_eq!(out2[0].payload, 102);
+    }
+
+    #[test]
+    fn dropped_handle_does_not_wedge_executor() {
+        let exec = RingExecutor::new(2, 2, |device: usize, stage, msg: &mut RingMessage<u32>| {
+            msg.payload += 1;
+            Some(record(device, stage, msg.origin_chunk))
+        });
+        drop(exec.submit(vec![(0, 0u32)])); // Receiver gone; sends are ignored.
+        let (out, _) = exec.submit(vec![(1, 5u32)]).wait();
+        assert_eq!(out[0].payload, 7);
     }
 }

@@ -22,8 +22,10 @@
 //!   of pipelining-based path extension.
 //! - [`memory`]: per-device capacity ledger (shards must fit).
 //! - [`timeline`]: per-stage records and pipeline makespan computation.
-//! - [`executor`]: one OS thread per simulated device with crossbeam ring
-//!   channels — the real concurrency skeleton the framework drives.
+//! - [`executor`]: one OS thread per simulated device with ring work queues
+//!   — the real concurrency skeleton the framework drives, in a scoped
+//!   one-shot form ([`run_ring_stream`]) and a persistent multi-batch form
+//!   ([`RingExecutor`]) that keeps batches overlapped in flight.
 //! - [`trace`]: execution-time breakdown reports (Figs 2, 5, 12).
 //! - [`obs_bridge`]: snapshots [`CostCounters`] into the `pathweaver-obs`
 //!   metrics registry so simulated-clock accounting and wall-clock spans
@@ -45,7 +47,7 @@ pub mod trace;
 pub use cost::{CostModel, TimeBreakdown};
 pub use counters::CostCounters;
 pub use device::DeviceSpec;
-pub use executor::{run_ring_pipeline, RingMessage};
+pub use executor::{run_ring_pipeline, run_ring_stream, BatchHandle, RingExecutor, RingMessage};
 pub use link::LinkSpec;
 pub use memory::MemoryLedger;
 pub use timeline::{PipelineTimeline, StageRecord};

@@ -6,6 +6,12 @@
 //! therefore the sum over stages of the slowest device's kernel time plus
 //! the slowest forward, which is exactly how the real system synchronizes at
 //! stage boundaries.
+//!
+//! The streaming serve layer keeps several batches in flight at once, so the
+//! lock-step sum no longer describes its wall time: device `d` can run stage
+//! `s` of batch `b+1` while device `d+1` runs stage `s+1` of batch `b`. For
+//! that mode [`PipelineTimeline::overlapped_makespan_s`] replays the records
+//! as a deterministic greedy schedule over per-device busy intervals.
 
 use crate::cost::TimeBreakdown;
 use crate::counters::CostCounters;
@@ -20,6 +26,10 @@ pub struct StageRecord {
     pub stage: usize,
     /// Index of the query chunk being processed (the chunk's origin device).
     pub origin_chunk: usize,
+    /// Batch the chunk belongs to. One-shot searches leave this at 0; the
+    /// streaming executor stamps every record with the submission sequence
+    /// number so overlapped replay can separate concurrent batches.
+    pub batch: u64,
     /// Simulated kernel + communication time of this stage on this device.
     pub breakdown: TimeBreakdown,
     /// Raw operation counters of this stage.
@@ -41,6 +51,12 @@ impl PipelineTimeline {
     /// Appends a stage record.
     pub fn push(&mut self, record: StageRecord) {
         self.records.push(record);
+    }
+
+    /// Appends every record of `other` (used by the serve layer to merge
+    /// per-batch timelines into one stream-wide account).
+    pub fn extend(&mut self, other: &PipelineTimeline) {
+        self.records.extend_from_slice(&other.records);
     }
 
     /// All records, in insertion order.
@@ -67,6 +83,43 @@ impl PipelineTimeline {
             total += worst;
         }
         total
+    }
+
+    /// Overlap-aware makespan of a multi-batch stream.
+    ///
+    /// Replays every record as a deterministic greedy list schedule: records
+    /// are ordered by `(batch, stage, origin_chunk, device)` and each one
+    /// starts at the later of (a) the moment its device finished its
+    /// previous record and (b) the moment its chunk finished its previous
+    /// stage on the ring predecessor. The ordering is a topological order of
+    /// the dependency DAG — both dependency kinds point from a strictly
+    /// smaller `(batch, stage)` pair to a larger one — so every predecessor
+    /// is scheduled before its dependents and the result is independent of
+    /// the thread interleaving that produced the records.
+    ///
+    /// For a single batch this is at most [`makespan_s`](Self::makespan_s)
+    /// (the lock-step barrier can only add idle time); for overlapped
+    /// batches it is the quantity the serve layer's throughput claim is
+    /// measured against.
+    pub fn overlapped_makespan_s(&self) -> f64 {
+        let mut order: Vec<&StageRecord> = self.records.iter().collect();
+        order.sort_by_key(|r| (r.batch, r.stage, r.origin_chunk, r.device));
+        let num_devices = self.records.iter().map(|r| r.device + 1).max().unwrap_or(0);
+        let mut device_free = vec![0.0f64; num_devices];
+        // Chunk identity is (batch, origin_chunk); BTreeMap keeps the replay
+        // allocation-order independent.
+        let mut chunk_ready: std::collections::BTreeMap<(u64, usize), f64> =
+            std::collections::BTreeMap::new();
+        let mut makespan = 0.0f64;
+        for r in order {
+            let ready = chunk_ready.get(&(r.batch, r.origin_chunk)).copied().unwrap_or(0.0);
+            let start = device_free[r.device].max(ready);
+            let end = start + r.breakdown.total_s();
+            device_free[r.device] = end;
+            chunk_ready.insert((r.batch, r.origin_chunk), end);
+            makespan = makespan.max(end);
+        }
+        makespan
     }
 
     /// Sum of all per-record breakdowns (total device-seconds, not wall
@@ -120,7 +173,19 @@ mod tests {
             device,
             stage,
             origin_chunk: (device + stage) % 4,
+            batch: 0,
             breakdown: TimeBreakdown { dist_s: dist, other_s: 0.0, comm_s: comm },
+            counters: CostCounters::new(),
+        }
+    }
+
+    fn brec(batch: u64, device: usize, stage: usize, chunk: usize, cost: f64) -> StageRecord {
+        StageRecord {
+            device,
+            stage,
+            origin_chunk: chunk,
+            batch,
+            breakdown: TimeBreakdown { dist_s: cost, other_s: 0.0, comm_s: 0.0 },
             counters: CostCounters::new(),
         }
     }
@@ -174,6 +239,80 @@ mod tests {
     fn empty_timeline_is_zero() {
         let t = PipelineTimeline::new();
         assert_eq!(t.makespan_s(), 0.0);
+        assert_eq!(t.overlapped_makespan_s(), 0.0);
         assert_eq!(t.num_stages(), 0);
+    }
+
+    #[test]
+    fn extend_merges_all_records() {
+        let mut a = PipelineTimeline::new();
+        a.push(rec(0, 0, 1.0, 0.0));
+        let mut b = PipelineTimeline::new();
+        b.push(rec(1, 0, 2.0, 0.0));
+        a.extend(&b);
+        assert_eq!(a.records().len(), 2);
+        assert_eq!(a.aggregate().dist_s, 3.0);
+    }
+
+    #[test]
+    fn overlapped_equals_lockstep_for_one_balanced_batch() {
+        // A fully balanced single batch keeps every device busy the whole
+        // time; the barrier costs nothing and the two accountings agree.
+        let mut t = PipelineTimeline::new();
+        for s in 0..2 {
+            for d in 0..2 {
+                t.push(brec(0, d, s, (d + 2 - s) % 2, 1.0));
+            }
+        }
+        assert!((t.makespan_s() - 2.0).abs() < 1e-12);
+        assert!((t.overlapped_makespan_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_is_below_lockstep_for_skewed_batch() {
+        // Two slow records on disjoint critical paths: chunk 0 is slow in
+        // stage 0 (device 0) and chunk 1 in stage 1 (device 2). Lock-step
+        // charges both stage maxima (5 + 5 + 1 = 11); the overlapped replay
+        // runs them concurrently and finishes at 7.
+        let mut t = PipelineTimeline::new();
+        t.push(brec(0, 0, 0, 0, 5.0));
+        t.push(brec(0, 1, 0, 1, 1.0));
+        t.push(brec(0, 2, 0, 2, 1.0));
+        t.push(brec(0, 1, 1, 0, 1.0));
+        t.push(brec(0, 2, 1, 1, 5.0));
+        t.push(brec(0, 0, 1, 2, 1.0));
+        t.push(brec(0, 2, 2, 0, 1.0));
+        t.push(brec(0, 0, 2, 1, 1.0));
+        t.push(brec(0, 1, 2, 2, 1.0));
+        assert!((t.makespan_s() - 11.0).abs() < 1e-12);
+        assert!((t.overlapped_makespan_s() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_pipelines_consecutive_batches() {
+        // Two single-chunk batches walking devices 0 then 1, unit cost:
+        // serialized lock-step would take 4.0; overlap fills device 0 while
+        // device 1 finishes batch 0 — makespan 3.0.
+        let mut t = PipelineTimeline::new();
+        t.push(brec(0, 0, 0, 0, 1.0));
+        t.push(brec(0, 1, 1, 0, 1.0));
+        t.push(brec(1, 0, 0, 0, 1.0));
+        t.push(brec(1, 1, 1, 0, 1.0));
+        assert!((t.overlapped_makespan_s() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_replay_is_insertion_order_independent() {
+        let mut a = PipelineTimeline::new();
+        let mut recs = vec![brec(0, 0, 0, 0, 1.5), brec(0, 1, 1, 0, 2.0), brec(1, 0, 0, 0, 0.5)];
+        for r in &recs {
+            a.push(*r);
+        }
+        recs.reverse();
+        let mut b = PipelineTimeline::new();
+        for r in &recs {
+            b.push(*r);
+        }
+        assert_eq!(a.overlapped_makespan_s(), b.overlapped_makespan_s());
     }
 }

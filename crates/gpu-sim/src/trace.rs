@@ -80,6 +80,7 @@ mod tests {
                 device: 0,
                 stage: s,
                 origin_chunk: 0,
+                batch: 0,
                 breakdown: TimeBreakdown { dist_s: dist, other_s: 0.0, comm_s: 0.0 },
                 counters: CostCounters::new(),
             });

@@ -8,8 +8,11 @@
 //! Relaxed-ordering counters must still provide.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use pathweaver::core::serve::{ServeConfig, Server, SubmitError};
 use pathweaver::obs;
+use pathweaver::prelude::*;
 use pathweaver::util::{parallel_for, parallel_for_spawning};
 
 /// Tests in this binary toggle the process-global observability flags, so
@@ -118,4 +121,78 @@ fn concurrent_registration_interns_one_instance_per_name() {
 
     let shard_total: u64 = (0..4).map(|s| snap.counters[&format!("search.stress.shard{s}")]).sum();
     assert_eq!(shard_total, 256, "interning split counts across duplicates");
+}
+
+/// Many submitter threads race the serve layer's admission queue —
+/// backpressure retries, interval flushes, and overlapped batches — across
+/// servers whose deadlines are drawn from a seeded pseudo-random sequence
+/// (expired-at-once, tight, comfortable, and none). Every accepted ticket
+/// must be answered exactly once, timed out or not.
+#[test]
+fn serve_survives_concurrent_submitters_with_random_deadlines() {
+    let _g = flag_guard();
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 37);
+    let idx = Arc::new(PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap());
+
+    const SUBMITTERS: usize = 6;
+    const PER_THREAD: usize = 20;
+    const BURST: usize = 5;
+    for round in 0..4u64 {
+        // Deadline budgets (ms) chosen by seeded draw so each run covers the
+        // same spread without wall-clock-dependent flakiness.
+        let deadline_ms = match pathweaver::util::seed_from_parts(93, "serve-stress", round) % 4 {
+            0 => None,
+            1 => Some(0.01),
+            2 => Some(0.5),
+            _ => Some(5.0),
+        };
+        let config = ServeConfig {
+            max_batch: 4,
+            flush_interval_ms: 0.2,
+            queue_capacity: 8, // Small: submitter bursts must hit QueueFull.
+            deadline_ms,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(Arc::clone(&idx), config);
+        let delivered = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..SUBMITTERS {
+                let (server, w, delivered) = (&server, &w, &delivered);
+                s.spawn(move || {
+                    let mut sent = 0usize;
+                    while sent < PER_THREAD {
+                        let burst = BURST.min(PER_THREAD - sent);
+                        let tickets: Vec<_> = (0..burst)
+                            .map(|i| {
+                                let row = (t * PER_THREAD + sent + i) % w.queries.len();
+                                loop {
+                                    match server.try_submit(w.queries.row(row)) {
+                                        Ok(ticket) => break ticket,
+                                        Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                                        Err(SubmitError::ShuttingDown) => {
+                                            unreachable!("shutdown begins after submitters join")
+                                        }
+                                    }
+                                }
+                            })
+                            .collect();
+                        sent += burst;
+                        for ticket in tickets {
+                            let res = ticket.wait();
+                            if !res.timed_out {
+                                assert!(!res.hits.is_empty(), "completed batch with no hits");
+                            }
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        server.shutdown();
+        assert_eq!(
+            delivered.load(Ordering::Relaxed),
+            (SUBMITTERS * PER_THREAD) as u64,
+            "round {round}: tickets stranded or duplicated"
+        );
+    }
 }

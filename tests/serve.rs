@@ -1,0 +1,118 @@
+//! Integration tests for the streaming serve layer: the streamed path must
+//! be bit-identical to `search_pipelined` (the determinism contract of
+//! `pathweaver::core::serve`), both for a single coalesced batch and across
+//! a stream of overlapped micro-batches.
+
+use std::sync::Arc;
+
+use pathweaver::core::serve::{serve_once, ServeConfig, Server};
+use pathweaver::prelude::*;
+
+/// Serializes tests that pin `PATHWEAVER_THREADS`; parallel test threads
+/// would otherwise race on the process-wide environment.
+fn with_single_thread<R>(f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prior = std::env::var("PATHWEAVER_THREADS").ok();
+    std::env::set_var("PATHWEAVER_THREADS", "1");
+    let result = f();
+    match prior {
+        Some(v) => std::env::set_var("PATHWEAVER_THREADS", v),
+        None => std::env::remove_var("PATHWEAVER_THREADS"),
+    }
+    result
+}
+
+/// Asserts two per-query hit lists are bit-identical (distances compared as
+/// raw f32 bits, not approximately).
+fn assert_hits_identical(a: &[Vec<(f32, u32)>], b: &[Vec<(f32, u32)>], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: query count");
+    for (q, (ha, hb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ha.len(), hb.len(), "{label}: query {q} hit count");
+        for (rank, (&(da, ia), &(db, ib))) in ha.iter().zip(hb).enumerate() {
+            assert_eq!(ia, ib, "{label}: query {q} rank {rank} id");
+            assert_eq!(
+                da.to_bits(),
+                db.to_bits(),
+                "{label}: query {q} rank {rank} distance ({da} vs {db})"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_stream_is_bit_identical_to_search_pipelined() {
+    with_single_thread(|| {
+        for devices in [1usize, 2, 3] {
+            let w = DatasetProfile::deep10m_like().workload(Scale::Test, 9, 10, 41);
+            let idx = Arc::new(
+                PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(devices)).unwrap(),
+            );
+            let params = SearchParams::default();
+            let direct = idx.search_pipelined(&w.queries, &params);
+            let served = serve_once(&idx, &w.queries, &params);
+            let label = format!("{devices} devices");
+            assert_hits_identical(&direct.hits, &served.hits, &label);
+            assert_eq!(direct.stats, served.stats, "{label}: stats diverged");
+            assert_eq!(direct.results, served.results, "{label}: result ids diverged");
+        }
+    });
+}
+
+#[test]
+fn serve_handles_fewer_queries_than_devices() {
+    // One query on a four-device ring: three chunks are empty and must be
+    // skipped, not shipped — on both the one-shot and the streamed path.
+    with_single_thread(|| {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 1, 10, 43);
+        let idx =
+            Arc::new(PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4)).unwrap());
+        let params = SearchParams::default();
+        let direct = idx.search_pipelined(&w.queries, &params);
+        let served = serve_once(&idx, &w.queries, &params);
+        assert_hits_identical(&direct.hits, &served.hits, "1 query / 4 devices");
+        assert_eq!(direct.stats, served.stats);
+        assert!(!served.hits[0].is_empty());
+    });
+}
+
+#[test]
+fn overlapped_batches_match_per_batch_pipelined() {
+    // Stream 8 queries through max_batch=2: the server forms four
+    // consecutive pairs and keeps them overlapped in flight. Each pair must
+    // still return exactly what a standalone `search_pipelined` over the
+    // same two rows returns.
+    with_single_thread(|| {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 47);
+        let idx =
+            Arc::new(PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap());
+        let params = SearchParams::default();
+        let config = ServeConfig {
+            max_batch: 2,
+            flush_interval_ms: 3_600_000.0, // Flush on size only.
+            params,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(Arc::clone(&idx), config);
+        let tickets: Vec<_> =
+            (0..w.queries.len()).map(|r| server.try_submit(w.queries.row(r)).unwrap()).collect();
+        server.shutdown(); // Flushes any unpaired remainder and drains.
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+        for pair in 0..w.queries.len() / 2 {
+            let mut two = pathweaver::vector::VectorSet::empty(idx.dim());
+            two.push(w.queries.row(2 * pair));
+            two.push(w.queries.row(2 * pair + 1));
+            let direct = idx.search_pipelined(&two, &params);
+            let streamed: Vec<Vec<(f32, u32)>> =
+                vec![results[2 * pair].hits.clone(), results[2 * pair + 1].hits.clone()];
+            assert_hits_identical(&direct.hits, &streamed, &format!("pair {pair}"));
+            assert_eq!(direct.stats, results[2 * pair].stats, "pair {pair} stats");
+            assert_eq!(
+                results[2 * pair].batch_id,
+                results[2 * pair + 1].batch_id,
+                "pair {pair} split across batches"
+            );
+        }
+    });
+}

@@ -171,6 +171,20 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard's
+    /// lock while parked. Mirrors `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, res) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -185,6 +199,21 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed,
+/// mirroring `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -227,5 +256,16 @@ mod tests {
             cv.notify_all();
         });
         assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        drop(g); // The guard must still hold the lock after the timeout.
+        assert!(m.try_lock().is_some());
     }
 }

@@ -453,10 +453,7 @@ mod tests {
 
     #[test]
     fn object_field_lookup() {
-        let v = Value::Object(vec![
-            ("a".into(), Value::Num(1.0)),
-            ("b".into(), Value::Bool(true)),
-        ]);
+        let v = Value::Object(vec![("a".into(), Value::Num(1.0)), ("b".into(), Value::Bool(true))]);
         assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
         assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
         assert!(v.get("c").is_none());

@@ -93,9 +93,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
     if let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() == '<' {
-            return Err(format!(
-                "vendored serde_derive does not support generic type `{name}`"
-            ));
+            return Err(format!("vendored serde_derive does not support generic type `{name}`"));
         }
     }
 
@@ -107,7 +105,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 Ok(Item::Enum { name, variants: enum_variants(g.stream())? })
             }
         }
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
             Ok(Item::TupleStruct { name, arity: count_top_level(g.stream()) })
         }
         Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
@@ -121,7 +121,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 /// each chunk to `f`. Group tokens (parens/brackets/braces) are opaque, so
 /// only angle brackets need explicit depth tracking; `->` is skipped so the
 /// `>` of a return arrow can't unbalance the count.
-fn split_top_level(stream: TokenStream, mut f: impl FnMut(&[TokenTree]) -> Result<(), String>) -> Result<(), String> {
+fn split_top_level(
+    stream: TokenStream,
+    mut f: impl FnMut(&[TokenTree]) -> Result<(), String>,
+) -> Result<(), String> {
     let mut chunk: Vec<TokenTree> = Vec::new();
     let mut angle = 0usize;
     let mut prev_dash = false;
@@ -257,9 +260,8 @@ fn gen_serialize(item: &Item) -> String {
              }}\n"
         ),
         Item::TupleStruct { name, arity } => {
-            let elems: String = (0..*arity)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
-                .collect();
+            let elems: String =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
             let body = if *arity == 1 {
                 "::serde::Serialize::to_value(&self.0)".to_string()
             } else {

@@ -334,12 +334,8 @@ impl Parser<'_> {
                                     if self.peek() == Some(b'u') {
                                         let lo = self.parse_hex4()?;
                                         if (0xDC00..0xE000).contains(&lo) {
-                                            let c = 0x10000
-                                                + ((cp - 0xD800) << 10)
-                                                + (lo - 0xDC00);
-                                            out.push(
-                                                char::from_u32(c).unwrap_or('\u{FFFD}'),
-                                            );
+                                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                            out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
                                         } else {
                                             out.push('\u{FFFD}');
                                         }
@@ -413,9 +409,7 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::msg("bad number"))?;
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| Error::msg(format!("bad number `{text}`")))
+        text.parse::<f64>().map(Value::Num).map_err(|_| Error::msg(format!("bad number `{text}`")))
     }
 }
 
