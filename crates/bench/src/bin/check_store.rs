@@ -1,0 +1,284 @@
+//! Crash-recovery gate: a seeded, deterministic corruption matrix over the
+//! durable index store, emitting machine-readable `store_report.json`.
+//!
+//! A durable store (segment + WAL with pending inserts and a delete) is
+//! built once; every case then damages a copy of it and reopens:
+//!
+//! - **WAL truncation** at every record boundary plus fuzzed interior
+//!   offsets. Reopen must succeed, replay exactly the intact record prefix,
+//!   and search identically to an index that never saw the torn records.
+//! - **WAL bit-flips** at fuzzed offsets. Body flips must truncate cleanly
+//!   from the damaged record on (same prefix contract); header flips may
+//!   instead be rejected with [`StoreError::Corrupt`].
+//! - **Segment bit-flips** at fuzzed offsets. Every byte of a segment is
+//!   checksum-covered, so any flip must be rejected with `Corrupt` — there
+//!   is no acceptable "opened anyway" outcome.
+//! - **Segment truncation** at fuzzed cut points: `Corrupt` likewise.
+//!
+//! No case may panic, and no case may open into a state whose search
+//! results match none of the valid WAL-prefix states (a silent wrong
+//! answer). Any violation is listed in the report and fails the gate.
+//!
+//! Environment: `PATHWEAVER_STORE_SEED` (default 4242) seeds the fuzzed
+//! offsets; `PATHWEAVER_STORE_OUT` overrides the report path (default
+//! `target/store_report.json`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use pathweaver_core::store::{StoreError, SEGMENT_FILE, WAL_FILE};
+use pathweaver_core::{DurableIndex, PathWeaverConfig, PathWeaverIndex};
+use pathweaver_datasets::{DatasetProfile, Scale};
+use pathweaver_search::SearchParams;
+use rand::Rng;
+use serde_json::{json, Value};
+
+/// Search results for the fixed query set — the identity we compare states
+/// by. Two stores are "the same index" iff these match.
+type Results = Vec<Vec<u32>>;
+
+struct Matrix {
+    work: PathBuf,
+    segment: Vec<u8>,
+    wal: Vec<u8>,
+    /// WAL length after 0, 1, .., n applied records (`[0]` is the header).
+    record_ends: Vec<usize>,
+    /// Search results after 0, 1, .., n applied records.
+    prefix_states: Vec<Results>,
+    queries: pathweaver_vector::VectorSet,
+    cases: usize,
+    failures: Vec<Value>,
+}
+
+impl Matrix {
+    /// What a reopen attempt did, reduced to the contract's vocabulary.
+    fn reopen(&self) -> Outcome {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            DurableIndex::open(&self.work)
+                .map(|ix| ix.search_pipelined(&self.queries, &SearchParams::default()).results)
+        }));
+        match caught {
+            Err(_) => Outcome::Panicked,
+            Ok(Err(StoreError::Corrupt { offset, detail })) => Outcome::Corrupt { offset, detail },
+            Ok(Err(e)) => Outcome::OtherError(format!("{e:?}")),
+            Ok(Ok(results)) => match self.prefix_states.iter().position(|s| *s == results) {
+                Some(k) => Outcome::OpenedAtPrefix(k),
+                None => Outcome::SilentWrongAnswer,
+            },
+        }
+    }
+
+    /// Writes one damaged store into the work dir and evaluates the case.
+    fn run_case(
+        &mut self,
+        label: String,
+        segment: &[u8],
+        wal: &[u8],
+        ok: impl Fn(&Outcome) -> bool,
+    ) {
+        std::fs::write(self.work.join(SEGMENT_FILE), segment).expect("stage segment");
+        std::fs::write(self.work.join(WAL_FILE), wal).expect("stage wal");
+        self.cases += 1;
+        let outcome = self.reopen();
+        if !ok(&outcome) {
+            println!("  FAIL {label}: {}", outcome.describe());
+            self.failures.push(json!({"case": label, "outcome": (outcome.describe())}));
+        }
+    }
+
+    /// Index of the last record boundary at or before `offset` — the number
+    /// of WAL records that must survive damage at that byte.
+    fn intact_prefix(&self, offset: usize) -> usize {
+        self.record_ends.iter().rposition(|&e| e <= offset).unwrap_or(0)
+    }
+}
+
+enum Outcome {
+    /// Store opened; searches matched WAL-prefix state `k`.
+    OpenedAtPrefix(usize),
+    Corrupt {
+        offset: u64,
+        detail: String,
+    },
+    OtherError(String),
+    SilentWrongAnswer,
+    Panicked,
+}
+
+impl Outcome {
+    fn describe(&self) -> String {
+        match self {
+            Self::OpenedAtPrefix(k) => format!("opened at WAL prefix {k}"),
+            Self::Corrupt { offset, detail } => format!("rejected: corrupt at {offset}: {detail}"),
+            Self::OtherError(e) => format!("rejected: {e}"),
+            Self::SilentWrongAnswer => "opened with results matching no valid state".into(),
+            Self::Panicked => "panicked".into(),
+        }
+    }
+}
+
+fn flip(bytes: &[u8], offset: usize, bit: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[offset] ^= 1 << bit;
+    out
+}
+
+fn build_matrix(root: &Path, seed: u64) -> Matrix {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, seed);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2))
+        .expect("matrix index builds");
+    let pristine = root.join("pristine");
+    std::fs::create_dir_all(&pristine).expect("create pristine dir");
+    let mut durable = DurableIndex::create(idx, &pristine).expect("create durable store");
+
+    let params = SearchParams::default();
+    let snap = |ix: &PathWeaverIndex| ix.search_pipelined(&w.queries, &params).results;
+    let wal_len = || std::fs::metadata(pristine.join(WAL_FILE)).expect("wal meta").len() as usize;
+
+    let mut record_ends = vec![wal_len()];
+    let mut prefix_states = vec![snap(&durable)];
+    // Each mutation must visibly change some query's results, or the
+    // prefix states would be indistinguishable and the matrix could not
+    // tell which state a recovered store landed in: insert the query
+    // vectors themselves (each becomes its own query's exact top hit),
+    // then delete the first of them (query 0's results revert).
+    let base_len = w.base.len() as u32;
+    for r in 0..4 {
+        durable.insert(w.queries.row(r)).expect("wal insert");
+        record_ends.push(wal_len());
+        prefix_states.push(snap(&durable));
+    }
+    assert!(durable.delete(base_len).expect("wal delete"));
+    record_ends.push(wal_len());
+    prefix_states.push(snap(&durable));
+    drop(durable);
+    for (a, sa) in prefix_states.iter().enumerate() {
+        for (b, sb) in prefix_states.iter().enumerate().skip(a + 1) {
+            assert_ne!(sa, sb, "prefix states {a} and {b} are indistinguishable");
+        }
+    }
+
+    let segment = std::fs::read(pristine.join(SEGMENT_FILE)).expect("read segment");
+    let wal = std::fs::read(pristine.join(WAL_FILE)).expect("read wal");
+    let work = root.join("case");
+    std::fs::create_dir_all(&work).expect("create case dir");
+    Matrix {
+        work,
+        segment,
+        wal,
+        record_ends,
+        prefix_states,
+        queries: w.queries,
+        cases: 0,
+        failures: Vec::new(),
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("PATHWEAVER_STORE_SEED")
+        .ok()
+        .map(|s| s.parse().expect("PATHWEAVER_STORE_SEED must be an integer"))
+        .unwrap_or(4242);
+    let root = std::env::temp_dir().join(format!("pw-check-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut m = build_matrix(&root, seed);
+    let mut rng = pathweaver_util::small_rng(seed);
+    println!(
+        "check_store: seed {seed}, segment {} bytes, wal {} bytes ({} records)",
+        m.segment.len(),
+        m.wal.len(),
+        m.record_ends.len() - 1
+    );
+
+    // WAL truncation: every record boundary, plus fuzzed interior cuts.
+    // The contract is exact: replay precisely the intact prefix.
+    let mut cuts: Vec<usize> = m.record_ends.clone();
+    cuts.extend((0..48).map(|_| rng.gen_range(0..m.wal.len())));
+    for cut in cuts {
+        let expect = m.intact_prefix(cut);
+        let (segment, wal) = (m.segment.clone(), m.wal[..cut].to_vec());
+        m.run_case(
+            format!("wal-truncate@{cut}"),
+            &segment,
+            &wal,
+            |o| matches!(o, Outcome::OpenedAtPrefix(k) if *k == expect),
+        );
+    }
+    // Cutting into the 16-byte WAL header may instead be rejected outright.
+    for cut in 0..m.record_ends[0] {
+        let (segment, wal) = (m.segment.clone(), m.wal[..cut].to_vec());
+        m.run_case(format!("wal-header-truncate@{cut}"), &segment, &wal, |o| {
+            matches!(o, Outcome::Corrupt { .. } | Outcome::OpenedAtPrefix(0))
+        });
+    }
+
+    // WAL bit-flips: body damage truncates from the damaged record on;
+    // header damage is rejected (or ignored, if the flip lands in a byte the
+    // format does not interpret — still a valid prefix-0..n open, never a
+    // wrong answer).
+    let header = m.record_ends[0];
+    for _ in 0..64 {
+        let offset = rng.gen_range(0..m.wal.len());
+        let bit = rng.gen_range(0..8u8);
+        let expect = m.intact_prefix(offset);
+        let (segment, wal) = (m.segment.clone(), flip(&m.wal, offset, bit));
+        if offset < header {
+            m.run_case(format!("wal-header-flip@{offset}.{bit}"), &segment, &wal, |o| {
+                matches!(o, Outcome::Corrupt { .. } | Outcome::OpenedAtPrefix(_))
+            });
+        } else {
+            m.run_case(
+                format!("wal-flip@{offset}.{bit}"),
+                &segment,
+                &wal,
+                |o| matches!(o, Outcome::OpenedAtPrefix(k) if *k == expect),
+            );
+        }
+    }
+
+    // Segment bit-flips: every byte is under a checksum, so every flip must
+    // surface as Corrupt — opening at all would be a checksum hole.
+    for _ in 0..64 {
+        let offset = rng.gen_range(0..m.segment.len());
+        let bit = rng.gen_range(0..8u8);
+        let (segment, wal) = (flip(&m.segment, offset, bit), m.wal.clone());
+        m.run_case(format!("segment-flip@{offset}.{bit}"), &segment, &wal, |o| {
+            matches!(o, Outcome::Corrupt { .. })
+        });
+    }
+
+    // Segment truncation: likewise Corrupt (the header records the exact
+    // file length).
+    for _ in 0..16 {
+        let cut = rng.gen_range(0..m.segment.len());
+        let (segment, wal) = (m.segment[..cut].to_vec(), m.wal.clone());
+        m.run_case(format!("segment-truncate@{cut}"), &segment, &wal, |o| {
+            matches!(o, Outcome::Corrupt { .. })
+        });
+    }
+
+    let report = json!({
+        "gate": "check_store",
+        "seed": seed,
+        "cases": (m.cases),
+        "wal_records": (m.record_ends.len() - 1),
+        "segment_bytes": (m.segment.len()),
+        "wal_bytes": (m.wal.len()),
+        "failures": (&m.failures)
+    });
+    let path = std::env::var("PATHWEAVER_STORE_OUT")
+        .unwrap_or_else(|_| "target/store_report.json".to_string());
+    if let Some(dir) = Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
+    let mut text = serde_json::to_string_pretty(&report).expect("serialize report");
+    text.push('\n');
+    std::fs::write(&path, text).expect("write report");
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!("check_store: {} cases, {} failures — wrote {path}", m.cases, m.failures.len());
+    if !m.failures.is_empty() {
+        eprintln!("check_store: corruption matrix found contract violations");
+        std::process::exit(1);
+    }
+}

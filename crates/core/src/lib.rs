@@ -19,7 +19,11 @@
 //! - [`serve`]: streaming query serving — a micro-batching admission queue
 //!   over a persistent device ring that keeps multiple batches overlapped in
 //!   flight (the throughput mode §3.1's pipelining exists for).
-//! - [`dynamic`]: shard-local insertions and logical deletions (§6.2).
+//! - [`dynamic`]: shard-local insertions and logical deletions (§6.2), and
+//!   [`DurableIndex`] — the same mutations under write-ahead durability.
+//! - [`store`]: the durable index store — checksummed zero-copy segment
+//!   files plus a write-ahead log, with a legacy-directory loader behind a
+//!   format probe.
 //! - [`report`]: JSON experiment records for the reproduction harness.
 //!
 //! # Quickstart
@@ -59,16 +63,20 @@ pub mod shard;
 pub mod store;
 
 pub use config::PathWeaverConfig;
+pub use dynamic::DurableIndex;
 pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
 pub use serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
+pub use store::{StoreError, StoreReport};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
     pub use crate::config::PathWeaverConfig;
+    pub use crate::dynamic::DurableIndex;
     pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
     pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};
     pub use crate::serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
+    pub use crate::store::{StoreError, StoreReport};
     pub use pathweaver_datasets::{recall_batch, DatasetProfile, Scale, Workload};
     pub use pathweaver_gpusim::{CostModel, DeviceSpec, RingTopology};
     pub use pathweaver_search::{DgsParams, SearchParams};

@@ -1,9 +1,4 @@
-//! Index persistence.
-//!
-//! Saves a built [`PathWeaverIndex`] as a directory tree so indices survive
-//! process restarts (the expensive artifacts — per-shard vectors, graphs,
-//! ghost shards, inter-shard tables — are stored in compact binary formats;
-//! the direction table is cheap to recompute and is rebuilt on load):
+//! The legacy (v1) directory format: one file per structure per shard.
 //!
 //! ```text
 //! index-dir/
@@ -19,95 +14,33 @@
 //!     ghost-graph.pwgr         ghost graph (optional)
 //!   shard-001/ ...
 //! ```
+//!
+//! Every array is deserialized record by record and the direction tables
+//! are rebuilt from scratch on load, which is why the segment format
+//! superseded it (see the `segment_open` wallclock bench entry). Kept so
+//! existing stores load; `pwctl compact` rewrites them as segments.
 
-use crate::config::PathWeaverConfig;
+use super::{malformed, Meta, StoreError};
 use crate::index::{PathWeaverIndex, ShardIndex};
 use crate::shard::ShardAssignment;
 use pathweaver_datasets::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
 use pathweaver_gpusim::MemoryLedger;
 use pathweaver_graph::serialize::{read_graph, write_graph};
-use pathweaver_graph::{BuildReport, DirectionTable, GhostParams, GhostShard, InterShardTable};
+use pathweaver_graph::{BuildReport, DirectionTable, GhostShard, InterShardTable};
 use pathweaver_util::FixedBitSet;
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
-/// Errors raised while saving or loading an index.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Underlying IO failure.
-    Io(std::io::Error),
-    /// Structurally invalid index directory.
-    Malformed(String),
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "io error: {e}"),
-            Self::Malformed(m) => write!(f, "malformed index directory: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-impl From<std::io::Error> for StoreError {
-    fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
-    }
-}
-
-fn malformed(e: impl std::fmt::Display) -> StoreError {
-    StoreError::Malformed(e.to_string())
-}
-
-/// The JSON-serializable subset of the configuration; device and topology
-/// models are reconstructed from presets on load.
-#[derive(Debug, Serialize, Deserialize)]
-struct Meta {
-    version: u32,
-    num_devices: usize,
-    dim: usize,
-    num_vectors: usize,
-    graph: pathweaver_graph::CagraBuildParams,
-    intershard: pathweaver_graph::InterShardParams,
-    build_dir_table: bool,
-    ghost: Option<GhostParams>,
-    forward_width: usize,
-    ghost_iterations: usize,
-    ghost_entries: usize,
-    ghost_beam: usize,
-    ghost_seeds: usize,
-    seed_extra_random: usize,
-    seed: u64,
-}
-
-/// Saves `index` under `dir` (created if missing).
+/// Saves `index` under `dir` (created if missing) in the legacy directory
+/// format.
 ///
 /// # Errors
 ///
 /// IO failures; the directory is left in an undefined state on error.
-pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+pub fn save_index_legacy(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), StoreError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
-    let meta = Meta {
-        version: 1,
-        num_devices: index.num_devices(),
-        dim: index.dim(),
-        num_vectors: index.num_vectors,
-        graph: index.config.graph,
-        intershard: index.config.intershard,
-        build_dir_table: index.config.build_dir_table,
-        ghost: index.config.ghost,
-        forward_width: index.config.forward_width,
-        ghost_iterations: index.config.ghost_iterations,
-        ghost_entries: index.config.ghost_entries,
-        ghost_beam: index.config.ghost_beam,
-        ghost_seeds: index.config.ghost_seeds,
-        seed_extra_random: index.config.seed_extra_random,
-        seed: index.config.seed,
-    };
+    let meta = Meta::from_index(1, index);
     fs::write(
         dir.join("meta.json"),
         serde_json::to_string_pretty(&meta).expect("meta serializes"),
@@ -127,9 +60,11 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
         write_ivecs(fs::File::create(sdir.join("deleted.ivecs"))?, &[deleted])
             .map_err(malformed)?;
         if let Some(t) = &shard.intershard {
-            let targets: Vec<u32> = (0..t.len() as u32).map(|u| t.target(u)).collect();
-            write_ivecs(fs::File::create(sdir.join("intershard.ivecs"))?, &[targets])
-                .map_err(malformed)?;
+            write_ivecs(
+                fs::File::create(sdir.join("intershard.ivecs"))?,
+                &[t.as_targets().to_vec()],
+            )
+            .map_err(malformed)?;
         }
         if let Some(g) = &shard.ghost {
             write_ivecs(
@@ -146,8 +81,8 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
     Ok(())
 }
 
-/// Loads an index saved by [`save_index`], rebuilding the direction tables
-/// and memory ledgers.
+/// Loads an index saved by [`save_index_legacy`], rebuilding the direction
+/// tables and memory ledgers.
 ///
 /// The device/topology models come from the standard presets (the saved
 /// index carries algorithmic state, not simulator calibration).
@@ -156,30 +91,25 @@ pub fn save_index(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Result<(), 
 ///
 /// IO failures or structural mismatches (missing files, inconsistent
 /// shapes).
-pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> {
+pub fn load_index_legacy(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> {
     let dir = dir.as_ref();
     let meta: Meta =
         serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?).map_err(malformed)?;
     if meta.version != 1 {
         return Err(StoreError::Malformed(format!("unsupported version {}", meta.version)));
     }
-    let mut config = PathWeaverConfig::full(meta.num_devices);
-    config.graph = meta.graph;
-    config.intershard = meta.intershard;
-    config.build_dir_table = meta.build_dir_table;
-    config.ghost = meta.ghost;
-    config.forward_width = meta.forward_width;
-    config.ghost_iterations = meta.ghost_iterations;
-    config.ghost_entries = meta.ghost_entries;
-    config.ghost_beam = meta.ghost_beam;
-    config.ghost_seeds = meta.ghost_seeds;
-    config.seed_extra_random = meta.seed_extra_random;
-    config.seed = meta.seed;
+    let config = meta.to_config();
 
     let mut shards = Vec::with_capacity(meta.num_devices);
     let mut members = Vec::with_capacity(meta.num_devices);
     for s in 0..meta.num_devices {
         let sdir = dir.join(format!("shard-{s:03}"));
+        if !sdir.is_dir() {
+            return Err(StoreError::Malformed(format!(
+                "missing shard directory {s} of {} (shard-count mismatch)",
+                meta.num_devices
+            )));
+        }
         // Restore the aligned storage the build phase uses (fvecs on disk is
         // compact; distances are identical either way).
         let vectors = read_fvecs(fs::File::open(sdir.join("vectors.fvecs"))?, None)
@@ -234,11 +164,7 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
                     vectors.len()
                 )));
             }
-            let mut t = InterShardTable::empty();
-            for v in targets {
-                t.push(v);
-            }
-            Some(t)
+            Some(InterShardTable::from_targets(targets))
         } else {
             None
         };
@@ -270,6 +196,17 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
         });
     }
 
+    finish_load(meta, config, shards, members)
+}
+
+/// Shared tail of both loaders: ring-target validation, shard assignment
+/// and memory-ledger reconstruction.
+pub(crate) fn finish_load(
+    meta: Meta,
+    config: crate::config::PathWeaverConfig,
+    shards: Vec<ShardIndex>,
+    members: Vec<Vec<u32>>,
+) -> Result<PathWeaverIndex, StoreError> {
     // Targets must land inside the ring successor's shard.
     for s in 0..shards.len() {
         if let Some(t) = &shards[s].intershard {
@@ -310,67 +247,36 @@ pub fn load_index(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreError> 
 
 #[cfg(test)]
 mod tests {
+    use super::super::testutil::TempDir;
     use super::*;
-    use pathweaver_datasets::{recall_batch, DatasetProfile, Scale};
+    use crate::config::PathWeaverConfig;
+    use pathweaver_datasets::{DatasetProfile, Scale};
     use pathweaver_search::SearchParams;
 
-    fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("pw-store-{tag}-{}", std::process::id()));
-        fs::create_dir_all(&d).unwrap();
-        d
-    }
-
     #[test]
-    fn roundtrip_preserves_search_results() {
+    fn legacy_roundtrip_preserves_search_results() {
         let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 71);
         let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
-        let dir = temp_dir("roundtrip");
-        save_index(&idx, &dir).unwrap();
-        let loaded = load_index(&dir).unwrap();
-        assert_eq!(loaded.num_devices(), 2);
-        assert_eq!(loaded.dim(), idx.dim());
-        assert_eq!(loaded.num_vectors, idx.num_vectors);
+        let dir = TempDir::new("legacy-roundtrip");
+        save_index_legacy(&idx, dir.path()).unwrap();
+        // The probe must route a legacy directory to this loader.
+        let loaded = super::super::load_index(dir.path()).unwrap();
         let params = SearchParams::default();
         let a = idx.search_pipelined(&w.queries, &params);
         let b = loaded.search_pipelined(&w.queries, &params);
-        assert_eq!(a.results, b.results, "loaded index must search identically");
-        let recall = recall_batch(&w.ground_truth, &b.results, 10);
-        assert!(recall > 0.8);
-        fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn tombstones_survive_roundtrip() {
-        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 72);
-        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
-        let victim = idx.shards[0].global_ids[3];
-        assert!(idx.delete(victim));
-        let dir = temp_dir("tombstone");
-        save_index(&idx, &dir).unwrap();
-        let mut loaded = load_index(&dir).unwrap();
-        assert_eq!(loaded.live_vectors(), idx.live_vectors());
-        assert!(!loaded.delete(victim), "already tombstoned");
-        fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn missing_meta_is_clean_error() {
-        let dir = temp_dir("missing");
-        assert!(matches!(load_index(&dir), Err(StoreError::Io(_))));
-        fs::remove_dir_all(&dir).ok();
+        assert_eq!(a.results, b.results, "legacy-loaded index must search identically");
     }
 
     #[test]
     fn corrupted_graph_is_detected() {
         let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, 73);
         let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
-        let dir = temp_dir("corrupt");
-        save_index(&idx, &dir).unwrap();
+        let dir = TempDir::new("legacy-corrupt");
+        save_index_legacy(&idx, dir.path()).unwrap();
         let victim = dir.join("shard-000/graph.pwgr");
         let mut bytes = fs::read(&victim).unwrap();
         bytes.truncate(bytes.len() / 2);
         fs::write(&victim, bytes).unwrap();
-        assert!(matches!(load_index(&dir), Err(StoreError::Malformed(_))));
-        fs::remove_dir_all(&dir).ok();
+        assert!(matches!(load_index_legacy(dir.path()), Err(StoreError::Malformed(_))));
     }
 }

@@ -65,7 +65,11 @@ pub fn read_fvecs(mut r: impl Read, limit: Option<usize>) -> Result<VectorSet, I
             _ => {}
         }
         if buf.remaining() < 4 * d {
-            return Err(IoError::Malformed("truncated record".into()));
+            return Err(IoError::Malformed(format!(
+                "truncated record {count}: {} of {} payload bytes",
+                buf.remaining(),
+                4 * d
+            )));
         }
         for _ in 0..d {
             data.push(buf.get_f32_le());
@@ -111,7 +115,12 @@ pub fn read_ivecs(mut r: impl Read, limit: Option<usize>) -> Result<Vec<Vec<u32>
         }
         let d = d as usize;
         if buf.remaining() < 4 * d {
-            return Err(IoError::Malformed("truncated record".into()));
+            return Err(IoError::Malformed(format!(
+                "truncated record {}: {} of {} payload bytes",
+                out.len(),
+                buf.remaining(),
+                4 * d
+            )));
         }
         let mut rec = Vec::with_capacity(d);
         for _ in 0..d {
@@ -163,7 +172,10 @@ pub fn read_bvecs(mut r: impl Read, limit: Option<usize>) -> Result<VectorSet, I
             _ => {}
         }
         if buf.remaining() < d {
-            return Err(IoError::Malformed("truncated record".into()));
+            return Err(IoError::Malformed(format!(
+                "truncated record {count}: {} of {d} payload bytes",
+                buf.remaining()
+            )));
         }
         for _ in 0..d {
             data.push(f32::from(buf.get_u8()));

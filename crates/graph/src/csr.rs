@@ -24,18 +24,35 @@ impl FixedDegreeGraph {
     /// Panics if `degree == 0`, the buffer is not a multiple of `degree`, or
     /// any neighbor id is out of range.
     pub fn from_flat(degree: usize, adjacency: Vec<u32>) -> Self {
-        assert!(degree > 0, "degree must be positive");
-        assert!(
-            adjacency.len().is_multiple_of(degree),
-            "adjacency length {} not a multiple of degree {degree}",
-            adjacency.len()
-        );
+        match Self::try_from_flat(degree, adjacency) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`FixedDegreeGraph::from_flat`] for loaders that
+    /// must turn structural problems into errors instead of panics (the
+    /// durable store rejects corrupt adjacency sections this way).
+    ///
+    /// # Errors
+    ///
+    /// A description of the structural violation: zero degree, ragged
+    /// buffer, or an out-of-range neighbor id.
+    pub fn try_from_flat(degree: usize, adjacency: Vec<u32>) -> Result<Self, String> {
+        if degree == 0 {
+            return Err("degree must be positive".into());
+        }
+        if !adjacency.len().is_multiple_of(degree) {
+            return Err(format!(
+                "adjacency length {} not a multiple of degree {degree}",
+                adjacency.len()
+            ));
+        }
         let n = adjacency.len() / degree;
-        assert!(
-            adjacency.iter().all(|&v| (v as usize) < n),
-            "neighbor id out of range for {n} nodes"
-        );
-        Self { degree, adjacency }
+        if !adjacency.iter().all(|&v| (v as usize) < n) {
+            return Err(format!("neighbor id out of range for {n} nodes"));
+        }
+        Ok(Self { degree, adjacency })
     }
 
     /// Creates a graph from per-node neighbor lists, each exactly `degree`

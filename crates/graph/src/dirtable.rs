@@ -84,6 +84,32 @@ impl DirectionTable {
         self.codes.len() * std::mem::size_of::<u32>()
     }
 
+    /// The packed code words in their exact in-memory layout (row-major
+    /// `num_nodes × degree × words_per_code`), for persistence.
+    pub fn as_words(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Rebuilds a table from persisted code words.
+    ///
+    /// # Errors
+    ///
+    /// A description of the structural violation when the shape parameters
+    /// are inconsistent with the word count or with `dim`.
+    pub fn try_from_words(dim: usize, degree: usize, codes: Vec<u32>) -> Result<Self, String> {
+        if dim == 0 || degree == 0 {
+            return Err("zero dim or degree".into());
+        }
+        let words = sign_code_words(dim);
+        if !codes.len().is_multiple_of(degree * words) {
+            return Err(format!(
+                "code count {} not a multiple of degree {degree} x {words} words",
+                codes.len()
+            ));
+        }
+        Ok(Self { dim, degree, words, codes })
+    }
+
     /// Recomputes the codes of one node's adjacency row in place (dynamic
     /// updates, §6.2).
     pub fn rebuild_node(&mut self, vectors: &VectorSet, graph: &FixedDegreeGraph, u: u32) {

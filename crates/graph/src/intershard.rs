@@ -137,6 +137,17 @@ impl InterShardTable {
     pub fn push(&mut self, target: u32) {
         self.targets.push(target);
     }
+
+    /// The raw target ids in their exact in-memory layout, for persistence.
+    pub fn as_targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Rebuilds a table from persisted targets (range checks against the
+    /// adjacent shard are the caller's, which knows the ring).
+    pub fn from_targets(targets: Vec<u32>) -> Self {
+        Self { targets }
+    }
 }
 
 #[cfg(test)]

@@ -84,13 +84,11 @@ pub fn read_graph(mut r: impl Read) -> Result<FixedDegreeGraph, SerializeError> 
     }
     let mut adj = Vec::with_capacity(want);
     for _ in 0..want {
-        let v = buf.get_u32_le();
-        if v as usize >= nodes {
-            return Err(SerializeError::Format(format!("neighbor {v} out of {nodes} nodes")));
-        }
-        adj.push(v);
+        adj.push(buf.get_u32_le());
     }
-    Ok(FixedDegreeGraph::from_flat(degree, adj))
+    // Structural validation (range checks) lives with the graph type so the
+    // durable store's segment loader shares it verbatim.
+    FixedDegreeGraph::try_from_flat(degree, adj).map_err(SerializeError::Format)
 }
 
 #[cfg(test)]

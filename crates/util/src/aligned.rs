@@ -1,0 +1,266 @@
+//! 64-byte-aligned byte buffers with typed word views.
+//!
+//! The durable index store (`pathweaver_core::store::segment`) lays every
+//! array section of a segment file out at a 64-byte-aligned file offset so
+//! the whole file can be pulled in with **one read into one aligned buffer**
+//! and each section viewed directly as `&[f32]` / `&[u32]` / `&[u64]` — no
+//! per-record framing, no per-element decode loop. This module is the one
+//! audited home of the pointer casts that implement those views (registered
+//! in `lint.toml` under `allow.raw-pointer`, next to the worker pool's job
+//! slots and the SIMD kernels).
+//!
+//! The typed views assume the file bytes are little-endian, which matches
+//! every tier-1 target (x86-64, aarch64). On a big-endian host the views
+//! fall back to a checked per-word decode so the format stays portable.
+
+/// The allocation unit: one cache line of bytes, 64-byte aligned. A
+/// `Vec<Line>` is therefore a gap-free byte buffer whose base sits on a
+/// 64-byte boundary (size == align == 64, so there is no stride padding).
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy)]
+struct Line([u8; 64]);
+
+/// Bytes per allocation line — the buffer's base alignment and the file
+/// layout's section-offset granule.
+pub const ALIGN: usize = 64;
+
+/// A heap byte buffer whose base address is 64-byte aligned.
+///
+/// Sections placed at offsets that are multiples of [`ALIGN`] can be viewed
+/// as typed word slices without copying ([`AlignedBytes::f32s`],
+/// [`AlignedBytes::u32s`], [`AlignedBytes::u64s`]).
+#[derive(Debug, Clone)]
+pub struct AlignedBytes {
+    lines: Vec<Line>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Allocates a zeroed buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self { lines: vec![Line([0; ALIGN]); len.div_ceil(ALIGN)], len }
+    }
+
+    /// Copies `bytes` into a fresh aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut buf = Self::zeroed(bytes.len());
+        buf.as_mut_slice().copy_from_slice(bytes);
+        buf
+    }
+
+    /// Reads `r` to its end into a fresh aligned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO error.
+    pub fn read_to_end(mut r: impl std::io::Read) -> std::io::Result<Self> {
+        // Read::read_to_end targets Vec<u8>; one bulk copy moves the bytes
+        // onto the aligned allocation. (The copy, not the alignment, is what
+        // an mmap-backed variant would remove.)
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        Ok(Self::from_bytes(&raw))
+    }
+
+    /// Number of logical bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as plain bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `Line` is `repr(C, align(64))` wrapping a single
+        // `[u8; 64]` field with size == align == 64, so a `Line` slice is a
+        // contiguous, fully initialized byte buffer of 64x its length;
+        // `self.len <= lines.len() * 64` by construction in `zeroed`.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// The buffer as mutable bytes.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as in `as_slice`; the exclusive borrow of `self` makes the
+        // byte view unique, and `u8` has no validity invariants to break.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Views `count` little-endian `f32`s at byte `offset`.
+    ///
+    /// Returns `None` when the range is out of bounds or `offset` is not
+    /// 4-byte aligned (section offsets in the store are 64-byte aligned, so
+    /// this never fires on well-formed files).
+    pub fn f32s(&self, offset: usize, count: usize) -> Option<TypedView<'_, f32>> {
+        self.view(offset, count)
+    }
+
+    /// Views `count` little-endian `u32`s at byte `offset` (alignment and
+    /// bounds checked as in [`AlignedBytes::f32s`]).
+    pub fn u32s(&self, offset: usize, count: usize) -> Option<TypedView<'_, u32>> {
+        self.view(offset, count)
+    }
+
+    /// Views `count` little-endian `u64`s at byte `offset` (alignment and
+    /// bounds checked as in [`AlignedBytes::f32s`]).
+    pub fn u64s(&self, offset: usize, count: usize) -> Option<TypedView<'_, u64>> {
+        self.view(offset, count)
+    }
+
+    fn view<T: LeWord>(&self, offset: usize, count: usize) -> Option<TypedView<'_, T>> {
+        let size = std::mem::size_of::<T>();
+        let bytes = count.checked_mul(size)?;
+        let end = offset.checked_add(bytes)?;
+        if end > self.len || !offset.is_multiple_of(size) {
+            return None;
+        }
+        let raw = &self.as_slice()[offset..end];
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `raw` starts at `base + offset` where `base` is
+            // 64-byte aligned and `offset` is a multiple of `size_of::<T>`,
+            // so the pointer is aligned for `T`; the range is in bounds
+            // (checked above), fully initialized, and `T` is one of
+            // f32/u32/u64 — plain-old-data types for which every bit
+            // pattern is valid. The borrow keeps the buffer alive and
+            // immutable for the view's lifetime.
+            let words = unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<T>(), count) };
+            Some(TypedView::Borrowed(words))
+        }
+        #[cfg(target_endian = "big")]
+        {
+            let mut words = Vec::with_capacity(count);
+            for chunk in raw.chunks_exact(size) {
+                words.push(T::from_le_chunk(chunk));
+            }
+            Some(TypedView::Owned(words))
+        }
+    }
+}
+
+/// A typed word view over an [`AlignedBytes`] section: borrowed (zero-copy)
+/// on little-endian hosts, owned (decoded) on big-endian ones.
+#[derive(Debug)]
+pub enum TypedView<'a, T> {
+    /// Direct reinterpretation of the aligned file bytes.
+    Borrowed(&'a [T]),
+    /// Per-word decoded copy (big-endian fallback).
+    Owned(Vec<T>),
+}
+
+impl<T> std::ops::Deref for TypedView<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            Self::Borrowed(s) => s,
+            Self::Owned(v) => v,
+        }
+    }
+}
+
+/// Fixed-width words the store reads and writes in little-endian order.
+pub trait LeWord: Copy {
+    /// Decodes one word from exactly `size_of::<Self>()` little-endian bytes.
+    fn from_le_chunk(chunk: &[u8]) -> Self;
+    /// Appends the word's little-endian bytes to `out`.
+    fn put_le(self, out: &mut Vec<u8>);
+}
+
+macro_rules! impl_le_word {
+    ($($t:ty),*) => {$(
+        impl LeWord for $t {
+            fn from_le_chunk(chunk: &[u8]) -> Self {
+                <$t>::from_le_bytes(chunk.try_into().expect("exact chunk"))
+            }
+            fn put_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_le_word!(f32, u32, u64);
+
+/// Appends a word slice to `out` in little-endian order and returns the
+/// byte count written (the write-side twin of the typed views).
+pub fn put_le_words<T: LeWord>(out: &mut Vec<u8>, words: &[T]) -> usize {
+    let before = out.len();
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `T: LeWord` is one of f32/u32/u64 — plain-old-data with no
+        // padding — so the slice's backing bytes are fully initialized and
+        // on a little-endian host already carry the on-disk byte order.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), std::mem::size_of_val(words))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(target_endian = "big")]
+    {
+        for &w in words {
+            w.put_le(out);
+        }
+    }
+    out.len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_64_byte_aligned() {
+        for len in [0usize, 1, 63, 64, 65, 4096] {
+            let buf = AlignedBytes::zeroed(len);
+            assert_eq!(buf.len(), len);
+            if len > 0 {
+                assert_eq!(buf.as_slice().as_ptr() as usize % ALIGN, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn typed_views_roundtrip() {
+        let f: Vec<f32> = (0..16).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let u: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let w: Vec<u64> = (0..8).map(|i| u64::MAX / (i + 1)).collect();
+        let mut bytes = Vec::new();
+        put_le_words(&mut bytes, &f);
+        put_le_words(&mut bytes, &u);
+        put_le_words(&mut bytes, &w);
+        let buf = AlignedBytes::from_bytes(&bytes);
+        assert_eq!(&*buf.f32s(0, 16).unwrap(), &f[..]);
+        assert_eq!(&*buf.u32s(64, 16).unwrap(), &u[..]);
+        assert_eq!(&*buf.u64s(128, 8).unwrap(), &w[..]);
+    }
+
+    #[test]
+    fn out_of_bounds_and_misaligned_views_are_none() {
+        let buf = AlignedBytes::zeroed(64);
+        assert!(buf.u32s(0, 17).is_none(), "past the end");
+        assert!(buf.u32s(2, 1).is_none(), "offset not word-aligned");
+        assert!(buf.u64s(60, 1).is_none(), "straddles the end");
+        assert!(buf.u32s(usize::MAX, 2).is_none(), "offset overflow");
+        assert!(buf.u32s(0, usize::MAX).is_none(), "count overflow");
+        assert!(buf.f32s(64, 0).is_some(), "empty view at the end is fine");
+    }
+
+    #[test]
+    fn read_to_end_copies_everything() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i % 251) as u8).collect();
+        let buf = AlignedBytes::read_to_end(&data[..]).unwrap();
+        assert_eq!(buf.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn mutation_shows_through_views() {
+        let mut buf = AlignedBytes::zeroed(8);
+        buf.as_mut_slice()[..4].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(&*buf.u32s(0, 2).unwrap(), &[7, 0]);
+    }
+}

@@ -78,6 +78,49 @@ impl FixedBitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The backing `u64` words (bit `i` of word `i / 64` is index `i`).
+    ///
+    /// Exposed so the durable store can persist tombstone bitmaps in their
+    /// exact in-memory layout.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitset from its persisted words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `capacity.div_ceil(64)` long or any
+    /// bit at or beyond `capacity` is set (a corrupt bitmap must not
+    /// silently widen the set).
+    pub fn from_words(capacity: usize, words: Vec<u64>) -> Self {
+        match Self::try_from_words(capacity, words) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`FixedBitSet::from_words`] for loaders that must turn
+    /// shape violations into recoverable errors.
+    ///
+    /// # Errors
+    ///
+    /// A description of the violation when the word count disagrees with
+    /// `capacity` or a bit at or beyond `capacity` is set.
+    pub fn try_from_words(capacity: usize, words: Vec<u64>) -> Result<Self, String> {
+        if words.len() != capacity.div_ceil(64) {
+            return Err(format!("word count {} mismatches capacity {capacity}", words.len()));
+        }
+        if !capacity.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (capacity % 64) != 0 {
+                    return Err("bit set beyond capacity".into());
+                }
+            }
+        }
+        Ok(Self { words, capacity })
+    }
+
     /// Iterates over set indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {

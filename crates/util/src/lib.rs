@@ -16,15 +16,23 @@
 //!   by the experiment harness.
 //! - [`fmt`]: human-readable formatting of counts, bytes and durations for
 //!   experiment reports.
+//! - [`mod@crc32`]: dependency-free CRC-32 used by the durable store's segment
+//!   and WAL checksums.
+//! - [`aligned`]: 64-byte-aligned byte buffers with typed zero-copy word
+//!   views — the audited aligned-read module backing segment opens.
 
+pub mod aligned;
 pub mod bitset;
+pub mod crc32;
 pub mod fmt;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod topk;
 
+pub use aligned::{put_le_words, AlignedBytes};
 pub use bitset::FixedBitSet;
+pub use crc32::{crc32, Crc32};
 #[doc(hidden)]
 pub use parallel::parallel_for_spawning;
 pub use parallel::{available_threads, parallel_chunks_mut, parallel_for, parallel_map};

@@ -273,6 +273,50 @@ impl VectorSet {
         }
     }
 
+    /// The full physical buffer — `len * stride` floats, padding lanes
+    /// included on aligned storage.
+    ///
+    /// This is the persistence view: the durable store writes it verbatim
+    /// and reads it back with [`VectorSet::from_padded_flat`], so a saved
+    /// aligned set reloads with zero per-record work.
+    pub fn as_padded_flat(&self) -> &[f32] {
+        &self.physical()[..self.len * self.stride]
+    }
+
+    /// Rebuilds an aligned set from its physical buffer (`len * stride`
+    /// floats as returned by [`VectorSet::as_padded_flat`] on an aligned
+    /// set, where `stride` is `dim` rounded up to a multiple of 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `data.len() != len * aligned_stride(dim)`.
+    pub fn from_padded_flat(dim: usize, len: usize, data: &[f32]) -> Self {
+        match Self::try_from_padded_flat(dim, len, data) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`VectorSet::from_padded_flat`] for loaders that must
+    /// turn shape violations into recoverable errors.
+    ///
+    /// # Errors
+    ///
+    /// A description of the violation when `dim == 0` or the buffer length
+    /// disagrees with `len * aligned_stride(dim)`.
+    pub fn try_from_padded_flat(dim: usize, len: usize, data: &[f32]) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("dim must be positive".into());
+        }
+        let stride = aligned_stride(dim);
+        if data.len() != len * stride {
+            return Err(format!("padded buffer length mismatch for {len} rows of stride {stride}"));
+        }
+        let mut blocks = vec![Block([0.0; BLOCK_LANES]); len * stride / BLOCK_LANES];
+        blocks_as_mut_floats(&mut blocks).copy_from_slice(data);
+        Ok(Self { dim, stride, len, storage: Storage::Aligned(blocks) })
+    }
+
     /// Iterates over rows (logical `dim` floats each, never padding).
     pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
         let flat = self.physical();
@@ -454,6 +498,25 @@ mod tests {
         let back = VectorSet::from_value(&aligned.to_value()).unwrap();
         assert!(!back.is_aligned());
         assert_eq!(back, aligned);
+    }
+
+    #[test]
+    fn padded_flat_roundtrip() {
+        for dim in [1usize, 15, 16, 17, 96] {
+            let set = VectorSet::from_fn(6, dim, |r, c| (r * 31 + c) as f32 * 0.5).into_aligned();
+            let raw = set.as_padded_flat().to_vec();
+            assert_eq!(raw.len(), 6 * set.stride());
+            let back = VectorSet::from_padded_flat(dim, 6, &raw);
+            assert!(back.is_aligned());
+            assert_eq!(back, set);
+            assert_eq!(back.stride(), set.stride());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "padded buffer length mismatch")]
+    fn from_padded_flat_rejects_bad_length() {
+        let _ = VectorSet::from_padded_flat(17, 2, &[0.0; 33]);
     }
 
     #[test]

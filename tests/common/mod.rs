@@ -1,0 +1,42 @@
+//! Shared helpers for the integration suite.
+//!
+//! Compiled separately into every integration-test binary, so not every
+//! binary uses every helper.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+
+/// RAII temp directory for store/persistence tests.
+///
+/// Earlier tests built paths by hand and removed them with a trailing
+/// `remove_dir_all` — which never ran when an assertion failed, leaking
+/// directories into the next run. The guard removes the directory in
+/// `Drop`, which also runs while a failed assertion's panic unwinds, and
+/// scrubs any stale leftover of the same name on creation.
+pub struct TempStore(PathBuf);
+
+impl TempStore {
+    /// Creates (or recreates, empty) `$TMPDIR/pw-it-<tag>-<pid>`.
+    pub fn new(tag: &str) -> Self {
+        let d = std::env::temp_dir().join(format!("pw-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        Self(d)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Durable-store integration: WAL-before-ack mutations survive reopen, and
+//! the crash-recovery contract holds — a process killed mid-append leaves a
+//! store that reopens to exactly the state before the torn record.
+
+mod common;
+
+use common::TempStore;
+use pathweaver::core::store::{is_segment_store, load_index, verify_store, StoreError, WAL_FILE};
+use pathweaver::prelude::*;
+
+fn build_index(seed: u64) -> (Workload, PathWeaverIndex) {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, seed);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    (w, idx)
+}
+
+fn search_all(idx: &PathWeaverIndex, queries: &pathweaver::vector::VectorSet) -> Vec<Vec<u32>> {
+    idx.search_pipelined(queries, &SearchParams::default()).results
+}
+
+#[test]
+fn durable_mutations_survive_reopen() {
+    let (w, idx) = build_index(71);
+    let dir = TempStore::new("durable-reopen");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+
+    let novel: Vec<f32> = w.base.row(2).iter().map(|x| x + 0.004).collect();
+    let id = durable.insert(&novel).unwrap();
+    assert!(durable.delete(1).unwrap());
+    let before = search_all(&durable, &w.queries);
+
+    drop(durable); // Simulated clean shutdown: no compact, WAL still pending.
+    let reopened = DurableIndex::open(dir.path()).unwrap();
+    assert_eq!(reopened.num_vectors, w.base.len() + 1);
+    assert_eq!(search_all(&reopened, &w.queries), before);
+
+    let mut q = pathweaver::vector::VectorSet::empty(reopened.dim());
+    q.push(&novel);
+    assert!(search_all(&reopened, &q)[0].contains(&id), "WAL insert lost on reopen");
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_pre_record_state_at_every_offset() {
+    // The crash-recovery contract (ISSUE acceptance): kill the process at
+    // any byte offset inside the last WAL append; on reopen, search results
+    // are identical to an index that never saw the torn record.
+    let (w, idx) = build_index(72);
+    let dir = TempStore::new("durable-torn");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+    let a: Vec<f32> = w.base.row(0).iter().map(|x| x + 0.003).collect();
+    durable.insert(&a).unwrap();
+    let baseline = search_all(&durable, &w.queries);
+    let intact_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+
+    // Append one more record, then tear it at a spread of offsets.
+    let b: Vec<f32> = w.base.row(1).iter().map(|x| x + 0.007).collect();
+    durable.insert(&b).unwrap();
+    drop(durable);
+    let full = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    assert!(full.len() as u64 > intact_len);
+
+    for cut in intact_len..full.len() as u64 {
+        std::fs::write(dir.join(WAL_FILE), &full[..cut as usize]).unwrap();
+        let reopened = DurableIndex::open(dir.path())
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e:?}"));
+        assert_eq!(reopened.num_vectors, w.base.len() + 1, "wrong count at cut {cut}");
+        assert_eq!(search_all(&reopened, &w.queries), baseline, "divergence at cut {cut}");
+        drop(reopened); // Reopen repairs the tail; restore the torn file for the next cut.
+    }
+}
+
+#[test]
+fn compact_folds_wal_and_store_stays_usable() {
+    let (w, idx) = build_index(73);
+    let dir = TempStore::new("durable-compact");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+    for r in 0..3 {
+        let v: Vec<f32> = w.base.row(r).iter().map(|x| x + 0.002).collect();
+        durable.insert(&v).unwrap();
+    }
+    assert!(durable.delete(0).unwrap());
+    let before = search_all(&durable, &w.queries);
+
+    durable.compact().unwrap();
+    let report = verify_store(dir.path()).unwrap();
+    assert_eq!(report.wal_records, 0, "compact must fold the WAL into the segment");
+    assert_eq!(report.wal_torn_bytes, 0);
+
+    // Post-compact the store keeps accepting mutations and reopens cleanly.
+    let v: Vec<f32> = w.base.row(4).iter().map(|x| x + 0.009).collect();
+    durable.insert(&v).unwrap();
+    drop(durable);
+    let reopened = DurableIndex::open(dir.path()).unwrap();
+    assert_eq!(reopened.num_vectors, w.base.len() + 4);
+    assert_eq!(search_all(&reopened, &w.queries), before);
+}
+
+#[test]
+fn verify_store_reports_pending_and_torn_wal_bytes() {
+    let (w, idx) = build_index(74);
+    let dir = TempStore::new("durable-verify");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+    let v: Vec<f32> = w.base.row(0).iter().map(|x| x + 0.001).collect();
+    durable.insert(&v).unwrap();
+    durable.delete(2).unwrap();
+    drop(durable);
+
+    let report = verify_store(dir.path()).unwrap();
+    assert!(report.segment_format);
+    assert_eq!(report.wal_records, 2);
+    assert_eq!(report.wal_torn_bytes, 0);
+
+    // Tear off the last 3 bytes: verify reports the torn tail, doesn't fail.
+    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    std::fs::write(dir.join(WAL_FILE), &bytes[..bytes.len() - 3]).unwrap();
+    let torn = verify_store(dir.path()).unwrap();
+    assert_eq!(torn.wal_records, 1);
+    assert!(torn.wal_torn_bytes > 0);
+}
+
+#[test]
+fn open_rejects_legacy_directories() {
+    let (_w, idx) = build_index(75);
+    let dir = TempStore::new("durable-legacy");
+    pathweaver::core::store::legacy::save_index_legacy(&idx, dir.path()).unwrap();
+    match DurableIndex::open(dir.path()) {
+        Err(StoreError::Malformed(msg)) => {
+            assert!(msg.contains("pwctl compact"), "should point at the migration path: {msg}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_directory_migrates_through_save_index() {
+    // `pwctl compact` on a legacy directory is load_index + save_index;
+    // the result must be a segment store with identical search behavior.
+    let (w, idx) = build_index(76);
+    let dir = TempStore::new("durable-migrate");
+    pathweaver::core::store::legacy::save_index_legacy(&idx, dir.path()).unwrap();
+    assert!(!is_segment_store(dir.path()));
+
+    let migrated = load_index(dir.path()).unwrap();
+    pathweaver::core::store::save_index(&migrated, dir.path()).unwrap();
+    assert!(is_segment_store(dir.path()));
+
+    let reloaded = load_index(dir.path()).unwrap();
+    assert_eq!(search_all(&idx, &w.queries), search_all(&reloaded, &w.queries));
+}

@@ -1,28 +1,27 @@
 //! Persistence integration: graphs and datasets round-trip through the
-//! filesystem formats, and experiment records reload intact.
+//! filesystem formats, experiment records reload intact, and the legacy
+//! store loader reports the exact error variant for each damage mode.
 
+mod common;
+
+use common::TempStore;
 use pathweaver::core::report::ExperimentRecord;
+use pathweaver::core::store::legacy::save_index_legacy;
+use pathweaver::core::store::{load_index, StoreError};
 use pathweaver::datasets::io::{read_fvecs_file, read_ivecs, write_fvecs, write_ivecs};
 use pathweaver::graph::serialize::{read_graph, write_graph};
 use pathweaver::graph::{cagra_build, CagraBuildParams};
 use pathweaver::prelude::*;
 
-fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("pw-it-{tag}-{}", std::process::id()));
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
-
 #[test]
 fn built_graph_roundtrips_through_disk() {
     let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 51);
     let graph = cagra_build(&w.base, &CagraBuildParams::with_degree(8));
-    let dir = temp_dir("graph");
+    let dir = TempStore::new("graph");
     let path = dir.join("shard0.pwgr");
     write_graph(std::fs::File::create(&path).unwrap(), &graph).unwrap();
     let back = read_graph(std::fs::File::open(&path).unwrap()).unwrap();
     assert_eq!(back, graph);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -30,7 +29,7 @@ fn fvecs_file_feeds_the_index_builder() {
     // Write a synthetic corpus as fvecs, read it back as a real corpus
     // would be, and index it.
     let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, 52);
-    let dir = temp_dir("fvecs");
+    let dir = TempStore::new("fvecs");
     let path = dir.join("base.fvecs");
     write_fvecs(std::fs::File::create(&path).unwrap(), &w.base).unwrap();
     let loaded = read_fvecs_file(&path, None).unwrap();
@@ -40,7 +39,6 @@ fn fvecs_file_feeds_the_index_builder() {
     let out = idx.search_pipelined(&w.queries, &SearchParams::default());
     let recall = recall_batch(&w.ground_truth, &out.results, 5);
     assert!(recall > 0.8, "recall {recall}");
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -56,24 +54,89 @@ fn ground_truth_roundtrips_as_ivecs() {
 #[test]
 fn partial_fvecs_read_respects_limit() {
     let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 54);
-    let dir = temp_dir("limit");
+    let dir = TempStore::new("limit");
     let path = dir.join("base.fvecs");
     write_fvecs(std::fs::File::create(&path).unwrap(), &w.base).unwrap();
     let firsthalf = read_fvecs_file(&path, Some(w.base.len() / 2)).unwrap();
     assert_eq!(firsthalf.len(), w.base.len() / 2);
     assert_eq!(firsthalf.row(0), w.base.row(0));
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn experiment_records_round_trip() {
-    let dir = temp_dir("record");
+    let dir = TempStore::new("record");
     let mut rec = ExperimentRecord::new("fig0", "integration smoke");
     rec.note("simulated clock");
     rec.push_row(&serde_json::json!({"dataset": "sift-like", "qps": 123.0}));
-    let path = rec.save(&dir).unwrap();
+    let path = rec.save(dir.path()).unwrap();
     let back = ExperimentRecord::load(&path).unwrap();
     assert_eq!(back.id, rec.id);
     assert_eq!(back.rows.len(), 1);
-    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- Legacy store loader error paths ------------------------------------
+//
+// Each damage mode must surface as a *specific* `StoreError` variant, not a
+// panic and not a mis-filed variant: a missing file is `Io`, a structural
+// lie is `Malformed`. Pinning the variants keeps CLI error messages and the
+// corruption matrix (tools/check_store.sh) honest.
+
+fn legacy_store(tag: &str, seed: u64) -> (TempStore, PathWeaverIndex) {
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 4, 5, seed);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let dir = TempStore::new(tag);
+    save_index_legacy(&idx, dir.path()).unwrap();
+    (dir, idx)
+}
+
+#[test]
+fn legacy_missing_meta_is_io_error() {
+    let (dir, _idx) = legacy_store("legacy-nometa", 61);
+    std::fs::remove_file(dir.join("meta.json")).unwrap();
+    match load_index(dir.path()) {
+        Err(StoreError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_truncated_graph_is_malformed() {
+    let (dir, _idx) = legacy_store("legacy-truncgraph", 62);
+    let victim = dir.join("shard-001/graph.pwgr");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&victim, bytes).unwrap();
+    match load_index(dir.path()) {
+        Err(StoreError::Malformed(msg)) => {
+            assert!(msg.contains("bad graph file"), "unexpected message: {msg}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_shard_count_mismatch_is_malformed() {
+    let (dir, _idx) = legacy_store("legacy-shardcount", 63);
+    std::fs::remove_dir_all(dir.join("shard-001")).unwrap();
+    match load_index(dir.path()) {
+        Err(StoreError::Malformed(msg)) => {
+            assert!(msg.contains("shard-count mismatch"), "unexpected message: {msg}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_dim_mismatch_is_malformed() {
+    let (dir, _idx) = legacy_store("legacy-dim", 64);
+    // Rewrite shard 0's vectors with a different dimensionality.
+    let narrow = pathweaver::vector::VectorSet::from_fn(10, 3, |r, c| (r * 3 + c) as f32);
+    write_fvecs(std::fs::File::create(dir.join("shard-000/vectors.fvecs")).unwrap(), &narrow)
+        .unwrap();
+    match load_index(dir.path()) {
+        Err(StoreError::Malformed(msg)) => {
+            assert!(msg.contains("dim"), "unexpected message: {msg}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
 }

@@ -2,31 +2,28 @@
 //! store combined with dynamic updates and continued searching — the
 //! lifecycle a deployment would actually run.
 
-use pathweaver::core::store::{load_index, save_index};
-use pathweaver::prelude::*;
+mod common;
 
-fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("pw-flow-{tag}-{}", std::process::id()));
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
+use common::TempStore;
+use pathweaver::core::store::{is_segment_store, load_index, save_index};
+use pathweaver::prelude::*;
 
 #[test]
 fn save_update_save_load_keeps_working() {
     let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 91);
     let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
-    let dir = temp_dir("lifecycle");
+    let dir = TempStore::new("lifecycle");
 
     // Save the fresh index, reload, mutate the reloaded copy.
-    save_index(&idx, &dir).unwrap();
-    let mut reloaded = load_index(&dir).unwrap();
+    save_index(&idx, dir.path()).unwrap();
+    let mut reloaded = load_index(dir.path()).unwrap();
     let novel: Vec<f32> = w.base.row(3).iter().map(|x| x + 0.005).collect();
     let new_id = reloaded.insert(&novel);
     assert!(reloaded.delete(w.base.len() as u32 / 2));
 
     // Save the mutated index over the first snapshot and reload again.
-    save_index(&reloaded, &dir).unwrap();
-    let third = load_index(&dir).unwrap();
+    save_index(&reloaded, dir.path()).unwrap();
+    let third = load_index(dir.path()).unwrap();
     assert_eq!(third.num_vectors, reloaded.num_vectors);
     assert_eq!(third.live_vectors(), reloaded.live_vectors());
 
@@ -39,7 +36,6 @@ fn save_update_save_load_keeps_working() {
     let out0 = idx.search_pipelined(&w.queries, &SearchParams::default());
     assert_eq!(out0.results.len(), w.queries.len());
     idx.insert(&novel); // Still mutable and consistent.
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -52,9 +48,9 @@ fn maintain_then_save_load_searches_identically() {
         idx.delete(g);
     }
     assert_eq!(idx.maintain(0.3), 1);
-    let dir = temp_dir("maintain");
-    save_index(&idx, &dir).unwrap();
-    let loaded = load_index(&dir).unwrap();
+    let dir = TempStore::new("maintain");
+    save_index(&idx, dir.path()).unwrap();
+    let loaded = load_index(dir.path()).unwrap();
     let params = SearchParams::default();
     let a = idx.search_pipelined(&w.queries, &params);
     let b = loaded.search_pipelined(&w.queries, &params);
@@ -64,20 +60,18 @@ fn maintain_then_save_load_searches_identically() {
             assert!(!victims.contains(id));
         }
     }
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn single_device_index_roundtrips_without_intershard() {
     let w = DatasetProfile::sift_like().workload(Scale::Test, 4, 5, 93);
     let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(1)).unwrap();
-    let dir = temp_dir("single");
-    save_index(&idx, &dir).unwrap();
-    assert!(!dir.join("shard-000/intershard.ivecs").exists());
-    let loaded = load_index(&dir).unwrap();
+    let dir = TempStore::new("single");
+    save_index(&idx, dir.path()).unwrap();
+    assert!(is_segment_store(dir.path()), "save_index writes the segment format");
+    let loaded = load_index(dir.path()).unwrap();
     assert!(loaded.shards[0].intershard.is_none());
     assert!(loaded.shards[0].ghost.is_some());
     let out = loaded.search_pipelined(&w.queries, &SearchParams::default());
     assert_eq!(out.results.len(), 4);
-    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Crash-recovery gate for the durable index store.
+#
+# Builds the check_store corruption matrix and runs it: a seeded,
+# deterministic sweep of WAL truncations, WAL bit-flips, segment bit-flips
+# and segment truncations over a real durable store. Every case must either
+# recover to an exact WAL-prefix state or be rejected with
+# StoreError::Corrupt — a panic or a silently wrong search result fails the
+# gate.
+#
+# Environment:
+#   PATHWEAVER_STORE_SEED   integer seed for the fuzzed offsets (default
+#                           4242 — the committed CI matrix).
+#   PATHWEAVER_STORE_OUT    report path (default target/store_report.json) —
+#                           CI uploads it as an artifact.
+#
+# Artifact: target/store_report.json (case counts and any failures).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pathweaver-bench --bin check_store
+./target/release/check_store
