@@ -26,6 +26,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use pathweaver_core::store::segment::{HEADER_LEN, KIND_QUANTIZED, TOC_ENTRY_LEN};
 use pathweaver_core::store::{StoreError, SEGMENT_FILE, WAL_FILE};
 use pathweaver_core::{DurableIndex, PathWeaverConfig, PathWeaverIndex};
 use pathweaver_datasets::{DatasetProfile, Scale};
@@ -255,6 +256,45 @@ fn main() {
         m.run_case(format!("segment-truncate@{cut}"), &segment, &wal, |o| {
             matches!(o, Outcome::Corrupt { .. })
         });
+    }
+
+    // Quantized sections, specifically: the int8 tier is the newest section
+    // kind, so walk the TOC and aim damage straight at its extents — flips
+    // in the grid/codes and cuts through the section must be Corrupt, never
+    // a panic or a silently degraded (wrong-distance) open.
+    let toc_count =
+        u32::from_le_bytes(m.segment[8..12].try_into().expect("section count")) as usize;
+    let quantized_extents: Vec<(usize, usize)> = (0..toc_count)
+        .filter_map(|i| {
+            let e = HEADER_LEN + i * TOC_ENTRY_LEN;
+            let kind = u32::from_le_bytes(m.segment[e..e + 4].try_into().expect("kind"));
+            let off =
+                u64::from_le_bytes(m.segment[e + 8..e + 16].try_into().expect("offset")) as usize;
+            let len =
+                u64::from_le_bytes(m.segment[e + 16..e + 24].try_into().expect("len")) as usize;
+            (kind == KIND_QUANTIZED).then_some((off, len))
+        })
+        .collect();
+    assert!(
+        !quantized_extents.is_empty(),
+        "matrix store was built with build_quantized; its segment must carry quantized sections"
+    );
+    for &(off, len) in &quantized_extents {
+        for _ in 0..24 {
+            let offset = off + rng.gen_range(0..len);
+            let bit = rng.gen_range(0..8u8);
+            let (segment, wal) = (flip(&m.segment, offset, bit), m.wal.clone());
+            m.run_case(format!("quantized-flip@{offset}.{bit}"), &segment, &wal, |o| {
+                matches!(o, Outcome::Corrupt { .. })
+            });
+        }
+        for _ in 0..6 {
+            let cut = off + rng.gen_range(0..len);
+            let (segment, wal) = (m.segment[..cut].to_vec(), m.wal.clone());
+            m.run_case(format!("quantized-truncate@{cut}"), &segment, &wal, |o| {
+                matches!(o, Outcome::Corrupt { .. })
+            });
+        }
     }
 
     let report = json!({

@@ -59,6 +59,7 @@ impl GgnnBaseline {
                 vectors,
                 graph: built.base,
                 dir_table: None,
+                quantized: None,
                 ghost: Some(built.selection),
                 intershard: None,
                 deleted,

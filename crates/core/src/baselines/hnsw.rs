@@ -66,11 +66,13 @@ impl HnswBaseline {
         let mut config = PathWeaverConfig::full(1);
         config.ghost = None;
         config.build_dir_table = false;
+        config.build_quantized = false;
         let shard = ShardIndex {
             global_ids: (0..n as u32).collect(),
             vectors: self.vectors.clone(),
             graph,
             dir_table: None,
+            quantized: None,
             ghost: None,
             intershard: None,
             deleted: FixedBitSet::new(n),

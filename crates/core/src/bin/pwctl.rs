@@ -6,7 +6,7 @@
 //! pwctl build  --base base.fvecs --devices 4 [--degree 32] [--no-ghost]
 //!              [--no-dgs] --out index-dir
 //! pwctl search --index index-dir --queries q.fvecs [--k 10] [--beam 64]
-//!              [--dgs] [--naive] [--out results.ivecs]
+//!              [--dgs] [--naive] [--quantized] [--out results.ivecs]
 //! pwctl eval    --results results.ivecs --gt gt.ivecs --k 10
 //! pwctl info    --index index-dir
 //! pwctl verify  --index index-dir
@@ -198,6 +198,9 @@ fn search(flags: &BTreeMap<String, String>) {
     };
     if flags.contains_key("dgs") {
         params.dgs = Some(DgsParams::default());
+    }
+    if flags.contains_key("quantized") {
+        params.quantized = true;
     }
     let out = if flags.contains_key("naive") {
         index.search_naive(&queries, &params)

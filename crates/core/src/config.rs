@@ -28,6 +28,10 @@ pub struct PathWeaverConfig {
     /// Whether to build direction tables (§3.3) so DGS can run at query
     /// time.
     pub build_dir_table: bool,
+    /// Whether to build the int8 quantized tier so quantized traversal
+    /// ([`pathweaver_search::SearchParams::quantized`]) can run at query
+    /// time. Costs len × aligned-dim bytes of extra device memory.
+    pub build_quantized: bool,
     /// Results forwarded per query per stage. The paper empirically sends 1
     /// on 2.5M-node shards; at this reproduction's laptop-scale shards the
     /// basin around a single `I(z)` is narrow relative to the beam, so the
@@ -65,6 +69,7 @@ impl PathWeaverConfig {
             ghost: Some(GhostParams::default()),
             intershard: InterShardParams::default(),
             build_dir_table: true,
+            build_quantized: true,
             forward_width: 4,
             ghost_iterations: 8,
             ghost_entries: 8,
@@ -78,7 +83,12 @@ impl PathWeaverConfig {
     /// The sharded-CAGRA ablation baseline: no ghost shards, no direction
     /// tables, no inter-shard tables beyond what sharding needs.
     pub fn cagra_sharding(num_devices: usize) -> Self {
-        Self { ghost: None, build_dir_table: false, ..Self::full(num_devices) }
+        Self {
+            ghost: None,
+            build_dir_table: false,
+            build_quantized: false,
+            ..Self::full(num_devices)
+        }
     }
 
     /// Small parameters for fast tests: tiny graphs and ghost shards.
@@ -141,6 +151,13 @@ mod tests {
         let c = PathWeaverConfig::cagra_sharding(4);
         assert!(c.ghost.is_none());
         assert!(!c.build_dir_table);
+        assert!(!c.build_quantized);
+    }
+
+    #[test]
+    fn full_and_test_scales_build_quantized_tier() {
+        assert!(PathWeaverConfig::full(2).build_quantized);
+        assert!(PathWeaverConfig::test_scale(2).build_quantized);
     }
 
     #[test]

@@ -83,6 +83,12 @@ impl PathWeaverIndex {
         // Extend every affected structure in dependency order.
         let shard = &mut self.shards[s];
         shard.vectors.push(vector);
+        // The quantized tier encodes with the shard's frozen scales/offsets
+        // (re-deriving them would re-code every row); out-of-range values
+        // clamp to ±127 and are repaired by the exact re-rank at query time.
+        if let Some(q) = shard.quantized.as_mut() {
+            q.push(vector);
+        }
         let local = shard.graph.push_node(&row);
         shard.global_ids.push(global_id);
         shard.deleted.grow(shard.vectors.len());
@@ -222,6 +228,13 @@ impl PathWeaverIndex {
                     pathweaver_util::seed_from_parts(self.config.seed, "ghost-rebuild", s as u64);
                 pathweaver_graph::GhostShard::build(&vectors, &gp)
             });
+            // Rebuilds re-derive the quantization grid from the survivors,
+            // so post-insert drift accumulated by frozen-parameter pushes is
+            // flushed at the same cadence as the graph itself.
+            let quantized = self
+                .config
+                .build_quantized
+                .then(|| pathweaver_vector::QuantizedSet::quantize(&vectors));
             let deleted = pathweaver_util::FixedBitSet::new(vectors.len());
             self.assignment.set_members(s, global_ids.clone());
             self.shards[s] = crate::index::ShardIndex {
@@ -229,6 +242,7 @@ impl PathWeaverIndex {
                 vectors,
                 graph,
                 dir_table,
+                quantized,
                 ghost,
                 intershard: None,
                 deleted,
@@ -570,6 +584,7 @@ mod tests {
             vectors,
             graph,
             dir_table: None,
+            quantized: None,
             ghost: None,
             intershard: None,
         };
@@ -589,6 +604,45 @@ mod tests {
             row.iter().all(|&v| v < local),
             "new node's row references itself or out-of-range ids: {row:?}"
         );
+    }
+
+    #[test]
+    fn insert_extends_quantized_tier_and_stays_searchable() {
+        let (w, mut idx) = built();
+        assert!(idx.shards.iter().all(|s| s.quantized.is_some()), "test_scale builds the tier");
+        let novel: Vec<f32> = w.base.row(2).iter().map(|x| x + 0.02).collect();
+        let id = idx.insert(&novel);
+        for shard in &idx.shards {
+            let q = shard.quantized.as_ref().unwrap();
+            assert_eq!(q.len(), shard.vectors.len(), "tier must track the vectors");
+        }
+        let mut queries = pathweaver_vector::VectorSet::empty(idx.dim());
+        queries.push(&novel);
+        let params = SearchParams { quantized: true, ..Default::default() };
+        let out = idx.search_pipelined(&queries, &params);
+        assert!(out.results[0].contains(&id), "inserted id missing: {:?}", out.results[0]);
+    }
+
+    #[test]
+    fn maintain_rebuilds_quantized_tier() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 5, 19);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let victims: Vec<u32> = idx.shards[0]
+            .global_ids
+            .iter()
+            .step_by(2)
+            .copied()
+            .take(idx.shards[0].len() * 2 / 5)
+            .collect();
+        for &g in &victims {
+            assert!(idx.delete(g));
+        }
+        assert_eq!(idx.maintain(0.3), 1);
+        let shard = &idx.shards[0];
+        let q = shard.quantized.as_ref().expect("rebuild keeps the tier");
+        assert_eq!(q.len(), shard.vectors.len());
+        // The rebuilt grid is the fresh quantization of the survivors.
+        assert_eq!(q, &pathweaver_vector::QuantizedSet::quantize(&shard.vectors));
     }
 
     #[test]

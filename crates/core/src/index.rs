@@ -10,7 +10,7 @@ use pathweaver_graph::{
 };
 use pathweaver_search::{search_batch, BatchStats, EntryPolicy, SearchParams, ShardContext};
 use pathweaver_util::FixedBitSet;
-use pathweaver_vector::VectorSet;
+use pathweaver_vector::{QuantizedSet, VectorSet};
 
 /// Errors raised while building an index.
 #[derive(Debug)]
@@ -50,6 +50,10 @@ pub struct ShardIndex {
     pub graph: FixedDegreeGraph,
     /// Direction-bit table (§3.3), present when DGS is enabled.
     pub dir_table: Option<DirectionTable>,
+    /// Int8 quantized tier (1 byte/dim code rows), present when
+    /// [`PathWeaverConfig::build_quantized`] is set; enables quantized
+    /// traversal with exact re-rank.
+    pub quantized: Option<QuantizedSet>,
     /// Ghost shard (§3.2).
     pub ghost: Option<GhostShard>,
     /// `I(u)` table into the next shard of the ring (§3.1); `None` on
@@ -117,6 +121,9 @@ impl ShardIndex {
                 dgs: None,
                 random_discard: false,
                 patience: 1,
+                // Ghost shards carry no quantized payload; the staging pass
+                // is short and always exact.
+                quantized: false,
                 seed: pathweaver_util::seed_from_parts(params.seed, "ghost", 0),
             };
             let gbatch = search_batch(
@@ -171,7 +178,8 @@ impl ShardIndex {
         } else {
             *params
         };
-        let ctx = ShardContext::new(&self.vectors, &self.graph, self.dir_table.as_ref());
+        let ctx = ShardContext::new(&self.vectors, &self.graph, self.dir_table.as_ref())
+            .with_quantized(self.quantized.as_ref());
         let batch = search_batch(&ctx, queries, &run_params, &main_entries);
         counters.merge(&batch.counters);
         stats.merge(&batch.stats);
@@ -205,6 +213,9 @@ impl ShardIndex {
         ];
         if let Some(t) = &self.dir_table {
             out.push(("dir-table", t.nbytes() as u64));
+        }
+        if let Some(q) = &self.quantized {
+            out.push(("quantized", q.nbytes() as u64));
         }
         if let Some(g) = &self.ghost {
             out.push(("ghost", g.nbytes() as u64));
@@ -277,12 +288,16 @@ impl PathWeaverIndex {
                 gp.seed = pathweaver_util::seed_from_parts(config.seed, "ghost", s as u64);
                 report.time(BuildPhase::Ghost, || GhostShard::build(&vectors, &gp))
             });
+            let quantized = config
+                .build_quantized
+                .then(|| report.time(BuildPhase::Quantize, || QuantizedSet::quantize(&vectors)));
             let deleted = FixedBitSet::new(vectors.len());
             shards.push(ShardIndex {
                 global_ids: assignment.members(s).to_vec(),
                 vectors,
                 graph,
                 dir_table,
+                quantized,
                 ghost,
                 intershard: None,
                 deleted,
@@ -484,6 +499,35 @@ mod tests {
         );
         assert_eq!(out.hits[0][0].1, 3);
         assert!(out.counters.dist_calcs > 0);
+    }
+
+    #[test]
+    fn quantized_tier_built_and_searchable() {
+        let w = small_workload();
+        let config = PathWeaverConfig::test_scale(2);
+        let idx = PathWeaverIndex::build(&w.base, &config).unwrap();
+        assert!(idx.build_report.quantize_s > 0.0, "quantize phase must be timed");
+        for shard in &idx.shards {
+            let q = shard.quantized.as_ref().expect("test_scale builds the tier");
+            assert_eq!(q.len(), shard.vectors.len());
+            assert!(
+                shard.resident_bytes().iter().any(|&(label, b)| label == "quantized" && b > 0),
+                "quantized payload missing from the memory ledger"
+            );
+        }
+        let shard = &idx.shards[0];
+        let queries = shard.vectors.gather(&[3]);
+        let params = SearchParams { k: 1, quantized: true, ..Default::default() };
+        let out = shard.search_local(
+            &queries,
+            &params,
+            &[pathweaver_search::EntryPolicy::Random { count: 16 }],
+            true,
+            &config,
+        );
+        assert_eq!(out.hits[0][0].1, 3);
+        assert_eq!(out.hits[0][0].0, 0.0, "re-rank must restore the exact distance");
+        assert!(out.counters.quant_dist_calcs > 0, "traversal must run on codes");
     }
 
     #[test]

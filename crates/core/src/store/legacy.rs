@@ -184,12 +184,20 @@ pub fn load_index_legacy(dir: impl AsRef<Path>) -> Result<PathWeaverIndex, Store
             None
         };
         let dir_table = meta.build_dir_table.then(|| DirectionTable::build(&vectors, &graph));
+        // Legacy layouts predate the quantized section; the encoding is
+        // deterministic, so rebuilding from the vectors lands on the same
+        // grid the segment writer would have persisted.
+        let quantized = meta
+            .build_quantized
+            .unwrap_or(false)
+            .then(|| pathweaver_vector::QuantizedSet::quantize(&vectors));
         members.push(global_ids.clone());
         shards.push(ShardIndex {
             global_ids,
             vectors,
             graph,
             dir_table,
+            quantized,
             ghost,
             intershard,
             deleted,

@@ -96,6 +96,10 @@ pub(crate) struct Meta {
     pub graph: pathweaver_graph::CagraBuildParams,
     pub intershard: pathweaver_graph::InterShardParams,
     pub build_dir_table: bool,
+    // Option so metas written before the quantized tier existed still parse
+    // (the vendored serde maps a missing field to None, never a default
+    // bool); absent means the tier is off.
+    pub build_quantized: Option<bool>,
     pub ghost: Option<pathweaver_graph::GhostParams>,
     pub forward_width: usize,
     pub ghost_iterations: usize,
@@ -116,6 +120,7 @@ impl Meta {
             graph: index.config.graph,
             intershard: index.config.intershard,
             build_dir_table: index.config.build_dir_table,
+            build_quantized: Some(index.config.build_quantized),
             ghost: index.config.ghost,
             forward_width: index.config.forward_width,
             ghost_iterations: index.config.ghost_iterations,
@@ -132,6 +137,7 @@ impl Meta {
         config.graph = self.graph;
         config.intershard = self.intershard;
         config.build_dir_table = self.build_dir_table;
+        config.build_quantized = self.build_quantized.unwrap_or(false);
         config.ghost = self.ghost;
         config.forward_width = self.forward_width;
         config.ghost_iterations = self.ghost_iterations;
@@ -306,6 +312,23 @@ mod tests {
         assert_eq!(a.results, b.results, "loaded index must search identically");
         let recall = recall_batch(&w.ground_truth, &b.results, 10);
         assert!(recall > 0.8);
+    }
+
+    #[test]
+    fn quantized_tier_survives_roundtrip_bitwise() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 77);
+        let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let dir = TempDir::new("roundtrip-quantized");
+        save_index(&idx, dir.path()).unwrap();
+        let loaded = load_index(dir.path()).unwrap();
+        assert!(loaded.config.build_quantized, "meta round-trips the tier toggle");
+        for (a, b) in idx.shards.iter().zip(&loaded.shards) {
+            assert_eq!(a.quantized, b.quantized, "codes and grid must reopen bitwise");
+        }
+        let params = SearchParams { quantized: true, ..SearchParams::default() };
+        let before = idx.search_pipelined(&w.queries, &params);
+        let after = loaded.search_pipelined(&w.queries, &params);
+        assert_eq!(before.results, after.results, "quantized search must reopen identically");
     }
 
     #[test]

@@ -37,7 +37,7 @@ use super::{corrupt, Meta, StoreError};
 use crate::index::{PathWeaverIndex, ShardIndex};
 use pathweaver_graph::{DirectionTable, FixedDegreeGraph, GhostShard, InterShardTable};
 use pathweaver_util::{crc32, put_le_words, AlignedBytes, FixedBitSet};
-use pathweaver_vector::VectorSet;
+use pathweaver_vector::{QuantizedSet, VectorSet};
 use std::io::Write;
 use std::path::Path;
 
@@ -45,7 +45,10 @@ const MAGIC: [u8; 4] = *b"PWSG";
 const VERSION: u16 = 2;
 /// Fixed header length; the TOC starts here.
 pub const HEADER_LEN: usize = 64;
-const TOC_ENTRY_LEN: usize = 32;
+/// Fixed TOC entry length: kind u32, shard u32, offset u64, len u64,
+/// crc u32, 4 bytes reserved. Public so external gates (check_store) can
+/// walk the TOC and aim corruption at specific section kinds.
+pub const TOC_ENTRY_LEN: usize = 32;
 const PREAMBLE_LEN: usize = 64;
 /// `shard` value of sections that belong to the whole index.
 const GLOBAL: u32 = u32::MAX;
@@ -60,6 +63,9 @@ const KIND_GHOST_MAP: u32 = 6;
 const KIND_GHOST_VECTORS: u32 = 7;
 const KIND_GHOST_GRAPH: u32 = 8;
 const KIND_DIR_TABLE: u32 = 9;
+/// Section kind of the int8 quantized tier (public for check_store's
+/// kind-targeted corruption cases).
+pub const KIND_QUANTIZED: u32 = 10;
 
 fn pad64(n: usize) -> usize {
     n.div_ceil(64) * 64
@@ -129,6 +135,19 @@ pub fn write_segment(index: &PathWeaverIndex, path: impl AsRef<Path>) -> Result<
                 &[t.dim() as u64, shard.graph.degree() as u64, t.as_words().len() as u64],
             );
             put_le_words(&mut sec.bytes, t.as_words());
+            sections.push(sec);
+        }
+        if let Some(q) = &shard.quantized {
+            // Layout: scales f32[dim] | offsets f32[dim] | padded code rows
+            // (len x stride int8, persisted verbatim so reopen is bitwise).
+            let mut sec = Section::new(
+                KIND_QUANTIZED,
+                s,
+                &[q.dim() as u64, q.stride() as u64, q.len() as u64],
+            );
+            put_le_words(&mut sec.bytes, q.scales());
+            put_le_words(&mut sec.bytes, q.offsets());
+            sec.bytes.extend(q.as_padded_codes().iter().map(|&c| c as u8));
             sections.push(sec);
         }
         if let Some(g) = &shard.ghost {
@@ -335,6 +354,7 @@ struct ShardSections<'a> {
     tombstones: Option<&'a RawSection>,
     intershard: Option<&'a RawSection>,
     dir_table: Option<&'a RawSection>,
+    quantized: Option<&'a RawSection>,
     ghost_map: Option<&'a RawSection>,
     ghost_vectors: Option<&'a RawSection>,
     ghost_graph: Option<&'a RawSection>,
@@ -404,6 +424,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
             KIND_TOMBSTONES => claim(&mut slots.tombstones, sec)?,
             KIND_INTERSHARD => claim(&mut slots.intershard, sec)?,
             KIND_DIR_TABLE => claim(&mut slots.dir_table, sec)?,
+            KIND_QUANTIZED => claim(&mut slots.quantized, sec)?,
             KIND_GHOST_MAP => claim(&mut slots.ghost_map, sec)?,
             KIND_GHOST_VECTORS => claim(&mut slots.ghost_vectors, sec)?,
             KIND_GHOST_GRAPH => claim(&mut slots.ghost_graph, sec)?,
@@ -479,6 +500,13 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
             // legacy loader's rebuild so the index still opens.
             None => meta.build_dir_table.then(|| DirectionTable::build(&vectors, &graph)),
         };
+        let quantized = match slots.quantized {
+            Some(sec) => Some(read_quantized(&raw, sec, s, &meta, &vectors)?),
+            // Metas that want the tier but segments written before the
+            // quantized section existed: rebuild from the vectors (the
+            // encoding is deterministic), mirroring the dir-table fallback.
+            None => meta.build_quantized.unwrap_or(false).then(|| QuantizedSet::quantize(&vectors)),
+        };
         let ghost = match (slots.ghost_map, slots.ghost_vectors, slots.ghost_graph) {
             (Some(map), Some(vsec), Some(gsec)) => {
                 let to_original = read_u32s(&raw, map, param(&raw, map, 0) as usize)?.to_vec();
@@ -501,6 +529,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
             vectors,
             graph,
             dir_table,
+            quantized,
             ghost,
             intershard,
             deleted,
@@ -538,6 +567,60 @@ fn read_vectors(raw: &AlignedBytes, sec: &RawSection) -> Result<VectorSet, Store
         .f32s(sec.offset + PREAMBLE_LEN, count)
         .ok_or_else(|| corrupt(at, "vector data out of bounds"))?;
     VectorSet::try_from_padded_flat(dim, len, &floats).map_err(|e| corrupt(at, e))
+}
+
+/// Materializes a quantized section, validating every shape claim against
+/// the section's byte extent and the shard it belongs to before any buffer
+/// is built — a lying preamble is [`StoreError::Corrupt`], never a panic.
+fn read_quantized(
+    raw: &AlignedBytes,
+    sec: &RawSection,
+    shard: usize,
+    meta: &Meta,
+    vectors: &VectorSet,
+) -> Result<QuantizedSet, StoreError> {
+    let at = sec.offset as u64;
+    let dim = param(raw, sec, 0);
+    let stride = param(raw, sec, 1);
+    let len = param(raw, sec, 2);
+    // scales f32[dim] + offsets f32[dim] + len x stride codes, all claimed
+    // by an untrusted preamble: checked arithmetic so a hostile shape
+    // cannot overflow its way past the extent comparison.
+    let expect = dim
+        .checked_mul(8)
+        .and_then(|p| stride.checked_mul(len).and_then(|c| p.checked_add(c)))
+        .ok_or_else(|| corrupt(at, format!("quantized shape {dim}x{stride}x{len} overflows")))?;
+    if expect != (sec.len - PREAMBLE_LEN) as u64 {
+        return Err(corrupt(
+            at,
+            format!(
+                "quantized section holds {} bytes, shape says {expect}",
+                sec.len - PREAMBLE_LEN
+            ),
+        ));
+    }
+    let (dim, len) = (dim as usize, len as usize);
+    let scales = raw
+        .f32s(sec.offset + PREAMBLE_LEN, dim)
+        .ok_or_else(|| corrupt(at, "quantized scales out of bounds"))?
+        .to_vec();
+    let offsets = raw
+        .f32s(sec.offset + PREAMBLE_LEN + 4 * dim, dim)
+        .ok_or_else(|| corrupt(at, "quantized offsets out of bounds"))?
+        .to_vec();
+    let code_bytes = &raw.as_slice()[sec.offset + PREAMBLE_LEN + 8 * dim..sec.offset + sec.len];
+    let codes: Vec<i8> = code_bytes.iter().map(|&b| b as i8).collect();
+    // `try_from_parts` re-derives the stride from `dim`, so a stride lie in
+    // the preamble surfaces as a code-length mismatch here.
+    let q = QuantizedSet::try_from_parts(dim, len, scales, offsets, &codes)
+        .map_err(|e| corrupt(at, e))?;
+    if dim != meta.dim || len != vectors.len() {
+        return Err(corrupt(
+            at,
+            format!("shard {shard} quantized tier shape disagrees with its vectors"),
+        ));
+    }
+    Ok(q)
 }
 
 fn read_graph(raw: &AlignedBytes, sec: &RawSection) -> Result<FixedDegreeGraph, StoreError> {

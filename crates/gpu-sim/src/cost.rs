@@ -63,8 +63,14 @@ impl CostModel {
         let d = &self.device;
         // Distance term: roofline of streaming the candidate vectors versus
         // executing the FMAs; graph ANNS sits firmly on the bandwidth side.
+        // Quantized (int8) distances stream 1 byte/dim (already reflected in
+        // `vector_bytes`) and execute at 4× the f32 rate (dp4a-style packed
+        // integer lanes), so their compute charge is a quarter per op — the
+        // roofline keeps its shape and the 4× byte cut shows up as sim-QPS
+        // only where the kernel really is bandwidth-bound.
         let stream = d.stream_time(c.vector_bytes as f64);
-        let compute = d.compute_time(c.dist_calcs as f64 * dim as f64 * self.flops_per_dim);
+        let dist_ops = c.dist_calcs as f64 + c.quant_dist_calcs as f64 * 0.25;
+        let compute = d.compute_time(dist_ops * dim as f64 * self.flops_per_dim);
         let dist_s = stream.max(compute);
 
         // Rest-of-kernel term: adjacency + direction-table streaming, plus
@@ -132,6 +138,24 @@ mod tests {
         let tn = m.kernel_time(&narrow, 96).dist_s;
         let tw = m.kernel_time(&wide, 960).dist_s;
         assert!((tw / tn - 10.0).abs() < 0.5, "ratio {}", tw / tn);
+    }
+
+    #[test]
+    fn quantized_distances_cost_a_quarter() {
+        // Same op count, quantized vs exact: in the bandwidth-bound regime
+        // the quantized tally must cost exactly a quarter in the distance
+        // term (1 byte/dim vs 4, compute scaled alike).
+        let mut exact = CostCounters::new();
+        let mut quant = CostCounters::new();
+        for _ in 0..10_000 {
+            exact.record_distance(96);
+            quant.record_quantized_distance(96);
+        }
+        let m = a6000();
+        let te = m.kernel_time(&exact, 96).dist_s;
+        let tq = m.kernel_time(&quant, 96).dist_s;
+        assert!(te > 0.0);
+        assert!((te / tq - 4.0).abs() < 1e-9, "ratio {}", te / tq);
     }
 
     #[test]

@@ -12,6 +12,9 @@ use serde::{Deserialize, Serialize};
 pub struct CostCounters {
     /// Full-precision distance computations (the paper's dominant term).
     pub dist_calcs: u64,
+    /// Quantized (int8 code-space) distance computations — the compressed
+    /// traversal tier. Streams ~¼ of the bytes of a full-precision distance.
+    pub quant_dist_calcs: u64,
     /// Bytes of vector data streamed for those distances.
     pub vector_bytes: u64,
     /// Bytes of adjacency rows fetched.
@@ -47,6 +50,7 @@ impl CostCounters {
     /// Adds every field of `other` into `self`.
     pub fn merge(&mut self, other: &CostCounters) {
         self.dist_calcs += other.dist_calcs;
+        self.quant_dist_calcs += other.quant_dist_calcs;
         self.vector_bytes += other.vector_bytes;
         self.graph_bytes += other.graph_bytes;
         self.dir_table_bytes += other.dir_table_bytes;
@@ -67,6 +71,16 @@ impl CostCounters {
     pub fn record_distance(&mut self, dim: usize) {
         self.dist_calcs += 1;
         self.vector_bytes += (dim * std::mem::size_of::<f32>()) as u64;
+    }
+
+    /// Records one quantized (int8) distance over a `dim`-dimensional
+    /// vector: one code row streamed at 1 byte per dimension — the 4× traffic
+    /// reduction of the compression tier is exactly this bookkeeping
+    /// difference from [`CostCounters::record_distance`].
+    #[inline]
+    pub fn record_quantized_distance(&mut self, dim: usize) {
+        self.quant_dist_calcs += 1;
+        self.vector_bytes += dim as u64;
     }
 
     /// Records fetching one adjacency row of `degree` neighbors.
@@ -112,6 +126,27 @@ mod tests {
         c.record_distance(96);
         assert_eq!(c.dist_calcs, 2);
         assert_eq!(c.vector_bytes, 2 * 96 * 4);
+    }
+
+    #[test]
+    fn record_quantized_distance_charges_quarter_bytes() {
+        let mut c = CostCounters::new();
+        c.record_quantized_distance(96);
+        c.record_quantized_distance(96);
+        assert_eq!(c.quant_dist_calcs, 2);
+        assert_eq!(c.dist_calcs, 0);
+        assert_eq!(c.vector_bytes, 2 * 96);
+        let mut exact = CostCounters::new();
+        exact.record_distance(96);
+        exact.record_distance(96);
+        assert_eq!(exact.vector_bytes, 4 * c.vector_bytes);
+    }
+
+    #[test]
+    fn merge_includes_quantized_field() {
+        let mut a = CostCounters { quant_dist_calcs: 3, ..Default::default() };
+        a.merge(&CostCounters { quant_dist_calcs: 4, ..Default::default() });
+        assert_eq!(a.quant_dist_calcs, 7);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub fn record_counters(prefix: &str, c: &CostCounters) {
     let r = pathweaver_obs::registry();
     for (field, value) in [
         ("dist_calcs", c.dist_calcs),
+        ("quant_dist_calcs", c.quant_dist_calcs),
         ("vector_bytes", c.vector_bytes),
         ("graph_bytes", c.graph_bytes),
         ("dir_table_bytes", c.dir_table_bytes),

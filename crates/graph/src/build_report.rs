@@ -19,6 +19,8 @@ pub struct BuildReport {
     pub ghost_s: f64,
     /// Direction-bit table generation (§3.3).
     pub dirtable_s: f64,
+    /// Int8 quantized-tier encoding (scale/offset scan + code rows).
+    pub quantize_s: f64,
 }
 
 impl BuildReport {
@@ -29,13 +31,13 @@ impl BuildReport {
 
     /// Total build time across all phases.
     pub fn total_s(&self) -> f64 {
-        self.graph_build_s + self.intershard_s + self.ghost_s + self.dirtable_s
+        self.graph_build_s + self.intershard_s + self.ghost_s + self.dirtable_s + self.quantize_s
     }
 
     /// PathWeaver-specific overhead over the core graph build, as a fraction
     /// of the total (the quantity Fig 17 bounds at 4–15 %).
     pub fn overhead_fraction(&self) -> f64 {
-        let aux = self.intershard_s + self.ghost_s + self.dirtable_s;
+        let aux = self.intershard_s + self.ghost_s + self.dirtable_s + self.quantize_s;
         let total = self.total_s();
         if total <= 0.0 {
             0.0
@@ -54,6 +56,7 @@ impl BuildReport {
             BuildPhase::InterShard => self.intershard_s += dt,
             BuildPhase::Ghost => self.ghost_s += dt,
             BuildPhase::DirTable => self.dirtable_s += dt,
+            BuildPhase::Quantize => self.quantize_s += dt,
         }
         out
     }
@@ -64,6 +67,7 @@ impl BuildReport {
         self.intershard_s += other.intershard_s;
         self.ghost_s += other.ghost_s;
         self.dirtable_s += other.dirtable_s;
+        self.quantize_s += other.quantize_s;
     }
 }
 
@@ -78,6 +82,8 @@ pub enum BuildPhase {
     Ghost,
     /// Direction-bit table.
     DirTable,
+    /// Int8 quantized-tier encoding.
+    Quantize,
 }
 
 #[cfg(test)]
@@ -98,8 +104,13 @@ mod tests {
 
     #[test]
     fn overhead_fraction_math() {
-        let r =
-            BuildReport { graph_build_s: 9.0, intershard_s: 0.5, ghost_s: 0.2, dirtable_s: 0.3 };
+        let r = BuildReport {
+            graph_build_s: 9.0,
+            intershard_s: 0.4,
+            ghost_s: 0.2,
+            dirtable_s: 0.3,
+            quantize_s: 0.1,
+        };
         assert!((r.total_s() - 10.0).abs() < 1e-12);
         assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
     }

@@ -17,7 +17,7 @@ use crate::queue::PriorityBuffer;
 use crate::stats::{BatchStats, SearchStats};
 use pathweaver_gpusim::CostCounters;
 use pathweaver_graph::{DirectionTable, FixedDegreeGraph};
-use pathweaver_vector::{batch_l2_squared, SignCodeBuf, VectorSet};
+use pathweaver_vector::{batch_l2_squared, QuantizedSet, SignCodeBuf, VectorSet};
 use rand::Rng;
 
 /// Everything resident on one simulated device for one shard.
@@ -29,6 +29,9 @@ pub struct ShardContext<'a> {
     pub graph: &'a FixedDegreeGraph,
     /// Optional direction-bit table (required when DGS is enabled).
     pub dir_table: Option<&'a DirectionTable>,
+    /// Optional int8 quantized payload (required for quantized traversal;
+    /// searches fall back to exact distances when absent).
+    pub quantized: Option<&'a QuantizedSet>,
 }
 
 impl<'a> ShardContext<'a> {
@@ -43,7 +46,53 @@ impl<'a> ShardContext<'a> {
         dir_table: Option<&'a DirectionTable>,
     ) -> Self {
         assert_eq!(vectors.len(), graph.num_nodes(), "graph/vector size mismatch");
-        Self { vectors, graph, dir_table }
+        Self { vectors, graph, dir_table, quantized: None }
+    }
+
+    /// Attaches the shard's quantized payload, checking shape consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload disagrees with the vectors on row count or
+    /// dimensionality.
+    pub fn with_quantized(mut self, quantized: Option<&'a QuantizedSet>) -> Self {
+        if let Some(q) = quantized {
+            assert_eq!(q.len(), self.vectors.len(), "quantized/vector size mismatch");
+            assert_eq!(q.dim(), self.vectors.dim(), "quantized/vector dim mismatch");
+        }
+        self.quantized = quantized;
+        self
+    }
+}
+
+/// One batched distance pass over `ids`, on the quantized tier when query
+/// codes are present and exact otherwise. Tallies one distance per id; the
+/// tally order relative to queue pushes does not matter (counters are pure
+/// sums), so batching the records here keeps both call sites identical.
+fn batch_candidate_distances(
+    ctx: &ShardContext<'_>,
+    query: &[f32],
+    qcodes: Option<&[i8]>,
+    ids: &[u32],
+    dists: &mut Vec<f32>,
+    counters: &mut CostCounters,
+) {
+    let dim = ctx.vectors.dim();
+    dists.resize(ids.len(), 0.0);
+    match qcodes {
+        Some(qc) => {
+            let qs = ctx.quantized.expect("query codes imply a quantized payload");
+            qs.batch_code_l2_squared(ids, qc, dists);
+            for _ in ids {
+                counters.record_quantized_distance(dim);
+            }
+        }
+        None => {
+            batch_l2_squared(ctx.vectors, ids, query, dists);
+            for _ in ids {
+                counters.record_distance(dim);
+            }
+        }
     }
 }
 
@@ -97,6 +146,18 @@ pub fn search_query(
     let mut rng = pathweaver_util::small_rng(query_seed);
     let mut stats = SearchStats::default();
 
+    // Quantized tier: encode the query once into code space (§ the int8
+    // traversal tier); every beam distance then streams 1 byte/dim. Shards
+    // without a payload (e.g. the ghost stage) silently run exact.
+    let qcodes: Option<Vec<i8>> = if params.quantized {
+        ctx.quantized.map(|qs| {
+            counters.sign_encodes += 1; // one query encode, same cost class
+            qs.encode(query)
+        })
+    } else {
+        None
+    };
+
     // Scratch reused across all beam iterations (and the init phase): the
     // expansion targets, the per-node selected row positions, the DGS rank
     // buffer, and the candidate id/distance lists fed to the batched
@@ -127,10 +188,8 @@ pub fn search_query(
     }
     cand_ids.clear();
     cand_ids.extend(init_ids.iter().copied().filter(|&id| visited.insert(id)));
-    cand_dists.resize(cand_ids.len(), 0.0);
-    batch_l2_squared(ctx.vectors, &cand_ids, query, &mut cand_dists);
+    batch_candidate_distances(ctx, query, qcodes.as_deref(), &cand_ids, &mut cand_dists, counters);
     for (&id, &d) in cand_ids.iter().zip(&cand_dists) {
-        counters.record_distance(dim);
         stats.visits += 1;
         queue.push(d, id);
     }
@@ -243,10 +302,15 @@ pub fn search_query(
         // (bitwise identical to per-candidate `l2_squared`), then merge in
         // the historical order. Distances and pushes are sequenced exactly
         // as before, so the counters and the queue evolve identically.
-        cand_dists.resize(cand_ids.len(), 0.0);
-        batch_l2_squared(ctx.vectors, &cand_ids, query, &mut cand_dists);
+        batch_candidate_distances(
+            ctx,
+            query,
+            qcodes.as_deref(),
+            &cand_ids,
+            &mut cand_dists,
+            counters,
+        );
         for (&v, &d) in cand_ids.iter().zip(&cand_dists) {
-            counters.record_distance(dim);
             stats.visits += 1;
             if let Some(rank) = queue.push_at(d, v) {
                 if rank < params.k {
@@ -277,7 +341,38 @@ pub fn search_query(
     let kept = queue.len() as u64;
     stats.discarded = stats.visits.saturating_sub(kept);
 
-    (queue.top_k(params.k), stats)
+    // Quantized traversal ends with an exact re-rank of the final candidate
+    // window only: code-space distances order the beam but are not L2 values
+    // (each dimension is range-normalized by its scale), so the window is
+    // re-scored against the full-precision vectors and the true top-k
+    // returned. The window is wider than k so a near-neighbor demoted a few
+    // ranks by quantization error still survives the cut.
+    let hits = if qcodes.is_some() {
+        let window = queue.top_k(params.candidates.max(params.k));
+        let ids: Vec<u32> = window.iter().map(|&(_, id)| id).collect();
+        let mut exact = vec![0.0f32; ids.len()];
+        batch_l2_squared(ctx.vectors, &ids, query, &mut exact);
+        for _ in &ids {
+            counters.record_distance(dim);
+        }
+        stats.rerank_width = ids.len() as u64;
+        let mut rescored: Vec<(f32, u32)> =
+            exact.iter().copied().zip(ids.iter().copied()).collect();
+        // Distance then id: a total order, so ties resolve deterministically.
+        rescored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Same per-insert charge as the priority buffer's bitonic model.
+        // `ceil(log2(window))` of a candidate window is tiny, so the
+        // f64-to-u64 cast cannot truncate.
+        #[allow(clippy::cast_possible_truncation)]
+        let rounds = (rescored.len().max(2) as f64).log2().ceil() as u64;
+        counters.sort_ops += rounds * rescored.len() as u64;
+        rescored.truncate(params.k);
+        rescored
+    } else {
+        queue.top_k(params.k)
+    };
+
+    (hits, stats)
 }
 
 /// Result of a batch search on one shard.
@@ -349,6 +444,9 @@ fn record_query_metrics(stats: &SearchStats, counters: &CostCounters) {
     r.histogram("search.query.iterations").record(stats.iterations);
     r.histogram("search.query.visits").record(stats.visits);
     r.histogram("search.query.hash_probes").record(counters.hash_probes);
+    if stats.rerank_width > 0 {
+        r.histogram("qt.query.rerank_width").record(stats.rerank_width);
+    }
 }
 
 /// Records batch-level aggregates: query/convergence counts, visited-hash
@@ -359,6 +457,16 @@ fn record_batch_metrics(ctx: &ShardContext<'_>, params: &SearchParams, batch: &B
     r.counter("search.queries").add(batch.stats.queries);
     r.counter("search.converged").add(batch.stats.converged);
     r.counter("search.hash.probes").add(batch.counters.hash_probes);
+    if params.quantized && batch.counters.quant_dist_calcs > 0 {
+        // The compressed-tier ledger: code-space distances computed, exact
+        // re-scores paid at the end, and the bytes the tier streamed. The 4×
+        // traffic cut versus `record_distance` is visible here directly.
+        r.counter("qt.queries").add(batch.stats.queries);
+        r.counter("qt.dist_calcs").add(batch.counters.quant_dist_calcs);
+        r.counter("qt.rerank.dist_calcs").add(batch.stats.reranked);
+        r.counter("qt.vector_bytes")
+            .add(batch.counters.quant_dist_calcs * ctx.vectors.dim() as u64);
+    }
     if params.dgs.is_some() {
         let considered = batch.counters.nodes_visited * ctx.graph.degree() as u64;
         let skipped = r.counter("search.dgs.neighbors_skipped");
@@ -606,5 +714,105 @@ mod tests {
         let mut c = CostCounters::new();
         let _ =
             search_query(&ctx, set.row(0), &params, &EntryPolicy::Random { count: 8 }, 1, &mut c);
+    }
+
+    #[test]
+    fn quantized_traversal_finds_indexed_vector_with_exact_distances() {
+        let (set, g, _) = world(600, 12);
+        let qs = QuantizedSet::quantize(&set);
+        let ctx = ShardContext::new(&set, &g, None).with_quantized(Some(&qs));
+        let params = SearchParams { quantized: true, ..Default::default() };
+        let mut c = CostCounters::new();
+        let (hits, stats) = search_query(
+            &ctx,
+            set.row(321),
+            &params,
+            &EntryPolicy::Random { count: 32 },
+            7,
+            &mut c,
+        );
+        assert_eq!(hits[0].1, 321);
+        assert_eq!(hits[0].0, 0.0);
+        // Traversal ran on codes; only the re-rank window paid exact work.
+        assert!(c.quant_dist_calcs >= stats.visits);
+        assert_eq!(c.dist_calcs, stats.rerank_width);
+        assert!(stats.rerank_width >= params.k as u64);
+        // Every returned distance is the true L2, not a code-space value.
+        let q = set.row(321);
+        for &(d, id) in &hits {
+            assert_eq!(d, l2_squared(set.row(id as usize), q), "hit {id}");
+        }
+        // Returned ascending.
+        for w in hits.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn quantized_without_payload_falls_back_to_exact() {
+        let (set, g, _) = world(400, 8);
+        let ctx = ShardContext::new(&set, &g, None);
+        let exact = SearchParams::default();
+        let quant = SearchParams { quantized: true, ..exact };
+        let mut c1 = CostCounters::new();
+        let (h1, _) =
+            search_query(&ctx, set.row(9), &exact, &EntryPolicy::Random { count: 32 }, 3, &mut c1);
+        let mut c2 = CostCounters::new();
+        let (h2, _) =
+            search_query(&ctx, set.row(9), &quant, &EntryPolicy::Random { count: 32 }, 3, &mut c2);
+        assert_eq!(h1, h2, "fallback must be bitwise-identical to exact");
+        assert_eq!(c1, c2);
+        assert_eq!(c2.quant_dist_calcs, 0);
+    }
+
+    #[test]
+    fn quantized_traversal_streams_fewer_vector_bytes() {
+        // A long enough traversal that the fixed-size exact re-rank window
+        // stops dominating the byte tally (in real profiles the traversal is
+        // thousands of visits; here patience keeps the beam exploring).
+        let (set, g, _) = world(4000, 64);
+        let qs = QuantizedSet::quantize(&set);
+        let ctx = ShardContext::new(&set, &g, None).with_quantized(Some(&qs));
+        let exact = SearchParams { patience: 8, ..Default::default() };
+        let quant = SearchParams { quantized: true, ..exact };
+        let q = set.row(70).to_vec();
+        let mut ce = CostCounters::new();
+        let _ = search_query(&ctx, &q, &exact, &EntryPolicy::Random { count: 64 }, 5, &mut ce);
+        let mut cq = CostCounters::new();
+        let _ = search_query(&ctx, &q, &quant, &EntryPolicy::Random { count: 64 }, 5, &mut cq);
+        assert!(
+            cq.vector_bytes < ce.vector_bytes / 2,
+            "quantized {} vs exact {}",
+            cq.vector_bytes,
+            ce.vector_bytes
+        );
+    }
+
+    #[test]
+    fn qt_metrics_recorded_when_enabled() {
+        let _g = obs_guard();
+        let (set, g, _) = world(500, 12);
+        let qs = QuantizedSet::quantize(&set);
+        let ctx = ShardContext::new(&set, &g, None).with_quantized(Some(&qs));
+        let params = SearchParams { quantized: true, ..Default::default() };
+        let queries = set.gather(&[7, 70, 170]);
+        pathweaver_obs::set_enabled(true);
+        let _ = search_batch(&ctx, &queries, &params, &[EntryPolicy::Random { count: 32 }]);
+        pathweaver_obs::set_enabled(false);
+        let snap = pathweaver_obs::global_snapshot();
+        assert!(snap.counters["qt.queries"] >= 3);
+        assert!(snap.counters["qt.dist_calcs"] > 0);
+        assert!(snap.counters["qt.rerank.dist_calcs"] > 0);
+        assert!(snap.counters["qt.vector_bytes"] > 0);
+        assert!(snap.histograms["qt.query.rerank_width"].count >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized/vector size mismatch")]
+    fn mismatched_quantized_payload_rejected() {
+        let (set, g, _) = world(100, 8);
+        let small = set.gather(&[0, 1, 2]);
+        let qs = QuantizedSet::quantize(&small);
+        let _ = ShardContext::new(&set, &g, None).with_quantized(Some(&qs));
     }
 }

@@ -49,6 +49,11 @@ pub struct SearchParams {
     /// Small values terminate seeded searches quickly; larger values let a
     /// temporarily stalled frontier recover.
     pub patience: usize,
+    /// Traverse on the int8 quantized tier: beam navigation computes
+    /// code-space distances (1 byte/dim streamed instead of 4), then the
+    /// final candidate window is re-scored with exact L2 before returning.
+    /// Ignored (exact traversal) on shards without a quantized payload.
+    pub quantized: bool,
     /// RNG seed for entry sampling.
     pub seed: u64,
 }
@@ -65,6 +70,7 @@ impl Default for SearchParams {
             dgs: None,
             random_discard: false,
             patience: 2,
+            quantized: false,
             seed: 0x5ea7c4,
         }
     }

@@ -16,6 +16,9 @@ pub struct SearchStats {
     pub converged: bool,
     /// Neighbors skipped by direction-guided selection.
     pub filtered_neighbors: u64,
+    /// Candidates re-scored with exact distances after a quantized
+    /// traversal (0 when the quantized tier is off).
+    pub rerank_width: u64,
 }
 
 impl SearchStats {
@@ -44,6 +47,8 @@ pub struct BatchStats {
     pub converged: u64,
     /// Total filtered (skipped) neighbors.
     pub filtered_neighbors: u64,
+    /// Total exact re-rank distance computations (quantized tier).
+    pub reranked: u64,
 }
 
 impl BatchStats {
@@ -55,6 +60,7 @@ impl BatchStats {
         self.discarded += s.discarded;
         self.converged += u64::from(s.converged);
         self.filtered_neighbors += s.filtered_neighbors;
+        self.reranked += s.rerank_width;
     }
 
     /// Merges another batch.
@@ -65,6 +71,7 @@ impl BatchStats {
         self.discarded += other.discarded;
         self.converged += other.converged;
         self.filtered_neighbors += other.filtered_neighbors;
+        self.reranked += other.reranked;
     }
 
     /// Mean iterations per query.
@@ -99,6 +106,7 @@ mod tests {
             discarded: 90,
             converged: true,
             filtered_neighbors: 5,
+            rerank_width: 4,
         });
         b.absorb(&SearchStats {
             iterations: 20,
@@ -106,11 +114,13 @@ mod tests {
             discarded: 150,
             converged: false,
             filtered_neighbors: 0,
+            rerank_width: 0,
         });
         assert_eq!(b.queries, 2);
         assert_eq!(b.mean_iterations(), 15.0);
         assert_eq!(b.visits, 300);
         assert_eq!(b.converged, 1);
+        assert_eq!(b.reranked, 4);
         assert!((b.discard_ratio() - 0.8).abs() < 1e-12);
     }
 
@@ -130,6 +140,7 @@ mod tests {
             discarded: 8,
             converged: 1,
             filtered_neighbors: 2,
+            reranked: 6,
         };
         let b = BatchStats {
             queries: 2,
@@ -138,10 +149,12 @@ mod tests {
             discarded: 20,
             converged: 1,
             filtered_neighbors: 3,
+            reranked: 1,
         };
         a.merge(&b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.visits, 40);
         assert_eq!(a.filtered_neighbors, 5);
+        assert_eq!(a.reranked, 7);
     }
 }

@@ -18,8 +18,9 @@
 //!   matching bit counts against the query direction rank neighbors without
 //!   reading their full vectors.
 //! - [`norm`]: vector norms and normalization.
-//! - [`quantize`]: symmetric scalar `i8` quantization (extension feature for
-//!   memory-footprint experiments).
+//! - [`quantize`]: per-dimension scalar `i8` quantization — the traversal
+//!   compression tier: 64-byte-aligned code rows, SIMD-dispatched integer
+//!   code-space distances, exact re-rank handled by the search kernel.
 
 #![deny(clippy::cast_possible_truncation)]
 
@@ -34,5 +35,6 @@ pub mod simd;
 pub use distance::{batch_l2_squared, batch_l2_squared_mq, dot, l2, l2_squared, l2_squared_rows};
 pub use matrix::VectorSet;
 pub use metric::{Cosine, InnerProduct, Metric, SquaredL2};
+pub use quantize::QuantizedSet;
 pub use signbit::{hamming_matches, sign_code, sign_code_words, SignCodeBuf};
 pub use simd::{active_simd_level, kernels_for, set_simd_level, Kernels, SimdLevel};

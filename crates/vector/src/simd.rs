@@ -3,9 +3,10 @@
 //! Every claim in PathWeaver is denominated in distance computations, so the
 //! wall-clock cost of one `l2_squared` call is the single biggest lever on
 //! host-side throughput. This module provides explicit-SIMD implementations
-//! of the four kernel primitives — squared-L2, inner product, the 4-row
-//! blocked squared-L2 used by the gather-distance kernels, and sign-bit code
-//! construction — selected once at startup from the CPU's capabilities:
+//! of the kernel primitives — squared-L2, inner product, the 4-row blocked
+//! squared-L2 used by the gather-distance kernels, sign-bit code
+//! construction, and the int8 code-space distance of the quantized traversal
+//! tier — selected once at startup from the CPU's capabilities:
 //!
 //! - **AVX2 (+FMA detected)** and **SSE2** on `x86_64`,
 //! - **NEON** on `aarch64`,
@@ -152,6 +153,7 @@ pub struct Kernels {
     dot: fn(&[f32], &[f32]) -> f32,
     l2_squared_x4: fn([&[f32]; 4], &[f32]) -> [f32; 4],
     sign_code: fn(&[f32], &[f32], &mut [u32]),
+    code_l2_squared: fn(&[i8], &[i8]) -> u32,
 }
 
 impl std::fmt::Debug for Kernels {
@@ -214,6 +216,26 @@ impl Kernels {
         let words = crate::signbit::sign_code_words(from.len());
         assert!(out.len() >= words, "sign code buffer too small");
         (self.sign_code)(from, to, out);
+    }
+
+    /// Integer code-space squared distance between two equal-length `i8`
+    /// code slices: `Σ (a[i] - b[i])²`, accumulated in 32-bit integer lanes.
+    ///
+    /// This is the quantized-traversal distance primitive (see
+    /// [`crate::quantize::QuantizedSet`]). Integer arithmetic is exact, so
+    /// every dispatch level returns the identical value by construction; the
+    /// `simd_identity` property tests pin it anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or exceed 65 536 codes (the
+    /// 32-bit accumulators are sized for vector dimensionalities, where the
+    /// worst-case sum `len · 254²` must stay below 2³²).
+    #[inline]
+    pub fn code_l2_squared(&self, a: &[i8], b: &[i8]) -> u32 {
+        assert_eq!(a.len(), b.len(), "code_l2_squared requires equal-length code slices");
+        assert!(a.len() <= 1 << 16, "code_l2_squared supports at most 65536 codes");
+        (self.code_l2_squared)(a, b)
     }
 
     /// Squared-L2 distances from `query` to each listed row of `set` (the
@@ -425,6 +447,7 @@ static SCALAR_KERNELS: Kernels = Kernels {
     dot: scalar::dot,
     l2_squared_x4: scalar::l2_squared_x4,
     sign_code: scalar::sign_code,
+    code_l2_squared: scalar::code_l2_squared,
 };
 
 pub(crate) mod scalar {
@@ -507,6 +530,35 @@ pub(crate) mod scalar {
         out
     }
 
+    /// Integer code-space squared distance, 4-accumulator structure to match
+    /// the float kernels' shape. Every SIMD path computes the same exact
+    /// integer sum (integer addition is associative, unlike FP).
+    pub(crate) fn code_l2_squared(a: &[i8], b: &[i8]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let chunks = a.len() / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0u32, 0u32, 0u32, 0u32);
+        for i in 0..chunks {
+            let o = i * 4;
+            let d0 = i32::from(a[o]) - i32::from(b[o]);
+            let d1 = i32::from(a[o + 1]) - i32::from(b[o + 1]);
+            let d2 = i32::from(a[o + 2]) - i32::from(b[o + 2]);
+            let d3 = i32::from(a[o + 3]) - i32::from(b[o + 3]);
+            // A squared difference is non-negative, so the u32 casts lose
+            // nothing; the dispatch wrapper bounds the length so the u32
+            // accumulators cannot wrap.
+            s0 += (d0 * d0) as u32;
+            s1 += (d1 * d1) as u32;
+            s2 += (d2 * d2) as u32;
+            s3 += (d3 * d3) as u32;
+        }
+        let mut tail = 0u32;
+        for i in chunks * 4..a.len() {
+            let d = i32::from(a[i]) - i32::from(b[i]);
+            tail += (d * d) as u32;
+        }
+        s0 + s1 + s2 + s3 + tail
+    }
+
     /// Packed sign bits of `to - from`: bit `d` set iff `to[d] > from[d]`.
     pub(crate) fn sign_code(from: &[f32], to: &[f32], out: &mut [u32]) {
         let words = crate::signbit::sign_code_words(from.len());
@@ -530,6 +582,7 @@ static SSE2_KERNELS: Kernels = Kernels {
     dot: x86::dot_sse2_entry,
     l2_squared_x4: x86::l2_squared_x4_sse2_entry,
     sign_code: x86::sign_code_sse2_entry,
+    code_l2_squared: x86::code_l2_squared_sse2_entry,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -539,6 +592,7 @@ static AVX2_KERNELS: Kernels = Kernels {
     dot: x86::dot_avx2_entry,
     l2_squared_x4: x86::l2_squared_x4_avx2_entry,
     sign_code: x86::sign_code_avx2_entry,
+    code_l2_squared: x86::code_l2_squared_avx2_entry,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -592,6 +646,15 @@ mod x86 {
         // SAFETY: reachable only through the AVX2 table, which `kernels_for`
         // installs exclusively after runtime detection of avx2+fma.
         unsafe { sign_code_avx2(f, t, out) }
+    }
+    pub(super) fn code_l2_squared_sse2_entry(a: &[i8], b: &[i8]) -> u32 {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
+        unsafe { code_l2_squared_sse2(a, b) }
+    }
+    pub(super) fn code_l2_squared_avx2_entry(a: &[i8], b: &[i8]) -> u32 {
+        // SAFETY: reachable only through the AVX2 table, which `kernels_for`
+        // installs exclusively after runtime detection of avx2+fma.
+        unsafe { code_l2_squared_avx2(a, b) }
     }
 
     /// Sums the four lanes of `v` plus `tail` in scalar program order:
@@ -704,6 +767,92 @@ mod x86 {
                 out[d / 32] |= 1u32 << (d % 32);
             }
         }
+    }
+
+    /// Sums the four `i32` lanes of `v` plus `tail` in the u32 domain (the
+    /// lanes are non-negative partial sums of squares; the dispatch wrapper
+    /// bounds the input length so the total fits u32).
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn reduce4_i32(v: __m128i, tail: u32) -> u32 {
+        let mut lanes = [0i32; 4];
+        // SAFETY: `lanes` is a live local `[i32; 4]`, exactly the 16 bytes
+        // the unaligned store writes.
+        unsafe { _mm_storeu_si128(lanes.as_mut_ptr().cast::<__m128i>(), v) };
+        lanes[0] as u32 + lanes[1] as u32 + lanes[2] as u32 + lanes[3] as u32 + tail
+    }
+
+    /// Integer code-space squared distance: 16 codes per iteration, each
+    /// half sign-extended to `i16`, squared-and-paired with `pmaddwd` into
+    /// `i32` lanes. Integer accumulation is exact, so the result equals the
+    /// scalar kernel's regardless of lane structure.
+    #[target_feature(enable = "sse2")]
+    fn code_l2_squared_sse2(a: &[i8], b: &[i8]) -> u32 {
+        let n = a.len();
+        debug_assert_eq!(n, b.len());
+        let chunks = n / 16;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let zero = _mm_setzero_si128();
+        let mut acc = _mm_setzero_si128();
+        for i in 0..chunks {
+            // SAFETY: `i < chunks = n / 16` keeps the 16-byte loads inside
+            // `a`; `Kernels::code_l2_squared` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe {
+                (
+                    _mm_loadu_si128(ap.add(i * 16).cast::<__m128i>()),
+                    _mm_loadu_si128(bp.add(i * 16).cast::<__m128i>()),
+                )
+            };
+            // Sign-extend each half to i16 by unpacking with the sign mask.
+            let (sa, sb) = (_mm_cmpgt_epi8(zero, va), _mm_cmpgt_epi8(zero, vb));
+            let dlo = _mm_sub_epi16(_mm_unpacklo_epi8(va, sa), _mm_unpacklo_epi8(vb, sb));
+            let dhi = _mm_sub_epi16(_mm_unpackhi_epi8(va, sa), _mm_unpackhi_epi8(vb, sb));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(dlo, dlo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(dhi, dhi));
+        }
+        let mut tail = 0u32;
+        for i in chunks * 16..n {
+            let d = i32::from(a[i]) - i32::from(b[i]);
+            tail += (d * d) as u32;
+        }
+        reduce4_i32(acc, tail)
+    }
+
+    /// AVX2 variant: 32 codes per iteration, halves widened with
+    /// `vpmovsxbw`, squared-and-paired with `vpmaddwd` into eight `i32`
+    /// lanes.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn code_l2_squared_avx2(a: &[i8], b: &[i8]) -> u32 {
+        let n = a.len();
+        debug_assert_eq!(n, b.len());
+        let chunks = n / 32;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..chunks {
+            // SAFETY: `i < chunks = n / 32` keeps the 32-byte loads inside
+            // `a`; `Kernels::code_l2_squared` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe {
+                (
+                    _mm256_loadu_si256(ap.add(i * 32).cast::<__m256i>()),
+                    _mm256_loadu_si256(bp.add(i * 32).cast::<__m256i>()),
+                )
+            };
+            let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+            let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(va));
+            let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+            let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(vb));
+            let dlo = _mm256_sub_epi16(alo, blo);
+            let dhi = _mm256_sub_epi16(ahi, bhi);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dlo, dlo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dhi, dhi));
+        }
+        let folded = _mm_add_epi32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256::<1>(acc));
+        let mut tail = 0u32;
+        for i in chunks * 32..n {
+            let d = i32::from(a[i]) - i32::from(b[i]);
+            tail += (d * d) as u32;
+        }
+        reduce4_i32(folded, tail)
     }
 
     // AVX2 processes two dimension chunks per iteration (one 256-bit lane
@@ -864,6 +1013,7 @@ static NEON_KERNELS: Kernels = Kernels {
     dot: neon::dot_neon_entry,
     l2_squared_x4: neon::l2_squared_x4_neon_entry,
     sign_code: neon::sign_code_neon_entry,
+    code_l2_squared: neon::code_l2_squared_neon_entry,
 };
 
 #[cfg(target_arch = "aarch64")]
@@ -893,6 +1043,10 @@ mod neon {
     pub(super) fn sign_code_neon_entry(f: &[f32], t: &[f32], out: &mut [u32]) {
         // SAFETY: NEON is part of the aarch64 baseline ABI.
         unsafe { sign_code_neon(f, t, out) }
+    }
+    pub(super) fn code_l2_squared_neon_entry(a: &[i8], b: &[i8]) -> u32 {
+        // SAFETY: NEON is part of the aarch64 baseline ABI.
+        unsafe { code_l2_squared_neon(a, b) }
     }
 
     /// Sums the four lanes of `v` plus `tail` in scalar program order.
@@ -978,6 +1132,38 @@ mod neon {
             *out_k = reduce4(acc[k], tail);
         }
         out
+    }
+
+    /// Integer code-space squared distance: 16 codes per iteration, widened
+    /// differences (`vsubl`) squared-and-accumulated (`vmlal`) into `i32`
+    /// lanes. Integer accumulation is exact, so the result equals the scalar
+    /// kernel's regardless of lane structure.
+    #[target_feature(enable = "neon")]
+    fn code_l2_squared_neon(a: &[i8], b: &[i8]) -> u32 {
+        let n = a.len();
+        debug_assert_eq!(n, b.len());
+        let chunks = n / 16;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = vdupq_n_s32(0);
+        for i in 0..chunks {
+            // SAFETY: `i < chunks = n / 16` keeps the 16-byte loads inside
+            // `a`; `Kernels::code_l2_squared` asserts `b.len() == a.len()`.
+            let (va, vb) = unsafe { (vld1q_s8(ap.add(i * 16)), vld1q_s8(bp.add(i * 16))) };
+            let dlo = vsubl_s8(vget_low_s8(va), vget_low_s8(vb));
+            let dhi = vsubl_high_s8(va, vb);
+            acc = vmlal_s16(acc, vget_low_s16(dlo), vget_low_s16(dlo));
+            acc = vmlal_high_s16(acc, dlo, dlo);
+            acc = vmlal_s16(acc, vget_low_s16(dhi), vget_low_s16(dhi));
+            acc = vmlal_high_s16(acc, dhi, dhi);
+        }
+        let mut tail = 0u32;
+        for i in chunks * 16..n {
+            let d = i32::from(a[i]) - i32::from(b[i]);
+            tail += (d * d) as u32;
+        }
+        // The lanes are non-negative partial sums; the dispatch wrapper
+        // bounds the length so the u32 total cannot wrap.
+        vaddvq_s32(acc) as u32 + tail
     }
 
     #[target_feature(enable = "neon")]
@@ -1077,6 +1263,36 @@ mod tests {
                     level.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn code_distance_matches_scalar_on_every_level() {
+        // Mixed-sign codes hitting both unpack halves and every tail length
+        // around the 16/32-byte chunk boundaries.
+        let a: Vec<i8> =
+            (0i32..300).map(|i| i8::try_from((i * 37 + 11) % 255 - 127).unwrap()).collect();
+        let b: Vec<i8> =
+            (0i32..300).map(|i| i8::try_from((i * 91 + 5) % 255 - 127).unwrap()).collect();
+        let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            for len in [0usize, 1, 4, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 128, 300] {
+                assert_eq!(
+                    k.code_l2_squared(&a[..len], &b[..len]),
+                    scalar.code_l2_squared(&a[..len], &b[..len]),
+                    "codes {} len {len}",
+                    level.name()
+                );
+            }
+        }
+        // Worst-case magnitudes do not overflow the 32-bit accumulators.
+        let lo = vec![-127i8; 1024];
+        let hi = vec![127i8; 1024];
+        assert_eq!(scalar.code_l2_squared(&lo, &hi), 1024 * 254 * 254);
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            assert_eq!(k.code_l2_squared(&lo, &hi), 1024 * 254 * 254);
         }
     }
 }

@@ -7,7 +7,7 @@
 //! primes), on unaligned subslices, and on padded-aligned storage.
 
 use pathweaver_vector::{
-    batch_l2_squared, kernels_for, l2_squared, sign_code_words, SimdLevel, VectorSet,
+    batch_l2_squared, kernels_for, l2_squared, sign_code_words, QuantizedSet, SimdLevel, VectorSet,
 };
 use proptest::prelude::*;
 
@@ -118,7 +118,145 @@ fn nan_sign_codes_match_scalar_on_every_level() {
     }
 }
 
+fn deterministic_codes(len: usize, salt: u32) -> Vec<i8> {
+    let mut state = 0x6c62_272e_u32 ^ salt;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(0x85eb_ca6b).wrapping_add(0xc2b2_ae35);
+            i8::try_from(i32::try_from(state >> 24).unwrap() - 128).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn code_distance_bitwise_identical_on_issue_dims() {
+    // The quantized-traversal kernel is integer, so identity is exact by
+    // construction — this pins it against regressions (e.g. a future SIMD
+    // path switching to saturating arithmetic).
+    let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+    for level in SimdLevel::available() {
+        let k = kernels_for(level).unwrap();
+        for &dim in DIMS {
+            let a = deterministic_codes(dim, 3);
+            let b = deterministic_codes(dim, 4);
+            assert_eq!(
+                k.code_l2_squared(&a, &b),
+                scalar.code_l2_squared(&a, &b),
+                "code_l2_squared {} dim={dim}",
+                level.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn code_distance_unaligned_subslices_identical() {
+    let scalar = kernels_for(SimdLevel::Scalar).unwrap();
+    let a = deterministic_codes(400, 5);
+    let b = deterministic_codes(400, 6);
+    for level in SimdLevel::available() {
+        let k = kernels_for(level).unwrap();
+        for off in 0..8usize {
+            for len in [0usize, 1, 15, 16, 17, 33, 64, 100, 129, 300] {
+                let (xa, xb) = (&a[off..off + len], &b[off..off + len]);
+                assert_eq!(
+                    k.code_l2_squared(xa, xb),
+                    scalar.code_l2_squared(xa, xb),
+                    "{} off={off} len={len}",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
 proptest! {
+    #[test]
+    fn prop_code_distance_matches_naive_on_all_levels(
+        pairs in proptest::collection::vec((-127i32..128, -127i32..128), 0..400),
+    ) {
+        let (a, b): (Vec<i8>, Vec<i8>) = pairs
+            .into_iter()
+            .map(|(x, y)| (i8::try_from(x).unwrap(), i8::try_from(y).unwrap()))
+            .unzip();
+        let want: u32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let d = i32::from(x) - i32::from(y);
+                u32::try_from(d * d).unwrap()
+            })
+            .sum();
+        for level in SimdLevel::available() {
+            let k = kernels_for(level).unwrap();
+            prop_assert_eq!(k.code_l2_squared(&a, &b), want, "{} len={}", level.name(), a.len());
+        }
+    }
+
+    #[test]
+    fn prop_per_dim_quantization_error_bounded(
+        dim in 1usize..80,
+        rows in 1usize..16,
+        lo in -1e4f32..1e4,
+        span in 0.0f32..1e4,
+        seed in 0u32..1000,
+    ) {
+        // Adversarial ranges: shifting by `lo` covers negative-only dims,
+        // `span == 0` degenerates to constant dims. The per-element
+        // reconstruction error must stay within scale_d / 2.
+        let raw = deterministic_vec(dim * rows, seed);
+        let shifted: Vec<f32> = raw.iter().map(|x| lo + (x / 200.0 + 0.5) * span).collect();
+        let set = VectorSet::from_flat(dim, shifted);
+        let q = QuantizedSet::quantize(&set);
+        let back = q.dequantize();
+        for i in 0..set.len() {
+            for (d, (a, b)) in set.row(i).iter().zip(back.row(i)).enumerate() {
+                // scale/2 is the exact-arithmetic bound; the rest absorbs the
+                // f32 rounding of encode/decode, which scales with the value
+                // magnitude (ulp of the offset), not with the scale.
+                let fp_slack = (q.offsets()[d].abs() + q.scales()[d] * 254.0) * 1e-6 + 1e-6;
+                let bound = q.scales()[d] * 0.5 + fp_slack;
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "row {} dim {}: {} vs {} (scale {})", i, d, a, b, q.scales()[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_quantized_batch_identical_across_levels(
+        dim in 1usize..100,
+        rows in 1usize..12,
+        seed in 0u32..1000,
+    ) {
+        let set = VectorSet::from_flat(dim, deterministic_vec(dim * rows, seed));
+        let q = QuantizedSet::quantize(&set);
+        let qc = q.encode(&deterministic_vec(dim, seed ^ 0x55aa));
+        let idx: Vec<u32> = (0..u32::try_from(rows).unwrap()).rev().collect();
+        let scalar_out = {
+            let prev = pathweaver_vector::active_simd_level();
+            assert!(pathweaver_vector::set_simd_level(SimdLevel::Scalar));
+            let mut out = vec![0.0f32; rows];
+            q.batch_code_l2_squared(&idx, &qc, &mut out);
+            assert!(pathweaver_vector::set_simd_level(prev));
+            out
+        };
+        for level in SimdLevel::available() {
+            let prev = pathweaver_vector::active_simd_level();
+            assert!(pathweaver_vector::set_simd_level(level));
+            let mut out = vec![0.0f32; rows];
+            q.batch_code_l2_squared(&idx, &qc, &mut out);
+            assert!(pathweaver_vector::set_simd_level(prev));
+            for i in 0..rows {
+                prop_assert_eq!(
+                    out[i].to_bits(), scalar_out[i].to_bits(),
+                    "{} dim={} row={}", level.name(), dim, i
+                );
+            }
+        }
+    }
+
     #[test]
     fn prop_all_levels_match_scalar(
         pairs in proptest::collection::vec((-1e6f32..1e6, -1e6f32..1e6), 0..300),

@@ -40,6 +40,26 @@ fn durable_mutations_survive_reopen() {
 }
 
 #[test]
+fn wal_replay_extends_quantized_tier_identically() {
+    // Replay goes through `PathWeaverIndex::insert`, which pushes onto the
+    // quantized tier under the shard's frozen grid — so a reopened index
+    // must answer quantized searches bitwise-identically to the live one.
+    let (w, idx) = build_index(75);
+    let dir = TempStore::new("durable-quantized");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+    for r in 0..3 {
+        let v: Vec<f32> = w.base.row(r).iter().map(|x| x + 0.002).collect();
+        durable.insert(&v).unwrap();
+    }
+    let params = SearchParams { quantized: true, ..SearchParams::default() };
+    let before = durable.search_pipelined(&w.queries, &params).results;
+
+    drop(durable); // WAL still pending: reopen must replay the inserts.
+    let reopened = DurableIndex::open(dir.path()).unwrap();
+    assert_eq!(reopened.search_pipelined(&w.queries, &params).results, before);
+}
+
+#[test]
 fn torn_wal_tail_recovers_to_pre_record_state_at_every_offset() {
     // The crash-recovery contract (ISSUE acceptance): kill the process at
     // any byte offset inside the last WAL append; on reopen, search results
