@@ -8,9 +8,11 @@
 //! baseline against a fresh run and exits non-zero if any entry slowed down
 //! by more than the tolerance (default 30%). An entry present in the
 //! baseline but missing from the fresh run is a failure (a silently dropped
-//! bench would otherwise un-gate itself); entries that exist only in the
-//! fresh run are reported and tolerated, so adding a bench does not require
-//! regenerating the baseline in the same change.
+//! bench would otherwise un-gate itself), and an empty baseline or an empty
+//! fresh run is a hard error (zero comparisons must never read as a pass);
+//! entries that exist only in the fresh run are reported and tolerated, so
+//! adding a bench does not require regenerating the baseline in the same
+//! change.
 //!
 //! `PATHWEAVER_PERF_TOLERANCE` overrides the allowed fractional slowdown:
 //! e.g. `PATHWEAVER_PERF_TOLERANCE=0.5` allows 50%. Use a temporarily raised
@@ -69,6 +71,16 @@ fn main() {
 
     let baseline = entries(&load(baseline_path), baseline_path);
     let fresh = entries(&load(fresh_path), fresh_path);
+    // A gate that compares nothing gates nothing: an empty baseline (or a
+    // fresh run that produced no entries) is a broken setup, not a pass.
+    if baseline.is_empty() {
+        eprintln!("check_bench: {baseline_path} has no entries — the gate would pass vacuously");
+        std::process::exit(2);
+    }
+    if fresh.is_empty() {
+        eprintln!("check_bench: {fresh_path} has no entries — the bench produced no measurements");
+        std::process::exit(2);
+    }
 
     println!(
         "perf gate: {} baseline entries, tolerance +{:.0}% (PATHWEAVER_PERF_TOLERANCE to override)",

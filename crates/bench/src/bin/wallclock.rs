@@ -43,6 +43,11 @@
 //!   `Server` on a 4-device ring. Hits are asserted identical, and the
 //!   simulated-makespan speedup of the overlapped schedule must clear 1.5×
 //!   (the serve-layer acceptance bar) before the wall clocks are compared.
+//! - `cluster_serve`: the same batch stream through a 1-node cluster vs a
+//!   4-node, 4-way-replicated cluster. The 1-node answers are asserted
+//!   bit-identical to `serve_once`, and the replicated fan-out's simulated
+//!   QPS at 4 nodes must clear 2.5× the 1-node number before the wall
+//!   clocks are compared.
 //!
 //! After the timed entries, one instrumented search populates the metrics
 //! registry and the summary is written to `target/BENCH_metrics.json` (or
@@ -561,6 +566,83 @@ fn serve_throughput() -> Value {
     result("serve_throughput", baseline, optimized)
 }
 
+/// Cluster serving: the same batch stream through a 1-node cluster vs a
+/// 4-node cluster holding the partition 4-way replicated, over the
+/// in-process channel transport. The 1-node hits (and simulated makespan
+/// bits) must match `serve_once` exactly — the cluster layer's identity
+/// contract. Replicated read fan-out then spreads the stream round-robin
+/// over the nodes; summing each node's simulated busy time, the 4-node
+/// simulated QPS must clear 2.5× the 1-node number (near-linear scaling,
+/// the cluster-layer acceptance bar) before the wall clocks are compared.
+/// On CPU both configurations share the same cores, so wall parity is
+/// expected — the scaling claim lives in the simulated clock by design.
+fn cluster_serve() -> Value {
+    use pathweaver_core::cluster::{build_partitions, LocalCluster, TransportKind};
+    use pathweaver_core::config::ClusterConfig;
+    use pathweaver_core::serve::serve_once;
+    use pathweaver_core::PathWeaverConfig;
+
+    const BATCHES: usize = 16;
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 67);
+    let parts = build_partitions(&w.base, &PathWeaverConfig::test_scale(2), 1)
+        .expect("bench partition builds");
+    let params = SearchParams::default();
+    let reference = serve_once(&parts[0].index, &w.queries, &params);
+
+    let launch = |nodes: usize| {
+        let config =
+            ClusterConfig { partitions: 1, replication: nodes, ..ClusterConfig::default() };
+        LocalCluster::launch_with_partitions(&parts, &config, nodes, TransportKind::Channel, &[])
+    };
+
+    // Simulated phase: drive the batch stream sequentially, checking every
+    // answer bitwise, then read per-node busy time off the router.
+    let sim_qps = |nodes: usize| -> f64 {
+        let cluster = launch(nodes);
+        for b in 0..BATCHES {
+            let out = cluster.router().search(&w.queries, &params).expect("cluster search");
+            assert_eq!(out.hits, reference.hits, "batch {b}: cluster hits diverged");
+            if nodes == 1 {
+                assert_eq!(
+                    out.makespan_s.to_bits(),
+                    reference.makespan_s.to_bits(),
+                    "batch {b}: 1-node simulated makespan must match serve_once bitwise"
+                );
+            }
+        }
+        let busy_s = cluster.router().node_busy_s().into_iter().fold(0.0f64, f64::max);
+        cluster.shutdown();
+        (BATCHES * w.queries.len()) as f64 / busy_s.max(1e-12)
+    };
+    let qps_1 = sim_qps(1);
+    let qps_4 = sim_qps(4);
+    let scaling = qps_4 / qps_1.max(1e-12);
+    println!(
+        "cluster_serve: simulated {qps_1:.0} qps on 1 node vs {qps_4:.0} qps on 4 nodes \
+         ({scaling:.2}x)"
+    );
+    assert!(
+        scaling >= 2.5,
+        "4-node replicated serving must clear 2.5x the 1-node simulated QPS, got {scaling:.2}x"
+    );
+
+    let cluster_1 = launch(1);
+    let baseline = time_ms(5, || {
+        for _ in 0..BATCHES {
+            black_box(cluster_1.router().search(&w.queries, &params).expect("cluster search"));
+        }
+    });
+    cluster_1.shutdown();
+    let cluster_4 = launch(4);
+    let optimized = time_ms(5, || {
+        for _ in 0..BATCHES {
+            black_box(cluster_4.router().search(&w.queries, &params).expect("cluster search"));
+        }
+    });
+    cluster_4.shutdown();
+    result("cluster_serve", baseline, optimized)
+}
+
 fn main() {
     // Default to two threads so the dispatch comparison exercises the pool
     // even on single-core runners; an explicit setting wins.
@@ -583,6 +665,7 @@ fn main() {
         obs_overhead(),
         segment_open(),
         serve_throughput(),
+        cluster_serve(),
     ];
     let doc = json!({
         "bench": "wallclock",

@@ -11,12 +11,19 @@
 //! pwctl info    --index index-dir
 //! pwctl verify  --index index-dir
 //! pwctl compact --index index-dir
+//! pwctl cluster --base base.fvecs --queries q.fvecs [--nodes 2]
+//!               [--partitions 1] [--replication 2] [--devices 2]
+//!               [--batches 4] [--k 10] [--beam 64] [--tcp]
 //! ```
 //!
 //! All vector files use the TexMex `fvecs`/`ivecs` formats, so the real
 //! Sift/Gist/Deep corpora work directly. `verify` checksum-audits a store
 //! without loading it; `compact` folds the write-ahead log into a fresh
 //! segment (and migrates legacy directory stores to the segment format).
+//! `cluster` boots an in-process multi-node cluster (partitioned, replicated
+//! node processes behind the frame RPC layer — TCP loopback with `--tcp`,
+//! the deterministic channel transport otherwise), routes query batches
+//! through it, and reports per-node load, failovers and simulated QPS.
 
 use pathweaver_core::prelude::*;
 use pathweaver_core::store::{is_segment_store, load_index, save_index, verify_store};
@@ -26,7 +33,9 @@ use std::collections::BTreeMap;
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage: pwctl <synth|gt|build|search|eval|info|verify|compact> [--flag value ...]");
+    eprintln!(
+        "usage: pwctl <synth|gt|build|search|eval|info|verify|compact|cluster> [--flag value ...]"
+    );
     eprintln!("run with a subcommand and no flags for its specific usage");
     exit(2)
 }
@@ -94,6 +103,7 @@ fn main() {
         "info" => info(&flags),
         "verify" => verify(&flags),
         "compact" => compact(&flags),
+        "cluster" => cluster(&flags),
         _ => usage(),
     }
 }
@@ -286,6 +296,83 @@ fn compact(flags: &BTreeMap<String, String>) {
     } else {
         println!("compacted {dir} in {:.1}s (wal folded into a fresh segment)", sw.elapsed_secs());
     }
+}
+
+/// Boots an in-process cluster over the given dataset and routes query
+/// batches through it: partitions spread over `--nodes` node processes with
+/// `--replication`-way replicas, behind the frame RPC layer (TCP loopback
+/// with `--tcp`, the deterministic channel transport otherwise). A 1-node
+/// cluster answers bit-identically to `serve_once`; more nodes spread the
+/// load, visible in the per-node busy times printed at the end.
+fn cluster(flags: &BTreeMap<String, String>) {
+    let base = read_fvecs_file(req(flags, "base"), None).unwrap_or_else(|e| fail(e));
+    let queries = read_fvecs_file(req(flags, "queries"), None).unwrap_or_else(|e| fail(e));
+    if queries.dim() != base.dim() {
+        fail(format!(
+            "query dimensionality {} does not match the base vectors ({})",
+            queries.dim(),
+            base.dim()
+        ));
+    }
+    let nodes = opt_parse(flags, "nodes", 2usize);
+    let partitions = opt_parse(flags, "partitions", 1usize);
+    let replication = opt_parse(flags, "replication", nodes.min(2));
+    let devices = opt_parse(flags, "devices", 2usize);
+    let batches = opt_parse(flags, "batches", 4usize);
+    let k = opt_parse(flags, "k", 10usize);
+    let beam = opt_parse(flags, "beam", 64usize);
+    let transport =
+        if flags.contains_key("tcp") { TransportKind::Tcp } else { TransportKind::Channel };
+
+    let index_config = PathWeaverConfig::full(devices);
+    let cluster_config = ClusterConfig { partitions, replication, ..ClusterConfig::default() };
+    let params = SearchParams {
+        k,
+        beam,
+        candidates: beam,
+        expand: (beam / 16).max(4),
+        hash_bits: 15,
+        ..SearchParams::default()
+    };
+
+    let sw = pathweaver_obs::Stopwatch::start();
+    let cluster = LocalCluster::launch(&base, &index_config, &cluster_config, nodes, transport)
+        .unwrap_or_else(|e| fail(e));
+    println!(
+        "cluster up in {:.1}s: {} nodes ({:?}), {} partitions x {} replicas; placement {:?}",
+        sw.elapsed_secs(),
+        nodes,
+        transport,
+        partitions,
+        replication,
+        cluster.router().placement(),
+    );
+
+    let mut total_queries = 0u64;
+    let mut failovers = 0u64;
+    for batch in 0..batches {
+        let out = cluster.router().search(&queries, &params).unwrap_or_else(|e| fail(e));
+        total_queries += queries.len() as u64;
+        failovers += out.failovers;
+        println!(
+            "batch {batch}: {} queries, simulated makespan {:.3} ms, {} rpc attempts",
+            queries.len(),
+            out.makespan_s * 1e3,
+            out.attempts,
+        );
+    }
+    let busy = cluster.router().node_busy_s();
+    let max_busy = busy.iter().copied().fold(0.0f64, f64::max);
+    for (node, b) in busy.iter().enumerate() {
+        println!("node {node}: {:.3} ms simulated busy time", b * 1e3);
+    }
+    println!(
+        "served {total_queries} queries over {batches} batches: sim-QPS {:.0}, {failovers} failovers, {} / {} nodes alive",
+        total_queries as f64 / max_busy.max(f64::MIN_POSITIVE),
+        cluster.router().alive().iter().filter(|&&a| a).count(),
+        nodes,
+    );
+    cluster.shutdown();
 }
 
 fn remove_legacy_files(dir: &str) -> std::io::Result<()> {

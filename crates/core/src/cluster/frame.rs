@@ -1,0 +1,420 @@
+//! Length-prefixed, checksummed RPC frames and their message payloads.
+//!
+//! Every cluster message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        0x50575250 ("PWRP"), little-endian
+//! 4       1     kind         Ping=1 Pong=2 Search=3 Hits=4 Error=5
+//! 5       8     request id   echoed verbatim in the response
+//! 13      4     payload len  bytes following the header
+//! 17      4     crc32        over the payload bytes only
+//! 21      …     payload      kind-specific, see [`SearchRequest`] etc.
+//! ```
+//!
+//! The length prefix makes frames self-delimiting over a byte stream; the
+//! CRC turns a torn or bit-flipped frame into a detected
+//! [`FrameError::Corrupt`] instead of a silently wrong answer. Decoding
+//! never trusts the peer: an oversized length, a bad magic, a checksum
+//! mismatch, or a truncated buffer all fail loudly and the router treats the
+//! replica as faulty (see `Router`).
+
+use super::wire::{WireError, WireReader, WireWriter};
+use pathweaver_search::{DgsParams, SearchParams};
+use pathweaver_vector::VectorSet;
+
+/// Frame magic: "PWRP" read as a little-endian `u32`.
+pub const FRAME_MAGIC: u32 = 0x5057_5250;
+/// Fixed header size in bytes (magic + kind + request id + len + crc).
+pub const FRAME_HEADER_LEN: usize = 21;
+/// Upper bound on a payload — large enough for any realistic query batch,
+/// small enough that a corrupt length cannot OOM the receiver.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Health probe.
+    Ping,
+    /// Health probe answer.
+    Pong,
+    /// A scatter request: search one partition for a query batch.
+    Search,
+    /// A gather response: per-query hits plus simulated cost.
+    Hits,
+    /// The peer understood the request but could not serve it.
+    Error,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            Self::Ping => 1,
+            Self::Pong => 2,
+            Self::Search => 3,
+            Self::Hits => 4,
+            Self::Error => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::Ping),
+            2 => Some(Self::Pong),
+            3 => Some(Self::Search),
+            4 => Some(Self::Hits),
+            5 => Some(Self::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does — a torn frame.
+    Incomplete {
+        /// Total bytes the frame claims to occupy (0 when even the header
+        /// is short).
+        need: usize,
+    },
+    /// The bytes cannot be a frame (bad magic/kind/length/checksum).
+    Corrupt {
+        /// Human-readable detail for reports and logs.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Incomplete { need } => write!(f, "torn frame: need {need} bytes"),
+            Self::Corrupt { detail } => write!(f, "corrupt frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Request id; responses echo the request's id so the router can reject
+    /// stale answers on a reused connection.
+    pub request_id: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame with an empty payload.
+    pub fn control(kind: FrameKind, request_id: u64) -> Self {
+        Self { kind, request_id, payload: Vec::new() }
+    }
+
+    /// Encodes header + payload into one byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`] — a sender bug,
+    /// not a peer behaviour.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= MAX_FRAME_PAYLOAD as usize, "frame payload too large");
+        let mut w = WireWriter::new();
+        w.put_u32(FRAME_MAGIC);
+        w.put_u8(self.kind.to_byte());
+        w.put_u64(self.request_id);
+        w.put_u32(self.payload.len() as u32);
+        w.put_u32(pathweaver_util::crc32(&self.payload));
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&self.payload);
+        bytes
+    }
+
+    /// Decodes the frame at the start of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Incomplete`] when `bytes` ends mid-frame (torn),
+    /// [`FrameError::Corrupt`] on bad magic, kind, length, or checksum.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), FrameError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(FrameError::Incomplete { need: FRAME_HEADER_LEN });
+        }
+        let mut r = WireReader::new(&bytes[..FRAME_HEADER_LEN]);
+        let ok = |e: WireError| FrameError::Corrupt { detail: e.context };
+        let magic = r.get_u32("magic").map_err(ok)?;
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::Corrupt { detail: "bad magic" });
+        }
+        let kind = FrameKind::from_byte(r.get_u8("kind").map_err(ok)?)
+            .ok_or(FrameError::Corrupt { detail: "unknown frame kind" })?;
+        let request_id = r.get_u64("request_id").map_err(ok)?;
+        let payload_len = r.get_u32("payload_len").map_err(ok)?;
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Corrupt { detail: "payload length over limit" });
+        }
+        let crc = r.get_u32("crc").map_err(ok)?;
+        let total = FRAME_HEADER_LEN + payload_len as usize;
+        if bytes.len() < total {
+            return Err(FrameError::Incomplete { need: total });
+        }
+        let payload = bytes[FRAME_HEADER_LEN..total].to_vec();
+        if pathweaver_util::crc32(&payload) != crc {
+            return Err(FrameError::Corrupt { detail: "checksum mismatch" });
+        }
+        Ok((Self { kind, request_id, payload }, total))
+    }
+}
+
+/// A scatter request: search partition `partition` for every query row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Which partition of the collection to search.
+    pub partition: u32,
+    /// Search parameters, applied identically on every replica.
+    pub params: SearchParams,
+    /// The query batch; the whole client batch travels as one request so
+    /// per-row entry seeding (which depends on the row index within the
+    /// batch) matches single-node serving bit-for-bit.
+    pub queries: VectorSet,
+}
+
+impl SearchRequest {
+    /// Encodes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.partition);
+        encode_params(&mut w, &self.params);
+        w.put_len(self.queries.dim());
+        w.put_len(self.queries.len());
+        for row in self.queries.iter() {
+            for &v in row {
+                w.put_f32(v);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(payload);
+        let partition = r.get_u32("partition")?;
+        let params = decode_params(&mut r)?;
+        let dim = r.get_usize("dim")?;
+        if dim == 0 || dim > (1 << 20) {
+            return Err(WireError { offset: 0, context: "dim out of range" });
+        }
+        let rows = r.get_len(dim * 4, "rows")?;
+        let mut queries = VectorSet::empty(dim);
+        let mut buf = vec![0.0f32; dim];
+        for _ in 0..rows {
+            for v in &mut buf {
+                *v = r.get_f32("query component")?;
+            }
+            queries.push(&buf);
+        }
+        r.finish("request tail")?;
+        Ok(Self { partition, params, queries })
+    }
+}
+
+/// A gather response: hits per query row, in cluster-global ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// `hits[q]` = ascending `(squared distance, global id)` for query `q`.
+    pub hits: Vec<Vec<(f32, u32)>>,
+    /// Simulated device-seconds this request occupied on the node — the
+    /// router's per-node load accounting sums these.
+    pub makespan_s: f64,
+}
+
+impl SearchResponse {
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_f64(self.makespan_s);
+        w.put_len(self.hits.len());
+        for per_query in &self.hits {
+            w.put_len(per_query.len());
+            for &(d, id) in per_query {
+                w.put_f32(d);
+                w.put_u32(id);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(payload);
+        let makespan_s = r.get_f64("makespan")?;
+        let queries = r.get_len(8, "hit rows")?;
+        let mut hits = Vec::with_capacity(queries);
+        for _ in 0..queries {
+            let n = r.get_len(8, "hit count")?;
+            let mut per_query = Vec::with_capacity(n);
+            for _ in 0..n {
+                let d = r.get_f32("hit distance")?;
+                let id = r.get_u32("hit id")?;
+                per_query.push((d, id));
+            }
+            hits.push(per_query);
+        }
+        r.finish("response tail")?;
+        Ok(Self { hits, makespan_s })
+    }
+}
+
+fn encode_params(w: &mut WireWriter, p: &SearchParams) {
+    w.put_len(p.k);
+    w.put_len(p.beam);
+    w.put_len(p.candidates);
+    w.put_len(p.expand);
+    w.put_len(p.max_iterations);
+    w.put_u32(p.hash_bits);
+    match p.dgs {
+        None => w.put_u8(0),
+        Some(d) => {
+            w.put_u8(1);
+            w.put_f64(d.keep_ratio);
+            w.put_f64(d.cooldown_ratio);
+            w.put_u8(u8::from(d.threshold_mode));
+        }
+    }
+    w.put_u8(u8::from(p.random_discard));
+    w.put_len(p.patience);
+    w.put_u8(u8::from(p.quantized));
+    w.put_u64(p.seed);
+}
+
+fn decode_params(r: &mut WireReader<'_>) -> Result<SearchParams, WireError> {
+    let k = r.get_usize("k")?;
+    let beam = r.get_usize("beam")?;
+    let candidates = r.get_usize("candidates")?;
+    let expand = r.get_usize("expand")?;
+    let max_iterations = r.get_usize("max_iterations")?;
+    let hash_bits = r.get_u32("hash_bits")?;
+    let dgs = match r.get_u8("dgs flag")? {
+        0 => None,
+        _ => Some(DgsParams {
+            keep_ratio: r.get_f64("keep_ratio")?,
+            cooldown_ratio: r.get_f64("cooldown_ratio")?,
+            threshold_mode: r.get_u8("threshold_mode")? != 0,
+        }),
+    };
+    let random_discard = r.get_u8("random_discard")? != 0;
+    let patience = r.get_usize("patience")?;
+    let quantized = r.get_u8("quantized")? != 0;
+    let seed = r.get_u64("seed")?;
+    Ok(SearchParams {
+        k,
+        beam,
+        candidates,
+        expand,
+        max_iterations,
+        hash_bits,
+        dgs,
+        random_discard,
+        patience,
+        quantized,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> SearchRequest {
+        let mut queries = VectorSet::empty(3);
+        queries.push(&[1.0, -2.5, 0.25]);
+        queries.push(&[0.0, f32::MIN_POSITIVE, 3.75]);
+        SearchRequest {
+            partition: 2,
+            params: SearchParams {
+                dgs: Some(DgsParams::default()),
+                quantized: true,
+                ..SearchParams::default()
+            },
+            queries,
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let f = Frame { kind: FrameKind::Search, request_id: 42, payload: vec![9, 8, 7] };
+        let bytes = f.encode();
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn torn_frame_detected() {
+        let f = Frame { kind: FrameKind::Hits, request_id: 1, payload: vec![0; 100] };
+        let bytes = f.encode();
+        for cut in [0, 5, FRAME_HEADER_LEN, bytes.len() - 1] {
+            let err = Frame::decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, FrameError::Incomplete { .. }), "cut={cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let f = Frame { kind: FrameKind::Hits, request_id: 1, payload: vec![0xaa; 32] };
+        let mut bytes = f.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Frame::control(FrameKind::Ping, 0).encode();
+        bytes[0] ^= 0xff;
+        assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt { detail: "bad magic" })));
+    }
+
+    #[test]
+    fn search_request_round_trips_bitwise() {
+        let req = sample_request();
+        let back = SearchRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.partition, req.partition);
+        assert_eq!(back.params, req.params);
+        assert_eq!(back.queries.len(), req.queries.len());
+        for q in 0..req.queries.len() {
+            let a: Vec<u32> = req.queries.row(q).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = back.queries.row(q).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "query {q} must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn search_response_round_trips() {
+        let resp = SearchResponse {
+            hits: vec![vec![(0.5, 3), (1.5, 9)], vec![], vec![(2.25, 0)]],
+            makespan_s: 0.001953125,
+        };
+        let back = SearchResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncated_payload_is_wire_error() {
+        let req = sample_request();
+        let bytes = req.encode();
+        assert!(SearchRequest::decode(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! In-process cluster harness: build partitions, boot nodes, wire a router.
+//!
+//! Production deployments run one [`ClusterNode`] per host and a router
+//! wherever queries enter; tests, the `check_cluster` gate, the
+//! `cluster_serve` bench, and `pwctl cluster` all want the same thing in one
+//! process. [`LocalCluster`] provides it over either transport. Placement is
+//! *not* negotiated: the harness and the [`Router`] independently derive the
+//! same consistent-hash assignment from `(node ids, ClusterConfig::seed)`,
+//! which is exactly how a real deployment's nodes and routers would agree
+//! without a coordination service.
+
+use super::node::{ClusterNode, FaultScript, NodeReplica};
+use super::ring::HashRing;
+use super::router::{Peer, Router};
+use super::transport::{ChannelNet, Listener, TcpNodeListener, Transport};
+use crate::config::{ClusterConfig, PathWeaverConfig};
+use crate::index::{BuildError, PathWeaverIndex};
+use crate::reduce::reduce_partitions;
+use crate::serve::serve_once;
+use pathweaver_search::SearchParams;
+use pathweaver_vector::VectorSet;
+use std::sync::Arc;
+
+/// One built partition: an index over a slice of the collection plus the
+/// local→cluster-global id map.
+#[derive(Clone)]
+pub struct ClusterPartition {
+    /// The partition's index.
+    pub index: Arc<PathWeaverIndex>,
+    /// Local row id → cluster-global id.
+    pub global_ids: Arc<Vec<u32>>,
+}
+
+impl std::fmt::Debug for ClusterPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterPartition").field("rows", &self.global_ids.len()).finish()
+    }
+}
+
+/// Which transport a [`LocalCluster`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Loopback TCP with ephemeral ports.
+    Tcp,
+    /// The deterministic in-process channel network.
+    Channel,
+}
+
+/// Splits `dataset` into `partitions` contiguous row ranges.
+///
+/// Contiguous (rather than hashed) partitioning keeps the 1-partition case
+/// literally the original dataset, which the bit-identity contract with
+/// `serve_once` relies on.
+///
+/// # Panics
+///
+/// Panics when `partitions` is zero or exceeds the row count.
+pub fn partition_rows(len: usize, partitions: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(partitions > 0, "need at least one partition");
+    assert!(partitions <= len, "more partitions than rows");
+    (0..partitions).map(|p| (p * len / partitions)..((p + 1) * len / partitions)).collect()
+}
+
+/// Builds one [`PathWeaverIndex`] per contiguous partition of `dataset`.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from any partition build.
+///
+/// # Panics
+///
+/// Panics when `partitions` is zero or exceeds the row count.
+pub fn build_partitions(
+    dataset: &VectorSet,
+    index_config: &PathWeaverConfig,
+    partitions: usize,
+) -> Result<Vec<ClusterPartition>, BuildError> {
+    partition_rows(dataset.len(), partitions)
+        .into_iter()
+        .map(|range| {
+            let rows: Vec<usize> = range.clone().collect();
+            let slice = dataset.gather(&rows);
+            let index = PathWeaverIndex::build(&slice, index_config)?;
+            let global_ids: Vec<u32> = range.map(|r| r as u32).collect();
+            Ok(ClusterPartition { index: Arc::new(index), global_ids: Arc::new(global_ids) })
+        })
+        .collect()
+}
+
+/// The reference answer for a partitioned collection: every partition served
+/// independently through [`serve_once`], ids mapped to cluster-global, then
+/// merged per query. The `check_cluster` gate holds every fault case to this
+/// bitwise.
+pub fn reference_merged(
+    parts: &[ClusterPartition],
+    queries: &VectorSet,
+    params: &SearchParams,
+) -> Vec<Vec<(f32, u32)>> {
+    let per_partition: Vec<Vec<Vec<(f32, u32)>>> = parts
+        .iter()
+        .map(|part| {
+            serve_once(&part.index, queries, params)
+                .hits
+                .into_iter()
+                .map(|pq| pq.into_iter().map(|(d, id)| (d, part.global_ids[id as usize])).collect())
+                .collect()
+        })
+        .collect();
+    reduce_partitions(&per_partition, params.k)
+}
+
+/// A whole cluster in one process: N nodes plus a router.
+pub struct LocalCluster {
+    router: Router,
+    nodes: Vec<ClusterNode>,
+    /// Kept alive so channel nodes stay dialable; also handed to tests that
+    /// want to inject network-level faults.
+    net: Option<Arc<ChannelNet>>,
+}
+
+impl std::fmt::Debug for LocalCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCluster").field("nodes", &self.nodes.len()).finish_non_exhaustive()
+    }
+}
+
+impl LocalCluster {
+    /// Builds partitions from `dataset` and boots a fault-free cluster of
+    /// `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from partition builds.
+    pub fn launch(
+        dataset: &VectorSet,
+        index_config: &PathWeaverConfig,
+        cluster_config: &ClusterConfig,
+        num_nodes: usize,
+        kind: TransportKind,
+    ) -> Result<Self, BuildError> {
+        let parts = build_partitions(dataset, index_config, cluster_config.partitions)?;
+        Ok(Self::launch_with_partitions(&parts, cluster_config, num_nodes, kind, &[]))
+    }
+
+    /// Boots `num_nodes` nodes over prebuilt `parts` (replicas share the
+    /// partition `Arc`s) and a router over them. `faults[i]` scripts node
+    /// `i`; missing entries are fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_nodes` is zero, the config is invalid, or a TCP
+    /// listener cannot bind.
+    pub fn launch_with_partitions(
+        parts: &[ClusterPartition],
+        cluster_config: &ClusterConfig,
+        num_nodes: usize,
+        kind: TransportKind,
+        faults: &[FaultScript],
+    ) -> Self {
+        cluster_config.validate();
+        assert!(num_nodes > 0, "need at least one node");
+        assert_eq!(parts.len(), cluster_config.partitions, "partition count mismatch");
+
+        let ids: Vec<u64> = (0..num_nodes as u64).collect();
+        let ring = HashRing::new(&ids, cluster_config.vnodes, cluster_config.seed);
+        let mut per_node: Vec<Vec<NodeReplica>> = vec![Vec::new(); num_nodes];
+        for (p, part) in parts.iter().enumerate() {
+            for node in ring.replicas(p as u64, cluster_config.replication) {
+                per_node[node as usize].push(NodeReplica {
+                    partition: p as u32,
+                    index: Arc::clone(&part.index),
+                    global_ids: Arc::clone(&part.global_ids),
+                });
+            }
+        }
+
+        let net = match kind {
+            TransportKind::Channel => Some(ChannelNet::new()),
+            TransportKind::Tcp => None,
+        };
+        let mut nodes = Vec::with_capacity(num_nodes);
+        let mut peers = Vec::with_capacity(num_nodes);
+        for (i, replicas) in per_node.into_iter().enumerate() {
+            let listener: Box<dyn Listener> = match &net {
+                Some(net) => Box::new(net.listen(i as u64)),
+                None => {
+                    Box::new(TcpNodeListener::bind("127.0.0.1:0").expect("bind loopback listener"))
+                }
+            };
+            peers.push(Peer { node_id: i as u64, addr: listener.local_addr() });
+            let fault = faults.get(i).cloned().unwrap_or_default();
+            nodes.push(ClusterNode::spawn(i as u64, replicas, listener, fault));
+        }
+        let transport = match &net {
+            Some(net) => Transport::Channel(Arc::clone(net)),
+            None => Transport::Tcp,
+        };
+        let router = Router::new(peers, transport, cluster_config.clone());
+        Self { router, nodes, net }
+    }
+
+    /// The cluster's router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The running nodes, in node-id order.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// The channel network, when running on [`TransportKind::Channel`].
+    pub fn net(&self) -> Option<&Arc<ChannelNet>> {
+        self.net.as_ref()
+    }
+
+    /// Stops the router's health thread and every node.
+    pub fn shutdown(self) {
+        let Self { router, nodes, net } = self;
+        router.shutdown();
+        for node in nodes {
+            node.shutdown();
+        }
+        drop(net);
+    }
+}

@@ -1,0 +1,57 @@
+//! Multi-node cluster layer: RPC routing, replication, failover.
+//!
+//! The ring executor scales PathWeaver across simulated devices inside one
+//! process; this module scales it across *hosts* — the serve layer becomes
+//! the per-node front end and a [`Router`] becomes the cluster's query
+//! entry point. The design is deliberately minimal and fully deterministic
+//! where it matters:
+//!
+//! - [`wire`] / [`frame`]: a hand-rolled little-endian codec under
+//!   length-prefixed, CRC-checksummed frames. Floats travel as bit
+//!   patterns, so distances survive the wire exactly.
+//! - [`transport`]: one [`Connection`] trait, two transports — loopback/
+//!   real TCP, and an in-process channel network ([`ChannelNet`]) whose
+//!   fault injection is byte-exact and seeded (the `check_cluster` CI gate
+//!   runs on it).
+//! - [`ring`]: seeded consistent hashing with virtual nodes; every router
+//!   and node derives the same partition→replica placement from
+//!   `(node set, seed)` with no coordination service.
+//! - [`node`]: a [`ClusterNode`] hosts partition replicas and serves each
+//!   request's query batch as one exclusive `serve_once` micro-batch.
+//! - [`router`]: scatter to one replica per partition (rotating choice for
+//!   read fan-out), gather, and merge per query through
+//!   [`crate::reduce::reduce_partitions`] — the same deterministic
+//!   tie-breaking as every other top-k merge in the system.
+//! - [`local`]: the one-process harness used by tests, the gate, the bench
+//!   and `pwctl cluster`.
+//!
+//! **Identity contract.** A 1-node, 1-partition cluster returns hits
+//! bit-identical to [`crate::serve::serve_once`] on the same batch (and
+//! hence to `search_pipelined`): the whole batch travels as one request,
+//! the node serves it as one exclusive micro-batch, distances cross the
+//! wire as bit patterns, and the final merge of a single already-reduced
+//! list is the identity.
+//!
+//! **Fault model.** Any RPC failure — timeout, torn frame, disconnect,
+//! remote error — marks the replica dead in the router's health view and
+//! the in-flight batch retries on a sibling replica; queries fail only when
+//! every replica of some partition is down across all retry rounds. Health
+//! probes (periodic or on demand) revive recovered replicas.
+
+pub mod frame;
+pub mod local;
+pub mod node;
+pub mod ring;
+pub mod router;
+pub mod transport;
+pub mod wire;
+
+pub use frame::{Frame, FrameError, FrameKind, SearchRequest, SearchResponse};
+pub use local::{
+    build_partitions, partition_rows, reference_merged, ClusterPartition, LocalCluster,
+    TransportKind,
+};
+pub use node::{ClusterNode, DelayWindow, FaultScript, NodeReplica};
+pub use ring::HashRing;
+pub use router::{ClusterError, ClusterOutput, Peer, Router};
+pub use transport::{ChannelNet, Connection, Listener, NodeAddr, RpcError, Transport};

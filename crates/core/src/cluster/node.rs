@@ -1,0 +1,322 @@
+//! The per-node front end: a serve endpoint speaking the cluster protocol.
+//!
+//! A [`ClusterNode`] owns one or more partition replicas (each an
+//! [`PathWeaverIndex`] plus a local→cluster-global id map) and answers
+//! `Search` frames by running the request's whole query batch through
+//! [`serve_once`] — one exclusive micro-batch per request. That exclusivity
+//! is load-bearing: per-row entry seeding depends on the row's index within
+//! its batch, so coalescing two requests would change results. Keeping each
+//! request a private batch is what makes a 1-node cluster bit-identical to
+//! calling [`serve_once`] directly.
+//!
+//! Nodes also carry an optional [`FaultScript`] — scripted crash/torn/delay
+//! behaviour that the `check_cluster` CI gate uses to prove the router's
+//! failover keeps every in-flight query answered. Production nodes run with
+//! the default (empty) script.
+
+use super::frame::{Frame, FrameKind, SearchRequest, SearchResponse};
+use super::transport::{Connection, Listener, NodeAddr, RpcError};
+use crate::index::PathWeaverIndex;
+use crate::serve::serve_once;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One partition replica hosted by a node.
+#[derive(Clone)]
+pub struct NodeReplica {
+    /// Partition this replica serves.
+    pub partition: u32,
+    /// The partition's index. Replicas of the same partition share the
+    /// `Arc` when co-hosted in one process.
+    pub index: Arc<PathWeaverIndex>,
+    /// Local row id → cluster-global id.
+    pub global_ids: Arc<Vec<u32>>,
+}
+
+impl std::fmt::Debug for NodeReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeReplica")
+            .field("partition", &self.partition)
+            .field("rows", &self.global_ids.len())
+            .finish()
+    }
+}
+
+/// A window of search-request ordinals that respond late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayWindow {
+    /// First delayed ordinal (0-based, node-wide).
+    pub from: u64,
+    /// One past the last delayed ordinal.
+    pub to: u64,
+    /// How late each delayed response is.
+    pub delay_ms: u64,
+}
+
+/// Scripted faults for tests and the `check_cluster` gate; the default is
+/// fault-free.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// After receiving this many search requests, the node "crashes": the
+    /// triggering request is swallowed without a response (a kill mid-batch)
+    /// and the node stops accepting or answering anything afterwards.
+    pub crash_after_requests: Option<u64>,
+    /// Search ordinals whose response frame is truncated mid-payload.
+    pub torn_responses: BTreeSet<u64>,
+    /// Search ordinals whose response is delayed — a timeout storm when the
+    /// delay exceeds the router's request budget.
+    pub delay: Option<DelayWindow>,
+}
+
+/// Shared node state visible to every connection handler.
+struct NodeShared {
+    node_id: u64,
+    replicas: Vec<NodeReplica>,
+    fault: FaultScript,
+    /// Node-wide count of search requests received; fault ordinals index
+    /// into this sequence.
+    search_seq: AtomicU64,
+    /// One-way crash latch (see [`FaultScript::crash_after_requests`]).
+    crashed: AtomicBool,
+    /// Shutdown latch.
+    stop: AtomicBool,
+}
+
+impl NodeShared {
+    fn is_stopping(&self) -> bool {
+        // Relaxed: both flags are one-way latches polled between requests;
+        // a stale read only delays thread exit by one poll interval.
+        self.stop.load(Ordering::Relaxed) || self.crashed.load(Ordering::Relaxed)
+    }
+}
+
+/// A running cluster node: listener thread plus one handler thread per
+/// accepted connection.
+pub struct ClusterNode {
+    shared: Arc<NodeShared>,
+    addr: NodeAddr,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("node_id", &self.shared.node_id)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterNode {
+    /// Starts serving `replicas` on `listener`.
+    pub fn spawn(
+        node_id: u64,
+        replicas: Vec<NodeReplica>,
+        listener: Box<dyn Listener>,
+        fault: FaultScript,
+    ) -> Self {
+        let addr = listener.local_addr();
+        let shared = Arc::new(NodeShared {
+            node_id,
+            replicas,
+            fault,
+            search_seq: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name(format!("pw-node-{node_id}"))
+                .spawn(move || accept_loop(listener, &shared, &handlers))
+                .expect("spawn node listener thread")
+        };
+        Self { shared, addr, listener_thread: Some(listener_thread), handlers }
+    }
+
+    /// The address peers dial to reach this node.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr.clone()
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u64 {
+        self.shared.node_id
+    }
+
+    /// Whether the fault script has tripped the crash latch.
+    pub fn is_crashed(&self) -> bool {
+        // Relaxed: observational read of a one-way latch; no data rides it.
+        self.shared.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the node: no new connections, handler threads joined. Pending
+    /// requests on open connections are answered before their handler sees
+    /// the stop flag.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        // Relaxed: one-way latch; handler loops poll it between requests.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.listener_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.handlers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn accept_loop(
+    mut listener: Box<dyn Listener>,
+    shared: &Arc<NodeShared>,
+    handlers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.is_stopping() {
+        match listener.accept(20) {
+            Ok(Some(conn)) => {
+                let shared = Arc::clone(shared);
+                let h = std::thread::Builder::new()
+                    .name(format!("pw-node-{}-conn", shared.node_id))
+                    .spawn(move || connection_loop(conn, &shared))
+                    .expect("spawn node connection thread");
+                handlers.lock().push(h);
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+    // Dropping the listener here closes the accept queue: once crashed or
+    // stopped, new dials are refused — the router observes a dead peer.
+}
+
+fn connection_loop(mut conn: Box<dyn Connection>, shared: &Arc<NodeShared>) {
+    loop {
+        if shared.is_stopping() {
+            return;
+        }
+        let frame = match conn.recv(Some(50)) {
+            Ok(f) => f,
+            Err(RpcError::Timeout) => continue,
+            Err(RpcError::Torn { detail }) => {
+                // A damaged *request* still gets an answer: the router needs
+                // the failure signal to retry on a sibling replica.
+                let _ = conn.send(&error_frame(0, &format!("torn request: {detail}")));
+                return;
+            }
+            Err(_) => return,
+        };
+        match frame.kind {
+            FrameKind::Ping => {
+                if pathweaver_obs::enabled() {
+                    pathweaver_obs::registry().counter("cluster.node.pings").inc();
+                }
+                if conn.send(&Frame::control(FrameKind::Pong, frame.request_id)).is_err() {
+                    return;
+                }
+            }
+            FrameKind::Search => {
+                if !handle_search(conn.as_mut(), shared, &frame) {
+                    return;
+                }
+            }
+            _ => {
+                let _ = conn.send(&error_frame(frame.request_id, "unexpected frame kind"));
+                return;
+            }
+        }
+    }
+}
+
+/// Serves one search request; returns `false` when the connection should
+/// close (crash, send failure).
+fn handle_search(conn: &mut dyn Connection, shared: &Arc<NodeShared>, frame: &Frame) -> bool {
+    // Relaxed: the ordinal only sequences scripted faults and metrics; no
+    // other memory is published through it.
+    let ordinal = shared.search_seq.fetch_add(1, Ordering::Relaxed);
+    if let Some(after) = shared.fault.crash_after_requests {
+        if ordinal >= after {
+            // The kill-mid-batch fault: the request was received and is now
+            // swallowed. The latch also stops the accept loop.
+            // Relaxed: one-way latch, polled; see NodeShared::is_stopping.
+            shared.crashed.store(true, Ordering::Relaxed);
+            return false;
+        }
+    }
+    if let Some(w) = shared.fault.delay {
+        if ordinal >= w.from && ordinal < w.to {
+            std::thread::sleep(Duration::from_millis(w.delay_ms));
+        }
+    }
+    let req = match SearchRequest::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return conn.send(&error_frame(frame.request_id, &e.to_string())).is_ok(),
+    };
+    let Some(replica) = shared.replicas.iter().find(|r| r.partition == req.partition) else {
+        let msg = format!("node {} does not host partition {}", shared.node_id, req.partition);
+        return conn.send(&error_frame(frame.request_id, &msg)).is_ok();
+    };
+    if req.queries.is_empty() || req.queries.dim() != replica.index.dim() {
+        return conn.send(&error_frame(frame.request_id, "empty or mis-sized batch")).is_ok();
+    }
+    if pathweaver_obs::enabled() {
+        let r = pathweaver_obs::registry();
+        r.counter("cluster.node.requests").inc();
+        r.counter("cluster.node.queries").add(req.queries.len() as u64);
+    }
+    // One exclusive micro-batch per request (see module docs); a panic from
+    // hostile parameters is downgraded to an Error frame so one bad request
+    // cannot wedge the node.
+    let served =
+        catch_unwind(AssertUnwindSafe(|| serve_once(&replica.index, &req.queries, &req.params)));
+    let out = match served {
+        Ok(out) => out,
+        Err(_) => {
+            return conn.send(&error_frame(frame.request_id, "search panicked")).is_ok();
+        }
+    };
+    let hits: Vec<Vec<(f32, u32)>> = out
+        .hits
+        .into_iter()
+        .map(|per_query| {
+            per_query.into_iter().map(|(d, id)| (d, replica.global_ids[id as usize])).collect()
+        })
+        .collect();
+    let resp = SearchResponse { hits, makespan_s: out.makespan_s };
+    let reply =
+        Frame { kind: FrameKind::Hits, request_id: frame.request_id, payload: resp.encode() };
+    if shared.fault.torn_responses.contains(&ordinal) {
+        // Truncate mid-payload: enough bytes that the header parses, not
+        // enough to satisfy its declared length.
+        let keep = super::frame::FRAME_HEADER_LEN + resp.encode().len() / 2;
+        let _ = conn.send_torn(&reply, keep);
+        return false;
+    }
+    conn.send(&reply).is_ok()
+}
+
+fn error_frame(request_id: u64, detail: &str) -> Frame {
+    Frame { kind: FrameKind::Error, request_id, payload: detail.as_bytes().to_vec() }
+}
+
+/// Decodes the detail string of an `Error` frame.
+pub fn error_detail(frame: &Frame) -> String {
+    String::from_utf8_lossy(&frame.payload).into_owned()
+}

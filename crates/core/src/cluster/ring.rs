@@ -1,0 +1,137 @@
+//! Consistent-hash placement of partitions onto nodes.
+//!
+//! Each node projects `vnodes` seeded points onto a `u64` ring; a partition
+//! hashes to a point and its replicas are the next `r` *distinct* nodes
+//! clockwise. The classic properties follow: placement is a pure function of
+//! `(node set, seed)` — every router and test computes the same assignment
+//! without coordination — and removing a node only remaps the partitions
+//! that lived on it, which is what keeps failover cheap.
+//!
+//! Hashing reuses [`pathweaver_util::seed_from_parts`] (SplitMix64 over a
+//! labelled domain), the same primitive every other seeded component of the
+//! reproduction derives randomness from.
+
+use pathweaver_util::seed_from_parts;
+
+/// A seeded consistent-hash ring over node ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, node id)`, sorted by position.
+    points: Vec<(u64, u64)>,
+    /// Distinct node ids on the ring.
+    num_nodes: usize,
+    seed: u64,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node set or zero `vnodes`.
+    pub fn new(nodes: &[u64], vnodes: usize, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "ring needs at least one node");
+        assert!(vnodes > 0, "need at least one virtual node per node");
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for &node in nodes {
+            for v in 0..vnodes {
+                let h = seed_from_parts(seed, "ring-vnode", node ^ (v as u64) << 32);
+                points.push((h, node));
+            }
+        }
+        // Position ties (astronomically unlikely) break by node id so the
+        // sort is total and placement stays deterministic.
+        points.sort_unstable();
+        Self { points, num_nodes: distinct(nodes), seed }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The first `count` distinct nodes clockwise from `key`'s ring
+    /// position — the replica set of partition `key`. Returns fewer than
+    /// `count` nodes only when the ring itself has fewer.
+    pub fn replicas(&self, key: u64, count: usize) -> Vec<u64> {
+        let h = seed_from_parts(self.seed, "ring-key", key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(count.min(self.num_nodes));
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn distinct(nodes: &[u64]) -> usize {
+    let set: std::collections::BTreeSet<u64> = nodes.iter().copied().collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_distinct_and_sized() {
+        let ring = HashRing::new(&[0, 1, 2, 3], 16, 42);
+        for key in 0..32 {
+            let r = ring.replicas(key, 3);
+            assert_eq!(r.len(), 3);
+            let set: std::collections::BTreeSet<u64> = r.iter().copied().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn count_clamped_to_ring_size() {
+        let ring = HashRing::new(&[5, 9], 8, 1);
+        let r = ring.replicas(0, 4);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = HashRing::new(&[0, 1, 2], 16, 7);
+        let b = HashRing::new(&[0, 1, 2], 16, 7);
+        for key in 0..64 {
+            assert_eq!(a.replicas(key, 2), b.replicas(key, 2));
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_owned_keys() {
+        let full = HashRing::new(&[0, 1, 2, 3], 32, 9);
+        let reduced = HashRing::new(&[0, 1, 3], 32, 9);
+        let mut moved = 0;
+        for key in 0..256 {
+            let before = full.replicas(key, 1)[0];
+            let after = reduced.replicas(key, 1)[0];
+            if before != 2 {
+                assert_eq!(before, after, "key {key} was not on the removed node");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "some keys lived on the removed node");
+    }
+
+    #[test]
+    fn spread_is_roughly_balanced() {
+        let ring = HashRing::new(&[0, 1, 2, 3], 64, 3);
+        let mut counts = [0usize; 4];
+        for key in 0..4096 {
+            counts[ring.replicas(key, 1)[0] as usize] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(c > 4096 / 4 / 4, "node {node} owns {c}/4096 keys — far below a fair share");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Scatter/gather routing with replication, retries, and failover.
+//!
+//! A [`Router`] owns the client side of a cluster: the peer list, the
+//! consistent-hash placement of partitions onto peers, and per-replica
+//! health. One [`Router::search`] call scatters the whole query batch to one
+//! replica of every partition (concurrently across partitions), gathers the
+//! per-partition hit lists, and merges them per query with
+//! [`crate::reduce::reduce_partitions`] — the same deduplicating,
+//! deterministically tie-broken top-k as every other merge in the system.
+//!
+//! **Failover state machine.** Each replica is `alive` or `dead` in the
+//! router's view. A request failure of any kind (timeout, torn frame,
+//! disconnect, remote error) marks the replica dead and moves on to the next
+//! sibling in rotation — the in-flight batch is retried, not failed. A
+//! successful request (or health probe) marks it alive again. When every
+//! sibling of a partition has failed in the current pass, the router runs
+//! [`ClusterConfig::retry_rounds`] more passes over the full replica set
+//! (the health view may be stale) before giving up with
+//! [`ClusterError::PartitionUnavailable`].
+//!
+//! **Replica choice.** The starting sibling rotates with the request
+//! sequence number, so with N healthy replicas consecutive batches spread
+//! round-robin — this is what turns replication into read throughput (the
+//! `cluster_serve` bench measures it as sim-QPS scaling).
+
+use super::frame::{Frame, FrameKind, SearchRequest, SearchResponse};
+use super::ring::HashRing;
+use super::transport::{NodeAddr, RpcError, Transport};
+use crate::config::ClusterConfig;
+use crate::reduce::reduce_partitions;
+use parking_lot::Mutex;
+use pathweaver_search::SearchParams;
+use pathweaver_vector::VectorSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One node as the router sees it.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Stable node id (ring placement hashes this).
+    pub node_id: u64,
+    /// Dial address.
+    pub addr: NodeAddr,
+}
+
+/// Why a cluster search failed outright (failover exhausted).
+#[derive(Debug, Clone)]
+pub enum ClusterError {
+    /// Every replica of `partition` failed across every retry round.
+    PartitionUnavailable {
+        /// The partition with no answering replica.
+        partition: u32,
+        /// `(node id, error)` per attempt, in attempt order.
+        attempts: Vec<(u64, String)>,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PartitionUnavailable { partition, attempts } => {
+                write!(f, "partition {partition} unavailable after {} attempts", attempts.len())?;
+                for (node, err) in attempts {
+                    write!(f, "; node {node}: {err}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Result of one routed batch.
+#[derive(Debug, Clone)]
+pub struct ClusterOutput {
+    /// Per-query merged `(squared distance, global id)` hits, ascending,
+    /// length ≤ k.
+    pub hits: Vec<Vec<(f32, u32)>>,
+    /// Per-query global result ids (projection of `hits`).
+    pub results: Vec<Vec<u32>>,
+    /// Simulated wall time of the batch: partitions run concurrently on
+    /// different nodes, so the batch takes as long as its slowest partition.
+    pub makespan_s: f64,
+    /// RPC attempts spent (≥ number of partitions).
+    pub attempts: u64,
+    /// Attempts that failed over to a sibling replica.
+    pub failovers: u64,
+}
+
+/// Per-replica health view plus per-node simulated busy time.
+struct RouterState {
+    /// `alive[i]` mirrors peer `i`.
+    alive: Vec<bool>,
+    /// Simulated device-seconds each peer has served, summed in partition
+    /// order per batch (sequential f64 reduction — bit-stable).
+    busy_s: Vec<f64>,
+}
+
+struct RouterInner {
+    peers: Vec<Peer>,
+    /// `placement[p]` = peer indices hosting partition `p`, preference
+    /// order.
+    placement: Vec<Vec<usize>>,
+    transport: Transport,
+    config: ClusterConfig,
+    state: Mutex<RouterState>,
+    /// Batch sequence number; rotates the replica choice.
+    seq: AtomicU64,
+    /// Stops the background health thread.
+    stop: AtomicBool,
+}
+
+/// The cluster client: scatters batches, gathers top-k, fails over.
+pub struct Router {
+    inner: Arc<RouterInner>,
+    health_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("peers", &self.inner.peers.len())
+            .field("partitions", &self.inner.placement.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Builds a router over `peers` using consistent-hash placement derived
+    /// from [`ClusterConfig::seed`] — any process with the same peer list
+    /// and config computes the same placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty peer list or an invalid config.
+    pub fn new(peers: Vec<Peer>, transport: Transport, config: ClusterConfig) -> Self {
+        config.validate();
+        assert!(!peers.is_empty(), "router needs at least one peer");
+        let ids: Vec<u64> = peers.iter().map(|p| p.node_id).collect();
+        let ring = HashRing::new(&ids, config.vnodes, config.seed);
+        let placement: Vec<Vec<usize>> = (0..config.partitions)
+            .map(|p| {
+                ring.replicas(p as u64, config.replication)
+                    .into_iter()
+                    .map(|node| ids.iter().position(|&i| i == node).expect("ring node is a peer"))
+                    .collect()
+            })
+            .collect();
+        let state = Mutex::new(RouterState {
+            alive: vec![true; peers.len()],
+            busy_s: vec![0.0; peers.len()],
+        });
+        let inner = Arc::new(RouterInner {
+            peers,
+            placement,
+            transport,
+            config,
+            state,
+            seq: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let health_thread = inner.config.health_interval_ms.map(|interval| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("pw-router-health".into())
+                .spawn(move || health_loop(&inner, interval))
+                .expect("spawn router health thread")
+        });
+        Self { inner, health_thread }
+    }
+
+    /// The placement table: `placement()[p]` lists the node ids hosting
+    /// partition `p` in preference order.
+    pub fn placement(&self) -> Vec<Vec<u64>> {
+        self.inner
+            .placement
+            .iter()
+            .map(|replicas| replicas.iter().map(|&i| self.inner.peers[i].node_id).collect())
+            .collect()
+    }
+
+    /// Current health view, one flag per peer (peer order).
+    pub fn alive(&self) -> Vec<bool> {
+        self.inner.state.lock().alive.clone()
+    }
+
+    /// Simulated device-seconds served per peer (peer order) — the bench's
+    /// load-balance readout.
+    pub fn node_busy_s(&self) -> Vec<f64> {
+        self.inner.state.lock().busy_s.clone()
+    }
+
+    /// Probes every peer with a `Ping` and updates the health view.
+    /// Returns the number of peers alive afterwards.
+    pub fn check_health(&self) -> usize {
+        check_health(&self.inner)
+    }
+
+    /// Searches the whole cluster for `queries`, scattering to one replica
+    /// per partition and merging per query.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::PartitionUnavailable`] when some partition has no
+    /// answering replica after all retry rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch (mirrors `serve_once`).
+    pub fn search(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> Result<ClusterOutput, ClusterError> {
+        assert!(!queries.is_empty(), "empty query batch");
+        let inner = &self.inner;
+        // Relaxed: the sequence only rotates replica choice and labels
+        // request ids; it orders no other memory.
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let partitions = inner.placement.len();
+
+        let mut slots: Vec<Option<Result<PartitionReply, ClusterError>>> =
+            (0..partitions).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut pending = Vec::with_capacity(partitions);
+            for (p, slot) in slots.iter_mut().enumerate() {
+                pending.push(scope.spawn(move || {
+                    *slot = Some(serve_partition(inner, p, seq, queries, params));
+                }));
+            }
+            for h in pending {
+                h.join().expect("partition scatter thread panicked");
+            }
+        });
+
+        let mut per_partition = Vec::with_capacity(partitions);
+        let mut makespan_s = 0.0f64;
+        let mut attempts = 0u64;
+        let mut failovers = 0u64;
+        {
+            // Busy time is credited here, in partition order, single-
+            // threaded: the f64 sums are bit-stable run to run.
+            let mut st = self.inner.state.lock();
+            for slot in slots {
+                let reply = slot.expect("every partition slot filled")?;
+                st.busy_s[reply.peer_index] += reply.response.makespan_s;
+                makespan_s = makespan_s.max(reply.response.makespan_s);
+                attempts += reply.attempts;
+                failovers += reply.failovers;
+                per_partition.push(reply.response.hits);
+            }
+        }
+        let hits = reduce_partitions(&per_partition, params.k);
+        let results: Vec<Vec<u32>> =
+            hits.iter().map(|h| h.iter().map(|&(_, id)| id).collect()).collect();
+        if pathweaver_obs::enabled() {
+            let r = pathweaver_obs::registry();
+            r.counter("cluster.requests").inc();
+            r.counter("cluster.queries").add(queries.len() as u64);
+            r.counter("cluster.rpc.attempts").add(attempts);
+            r.counter("cluster.failovers").add(failovers);
+        }
+        Ok(ClusterOutput { hits, results, makespan_s, attempts, failovers })
+    }
+
+    /// Stops the health thread (if any). Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        // Relaxed: one-way latch polled by the health loop between sleeps.
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.health_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// One partition's successful scatter.
+struct PartitionReply {
+    peer_index: usize,
+    response: SearchResponse,
+    attempts: u64,
+    failovers: u64,
+}
+
+/// Tries replicas of partition `p` in rotated, alive-first order; marks
+/// failures dead and keeps going. Extra rounds re-probe the full set.
+fn serve_partition(
+    inner: &RouterInner,
+    p: usize,
+    seq: u64,
+    queries: &VectorSet,
+    params: &SearchParams,
+) -> Result<PartitionReply, ClusterError> {
+    let replicas = &inner.placement[p];
+    let rot = (seq as usize + p) % replicas.len();
+    let rotated: Vec<usize> =
+        (0..replicas.len()).map(|i| replicas[(rot + i) % replicas.len()]).collect();
+    let mut attempts = 0u64;
+    let mut failures: Vec<(u64, String)> = Vec::new();
+
+    for round in 0..=inner.config.retry_rounds {
+        // Round 0 prefers replicas believed alive (stable order); later
+        // rounds re-try everything — the health view may be stale.
+        let order: Vec<usize> = if round == 0 {
+            let alive = inner.state.lock().alive.clone();
+            let mut o: Vec<usize> = rotated.iter().copied().filter(|&i| alive[i]).collect();
+            o.extend(rotated.iter().copied().filter(|&i| !alive[i]));
+            o
+        } else {
+            rotated.clone()
+        };
+        for peer_index in order {
+            attempts += 1;
+            let rid = (seq << 16) | (p as u64 & 0xffff);
+            match attempt(inner, peer_index, rid, p as u32, queries, params) {
+                Ok(response) => {
+                    let mut st = inner.state.lock();
+                    st.alive[peer_index] = true;
+                    return Ok(PartitionReply {
+                        peer_index,
+                        response,
+                        attempts,
+                        failovers: failures.len() as u64,
+                    });
+                }
+                Err(e) => {
+                    inner.state.lock().alive[peer_index] = false;
+                    if pathweaver_obs::enabled() {
+                        let r = pathweaver_obs::registry();
+                        r.counter("cluster.rpc.failures").inc();
+                        match &e {
+                            RpcError::Timeout => r.counter("cluster.rpc.timeouts").inc(),
+                            RpcError::Torn { .. } => r.counter("cluster.rpc.torn").inc(),
+                            _ => r.counter("cluster.rpc.errors").inc(),
+                        };
+                    }
+                    failures.push((inner.peers[peer_index].node_id, e.to_string()));
+                }
+            }
+        }
+    }
+    Err(ClusterError::PartitionUnavailable { partition: p as u32, attempts: failures })
+}
+
+/// One RPC attempt against one replica.
+fn attempt(
+    inner: &RouterInner,
+    peer_index: usize,
+    rid: u64,
+    partition: u32,
+    queries: &VectorSet,
+    params: &SearchParams,
+) -> Result<SearchResponse, RpcError> {
+    let mut conn = inner.transport.connect(&inner.peers[peer_index].addr)?;
+    let req = SearchRequest { partition, params: *params, queries: queries.clone() };
+    let frame = Frame { kind: FrameKind::Search, request_id: rid, payload: req.encode() };
+    conn.send(&frame)?;
+    let reply = conn.recv(Some(inner.config.request_timeout_ms))?;
+    if reply.request_id != rid {
+        return Err(RpcError::Malformed { detail: "response id mismatch".into() });
+    }
+    match reply.kind {
+        FrameKind::Hits => {
+            let resp = SearchResponse::decode(&reply.payload)
+                .map_err(|e| RpcError::Malformed { detail: e.to_string() })?;
+            if resp.hits.len() != queries.len() {
+                return Err(RpcError::Malformed { detail: "hit row count mismatch".into() });
+            }
+            Ok(resp)
+        }
+        FrameKind::Error => Err(RpcError::Remote { detail: super::node::error_detail(&reply) }),
+        _ => Err(RpcError::Malformed { detail: "unexpected response kind".into() }),
+    }
+}
+
+/// Pings every peer once, updating the health view.
+fn check_health(inner: &RouterInner) -> usize {
+    let mut alive_count = 0;
+    for (i, peer) in inner.peers.iter().enumerate() {
+        let ok = ping(inner, peer);
+        let mut st = inner.state.lock();
+        st.alive[i] = ok;
+        if ok {
+            alive_count += 1;
+        }
+    }
+    if pathweaver_obs::enabled() {
+        let r = pathweaver_obs::registry();
+        r.counter("cluster.health.probes").add(inner.peers.len() as u64);
+        r.gauge("cluster.health.alive").set(alive_count as f64);
+    }
+    alive_count
+}
+
+fn ping(inner: &RouterInner, peer: &Peer) -> bool {
+    let Ok(mut conn) = inner.transport.connect(&peer.addr) else { return false };
+    if conn.send(&Frame::control(FrameKind::Ping, 0)).is_err() {
+        return false;
+    }
+    matches!(
+        conn.recv(Some(inner.config.request_timeout_ms)),
+        Ok(Frame { kind: FrameKind::Pong, .. })
+    )
+}
+
+/// Background prober: sleeps in short slices so shutdown is prompt.
+fn health_loop(inner: &Arc<RouterInner>, interval_ms: u64) {
+    loop {
+        let mut slept = 0;
+        while slept < interval_ms {
+            // Relaxed: one-way latch; a stale read costs one extra slice.
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let slice = (interval_ms - slept).min(20);
+            std::thread::sleep(Duration::from_millis(slice));
+            slept += slice;
+        }
+        // Relaxed: same latch as above.
+        if inner.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        check_health(inner);
+    }
+}

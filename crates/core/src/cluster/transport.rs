@@ -1,0 +1,509 @@
+//! Interchangeable frame transports: real TCP and an in-process channel.
+//!
+//! The cluster talks [`Frame`]s over an abstract [`Connection`]; two
+//! implementations exist so the same router/node code runs in production
+//! and in deterministic tests:
+//!
+//! - **TCP** (`127.0.0.1` or real interfaces): length-prefixed frames over a
+//!   byte stream, per-receive read timeouts, `TCP_NODELAY` so a scatter of
+//!   small frames is not Nagle-delayed.
+//! - **Channel** ([`ChannelNet`]): an in-process "network" of
+//!   `std::sync::mpsc` pipes keyed by node id. Each message is one encoded
+//!   frame, so fault injection (truncating a frame, dropping a pipe) is
+//!   byte-exact and reproducible — the `check_cluster` fault matrix runs on
+//!   this transport.
+//!
+//! Timeouts are expressed as plain millisecond budgets (`Duration` under the
+//! hood); neither transport reads a wall clock directly, keeping the cluster
+//! code inside the workspace determinism lint (D001).
+
+use super::frame::{Frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Why an RPC failed. The router folds every variant except
+/// [`RpcError::Timeout`] into "this replica is faulty"; timeouts get the
+/// same treatment after the per-request budget expires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The per-request receive budget expired.
+    Timeout,
+    /// The peer is gone: connect refused, pipe closed, clean EOF.
+    Disconnected,
+    /// A frame arrived damaged — truncated mid-frame or failing its CRC.
+    Torn {
+        /// Human-readable detail for reports.
+        detail: String,
+    },
+    /// The frame was intact but its payload did not decode.
+    Malformed {
+        /// Human-readable detail for reports.
+        detail: String,
+    },
+    /// The peer answered with an `Error` frame.
+    Remote {
+        /// Peer-supplied message.
+        detail: String,
+    },
+    /// Transport-level I/O failure.
+    Io {
+        /// Stringified OS error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("request timed out"),
+            Self::Disconnected => f.write_str("peer disconnected"),
+            Self::Torn { detail } => write!(f, "torn frame: {detail}"),
+            Self::Malformed { detail } => write!(f, "malformed payload: {detail}"),
+            Self::Remote { detail } => write!(f, "remote error: {detail}"),
+            Self::Io { detail } => write!(f, "transport i/o: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<FrameError> for RpcError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Incomplete { need } => {
+                Self::Torn { detail: format!("frame truncated (need {need} bytes)") }
+            }
+            FrameError::Corrupt { detail } => Self::Torn { detail: detail.to_string() },
+        }
+    }
+}
+
+/// Where a node listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeAddr {
+    /// A TCP socket address, e.g. `127.0.0.1:47000`.
+    Tcp(String),
+    /// A node id on an in-process [`ChannelNet`].
+    Channel(u64),
+}
+
+impl std::fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(a) => write!(f, "tcp://{a}"),
+            Self::Channel(id) => write!(f, "chan://{id}"),
+        }
+    }
+}
+
+/// One bidirectional frame pipe.
+pub trait Connection: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Disconnected`] / [`RpcError::Io`] when the peer is gone.
+    fn send(&mut self, frame: &Frame) -> Result<(), RpcError>;
+
+    /// Fault injection: sends only the first `keep` bytes of the encoded
+    /// frame and then wedges the connection, so the receiver observes a torn
+    /// frame. Used by the `check_cluster` matrix; production code never
+    /// calls it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::send`].
+    fn send_torn(&mut self, frame: &Frame, keep: usize) -> Result<(), RpcError>;
+
+    /// Receives the next frame, waiting at most `timeout_ms` (forever when
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] on budget expiry, [`RpcError::Disconnected`] on
+    /// clean EOF, [`RpcError::Torn`] on a damaged frame.
+    fn recv(&mut self, timeout_ms: Option<u64>) -> Result<Frame, RpcError>;
+}
+
+/// One accept queue.
+pub trait Listener: Send {
+    /// Waits up to `timeout_ms` for an inbound connection; `Ok(None)` on
+    /// timeout so the caller can poll a stop flag between waits.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Disconnected`] once the listener is closed.
+    fn accept(&mut self, timeout_ms: u64) -> Result<Option<Box<dyn Connection>>, RpcError>;
+
+    /// The address peers dial to reach this listener.
+    fn local_addr(&self) -> NodeAddr;
+}
+
+/// Client-side connector: the one piece of transport state the router keeps.
+#[derive(Clone)]
+pub enum Transport {
+    /// Dial TCP addresses.
+    Tcp,
+    /// Dial node ids on this in-process network.
+    Channel(Arc<ChannelNet>),
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp => f.write_str("Transport::Tcp"),
+            Self::Channel(_) => f.write_str("Transport::Channel"),
+        }
+    }
+}
+
+impl Transport {
+    /// Opens a connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Disconnected`] when the peer does not accept,
+    /// [`RpcError::Io`] on an address/transport mismatch.
+    pub fn connect(&self, addr: &NodeAddr) -> Result<Box<dyn Connection>, RpcError> {
+        match (self, addr) {
+            (Self::Tcp, NodeAddr::Tcp(a)) => {
+                let stream = TcpStream::connect(a.as_str())
+                    .map_err(|e| RpcError::Io { detail: e.to_string() })?;
+                stream.set_nodelay(true).map_err(|e| RpcError::Io { detail: e.to_string() })?;
+                Ok(Box::new(TcpConnection { stream }))
+            }
+            (Self::Channel(net), NodeAddr::Channel(id)) => Ok(Box::new(net.connect(*id)?)),
+            _ => Err(RpcError::Io { detail: format!("transport cannot dial {addr}") }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// A frame pipe over one TCP stream.
+pub struct TcpConnection {
+    stream: TcpStream,
+}
+
+/// Outcome of filling a buffer from a stream.
+enum Fill {
+    Full,
+    Eof { got: usize },
+}
+
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> Result<Fill, RpcError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Ok(Fill::Eof { got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(RpcError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(RpcError::Io { detail: e.to_string() }),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, frame: &Frame) -> Result<(), RpcError> {
+        self.stream.write_all(&frame.encode()).and_then(|()| self.stream.flush()).map_err(|e| {
+            match e.kind() {
+                ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => RpcError::Disconnected,
+                _ => RpcError::Io { detail: e.to_string() },
+            }
+        })
+    }
+
+    fn send_torn(&mut self, frame: &Frame, keep: usize) -> Result<(), RpcError> {
+        let bytes = frame.encode();
+        let keep = keep.min(bytes.len());
+        self.stream
+            .write_all(&bytes[..keep])
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| RpcError::Io { detail: e.to_string() })?;
+        // Closing both directions is what makes the truncation observable:
+        // the reader sees EOF mid-frame instead of waiting for the rest.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout_ms: Option<u64>) -> Result<Frame, RpcError> {
+        // A zero timeout means "no timeout" to the OS; clamp to 1 ms.
+        let budget = timeout_ms.map(|ms| Duration::from_millis(ms.max(1)));
+        self.stream.set_read_timeout(budget).map_err(|e| RpcError::Io { detail: e.to_string() })?;
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match read_full(&mut self.stream, &mut header)? {
+            Fill::Eof { got: 0 } => return Err(RpcError::Disconnected),
+            Fill::Eof { got } => {
+                return Err(RpcError::Torn { detail: format!("EOF after {got} header bytes") })
+            }
+            Fill::Full => {}
+        }
+        let payload_len = u32::from_le_bytes([header[13], header[14], header[15], header[16]]);
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return Err(RpcError::Torn { detail: "payload length over limit".into() });
+        }
+        let mut bytes = vec![0u8; FRAME_HEADER_LEN + payload_len as usize];
+        bytes[..FRAME_HEADER_LEN].copy_from_slice(&header);
+        match read_full(&mut self.stream, &mut bytes[FRAME_HEADER_LEN..])? {
+            Fill::Eof { got } => {
+                return Err(RpcError::Torn { detail: format!("EOF after {got} payload bytes") })
+            }
+            Fill::Full => {}
+        }
+        let (frame, _) = Frame::decode(&bytes)?;
+        Ok(frame)
+    }
+}
+
+/// Accept side of a TCP node.
+pub struct TcpNodeListener {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl TcpNodeListener {
+    /// Binds to `addr` (use `127.0.0.1:0` for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Io`] when the bind fails.
+    pub fn bind(addr: &str) -> Result<Self, RpcError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| RpcError::Io { detail: e.to_string() })?;
+        listener.set_nonblocking(true).map_err(|e| RpcError::Io { detail: e.to_string() })?;
+        let addr =
+            listener.local_addr().map_err(|e| RpcError::Io { detail: e.to_string() })?.to_string();
+        Ok(Self { listener, addr })
+    }
+}
+
+impl Listener for TcpNodeListener {
+    fn accept(&mut self, timeout_ms: u64) -> Result<Option<Box<dyn Connection>>, RpcError> {
+        // Nonblocking accept + 1 ms sleeps: a counted poll loop instead of a
+        // wall-clock deadline, so no `Instant` enters the cluster code.
+        let polls = timeout_ms.max(1);
+        for _ in 0..polls {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_nodelay(true))
+                        .map_err(|e| RpcError::Io { detail: e.to_string() })?;
+                    return Ok(Some(Box::new(TcpConnection { stream })));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(RpcError::Io { detail: e.to_string() }),
+            }
+        }
+        Ok(None)
+    }
+
+    fn local_addr(&self) -> NodeAddr {
+        NodeAddr::Tcp(self.addr.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel network
+// ---------------------------------------------------------------------------
+
+/// A frame pipe over a pair of in-process byte channels.
+#[derive(Debug)]
+pub struct ChannelConnection {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl Connection for ChannelConnection {
+    fn send(&mut self, frame: &Frame) -> Result<(), RpcError> {
+        self.tx.send(frame.encode()).map_err(|_| RpcError::Disconnected)
+    }
+
+    fn send_torn(&mut self, frame: &Frame, keep: usize) -> Result<(), RpcError> {
+        let bytes = frame.encode();
+        let keep = keep.min(bytes.len());
+        self.tx.send(bytes[..keep].to_vec()).map_err(|_| RpcError::Disconnected)
+    }
+
+    fn recv(&mut self, timeout_ms: Option<u64>) -> Result<Frame, RpcError> {
+        let bytes = match timeout_ms {
+            None => self.rx.recv().map_err(|_| RpcError::Disconnected)?,
+            Some(ms) => match self.rx.recv_timeout(Duration::from_millis(ms)) {
+                Ok(b) => b,
+                Err(mpsc::RecvTimeoutError::Timeout) => return Err(RpcError::Timeout),
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RpcError::Disconnected),
+            },
+        };
+        let (frame, used) = Frame::decode(&bytes)?;
+        if used != bytes.len() {
+            return Err(RpcError::Torn { detail: "trailing bytes after frame".into() });
+        }
+        Ok(frame)
+    }
+}
+
+/// Accept side of a channel-transport node.
+pub struct ChannelListener {
+    node: u64,
+    rx: mpsc::Receiver<ChannelConnection>,
+}
+
+impl Listener for ChannelListener {
+    fn accept(&mut self, timeout_ms: u64) -> Result<Option<Box<dyn Connection>>, RpcError> {
+        match self.rx.recv_timeout(Duration::from_millis(timeout_ms.max(1))) {
+            Ok(conn) => Ok(Some(Box::new(conn))),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+
+    fn local_addr(&self) -> NodeAddr {
+        NodeAddr::Channel(self.node)
+    }
+}
+
+/// An in-process "network": node ids map to accept queues.
+///
+/// Deterministic by construction — no sockets, no ports, no OS scheduling in
+/// the data path beyond the threads the test itself spawns.
+#[derive(Default)]
+pub struct ChannelNet {
+    listeners: Mutex<BTreeMap<u64, mpsc::Sender<ChannelConnection>>>,
+}
+
+impl std::fmt::Debug for ChannelNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChannelNet({} listeners)", self.listeners.lock().len())
+    }
+}
+
+impl ChannelNet {
+    /// Creates an empty network.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers node `node` and returns its accept queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node id is already listening — ids are unique per
+    /// network by construction.
+    pub fn listen(&self, node: u64) -> ChannelListener {
+        let (tx, rx) = mpsc::channel();
+        let prev = self.listeners.lock().insert(node, tx);
+        assert!(prev.is_none(), "node {node} is already listening");
+        ChannelListener { node, rx }
+    }
+
+    /// Unregisters node `node`: existing connections keep working, new
+    /// dials are refused. Models a crashed process's closed listen socket.
+    pub fn unlisten(&self, node: u64) {
+        self.listeners.lock().remove(&node);
+    }
+
+    /// Dials node `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Disconnected`] when the node is not listening.
+    pub fn connect(&self, node: u64) -> Result<ChannelConnection, RpcError> {
+        let (c2s_tx, c2s_rx) = mpsc::channel();
+        let (s2c_tx, s2c_rx) = mpsc::channel();
+        let server_half = ChannelConnection { tx: s2c_tx, rx: c2s_rx };
+        let guard = self.listeners.lock();
+        let accept = guard.get(&node).ok_or(RpcError::Disconnected)?;
+        accept.send(server_half).map_err(|_| RpcError::Disconnected)?;
+        Ok(ChannelConnection { tx: c2s_tx, rx: s2c_rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::frame::FrameKind;
+    use super::*;
+
+    fn ping(id: u64) -> Frame {
+        Frame::control(FrameKind::Ping, id)
+    }
+
+    #[test]
+    fn channel_round_trip() {
+        let net = ChannelNet::new();
+        let mut listener = net.listen(7);
+        let mut client = net.connect(7).unwrap();
+        client.send(&ping(3)).unwrap();
+        let mut server = listener.accept(100).unwrap().expect("dial arrived");
+        let got = server.recv(Some(100)).unwrap();
+        assert_eq!(got.request_id, 3);
+        server.send(&Frame::control(FrameKind::Pong, 3)).unwrap();
+        assert_eq!(client.recv(Some(100)).unwrap().kind, FrameKind::Pong);
+    }
+
+    #[test]
+    fn channel_timeout_and_disconnect() {
+        let net = ChannelNet::new();
+        let mut listener = net.listen(1);
+        let mut client = net.connect(1).unwrap();
+        assert_eq!(client.recv(Some(1)).unwrap_err(), RpcError::Timeout);
+        drop(listener.accept(50).unwrap().expect("server half"));
+        assert_eq!(client.recv(Some(50)).unwrap_err(), RpcError::Disconnected);
+    }
+
+    #[test]
+    fn channel_refuses_unknown_node() {
+        let net = ChannelNet::new();
+        assert_eq!(net.connect(99).unwrap_err(), RpcError::Disconnected);
+        let _l = net.listen(5);
+        net.unlisten(5);
+        assert_eq!(net.connect(5).unwrap_err(), RpcError::Disconnected);
+    }
+
+    #[test]
+    fn channel_torn_send_detected() {
+        let net = ChannelNet::new();
+        let mut listener = net.listen(2);
+        let mut client = net.connect(2).unwrap();
+        let mut server = listener.accept(100).unwrap().unwrap();
+        let f = Frame { kind: FrameKind::Hits, request_id: 9, payload: vec![1; 64] };
+        client.send_torn(&f, FRAME_HEADER_LEN + 10).unwrap();
+        assert!(matches!(server.recv(Some(100)).unwrap_err(), RpcError::Torn { .. }));
+    }
+
+    #[test]
+    fn tcp_round_trip_and_torn() {
+        let mut listener = TcpNodeListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr();
+        let transport = Transport::Tcp;
+        let mut client = transport.connect(&addr).unwrap();
+        let big = Frame { kind: FrameKind::Search, request_id: 11, payload: vec![5; 1000] };
+        client.send(&big).unwrap();
+        let mut server = listener.accept(2000).unwrap().expect("accept");
+        let got = server.recv(Some(2000)).unwrap();
+        assert_eq!(got, big);
+
+        // Torn direction: server truncates its response mid-payload.
+        server.send_torn(&big, FRAME_HEADER_LEN + 100).unwrap();
+        assert!(matches!(client.recv(Some(2000)).unwrap_err(), RpcError::Torn { .. }));
+    }
+
+    #[test]
+    fn tcp_recv_times_out() {
+        let mut listener = TcpNodeListener::bind("127.0.0.1:0").expect("bind loopback");
+        let mut client = Transport::Tcp.connect(&listener.local_addr()).unwrap();
+        let _server = listener.accept(2000).unwrap().expect("accept");
+        assert_eq!(client.recv(Some(10)).unwrap_err(), RpcError::Timeout);
+    }
+}

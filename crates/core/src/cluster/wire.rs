@@ -1,0 +1,209 @@
+//! Little-endian byte codec for the cluster wire protocol.
+//!
+//! The vendored `serde` shim is too minimal for wire use (no binary format),
+//! so frames are encoded by hand: fixed-width little-endian integers, floats
+//! as their IEEE-754 bit patterns (`f32::to_bits` round-trips exactly — the
+//! cluster's bit-identity contract depends on it), and length-prefixed
+//! repeated fields. Every read is bounds-checked; a short or trailing-garbage
+//! payload surfaces as [`WireError`] instead of a panic, because payload
+//! bytes cross a trust boundary (a torn frame, a buggy peer).
+
+/// A bounds or framing violation while decoding a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What the decoder was reading.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload at byte {} while reading {}", self.offset, self.context)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as a `u64` (cluster sizes are communicated in the
+    /// 64-bit domain so 32-bit peers cannot disagree).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked decoder over a payload slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps `buf` for sequential decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError { offset: self.pos, context })?;
+        if end > self.buf.len() {
+            return Err(WireError { offset: self.pos, context });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let s = self.take(4, context)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let s = self.take(8, context)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn get_f32(&mut self, context: &'static str) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32(context)?))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Reads a scalar `usize` (`u64` on the wire).
+    pub fn get_usize(&mut self, context: &'static str) -> Result<usize, WireError> {
+        let at = self.pos;
+        let v = self.get_u64(context)?;
+        usize::try_from(v).map_err(|_| WireError { offset: at, context })
+    }
+
+    /// Reads a collection length (`u64` on the wire) and checks the
+    /// `min_elem_bytes`-per-element data it announces fits the remaining
+    /// payload, so a corrupt length cannot trigger a huge allocation.
+    pub fn get_len(
+        &mut self,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, WireError> {
+        let at = self.pos;
+        let n = self.get_usize(context)?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_elem_bytes.max(1)).is_none_or(|need| need > remaining) {
+            return Err(WireError { offset: at, context });
+        }
+        Ok(n)
+    }
+
+    /// Fails unless every payload byte was consumed — trailing garbage means
+    /// the peer and we disagree about the schema.
+    pub fn finish(self, context: &'static str) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError { offset: self.pos, context })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_len(12);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f32("d").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.get_f64("e").unwrap().is_nan());
+        assert_eq!(r.get_u64("f").unwrap(), 12);
+        r.finish("tail").unwrap();
+    }
+
+    #[test]
+    fn short_read_is_an_error_not_a_panic() {
+        let mut r = WireReader::new(&[1, 2]);
+        let err = r.get_u32("field").unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.context, "field");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        r.get_u8("x").unwrap();
+        assert!(r.finish("tail").is_err());
+    }
+
+    #[test]
+    fn absurd_length_rejected_before_allocating() {
+        let mut w = WireWriter::new();
+        w.put_len(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_len(4, "rows").is_err());
+    }
+}

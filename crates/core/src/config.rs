@@ -127,9 +127,83 @@ impl PathWeaverConfig {
     }
 }
 
+/// Configuration of the multi-node cluster layer (`crate::cluster`).
+///
+/// Sizing (`partitions`, `replication`) and behaviour (timeouts, retry
+/// budget, health cadence) of a deployment; the same value is handed to the
+/// router and to the harness that boots nodes so both compute identical
+/// placement from the same seed.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterConfig {
+    /// Number of data partitions the collection is split into. Each
+    /// partition is an independent [`PathWeaverIndex`](crate::index::PathWeaverIndex) over a slice of the
+    /// dataset.
+    pub partitions: usize,
+    /// Replicas per partition (N-way). Clamped to the node count at
+    /// placement time.
+    pub replication: usize,
+    /// Virtual nodes per physical node on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Per-request receive budget; an unanswered request after this long is
+    /// treated as a replica fault and retried on a sibling.
+    pub request_timeout_ms: u64,
+    /// Extra scatter rounds over the replica set after every replica of a
+    /// partition failed once (covers "all replicas marked dead by a stale
+    /// health view" — the second round re-probes them).
+    pub retry_rounds: usize,
+    /// Cadence of the background health prober; `None` runs health checks
+    /// only on demand ([`crate::cluster::Router::check_health`]), the
+    /// deterministic mode tests use.
+    pub health_interval_ms: Option<u64>,
+    /// Seed for ring placement.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 1,
+            replication: 1,
+            vnodes: 16,
+            request_timeout_ms: 2_000,
+            retry_rounds: 1,
+            health_interval_ms: None,
+            seed: 0xc1a5,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any sizing field is zero.
+    pub fn validate(&self) {
+        assert!(self.partitions > 0, "need at least one partition");
+        assert!(self.replication > 0, "need at least one replica");
+        assert!(self.vnodes > 0, "need at least one virtual node");
+        assert!(self.request_timeout_ms > 0, "request_timeout_ms must be positive");
+        if let Some(ms) = self.health_interval_ms {
+            assert!(ms > 0, "health_interval_ms must be positive");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_default_validates() {
+        ClusterConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replication_rejected() {
+        ClusterConfig { replication: 0, ..ClusterConfig::default() }.validate();
+    }
 
     #[test]
     fn presets_validate() {

@@ -19,6 +19,11 @@
 //! - [`serve`]: streaming query serving — a micro-batching admission queue
 //!   over a persistent device ring that keeps multiple batches overlapped in
 //!   flight (the throughput mode §3.1's pipelining exists for).
+//! - [`cluster`]: the multi-node layer — length-prefixed frame RPC (TCP or
+//!   an in-process channel transport), consistent-hash routing of
+//!   partitions to nodes, N-way replication with read fan-out, health
+//!   checks and failover; a 1-node cluster is bit-identical to
+//!   [`serve::serve_once`].
 //! - [`dynamic`]: shard-local insertions and logical deletions (§6.2), and
 //!   [`DurableIndex`] — the same mutations under write-ahead durability.
 //! - [`store`]: the durable index store — checksummed zero-copy segment
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod cluster;
 pub mod config;
 pub mod dynamic;
 pub mod eval;
@@ -62,7 +68,8 @@ pub mod serve;
 pub mod shard;
 pub mod store;
 
-pub use config::PathWeaverConfig;
+pub use cluster::{ClusterError, ClusterOutput, LocalCluster, Router};
+pub use config::{ClusterConfig, PathWeaverConfig};
 pub use dynamic::DurableIndex;
 pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
 pub use serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
@@ -71,7 +78,8 @@ pub use store::{StoreError, StoreReport};
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
-    pub use crate::config::PathWeaverConfig;
+    pub use crate::cluster::{ClusterError, ClusterOutput, LocalCluster, Router, TransportKind};
+    pub use crate::config::{ClusterConfig, PathWeaverConfig};
     pub use crate::dynamic::DurableIndex;
     pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
     pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};

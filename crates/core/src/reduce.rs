@@ -22,6 +22,33 @@ pub fn reduce_batch(per_query: Vec<Vec<(f32, u32)>>, k: usize) -> Vec<Vec<(f32, 
     per_query.into_iter().map(|hits| reduce_hits(&[hits], k)).collect()
 }
 
+/// Merges per-partition batch results into cluster-wide top-k, per query.
+///
+/// `per_partition[p][q]` is partition `p`'s hit list for query `q` in
+/// cluster-global ids; the output is the per-query merge across partitions
+/// with [`reduce_hits`]'s dedup-keeping-best and deterministic tie-breaking.
+/// Replicas answering for the same partition return identical lists, so a
+/// duplicated partition entry (possible during failover races) merges to the
+/// same result. With one partition this is the identity on already-reduced
+/// lists — the cluster layer's bit-identity contract leans on that.
+///
+/// # Panics
+///
+/// Panics when partitions disagree about the query count.
+pub fn reduce_partitions(per_partition: &[Vec<Vec<(f32, u32)>>], k: usize) -> Vec<Vec<(f32, u32)>> {
+    let Some(first) = per_partition.first() else { return Vec::new() };
+    let queries = first.len();
+    for (p, lists) in per_partition.iter().enumerate() {
+        assert_eq!(lists.len(), queries, "partition {p} answered a different query count");
+    }
+    (0..queries)
+        .map(|q| {
+            let lists: Vec<Vec<(f32, u32)>> = per_partition.iter().map(|p| p[q].clone()).collect();
+            reduce_hits(&lists, k)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +81,29 @@ mod tests {
     #[test]
     fn empty_input_is_empty() {
         assert!(reduce_hits(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn partitions_merge_per_query() {
+        let p0 = vec![vec![(1.0, 0), (5.0, 1)], vec![(2.0, 2)]];
+        let p1 = vec![vec![(0.5, 10)], vec![(2.0, 1)]];
+        let out = reduce_partitions(&[p0, p1], 2);
+        assert_eq!(out[0], vec![(0.5, 10), (1.0, 0)]);
+        // Equal distances tie-break toward the smaller global id.
+        assert_eq!(out[1], vec![(2.0, 1), (2.0, 2)]);
+    }
+
+    #[test]
+    fn single_partition_is_identity_on_reduced_lists() {
+        let p0 = vec![vec![(1.0, 3), (2.0, 1)], vec![(4.0, 9)]];
+        assert_eq!(reduce_partitions(std::slice::from_ref(&p0), 2), p0);
+    }
+
+    #[test]
+    fn duplicated_partition_merges_identically() {
+        let p0 = vec![vec![(1.0, 3), (2.0, 1)]];
+        let once = reduce_partitions(std::slice::from_ref(&p0), 2);
+        let twice = reduce_partitions(&[p0.clone(), p0], 2);
+        assert_eq!(once, twice, "a duplicate replica answer must not change the merge");
     }
 }

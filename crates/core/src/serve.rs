@@ -329,6 +329,24 @@ impl Server {
         Ok(QueryTicket { rx })
     }
 
+    /// Submits every row of `queries` in order, returning one ticket per
+    /// row. The cluster layer's per-node front end serves each RPC through
+    /// this path (on a server sized to the request, so the rows form one
+    /// exclusive micro-batch — the determinism contract above).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`try_submit`](Self::try_submit); on failure the already-
+    /// accepted prefix is still answered (tickets are dropped, results
+    /// discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimensionality differs from the index's.
+    pub fn submit_batch(&self, queries: &VectorSet) -> Result<Vec<QueryTicket>, SubmitError> {
+        (0..queries.len()).map(|r| self.try_submit(queries.row(r))).collect()
+    }
+
     /// Number of queries currently pending admission.
     pub fn queue_depth(&self) -> usize {
         self.inner.state.lock().pending.len()
@@ -502,9 +520,7 @@ pub fn serve_once(
         ..ServeConfig::default()
     };
     let server = Server::new(Arc::clone(index), config);
-    let tickets: Vec<QueryTicket> = (0..queries.len())
-        .map(|r| server.try_submit(queries.row(r)).expect("capacity fits the batch"))
-        .collect();
+    let tickets = server.submit_batch(queries).expect("capacity fits the batch");
     let results: Vec<QueryResult> = tickets.into_iter().map(QueryTicket::wait).collect();
     let timeline = server.timeline();
     server.shutdown();

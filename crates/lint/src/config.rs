@@ -50,6 +50,7 @@ impl Default for Config {
                 "bench".into(),
                 "build".into(),
                 "obs".into(),
+                "cluster".into(),
             ],
             waivers: BTreeMap::new(),
             counted_paths: vec![

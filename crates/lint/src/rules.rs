@@ -122,7 +122,7 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "Reports are diffed and gated across versions; free-form metric names \
                     fracture that history. Names must be lowercase dotted paths whose \
                     first segment is a documented namespace (pipeline, ghost, search, \
-                    gpu, bench, build, obs).",
+                    gpu, bench, build, obs, cluster).",
     },
 ];
 
@@ -747,6 +747,10 @@ mod tests {
         assert!(
             !rules_of("r.histogram(\"pipeline.stage0.wall_ns\").record(1);\n").contains(&"O001")
         );
+        // The cluster layer's namespace is registered; its grammar is not
+        // exempt.
+        assert!(!rules_of("r.counter(\"cluster.failovers\").inc();\n").contains(&"O001"));
+        assert!(rules_of("r.counter(\"cluster.RPC.attempts\").inc();\n").contains(&"O001"));
     }
 
     #[test]

@@ -33,4 +33,6 @@ pub fn good_metric_names(reg: &Registry) {
     reg.counter("pipeline.stage0.batches_total");
     reg.gauge("gpu.mem.resident_bytes");
     reg.histogram("search.query.wall_ns");
+    reg.counter("cluster.failovers");
+    reg.gauge("cluster.health.alive");
 }

@@ -58,5 +58,7 @@ pub fn relaxed_publish() {
 pub fn bad_metric_names(reg: &Registry) {
     reg.counter("BadName");
     reg.gauge("unknown.prefix_metric");
+    reg.histogram("cluster.RPC.attempts");
     reg.histogram("pipeline.stage0.wall_ns");
+    reg.counter("cluster.node.requests");
 }

@@ -42,6 +42,7 @@ fn violations_fixture_reports_exact_rules_and_lines() {
         ("D003", 22),
         ("O001", 59),
         ("O001", 60),
+        ("O001", 61),
         ("U001", 25),
         ("U001", 28),
         ("U001", 33),

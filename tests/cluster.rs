@@ -1,0 +1,298 @@
+//! Integration tests for the multi-node cluster layer.
+//!
+//! The two contracts under test:
+//!
+//! 1. **Identity** — a 1-node cluster returns hits bit-identical to
+//!    `serve_once` (and hence `search_pipelined`) on the same batch, for any
+//!    placement the consistent-hash ring produces; multi-partition clusters
+//!    match the per-partition reference merge bitwise.
+//! 2. **Liveness under faults** — replica crashes, torn frames, and timeout
+//!    storms never fail an in-flight query while any sibling replica lives;
+//!    the router's health view tracks the faults and health probes revive
+//!    recovered replicas.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use pathweaver::core::cluster::{
+    build_partitions, reference_merged, ClusterError, ClusterPartition, DelayWindow, FaultScript,
+    LocalCluster, TransportKind,
+};
+use pathweaver::core::reduce::{reduce_hits, reduce_partitions};
+use pathweaver::core::serve::serve_once;
+use pathweaver::prelude::*;
+use proptest::prelude::*;
+
+/// Shared workload + prebuilt partitions so every test case boots clusters
+/// without repaying index construction.
+struct World {
+    workload: Workload,
+    /// Full-collection index (the single-node reference).
+    full: Vec<ClusterPartition>,
+    /// The same collection split in two.
+    halves: Vec<ClusterPartition>,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let workload = DatasetProfile::deep10m_like().workload(Scale::Test, 8, 10, 23);
+        let config = PathWeaverConfig::test_scale(2);
+        let full = build_partitions(&workload.base, &config, 1).unwrap();
+        let halves = build_partitions(&workload.base, &config, 2).unwrap();
+        World { workload, full, halves }
+    })
+}
+
+fn assert_hits_identical(a: &[Vec<(f32, u32)>], b: &[Vec<(f32, u32)>], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: query count");
+    for (q, (ha, hb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ha.len(), hb.len(), "{label}: query {q} hit count");
+        for (rank, (&(da, ia), &(db, ib))) in ha.iter().zip(hb).enumerate() {
+            assert_eq!(ia, ib, "{label}: query {q} rank {rank} id");
+            assert_eq!(da.to_bits(), db.to_bits(), "{label}: query {q} rank {rank} distance");
+        }
+    }
+}
+
+fn cluster_config(partitions: usize, replication: usize) -> ClusterConfig {
+    ClusterConfig { partitions, replication, request_timeout_ms: 4_000, ..ClusterConfig::default() }
+}
+
+#[test]
+fn one_node_cluster_is_bit_identical_to_serve_once() {
+    let w = world();
+    let cluster = LocalCluster::launch_with_partitions(
+        &w.full,
+        &cluster_config(1, 1),
+        1,
+        TransportKind::Channel,
+        &[],
+    );
+    let params = SearchParams::default();
+    let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    assert_hits_identical(&out.hits, &reference.hits, "1-node channel cluster");
+    assert_eq!(out.results, reference.results, "result id projection");
+    assert_eq!(
+        out.makespan_s.to_bits(),
+        reference.makespan_s.to_bits(),
+        "simulated makespan must survive the wire exactly"
+    );
+    let direct = w.full[0].index.search_pipelined(&w.workload.queries, &params);
+    assert_hits_identical(&out.hits, &direct.hits, "cluster vs search_pipelined");
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_transport_is_bit_identical_too() {
+    let w = world();
+    let cluster = LocalCluster::launch_with_partitions(
+        &w.full,
+        &cluster_config(1, 1),
+        1,
+        TransportKind::Tcp,
+        &[],
+    );
+    let params = SearchParams::default();
+    let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    assert_hits_identical(&out.hits, &reference.hits, "1-node tcp cluster");
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_partition_cluster_matches_reference_merge() {
+    let w = world();
+    let params = SearchParams::default();
+    let reference = reference_merged(&w.halves, &w.workload.queries, &params);
+    for (nodes, replication) in [(2usize, 1usize), (3, 2), (4, 2)] {
+        let cluster = LocalCluster::launch_with_partitions(
+            &w.halves,
+            &cluster_config(2, replication),
+            nodes,
+            TransportKind::Channel,
+            &[],
+        );
+        let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+        let label = format!("{nodes} nodes, {replication}x replication");
+        assert_hits_identical(&out.hits, &reference, &label);
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn replica_kill_mid_batch_fails_over_without_losing_queries() {
+    let w = world();
+    let params = SearchParams::default();
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    // Both nodes hold the single partition; node 0 swallows its first
+    // request and dies.
+    let faults = vec![
+        FaultScript { crash_after_requests: Some(0), ..FaultScript::default() },
+        FaultScript::default(),
+    ];
+    let cluster = LocalCluster::launch_with_partitions(
+        &w.full,
+        &cluster_config(1, 2),
+        2,
+        TransportKind::Channel,
+        &faults,
+    );
+    let mut failovers = 0;
+    for batch in 0..3 {
+        let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+        assert_hits_identical(&out.hits, &reference.hits, &format!("batch {batch}"));
+        failovers += out.failovers;
+    }
+    assert!(failovers >= 1, "the dead replica must have been failed over at least once");
+    assert!(cluster.nodes()[0].is_crashed(), "fault script should have tripped");
+    assert_eq!(cluster.router().alive(), vec![false, true], "health view tracks the crash");
+    cluster.shutdown();
+}
+
+#[test]
+fn torn_frame_retries_on_sibling_and_health_probe_revives() {
+    let w = world();
+    let params = SearchParams::default();
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    // Node 0 tears exactly its first response, then behaves.
+    let faults = vec![
+        FaultScript { torn_responses: BTreeSet::from([0]), ..FaultScript::default() },
+        FaultScript::default(),
+    ];
+    let cluster = LocalCluster::launch_with_partitions(
+        &w.full,
+        &cluster_config(1, 2),
+        2,
+        TransportKind::Channel,
+        &faults,
+    );
+    let mut saw_failover = false;
+    for batch in 0..3 {
+        let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+        assert_hits_identical(&out.hits, &reference.hits, &format!("batch {batch}"));
+        saw_failover |= out.failovers > 0;
+    }
+    assert!(saw_failover, "the torn frame must have forced a sibling retry");
+    // The node recovered after its scripted tear; a probe revives it.
+    assert_eq!(cluster.router().check_health(), 2, "both nodes answer pings");
+    assert_eq!(cluster.router().alive(), vec![true, true]);
+    cluster.shutdown();
+}
+
+#[test]
+fn timeout_storm_fails_over_within_budget() {
+    let w = world();
+    let params = SearchParams::default();
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    // Node 0 answers every request 400 ms late against a 60 ms budget.
+    let faults = vec![
+        FaultScript {
+            delay: Some(DelayWindow { from: 0, to: u64::MAX, delay_ms: 400 }),
+            ..FaultScript::default()
+        },
+        FaultScript::default(),
+    ];
+    let config = ClusterConfig { request_timeout_ms: 60, ..cluster_config(1, 2) };
+    let cluster =
+        LocalCluster::launch_with_partitions(&w.full, &config, 2, TransportKind::Channel, &faults);
+    for batch in 0..2 {
+        let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+        assert_hits_identical(&out.hits, &reference.hits, &format!("batch {batch}"));
+    }
+    assert!(!cluster.router().alive()[0], "the slow replica must be marked dead after timing out");
+    cluster.shutdown();
+}
+
+#[test]
+fn unavailable_partition_is_an_error_not_a_wrong_answer() {
+    let w = world();
+    let params = SearchParams::default();
+    let faults = vec![FaultScript { crash_after_requests: Some(0), ..FaultScript::default() }];
+    let config = ClusterConfig { request_timeout_ms: 100, ..cluster_config(1, 1) };
+    let cluster =
+        LocalCluster::launch_with_partitions(&w.full, &config, 1, TransportKind::Channel, &faults);
+    let err = cluster.router().search(&w.workload.queries, &params).unwrap_err();
+    let ClusterError::PartitionUnavailable { partition, attempts } = err;
+    assert_eq!(partition, 0);
+    assert!(!attempts.is_empty(), "the error must report what was tried");
+    cluster.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Satellite contract: the router's gather over *any* placement the
+    /// ring produces (nodes × replication × placement seed) is bit-identical
+    /// to single-node `search_pipelined` for a 1-partition collection.
+    #[test]
+    fn any_placement_is_bit_identical_to_search_pipelined(
+        nodes in 1usize..5,
+        replication in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let w = world();
+        let config = ClusterConfig { seed, ..cluster_config(1, replication) };
+        let cluster = LocalCluster::launch_with_partitions(
+            &w.full, &config, nodes, TransportKind::Channel, &[],
+        );
+        let params = SearchParams::default();
+        let direct = w.full[0].index.search_pipelined(&w.workload.queries, &params);
+        // Several batches so the rotating replica choice actually lands on
+        // different nodes; every one must agree with the direct search.
+        for _ in 0..3 {
+            let out = cluster.router().search(&w.workload.queries, &params).unwrap();
+            prop_assert_eq!(&out.hits, &direct.hits);
+            prop_assert_eq!(&out.results, &direct.results);
+        }
+        cluster.shutdown();
+    }
+
+    /// Replicas of a partition answer with identical hit lists; a failover
+    /// race can therefore present the same partition's list twice. The
+    /// merge must be invariant to such duplication, for arbitrary lists.
+    #[test]
+    fn duplicate_replica_answers_never_change_the_merge(
+        seed in 0u64..10_000,
+        partitions in 1usize..4,
+        queries in 1usize..5,
+        k in 1usize..8,
+    ) {
+        let mut rng = seed;
+        let mut next = move || {
+            // SplitMix64-ish scramble, enough for test data.
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng
+        };
+        let per_partition: Vec<Vec<Vec<(f32, u32)>>> = (0..partitions)
+            .map(|p| {
+                (0..queries)
+                    .map(|_| {
+                        let n = (next() % 6) as usize;
+                        let mut hits: Vec<(f32, u32)> = (0..n)
+                            .map(|_| {
+                                // Coarse grid distances force ties across
+                                // partitions; ids overlap across partitions
+                                // to exercise dedup.
+                                let d = (next() % 8) as f32 * 0.25;
+                                let id = (next() % 32) as u32 + p as u32 * 8;
+                                (d, id)
+                            })
+                            .collect();
+                        hits = reduce_hits(&[hits], k);
+                        hits
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = reduce_partitions(&per_partition, k);
+        // Duplicate every partition's answer (worst-case failover race).
+        let mut doubled = per_partition.clone();
+        doubled.extend(per_partition.iter().cloned());
+        prop_assert_eq!(&reduce_partitions(&doubled, k), &merged);
+        // And merging is idempotent: feeding the merged answer back as a
+        // single partition reproduces it bitwise.
+        prop_assert_eq!(&reduce_partitions(std::slice::from_ref(&merged), k), &merged);
+    }
+}

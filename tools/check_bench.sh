@@ -4,7 +4,9 @@
 # Builds the wallclock bench and the check_bench comparator, runs a fresh
 # wallclock measurement into target/, and fails when any entry of the
 # committed baseline (BENCH_wallclock.json) slowed down by more than the
-# tolerance (default 30%).
+# tolerance (default 30%). A missing baseline, an empty baseline, a missing
+# fresh measurement, or a baseline entry absent from the fresh run all fail
+# loudly — the gate never passes vacuously.
 #
 # Environment:
 #   PATHWEAVER_PERF_TOLERANCE   fractional slowdown allowed, e.g. 0.5 = 50%.
@@ -19,16 +21,16 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source tools/gate_lib.sh
 
 BASELINE=BENCH_wallclock.json
 FRESH=target/BENCH_wallclock_fresh.json
 
-if [[ ! -f "$BASELINE" ]]; then
-    echo "error: $BASELINE missing — run 'cargo run --release --bin wallclock' and commit it" >&2
-    exit 1
-fi
+gate_require_file "$BASELINE" \
+    "run 'cargo run --release --bin wallclock' and commit it"
 
-cargo build --release -p pathweaver-bench --bin wallclock --bin check_bench
+gate_build pathweaver-bench wallclock check_bench
 
-PATHWEAVER_BENCH_OUT="$FRESH" ./target/release/wallclock
-./target/release/check_bench "$BASELINE" "$FRESH"
+PATHWEAVER_BENCH_OUT="$FRESH" gate_run wallclock
+gate_require_file "$FRESH" "wallclock must write the fresh measurement"
+gate_run check_bench "$BASELINE" "$FRESH"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Fault-injection gate for the multi-node cluster layer.
+#
+# Builds the check_cluster fault matrix and runs it: a seeded sweep of
+# replica kills mid-batch, torn response frames, timeout storms and their
+# combinations over real local clusters (in-process channel transport plus
+# TCP loopback cases). Every case must return the exact merged top-k —
+# bit-identical to the single-node reference — with zero failed queries
+# while any live replica remains; a 1-node cluster must additionally match
+# serve_once down to the simulated-makespan bits.
+#
+# Environment:
+#   PATHWEAVER_CLUSTER_SEED   integer seed for the fuzzed fault ordinals
+#                             (default 77 — the committed CI matrix).
+#   PATHWEAVER_CLUSTER_OUT    report path (default
+#                             target/cluster_report.json) — CI uploads it
+#                             as an artifact.
+#
+# Artifact: target/cluster_report.json (case counts, queries served,
+# failovers observed, and any failures).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source tools/gate_lib.sh
+
+gate_build pathweaver-bench check_cluster
+gate_run check_cluster
+gate_require_file "${PATHWEAVER_CLUSTER_OUT:-target/cluster_report.json}" \
+    "check_cluster must write its report"

@@ -12,17 +12,18 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source tools/gate_lib.sh
 
 mkdir -p target
 
-cargo build -q --release -p pathweaver-lint
+gate_build pathweaver-lint
 
 status=0
-./target/release/pwlint --workspace --format json > target/lint_report.json || status=$?
+gate_run pwlint --workspace --format json > target/lint_report.json || status=$?
 
 if [[ $status -ne 0 ]]; then
     echo "pwlint: violations found — human-readable report follows" >&2
-    ./target/release/pwlint --workspace || true
+    gate_run pwlint --workspace || true
     echo "(machine-readable copy: target/lint_report.json;" >&2
     echo " run 'cargo run -p pathweaver-lint -- --explain RULE' for rationale)" >&2
     exit "$status"

@@ -18,6 +18,9 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source tools/gate_lib.sh
 
-cargo build --release -p pathweaver-bench --bin check_store
-./target/release/check_store
+gate_build pathweaver-bench check_store
+gate_run check_store
+gate_require_file "${PATHWEAVER_STORE_OUT:-target/store_report.json}" \
+    "check_store must write its report"

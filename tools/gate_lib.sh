@@ -1,0 +1,47 @@
+# Shared helpers for the blocking CI gates in tools/check_*.sh.
+#
+# Every gate follows the same shape: build the gate binary against the
+# locked, vendored dependency set, run it from the repo root, and leave a
+# machine-readable report under target/ for CI to upload. These helpers keep
+# that shape in one place so the gates cannot drift apart.
+#
+# Usage (from a tools/check_*.sh script):
+#
+#   set -euo pipefail
+#   cd "$(dirname "$0")/.."
+#   source tools/gate_lib.sh
+#
+#   gate_build pathweaver-bench check_store
+#   gate_run check_store
+#   gate_require_file target/store_report.json "check_store must write its report"
+
+# gate_build <package> [bin...] — release build of the named binaries (or
+# the whole package when no bins are given). --locked: the lockfile is
+# authoritative (all deps are vendored); a drifted Cargo.lock fails loudly
+# instead of being rewritten by the gate.
+gate_build() {
+    local package=$1
+    shift
+    local args=()
+    local bin
+    for bin in "$@"; do
+        args+=(--bin "$bin")
+    done
+    cargo build --locked --release -p "$package" ${args[@]+"${args[@]}"}
+}
+
+# gate_run <bin> [args...] — run a gate binary from target/release.
+gate_run() {
+    local bin=$1
+    shift
+    "./target/release/$bin" "$@"
+}
+
+# gate_require_file <path> <hint> — fail loudly when an expected input or
+# produced artifact is missing, instead of letting a gate pass vacuously.
+gate_require_file() {
+    if [[ ! -f "$1" ]]; then
+        echo "error: $1 missing — $2" >&2
+        exit 1
+    fi
+}
