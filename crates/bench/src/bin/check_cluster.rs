@@ -98,7 +98,8 @@ impl Gate {
             spec.nodes,
             spec.transport,
             &spec.faults,
-        );
+        )
+        .map_err(|e| format!("bootstrap: {e}"))?;
         let mut failovers = 0;
         let result = (0..spec.batches).try_for_each(|batch| {
             let out = cluster
@@ -167,8 +168,8 @@ fn main() {
     let full = build_partitions(&workload.base, &index_config, 1).expect("1-partition build");
     let halves = build_partitions(&workload.base, &index_config, 2).expect("2-partition build");
     let params = SearchParams::default();
-    let single = serve_once(&full[0].index, &workload.queries, &params);
-    let merged = reference_merged(&halves, &workload.queries, &params);
+    let single = serve_once(&full[0].index, &workload.queries, &params).expect("reference serve");
+    let merged = reference_merged(&halves, &workload.queries, &params).expect("reference merge");
     println!(
         "check_cluster: seed {seed}, {} base vectors, {} queries per batch",
         workload.base.len(),
@@ -191,7 +192,7 @@ fn main() {
         let label = format!("identity-{transport:?}");
         let config = ClusterConfig { partitions: 1, ..ClusterConfig::default() };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let cluster = LocalCluster::launch_with_partitions(&full, &config, 1, transport, &[]);
+            let cluster = LocalCluster::launch_with_partitions(&full, &config, 1, transport, &[])?;
             let out = cluster.router().search(&gate.queries, &gate.params)?;
             cluster.shutdown();
             Ok::<_, pathweaver_core::ClusterError>(out)

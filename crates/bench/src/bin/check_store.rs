@@ -26,7 +26,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-use pathweaver_core::store::segment::{HEADER_LEN, KIND_QUANTIZED, TOC_ENTRY_LEN};
+use pathweaver_core::store::segment::{
+    HEADER_LEN, KIND_DIR_TABLE, KIND_GHOST_GRAPH, KIND_GHOST_MAP, KIND_GHOST_VECTORS,
+    KIND_GLOBAL_IDS, KIND_GRAPH, KIND_INTERSHARD, KIND_META, KIND_QUANTIZED, KIND_TOMBSTONES,
+    KIND_VECTORS, TOC_ENTRY_LEN,
+};
 use pathweaver_core::store::{StoreError, SEGMENT_FILE, WAL_FILE};
 use pathweaver_core::{DurableIndex, PathWeaverConfig, PathWeaverIndex};
 use pathweaver_datasets::{DatasetProfile, Scale};
@@ -258,23 +262,66 @@ fn main() {
         });
     }
 
-    // Quantized sections, specifically: the int8 tier is the newest section
-    // kind, so walk the TOC and aim damage straight at its extents — flips
-    // in the grid/codes and cuts through the section must be Corrupt, never
-    // a panic or a silently degraded (wrong-distance) open.
+    // Section-targeted damage: walk the TOC and aim flips at each section
+    // kind's extents. The kind list mirrors the writer's full vocabulary —
+    // any TOC entry with a kind outside it means the matrix has drifted from
+    // the format and the gate aborts.
+    const SECTION_KINDS: &[(u32, &str)] = &[
+        (KIND_META, "meta"),
+        (KIND_VECTORS, "vectors"),
+        (KIND_GRAPH, "graph"),
+        (KIND_GLOBAL_IDS, "global-ids"),
+        (KIND_TOMBSTONES, "tombstones"),
+        (KIND_INTERSHARD, "intershard"),
+        (KIND_GHOST_MAP, "ghost-map"),
+        (KIND_GHOST_VECTORS, "ghost-vectors"),
+        (KIND_GHOST_GRAPH, "ghost-graph"),
+        (KIND_DIR_TABLE, "dir-table"),
+        (KIND_QUANTIZED, "quantized"),
+    ];
     let toc_count =
         u32::from_le_bytes(m.segment[8..12].try_into().expect("section count")) as usize;
-    let quantized_extents: Vec<(usize, usize)> = (0..toc_count)
-        .filter_map(|i| {
+    let toc: Vec<(u32, usize, usize)> = (0..toc_count)
+        .map(|i| {
             let e = HEADER_LEN + i * TOC_ENTRY_LEN;
             let kind = u32::from_le_bytes(m.segment[e..e + 4].try_into().expect("kind"));
             let off =
                 u64::from_le_bytes(m.segment[e + 8..e + 16].try_into().expect("offset")) as usize;
             let len =
                 u64::from_le_bytes(m.segment[e + 16..e + 24].try_into().expect("len")) as usize;
-            (kind == KIND_QUANTIZED).then_some((off, len))
+            (kind, off, len)
         })
         .collect();
+    for (i, &(kind, _, _)) in toc.iter().enumerate() {
+        assert!(
+            SECTION_KINDS.iter().any(|&(k, _)| k == kind),
+            "TOC entry {i} has kind {kind}, unknown to the corruption matrix"
+        );
+    }
+    let extents_of = |want: u32| -> Vec<(usize, usize)> {
+        toc.iter()
+            .filter(|&&(kind, _, len)| kind == want && len > 0)
+            .map(|&(_, o, l)| (o, l))
+            .collect()
+    };
+    for &(kind, name) in SECTION_KINDS {
+        for (off, len) in extents_of(kind) {
+            for _ in 0..4 {
+                let offset = off + rng.gen_range(0..len);
+                let bit = rng.gen_range(0..8u8);
+                let (segment, wal) = (flip(&m.segment, offset, bit), m.wal.clone());
+                m.run_case(format!("section-{name}-flip@{offset}.{bit}"), &segment, &wal, |o| {
+                    matches!(o, Outcome::Corrupt { .. })
+                });
+            }
+        }
+    }
+
+    // Quantized sections, specifically: the int8 tier is the newest section
+    // kind, so aim a deeper pass straight at its extents — flips in the
+    // grid/codes and cuts through the section must be Corrupt, never a
+    // panic or a silently degraded (wrong-distance) open.
+    let quantized_extents = extents_of(KIND_QUANTIZED);
     assert!(
         !quantized_extents.is_empty(),
         "matrix store was built with build_quantized; its segment must carry quantized sections"

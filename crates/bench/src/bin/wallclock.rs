@@ -527,11 +527,11 @@ fn serve_throughput() -> Value {
         params,
         ..ServeConfig::default()
     };
-    let server = Server::new(Arc::clone(&idx), config.clone());
+    let server = Server::new(Arc::clone(&idx), config.clone()).expect("serve threads spawn");
     let tickets: Vec<_> = (0..BATCHES)
         .map(|r| server.try_submit(w.queries.row(r)).expect("capacity fits the backlog"))
         .collect();
-    let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let results: Vec<_> = tickets.into_iter().map(|t| t.wait().expect("server stays up")).collect();
     for (r, (res, reference)) in results.iter().zip(&serial_outs).enumerate() {
         assert_eq!(res.hits, reference.hits[0], "query {r}: streamed hits diverged");
     }
@@ -553,13 +553,13 @@ fn serve_throughput() -> Value {
             black_box(idx.search_pipelined(q, &params));
         }
     });
-    let server = Server::new(Arc::clone(&idx), config);
+    let server = Server::new(Arc::clone(&idx), config).expect("serve threads spawn");
     let optimized = time_ms(7, || {
         let tickets: Vec<_> = (0..BATCHES)
             .map(|r| server.try_submit(w.queries.row(r)).expect("capacity fits the backlog"))
             .collect();
         for t in tickets {
-            black_box(t.wait());
+            black_box(t.wait().expect("server stays up"));
         }
     });
     server.shutdown();
@@ -587,12 +587,13 @@ fn cluster_serve() -> Value {
     let parts = build_partitions(&w.base, &PathWeaverConfig::test_scale(2), 1)
         .expect("bench partition builds");
     let params = SearchParams::default();
-    let reference = serve_once(&parts[0].index, &w.queries, &params);
+    let reference = serve_once(&parts[0].index, &w.queries, &params).expect("reference serve");
 
     let launch = |nodes: usize| {
         let config =
             ClusterConfig { partitions: 1, replication: nodes, ..ClusterConfig::default() };
         LocalCluster::launch_with_partitions(&parts, &config, nodes, TransportKind::Channel, &[])
+            .expect("bench cluster boots")
     };
 
     // Simulated phase: drive the batch stream sequentially, checking every

@@ -91,22 +91,37 @@ pub fn build_partitions(
 /// independently through [`serve_once`], ids mapped to cluster-global, then
 /// merged per query. The `check_cluster` gate holds every fault case to this
 /// bitwise.
+///
+/// # Errors
+///
+/// [`ClusterError::Internal`](super::ClusterError::Internal) when a local
+/// serve fails or a partition returns a local id outside its id map.
 pub fn reference_merged(
     parts: &[ClusterPartition],
     queries: &VectorSet,
     params: &SearchParams,
-) -> Vec<Vec<(f32, u32)>> {
-    let per_partition: Vec<Vec<Vec<(f32, u32)>>> = parts
-        .iter()
-        .map(|part| {
-            serve_once(&part.index, queries, params)
-                .hits
-                .into_iter()
-                .map(|pq| pq.into_iter().map(|(d, id)| (d, part.global_ids[id as usize])).collect())
-                .collect()
-        })
-        .collect();
-    reduce_partitions(&per_partition, params.k)
+) -> Result<Vec<Vec<(f32, u32)>>, super::ClusterError> {
+    let mut per_partition: Vec<Vec<Vec<(f32, u32)>>> = Vec::with_capacity(parts.len());
+    for part in parts {
+        let out = serve_once(&part.index, queries, params).map_err(|e| {
+            super::ClusterError::Internal { detail: format!("reference serve failed: {e}") }
+        })?;
+        let mut rows = Vec::with_capacity(out.hits.len());
+        for pq in out.hits {
+            let mut row = Vec::with_capacity(pq.len());
+            for (d, id) in pq {
+                let Some(&global) = part.global_ids.get(id as usize) else {
+                    return Err(super::ClusterError::Internal {
+                        detail: format!("local id {id} outside partition id map"),
+                    });
+                };
+                row.push((d, global));
+            }
+            rows.push(row);
+        }
+        per_partition.push(rows);
+    }
+    Ok(reduce_partitions(&per_partition, params.k))
 }
 
 /// A whole cluster in one process: N nodes plus a router.
@@ -130,33 +145,41 @@ impl LocalCluster {
     ///
     /// # Errors
     ///
-    /// Propagates [`BuildError`] from partition builds.
+    /// [`ClusterError::Build`](super::ClusterError::Build) from partition
+    /// builds, or any bootstrap error from
+    /// [`launch_with_partitions`](Self::launch_with_partitions).
     pub fn launch(
         dataset: &VectorSet,
         index_config: &PathWeaverConfig,
         cluster_config: &ClusterConfig,
         num_nodes: usize,
         kind: TransportKind,
-    ) -> Result<Self, BuildError> {
+    ) -> Result<Self, super::ClusterError> {
         let parts = build_partitions(dataset, index_config, cluster_config.partitions)?;
-        Ok(Self::launch_with_partitions(&parts, cluster_config, num_nodes, kind, &[]))
+        Self::launch_with_partitions(&parts, cluster_config, num_nodes, kind, &[])
     }
 
     /// Boots `num_nodes` nodes over prebuilt `parts` (replicas share the
     /// partition `Arc`s) and a router over them. `faults[i]` scripts node
     /// `i`; missing entries are fault-free.
     ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Bootstrap`](super::ClusterError::Bootstrap) when a
+    /// TCP listener cannot bind, a node's service threads cannot spawn, or
+    /// the derived placement is inconsistent.
+    ///
     /// # Panics
     ///
-    /// Panics when `num_nodes` is zero, the config is invalid, or a TCP
-    /// listener cannot bind.
+    /// Panics when `num_nodes` is zero or the config is invalid — caller
+    /// bugs, not runtime conditions.
     pub fn launch_with_partitions(
         parts: &[ClusterPartition],
         cluster_config: &ClusterConfig,
         num_nodes: usize,
         kind: TransportKind,
         faults: &[FaultScript],
-    ) -> Self {
+    ) -> Result<Self, super::ClusterError> {
         cluster_config.validate();
         assert!(num_nodes > 0, "need at least one node");
         assert_eq!(parts.len(), cluster_config.partitions, "partition count mismatch");
@@ -166,7 +189,12 @@ impl LocalCluster {
         let mut per_node: Vec<Vec<NodeReplica>> = vec![Vec::new(); num_nodes];
         for (p, part) in parts.iter().enumerate() {
             for node in ring.replicas(p as u64, cluster_config.replication) {
-                per_node[node as usize].push(NodeReplica {
+                let slot = per_node.get_mut(node as usize).ok_or_else(|| {
+                    super::ClusterError::Bootstrap {
+                        detail: format!("ring placed partition {p} on unknown node {node}"),
+                    }
+                })?;
+                slot.push(NodeReplica {
                     partition: p as u32,
                     index: Arc::clone(&part.index),
                     global_ids: Arc::clone(&part.global_ids),
@@ -183,20 +211,22 @@ impl LocalCluster {
         for (i, replicas) in per_node.into_iter().enumerate() {
             let listener: Box<dyn Listener> = match &net {
                 Some(net) => Box::new(net.listen(i as u64)),
-                None => {
-                    Box::new(TcpNodeListener::bind("127.0.0.1:0").expect("bind loopback listener"))
-                }
+                None => Box::new(TcpNodeListener::bind("127.0.0.1:0").map_err(|e| {
+                    super::ClusterError::Bootstrap {
+                        detail: format!("cannot bind loopback listener: {e}"),
+                    }
+                })?),
             };
             peers.push(Peer { node_id: i as u64, addr: listener.local_addr() });
             let fault = faults.get(i).cloned().unwrap_or_default();
-            nodes.push(ClusterNode::spawn(i as u64, replicas, listener, fault));
+            nodes.push(ClusterNode::spawn(i as u64, replicas, listener, fault)?);
         }
         let transport = match &net {
             Some(net) => Transport::Channel(Arc::clone(net)),
             None => Transport::Tcp,
         };
-        let router = Router::new(peers, transport, cluster_config.clone());
-        Self { router, nodes, net }
+        let router = Router::new(peers, transport, cluster_config.clone())?;
+        Ok(Self { router, nodes, net })
     }
 
     /// The cluster's router.

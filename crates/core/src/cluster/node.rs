@@ -114,12 +114,17 @@ impl std::fmt::Debug for ClusterNode {
 
 impl ClusterNode {
     /// Starts serving `replicas` on `listener`.
+    ///
+    /// # Errors
+    ///
+    /// [`super::ClusterError::Bootstrap`] when the OS refuses the listener
+    /// thread; nothing is left running.
     pub fn spawn(
         node_id: u64,
         replicas: Vec<NodeReplica>,
         listener: Box<dyn Listener>,
         fault: FaultScript,
-    ) -> Self {
+    ) -> Result<Self, super::ClusterError> {
         let addr = listener.local_addr();
         let shared = Arc::new(NodeShared {
             node_id,
@@ -137,9 +142,11 @@ impl ClusterNode {
             std::thread::Builder::new()
                 .name(format!("pw-node-{node_id}"))
                 .spawn(move || accept_loop(listener, &shared, &handlers))
-                .expect("spawn node listener thread")
+                .map_err(|e| super::ClusterError::Bootstrap {
+                    detail: format!("cannot spawn node {node_id} listener thread: {e}"),
+                })?
         };
-        Self { shared, addr, listener_thread: Some(listener_thread), handlers }
+        Ok(Self { shared, addr, listener_thread: Some(listener_thread), handlers })
     }
 
     /// The address peers dial to reach this node.
@@ -193,11 +200,15 @@ fn accept_loop(
         match listener.accept(20) {
             Ok(Some(conn)) => {
                 let shared = Arc::clone(shared);
-                let h = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("pw-node-{}-conn", shared.node_id))
-                    .spawn(move || connection_loop(conn, &shared))
-                    .expect("spawn node connection thread");
-                handlers.lock().push(h);
+                    .spawn(move || connection_loop(conn, &shared));
+                // If the OS refuses a handler thread the connection is
+                // dropped with the closure — the dialer sees a dead peer
+                // and the router fails over to a sibling replica.
+                if let Ok(h) = spawned {
+                    handlers.lock().push(h);
+                }
             }
             Ok(None) => {}
             Err(_) => break,
@@ -287,18 +298,30 @@ fn handle_search(conn: &mut dyn Connection, shared: &Arc<NodeShared>, frame: &Fr
     let served =
         catch_unwind(AssertUnwindSafe(|| serve_once(&replica.index, &req.queries, &req.params)));
     let out = match served {
-        Ok(out) => out,
+        Ok(Ok(out)) => out,
+        Ok(Err(e)) => {
+            let msg = format!("search failed: {e}");
+            return conn.send(&error_frame(frame.request_id, &msg)).is_ok();
+        }
         Err(_) => {
             return conn.send(&error_frame(frame.request_id, "search panicked")).is_ok();
         }
     };
-    let hits: Vec<Vec<(f32, u32)>> = out
-        .hits
-        .into_iter()
-        .map(|per_query| {
-            per_query.into_iter().map(|(d, id)| (d, replica.global_ids[id as usize])).collect()
-        })
-        .collect();
+    let mut hits: Vec<Vec<(f32, u32)>> = Vec::with_capacity(out.hits.len());
+    for per_query in out.hits {
+        let mut mapped = Vec::with_capacity(per_query.len());
+        for (d, id) in per_query {
+            // A local id outside the replica's id map means the replica
+            // metadata and its index disagree — answer with an error frame
+            // so the router fails over, instead of unwinding the handler.
+            let Some(&global) = replica.global_ids.get(id as usize) else {
+                let msg = format!("local id {id} outside replica id map");
+                return conn.send(&error_frame(frame.request_id, &msg)).is_ok();
+            };
+            mapped.push((d, global));
+        }
+        hits.push(mapped);
+    }
     let resp = SearchResponse { hits, makespan_s: out.makespan_s };
     let reply =
         Frame { kind: FrameKind::Hits, request_id: frame.request_id, payload: resp.encode() };

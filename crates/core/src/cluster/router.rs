@@ -54,6 +54,27 @@ pub enum ClusterError {
         /// `(node id, error)` per attempt, in attempt order.
         attempts: Vec<(u64, String)>,
     },
+    /// Cluster bootstrap failed before any request was sent: an
+    /// inconsistent placement, or the OS refusing a service thread.
+    Bootstrap {
+        /// What went wrong.
+        detail: String,
+    },
+    /// Building a partition index failed before any node booted.
+    Build(crate::index::BuildError),
+    /// An internal invariant failed outside the RPC path: a local serve
+    /// used as the reference oracle, or replica metadata that disagrees
+    /// with its own index.
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl From<crate::index::BuildError> for ClusterError {
+    fn from(e: crate::index::BuildError) -> Self {
+        Self::Build(e)
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -66,11 +87,21 @@ impl std::fmt::Display for ClusterError {
                 }
                 Ok(())
             }
+            Self::Bootstrap { detail } => write!(f, "cluster bootstrap failed: {detail}"),
+            Self::Build(e) => write!(f, "partition build failed: {e}"),
+            Self::Internal { detail } => write!(f, "cluster internal error: {detail}"),
         }
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Result of one routed batch.
 #[derive(Debug, Clone)]
@@ -132,22 +163,36 @@ impl Router {
     /// from [`ClusterConfig::seed`] — any process with the same peer list
     /// and config computes the same placement.
     ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Bootstrap`] when the ring yields a node outside the
+    /// peer list (an internal placement inconsistency) or the OS refuses
+    /// the health-probe thread.
+    ///
     /// # Panics
     ///
     /// Panics on an empty peer list or an invalid config.
-    pub fn new(peers: Vec<Peer>, transport: Transport, config: ClusterConfig) -> Self {
+    pub fn new(
+        peers: Vec<Peer>,
+        transport: Transport,
+        config: ClusterConfig,
+    ) -> Result<Self, ClusterError> {
         config.validate();
         assert!(!peers.is_empty(), "router needs at least one peer");
         let ids: Vec<u64> = peers.iter().map(|p| p.node_id).collect();
         let ring = HashRing::new(&ids, config.vnodes, config.seed);
-        let placement: Vec<Vec<usize>> = (0..config.partitions)
-            .map(|p| {
-                ring.replicas(p as u64, config.replication)
-                    .into_iter()
-                    .map(|node| ids.iter().position(|&i| i == node).expect("ring node is a peer"))
-                    .collect()
-            })
-            .collect();
+        let mut placement: Vec<Vec<usize>> = Vec::with_capacity(config.partitions);
+        for p in 0..config.partitions {
+            let mut replicas = Vec::new();
+            for node in ring.replicas(p as u64, config.replication) {
+                let i =
+                    ids.iter().position(|&i| i == node).ok_or_else(|| ClusterError::Bootstrap {
+                        detail: format!("placement of partition {p} names unknown node {node}"),
+                    })?;
+                replicas.push(i);
+            }
+            placement.push(replicas);
+        }
         let state = Mutex::new(RouterState {
             alive: vec![true; peers.len()],
             busy_s: vec![0.0; peers.len()],
@@ -161,14 +206,19 @@ impl Router {
             seq: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
-        let health_thread = inner.config.health_interval_ms.map(|interval| {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("pw-router-health".into())
-                .spawn(move || health_loop(&inner, interval))
-                .expect("spawn router health thread")
-        });
-        Self { inner, health_thread }
+        let health_thread = match inner.config.health_interval_ms {
+            None => None,
+            Some(interval) => {
+                let inner = Arc::clone(&inner);
+                let spawned = std::thread::Builder::new()
+                    .name("pw-router-health".into())
+                    .spawn(move || health_loop(&inner, interval));
+                Some(spawned.map_err(|e| ClusterError::Bootstrap {
+                    detail: format!("cannot spawn router health thread: {e}"),
+                })?)
+            }
+        };
+        Ok(Self { inner, health_thread })
     }
 
     /// The placement table: `placement()[p]` lists the node ids hosting
@@ -223,15 +273,13 @@ impl Router {
 
         let mut slots: Vec<Option<Result<PartitionReply, ClusterError>>> =
             (0..partitions).map(|_| None).collect();
+        // The scope joins every scatter thread at its close brace and
+        // re-raises any panic there — no explicit join/expect needed.
         std::thread::scope(|scope| {
-            let mut pending = Vec::with_capacity(partitions);
             for (p, slot) in slots.iter_mut().enumerate() {
-                pending.push(scope.spawn(move || {
+                scope.spawn(move || {
                     *slot = Some(serve_partition(inner, p, seq, queries, params));
-                }));
-            }
-            for h in pending {
-                h.join().expect("partition scatter thread panicked");
+                });
             }
         });
 
@@ -243,8 +291,14 @@ impl Router {
             // Busy time is credited here, in partition order, single-
             // threaded: the f64 sums are bit-stable run to run.
             let mut st = self.inner.state.lock();
-            for slot in slots {
-                let reply = slot.expect("every partition slot filled")?;
+            for (p, slot) in slots.into_iter().enumerate() {
+                // Every slot is filled unless its scatter thread died, and a
+                // dead thread would have panicked the scope above; an empty
+                // slot still degrades to a typed error, not an unwrap.
+                let reply = slot.ok_or_else(|| ClusterError::PartitionUnavailable {
+                    partition: p as u32,
+                    attempts: Vec::new(),
+                })??;
                 st.busy_s[reply.peer_index] += reply.response.makespan_s;
                 makespan_s = makespan_s.max(reply.response.makespan_s);
                 attempts += reply.attempts;

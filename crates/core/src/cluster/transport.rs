@@ -423,8 +423,12 @@ impl ChannelNet {
         let (c2s_tx, c2s_rx) = mpsc::channel();
         let (s2c_tx, s2c_rx) = mpsc::channel();
         let server_half = ChannelConnection { tx: s2c_tx, rx: c2s_rx };
-        let guard = self.listeners.lock();
-        let accept = guard.get(&node).ok_or(RpcError::Disconnected)?;
+        // Clone the accept sender out of the registry so the lock is
+        // released before the (potentially blocking) channel send.
+        let accept = {
+            let guard = self.listeners.lock();
+            guard.get(&node).ok_or(RpcError::Disconnected)?.clone()
+        };
         accept.send(server_half).map_err(|_| RpcError::Disconnected)?;
         Ok(ChannelConnection { tx: c2s_tx, rx: s2c_rx })
     }
@@ -497,6 +501,34 @@ mod tests {
         // Torn direction: server truncates its response mid-payload.
         server.send_torn(&big, FRAME_HEADER_LEN + 100).unwrap();
         assert!(matches!(client.recv(Some(2000)).unwrap_err(), RpcError::Torn { .. }));
+    }
+
+    #[test]
+    fn tcp_mid_header_truncation_is_torn_not_panic() {
+        // Regression: a peer dying mid-header (10 of the 21 header bytes on
+        // the wire, then EOF) must surface as RpcError::Torn — the reader
+        // used to index into the short header buffer and panic.
+        let mut listener = TcpNodeListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr();
+        let mut client = Transport::Tcp.connect(&addr).unwrap();
+        let f = Frame { kind: FrameKind::Hits, request_id: 13, payload: vec![7; 32] };
+        client.send_torn(&f, 10).unwrap();
+        drop(client); // Close so the reader sees EOF rather than stalling.
+        let mut server = listener.accept(2000).unwrap().expect("accept");
+        let err = server.recv(Some(2000)).unwrap_err();
+        assert!(matches!(err, RpcError::Torn { .. }), "mid-header EOF must be Torn, got {err:?}");
+    }
+
+    #[test]
+    fn channel_mid_header_truncation_is_torn_not_panic() {
+        let net = ChannelNet::new();
+        let mut listener = net.listen(3);
+        let mut client = net.connect(3).unwrap();
+        let mut server = listener.accept(100).unwrap().unwrap();
+        let f = Frame { kind: FrameKind::Hits, request_id: 17, payload: vec![9; 32] };
+        client.send_torn(&f, 10).unwrap();
+        let err = server.recv(Some(100)).unwrap_err();
+        assert!(matches!(err, RpcError::Torn { .. }), "mid-header tear must be Torn, got {err:?}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use pathweaver_util::FixedBitSet;
 use pathweaver_vector::{QuantizedSet, VectorSet};
 
 /// Errors raised while building an index.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum BuildError {
     /// A shard's resident structures exceed the device's memory capacity.
     OutOfMemory(OutOfMemory),

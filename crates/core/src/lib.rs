@@ -72,7 +72,7 @@ pub use cluster::{ClusterError, ClusterOutput, LocalCluster, Router};
 pub use config::{ClusterConfig, PathWeaverConfig};
 pub use dynamic::DurableIndex;
 pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
-pub use serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
+pub use serve::{QueryResult, QueryTicket, ServeConfig, ServeError, Server, SubmitError};
 pub use store::{StoreError, StoreReport};
 
 /// Convenience re-exports for downstream users.
@@ -83,7 +83,9 @@ pub mod prelude {
     pub use crate::dynamic::DurableIndex;
     pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
     pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};
-    pub use crate::serve::{QueryResult, QueryTicket, ServeConfig, Server, SubmitError};
+    pub use crate::serve::{
+        QueryResult, QueryTicket, ServeConfig, ServeError, Server, SubmitError,
+    };
     pub use crate::store::{StoreError, StoreReport};
     pub use pathweaver_datasets::{recall_batch, DatasetProfile, Scale, Workload};
     pub use pathweaver_gpusim::{CostModel, DeviceSpec, RingTopology};

@@ -189,6 +189,8 @@ impl PathWeaverIndex {
             let table = shard
                 .intershard
                 .as_ref()
+                // lint: allow(hot-panic) — builder invariant, not input: every
+                // multi-device build attaches I(u) tables before serving.
                 .expect("multi-device index always builds inter-shard tables");
             for (i, hits) in out.hits.iter().enumerate() {
                 chunk.seeds[i] = hits

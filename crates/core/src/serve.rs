@@ -114,6 +114,47 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Serving-layer failure surfaced by [`Server::new`], [`QueryTicket::wait`]
+/// and [`serve_once`] — the typed form of what used to be a panic, so hot
+/// callers (the cluster node front end) can turn it into an error frame.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An OS-level thread spawn failed while starting the server.
+    Spawn(std::io::Error),
+    /// The server tore down without delivering an accepted query. Shutdown
+    /// drains every accepted ticket, so this indicates a server-thread
+    /// panic; the query's result is unrecoverable.
+    Disconnected,
+    /// A submission was rejected.
+    Submit(SubmitError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Spawn(e) => write!(f, "cannot spawn serving thread: {e}"),
+            Self::Disconnected => f.write_str("server tore down without delivering"),
+            Self::Submit(e) => write!(f, "submission rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Spawn(e) => Some(e),
+            Self::Submit(e) => Some(e),
+            Self::Disconnected => None,
+        }
+    }
+}
+
+impl From<SubmitError> for ServeError {
+    fn from(e: SubmitError) -> Self {
+        Self::Submit(e)
+    }
+}
+
 /// Result of one served query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -142,12 +183,13 @@ impl std::fmt::Debug for QueryTicket {
 impl QueryTicket {
     /// Blocks until the query's batch completes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server was torn down without delivering — shutdown
-    /// drains every accepted query, so this indicates a server panic.
-    pub fn wait(self) -> QueryResult {
-        self.rx.recv().expect("server delivers every accepted query")
+    /// [`ServeError::Disconnected`] when the server was torn down without
+    /// delivering — shutdown drains every accepted query, so this indicates
+    /// a server-thread panic.
+    pub fn wait(self) -> Result<QueryResult, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
     }
 
     /// Returns the result if the batch has already completed.
@@ -211,9 +253,9 @@ struct BatchJob {
 /// # let dataset = pathweaver_datasets::DatasetProfile::deep10m_like()
 /// #     .workload(pathweaver_datasets::Scale::Test, 1, 10, 1).base;
 /// let index = Arc::new(PathWeaverIndex::build(&dataset, &PathWeaverConfig::test_scale(2)).unwrap());
-/// let server = Server::new(Arc::clone(&index), ServeConfig::default());
+/// let server = Server::new(Arc::clone(&index), ServeConfig::default()).unwrap();
 /// let ticket = server.try_submit(dataset.row(0)).unwrap();
-/// let result = ticket.wait();
+/// let result = ticket.wait().unwrap();
 /// assert!(!result.hits.is_empty());
 /// server.shutdown();
 /// ```
@@ -228,10 +270,15 @@ impl Server {
     /// Starts the serving threads (admission, completion, and one device
     /// thread per shard).
     ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when the OS refuses a serving thread; the ring
+    /// and any thread already started are torn down before returning.
+    ///
     /// # Panics
     ///
     /// Panics when `config` fails [`ServeConfig::validate`].
-    pub fn new(index: Arc<PathWeaverIndex>, config: ServeConfig) -> Self {
+    pub fn new(index: Arc<PathWeaverIndex>, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate();
         let n = index.num_devices();
         let cost = CostModel::new(index.config.device);
@@ -276,16 +323,26 @@ impl Server {
             std::thread::Builder::new()
                 .name("pathweaver-admission".into())
                 .spawn(move || admission_loop(&inner, &executor, &job_tx))
-                .expect("spawn admission thread")
+                .map_err(ServeError::Spawn)?
         };
         let completion = {
             let timeline = Arc::clone(&timeline);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("pathweaver-completion".into())
-                .spawn(move || completion_loop(&job_rx, &timeline))
-                .expect("spawn completion thread")
+                .spawn(move || completion_loop(&job_rx, &timeline));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => {
+                    // Unwind the admission thread (which owns the ring) so a
+                    // failed start leaks nothing.
+                    inner.state.lock().shutting_down = true;
+                    inner.wakeup.notify_all();
+                    let _ = admission.join();
+                    return Err(ServeError::Spawn(e));
+                }
+            }
         };
-        Self { inner, timeline, admission: Some(admission), completion: Some(completion) }
+        Ok(Self { inner, timeline, admission: Some(admission), completion: Some(completion) })
     }
 
     /// Enqueues one query without blocking.
@@ -504,6 +561,11 @@ fn completion_loop(job_rx: &Receiver<BatchJob>, timeline: &Mutex<PipelineTimelin
 /// temporary [`Server`] and reassembles a [`SearchOutput`] — mainly for
 /// comparing the streamed path against `search_pipelined` in tests.
 ///
+/// # Errors
+///
+/// [`ServeError`] when the server cannot start or dies mid-batch; the
+/// cluster node front end maps it to an error frame instead of unwinding.
+///
 /// # Panics
 ///
 /// Panics on an empty or wrongly-sized batch.
@@ -511,7 +573,7 @@ pub fn serve_once(
     index: &Arc<PathWeaverIndex>,
     queries: &VectorSet,
     params: &SearchParams,
-) -> SearchOutput {
+) -> Result<SearchOutput, ServeError> {
     assert!(!queries.is_empty(), "empty query batch");
     let config = ServeConfig {
         max_batch: queries.len(),
@@ -519,14 +581,17 @@ pub fn serve_once(
         params: *params,
         ..ServeConfig::default()
     };
-    let server = Server::new(Arc::clone(index), config);
-    let tickets = server.submit_batch(queries).expect("capacity fits the batch");
-    let results: Vec<QueryResult> = tickets.into_iter().map(QueryTicket::wait).collect();
+    let server = Server::new(Arc::clone(index), config)?;
+    // The server is sized to the batch, so submission cannot shed load; a
+    // rejection would still surface as Submit, never a panic.
+    let tickets = server.submit_batch(queries)?;
+    let results: Vec<QueryResult> =
+        tickets.into_iter().map(QueryTicket::wait).collect::<Result<_, _>>()?;
     let timeline = server.timeline();
     server.shutdown();
     let stats = results[0].stats;
     let hits = results.into_iter().map(|r| r.hits).collect();
-    SearchOutput::from_parts(hits, stats, timeline, queries.len())
+    Ok(SearchOutput::from_parts(hits, stats, timeline, queries.len()))
 }
 
 #[cfg(test)]
@@ -544,9 +609,9 @@ mod tests {
     #[test]
     fn single_query_roundtrip() {
         let (w, idx) = built(2);
-        let server = Server::new(Arc::clone(&idx), ServeConfig::default());
+        let server = Server::new(Arc::clone(&idx), ServeConfig::default()).unwrap();
         let t = server.try_submit(w.queries.row(0)).unwrap();
-        let res = t.wait();
+        let res = t.wait().unwrap();
         assert!(!res.hits.is_empty());
         assert!(!res.timed_out);
         server.shutdown();
@@ -565,20 +630,20 @@ mod tests {
             flush_interval_ms: 3_600_000.0,
             ..ServeConfig::default()
         };
-        let server = Server::new(Arc::clone(&idx), config);
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
         let t0 = server.try_submit(w.queries.row(0)).unwrap();
         let t1 = server.try_submit(w.queries.row(1)).unwrap();
         assert_eq!(server.queue_depth(), 2);
         assert_eq!(server.try_submit(w.queries.row(2)).unwrap_err(), SubmitError::QueueFull);
         server.shutdown(); // Must answer everything accepted.
-        assert!(!t0.wait().hits.is_empty());
-        assert!(!t1.wait().hits.is_empty());
+        assert!(!t0.wait().unwrap().hits.is_empty());
+        assert!(!t1.wait().unwrap().hits.is_empty());
     }
 
     #[test]
     fn shutdown_rejects_new_queries() {
         let (w, idx) = built(2);
-        let server = Server::new(Arc::clone(&idx), ServeConfig::default());
+        let server = Server::new(Arc::clone(&idx), ServeConfig::default()).unwrap();
         // Flip the flag the way a concurrent shutdown's first step would.
         server.inner.state.lock().shutting_down = true;
         assert_eq!(server.try_submit(w.queries.row(0)).unwrap_err(), SubmitError::ShuttingDown);
@@ -593,12 +658,12 @@ mod tests {
             flush_interval_ms: 3_600_000.0, // Never flush on time alone.
             ..ServeConfig::default()
         };
-        let server = Server::new(Arc::clone(&idx), config);
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
         let tickets: Vec<QueryTicket> =
             (0..w.queries.len()).map(|r| server.try_submit(w.queries.row(r)).unwrap()).collect();
         server.shutdown(); // Must flush + drain, not strand.
         for t in tickets {
-            assert!(!t.wait().hits.is_empty());
+            assert!(!t.wait().unwrap().hits.is_empty());
         }
     }
 
@@ -611,8 +676,8 @@ mod tests {
             ..ServeConfig::default()
         };
         // validate() demands positive deadline; tiny but positive.
-        let server = Server::new(Arc::clone(&idx), config);
-        let res = server.try_submit(w.queries.row(0)).unwrap().wait();
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
+        let res = server.try_submit(w.queries.row(0)).unwrap().wait().unwrap();
         assert!(res.timed_out, "deadline should have fired");
         assert!(res.hits.is_empty(), "no stage ran, no hits");
         server.shutdown();
@@ -626,10 +691,10 @@ mod tests {
             flush_interval_ms: 3_600_000.0,
             ..ServeConfig::default()
         };
-        let server = Server::new(Arc::clone(&idx), config);
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
         let tickets: Vec<QueryTicket> =
             (0..w.queries.len()).map(|r| server.try_submit(w.queries.row(r)).unwrap()).collect();
-        let results: Vec<QueryResult> = tickets.into_iter().map(QueryTicket::wait).collect();
+        let results: Vec<QueryResult> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
         // One flush: every query rode the same executor batch.
         let ids: std::collections::BTreeSet<u64> = results.iter().map(|r| r.batch_id).collect();
         assert_eq!(ids.len(), 1, "expected one coalesced batch, got {ids:?}");

@@ -43,7 +43,8 @@ pub fn save_index_legacy(index: &PathWeaverIndex, dir: impl AsRef<Path>) -> Resu
     let meta = Meta::from_index(1, index);
     fs::write(
         dir.join("meta.json"),
-        serde_json::to_string_pretty(&meta).expect("meta serializes"),
+        serde_json::to_string_pretty(&meta)
+            .map_err(|e| StoreError::Malformed(format!("meta does not serialize: {e}")))?,
     )?;
     for (s, shard) in index.shards.iter().enumerate() {
         let sdir = dir.join(format!("shard-{s:03}"));

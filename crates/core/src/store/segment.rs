@@ -53,18 +53,32 @@ const PREAMBLE_LEN: usize = 64;
 /// `shard` value of sections that belong to the whole index.
 const GLOBAL: u32 = u32::MAX;
 
-const KIND_META: u32 = 0;
-const KIND_VECTORS: u32 = 1;
-const KIND_GRAPH: u32 = 2;
-const KIND_GLOBAL_IDS: u32 = 3;
-const KIND_TOMBSTONES: u32 = 4;
-const KIND_INTERSHARD: u32 = 5;
-const KIND_GHOST_MAP: u32 = 6;
-const KIND_GHOST_VECTORS: u32 = 7;
-const KIND_GHOST_GRAPH: u32 = 8;
-const KIND_DIR_TABLE: u32 = 9;
-/// Section kind of the int8 quantized tier (public for check_store's
-/// kind-targeted corruption cases).
+// Section kinds. All public so external gates (check_store's corruption
+// matrix) can aim damage at every kind the writer emits; lint.toml's
+// [format.segment] group pins this file as their one home (W001) and
+// requires writer, reader dispatch and corruption matrix to handle each
+// (W002).
+/// Index-wide JSON metadata.
+pub const KIND_META: u32 = 0;
+/// Per-shard base vectors.
+pub const KIND_VECTORS: u32 = 1;
+/// Per-shard fixed-degree adjacency.
+pub const KIND_GRAPH: u32 = 2;
+/// Per-shard local→global id map.
+pub const KIND_GLOBAL_IDS: u32 = 3;
+/// Per-shard tombstone bitset.
+pub const KIND_TOMBSTONES: u32 = 4;
+/// Per-shard inter-shard jump targets.
+pub const KIND_INTERSHARD: u32 = 5;
+/// Ghost replica: ghost→original id map.
+pub const KIND_GHOST_MAP: u32 = 6;
+/// Ghost replica: vectors.
+pub const KIND_GHOST_VECTORS: u32 = 7;
+/// Ghost replica: adjacency.
+pub const KIND_GHOST_GRAPH: u32 = 8;
+/// Per-shard direction table codes.
+pub const KIND_DIR_TABLE: u32 = 9;
+/// Section kind of the int8 quantized tier.
 pub const KIND_QUANTIZED: u32 = 10;
 
 fn pad64(n: usize) -> usize {
@@ -103,7 +117,9 @@ pub fn write_segment(index: &PathWeaverIndex, path: impl AsRef<Path>) -> Result<
     let mut sections = Vec::new();
 
     let meta = Meta::from_index(2, index);
-    let json = serde_json::to_string_pretty(&meta).expect("meta serializes").into_bytes();
+    let json = serde_json::to_string_pretty(&meta)
+        .map_err(|e| StoreError::Malformed(format!("meta does not serialize: {e}")))?
+        .into_bytes();
     let mut sec = Section::new(KIND_META, GLOBAL, &[json.len() as u64]);
     sec.bytes.extend_from_slice(&json);
     sections.push(sec);
@@ -233,6 +249,19 @@ struct RawSection {
     len: usize,
 }
 
+/// Little-endian field readers over untrusted bytes: an out-of-bounds range
+/// is [`StoreError::Corrupt`] at that offset, never a slice panic, so a
+/// torn or lying header cannot take the reader down.
+fn le_u32(bytes: &[u8], at: usize) -> Result<u32, StoreError> {
+    let b = bytes.get(at..at + 4).ok_or_else(|| corrupt(at as u64, "u32 field out of bounds"))?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Result<u64, StoreError> {
+    let b = bytes.get(at..at + 8).ok_or_else(|| corrupt(at as u64, "u64 field out of bounds"))?;
+    Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+}
+
 /// Validates the header, TOC and every section checksum; returns the parsed
 /// TOC. Shared by [`read_segment`] and [`verify_segment`].
 fn parse_segment(raw: &AlignedBytes) -> Result<Vec<RawSection>, StoreError> {
@@ -247,11 +276,11 @@ fn parse_segment(raw: &AlignedBytes) -> Result<Vec<RawSection>, StoreError> {
     if version != VERSION {
         return Err(corrupt(4, format!("unsupported segment version {version}")));
     }
-    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-    let file_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let toc_offset = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
-    let data_offset = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+    let count = le_u32(bytes, 8)? as usize;
+    let stored_crc = le_u32(bytes, 12)?;
+    let file_len = le_u64(bytes, 16)?;
+    let toc_offset = le_u64(bytes, 24)? as usize;
+    let data_offset = le_u64(bytes, 32)? as usize;
     if file_len != bytes.len() as u64 {
         return Err(corrupt(16, format!("header says {file_len} bytes, file has {}", bytes.len())));
     }
@@ -274,12 +303,11 @@ fn parse_segment(raw: &AlignedBytes) -> Result<Vec<RawSection>, StoreError> {
     let mut covered = data_offset;
     for i in 0..count {
         let e = HEADER_LEN + i * TOC_ENTRY_LEN;
-        let entry = &bytes[e..e + TOC_ENTRY_LEN];
-        let kind = u32::from_le_bytes(entry[..4].try_into().unwrap());
-        let shard = u32::from_le_bytes(entry[4..8].try_into().unwrap());
-        let offset = u64::from_le_bytes(entry[8..16].try_into().unwrap()) as usize;
-        let len = u64::from_le_bytes(entry[16..24].try_into().unwrap()) as usize;
-        let want_crc = u32::from_le_bytes(entry[24..28].try_into().unwrap());
+        let kind = le_u32(bytes, e)?;
+        let shard = le_u32(bytes, e + 4)?;
+        let offset = le_u64(bytes, e + 8)? as usize;
+        let len = le_u64(bytes, e + 16)? as usize;
+        let want_crc = le_u32(bytes, e + 24)?;
         let Some(padded_end) = offset.checked_add(pad64(len)) else {
             return Err(corrupt(e as u64, format!("section {i} extent overflows")));
         };
@@ -313,10 +341,16 @@ fn parse_segment(raw: &AlignedBytes) -> Result<Vec<RawSection>, StoreError> {
     Ok(sections)
 }
 
-fn param(raw: &AlignedBytes, sec: &RawSection, i: usize) -> u64 {
+fn param(raw: &AlignedBytes, sec: &RawSection, i: usize) -> Result<u64, StoreError> {
     // Preambles are validated to exist (len >= PREAMBLE_LEN) and section
-    // offsets are 64-aligned, so the view cannot fail.
-    raw.u64s(sec.offset, PREAMBLE_LEN / 8).expect("preamble in bounds")[i]
+    // offsets are 64-aligned by `parse_segment`, but the readers do not get
+    // to assume that: a bad view is Corrupt, not a panic.
+    let pre = raw
+        .u64s(sec.offset, PREAMBLE_LEN / 8)
+        .ok_or_else(|| corrupt(sec.offset as u64, "section preamble out of bounds"))?;
+    pre.get(i)
+        .copied()
+        .ok_or_else(|| corrupt(sec.offset as u64, format!("preamble parameter {i} out of range")))
 }
 
 fn data_words(sec: &RawSection, word: usize) -> usize {
@@ -388,7 +422,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
         .iter()
         .find(|s| s.kind == KIND_META)
         .ok_or_else(|| corrupt(0, "segment has no meta section"))?;
-    let json_len = param(&raw, meta_sec, 0) as usize;
+    let json_len = param(&raw, meta_sec, 0)? as usize;
     if json_len != meta_sec.len - PREAMBLE_LEN {
         return Err(corrupt(meta_sec.offset as u64, "meta length disagrees with its section"));
     }
@@ -437,19 +471,20 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
     let mut members = Vec::with_capacity(meta.num_devices);
     for (s, slots) in per_shard.iter().enumerate() {
         let missing = |what: &str| corrupt(0, format!("shard {s} has no {what} section"));
-        let vectors = read_vectors(&raw, slots.vectors.ok_or_else(|| missing("vectors"))?)?;
+        let vec_sec = slots.vectors.ok_or_else(|| missing("vectors"))?;
+        let vectors = read_vectors(&raw, vec_sec)?;
         if vectors.dim() != meta.dim {
             return Err(corrupt(
-                slots.vectors.expect("present").offset as u64,
+                vec_sec.offset as u64,
                 format!("shard {s} dim {} != meta dim {}", vectors.dim(), meta.dim),
             ));
         }
         let graph = read_graph(&raw, slots.graph.ok_or_else(|| missing("graph"))?)?;
         let sec = slots.global_ids.ok_or_else(|| missing("global ids"))?;
-        let global_ids = read_u32s(&raw, sec, param(&raw, sec, 0) as usize)?.to_vec();
+        let global_ids = read_u32s(&raw, sec, param(&raw, sec, 0)? as usize)?.to_vec();
         let sec = slots.tombstones.ok_or_else(|| missing("tombstones"))?;
-        let capacity = param(&raw, sec, 0) as usize;
-        let words = read_u64s(&raw, sec, param(&raw, sec, 1) as usize)?.to_vec();
+        let capacity = param(&raw, sec, 0)? as usize;
+        let words = read_u64s(&raw, sec, param(&raw, sec, 1)? as usize)?.to_vec();
         let deleted = FixedBitSet::try_from_words(capacity, words)
             .map_err(|e| corrupt(sec.offset as u64, e))?;
         if graph.num_nodes() != vectors.len()
@@ -463,7 +498,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
         }
         let intershard = match slots.intershard {
             Some(sec) => {
-                let targets = read_u32s(&raw, sec, param(&raw, sec, 0) as usize)?.to_vec();
+                let targets = read_u32s(&raw, sec, param(&raw, sec, 0)? as usize)?.to_vec();
                 if targets.len() != vectors.len() {
                     return Err(corrupt(
                         sec.offset as u64,
@@ -483,9 +518,9 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
         }
         let dir_table = match slots.dir_table {
             Some(sec) => {
-                let dim = param(&raw, sec, 0) as usize;
-                let degree = param(&raw, sec, 1) as usize;
-                let codes = read_u32s(&raw, sec, param(&raw, sec, 2) as usize)?.to_vec();
+                let dim = param(&raw, sec, 0)? as usize;
+                let degree = param(&raw, sec, 1)? as usize;
+                let codes = read_u32s(&raw, sec, param(&raw, sec, 2)? as usize)?.to_vec();
                 let t = DirectionTable::try_from_words(dim, degree, codes)
                     .map_err(|e| corrupt(sec.offset as u64, e))?;
                 if dim != meta.dim || degree != graph.degree() {
@@ -509,7 +544,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
         };
         let ghost = match (slots.ghost_map, slots.ghost_vectors, slots.ghost_graph) {
             (Some(map), Some(vsec), Some(gsec)) => {
-                let to_original = read_u32s(&raw, map, param(&raw, map, 0) as usize)?.to_vec();
+                let to_original = read_u32s(&raw, map, param(&raw, map, 0)? as usize)?.to_vec();
                 let gvec = read_vectors(&raw, vsec)?;
                 let ggraph = read_graph(&raw, gsec)?;
                 if to_original.len() != gvec.len() || ggraph.num_nodes() != gvec.len() {
@@ -553,9 +588,9 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<PathWeaverIndex, StoreErro
 
 fn read_vectors(raw: &AlignedBytes, sec: &RawSection) -> Result<VectorSet, StoreError> {
     let at = sec.offset as u64;
-    let dim = param(raw, sec, 0) as usize;
-    let stride = param(raw, sec, 1) as usize;
-    let len = param(raw, sec, 2) as usize;
+    let dim = param(raw, sec, 0)? as usize;
+    let stride = param(raw, sec, 1)? as usize;
+    let len = param(raw, sec, 2)? as usize;
     let count = data_words(sec, 4);
     if stride.checked_mul(len) != Some(count) {
         return Err(corrupt(
@@ -580,9 +615,9 @@ fn read_quantized(
     vectors: &VectorSet,
 ) -> Result<QuantizedSet, StoreError> {
     let at = sec.offset as u64;
-    let dim = param(raw, sec, 0);
-    let stride = param(raw, sec, 1);
-    let len = param(raw, sec, 2);
+    let dim = param(raw, sec, 0)?;
+    let stride = param(raw, sec, 1)?;
+    let len = param(raw, sec, 2)?;
     // scales f32[dim] + offsets f32[dim] + len x stride codes, all claimed
     // by an untrusted preamble: checked arithmetic so a hostile shape
     // cannot overflow its way past the extent comparison.
@@ -625,8 +660,8 @@ fn read_quantized(
 
 fn read_graph(raw: &AlignedBytes, sec: &RawSection) -> Result<FixedDegreeGraph, StoreError> {
     let at = sec.offset as u64;
-    let degree = param(raw, sec, 0) as usize;
-    let nodes = param(raw, sec, 1) as usize;
+    let degree = param(raw, sec, 0)? as usize;
+    let nodes = param(raw, sec, 1)? as usize;
     let count = data_words(sec, 4);
     if degree.checked_mul(nodes) != Some(count) {
         return Err(corrupt(

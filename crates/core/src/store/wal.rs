@@ -35,7 +35,7 @@ use std::path::Path;
 const MAGIC: [u8; 4] = *b"PWAL";
 const VERSION: u16 = 1;
 /// Fixed header length; records start here.
-pub const HEADER_LEN: u64 = 16;
+pub const WAL_HEADER_LEN: u64 = 16;
 /// Frame prefix: `len u32 | crc u32`.
 const FRAME_LEN: usize = 8;
 
@@ -97,7 +97,7 @@ impl WalWriter {
     /// IO failures.
     pub fn create(path: impl AsRef<Path>, dim: usize) -> Result<Self, StoreError> {
         let mut file = File::create(path)?;
-        let mut header = [0u8; HEADER_LEN as usize];
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
         header[..4].copy_from_slice(&MAGIC);
         header[4..6].copy_from_slice(&VERSION.to_le_bytes());
         // Bytes 6..8 are flags, 12..16 reserved — zero for version 1.
@@ -173,8 +173,8 @@ impl WalWriter {
 }
 
 fn read_header(raw: &[u8]) -> Result<usize, StoreError> {
-    if raw.len() < HEADER_LEN as usize {
-        return Err(corrupt(0, format!("wal shorter than its {HEADER_LEN}-byte header")));
+    if raw.len() < WAL_HEADER_LEN as usize {
+        return Err(corrupt(0, format!("wal shorter than its {WAL_HEADER_LEN}-byte header")));
     }
     if raw[..4] != MAGIC {
         return Err(corrupt(0, "bad wal magic"));
@@ -199,10 +199,10 @@ fn decode_payload(payload: &[u8], dim: usize) -> Option<WalOp> {
             if body.len() != 4 + dim * 4 {
                 return None;
             }
-            let expected_id = u32::from_le_bytes(body[..4].try_into().unwrap());
+            let expected_id = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
             let vector = body[4..]
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect();
             Some(WalOp::Insert { expected_id, vector })
         }
@@ -210,7 +210,9 @@ fn decode_payload(payload: &[u8], dim: usize) -> Option<WalOp> {
             if body.len() != 4 {
                 return None;
             }
-            Some(WalOp::Delete { global_id: u32::from_le_bytes(body.try_into().unwrap()) })
+            Some(WalOp::Delete {
+                global_id: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+            })
         }
         _ => None,
     }
@@ -228,10 +230,10 @@ pub fn read_wal(path: impl AsRef<Path>) -> Result<WalReplay, StoreError> {
     File::open(path)?.read_to_end(&mut raw)?;
     let dim = read_header(&raw)?;
     let mut records = Vec::new();
-    let mut at = HEADER_LEN as usize;
+    let mut at = WAL_HEADER_LEN as usize;
     while let Some(frame) = raw.get(at..at + FRAME_LEN) {
-        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
-        let want_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let want_crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
         let Some(payload) = raw.get(at + FRAME_LEN..at + FRAME_LEN + len) else { break };
         if crc32(payload) != want_crc {
             break;
@@ -334,7 +336,7 @@ mod tests {
             WalOp::Insert { expected_id: 7, vector: vec![1.0, 2.0, 3.0] }
         );
         assert_eq!(replay.records[1].op, WalOp::Delete { global_id: 2 });
-        assert_eq!(replay.records[0].offset, HEADER_LEN);
+        assert_eq!(replay.records[0].offset, WAL_HEADER_LEN);
     }
 
     #[test]
@@ -408,7 +410,7 @@ mod tests {
         WalWriter::create(&path, 5).unwrap();
         let replay = read_wal(&path).unwrap();
         assert!(replay.records.is_empty());
-        assert_eq!(replay.valid_len, HEADER_LEN);
+        assert_eq!(replay.valid_len, WAL_HEADER_LEN);
         assert_eq!(replay.torn_bytes, 0);
     }
 }

@@ -32,6 +32,27 @@ pub struct Config {
     /// Path prefixes considered "counted paths" for D004 (thread-count
     /// sensitive float accumulation).
     pub counted_paths: Vec<String>,
+    /// Path prefixes designated *hot paths* for the P-rules: code that must
+    /// surface corrupt or torn input as typed errors, never a panic.
+    pub hot_paths: Vec<String>,
+    /// Wire/segment format constant groups checked by the W-rules.
+    pub format_groups: Vec<FormatGroup>,
+}
+
+/// One `[format.<name>]` group: a set of format constants that writer,
+/// reader, and corruption matrix must agree on.
+#[derive(Debug, Clone, Default)]
+pub struct FormatGroup {
+    /// Group name (the `<name>` of the section header).
+    pub name: String,
+    /// Constants that must be defined exactly once workspace-wide (W001).
+    pub consts: Vec<String>,
+    /// Constants every `handled_in` file must reference (W002).
+    pub require: Vec<String>,
+    /// Files required to reference every `require` constant.
+    pub handled_in: Vec<String>,
+    /// Optional canonical definition site(s) for the group's constants.
+    pub defined_in: Vec<String>,
 }
 
 impl Default for Config {
@@ -60,6 +81,13 @@ impl Default for Config {
                 "crates/gpu-sim".into(),
                 "crates/vector".into(),
             ],
+            hot_paths: vec![
+                "crates/core/src/serve.rs".into(),
+                "crates/core/src/cluster/".into(),
+                "crates/core/src/store/".into(),
+                "crates/search/src/".into(),
+            ],
+            format_groups: Vec::new(),
         }
     }
 }
@@ -142,12 +170,37 @@ impl Config {
             ("waivers", path) => {
                 self.waivers.insert(path.to_string(), value.as_strings(line)?);
             }
+            ("hot-paths", "files") => self.hot_paths = value.as_strings(line)?,
             (s, "files") if s.starts_with("allow.") => {
                 let slug = s.trim_start_matches("allow.").to_string();
                 if !crate::rules::is_known_slug(&slug) {
                     return err(format!("unknown rule slug {slug:?} in [allow.*]"));
                 }
                 self.allow.insert(slug, value.as_strings(line)?);
+            }
+            (s, key) if s.starts_with("format.") => {
+                let name = s.trim_start_matches("format.").to_string();
+                if name.is_empty() {
+                    return err("format group needs a name: [format.<group>]".to_string());
+                }
+                let strings = value.as_strings(line)?;
+                let group = match self.format_groups.iter().position(|g| g.name == name) {
+                    Some(i) => &mut self.format_groups[i],
+                    None => {
+                        self.format_groups
+                            .push(FormatGroup { name: name.clone(), ..FormatGroup::default() });
+                        self.format_groups.last_mut().expect("group just pushed")
+                    }
+                };
+                match key {
+                    "consts" => group.consts = strings,
+                    "require" => group.require = strings,
+                    "handled_in" => group.handled_in = strings,
+                    "defined_in" => group.defined_in = strings,
+                    other => {
+                        return err(format!("unknown key {other:?} in [format.{name}]"));
+                    }
+                }
             }
             _ => {
                 return err(format!("unknown config entry [{section}] {key}"));
@@ -190,6 +243,11 @@ impl Config {
     /// Whether `rel` is on a counted path (D004 scope).
     pub fn is_counted_path(&self, rel: &str) -> bool {
         self.counted_paths.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+
+    /// Whether `rel` is on a designated hot path (P-rule scope).
+    pub fn is_hot(&self, rel: &str) -> bool {
+        self.hot_paths.iter().any(|p| rel.starts_with(p.as_str()))
     }
 }
 

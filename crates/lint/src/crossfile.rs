@@ -1,0 +1,1244 @@
+//! Cross-file, symbol-aware rules: panic-freedom on hot paths (P-rules),
+//! lock discipline (L-rules), wire/segment format consistency (W-rules), and
+//! metric cross-checks (M-rules).
+//!
+//! Built on [`crate::parser`]'s item parse, this module approximates an
+//! intra-crate call graph by name resolution:
+//!
+//! - `Type::name(...)` resolves to methods of `Type` in the same crate
+//!   (lowercase qualifiers also try free functions, for `module::fn` paths);
+//! - bare `name(...)` resolves to free functions of the same crate;
+//! - `.name(...)` resolves to any same-crate method of that name, except a
+//!   stoplist of ubiquitous std method names that would create false edges.
+//!
+//! The approximation is deliberately conservative in one direction: a
+//! panicking helper *taints* every resolvable caller, and a waiver at the
+//! panic site (`// lint: allow(hot-panic)`) is the only way to cut the edge —
+//! so the justification lives next to the panic, not at each call site.
+
+use crate::config::Config;
+use crate::context::FileContext;
+use crate::diagnostics::Finding;
+use crate::lexer::{LiteralKind, Spanned, Token};
+use crate::parser::{parse_items, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names too generic to resolve intra-crate: these are almost always
+/// std-library calls, and resolving them by bare name would wire false
+/// call-graph edges into unrelated types that happen to share the name.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "borrow",
+    "borrow_mut",
+    "bytes",
+    "capacity",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_div",
+    "checked_mul",
+    "checked_sub",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "clone_from_slice",
+    "cloned",
+    "cmp",
+    "collect",
+    "concat",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "default",
+    "display",
+    "drain",
+    "drop",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "expect_err",
+    "extend",
+    "extend_from_slice",
+    "extension",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "finish",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_file",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "metadata",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "partition_point",
+    "path",
+    "pop",
+    "position",
+    "pow",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "read",
+    "read_exact",
+    "recv",
+    "recv_timeout",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "send",
+    "set_len",
+    "skip",
+    "sleep",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "spawn",
+    "sqrt",
+    "starts_with",
+    "store",
+    "sum",
+    "swap",
+    "swap_remove",
+    "sync_all",
+    "sync_data",
+    "take",
+    "to_le_bytes",
+    "to_owned",
+    "to_path_buf",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_from",
+    "try_into",
+    "try_recv",
+    "unwrap",
+    "unwrap_err",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "wait",
+    "wait_timeout",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "wrapping_sub",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Keywords that look like `name(` but are control flow, not calls.
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "else", "fn", "for", "if", "impl", "in", "let", "loop",
+    "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "trait", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Calls that block the current thread: holding a lock across one of these
+/// stalls every other party contending for the lock (L002). `Condvar::wait`
+/// is deliberately absent — it releases the mutex while parked.
+const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "connect",
+    "join",
+    "read_exact",
+    "recv",
+    "recv_timeout",
+    "request",
+    "send",
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "write_all",
+];
+
+/// Macros whose expansion panics unconditionally. `assert!`-family macros are
+/// excluded: they state documented contracts, and flagging them would push
+/// authors toward deleting checks rather than handling errors.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// How a function came to be considered panicking.
+#[derive(Debug, Clone)]
+enum Taint {
+    /// The body itself contains the panic construct.
+    Direct { line: usize, what: String },
+    /// It calls a tainted function (`callee` index).
+    Via { callee: usize },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    qual: Option<String>,
+    method: bool,
+    line: usize,
+}
+
+/// One analyzed function: graph node plus everything scanned from its body.
+struct FnNode {
+    file: usize,
+    name: String,
+    qual: Option<String>,
+    crate_name: String,
+    hot: bool,
+    calls: Vec<CallSite>,
+    /// Direct panic constructs: (line, description), waived sites excluded.
+    panics: Vec<(usize, String)>,
+    /// Lock identities acquired directly in this body.
+    lock_acquired: BTreeSet<String>,
+    /// (held identity, acquired identity, line) nesting edges in this body.
+    lock_edges: Vec<(String, String, usize)>,
+    /// (held identity, lock line, blocking call name, line).
+    lock_blocking: Vec<(String, usize, String, usize)>,
+    /// (call index into `calls`, identities held at the call).
+    calls_under_lock: Vec<(usize, Vec<String>)>,
+    /// Lines with `expr[... as usize ...]` indexing (P003 candidates).
+    cast_index_lines: Vec<usize>,
+}
+
+/// Runs every cross-file rule over the analyzed file set. Returns the
+/// findings plus the lock-acquisition graph rendered as Graphviz DOT.
+/// `workspace_mode` gates the rules that need the whole workspace in view
+/// (dead-metric detection, missing-definition checks): a partial file list
+/// cannot distinguish "unused" from "not scanned".
+pub fn check(
+    ctxs: &[FileContext<'_>],
+    config: &Config,
+    workspace_mode: bool,
+) -> (Vec<Finding>, String) {
+    let mut out = Vec::new();
+    let parsed: Vec<ParsedFile> = ctxs.iter().map(|c| parse_items(c.tokens())).collect();
+    let nodes = build_nodes(ctxs, &parsed, config);
+    let resolved = resolve_calls(&nodes);
+
+    p_rules(ctxs, config, &nodes, &resolved, &mut out);
+    let dot = l_rules(ctxs, config, &nodes, &resolved, &mut out);
+    w_rules(ctxs, config, &parsed, workspace_mode, &mut out);
+    m_rules(ctxs, config, workspace_mode, &mut out);
+    (out, dot)
+}
+
+/// Pushes a finding unless disabled, allowlisted, or waived at the site.
+#[allow(clippy::too_many_arguments)]
+fn cemit(
+    ctx: Option<&FileContext<'_>>,
+    config: &Config,
+    out: &mut Vec<Finding>,
+    id: &'static str,
+    slug: &'static str,
+    file: String,
+    line: usize,
+    message: String,
+) {
+    if config.is_disabled(id, slug) || config.is_allowed(slug, &file) {
+        return;
+    }
+    if let Some(ctx) = ctx {
+        if ctx.has_waiver(line, slug) {
+            return;
+        }
+    }
+    out.push(Finding { rule: id, slug, file, line, message });
+}
+
+fn ident_at(tokens: &[Spanned], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Token::Ident(n)) => Some(n.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Spanned], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Token::Punct(p)) if *p == c)
+}
+
+/// Crate name of a workspace-relative path (`crates/<name>/…`), or `"root"`.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+// ------------------------------------------------------------- body scans
+
+/// Builds one [`FnNode`] per non-test function, scanning each body once.
+fn build_nodes(ctxs: &[FileContext<'_>], parsed: &[ParsedFile], config: &Config) -> Vec<FnNode> {
+    let mut nodes = Vec::new();
+    for (fi, (ctx, pf)) in ctxs.iter().zip(parsed).enumerate() {
+        let hot = config.is_hot(&ctx.rel);
+        let crate_name = crate_of(&ctx.rel);
+        for (k, f) in pf.fns.iter().enumerate() {
+            if ctx.in_test(f.line) {
+                continue;
+            }
+            // Token ranges of nested fn items, excluded from this body's
+            // direct scan (they are their own nodes).
+            let children: Vec<(usize, usize)> = pf
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|&(j, c)| j != k && c.body.0 > f.body.0 && c.body.1 < f.body.1)
+                .map(|(_, c)| c.body)
+                .collect();
+            let mut node = FnNode {
+                file: fi,
+                name: f.name.clone(),
+                qual: f.qual.clone(),
+                crate_name: crate_name.clone(),
+                hot,
+                calls: Vec::new(),
+                panics: Vec::new(),
+                lock_acquired: BTreeSet::new(),
+                lock_edges: Vec::new(),
+                lock_blocking: Vec::new(),
+                calls_under_lock: Vec::new(),
+                cast_index_lines: Vec::new(),
+            };
+            scan_body(ctx, f.body, &children, &mut node);
+            nodes.push(node);
+        }
+    }
+    nodes
+}
+
+/// Whether token index `i` falls inside any excluded child range.
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(s, e)| i >= s && i <= e)
+}
+
+/// A lock guard live during the linear body walk.
+struct LiveGuard {
+    identity: String,
+    var: Option<String>,
+    depth: usize,
+    line: usize,
+    /// Temporary guard (chained `x.lock().f()`): dies at the statement end.
+    temp: bool,
+}
+
+/// One pass over a fn body collecting panic sites, calls, lock events, and
+/// cast-index sites. Guard scopes are tracked with a brace-depth counter:
+/// let-bound guards die when their block closes (or at `drop(guard)`);
+/// chained temporaries die at the next `;` or `{` at their own depth.
+fn scan_body(
+    ctx: &FileContext<'_>,
+    body: (usize, usize),
+    children: &[(usize, usize)],
+    node: &mut FnNode,
+) {
+    let tokens = ctx.tokens();
+    let (open, close) = body;
+    let mut depth = 0usize;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if in_ranges(children, i) {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        match &tokens[i].tok {
+            Token::Punct('{') => {
+                guards.retain(|g| !(g.temp && g.depth == depth));
+                depth += 1;
+            }
+            Token::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Token::Punct(';') => {
+                guards.retain(|g| !(g.temp && g.depth == depth));
+            }
+            Token::Punct('[') => {
+                // `expr[ … as usize … ]` indexing with a cast in the index.
+                let indexing = i > open + 1
+                    && matches!(
+                        tokens[i - 1].tok,
+                        Token::Ident(_) | Token::Punct(']') | Token::Punct(')')
+                    );
+                if indexing {
+                    if let Some(cl) = matching_bracket(tokens, i) {
+                        let cast = (i + 1..cl).any(|j| {
+                            ident_at(tokens, j) == Some("as")
+                                && ident_at(tokens, j + 1) == Some("usize")
+                        });
+                        if cast && !node.cast_index_lines.contains(&line) {
+                            node.cast_index_lines.push(line);
+                        }
+                    }
+                }
+            }
+            Token::Ident(name) => {
+                let n = name.as_str();
+                // Panic macros: `panic!(…)`, `unreachable!(…)`, ….
+                if PANIC_MACROS.contains(&n) && punct_at(tokens, i + 1, '!') {
+                    record_panic(ctx, node, line, format!("{n}! macro"));
+                }
+                // `.unwrap()` / `.expect(…)` method calls.
+                if (n == "unwrap" || n == "expect")
+                    && i > 0
+                    && punct_at(tokens, i - 1, '.')
+                    && punct_at(tokens, i + 1, '(')
+                {
+                    record_panic(ctx, node, line, format!(".{n}()"));
+                }
+                // `.lock()` acquisition.
+                if n == "lock"
+                    && i > 0
+                    && punct_at(tokens, i - 1, '.')
+                    && punct_at(tokens, i + 1, '(')
+                    && punct_at(tokens, i + 2, ')')
+                {
+                    let identity = receiver_name(tokens, i - 1);
+                    for g in &guards {
+                        if g.identity != identity {
+                            node.lock_edges.push((g.identity.clone(), identity.clone(), line));
+                        }
+                    }
+                    node.lock_acquired.insert(identity.clone());
+                    let temp = punct_at(tokens, i + 3, '.');
+                    let var = if temp { None } else { binding_var(tokens, i) };
+                    let temp = temp || var.is_none();
+                    guards.push(LiveGuard { identity, var, depth, line, temp });
+                    i += 3;
+                    continue;
+                }
+                // `drop(guard)` releases a named guard early.
+                if n == "drop" && punct_at(tokens, i + 1, '(') {
+                    if let Some(v) = ident_at(tokens, i + 2) {
+                        if punct_at(tokens, i + 3, ')') {
+                            guards.retain(|g| g.var.as_deref() != Some(v));
+                        }
+                    }
+                }
+                // Blocking calls while a guard is live.
+                if BLOCKING_CALLS.contains(&n) && punct_at(tokens, i + 1, '(') {
+                    for g in &guards {
+                        node.lock_blocking.push((g.identity.clone(), g.line, n.to_string(), line));
+                    }
+                }
+                // Call sites (for the call graph).
+                if punct_at(tokens, i + 1, '(')
+                    && !KEYWORDS.contains(&n)
+                    && ident_at(tokens, i.wrapping_sub(1)) != Some("fn")
+                {
+                    let call = classify_call(tokens, i);
+                    if let Some(call) = call {
+                        if !guards.is_empty() {
+                            let held = guards.iter().map(|g| g.identity.clone()).collect();
+                            node.calls_under_lock.push((node.calls.len(), held));
+                        }
+                        node.calls.push(call);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Records a direct panic site unless a waiver or file allowlist covers it —
+/// a waived site neither reports nor taints callers, so the justification
+/// written at the panic covers every path that reaches it.
+fn record_panic(ctx: &FileContext<'_>, node: &mut FnNode, line: usize, what: String) {
+    if ctx.has_waiver(line, "hot-panic")
+        || ctx.has_waiver(line, "hot-panic-taint")
+        || ctx.config.is_allowed("hot-panic", &ctx.rel)
+        || ctx.config.is_allowed("hot-panic-taint", &ctx.rel)
+    {
+        return;
+    }
+    node.panics.push((line, what));
+}
+
+/// Classifies the call at token `i` (an ident followed by `(`).
+fn classify_call(tokens: &[Spanned], i: usize) -> Option<CallSite> {
+    let name = ident_at(tokens, i)?.to_string();
+    let line = tokens[i].line;
+    if i >= 1 && punct_at(tokens, i - 1, '.') {
+        if STD_METHODS.contains(&name.as_str()) {
+            return None;
+        }
+        return Some(CallSite { name, qual: None, method: true, line });
+    }
+    if i >= 3 && punct_at(tokens, i - 1, ':') && punct_at(tokens, i - 2, ':') {
+        let qual = ident_at(tokens, i - 3)?.to_string();
+        return Some(CallSite { name, qual: Some(qual), method: false, line });
+    }
+    Some(CallSite { name, qual: None, method: false, line })
+}
+
+/// Index of the `]` matching the `[` at `open`, if any.
+fn matching_bracket(tokens: &[Spanned], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Token::Punct('[') => depth += 1,
+            Token::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The lock identity: the final field or binding name of the receiver chain
+/// before `.lock()` — `self.inner.state.lock()` locks `state`,
+/// `lists[u].lock()` locks `lists`.
+fn receiver_name(tokens: &[Spanned], dot_idx: usize) -> String {
+    if dot_idx == 0 {
+        return "anon".to_string();
+    }
+    let j = dot_idx - 1;
+    if let Some(n) = ident_at(tokens, j) {
+        return n.to_string();
+    }
+    if punct_at(tokens, j, ']') || punct_at(tokens, j, ')') {
+        let (open_c, close_c) = if punct_at(tokens, j, ']') { ('[', ']') } else { ('(', ')') };
+        let mut depth = 0i32;
+        let mut k = j;
+        loop {
+            match &tokens[k].tok {
+                Token::Punct(c) if *c == close_c => depth += 1,
+                Token::Punct(c) if *c == open_c => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+        }
+        if k >= 1 {
+            if let Some(n) = ident_at(tokens, k - 1) {
+                return n.to_string();
+            }
+        }
+    }
+    "anon".to_string()
+}
+
+/// For a direct `let g = receiver.lock();` statement, the binding name `g`.
+/// Walks left over the receiver chain; anything other than `… = ` (including
+/// destructuring or a bare `match x.lock()`) yields `None`.
+fn binding_var(tokens: &[Spanned], lock_idx: usize) -> Option<String> {
+    let mut j = lock_idx.checked_sub(2)?;
+    loop {
+        let chain = matches!(
+            tokens.get(j).map(|t| &t.tok),
+            Some(Token::Ident(_))
+                | Some(Token::Punct('.'))
+                | Some(Token::Punct('['))
+                | Some(Token::Punct(']'))
+                | Some(Token::Literal(_))
+        );
+        if !chain {
+            break;
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    if !punct_at(tokens, j, '=') || punct_at(tokens, j.wrapping_sub(1), '=') {
+        return None;
+    }
+    let v = ident_at(tokens, j.checked_sub(1)?)?;
+    if v == "mut" {
+        return None;
+    }
+    Some(v.to_string())
+}
+
+// ------------------------------------------------------------- resolution
+
+/// Resolved call edges: for each node, the indices of candidate callees.
+fn resolve_calls(nodes: &[FnNode]) -> Vec<Vec<Vec<usize>>> {
+    // Per-crate lookup tables.
+    let mut by_qual: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (idx, n) in nodes.iter().enumerate() {
+        match &n.qual {
+            Some(q) => {
+                by_qual
+                    .entry((n.crate_name.clone(), q.clone(), n.name.clone()))
+                    .or_default()
+                    .push(idx);
+                methods.entry((n.crate_name.clone(), n.name.clone())).or_default().push(idx);
+            }
+            None => {
+                free.entry((n.crate_name.clone(), n.name.clone())).or_default().push(idx);
+            }
+        }
+    }
+    nodes
+        .iter()
+        .map(|n| {
+            n.calls
+                .iter()
+                .map(|c| {
+                    let krate = n.crate_name.clone();
+                    if c.method {
+                        return methods.get(&(krate, c.name.clone())).cloned().unwrap_or_default();
+                    }
+                    if let Some(q) = &c.qual {
+                        // `Self::helper(...)` refers to the caller's own type.
+                        let q = if q == "Self" {
+                            n.qual.clone().unwrap_or_default()
+                        } else {
+                            q.clone()
+                        };
+                        let mut cands = by_qual
+                            .get(&(krate.clone(), q.clone(), c.name.clone()))
+                            .cloned()
+                            .unwrap_or_default();
+                        // Lowercase qualifier: a module path (`wire::decode`)
+                        // — the target is a free fn.
+                        if cands.is_empty() && q.chars().next().is_some_and(|ch| ch.is_lowercase())
+                        {
+                            cands = free.get(&(krate, c.name.clone())).cloned().unwrap_or_default();
+                        }
+                        return cands;
+                    }
+                    free.get(&(krate, c.name.clone())).cloned().unwrap_or_default()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- P-rules
+
+fn fn_label(n: &FnNode) -> String {
+    match &n.qual {
+        Some(q) => format!("{q}::{}", n.name),
+        None => n.name.clone(),
+    }
+}
+
+/// P001 (direct panic on hot path), P002 (panicking helper reachable from a
+/// hot-path fn), P003 (wire-value cast used directly as an index).
+fn p_rules(
+    ctxs: &[FileContext<'_>],
+    config: &Config,
+    nodes: &[FnNode],
+    resolved: &[Vec<Vec<usize>>],
+    out: &mut Vec<Finding>,
+) {
+    // Taint fixpoint over reversed call edges.
+    let mut taint: BTreeMap<usize, Taint> = BTreeMap::new();
+    let mut callers: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new(); // callee -> (caller, call line)
+    let mut work: Vec<usize> = Vec::new();
+    for (idx, n) in nodes.iter().enumerate() {
+        if let Some((line, what)) = n.panics.first() {
+            taint.insert(idx, Taint::Direct { line: *line, what: what.clone() });
+            work.push(idx);
+        }
+        for (ci, cands) in resolved[idx].iter().enumerate() {
+            for &callee in cands {
+                callers.entry(callee).or_default().push((idx, n.calls[ci].line));
+            }
+        }
+    }
+    while let Some(callee) = work.pop() {
+        let Some(ups) = callers.get(&callee) else { continue };
+        for &(caller, _line) in ups.clone().iter() {
+            if let std::collections::btree_map::Entry::Vacant(e) = taint.entry(caller) {
+                e.insert(Taint::Via { callee });
+                work.push(caller);
+            }
+        }
+    }
+
+    for (idx, n) in nodes.iter().enumerate() {
+        if !n.hot {
+            continue;
+        }
+        let ctx = &ctxs[n.file];
+        // P001: direct sites.
+        for (line, what) in &n.panics {
+            cemit(
+                Some(ctx),
+                config,
+                out,
+                "P001",
+                "hot-panic",
+                ctx.rel.clone(),
+                *line,
+                format!(
+                    "{what} in hot-path fn `{}`; corrupt or torn input must surface as a \
+                     typed error (ClusterError/StoreError), not a panic",
+                    fn_label(n)
+                ),
+            );
+        }
+        // P003: cast-index sites.
+        for line in &n.cast_index_lines {
+            if ctx.has_comment_near(*line, 2) {
+                continue;
+            }
+            cemit(
+                Some(ctx),
+                config,
+                out,
+                "P003",
+                "hot-cast-index",
+                ctx.rel.clone(),
+                *line,
+                format!(
+                    "indexing with an `as usize` cast in hot-path fn `{}`; a wire or file \
+                     value used as an index panics on corrupt input — bounds-check with \
+                     `.get()` (or add a justification comment)",
+                    fn_label(n)
+                ),
+            );
+        }
+        // P002: calls into tainted helpers. One finding per (line, callee).
+        let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+        for (ci, cands) in resolved[idx].iter().enumerate() {
+            let call = &n.calls[ci];
+            let Some(&tainted) = cands.iter().find(|c| taint.contains_key(c)) else { continue };
+            if !seen.insert((call.line, call.name.clone())) {
+                continue;
+            }
+            let chain = taint_chain(nodes, ctxs, &taint, tainted);
+            cemit(
+                Some(ctx),
+                config,
+                out,
+                "P002",
+                "hot-panic-taint",
+                ctx.rel.clone(),
+                call.line,
+                format!(
+                    "hot-path fn `{}` reaches a panic through `{}`: {chain}; convert the \
+                     panic to a typed error or waive it at the panic site with \
+                     `// lint: allow(hot-panic)` plus a justification",
+                    fn_label(n),
+                    call.name
+                ),
+            );
+        }
+    }
+}
+
+/// Renders the taint chain from `start` down to the direct panic site.
+fn taint_chain(
+    nodes: &[FnNode],
+    ctxs: &[FileContext<'_>],
+    taint: &BTreeMap<usize, Taint>,
+    start: usize,
+) -> String {
+    let mut parts = Vec::new();
+    let mut cur = start;
+    for _ in 0..6 {
+        let n = &nodes[cur];
+        match taint.get(&cur) {
+            Some(Taint::Direct { line, what }) => {
+                parts.push(format!("`{}` has {what} at {}:{line}", fn_label(n), ctxs[n.file].rel));
+                return parts.join(" -> ");
+            }
+            Some(Taint::Via { callee }) => {
+                parts.push(format!("`{}`", fn_label(n)));
+                cur = *callee;
+            }
+            None => break,
+        }
+    }
+    parts.push("…".to_string());
+    parts.join(" -> ")
+}
+
+// ---------------------------------------------------------------- L-rules
+
+/// L001 (acquisition-order cycles) and L002 (lock held across a blocking
+/// call). Returns the lock-acquisition graph as DOT for the CI artifact.
+fn l_rules(
+    ctxs: &[FileContext<'_>],
+    config: &Config,
+    nodes: &[FnNode],
+    resolved: &[Vec<Vec<usize>>],
+    out: &mut Vec<Finding>,
+) -> String {
+    // L002: direct blocking calls under a live guard.
+    for n in nodes {
+        let ctx = &ctxs[n.file];
+        for (identity, lock_line, blocked, line) in &n.lock_blocking {
+            cemit(
+                Some(ctx),
+                config,
+                out,
+                "L002",
+                "lock-across-blocking",
+                ctx.rel.clone(),
+                *line,
+                format!(
+                    "lock `{identity}` (acquired at line {lock_line}) held across blocking \
+                     `{blocked}()` in `{}`; move the blocking call outside the critical \
+                     section or clone what it needs and drop the guard first",
+                    fn_label(n)
+                ),
+            );
+        }
+    }
+
+    // Transitive acquires sets (which identities can a call pull in?).
+    let mut acquires: Vec<BTreeSet<String>> =
+        nodes.iter().map(|n| n.lock_acquired.clone()).collect();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 32 {
+        changed = false;
+        rounds += 1;
+        for idx in 0..nodes.len() {
+            for cands in &resolved[idx] {
+                for &callee in cands {
+                    if callee == idx {
+                        continue;
+                    }
+                    let extra: Vec<String> = acquires[callee]
+                        .iter()
+                        .filter(|id| !acquires[idx].contains(*id))
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        changed = true;
+                        acquires[idx].extend(extra);
+                    }
+                }
+            }
+        }
+    }
+
+    // Edge set: direct nesting edges plus call-under-lock edges.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for (idx, n) in nodes.iter().enumerate() {
+        let rel = &ctxs[n.file].rel;
+        for (from, to, line) in &n.lock_edges {
+            edges.entry((from.clone(), to.clone())).or_insert((rel.clone(), *line));
+        }
+        for (ci, held) in &n.calls_under_lock {
+            let line = n.calls[*ci].line;
+            for cands in resolved[idx].get(*ci).into_iter() {
+                for &callee in cands {
+                    for acq in &acquires[callee] {
+                        for h in held {
+                            if h != acq {
+                                edges
+                                    .entry((h.clone(), acq.clone()))
+                                    .or_insert((rel.clone(), line));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the identity graph.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for cycle in find_cycles(&adj) {
+        let mut canon = cycle.clone();
+        canon.sort();
+        if !reported.insert(canon) {
+            continue;
+        }
+        // Report at the first edge's acquisition site.
+        let first = (cycle[0].clone(), cycle[1 % cycle.len()].clone());
+        let (file, line) = edges.get(&first).cloned().unwrap_or(("lint.toml".into(), 0));
+        let path = cycle.join(" -> ");
+        let ctx = ctxs.iter().find(|c| c.rel == file);
+        cemit(
+            ctx,
+            config,
+            out,
+            "L001",
+            "lock-order-cycle",
+            file,
+            line,
+            format!(
+                "lock acquisition cycle {path} -> {}; two threads taking these locks in \
+                 opposite orders deadlock — impose a single acquisition order",
+                cycle[0]
+            ),
+        );
+    }
+
+    // DOT rendering (stable order; edges labeled with one witness site).
+    let mut dot = String::from("digraph lock_order {\n");
+    let mut nodes_seen: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        nodes_seen.insert(from);
+        nodes_seen.insert(to);
+    }
+    for n in &nodes_seen {
+        dot.push_str(&format!("  \"{n}\";\n"));
+    }
+    for ((from, to), (file, line)) in &edges {
+        dot.push_str(&format!("  \"{from}\" -> \"{to}\" [label=\"{file}:{line}\"];\n"));
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+/// All elementary cycles reachable by DFS (each reported once by its path).
+fn find_cycles(adj: &BTreeMap<&str, Vec<&str>>) -> Vec<Vec<String>> {
+    let mut cycles = Vec::new();
+    for &start in adj.keys() {
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
+        dfs_cycles(adj, start, start, &mut path, &mut on_path, &mut cycles, 0);
+    }
+    cycles
+}
+
+fn dfs_cycles<'g>(
+    adj: &BTreeMap<&'g str, Vec<&'g str>>,
+    start: &'g str,
+    cur: &'g str,
+    path: &mut Vec<&'g str>,
+    on_path: &mut BTreeSet<&'g str>,
+    cycles: &mut Vec<Vec<String>>,
+    depth: usize,
+) {
+    if depth > 8 {
+        return;
+    }
+    for &next in adj.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+        if next == start {
+            cycles.push(path.iter().map(|s| s.to_string()).collect());
+            continue;
+        }
+        // Only walk "forward" from the smallest node so every cycle is
+        // discovered exactly once, from its lexicographically least member.
+        if next < start || on_path.contains(next) {
+            continue;
+        }
+        path.push(next);
+        on_path.insert(next);
+        dfs_cycles(adj, start, next, path, on_path, cycles, depth + 1);
+        on_path.remove(next);
+        path.pop();
+    }
+}
+
+// ---------------------------------------------------------------- W-rules
+
+/// W001 (format constants defined exactly once, in the right home) and W002
+/// (every required constant referenced by every writer/reader/matrix file).
+fn w_rules(
+    ctxs: &[FileContext<'_>],
+    config: &Config,
+    parsed: &[ParsedFile],
+    workspace_mode: bool,
+    out: &mut Vec<Finding>,
+) {
+    if config.format_groups.is_empty() {
+        return;
+    }
+    // name -> definition sites, across the scanned set.
+    let mut defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, pf) in parsed.iter().enumerate() {
+        for c in &pf.consts {
+            defs.entry(c.name.as_str()).or_default().push((fi, c.line));
+        }
+    }
+    // Per-file ident sets for the coverage check.
+    let idents: Vec<BTreeSet<&str>> = ctxs
+        .iter()
+        .map(|c| {
+            c.tokens()
+                .iter()
+                .filter_map(|t| match &t.tok {
+                    Token::Ident(n) => Some(n.as_str()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    for group in &config.format_groups {
+        for name in &group.consts {
+            let sites = defs.get(name.as_str()).cloned().unwrap_or_default();
+            if sites.is_empty() {
+                if workspace_mode {
+                    cemit(
+                        None,
+                        config,
+                        out,
+                        "W001",
+                        "format-const-dup",
+                        "lint.toml".to_string(),
+                        0,
+                        format!(
+                            "format constant `{name}` of group [format.{}] is not defined \
+                             anywhere in the workspace",
+                            group.name
+                        ),
+                    );
+                }
+                continue;
+            }
+            for &(fi, line) in sites.iter().skip(1) {
+                let ctx = &ctxs[fi];
+                cemit(
+                    Some(ctx),
+                    config,
+                    out,
+                    "W001",
+                    "format-const-dup",
+                    ctx.rel.clone(),
+                    line,
+                    format!(
+                        "format constant `{name}` redefined here (first defined at {}:{}); \
+                         writer and reader drift when the same constant has two homes — \
+                         import the canonical one",
+                        ctxs[sites[0].0].rel, sites[0].1
+                    ),
+                );
+            }
+            if !group.defined_in.is_empty() {
+                let (fi, line) = sites[0];
+                let home = &ctxs[fi].rel;
+                if !group.defined_in.iter().any(|d| home == d) {
+                    cemit(
+                        Some(&ctxs[fi]),
+                        config,
+                        out,
+                        "W001",
+                        "format-const-dup",
+                        home.clone(),
+                        line,
+                        format!(
+                            "format constant `{name}` must be defined in {} (per \
+                             [format.{}] defined_in), not here",
+                            group.defined_in.join(" or "),
+                            group.name
+                        ),
+                    );
+                }
+            }
+        }
+        for handled in &group.handled_in {
+            let Some(fi) = ctxs.iter().position(|c| &c.rel == handled) else {
+                if workspace_mode {
+                    cemit(
+                        None,
+                        config,
+                        out,
+                        "W002",
+                        "format-coverage",
+                        "lint.toml".to_string(),
+                        0,
+                        format!(
+                            "[format.{}] handled_in file {handled} was not found in the scan",
+                            group.name
+                        ),
+                    );
+                }
+                continue;
+            };
+            for name in &group.require {
+                if !idents[fi].contains(name.as_str()) {
+                    cemit(
+                        Some(&ctxs[fi]),
+                        config,
+                        out,
+                        "W002",
+                        "format-coverage",
+                        handled.clone(),
+                        1,
+                        format!(
+                            "`{name}` (group [format.{}]) is never referenced in this file; \
+                             every section kind and length constant must be handled by the \
+                             writer, the reader dispatch, and the corruption matrix",
+                            group.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- M-rules
+
+/// M001 (dead metric prefix) and M002 (one name registered as two kinds).
+fn m_rules(
+    ctxs: &[FileContext<'_>],
+    config: &Config,
+    workspace_mode: bool,
+    out: &mut Vec<Finding>,
+) {
+    // Collect every literal registration site: (name, kind, file idx, line).
+    let mut sites: Vec<(String, &'static str, usize, usize)> = Vec::new();
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        let tokens = ctx.tokens();
+        for i in 0..tokens.len() {
+            let Some(fn_name) = ident_at(tokens, i) else { continue };
+            let kind = match fn_name {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                _ => continue,
+            };
+            if !punct_at(tokens, i + 1, '(')
+                || (i >= 1 && ident_at(tokens, i - 1) == Some("fn"))
+                || ctx.in_test(tokens[i].line)
+            {
+                continue;
+            }
+            let Some(Token::Literal(LiteralKind::Str(name))) = tokens.get(i + 2).map(|t| &t.tok)
+            else {
+                continue;
+            };
+            sites.push((name.clone(), kind, fi, tokens[i].line));
+        }
+    }
+
+    // M002: same name, different instrument kinds.
+    let mut first_kind: BTreeMap<&str, (&'static str, usize, usize)> = BTreeMap::new();
+    for (name, kind, fi, line) in &sites {
+        match first_kind.get(name.as_str()) {
+            None => {
+                first_kind.insert(name.as_str(), (kind, *fi, *line));
+            }
+            Some(&(k0, fi0, l0)) if k0 != *kind => {
+                let ctx = &ctxs[*fi];
+                cemit(
+                    Some(ctx),
+                    config,
+                    out,
+                    "M002",
+                    "metric-kind-conflict",
+                    ctx.rel.clone(),
+                    *line,
+                    format!(
+                        "metric `{name}` registered as a {kind} here but as a {k0} at \
+                         {}:{l0}; one name must map to one instrument kind",
+                        ctxs[fi0].rel
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    // M001: prefixes with zero live registrations (workspace view only).
+    if workspace_mode {
+        for prefix in &config.metric_prefixes {
+            let used =
+                sites.iter().any(|(name, _, _, _)| name.split('.').next() == Some(prefix.as_str()));
+            if !used {
+                cemit(
+                    None,
+                    config,
+                    out,
+                    "M001",
+                    "metric-dead-prefix",
+                    "lint.toml".to_string(),
+                    0,
+                    format!(
+                        "metric prefix `{prefix}` has no registered metric name in non-test \
+                         code; prune it from [metric-names] prefixes or register the metric"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,5 +1,12 @@
 //! Findings and their human / machine renderings.
 
+use std::collections::BTreeMap;
+
+/// Version of the `--format json` report schema. Bump when the document
+/// shape changes so `tools/check_lint.sh` and its committed baseline can
+/// reject reports they do not understand.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -62,15 +69,66 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
             ])
         })
         .collect();
+    let rules = rule_counts(findings)
+        .into_iter()
+        .map(|(rule, count)| (rule.to_string(), Value::Num(count as f64)))
+        .collect();
     let doc = Value::Object(vec![
         ("tool".to_string(), Value::Str("pwlint".to_string())),
+        ("schema_version".to_string(), Value::Num(f64::from(SCHEMA_VERSION))),
         ("files_scanned".to_string(), Value::Num(files_scanned as f64)),
         ("violation_count".to_string(), Value::Num(findings.len() as f64)),
+        ("rule_counts".to_string(), Value::Object(rules)),
         ("findings".to_string(), Value::Array(items)),
     ]);
     let mut s = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
     s.push('\n');
     s
+}
+
+/// Per-rule finding counts, in rule-id order.
+pub fn rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Compares the run's per-rule counts against a committed baseline document
+/// (`{"schema_version": 2, "rules": {"D001": 0, …}}`; absent rules default
+/// to 0). Returns one message per rule whose count exceeds its baseline —
+/// the named-rule-ID regressions that fail CI.
+///
+/// # Errors
+///
+/// Returns a description when the baseline is unparseable or declares an
+/// incompatible schema version.
+pub fn baseline_exceedances(findings: &[Finding], baseline: &str) -> Result<Vec<String>, String> {
+    use serde_json::Value;
+    let doc: Value =
+        serde_json::from_str(baseline).map_err(|e| format!("unparseable baseline: {e}"))?;
+    let version = doc["schema_version"].as_f64().unwrap_or(0.0);
+    if version != f64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "baseline schema_version {version} does not match pwlint schema {SCHEMA_VERSION}; \
+             regenerate the baseline"
+        ));
+    }
+    let mut allowed: BTreeMap<String, usize> = BTreeMap::new();
+    if let Value::Object(fields) = &doc["rules"] {
+        for (rule, v) in fields {
+            allowed.insert(rule.clone(), v.as_f64().unwrap_or(0.0) as usize);
+        }
+    }
+    let mut exceeded = Vec::new();
+    for (rule, count) in rule_counts(findings) {
+        let base = allowed.get(rule).copied().unwrap_or(0);
+        if count > base {
+            exceeded.push(format!("rule {rule} has {count} finding(s), baseline allows {base}"));
+        }
+    }
+    Ok(exceeded)
 }
 
 #[cfg(test)]
@@ -117,10 +175,29 @@ mod tests {
         let f = sample();
         let text = render_json(&f, 7);
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["schema_version"].as_f64(), Some(f64::from(SCHEMA_VERSION)));
         assert_eq!(v["violation_count"].as_f64(), Some(2.0));
         assert_eq!(v["files_scanned"].as_f64(), Some(7.0));
+        assert_eq!(v["rule_counts"]["D001"].as_f64(), Some(1.0));
         let first = &v["findings"].as_array().unwrap()[0];
         assert_eq!(first["rule"].as_str(), Some("D002"));
         assert_eq!(first["line"].as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn baseline_diff_names_the_exceeding_rule() {
+        let f = sample();
+        // Zero baseline: both rules exceed.
+        let zero = r#"{"schema_version": 2, "rules": {}}"#;
+        let msgs = baseline_exceedances(&f, zero).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].contains("rule D001"), "{msgs:?}");
+        // Baseline admitting both counts: clean.
+        let loose = r#"{"schema_version": 2, "rules": {"D001": 1, "D002": 1}}"#;
+        assert!(baseline_exceedances(&f, loose).unwrap().is_empty());
+        // Wrong schema version is a hard error, not a silent pass.
+        let old = r#"{"schema_version": 1, "rules": {}}"#;
+        assert!(baseline_exceedances(&f, old).is_err());
+        assert!(baseline_exceedances(&f, "not json").is_err());
     }
 }

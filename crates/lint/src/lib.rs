@@ -1,16 +1,21 @@
 //! `pathweaver-lint` — the workspace invariant checker.
 //!
 //! Enforces the repo's determinism, unsafe-hygiene, atomics, and
-//! observability-naming contracts by scanning every workspace `.rs` file at
-//! the token level. See [`rules::RULES`] for the catalogue and
-//! `DESIGN.md` ("Static analysis & invariant checking") for the policy.
+//! observability-naming contracts at the token level, plus symbol-aware
+//! cross-file contracts (panic-freedom on hot paths, lock discipline,
+//! wire-format consistency, metric cross-checks) via a lightweight item
+//! parser and an intra-crate call-graph approximation. See [`rules::RULES`]
+//! for the catalogue and `DESIGN.md` ("Static analysis & invariant
+//! checking") for the policy.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod context;
+pub mod crossfile;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod workspace;
 
@@ -25,20 +30,33 @@ pub struct Report {
     pub files_scanned: usize,
     /// Sorted findings.
     pub findings: Vec<Finding>,
+    /// The lock-acquisition graph in Graphviz DOT form (L-rules' working
+    /// state, shipped as a CI artifact for debugging).
+    pub lock_graph_dot: String,
 }
 
-/// Lints an explicit list of workspace-relative files.
+/// Lints an explicit list of workspace-relative files. Cross-file rules run
+/// over the given set; rules that need the whole workspace in view (dead
+/// metric prefixes, missing format-constant definitions) stay silent — use
+/// [`lint_files_full`] or [`lint_workspace`] for those.
 pub fn lint_files(root: &Path, config: &Config, rels: &[String]) -> Report {
+    lint_file_set(root, config, rels, false)
+}
+
+/// Like [`lint_files`], but treats the file list as the complete workspace,
+/// enabling the whole-workspace rules (M001, W001-missing). Used by fixture
+/// tests and tooling that scans a self-contained tree.
+pub fn lint_files_full(root: &Path, config: &Config, rels: &[String]) -> Report {
+    lint_file_set(root, config, rels, true)
+}
+
+fn lint_file_set(root: &Path, config: &Config, rels: &[String], workspace_mode: bool) -> Report {
     let mut findings = Vec::new();
-    let mut scanned = 0usize;
+    let mut ctxs: Vec<FileContext<'_>> = Vec::new();
     for rel in rels {
         let path = root.join(rel);
         match std::fs::read_to_string(&path) {
-            Ok(src) => {
-                scanned += 1;
-                let ctx = FileContext::new(rel, &src, config);
-                findings.extend(rules::check_file(&ctx));
-            }
+            Ok(src) => ctxs.push(FileContext::new(rel, &src, config)),
             Err(e) => findings.push(Finding {
                 rule: "E000",
                 slug: "io-error",
@@ -48,15 +66,20 @@ pub fn lint_files(root: &Path, config: &Config, rels: &[String]) -> Report {
             }),
         }
     }
+    for ctx in &ctxs {
+        findings.extend(rules::check_file(ctx));
+    }
+    let (cross, lock_graph_dot) = crossfile::check(&ctxs, config, workspace_mode);
+    findings.extend(cross);
     sort_findings(&mut findings);
-    Report { files_scanned: scanned, findings }
+    Report { files_scanned: ctxs.len(), findings, lock_graph_dot }
 }
 
-/// Lints the whole workspace: every discovered `.rs` file plus the
-/// manifest-level (U002) checks.
+/// Lints the whole workspace: every discovered `.rs` file, the cross-file
+/// analyses, plus the manifest-level (U002) checks.
 pub fn lint_workspace(root: &Path, config: &Config) -> Report {
     let rels = workspace::collect_files(root, config);
-    let mut report = lint_files(root, config, &rels);
+    let mut report = lint_file_set(root, config, &rels, true);
     report.findings.extend(rules::check_manifests(root, config));
     sort_findings(&mut report.findings);
     report

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! pwlint --workspace [--format human|json] [--config lint.toml] [--root DIR]
+//!        [--baseline PATH] [--emit-lock-graph FILE]
 //! pwlint FILE.rs [FILE.rs ...]
 //! pwlint --explain D002 | --explain list
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error. With
+//! `--baseline`, the exit code reflects *regressions*: findings whose
+//! per-rule count exceeds the committed baseline fail the run with the
+//! offending rule IDs named on stderr, while grandfathered counts pass.
 
 use pathweaver_lint::{config::Config, diagnostics, lint_files, lint_workspace, rules};
 use std::path::PathBuf;
@@ -23,10 +27,13 @@ struct Args {
     config_path: Option<PathBuf>,
     root: PathBuf,
     explain: Option<String>,
+    baseline: Option<PathBuf>,
+    lock_graph: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: pwlint (--workspace | FILE.rs ...) [--format human|json] \
-                     [--config PATH] [--root DIR] | --explain RULE|list";
+                     [--config PATH] [--root DIR] [--baseline PATH] \
+                     [--emit-lock-graph FILE] | --explain RULE|list";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -36,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         config_path: None,
         root: PathBuf::from("."),
         explain: None,
+        baseline: None,
+        lock_graph: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,6 +68,14 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => {
                 let r = it.next().ok_or("--explain expects a rule id, slug, or `list`")?;
                 args.explain = Some(r);
+            }
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline expects a path")?;
+                args.baseline = Some(PathBuf::from(p));
+            }
+            "--emit-lock-graph" => {
+                let p = it.next().ok_or("--emit-lock-graph expects a file path")?;
+                args.lock_graph = Some(PathBuf::from(p));
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             f if !f.starts_with('-') => args.files.push(f.to_string()),
@@ -146,5 +163,35 @@ fn main() {
         Format::Json => diagnostics::render_json(&report.findings, report.files_scanned),
     };
     print!("{rendered}");
+
+    if let Some(path) = &args.lock_graph {
+        if let Err(e) = std::fs::write(path, &report.lock_graph_dot) {
+            eprintln!("pwlint: cannot write lock graph {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pwlint: cannot read baseline {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match diagnostics::baseline_exceedances(&report.findings, &text) {
+            Ok(exceeded) if exceeded.is_empty() => std::process::exit(0),
+            Ok(exceeded) => {
+                for msg in &exceeded {
+                    eprintln!("pwlint: regression vs baseline: {msg}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("pwlint: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     std::process::exit(i32::from(!report.findings.is_empty()));
 }

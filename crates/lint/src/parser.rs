@@ -1,0 +1,240 @@
+//! A lightweight item parser on top of the lexer.
+//!
+//! The cross-file rules need symbol granularity — which function a token
+//! belongs to, which type an `impl` block extends, which `const` items a file
+//! defines — but nothing like full Rust parsing. This module walks the token
+//! stream once, matching braces, and produces:
+//!
+//! - [`FnItem`]s: every `fn` with its name, the `impl` self-type it belongs
+//!   to (if any), its 1-based line, and the token-index range of its body;
+//! - [`ConstItem`]s: every `const NAME: …` item definition.
+//!
+//! Closures are not items; their bodies stay inside the enclosing function's
+//! range, which is exactly what the panic-reachability analysis wants.
+//! Nested `fn` items are reported separately and their ranges excluded from
+//! the parent's direct-site scan by the caller.
+
+use crate::context::matching_brace;
+use crate::lexer::{Spanned, Token};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` self-type enclosing the fn (`Server` for `Server::new`),
+    /// or `None` for free functions.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+}
+
+/// One `const NAME: …` item definition.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// The constant's name.
+    pub name: String,
+    /// 1-based line of the `const` keyword.
+    pub line: usize,
+}
+
+/// Parsed items of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every fn with a body, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every const item definition, in source order.
+    pub consts: Vec<ConstItem>,
+}
+
+/// Parses the item structure out of a token stream.
+pub fn parse_items(tokens: &[Spanned]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Stack of (self-type, body-close index) for enclosing impl blocks.
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(&(_, close)) = impls.last() {
+            if i > close {
+                impls.pop();
+            } else {
+                break;
+            }
+        }
+        match ident(tokens, i) {
+            Some("impl") => {
+                if let Some((self_ty, open)) = parse_impl_header(tokens, i) {
+                    if let Some(close) = matching_brace(tokens, open) {
+                        impls.push((self_ty, close));
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Some("fn") => {
+                // `fn(` with no name is a fn-pointer type, not an item.
+                let Some(name) = ident(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                match parse_fn_body(tokens, i + 2) {
+                    Some((open, close)) => {
+                        out.fns.push(FnItem {
+                            name: name.to_string(),
+                            qual: impls.last().map(|(t, _)| t.clone()),
+                            line: tokens[i].line,
+                            body: (open, close),
+                        });
+                        i += 2;
+                    }
+                    None => i += 2, // trait method declaration (`fn f(..);`)
+                }
+            }
+            Some("const") => {
+                // `const NAME: T = …;` — skip `const fn`, `*const T`, and
+                // generic `<const N: usize>` params (preceded by `<` or `,`).
+                let starred = i > 0 && punct(tokens, i - 1, '*');
+                let generic = i > 0 && (punct(tokens, i - 1, '<') || punct(tokens, i - 1, ','));
+                if let Some(name) = ident(tokens, i + 1) {
+                    if !starred && !generic && name != "fn" && punct(tokens, i + 2, ':') {
+                        out.consts.push(ConstItem { name: name.to_string(), line: tokens[i].line });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Resolves an `impl` header starting at `impl_idx` to its self-type and the
+/// index of the opening body brace. The self-type is the last path identifier
+/// at angle-bracket depth 0 before the `{` (stopping at `where`), which
+/// handles both `impl Foo<T>` and `impl Trait for Foo`.
+fn parse_impl_header(tokens: &[Spanned], impl_idx: usize) -> Option<(String, usize)> {
+    let mut angle: i32 = 0;
+    let mut self_ty: Option<String> = None;
+    let mut j = impl_idx + 1;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Token::Punct('<') => angle += 1,
+            Token::Punct('>') => angle -= 1,
+            Token::Punct('{') if angle <= 0 => {
+                return self_ty.map(|t| (t, j));
+            }
+            Token::Punct(';') => return None,
+            Token::Ident(n) if angle == 0 => {
+                if n == "where" {
+                    // The rest is bounds; the self-type is already decided.
+                    let open = (j..tokens.len()).find(|&k| punct(tokens, k, '{'))?;
+                    return self_ty.map(|t| (t, open));
+                }
+                if n != "for" && n != "dyn" && n != "mut" && n != "const" {
+                    self_ty = Some(n.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the body `{`…`}` of a fn whose name sits just before `sig_start`.
+/// Returns `None` for body-less declarations (trait methods).
+fn parse_fn_body(tokens: &[Spanned], sig_start: usize) -> Option<(usize, usize)> {
+    let mut paren: i32 = 0;
+    let mut j = sig_start;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Token::Punct('(') => paren += 1,
+            Token::Punct(')') => paren -= 1,
+            Token::Punct('{') if paren == 0 => {
+                let close = matching_brace(tokens, j)?;
+                return Some((j, close));
+            }
+            Token::Punct(';') if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn ident(tokens: &[Spanned], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Token::Ident(n)) => Some(n.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(tokens: &[Spanned], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Token::Punct(p)) if *p == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let src = "fn alpha() { beta(); }\n\
+                   impl Server {\n    fn submit(&self) -> u32 { 1 }\n}\n\
+                   impl Drop for Server {\n    fn drop(&mut self) {}\n}\n";
+        let p = parse(src);
+        let names: Vec<(String, Option<String>)> =
+            p.fns.iter().map(|f| (f.name.clone(), f.qual.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha".to_string(), None),
+                ("submit".to_string(), Some("Server".to_string())),
+                ("drop".to_string(), Some("Server".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses() {
+        let src = "impl<T: Clone> Holder<T> where T: Send {\n    fn take(&self) {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].qual.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn trait_decls_have_no_body() {
+        let src = "trait Net {\n    fn connect(&self) -> u32;\n    fn close(&self) {}\n}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["close"]);
+    }
+
+    #[test]
+    fn consts_exclude_pointers_and_generics() {
+        let src = "pub const HEADER_LEN: usize = 64;\n\
+                   const fn helper() -> u32 { 1 }\n\
+                   fn f(p: *const u8, q: &[u8]) {}\n\
+                   fn g<const N: usize>() {}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.consts.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["HEADER_LEN"]);
+    }
+
+    #[test]
+    fn body_ranges_cover_nested_braces() {
+        let src = "fn outer() {\n    if x { y(); }\n    match z { _ => {} }\n}\nfn tail() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[1].line, 5);
+    }
+}

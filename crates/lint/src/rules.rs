@@ -121,8 +121,98 @@ pub const RULES: &[RuleInfo] = &[
         summary: "metric names match the documented prefix.segment grammar",
         rationale: "Reports are diffed and gated across versions; free-form metric names \
                     fracture that history. Names must be lowercase dotted paths whose \
-                    first segment is a documented namespace (pipeline, ghost, search, \
-                    gpu, bench, build, obs, cluster).",
+                    first segment is a documented namespace ([metric-names] prefixes in \
+                    lint.toml: pipeline, ghost, search, serve, store, qt, cluster).",
+    },
+    RuleInfo {
+        id: "P001",
+        slug: "hot-panic",
+        summary: "no unwrap/expect/panic!-family macros in hot-path code",
+        rationale: "Hot paths (serve, cluster RPC, durable store, search kernels) see \
+                    corrupt bytes, torn frames, and crashed peers as normal operating \
+                    conditions; a panic there takes down a node instead of triggering \
+                    failover or a typed error (ClusterError/StoreError). assert!-family \
+                    macros are exempt: they state documented caller contracts. Waive an \
+                    invariant that genuinely cannot fail with `// lint: allow(hot-panic)` \
+                    plus a written justification at the site.",
+    },
+    RuleInfo {
+        id: "P002",
+        slug: "hot-panic-taint",
+        summary: "no panicking helper reachable from a hot-path fn (call-graph walk)",
+        rationale: "A helper that panics taints every hot-path caller: moving the unwrap \
+                    one function down changes nothing about the node that dies. The \
+                    analysis walks an intra-crate call-graph approximation and reports \
+                    the hot call site with the full chain to the panic. Fix the panic at \
+                    its source, or waive it *there* — the justification then covers every \
+                    path that reaches it.",
+    },
+    RuleInfo {
+        id: "P003",
+        slug: "hot-cast-index",
+        summary: "no `expr[x as usize]` indexing of wire/file values on hot paths",
+        rationale: "An id read off the wire or out of a segment is attacker-controlled \
+                    until validated; casting it to usize and indexing panics on the first \
+                    corrupt frame. Bounds-check with `.get()` and surface a typed error, \
+                    or leave a comment proving the value was validated upstream.",
+    },
+    RuleInfo {
+        id: "L001",
+        slug: "lock-order-cycle",
+        summary: "no cycles in the lock-acquisition graph",
+        rationale: "Two threads taking the same pair of locks in opposite orders is the \
+                    classic deadlock. The analysis records every lock nesting (including \
+                    through intra-crate calls made while a guard is live) and reports any \
+                    cycle in the resulting identity graph. Impose a single global \
+                    acquisition order; the graph ships as a DOT artifact from CI.",
+    },
+    RuleInfo {
+        id: "L002",
+        slug: "lock-across-blocking",
+        summary: "no lock held across channel sends, RPC, joins, or fsync",
+        rationale: "A guard held across a blocking call turns one slow or dead peer into \
+                    a pile-up: every thread contending for that lock stalls behind the \
+                    block, and with a Condvar in the mix it becomes deadlock. Clone what \
+                    the blocking call needs, drop the guard, then block. (Condvar::wait \
+                    is exempt — it releases the mutex while parked.)",
+    },
+    RuleInfo {
+        id: "W001",
+        slug: "format-const-dup",
+        summary: "wire/segment format constants defined exactly once",
+        rationale: "Frame header lengths, section kinds, and TOC geometry are the \
+                    contract between writer and reader; a second definition of the same \
+                    constant is a fork of that contract waiting to drift. Each constant \
+                    in a [format.*] group must have exactly one definition (optionally \
+                    pinned to a canonical file), imported everywhere else.",
+    },
+    RuleInfo {
+        id: "W002",
+        slug: "format-coverage",
+        summary: "every format constant handled by writer, reader, and corruption matrix",
+        rationale: "A section kind added to the writer but missing from the reader \
+                    dispatch or the check_store corruption matrix is a silent format \
+                    fork: old readers misparse new files and the CI gate never exercises \
+                    the new kind's failure modes. Every `require` constant of a \
+                    [format.*] group must be referenced in every `handled_in` file.",
+    },
+    RuleInfo {
+        id: "M001",
+        slug: "metric-dead-prefix",
+        summary: "every [metric-names] prefix has at least one registered metric",
+        rationale: "A dead prefix in lint.toml is documentation drift: readers assume a \
+                    namespace exists, dashboards query it, and nothing ever reports \
+                    under it. Prefixes with zero non-test registration sites must be \
+                    pruned (or the missing metric registered).",
+    },
+    RuleInfo {
+        id: "M002",
+        slug: "metric-kind-conflict",
+        summary: "one metric name maps to one instrument kind",
+        rationale: "Registering `x.y` as a counter in one file and a histogram in \
+                    another makes the merged report ambiguous and breaks cross-version \
+                    diffs. The first registration fixes the kind; later sites must \
+                    agree.",
     },
 ];
 
@@ -668,11 +758,22 @@ mod tests {
 
     #[test]
     fn catalogue_is_consistent() {
-        assert_eq!(RULES.len(), 10);
+        assert_eq!(RULES.len(), 19);
         assert!(is_known_slug("unordered-iter"));
+        assert!(is_known_slug("hot-panic"));
+        assert!(is_known_slug("hot-panic-taint"));
+        assert!(is_known_slug("hot-cast-index"));
+        assert!(is_known_slug("lock-order-cycle"));
+        assert!(is_known_slug("lock-across-blocking"));
+        assert!(is_known_slug("format-const-dup"));
+        assert!(is_known_slug("format-coverage"));
+        assert!(is_known_slug("metric-dead-prefix"));
+        assert!(is_known_slug("metric-kind-conflict"));
         assert!(!is_known_slug("no-such-rule"));
         assert_eq!(find_rule("d002").unwrap().slug, "unordered-iter");
         assert_eq!(find_rule("safety-comment").unwrap().id, "U001");
+        assert_eq!(find_rule("p002").unwrap().slug, "hot-panic-taint");
+        assert_eq!(find_rule("lock-order-cycle").unwrap().id, "L001");
     }
 
     #[test]

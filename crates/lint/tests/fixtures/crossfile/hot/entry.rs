@@ -1,0 +1,17 @@
+//! P-rule fixture: hot-path panic reachability.
+//!
+//! `serve_row` itself is panic-free; its taint comes two calls away
+//! (`decode_row` -> `parse_header` in ../util.rs). `pick` and `first`
+//! carry direct violations.
+
+pub fn serve_row(bytes: &[u8]) -> u32 {
+    decode_row(bytes)
+}
+
+pub fn pick(table: &[u32], idx: u32) -> u32 {
+    table[idx as usize]
+}
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

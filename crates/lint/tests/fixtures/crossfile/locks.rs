@@ -1,0 +1,26 @@
+//! L-rule fixture: two functions take the same pair of locks in opposite
+//! orders (a classic deadlock), and one holds a guard across a blocking
+//! channel receive.
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn a_then_b(p: &Pair) -> u32 {
+    let ga = p.a.lock();
+    let gb = p.b.lock();
+    *ga + *gb
+}
+
+pub fn b_then_a(p: &Pair) -> u32 {
+    let gb = p.b.lock();
+    let ga = p.a.lock();
+    *ga + *gb
+}
+
+pub fn held_across_recv(p: &Pair, rx: &Receiver<u32>) -> u32 {
+    let g = p.a.lock();
+    let v = rx.recv().unwrap_or(0);
+    *g + v
+}

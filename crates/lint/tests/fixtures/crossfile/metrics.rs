@@ -1,0 +1,11 @@
+//! M-rule fixture: one metric name registered under two instrument kinds,
+//! while the configured `phantom` prefix has no registration at all.
+
+pub fn register_all(reg: &mut Registry) {
+    reg.counter("fixture.requests");
+    reg.gauge("fixture.depth");
+}
+
+pub fn register_conflicting(reg: &mut Registry) {
+    reg.histogram("fixture.requests");
+}

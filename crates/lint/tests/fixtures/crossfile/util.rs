@@ -1,0 +1,11 @@
+//! Non-hot helpers reached from the hot P-rule fixture. The panic lives at
+//! the bottom of a two-call chain, so only taint analysis can connect it to
+//! the hot entry point.
+
+pub fn decode_row(bytes: &[u8]) -> u32 {
+    parse_header(bytes)
+}
+
+fn parse_header(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[0..4].try_into().unwrap())
+}

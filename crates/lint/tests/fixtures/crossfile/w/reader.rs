@@ -1,0 +1,8 @@
+//! W-rule fixture: the reader redefines one constant instead of importing
+//! it, and never references the other two it is required to handle.
+
+pub const FIX_MAGIC: u32 = 0xF1C5;
+
+pub fn read_header(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) == FIX_MAGIC
+}

@@ -1,0 +1,11 @@
+//! W-rule fixture: the canonical home of the fixture format's constants.
+
+pub const FIX_MAGIC: u32 = 0xF1C5;
+pub const FIX_HEADER_LEN: usize = 12;
+pub const FIX_KIND_DATA: u32 = 1;
+
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&FIX_MAGIC.to_le_bytes());
+    out.resize(FIX_HEADER_LEN, 0);
+    out.extend_from_slice(&FIX_KIND_DATA.to_le_bytes());
+}

@@ -1,0 +1,7 @@
+//! A panic site carrying a justified waiver: the waiver must suppress the
+//! direct finding *and* every taint chain that passes through it.
+
+pub fn waived_decode(bytes: &[u8]) -> u32 {
+    // lint: allow(hot-panic) — fixture: documented invariant, not input.
+    u32::from_le_bytes(bytes[0..4].try_into().unwrap())
+}

@@ -102,3 +102,104 @@ fn unreadable_file_reports_io_error() {
     assert_eq!(report.findings.len(), 1);
     assert_eq!(report.findings[0].rule, "E000");
 }
+
+// ------------------------------------------------------- cross-file rules
+
+/// Scans the `crossfile/` fixture tree with a config exercising every
+/// cross-file family: P (hot paths), L (lock graph), W (format groups),
+/// M (metric prefixes). Returns the full report so tests can pin both
+/// sites and messages.
+fn crossfile_report() -> pathweaver_lint::Report {
+    use pathweaver_lint::config::FormatGroup;
+    use pathweaver_lint::lint_files_full;
+
+    let config = Config {
+        hot_paths: vec!["crossfile/hot/".to_string()],
+        metric_prefixes: vec!["fixture".to_string(), "phantom".to_string()],
+        format_groups: vec![FormatGroup {
+            name: "fixture".to_string(),
+            consts: vec![
+                "FIX_MAGIC".to_string(),
+                "FIX_HEADER_LEN".to_string(),
+                "FIX_KIND_DATA".to_string(),
+            ],
+            require: vec![
+                "FIX_MAGIC".to_string(),
+                "FIX_HEADER_LEN".to_string(),
+                "FIX_KIND_DATA".to_string(),
+            ],
+            handled_in: vec!["crossfile/w/reader.rs".to_string()],
+            defined_in: vec!["crossfile/w/writer.rs".to_string()],
+        }],
+        ..Config::default()
+    };
+    let rels: Vec<String> = [
+        "crossfile/hot/entry.rs",
+        "crossfile/hot/waived_entry.rs",
+        "crossfile/util.rs",
+        "crossfile/waived_util.rs",
+        "crossfile/locks.rs",
+        "crossfile/w/writer.rs",
+        "crossfile/w/reader.rs",
+        "crossfile/metrics.rs",
+    ]
+    .iter()
+    .map(|r| (*r).to_string())
+    .collect();
+    lint_files_full(fixtures_root(), &config, &rels)
+}
+
+#[test]
+fn crossfile_fixtures_report_exact_rules_and_lines() {
+    let report = crossfile_report();
+    let mut got: Vec<(&str, &str, usize)> =
+        report.findings.iter().map(|f| (f.rule, f.file.as_str(), f.line)).collect();
+    got.sort_unstable();
+    let expected = vec![
+        ("L001", "crossfile/locks.rs", 12),
+        ("L002", "crossfile/locks.rs", 24),
+        ("M001", "lint.toml", 0),
+        ("M002", "crossfile/metrics.rs", 10),
+        ("P001", "crossfile/hot/entry.rs", 16),
+        ("P002", "crossfile/hot/entry.rs", 8),
+        ("P003", "crossfile/hot/entry.rs", 12),
+        ("W001", "crossfile/w/reader.rs", 4),
+        ("W002", "crossfile/w/reader.rs", 1),
+        ("W002", "crossfile/w/reader.rs", 1),
+    ];
+    assert_eq!(got, expected, "crossfile fixture finding set drifted");
+}
+
+#[test]
+fn two_hop_taint_chain_names_every_hop() {
+    let report = crossfile_report();
+    let p002 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "P002")
+        .expect("the two-hop taint fixture must produce a P002");
+    for hop in ["decode_row", "parse_header"] {
+        assert!(p002.message.contains(hop), "P002 chain must name `{hop}`: {}", p002.message);
+    }
+}
+
+#[test]
+fn waiver_at_panic_site_cuts_the_taint_edge() {
+    let report = crossfile_report();
+    assert!(
+        !report.findings.iter().any(|f| f.file.contains("waived")),
+        "a waiver at the panic site must suppress the taint chain through it: {:?}",
+        report.findings.iter().filter(|f| f.file.contains("waived")).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn lock_cycle_report_names_both_locks_and_ships_dot() {
+    let report = crossfile_report();
+    let l001 = report.findings.iter().find(|f| f.rule == "L001").expect("lock cycle fixture");
+    assert!(l001.message.contains('a') && l001.message.contains('b'), "{}", l001.message);
+    assert!(
+        report.lock_graph_dot.contains("digraph"),
+        "the report must carry the lock graph in DOT form"
+    );
+}

@@ -94,6 +94,8 @@ pub fn select_neighbors_into(
             out.truncate(keep.clamp(1, degree));
         }
         NeighborFilter::Direction { keep } => {
+            // lint: allow(hot-panic) — caller contract: search_query only
+            // selects this filter after checking ctx.dir_table is Some.
             let (table, u) = dir_table.expect("direction filter requires a direction table");
             scratch.encode(node_vec, query);
             let words = table.words_per_code();
@@ -109,6 +111,8 @@ pub fn select_neighbors_into(
             out.extend(ranks.iter().map(|&(_, j)| j));
         }
         NeighborFilter::Threshold { min_matches } => {
+            // lint: allow(hot-panic) — caller contract: search_query only
+            // selects this filter after checking ctx.dir_table is Some.
             let (table, u) = dir_table.expect("threshold filter requires a direction table");
             scratch.encode(node_vec, query);
             let words = table.words_per_code();

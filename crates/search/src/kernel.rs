@@ -81,6 +81,8 @@ fn batch_candidate_distances(
     dists.resize(ids.len(), 0.0);
     match qcodes {
         Some(qc) => {
+            // lint: allow(hot-panic) — caller contract: query codes are only
+            // built when ctx.quantized is Some (search_batch gates on it).
             let qs = ctx.quantized.expect("query codes imply a quantized payload");
             qs.batch_code_l2_squared(ids, qc, dists);
             for _ in ids {
@@ -173,6 +175,8 @@ pub fn search_query(
     match entry {
         EntryPolicy::Random { count } => {
             for _ in 0..(*count).max(1) {
+                // lint: allow(hot-panic) — shard node counts stay far below
+                // u32::MAX at build time; this keeps the rng domain bit-stable.
                 init_ids.push(u32::try_from(rng.gen_range(0..n)).expect("node id fits u32"));
                 counters.rng_ops += 1;
             }
@@ -180,6 +184,8 @@ pub fn search_query(
         EntryPolicy::Seeded { seeds, extra_random } => {
             init_ids.extend(seeds.iter().copied().filter(|&s| (s as usize) < n));
             for _ in 0..*extra_random {
+                // lint: allow(hot-panic) — same bound and rng-determinism
+                // argument as the Random entry arm above.
                 init_ids.push(u32::try_from(rng.gen_range(0..n)).expect("node id fits u32"));
                 counters.rng_ops += 1;
             }
@@ -268,6 +274,8 @@ pub fn search_query(
                     );
                 }
                 NeighborFilter::Direction { .. } | NeighborFilter::Threshold { .. } => {
+                    // lint: allow(hot-panic) — this arm is only reachable
+                    // after the filter selection above saw a Some table.
                     let table = ctx.dir_table.expect("checked above");
                     counters.record_dir_selection(degree, table.words_per_code());
                     if matches!(filter, NeighborFilter::Direction { .. }) {

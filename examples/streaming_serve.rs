@@ -39,13 +39,13 @@ fn main() {
         params,
         ..ServeConfig::default()
     };
-    let server = Server::new(Arc::clone(&index), config);
+    let server = Server::new(Arc::clone(&index), config).expect("serve threads spawn");
     let tickets: Vec<_> = (0..workload.queries.len())
         .map(|r| server.try_submit(workload.queries.row(r)).expect("queue sized for backlog"))
         .collect();
     let results: Vec<Vec<u32>> = tickets
         .into_iter()
-        .map(|t| t.wait().hits.into_iter().map(|(_, id)| id).collect())
+        .map(|t| t.wait().expect("server stays up").hits.into_iter().map(|(_, id)| id).collect())
         .collect();
     let streamed_sim_s = server.timeline().overlapped_makespan_s();
     server.shutdown();

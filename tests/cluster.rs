@@ -68,10 +68,11 @@ fn one_node_cluster_is_bit_identical_to_serve_once() {
         1,
         TransportKind::Channel,
         &[],
-    );
+    )
+    .unwrap();
     let params = SearchParams::default();
     let out = cluster.router().search(&w.workload.queries, &params).unwrap();
-    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params).unwrap();
     assert_hits_identical(&out.hits, &reference.hits, "1-node channel cluster");
     assert_eq!(out.results, reference.results, "result id projection");
     assert_eq!(
@@ -93,10 +94,11 @@ fn tcp_transport_is_bit_identical_too() {
         1,
         TransportKind::Tcp,
         &[],
-    );
+    )
+    .unwrap();
     let params = SearchParams::default();
     let out = cluster.router().search(&w.workload.queries, &params).unwrap();
-    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params).unwrap();
     assert_hits_identical(&out.hits, &reference.hits, "1-node tcp cluster");
     cluster.shutdown();
 }
@@ -105,7 +107,7 @@ fn tcp_transport_is_bit_identical_too() {
 fn multi_partition_cluster_matches_reference_merge() {
     let w = world();
     let params = SearchParams::default();
-    let reference = reference_merged(&w.halves, &w.workload.queries, &params);
+    let reference = reference_merged(&w.halves, &w.workload.queries, &params).unwrap();
     for (nodes, replication) in [(2usize, 1usize), (3, 2), (4, 2)] {
         let cluster = LocalCluster::launch_with_partitions(
             &w.halves,
@@ -113,7 +115,8 @@ fn multi_partition_cluster_matches_reference_merge() {
             nodes,
             TransportKind::Channel,
             &[],
-        );
+        )
+        .unwrap();
         let out = cluster.router().search(&w.workload.queries, &params).unwrap();
         let label = format!("{nodes} nodes, {replication}x replication");
         assert_hits_identical(&out.hits, &reference, &label);
@@ -125,7 +128,7 @@ fn multi_partition_cluster_matches_reference_merge() {
 fn replica_kill_mid_batch_fails_over_without_losing_queries() {
     let w = world();
     let params = SearchParams::default();
-    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params).unwrap();
     // Both nodes hold the single partition; node 0 swallows its first
     // request and dies.
     let faults = vec![
@@ -138,7 +141,8 @@ fn replica_kill_mid_batch_fails_over_without_losing_queries() {
         2,
         TransportKind::Channel,
         &faults,
-    );
+    )
+    .unwrap();
     let mut failovers = 0;
     for batch in 0..3 {
         let out = cluster.router().search(&w.workload.queries, &params).unwrap();
@@ -155,7 +159,7 @@ fn replica_kill_mid_batch_fails_over_without_losing_queries() {
 fn torn_frame_retries_on_sibling_and_health_probe_revives() {
     let w = world();
     let params = SearchParams::default();
-    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params).unwrap();
     // Node 0 tears exactly its first response, then behaves.
     let faults = vec![
         FaultScript { torn_responses: BTreeSet::from([0]), ..FaultScript::default() },
@@ -167,7 +171,8 @@ fn torn_frame_retries_on_sibling_and_health_probe_revives() {
         2,
         TransportKind::Channel,
         &faults,
-    );
+    )
+    .unwrap();
     let mut saw_failover = false;
     for batch in 0..3 {
         let out = cluster.router().search(&w.workload.queries, &params).unwrap();
@@ -185,7 +190,7 @@ fn torn_frame_retries_on_sibling_and_health_probe_revives() {
 fn timeout_storm_fails_over_within_budget() {
     let w = world();
     let params = SearchParams::default();
-    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params);
+    let reference = serve_once(&w.full[0].index, &w.workload.queries, &params).unwrap();
     // Node 0 answers every request 400 ms late against a 60 ms budget.
     let faults = vec![
         FaultScript {
@@ -196,7 +201,8 @@ fn timeout_storm_fails_over_within_budget() {
     ];
     let config = ClusterConfig { request_timeout_ms: 60, ..cluster_config(1, 2) };
     let cluster =
-        LocalCluster::launch_with_partitions(&w.full, &config, 2, TransportKind::Channel, &faults);
+        LocalCluster::launch_with_partitions(&w.full, &config, 2, TransportKind::Channel, &faults)
+            .unwrap();
     for batch in 0..2 {
         let out = cluster.router().search(&w.workload.queries, &params).unwrap();
         assert_hits_identical(&out.hits, &reference.hits, &format!("batch {batch}"));
@@ -212,9 +218,12 @@ fn unavailable_partition_is_an_error_not_a_wrong_answer() {
     let faults = vec![FaultScript { crash_after_requests: Some(0), ..FaultScript::default() }];
     let config = ClusterConfig { request_timeout_ms: 100, ..cluster_config(1, 1) };
     let cluster =
-        LocalCluster::launch_with_partitions(&w.full, &config, 1, TransportKind::Channel, &faults);
+        LocalCluster::launch_with_partitions(&w.full, &config, 1, TransportKind::Channel, &faults)
+            .unwrap();
     let err = cluster.router().search(&w.workload.queries, &params).unwrap_err();
-    let ClusterError::PartitionUnavailable { partition, attempts } = err;
+    let ClusterError::PartitionUnavailable { partition, attempts } = err else {
+        panic!("expected PartitionUnavailable, got {err}");
+    };
     assert_eq!(partition, 0);
     assert!(!attempts.is_empty(), "the error must report what was tried");
     cluster.shutdown();
@@ -236,7 +245,8 @@ proptest! {
         let config = ClusterConfig { seed, ..cluster_config(1, replication) };
         let cluster = LocalCluster::launch_with_partitions(
             &w.full, &config, nodes, TransportKind::Channel, &[],
-        );
+        )
+        .unwrap();
         let params = SearchParams::default();
         let direct = w.full[0].index.search_pipelined(&w.workload.queries, &params);
         // Several batches so the rotating replica choice actually lands on

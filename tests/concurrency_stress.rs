@@ -153,7 +153,7 @@ fn serve_survives_concurrent_submitters_with_random_deadlines() {
             deadline_ms,
             ..ServeConfig::default()
         };
-        let server = Server::new(Arc::clone(&idx), config);
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
         let delivered = AtomicU64::new(0);
         std::thread::scope(|s| {
             for t in 0..SUBMITTERS {
@@ -178,7 +178,7 @@ fn serve_survives_concurrent_submitters_with_random_deadlines() {
                             .collect();
                         sent += burst;
                         for ticket in tickets {
-                            let res = ticket.wait();
+                            let res = ticket.wait().unwrap();
                             if !res.timed_out {
                                 assert!(!res.hits.is_empty(), "completed batch with no hits");
                             }

@@ -50,7 +50,7 @@ fn serve_stream_is_bit_identical_to_search_pipelined() {
             );
             let params = SearchParams::default();
             let direct = idx.search_pipelined(&w.queries, &params);
-            let served = serve_once(&idx, &w.queries, &params);
+            let served = serve_once(&idx, &w.queries, &params).unwrap();
             let label = format!("{devices} devices");
             assert_hits_identical(&direct.hits, &served.hits, &label);
             assert_eq!(direct.stats, served.stats, "{label}: stats diverged");
@@ -69,7 +69,7 @@ fn serve_handles_fewer_queries_than_devices() {
             Arc::new(PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(4)).unwrap());
         let params = SearchParams::default();
         let direct = idx.search_pipelined(&w.queries, &params);
-        let served = serve_once(&idx, &w.queries, &params);
+        let served = serve_once(&idx, &w.queries, &params).unwrap();
         assert_hits_identical(&direct.hits, &served.hits, "1 query / 4 devices");
         assert_eq!(direct.stats, served.stats);
         assert!(!served.hits[0].is_empty());
@@ -93,11 +93,11 @@ fn overlapped_batches_match_per_batch_pipelined() {
             params,
             ..ServeConfig::default()
         };
-        let server = Server::new(Arc::clone(&idx), config);
+        let server = Server::new(Arc::clone(&idx), config).unwrap();
         let tickets: Vec<_> =
             (0..w.queries.len()).map(|r| server.try_submit(w.queries.row(r)).unwrap()).collect();
         server.shutdown(); // Flushes any unpaired remainder and drains.
-        let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
 
         for pair in 0..w.queries.len() / 2 {
             let mut two = pathweaver::vector::VectorSet::empty(idx.dim());

@@ -6,9 +6,16 @@
 # explicitly waived (`// lint: allow(<slug>)` at the site, or a [waivers]
 # entry in lint.toml), never ignored.
 #
-# Artifacts: target/lint_report.json (machine-readable findings, uploaded by
-# CI next to the bench artifacts) plus human-readable diagnostics on stderr
-# when the gate fails.
+# The committed tools/lint_baseline.json pins the allowed per-rule finding
+# counts (schema_version-checked); any rule exceeding its baseline count
+# fails the gate with the named rule IDs. The baseline is empty — new
+# violations are fixed or waived at the site, never absorbed by a looser
+# baseline.
+#
+# Artifacts: target/lint_report.json (machine-readable findings, with
+# schema_version) and target/lock_graph.dot (the L-rules' lock-acquisition
+# graph), both uploaded by CI next to the bench artifacts, plus
+# human-readable diagnostics on stderr when the gate fails.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,14 +26,19 @@ mkdir -p target
 gate_build pathweaver-lint
 
 status=0
-gate_run pwlint --workspace --format json > target/lint_report.json || status=$?
+gate_run pwlint --workspace --format json \
+    --baseline tools/lint_baseline.json \
+    --emit-lock-graph target/lock_graph.dot \
+    > target/lint_report.json || status=$?
 
 if [[ $status -ne 0 ]]; then
-    echo "pwlint: violations found — human-readable report follows" >&2
+    echo "pwlint: regressions vs tools/lint_baseline.json — report follows" >&2
     gate_run pwlint --workspace || true
     echo "(machine-readable copy: target/lint_report.json;" >&2
+    echo " lock graph: target/lock_graph.dot;" >&2
     echo " run 'cargo run -p pathweaver-lint -- --explain RULE' for rationale)" >&2
     exit "$status"
 fi
 
-echo "pwlint: workspace clean (report: target/lint_report.json)"
+echo "pwlint: workspace clean vs baseline (report: target/lint_report.json," \
+     "lock graph: target/lock_graph.dot)"
