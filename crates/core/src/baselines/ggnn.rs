@@ -54,7 +54,7 @@ impl GgnnBaseline {
                 GgnnIndex::build(&vectors, params)
             });
             let deleted = FixedBitSet::new(vectors.len());
-            shards.push(ShardIndex {
+            shards.push(std::sync::Arc::new(ShardIndex {
                 global_ids: assignment.members(s).to_vec(),
                 vectors,
                 graph: built.base,
@@ -63,7 +63,7 @@ impl GgnnBaseline {
                 ghost: Some(built.selection),
                 intershard: None,
                 deleted,
-            });
+            }));
         }
         let mut ledgers = Vec::with_capacity(num_devices);
         for shard in &shards {

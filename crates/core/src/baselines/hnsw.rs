@@ -83,7 +83,7 @@ impl HnswBaseline {
         }
         PathWeaverIndex {
             config,
-            shards: vec![shard],
+            shards: vec![std::sync::Arc::new(shard)],
             assignment: ShardAssignment::random(n, 1, 0),
             build_report: pathweaver_graph::BuildReport::new(),
             ledgers: vec![ledger],

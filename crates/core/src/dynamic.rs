@@ -18,6 +18,58 @@ use crate::index::PathWeaverIndex;
 use crate::store::{self, wal, StoreError};
 use pathweaver_graph::greedy_search;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// What a [`PathWeaverIndex::delete_outcome`] call actually did.
+///
+/// `delete` collapses the three cases into a bool, which makes
+/// delete-unknown indistinguishable from delete-twice at call sites that
+/// care (WAL replay, client error reporting). The outcome keeps them apart
+/// while staying idempotent: replaying any of the three is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// The id was live and is now tombstoned.
+    Applied,
+    /// The id exists but was already tombstoned (or compacted away after a
+    /// tombstone — its slot is gone but the id was once deleted).
+    AlreadyDeleted,
+    /// The id was never allocated (above the high-water mark) or was
+    /// compacted away by [`PathWeaverIndex::maintain`].
+    Unknown,
+}
+
+impl DeleteOutcome {
+    /// Whether the call changed the index (the legacy `delete` bool).
+    pub fn applied(self) -> bool {
+        matches!(self, Self::Applied)
+    }
+}
+
+/// Errors raised by [`PathWeaverIndex::maintain`].
+///
+/// With the background maintainer ([`crate::snapshot::ConcurrentIndex`])
+/// calling `maintain` on a live serving path, a bad threshold must surface
+/// as a value, not a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintainError {
+    /// `rebuild_threshold` outside `(0, 1]`.
+    InvalidThreshold {
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl std::fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidThreshold { got } => {
+                write!(f, "rebuild threshold {got} out of (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
 
 impl PathWeaverIndex {
     /// Inserts a vector, returning its new global id.
@@ -80,8 +132,10 @@ impl PathWeaverIndex {
             wrap += 1;
         }
 
-        // Extend every affected structure in dependency order.
-        let shard = &mut self.shards[s];
+        // Extend every affected structure in dependency order. The first
+        // mutation after a snapshot publish copies the shard (`make_mut`);
+        // pinned snapshots keep reading the old Arc untouched.
+        let shard = Arc::make_mut(&mut self.shards[s]);
         shard.vectors.push(vector);
         // The quantized tier encodes with the shard's frozen scales/offsets
         // (re-deriving them would re-code every row); out-of-range values
@@ -157,7 +211,9 @@ impl PathWeaverIndex {
                 )[0]
                 .1
             };
-            self.shards[s]
+            // The shard Arc is already unique after the `make_mut` above, so
+            // this second `make_mut` is a pointer check, not a clone.
+            Arc::make_mut(&mut self.shards[s])
                 .intershard
                 .as_mut()
                 .expect("multi-device index has inter-shard tables")
@@ -169,17 +225,38 @@ impl PathWeaverIndex {
     }
 
     /// Logically deletes a global id; returns `false` when it was not found
-    /// or already deleted.
+    /// or already deleted. See [`PathWeaverIndex::delete_outcome`] when the
+    /// two `false` cases must stay distinguishable.
     pub fn delete(&mut self, global_id: u32) -> bool {
+        self.delete_outcome(global_id).applied()
+    }
+
+    /// Logically deletes a global id, reporting which of the three cases
+    /// occurred ([`DeleteOutcome`]). Idempotent: replaying the same delete
+    /// (WAL recovery) reports [`DeleteOutcome::AlreadyDeleted`] and changes
+    /// nothing.
+    pub fn delete_outcome(&mut self, global_id: u32) -> DeleteOutcome {
         for shard in self.shards.iter_mut() {
             // `global_ids` is ascending (built sorted; inserts append
             // monotonically increasing ids), so each shard is one binary
             // search instead of a linear scan.
             if let Ok(local) = shard.global_ids.binary_search(&global_id) {
-                return shard.deleted.insert(local);
+                if shard.deleted.contains(local) {
+                    return DeleteOutcome::AlreadyDeleted;
+                }
+                // Copy-on-write: only the hit shard is cloned, and only when
+                // a pinned snapshot still shares it.
+                Arc::make_mut(shard).deleted.insert(local);
+                return DeleteOutcome::Applied;
             }
         }
-        false
+        if (global_id as usize) < self.num_vectors {
+            // Below the high-water mark but in no shard: the slot was
+            // tombstoned and then compacted away by `maintain`.
+            DeleteOutcome::AlreadyDeleted
+        } else {
+            DeleteOutcome::Unknown
+        }
     }
 
     /// Number of live (non-tombstoned, non-compacted) vectors.
@@ -195,81 +272,162 @@ impl PathWeaverIndex {
     /// table and the predecessor's incoming one). Returns the number of
     /// shards rebuilt.
     ///
-    /// # Panics
+    /// A shard whose survivors are too few for a CAGRA build (`degree + 1`
+    /// or fewer) is not skipped: it is compacted into a dense brute-force
+    /// remnant whose every node links to every other survivor, so a
+    /// nearly-emptied shard stops serving from a ~100 %-tombstoned graph.
+    /// A fully-emptied shard keeps its first node as a tombstoned bridge
+    /// (the ring needs a non-empty shard on every device); the bridge never
+    /// surfaces in results.
     ///
-    /// Panics if `rebuild_threshold` is outside `(0, 1]`.
-    pub fn maintain(&mut self, rebuild_threshold: f64) -> usize {
-        assert!(rebuild_threshold > 0.0 && rebuild_threshold <= 1.0, "threshold out of (0, 1]");
-        let n = self.shards.len();
-        let mut rebuilt = 0;
-        for s in 0..n {
-            let shard = &self.shards[s];
-            let dead = shard.deleted.count();
-            if dead == 0 || (dead as f64) < rebuild_threshold * shard.len() as f64 {
-                continue;
-            }
-            // A shard must keep enough nodes to stay searchable.
-            let survivors: Vec<usize> =
-                (0..shard.len()).filter(|&l| !shard.deleted.contains(l)).collect();
-            if survivors.len() <= self.config.graph.degree + 1 {
-                continue;
-            }
-            rebuilt += 1;
-
-            let vectors = shard.vectors.gather(&survivors);
-            let global_ids: Vec<u32> = survivors.iter().map(|&l| shard.global_ids[l]).collect();
-            let graph = pathweaver_graph::cagra_build(&vectors, &self.config.graph);
-            let dir_table = self
-                .config
-                .build_dir_table
-                .then(|| pathweaver_graph::DirectionTable::build(&vectors, &graph));
-            let ghost = self.config.ghost.map(|mut gp| {
-                gp.seed =
-                    pathweaver_util::seed_from_parts(self.config.seed, "ghost-rebuild", s as u64);
-                pathweaver_graph::GhostShard::build(&vectors, &gp)
-            });
-            // Rebuilds re-derive the quantization grid from the survivors,
-            // so post-insert drift accumulated by frozen-parameter pushes is
-            // flushed at the same cadence as the graph itself.
-            let quantized = self
-                .config
-                .build_quantized
-                .then(|| pathweaver_vector::QuantizedSet::quantize(&vectors));
-            let deleted = pathweaver_util::FixedBitSet::new(vectors.len());
-            self.assignment.set_members(s, global_ids.clone());
-            self.shards[s] = crate::index::ShardIndex {
-                global_ids,
-                vectors,
-                graph,
-                dir_table,
-                quantized,
-                ghost,
-                intershard: None,
-                deleted,
-            };
-
-            if n > 1 {
-                // Outgoing I(u) of the rebuilt shard and the predecessor's
-                // table into it both reference changed local ids.
-                let next = (s + 1) % n;
-                let prev = (s + n - 1) % n;
-                let out_table = pathweaver_graph::InterShardTable::build(
-                    &self.shards[s].vectors,
-                    &self.shards[next].vectors,
-                    &self.shards[next].graph,
-                    &self.config.intershard,
-                );
-                self.shards[s].intershard = Some(out_table);
-                let in_table = pathweaver_graph::InterShardTable::build(
-                    &self.shards[prev].vectors,
-                    &self.shards[s].vectors,
-                    &self.shards[s].graph,
-                    &self.config.intershard,
-                );
-                self.shards[prev].intershard = Some(in_table);
-            }
+    /// # Errors
+    ///
+    /// [`MaintainError::InvalidThreshold`] if `rebuild_threshold` is outside
+    /// `(0, 1]`; the index is unchanged.
+    pub fn maintain(&mut self, rebuild_threshold: f64) -> Result<usize, MaintainError> {
+        if !(rebuild_threshold > 0.0 && rebuild_threshold <= 1.0) {
+            return Err(MaintainError::InvalidThreshold { got: rebuild_threshold });
         }
-        rebuilt
+        let mut rebuilt = 0;
+        for s in 0..self.shards.len() {
+            if !shard_needs_rebuild(&self.shards[s], rebuild_threshold) {
+                continue;
+            }
+            let replacement = rebuild_shard(&self.shards[s], &self.config, s);
+            self.install_rebuilt(s, Arc::new(replacement));
+            rebuilt += 1;
+        }
+        Ok(rebuilt)
+    }
+
+    /// Swaps a rebuilt shard in at position `s` and repairs everything that
+    /// references its local ids: the assignment's member list and (multi-
+    /// device) both inter-shard tables touching the shard. The background
+    /// maintainer calls this under its writer lock after building the
+    /// replacement off-lock ([`crate::snapshot::ConcurrentIndex`]).
+    pub(crate) fn install_rebuilt(&mut self, s: usize, shard: Arc<crate::index::ShardIndex>) {
+        let n = self.shards.len();
+        self.assignment.set_members(s, shard.global_ids.clone());
+        self.shards[s] = shard;
+        if n > 1 {
+            // Outgoing I(u) of the rebuilt shard and the predecessor's
+            // table into it both reference changed local ids.
+            let next = (s + 1) % n;
+            let prev = (s + n - 1) % n;
+            let out_table = pathweaver_graph::InterShardTable::build(
+                &self.shards[s].vectors,
+                &self.shards[next].vectors,
+                &self.shards[next].graph,
+                &self.config.intershard,
+            );
+            Arc::make_mut(&mut self.shards[s]).intershard = Some(out_table);
+            let in_table = pathweaver_graph::InterShardTable::build(
+                &self.shards[prev].vectors,
+                &self.shards[s].vectors,
+                &self.shards[s].graph,
+                &self.config.intershard,
+            );
+            Arc::make_mut(&mut self.shards[prev]).intershard = Some(in_table);
+        }
+    }
+}
+
+/// Whether [`PathWeaverIndex::maintain`] at `rebuild_threshold` would
+/// rebuild this shard. The minimal bridge remnant (one node, tombstoned) is
+/// exempt: rebuilding it again every pass would make `maintain` permanently
+/// non-idle.
+pub(crate) fn shard_needs_rebuild(
+    shard: &crate::index::ShardIndex,
+    rebuild_threshold: f64,
+) -> bool {
+    let dead = shard.deleted.count();
+    if dead == 0 || (dead as f64) < rebuild_threshold * shard.len() as f64 {
+        return false;
+    }
+    !(shard.len() == 1 && dead == 1)
+}
+
+/// Builds the replacement for a heavily-deleted shard from its survivors:
+/// graph, auxiliaries and quantized tier, but no inter-shard table — the
+/// caller installs those via [`PathWeaverIndex::install_rebuilt`], because
+/// they depend on the neighbor shards at install time.
+///
+/// Three regimes by survivor count: a full CAGRA rebuild above
+/// `degree + 1`; a dense brute-force remnant (every node cycles over the
+/// other survivors; duplicate neighbors are legal in a fixed-degree graph)
+/// down to one survivor; and, when every node is tombstoned, a single
+/// tombstoned bridge node with a self-loop row, so the shard (and the ring
+/// through it) stays searchable without ever surfacing in results.
+pub(crate) fn rebuild_shard(
+    shard: &crate::index::ShardIndex,
+    config: &crate::config::PathWeaverConfig,
+    s: usize,
+) -> crate::index::ShardIndex {
+    let survivors: Vec<usize> = (0..shard.len()).filter(|&l| !shard.deleted.contains(l)).collect();
+    let degree = config.graph.degree;
+    let full_rebuild = survivors.len() > degree + 1;
+    let (vectors, global_ids, graph, deleted) = if full_rebuild {
+        let vectors = shard.vectors.gather(&survivors);
+        let global_ids: Vec<u32> = survivors.iter().map(|&l| shard.global_ids[l]).collect();
+        let graph = pathweaver_graph::cagra_build(&vectors, &config.graph);
+        let deleted = pathweaver_util::FixedBitSet::new(vectors.len());
+        (vectors, global_ids, graph, deleted)
+    } else if survivors.is_empty() {
+        let vectors = shard.vectors.gather(&[0]);
+        let global_ids = vec![shard.global_ids[0]];
+        let row = vec![0u32; degree];
+        let graph = pathweaver_graph::FixedDegreeGraph::from_lists(degree, &[row]);
+        let mut deleted = pathweaver_util::FixedBitSet::new(1);
+        deleted.insert(0);
+        (vectors, global_ids, graph, deleted)
+    } else {
+        let vectors = shard.vectors.gather(&survivors);
+        let global_ids: Vec<u32> = survivors.iter().map(|&l| shard.global_ids[l]).collect();
+        let m = survivors.len();
+        let lists: Vec<Vec<u32>> = (0..m)
+            .map(|u| {
+                (0..degree)
+                    .map(|j| {
+                        if m == 1 {
+                            0 // single survivor: self-loop row
+                        } else {
+                            ((u + 1 + j % (m - 1)) % m) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let graph = pathweaver_graph::FixedDegreeGraph::from_lists(degree, &lists);
+        let deleted = pathweaver_util::FixedBitSet::new(m);
+        (vectors, global_ids, graph, deleted)
+    };
+    // Remnant shards skip the ghost/direction auxiliaries: both assume a
+    // graph large enough to sample from, and a brute-force remnant is exact
+    // without them.
+    let dir_table = (config.build_dir_table && full_rebuild)
+        .then(|| pathweaver_graph::DirectionTable::build(&vectors, &graph));
+    let ghost = if full_rebuild {
+        config.ghost.map(|mut gp| {
+            gp.seed = pathweaver_util::seed_from_parts(config.seed, "ghost-rebuild", s as u64);
+            pathweaver_graph::GhostShard::build(&vectors, &gp)
+        })
+    } else {
+        None
+    };
+    // Rebuilds re-derive the quantization grid from the survivors, so
+    // post-insert drift accumulated by frozen-parameter pushes is flushed at
+    // the same cadence as the graph itself.
+    let quantized =
+        config.build_quantized.then(|| pathweaver_vector::QuantizedSet::quantize(&vectors));
+    crate::index::ShardIndex {
+        global_ids,
+        vectors,
+        graph,
+        dir_table,
+        quantized,
+        ghost,
+        intershard: None,
+        deleted,
     }
 }
 
@@ -376,8 +534,20 @@ impl DurableIndex {
     ///
     /// IO failures; the index is unchanged on error.
     pub fn delete(&mut self, global_id: u32) -> Result<bool, StoreError> {
+        Ok(self.delete_outcome(global_id)?.applied())
+    }
+
+    /// Durably tombstones a global id, reporting the [`DeleteOutcome`].
+    /// The record is logged even for no-op outcomes — replay is idempotent
+    /// (`AlreadyDeleted`/`Unknown` replays change nothing), and logging
+    /// unconditionally keeps the WAL a faithful mutation history.
+    ///
+    /// # Errors
+    ///
+    /// IO failures; the index is unchanged on error.
+    pub fn delete_outcome(&mut self, global_id: u32) -> Result<DeleteOutcome, StoreError> {
         self.wal.append_delete(global_id)?;
-        Ok(self.index.delete(global_id))
+        Ok(self.index.delete_outcome(global_id))
     }
 
     /// Folds the WAL into a fresh segment and resets the log. The segment
@@ -402,6 +572,14 @@ impl DurableIndex {
     /// Consumes the handle, returning the in-memory index.
     pub fn into_index(self) -> PathWeaverIndex {
         self.index
+    }
+
+    /// Consumes the handle, returning the index, the open WAL writer, and
+    /// the store directory. Used by [`crate::snapshot::ConcurrentIndex`] to
+    /// take over the WAL-before-publish ordering while keeping the same
+    /// on-disk contract.
+    pub fn into_parts(self) -> (PathWeaverIndex, wal::WalWriter, PathBuf) {
+        (self.index, self.wal, self.dir)
     }
 }
 
@@ -487,7 +665,7 @@ mod tests {
             assert!(idx.delete(g));
         }
         let len_before = idx.shards[0].len();
-        let rebuilt = idx.maintain(0.3);
+        let rebuilt = idx.maintain(0.3).unwrap();
         assert_eq!(rebuilt, 1);
         let shard = &idx.shards[0];
         assert_eq!(shard.len(), len_before - victims.len());
@@ -508,7 +686,7 @@ mod tests {
             }
         }
         // A second pass is a no-op.
-        assert_eq!(idx.maintain(0.3), 0);
+        assert_eq!(idx.maintain(0.3).unwrap(), 0);
     }
 
     #[test]
@@ -525,7 +703,7 @@ mod tests {
         for &g in &victims {
             idx.delete(g);
         }
-        assert_eq!(idx.maintain(0.3), 1);
+        assert_eq!(idx.maintain(0.3).unwrap(), 1);
         // New ids must stay above every live id even after compaction.
         let id = idx.insert(w.base.row(0));
         assert_eq!(id as usize, w.base.len(), "id high-water mark must not rewind");
@@ -558,8 +736,108 @@ mod tests {
         let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
         let g = idx.shards[0].global_ids[0];
         idx.delete(g);
-        assert_eq!(idx.maintain(0.3), 0);
+        assert_eq!(idx.maintain(0.3).unwrap(), 0);
         assert_eq!(idx.shards[0].deleted.count(), 1);
+    }
+
+    #[test]
+    fn maintain_rejects_bad_threshold_without_panicking() {
+        let (_, mut idx) = built();
+        for bad in [0.0, -0.3, 1.5, f64::NAN] {
+            let err = idx.maintain(bad).unwrap_err();
+            assert!(matches!(err, MaintainError::InvalidThreshold { .. }), "{bad} accepted");
+        }
+        // A valid threshold still works after the rejections.
+        assert_eq!(idx.maintain(1.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn maintain_folds_nearly_emptied_shard_instead_of_skipping() {
+        // Regression: `maintain` used to `continue` once a shard's survivor
+        // count fell to degree + 1 or fewer, leaving a ~100 %-tombstoned
+        // graph serving bridges forever. The fold must compact the remnant.
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, 37);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let degree = idx.config.graph.degree;
+        // Tombstone shard 0 down to degree survivors — under the old skip
+        // condition this shard would never be rebuilt.
+        let ids: Vec<u32> = idx.shards[0].global_ids.clone();
+        let keep = degree.min(ids.len().saturating_sub(1));
+        for &g in &ids[keep..] {
+            assert!(idx.delete(g));
+        }
+        let dead_before = idx.shards[0].deleted.count();
+        assert!(dead_before > 0);
+        assert!(
+            ids.len() - dead_before <= degree + 1,
+            "test setup must land in the remnant regime"
+        );
+        assert_eq!(idx.maintain(0.3).unwrap(), 1, "remnant shard must be folded, not skipped");
+        let shard = &idx.shards[0];
+        assert_eq!(shard.deleted.count(), 0, "tombstones must be physically gone");
+        assert_eq!(shard.len(), keep);
+        assert_eq!(shard.graph.num_nodes(), keep);
+        // The ring tables on both sides of the folded shard stay in range.
+        let prev_table = idx.shards[1].intershard.as_ref().unwrap();
+        for u in 0..idx.shards[1].len() as u32 {
+            assert!((prev_table.target(u) as usize) < shard.len());
+        }
+        // Every survivor is still findable through the remnant graph.
+        let params = SearchParams::default();
+        for (local, &g) in idx.shards[0].global_ids.clone().iter().enumerate() {
+            let queries = idx.shards[0].vectors.gather(&[local]);
+            let out = idx.search_pipelined(&queries, &params);
+            assert!(out.results[0].contains(&g), "survivor {g} lost by the fold");
+        }
+    }
+
+    #[test]
+    fn maintain_keeps_bridge_when_shard_fully_tombstoned() {
+        let w = DatasetProfile::deep10m_like().workload(Scale::Test, 6, 5, 43);
+        let mut idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+        let ids: Vec<u32> = idx.shards[0].global_ids.clone();
+        for &g in &ids {
+            assert!(idx.delete(g));
+        }
+        assert_eq!(idx.maintain(0.3).unwrap(), 1);
+        let shard = &idx.shards[0];
+        assert_eq!(shard.len(), 1, "one bridge node keeps the ring searchable");
+        assert_eq!(shard.deleted.count(), 1, "the bridge stays tombstoned");
+        // The bridge never surfaces; searches still answer from live shards.
+        let out = idx.search_pipelined(&w.queries, &SearchParams::default());
+        for hits in &out.results {
+            for id in hits {
+                assert!(!ids.contains(id), "tombstoned id {id} resurfaced");
+            }
+        }
+        // A second pass is a no-op (no rebuild storm on the minimal remnant).
+        assert_eq!(idx.maintain(0.3).unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_outcome_three_way() {
+        let (w, mut idx) = built();
+        assert_eq!(idx.delete_outcome(7), DeleteOutcome::Applied);
+        assert_eq!(idx.delete_outcome(7), DeleteOutcome::AlreadyDeleted);
+        assert_eq!(idx.delete_outcome(999_999), DeleteOutcome::Unknown);
+        // An id compacted away by maintain is AlreadyDeleted, not Unknown:
+        // it was allocated once and its slot is gone.
+        let victims: Vec<u32> = idx.shards[0]
+            .global_ids
+            .iter()
+            .step_by(2)
+            .copied()
+            .take(idx.shards[0].len() * 2 / 5)
+            .collect();
+        for &g in &victims {
+            idx.delete(g);
+        }
+        assert!(idx.maintain(0.3).unwrap() >= 1);
+        assert_eq!(idx.delete_outcome(victims[0]), DeleteOutcome::AlreadyDeleted);
+        // Fresh inserts stay deletable exactly once.
+        let id = idx.insert(w.base.row(0));
+        assert_eq!(idx.delete_outcome(id), DeleteOutcome::Applied);
+        assert_eq!(idx.delete_outcome(id), DeleteOutcome::AlreadyDeleted);
     }
 
     #[test]
@@ -590,7 +868,7 @@ mod tests {
         };
         let mut idx = PathWeaverIndex {
             config: PathWeaverConfig::test_scale(1),
-            shards: vec![shard],
+            shards: vec![Arc::new(shard)],
             assignment: crate::shard::ShardAssignment::random(n, 1, 7),
             build_report: pathweaver_graph::BuildReport::new(),
             ledgers: Vec::new(),
@@ -637,7 +915,7 @@ mod tests {
         for &g in &victims {
             assert!(idx.delete(g));
         }
-        assert_eq!(idx.maintain(0.3), 1);
+        assert_eq!(idx.maintain(0.3).unwrap(), 1);
         let shard = &idx.shards[0];
         let q = shard.quantized.as_ref().expect("rebuild keeps the tier");
         assert_eq!(q.len(), shard.vectors.len());

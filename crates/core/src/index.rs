@@ -11,6 +11,7 @@ use pathweaver_graph::{
 use pathweaver_search::{search_batch, BatchStats, EntryPolicy, SearchParams, ShardContext};
 use pathweaver_util::FixedBitSet;
 use pathweaver_vector::{QuantizedSet, VectorSet};
+use std::sync::Arc;
 
 /// Errors raised while building an index.
 #[derive(Debug, Clone)]
@@ -232,8 +233,12 @@ impl ShardIndex {
 pub struct PathWeaverIndex {
     /// Build configuration.
     pub config: PathWeaverConfig,
-    /// Per-device shard indices.
-    pub shards: Vec<ShardIndex>,
+    /// Per-device shard indices. Each shard is behind an [`Arc`] so a
+    /// snapshot publish ([`crate::snapshot::ConcurrentIndex`]) clones only
+    /// the spine: untouched shards are shared between the writer master and
+    /// every pinned snapshot, and the first mutation after a publish
+    /// copies just the shard it lands on (`Arc::make_mut`).
+    pub shards: Vec<Arc<ShardIndex>>,
     /// Shard assignment (kept for dynamic updates).
     pub assignment: ShardAssignment,
     /// Build-phase timing (Fig 17).
@@ -271,7 +276,7 @@ impl PathWeaverIndex {
         let mut report = BuildReport::new();
 
         // Phase 1: per-shard vectors + proximity graphs.
-        let mut shards: Vec<ShardIndex> = Vec::with_capacity(config.num_devices);
+        let mut shards: Vec<Arc<ShardIndex>> = Vec::with_capacity(config.num_devices);
         for s in 0..config.num_devices {
             // Aligned storage (64-byte rows, zero-padded stride) mirrors the
             // device-side layout and lets the SIMD kernels avoid split-line
@@ -292,7 +297,7 @@ impl PathWeaverIndex {
                 .build_quantized
                 .then(|| report.time(BuildPhase::Quantize, || QuantizedSet::quantize(&vectors)));
             let deleted = FixedBitSet::new(vectors.len());
-            shards.push(ShardIndex {
+            shards.push(Arc::new(ShardIndex {
                 global_ids: assignment.members(s).to_vec(),
                 vectors,
                 graph,
@@ -301,7 +306,7 @@ impl PathWeaverIndex {
                 ghost,
                 intershard: None,
                 deleted,
-            });
+            }));
         }
 
         // Phase 2: inter-shard tables (ring), only meaningful multi-device.
@@ -320,7 +325,7 @@ impl PathWeaverIndex {
                 })
                 .collect();
             for (s, t) in tables.into_iter().enumerate() {
-                shards[s].intershard = Some(t);
+                Arc::make_mut(&mut shards[s]).intershard = Some(t);
             }
         }
 
@@ -535,7 +540,7 @@ mod tests {
         let w = small_workload();
         let config = PathWeaverConfig::test_scale(2);
         let mut idx = PathWeaverIndex::build(&w.base, &config).unwrap();
-        idx.shards[0].deleted.insert(3);
+        Arc::make_mut(&mut idx.shards[0]).deleted.insert(3);
         let queries = idx.shards[0].vectors.gather(&[3]);
         let params = SearchParams { k: 2, ..Default::default() };
         let out = idx.shards[0].search_local(
@@ -563,7 +568,7 @@ mod tests {
         let victims: Vec<u32> = before.hits[0].iter().map(|&(_, id)| id).collect();
         assert_eq!(victims.len(), 10);
         for &v in &victims {
-            idx.shards[0].deleted.insert(v as usize);
+            Arc::make_mut(&mut idx.shards[0]).deleted.insert(v as usize);
         }
 
         // A caller whose beam equals k leaves the over-fetch no headroom

@@ -26,6 +26,10 @@
 //!   [`serve::serve_once`].
 //! - [`dynamic`]: shard-local insertions and logical deletions (§6.2), and
 //!   [`DurableIndex`] — the same mutations under write-ahead durability.
+//! - [`snapshot`]: snapshot-isolated concurrent mutation —
+//!   [`snapshot::ConcurrentIndex`] lets searches pin immutable
+//!   point-in-time snapshots while inserts/deletes stream and a background
+//!   maintainer rebuilds heavily-deleted shards off the hot path.
 //! - [`store`]: the durable index store — checksummed zero-copy segment
 //!   files plus a write-ahead log, with a legacy-directory loader behind a
 //!   format probe.
@@ -66,13 +70,17 @@ pub mod reduce;
 pub mod report;
 pub mod serve;
 pub mod shard;
+pub mod snapshot;
 pub mod store;
 
 pub use cluster::{ClusterError, ClusterOutput, LocalCluster, Router};
 pub use config::{ClusterConfig, PathWeaverConfig};
-pub use dynamic::DurableIndex;
+pub use dynamic::{DeleteOutcome, DurableIndex, MaintainError};
 pub use index::{PathWeaverIndex, SearchOutput, ShardIndex};
-pub use serve::{QueryResult, QueryTicket, ServeConfig, ServeError, Server, SubmitError};
+pub use serve::{
+    QueryResult, QueryTicket, ServeConfig, ServeError, ServeSource, Server, SubmitError,
+};
+pub use snapshot::{ConcurrentError, ConcurrentIndex, IndexSnapshot, MaintainerHandle};
 pub use store::{StoreError, StoreReport};
 
 /// Convenience re-exports for downstream users.
@@ -80,12 +88,13 @@ pub mod prelude {
     pub use crate::baselines::{CagraBaseline, GgnnBaseline, HnswBaseline};
     pub use crate::cluster::{ClusterError, ClusterOutput, LocalCluster, Router, TransportKind};
     pub use crate::config::{ClusterConfig, PathWeaverConfig};
-    pub use crate::dynamic::DurableIndex;
+    pub use crate::dynamic::{DeleteOutcome, DurableIndex, MaintainError};
     pub use crate::eval::{qps_at_recall, sweep_beam, sweep_iterations, SweepPoint};
     pub use crate::index::{PathWeaverIndex, SearchOutput, ShardIndex};
     pub use crate::serve::{
-        QueryResult, QueryTicket, ServeConfig, ServeError, Server, SubmitError,
+        QueryResult, QueryTicket, ServeConfig, ServeError, ServeSource, Server, SubmitError,
     };
+    pub use crate::snapshot::{ConcurrentError, ConcurrentIndex, IndexSnapshot, MaintainerHandle};
     pub use crate::store::{StoreError, StoreReport};
     pub use pathweaver_datasets::{recall_batch, DatasetProfile, Scale, Workload};
     pub use pathweaver_gpusim::{CostModel, DeviceSpec, RingTopology};

@@ -31,9 +31,20 @@
 //! execution, and reduction are the same code. Deadlines trade that
 //! determinism for bounded latency: whether a stage is skipped depends on
 //! wall-clock time.
+//!
+//! **Snapshot pinning.** Every batch resolves its index exactly once, at
+//! flush time: a [`Server::new`] server pins the same `Arc` for every batch
+//! (bit-identical to serving the index directly), while a
+//! [`Server::new_dynamic`] server pins the latest
+//! [`IndexSnapshot`](crate::snapshot::IndexSnapshot) from a
+//! [`ConcurrentIndex`] — concurrent inserts/deletes/rebuilds never touch a
+//! batch mid-flight, and the batch's staleness is observable as the
+//! `serve.snapshot_lag` histogram (published versions behind at
+//! completion) next to the `serve.merge_backlog` gauge.
 
 use crate::index::{PathWeaverIndex, SearchOutput};
 use crate::pipeline::{make_chunks, reduce_chunks, ChunkState};
+use crate::snapshot::ConcurrentIndex;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use pathweaver_gpusim::{BatchHandle, CostModel, PipelineTimeline, RingExecutor, RingMessage};
@@ -198,10 +209,58 @@ impl QueryTicket {
     }
 }
 
-/// Shared per-batch context: the formed queries plus deadline state.
+/// Where a server's batches get their index view from.
+#[derive(Debug, Clone)]
+pub enum ServeSource {
+    /// A frozen index: every batch reads the same `Arc`. Identical to the
+    /// historical single-index server.
+    Static(Arc<PathWeaverIndex>),
+    /// A snapshot-isolated dynamic index: each batch pins the snapshot
+    /// published at its flush instant and keeps it for the whole batch.
+    Dynamic(Arc<ConcurrentIndex>),
+}
+
+impl ServeSource {
+    /// Resolves the index view one batch will use, plus its snapshot
+    /// version (0 for static sources).
+    fn pin_batch(&self) -> (Arc<PathWeaverIndex>, u64) {
+        match self {
+            Self::Static(index) => (Arc::clone(index), 0),
+            Self::Dynamic(index) => {
+                let snap = index.pin();
+                (Arc::clone(snap.index()), snap.version())
+            }
+        }
+    }
+
+    /// How many snapshot publications a batch pinned at `pinned` is behind;
+    /// `None` for static sources (nothing can lag).
+    fn snapshot_lag(&self, pinned: u64) -> Option<u64> {
+        match self {
+            Self::Static(_) => None,
+            Self::Dynamic(index) => Some(index.latest_version().saturating_sub(pinned)),
+        }
+    }
+
+    /// Mutations the dynamic source has not folded yet; `None` for static.
+    fn merge_backlog(&self) -> Option<u64> {
+        match self {
+            Self::Static(_) => None,
+            Self::Dynamic(index) => Some(index.merge_backlog()),
+        }
+    }
+}
+
+/// Shared per-batch context: the formed queries, the pinned index view,
+/// and deadline state.
 struct BatchCtx {
     queries: VectorSet,
     params: SearchParams,
+    /// The index view every stage of this batch reads — pinned at flush,
+    /// immutable for the batch's lifetime.
+    index: Arc<PathWeaverIndex>,
+    /// Snapshot version of `index` (0 on static servers).
+    pinned_version: u64,
     trace_batch: u64,
     /// `(started at flush, budget in ms)`.
     deadline: Option<(Stopwatch, f64)>,
@@ -230,6 +289,8 @@ struct AdmissionState {
 struct ServerInner {
     config: ServeConfig,
     dim: usize,
+    /// Index provider; batches pin their view from it at flush time.
+    source: ServeSource,
     state: Mutex<AdmissionState>,
     /// Wakes the admission thread on arrivals and shutdown.
     wakeup: Condvar,
@@ -279,11 +340,42 @@ impl Server {
     ///
     /// Panics when `config` fails [`ServeConfig::validate`].
     pub fn new(index: Arc<PathWeaverIndex>, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::with_source(ServeSource::Static(index), config)
+    }
+
+    /// Starts a server over a snapshot-isolated dynamic index: each batch
+    /// pins the latest published snapshot at flush time, so streaming
+    /// inserts/deletes/rebuilds never block or tear an in-flight batch.
+    /// With zero in-flight mutations this is bit-identical to
+    /// [`Server::new`] on the wrapped index.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::new`].
+    pub fn new_dynamic(
+        index: Arc<ConcurrentIndex>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::with_source(ServeSource::Dynamic(index), config)
+    }
+
+    /// Starts the serving threads over an explicit [`ServeSource`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`ServeConfig::validate`].
+    pub fn with_source(source: ServeSource, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate();
-        let n = index.num_devices();
-        let cost = CostModel::new(index.config.device);
-        let executor = {
-            let index = Arc::clone(&index);
+        // The device count, cost model, and dimensionality are fixed for
+        // the server's lifetime: snapshots never change shard count or dim.
+        let (initial, _) = source.pin_batch();
+        let n = initial.num_devices();
+        let cost = CostModel::new(initial.config.device);
+        let executor =
             RingExecutor::new(n, n, move |device, stage, msg: &mut RingMessage<ServeChunk>| {
                 let ServeChunk { state, ctx } = &mut msg.payload;
                 if let Some((started, budget_ms)) = &ctx.deadline {
@@ -296,7 +388,9 @@ impl Server {
                         return None;
                     }
                 }
-                index.run_stage(
+                // The batch's pinned view, not a server-global index: every
+                // stage of this batch reads the same snapshot.
+                ctx.index.run_stage(
                     device,
                     stage,
                     msg.origin_chunk,
@@ -306,12 +400,12 @@ impl Server {
                     &cost,
                     ctx.trace_batch,
                 )
-            })
-        };
+            });
 
         let inner = Arc::new(ServerInner {
             config,
-            dim: index.dim(),
+            dim: initial.dim(),
+            source,
             state: Mutex::new(AdmissionState { pending: VecDeque::new(), shutting_down: false }),
             wakeup: Condvar::new(),
         });
@@ -327,9 +421,10 @@ impl Server {
         };
         let completion = {
             let timeline = Arc::clone(&timeline);
+            let lag_source = inner.source.clone();
             let spawned = std::thread::Builder::new()
                 .name("pathweaver-completion".into())
-                .spawn(move || completion_loop(&job_rx, &timeline));
+                .spawn(move || completion_loop(&job_rx, &timeline, &lag_source));
             match spawned {
                 Ok(h) => h,
                 Err(e) => {
@@ -503,10 +598,16 @@ fn admission_loop(
         }
         let trace_batch =
             if pathweaver_obs::tracing_enabled() { trace::next_batch_id() } else { 0 };
+        // Pin the batch's index view exactly once, at flush: every stage
+        // and the final reduction read this snapshot, whatever mutations
+        // land while the batch is in flight.
+        let (index, pinned_version) = inner.source.pin_batch();
         let ctx = Arc::new(BatchCtx {
             deadline: inner.config.deadline_ms.map(|ms| (Stopwatch::start(), ms)),
             queries,
             params: inner.config.params,
+            index,
+            pinned_version,
             trace_batch,
             expired: AtomicBool::new(false),
         });
@@ -525,7 +626,11 @@ fn admission_loop(
 
 /// Completion loop: wait for each batch in submission order, reduce it, and
 /// answer its tickets. Runs until the admission loop drops its job sender.
-fn completion_loop(job_rx: &Receiver<BatchJob>, timeline: &Mutex<PipelineTimeline>) {
+fn completion_loop(
+    job_rx: &Receiver<BatchJob>,
+    timeline: &Mutex<PipelineTimeline>,
+    source: &ServeSource,
+) {
     while let Ok(job) = job_rx.recv() {
         let batch_id = job.handle.batch_id();
         let (finished, batch_timeline) = job.handle.wait();
@@ -543,6 +648,15 @@ fn completion_loop(job_rx: &Receiver<BatchJob>, timeline: &Mutex<PipelineTimelin
             r.counter("serve.completed").add(job.tickets.len() as u64);
             if timed_out {
                 r.counter("serve.timeouts").inc();
+            }
+            // Dynamic sources: how stale this batch's pinned snapshot is by
+            // the time it answers, and the mutation backlog the maintainer
+            // has not folded yet.
+            if let Some(lag) = source.snapshot_lag(job.ctx.pinned_version) {
+                r.histogram("serve.snapshot_lag").record(lag);
+            }
+            if let Some(backlog) = source.merge_backlog() {
+                r.gauge("serve.merge_backlog").set(backlog as f64);
             }
         }
         for (hits, (tx, enqueued)) in hits_by_row.into_iter().zip(job.tickets) {

@@ -246,7 +246,7 @@ pub(crate) fn finish_load(
     }
     Ok(PathWeaverIndex {
         config,
-        shards,
+        shards: shards.into_iter().map(std::sync::Arc::new).collect(),
         assignment,
         build_report: BuildReport::new(),
         ledgers,

@@ -123,6 +123,134 @@ fn concurrent_registration_interns_one_instance_per_name() {
     assert_eq!(shard_total, 256, "interning split counts across duplicates");
 }
 
+/// The snapshot-isolation stress contract: thousands of streaming inserts
+/// and deletes race concurrent serve batches and the background maintainer,
+/// and no query may ever observe a torn snapshot. Inserted vectors sit far
+/// from every query cluster and deletes only target those inserts, so the
+/// pre-built ground truth stays valid throughout — recall@10 must hold its
+/// floor on every round, mutations or not, and every ticket must come back
+/// answered with sorted, in-range hits.
+#[test]
+fn mixed_mutations_under_serve_keep_recall_and_never_tear() {
+    let _g = flag_guard();
+    let w = DatasetProfile::deep10m_like().workload(Scale::Test, 10, 10, 61);
+    let idx = PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(2)).unwrap();
+    let base_len = w.base.len() as u32;
+    let concurrent = Arc::new(ConcurrentIndex::new(idx));
+    let maintainer = concurrent.spawn_maintainer(0.3, 2.0).unwrap();
+
+    let config = ServeConfig {
+        max_batch: 4,
+        flush_interval_ms: 0.2,
+        params: SearchParams::default(),
+        ..ServeConfig::default()
+    };
+    let server = Server::new_dynamic(Arc::clone(&concurrent), config).unwrap();
+
+    const WRITERS: usize = 2;
+    const INSERTS_PER_WRITER: usize = 900;
+    let writes_done = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let (concurrent, w) = (&concurrent, &w);
+            let writes_done = &writes_done;
+            s.spawn(move || {
+                let mut minted: Vec<u32> = Vec::with_capacity(INSERTS_PER_WRITER);
+                for i in 0..INSERTS_PER_WRITER {
+                    // Far outside every query cluster: never cracks a top-10.
+                    let far: Vec<f32> = w
+                        .base
+                        .row((t * INSERTS_PER_WRITER + i) % w.base.len())
+                        .iter()
+                        .map(|x| x + 40.0 + t as f32)
+                        .collect();
+                    minted.push(concurrent.insert(&far).unwrap());
+                    // Delete roughly half of our own inserts as we go, plus
+                    // the occasional no-op double delete — replaying the
+                    // same tombstone must stay harmless under concurrency.
+                    if i % 2 == 1 {
+                        let victim = minted[i - 1];
+                        assert!(concurrent.delete(victim).unwrap(), "insert {victim} vanished");
+                        if i % 8 == 1 {
+                            assert!(!concurrent.delete(victim).unwrap());
+                        }
+                    }
+                }
+                writes_done.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // Reader: stream serve batches for the whole write phase (and one
+        // final quiesced round), checking invariants on every response.
+        let (server, w) = (&server, &w);
+        let (writes_done, answered) = (&writes_done, &answered);
+        s.spawn(move || {
+            let mut round = 0u64;
+            loop {
+                let quiesced = writes_done.load(Ordering::Acquire) == WRITERS as u64;
+                let tickets: Vec<_> = (0..w.queries.len())
+                    .map(|r| loop {
+                        match server.try_submit(w.queries.row(r)) {
+                            Ok(ticket) => break ticket,
+                            Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                            Err(SubmitError::ShuttingDown) => {
+                                unreachable!("shutdown begins after readers join")
+                            }
+                        }
+                    })
+                    .collect();
+                let mut ids = Vec::with_capacity(tickets.len());
+                for (q, ticket) in tickets.into_iter().enumerate() {
+                    let res = ticket
+                        .wait()
+                        .unwrap_or_else(|e| panic!("round {round} query {q} failed: {e:?}"));
+                    assert!(!res.timed_out, "round {round} query {q} timed out (no deadline set)");
+                    assert!(!res.hits.is_empty(), "round {round} query {q}: empty hit list");
+                    for pair in res.hits.windows(2) {
+                        assert!(
+                            pair[0].0 <= pair[1].0,
+                            "round {round} query {q}: hits out of order (torn snapshot?)"
+                        );
+                    }
+                    for &(d, _id) in &res.hits {
+                        assert!(d.is_finite(), "round {round} query {q}: non-finite distance");
+                    }
+                    // Far-away inserts must never displace true neighbors.
+                    let base_hits: Vec<u32> =
+                        res.hits.iter().map(|&(_, id)| id).filter(|&id| id < base_len).collect();
+                    ids.push(base_hits);
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+                let recall = recall_batch(&w.ground_truth, &ids, 10);
+                assert!(
+                    recall >= 0.75,
+                    "round {round} recall@10 {recall:.3} under streaming mutation"
+                );
+                round += 1;
+                if quiesced {
+                    break; // This round ran against the fully-mutated index.
+                }
+            }
+            assert!(round >= 2, "writers outpaced the reader: no overlapped rounds observed");
+        });
+    });
+
+    server.shutdown();
+    maintainer.stop();
+    assert!(answered.load(Ordering::Relaxed) >= 2 * w.queries.len() as u64);
+    // Every mutation went through: the final snapshot accounts for all
+    // minted ids, and nothing the maintainer folded resurrected a tombstone.
+    let pinned = concurrent.pin();
+    assert_eq!(
+        pinned.index().num_vectors,
+        w.base.len() + WRITERS * INSERTS_PER_WRITER,
+        "inserts lost or duplicated"
+    );
+    assert!(pinned.version() > 0, "mutations never published a new snapshot");
+}
+
 /// Many submitter threads race the serve layer's admission queue —
 /// backpressure retries, interval flushes, and overlapped batches — across
 /// servers whose deadlines are drawn from a seeded pseudo-random sequence

@@ -60,6 +60,43 @@ fn wal_replay_extends_quantized_tier_identically() {
 }
 
 #[test]
+fn wal_replay_is_idempotent_across_noop_deletes_and_reinserts() {
+    // Every delete is WAL-logged even when it applies nothing (unknown id,
+    // double delete), so replay walks the exact mutation history including
+    // the no-ops. Reopening — once, or repeatedly without compaction — must
+    // converge to the same state as the live index.
+    let (w, idx) = build_index(77);
+    let dir = TempStore::new("durable-idempotent-replay");
+    let mut durable = DurableIndex::create(idx, dir.path()).unwrap();
+
+    let novel: Vec<f32> = w.base.row(3).iter().map(|x| x + 0.006).collect();
+    let id = durable.insert(&novel).unwrap();
+    assert_eq!(durable.delete_outcome(u32::MAX).unwrap(), DeleteOutcome::Unknown);
+    assert_eq!(durable.delete_outcome(1).unwrap(), DeleteOutcome::Applied);
+    assert_eq!(durable.delete_outcome(1).unwrap(), DeleteOutcome::AlreadyDeleted);
+    let second: Vec<f32> = w.base.row(5).iter().map(|x| x + 0.008).collect();
+    let id2 = durable.insert(&second).unwrap();
+    assert_eq!(durable.delete_outcome(id2).unwrap(), DeleteOutcome::Applied);
+    assert_eq!(durable.delete_outcome(id2).unwrap(), DeleteOutcome::AlreadyDeleted);
+    let before = search_all(&durable, &w.queries);
+    let count = durable.num_vectors;
+
+    drop(durable); // Clean shutdown, WAL still pending: reopen replays everything.
+    for round in 0..2 {
+        let mut reopened = DurableIndex::open(dir.path()).unwrap();
+        assert_eq!(reopened.num_vectors, count, "replay changed the count (round {round})");
+        assert_eq!(search_all(&reopened, &w.queries), before, "replay diverged (round {round})");
+        // The replayed tombstones must report as already present, not re-apply.
+        assert_eq!(reopened.delete_outcome(1).unwrap(), DeleteOutcome::AlreadyDeleted);
+        assert_eq!(reopened.delete_outcome(id2).unwrap(), DeleteOutcome::AlreadyDeleted);
+        // The replayed insert is live and searchable under its original id.
+        let mut q = pathweaver::vector::VectorSet::empty(reopened.dim());
+        q.push(&novel);
+        assert!(search_all(&reopened, &q)[0].contains(&id), "replayed insert lost");
+    }
+}
+
+#[test]
 fn torn_wal_tail_recovers_to_pre_record_state_at_every_offset() {
     // The crash-recovery contract (ISSUE acceptance): kill the process at
     // any byte offset inside the last WAL append; on reopen, search results

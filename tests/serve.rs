@@ -8,6 +8,12 @@ use std::sync::Arc;
 use pathweaver::core::serve::{serve_once, ServeConfig, Server};
 use pathweaver::prelude::*;
 
+fn serve_all(server: &Server, queries: &pathweaver::vector::VectorSet) -> Vec<Vec<(f32, u32)>> {
+    let tickets: Vec<_> =
+        (0..queries.len()).map(|r| server.try_submit(queries.row(r)).unwrap()).collect();
+    tickets.into_iter().map(|t| t.wait().unwrap().hits).collect()
+}
+
 /// Serializes tests that pin `PATHWEAVER_THREADS`; parallel test threads
 /// would otherwise race on the process-wide environment.
 fn with_single_thread<R>(f: impl FnOnce() -> R) -> R {
@@ -55,6 +61,33 @@ fn serve_stream_is_bit_identical_to_search_pipelined() {
             assert_hits_identical(&direct.hits, &served.hits, &label);
             assert_eq!(direct.stats, served.stats, "{label}: stats diverged");
             assert_eq!(direct.results, served.results, "{label}: result ids diverged");
+        }
+    });
+}
+
+#[test]
+fn dynamic_serve_without_mutation_is_bit_identical_to_static_serve() {
+    // The snapshot-pinned path through `ConcurrentIndex` adds a level of
+    // indirection per batch (pin the published snapshot, read through it).
+    // With zero mutations that indirection must be invisible: same hits,
+    // same raw f32 distance bits, same ids as the plain pipelined search.
+    with_single_thread(|| {
+        for devices in [1usize, 2] {
+            let w = DatasetProfile::deep10m_like().workload(Scale::Test, 9, 10, 53);
+            let idx =
+                PathWeaverIndex::build(&w.base, &PathWeaverConfig::test_scale(devices)).unwrap();
+            let params = SearchParams::default();
+            let direct = idx.search_pipelined(&w.queries, &params);
+
+            let concurrent = Arc::new(ConcurrentIndex::new(idx));
+            let config =
+                ServeConfig { max_batch: w.queries.len(), params, ..ServeConfig::default() };
+            let server = Server::new_dynamic(Arc::clone(&concurrent), config).unwrap();
+            let streamed = serve_all(&server, &w.queries);
+            server.shutdown();
+
+            let label = format!("dynamic zero-mutation, {devices} devices");
+            assert_hits_identical(&direct.hits, &streamed, &label);
         }
     });
 }

@@ -47,7 +47,7 @@ fn maintain_then_save_load_searches_identically() {
     for &g in &victims {
         idx.delete(g);
     }
-    assert_eq!(idx.maintain(0.3), 1);
+    assert_eq!(idx.maintain(0.3).unwrap(), 1);
     let dir = TempStore::new("maintain");
     save_index(&idx, dir.path()).unwrap();
     let loaded = load_index(dir.path()).unwrap();
